@@ -1,0 +1,370 @@
+package canon_test
+
+// One benchmark per table and figure of the paper's evaluation (Section 5),
+// plus theorem-bound checks and the Section 3/4 ablations. Benchmarks run at
+// reduced sizes so `go test -bench=.` completes quickly; the full
+// paper-scale sweeps run via `go run ./cmd/canonsim <figure>`. Reproduced
+// quantities are reported with b.ReportMetric so shapes can be compared to
+// the paper directly from benchmark output.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	canon "github.com/canon-dht/canon"
+	"github.com/canon-dht/canon/internal/experiments"
+)
+
+func benchCfg() experiments.Config {
+	return experiments.Config{Seed: 1, Fanout: 10, ZipfExponent: 1.25, RoutePairs: 500}
+}
+
+// BenchmarkFig3Degree regenerates Figure 3 (average links per node vs
+// network size, per hierarchy depth) at reduced scale.
+func BenchmarkFig3Degree(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.Fig3(cfg, []int{1024, 4096}, []int{1, 3, 5})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			flat := tbl.Series[0]
+			deep := tbl.Series[2]
+			b.ReportMetric(flat.Y[len(flat.Y)-1], "chord-degree@4096")
+			b.ReportMetric(deep.Y[len(deep.Y)-1], "crescendo5-degree@4096")
+		}
+	}
+}
+
+// BenchmarkFig4DegreePDF regenerates Figure 4 (links/node distribution).
+func BenchmarkFig4DegreePDF(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.Fig4(cfg, 4096, []int{1, 3, 5})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			// Report the mode of the flat distribution.
+			flat := tbl.Series[0]
+			best, bestY := 0.0, 0.0
+			for j := range flat.Y {
+				if flat.Y[j] > bestY {
+					best, bestY = flat.X[j], flat.Y[j]
+				}
+			}
+			b.ReportMetric(best, "chord-mode-links")
+		}
+	}
+}
+
+// BenchmarkFig5Hops regenerates Figure 5 (average routing hops).
+func BenchmarkFig5Hops(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.Fig5(cfg, []int{1024, 4096}, []int{1, 3, 5})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			flat, deep := tbl.Series[0], tbl.Series[2]
+			b.ReportMetric(flat.Y[len(flat.Y)-1], "chord-hops@4096")
+			b.ReportMetric(deep.Y[len(deep.Y)-1]-flat.Y[len(flat.Y)-1], "crescendo5-extra-hops")
+		}
+	}
+}
+
+// BenchmarkFig6Stretch regenerates Figure 6 (latency and stretch on the
+// transit-stub topology) at one reduced size.
+func BenchmarkFig6Stretch(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		_, stretch, err := experiments.Fig6(cfg, []int{2048})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, s := range stretch.Series {
+				switch s.Name {
+				case "chord (no prox.)":
+					b.ReportMetric(s.Y[0], "stretch-chord")
+				case "crescendo (no prox.)":
+					b.ReportMetric(s.Y[0], "stretch-crescendo")
+				case "chord (prox.)":
+					b.ReportMetric(s.Y[0], "stretch-chord-prox")
+				case "crescendo (prox.)":
+					b.ReportMetric(s.Y[0], "stretch-crescendo-prox")
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkFig7Locality regenerates Figure 7 (latency vs query locality).
+func BenchmarkFig7Locality(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.Fig7(cfg, 2048)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, s := range tbl.Series {
+				if s.Name == "crescendo (no prox.)" {
+					b.ReportMetric(s.Y[0], "crescendo-top-ms")
+					b.ReportMetric(s.Y[3], "crescendo-level3-ms")
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkFig8Overlap regenerates Figure 8 (path overlap fractions).
+func BenchmarkFig8Overlap(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.Fig8(cfg, 2048)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, s := range tbl.Series {
+				switch s.Name {
+				case "crescendo (hops)":
+					b.ReportMetric(s.Y[3], "crescendo-overlap@3")
+				case "chord (prox.) (hops)":
+					b.ReportMetric(s.Y[3], "chord-overlap@3")
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkFig9Multicast regenerates the Figure 9 table (inter-domain links
+// in a multicast tree).
+func BenchmarkFig9Multicast(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.Fig9(cfg, 2048, 500)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			var crescendo, chordP float64
+			for _, s := range tbl.Series {
+				switch s.Name {
+				case "crescendo":
+					crescendo = s.Y[0]
+				case "chord (prox.)":
+					chordP = s.Y[0]
+				}
+			}
+			b.ReportMetric(crescendo, "crescendo-links@1")
+			b.ReportMetric(chordP, "chord-links@1")
+			if crescendo > 0 {
+				b.ReportMetric(chordP/crescendo, "savings-factor")
+			}
+		}
+	}
+}
+
+// BenchmarkThmDegreeBounds measures the Theorem 1/2 quantities: expected
+// degrees against log2(n-1)+1 (Chord) and log2(n-1)+min(l, log n)
+// (Crescendo).
+func BenchmarkThmDegreeBounds(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.Fig3(cfg, []int{4096}, []int{1, 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			bound := math.Log2(4095) + 1
+			b.ReportMetric(tbl.Series[0].Y[0]/bound, "chord-degree/bound")
+			bound4 := math.Log2(4095) + math.Min(4, math.Log2(4096))
+			b.ReportMetric(tbl.Series[1].Y[0]/bound4, "crescendo-degree/bound")
+		}
+	}
+}
+
+// BenchmarkThmHopBounds measures the Theorem 4/5 quantities: expected hops
+// against 0.5*log2(n-1)+0.5 (Chord) and log2(n-1)+1 (Crescendo).
+func BenchmarkThmHopBounds(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.Fig5(cfg, []int{4096}, []int{1, 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(tbl.Series[0].Y[0]/(0.5*math.Log2(4095)+0.5), "chord-hops/bound")
+			b.ReportMetric(tbl.Series[1].Y[0]/(math.Log2(4095)+1), "crescendo-hops/bound")
+		}
+	}
+}
+
+// BenchmarkVariantsDegree compares all Section 3 Canonical constructions.
+func BenchmarkVariantsDegree(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.Variants(cfg, 1024, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			// Rows: chord, ndchord, symphony, kademlia, can.
+			for _, s := range tbl.Series {
+				if s.Name == "canonical hops" {
+					b.ReportMetric(s.Y[0], "crescendo-hops")
+					b.ReportMetric(s.Y[2], "cacophony-hops")
+					b.ReportMetric(s.Y[3], "kandy-hops")
+					b.ReportMetric(s.Y[4], "cancan-hops")
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkLookahead quantifies Section 3.1's lookahead-routing saving.
+func BenchmarkLookahead(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.Lookahead(cfg, []int{2048}, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, s := range tbl.Series {
+				if s.Name == "saving fraction" {
+					b.ReportMetric(s.Y[0], "hop-saving-fraction")
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkBalance measures the Section 4.3 partition ratios.
+func BenchmarkBalance(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.Balance(cfg, []int{4096})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, s := range tbl.Series {
+				switch s.Name {
+				case "random ids":
+					b.ReportMetric(s.Y[0], "ratio-random")
+				case "bisection":
+					b.ReportMetric(s.Y[0], "ratio-bisection")
+				case "hierarchical":
+					b.ReportMetric(s.Y[0], "ratio-hierarchical")
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkCaching measures the Section 4.2 cache policies.
+func BenchmarkCaching(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.Caching(cfg, 1024, 32, 100, 3000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, s := range tbl.Series {
+				if s.Name == "hit rate" {
+					b.ReportMetric(s.Y[1], "hit-rate-level-aware")
+					b.ReportMetric(s.Y[2], "hit-rate-lru")
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkBuildCrescendo measures raw construction throughput.
+func BenchmarkBuildCrescendo(b *testing.B) {
+	tree, err := canon.BalancedHierarchy(3, 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	placement := canon.AssignZipf(rng, tree, 8192, 1.25)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := canon.Build(tree, placement, canon.Options{Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(8192, "nodes")
+}
+
+// BenchmarkRouteCrescendo measures routing throughput on a built network.
+func BenchmarkRouteCrescendo(b *testing.B) {
+	tree, err := canon.BalancedHierarchy(3, 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	placement := canon.AssignZipf(rng, tree, 8192, 1.25)
+	nw, err := canon.Build(tree, placement, canon.Options{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		from := rng.Intn(nw.Len())
+		key := nw.Space().Random(rng)
+		r := nw.RouteToKey(from, key)
+		if !r.Success {
+			b.Fatal("route failed")
+		}
+	}
+}
+
+// BenchmarkResilience measures static resilience under 20% failures.
+func BenchmarkResilience(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.Resilience(cfg, 2048, 3, []float64{0.2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, s := range tbl.Series {
+				switch s.Name {
+				case "chord success":
+					b.ReportMetric(s.Y[0], "chord-success@20%")
+				case "crescendo-3 success":
+					b.ReportMetric(s.Y[0], "crescendo-success@20%")
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkChurn measures Section 2.3's maintenance messages per join.
+func BenchmarkChurn(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.Churn(cfg, []int{1024}, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, s := range tbl.Series {
+				switch s.Name {
+				case "messages/join":
+					b.ReportMetric(s.Y[0], "messages-per-join")
+				case "join messages / log2 n":
+					b.ReportMetric(s.Y[0], "messages-per-log2n")
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,417 @@
+// Package canon implements Canon, a generic technique for constructing
+// hierarchically structured Distributed Hash Tables (Ganesan, Gummadi,
+// Garcia-Molina: "Canon in G Major: Designing DHTs with Hierarchical
+// Structure", ICDCS 2004).
+//
+// Nodes are arranged in a conceptual hierarchy of domains (mirroring
+// real-world organization, e.g. "stanford/cs/db"). The nodes of every domain
+// form a complete DHT by themselves; the DHT of a domain is obtained by
+// merging its children's DHTs, with each node adding a link to a node outside
+// its own ring only if the flat DHT's rule selects it over the union AND it
+// is closer than every node of its own ring. The result keeps the flat
+// design's state-vs-hops trade-off while adding fault isolation, convergent
+// inter-domain paths (efficient caching and multicast), adaptation to the
+// physical network, hierarchical storage and hierarchical access control.
+//
+// The package offers two modes:
+//
+//   - Analytical/simulation: Build constructs a complete network over an
+//     in-process population — Chord→Crescendo, Symphony→Cacophony,
+//     nondeterministic Chord→ND-Crescendo, Kademlia→Kandy and CAN→Can-Can —
+//     and supports routing, hierarchical storage, caching, multicast and
+//     proximity experiments at tens of thousands of nodes.
+//
+//   - Live: NewLiveNode runs a real Crescendo node over TCP (or an
+//     in-memory bus), with joins, per-level successor lists, stabilization
+//     and hierarchical put/get, per Section 2.3 of the paper.
+package canon
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math/rand"
+
+	"github.com/canon-dht/canon/internal/cache"
+	"github.com/canon-dht/canon/internal/can"
+	"github.com/canon-dht/canon/internal/chord"
+	"github.com/canon-dht/canon/internal/core"
+	"github.com/canon-dht/canon/internal/hierarchy"
+	"github.com/canon-dht/canon/internal/id"
+	"github.com/canon-dht/canon/internal/kademlia"
+	"github.com/canon-dht/canon/internal/multicast"
+	"github.com/canon-dht/canon/internal/proximity"
+	"github.com/canon-dht/canon/internal/storage"
+	"github.com/canon-dht/canon/internal/symphony"
+)
+
+// Core type aliases: these are the library's fundamental vocabulary.
+type (
+	// Hierarchy is the conceptual hierarchy of domains a network is built
+	// over.
+	Hierarchy = hierarchy.Tree
+	// Domain is one vertex of the hierarchy.
+	Domain = hierarchy.Domain
+	// ID is an identifier in the ring.
+	ID = id.ID
+	// Space is an N-bit identifier space.
+	Space = id.Space
+	// Route is the result of greedy routing: the node path and success flag.
+	Route = core.Route
+	// Store is the hierarchical content store of Section 4.1.
+	Store = storage.Store
+	// StoreResult describes a retrieval outcome.
+	StoreResult = storage.Result
+	// Cache is the hierarchical answer cache of Section 4.2.
+	Cache = cache.Cache
+	// CacheResult describes a cached lookup outcome.
+	CacheResult = cache.Result
+	// MulticastTree is a reverse-path multicast tree (Section 5.4).
+	MulticastTree = multicast.Tree
+)
+
+// Cache replacement policies.
+const (
+	// CachePolicyLevelAware preferentially evicts deeper-level copies.
+	CachePolicyLevelAware = cache.PolicyLevelAware
+	// CachePolicyLRU is the plain least-recently-used baseline.
+	CachePolicyLRU = cache.PolicyLRU
+	// CachePolicyCoordinated lets caches at different levels interact when
+	// choosing victims (Section 4.2's coordinated variant).
+	CachePolicyCoordinated = cache.PolicyCoordinated
+)
+
+// NewHierarchy returns a hierarchy containing only the root domain; building
+// a network over it yields the flat DHT.
+func NewHierarchy() *Hierarchy { return hierarchy.NewTree() }
+
+// BalancedHierarchy returns a complete hierarchy with the given number of
+// levels (1 = flat) and fan-out, the shape used throughout the paper's
+// evaluation.
+func BalancedHierarchy(levels, fanout int) (*Hierarchy, error) {
+	return hierarchy.Balanced(levels, fanout)
+}
+
+// AssignUniform places n nodes on leaf domains uniformly at random.
+func AssignUniform(rng *rand.Rand, t *Hierarchy, n int) []*Domain {
+	return hierarchy.AssignUniform(rng, t, n)
+}
+
+// AssignZipf places n nodes with Zipf-distributed branch sizes (the paper
+// uses exponent 1.25).
+func AssignZipf(rng *rand.Rand, t *Hierarchy, n int, exponent float64) []*Domain {
+	return hierarchy.AssignZipf(rng, t, n, exponent)
+}
+
+// Kind selects the flat DHT geometry whose Canonical version is built.
+type Kind int
+
+const (
+	// Chord builds Crescendo (flat Chord on a one-level hierarchy).
+	Chord Kind = iota + 1
+	// NondeterministicChord builds nondeterministic Crescendo.
+	NondeterministicChord
+	// Symphony builds Cacophony.
+	Symphony
+	// Kademlia builds Kandy.
+	Kademlia
+	// CAN builds Can-Can.
+	CAN
+)
+
+// String returns the geometry's flat name.
+func (k Kind) String() string {
+	switch k {
+	case Chord:
+		return "chord"
+	case NondeterministicChord:
+		return "ndchord"
+	case Symphony:
+		return "symphony"
+	case Kademlia:
+		return "kademlia"
+	case CAN:
+		return "can"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// CanonicalName returns the name of the hierarchical construction the paper
+// gives for this geometry.
+func (k Kind) CanonicalName() string {
+	switch k {
+	case Chord:
+		return "crescendo"
+	case NondeterministicChord:
+		return "nd-crescendo"
+	case Symphony:
+		return "cacophony"
+	case Kademlia:
+		return "kandy"
+	case CAN:
+		return "can-can"
+	default:
+		return k.String()
+	}
+}
+
+// ProximityOptions enables the group-based proximity adaptation of
+// Section 3.6 at the network's top level.
+type ProximityOptions struct {
+	// Latency measures physical latency between two nodes (by node index).
+	Latency func(a, b int) float64
+	// Samples is the latency sample size per link (default 32).
+	Samples int
+	// GroupSize is the targeted expected nodes per group (default 16).
+	GroupSize int
+}
+
+// Options configures Build.
+type Options struct {
+	// Kind selects the geometry; the zero value means Chord.
+	Kind Kind
+	// Bits is the identifier width; 0 means the paper's 32.
+	Bits uint
+	// Seed seeds all randomness (IDs and nondeterministic links).
+	Seed int64
+	// IDs optionally fixes the node identifiers instead of drawing them at
+	// random; it must align with the placement slice.
+	IDs []ID
+	// Proximity, when non-nil, applies group-based proximity adaptation.
+	Proximity *ProximityOptions
+	// CompleteLeafDomains builds a complete graph inside every lowest-level
+	// domain instead of the geometry's own structure — the Section 3.5
+	// LAN optimization. Requires a clockwise-metric Kind.
+	CompleteLeafDomains bool
+	// Workers > 0 builds node links on that many goroutines; 0 (the
+	// default) builds sequentially. Parallel builds are deterministic in
+	// Seed and independent of the worker count, but for nondeterministic
+	// kinds they draw different random links than the sequential builder.
+	Workers int
+}
+
+// Network is a fully built (flat or Canonical) DHT over a node population.
+type Network struct {
+	inner     *core.Network
+	kind      Kind
+	groupBits uint
+}
+
+// Build constructs the network: every node in placement (one leaf domain per
+// node) gets an identifier, every lowest-level domain forms the flat DHT,
+// and sibling rings merge bottom-up per the Canon rule.
+func Build(tree *Hierarchy, placement []*Domain, opts Options) (*Network, error) {
+	if tree == nil {
+		return nil, errors.New("canon: nil hierarchy")
+	}
+	if len(placement) == 0 {
+		return nil, errors.New("canon: empty placement")
+	}
+	bits := opts.Bits
+	if bits == 0 {
+		bits = id.DefaultBits
+	}
+	space, err := id.NewSpace(bits)
+	if err != nil {
+		return nil, err
+	}
+	kind := opts.Kind
+	if kind == 0 {
+		kind = Chord
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+
+	var pop *core.Population
+	if opts.IDs != nil {
+		pop, err = core.NewPopulation(space, tree, opts.IDs, placement)
+	} else {
+		pop, err = core.RandomPopulation(rng, space, tree, placement)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	var geom core.Geometry
+	switch kind {
+	case Chord:
+		geom = chord.NewDeterministic(space)
+	case NondeterministicChord:
+		geom = chord.NewNondeterministic(space)
+	case Symphony:
+		geom = symphony.New(space)
+	case Kademlia:
+		geom = kademlia.New(space)
+	case CAN:
+		geom = can.New(space)
+	default:
+		return nil, fmt.Errorf("canon: unknown geometry kind %d", int(kind))
+	}
+
+	if opts.CompleteLeafDomains {
+		if kind == Kademlia || kind == CAN {
+			return nil, fmt.Errorf("canon: complete leaf domains require a ring geometry, not %s", kind)
+		}
+		geom = core.Compose(core.NewCompleteGeometry(space), geom)
+	}
+	nw := &Network{kind: kind}
+	if opts.Proximity != nil {
+		if opts.Proximity.Latency == nil {
+			return nil, errors.New("canon: ProximityOptions.Latency is required")
+		}
+		if kind == Kademlia || kind == CAN {
+			return nil, fmt.Errorf("canon: proximity adaptation requires a ring geometry, not %s", kind)
+		}
+		wrapped := proximity.Wrap(geom, space, proximity.Config{
+			Latency:   opts.Proximity.Latency,
+			Samples:   opts.Proximity.Samples,
+			GroupSize: opts.Proximity.GroupSize,
+		})
+		nw.groupBits = wrapped.GroupBits(pop.Len())
+		geom = wrapped
+	}
+	if opts.Workers > 0 {
+		nw.inner = core.BuildParallel(pop, geom, opts.Seed, opts.Workers)
+	} else {
+		nw.inner = core.Build(pop, geom, rng)
+	}
+	return nw, nil
+}
+
+// Kind returns the network's geometry kind.
+func (n *Network) Kind() Kind { return n.kind }
+
+// Len returns the number of nodes.
+func (n *Network) Len() int { return n.inner.Len() }
+
+// Space returns the identifier space.
+func (n *Network) Space() Space { return n.inner.Population().Space() }
+
+// NodeID returns the identifier of the node at the given index. Indices are
+// assigned in ascending identifier order.
+func (n *Network) NodeID(node int) ID { return n.inner.Population().IDOf(node) }
+
+// NodeDomain returns the leaf domain of a node.
+func (n *Network) NodeDomain(node int) *Domain { return n.inner.Population().LeafOf(node) }
+
+// NodeTag returns the node's position in the placement slice passed to
+// Build, for correlating with external per-node data such as topology hosts.
+func (n *Network) NodeTag(node int) int { return n.inner.Population().Node(node).Tag }
+
+// Degree returns a node's out-degree.
+func (n *Network) Degree(node int) int { return n.inner.Degree(node) }
+
+// AvgDegree returns the mean out-degree.
+func (n *Network) AvgDegree() float64 { return n.inner.AvgDegree() }
+
+// Links returns a node's out-links (indices). Callers must not modify it.
+func (n *Network) Links(node int) []int32 { return n.inner.Links(node) }
+
+// Owner returns the node responsible for key in the whole network.
+func (n *Network) Owner(key ID) int { return n.inner.Population().OwnerOf(key) }
+
+// Proxy returns the node responsible for key within domain d — the proxy
+// through which every route from inside d to an outside destination for
+// that key exits (Section 2.2). It returns -1 when d holds no nodes.
+func (n *Network) Proxy(d *Domain, key ID) int { return n.inner.Proxy(d, key) }
+
+// RouteToKey greedily routes from a node toward a key. With proximity
+// adaptation enabled, routing runs in the paper's two stages (between
+// groups, then within the destination group).
+func (n *Network) RouteToKey(from int, key ID) Route {
+	if n.groupBits > 0 {
+		return n.inner.RouteGrouped(from, key, n.groupBits)
+	}
+	return n.inner.RouteToKey(from, key)
+}
+
+// RouteToNode routes between two nodes.
+func (n *Network) RouteToNode(from, to int) Route {
+	return n.RouteToKey(from, n.NodeID(to))
+}
+
+// RouteLookahead routes with one-step lookahead (Section 3.1), the
+// O(log n / log log n) mode of Symphony and Cacophony.
+func (n *Network) RouteLookahead(from int, key ID) Route {
+	return n.inner.RouteLookahead(from, key)
+}
+
+// PathDomains returns, per hop of the route, the depth of the endpoints'
+// lowest common domain — the basis of inter-domain accounting.
+func (n *Network) PathDomains(r Route) []int { return n.inner.PathDomains(r) }
+
+// NewStore returns an empty hierarchical store over the network.
+func (n *Network) NewStore() *Store { return storage.New(n.inner) }
+
+// NewCache layers per-node answer caches over a store.
+func (n *Network) NewCache(st *Store, capacity int, policy cache.Policy) *Cache {
+	return cache.New(st, capacity, policy)
+}
+
+// Multicast routes a query from every source to dst and returns the union of
+// the converged paths as a multicast tree.
+func (n *Network) Multicast(sources []int, dst int) *MulticastTree {
+	return multicast.Build(n.inner, sources, dst)
+}
+
+// DomainRingSize returns the number of nodes in a domain's ring (0 when the
+// domain is empty).
+func (n *Network) DomainRingSize(d *Domain) int {
+	r := n.inner.RingOf(d)
+	if r == nil {
+		return 0
+	}
+	return r.Len()
+}
+
+// NodesIn returns the indices of the nodes in a domain.
+func (n *Network) NodesIn(d *Domain) []int {
+	r := n.inner.RingOf(d)
+	if r == nil {
+		return nil
+	}
+	out := make([]int, r.Len())
+	copy(out, r.Members())
+	return out
+}
+
+// GroupBits returns the proximity group prefix length (0 when proximity
+// adaptation is off).
+func (n *Network) GroupBits() uint { return n.groupBits }
+
+// HashKey hashes an application key string into the network's identifier
+// space (FNV-1a).
+func (n *Network) HashKey(key string) ID {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(key))
+	return n.Space().Wrap(h.Sum64())
+}
+
+// DefaultSpace returns the paper's default 32-bit identifier space.
+func DefaultSpace() Space { return id.DefaultSpace() }
+
+// FailureSet marks crashed nodes for failure-injection experiments.
+type FailureSet = core.FailureSet
+
+// NewFailureSet returns an all-alive failure set sized for the network.
+func (n *Network) NewFailureSet() *FailureSet { return core.NewFailureSet(n.Len()) }
+
+// RouteToKeyFailures routes toward key while skipping failed nodes, with no
+// repair — the static-resilience measurement. Success means the route
+// reached the key's alive owner.
+func (n *Network) RouteToKeyFailures(from int, key ID, fails *FailureSet) Route {
+	return n.inner.RouteToKeyFailures(from, key, fails)
+}
+
+// AliveOwner returns the node responsible for key among surviving nodes.
+func (n *Network) AliveOwner(key ID, fails *FailureSet) int {
+	return n.inner.AliveOwnerOf(key, fails)
+}
+
+// LoadPlacement parses a plain-text placement specification — one
+// "<domain-path> <node-count>" per line, '#' comments — into a hierarchy and
+// a per-node leaf assignment ready for Build.
+func LoadPlacement(r io.Reader) (*Hierarchy, []*Domain, error) {
+	return hierarchy.LoadPlacement(r)
+}

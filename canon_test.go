@@ -1,0 +1,336 @@
+package canon_test
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	canon "github.com/canon-dht/canon"
+)
+
+func buildNet(t testing.TB, kind canon.Kind, n, levels, fanout int, seed int64) *canon.Network {
+	t.Helper()
+	tree, err := canon.BalancedHierarchy(levels, fanout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	placement := canon.AssignZipf(rng, tree, n, 1.25)
+	nw, err := canon.Build(tree, placement, canon.Options{Kind: kind, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nw
+}
+
+func TestBuildValidation(t *testing.T) {
+	tree := canon.NewHierarchy()
+	if _, err := canon.Build(nil, nil, canon.Options{}); err == nil {
+		t.Error("nil hierarchy should error")
+	}
+	if _, err := canon.Build(tree, nil, canon.Options{}); err == nil {
+		t.Error("empty placement should error")
+	}
+	placement := []*canon.Domain{tree.Root()}
+	if _, err := canon.Build(tree, placement, canon.Options{Kind: canon.Kind(99)}); err == nil {
+		t.Error("unknown kind should error")
+	}
+	if _, err := canon.Build(tree, placement, canon.Options{Proximity: &canon.ProximityOptions{}}); err == nil {
+		t.Error("proximity without latency should error")
+	}
+	if _, err := canon.Build(tree, placement, canon.Options{
+		Kind:      canon.Kademlia,
+		Proximity: &canon.ProximityOptions{Latency: func(a, b int) float64 { return 0 }},
+	}); err == nil {
+		t.Error("proximity over XOR geometry should error")
+	}
+}
+
+func TestAllKindsRoute(t *testing.T) {
+	kinds := []canon.Kind{canon.Chord, canon.NondeterministicChord, canon.Symphony, canon.Kademlia, canon.CAN}
+	for _, kind := range kinds {
+		t.Run(kind.String(), func(t *testing.T) {
+			nw := buildNet(t, kind, 256, 3, 4, 42)
+			rng := rand.New(rand.NewSource(7))
+			ok := 0
+			const routes = 500
+			for i := 0; i < routes; i++ {
+				from, to := rng.Intn(nw.Len()), rng.Intn(nw.Len())
+				r := nw.RouteToNode(from, to)
+				if r.Success && r.Last() == to {
+					ok++
+				}
+			}
+			if float64(ok) < 0.99*routes {
+				t.Errorf("%s: only %d/%d routes succeeded", kind.CanonicalName(), ok, routes)
+			}
+		})
+	}
+}
+
+func TestKindNames(t *testing.T) {
+	tests := []struct {
+		kind      canon.Kind
+		name      string
+		canonical string
+	}{
+		{canon.Chord, "chord", "crescendo"},
+		{canon.NondeterministicChord, "ndchord", "nd-crescendo"},
+		{canon.Symphony, "symphony", "cacophony"},
+		{canon.Kademlia, "kademlia", "kandy"},
+		{canon.CAN, "can", "can-can"},
+	}
+	for _, tt := range tests {
+		if tt.kind.String() != tt.name || tt.kind.CanonicalName() != tt.canonical {
+			t.Errorf("kind %d: %s/%s", int(tt.kind), tt.kind.String(), tt.kind.CanonicalName())
+		}
+	}
+}
+
+func TestDegreeNearLogN(t *testing.T) {
+	nw := buildNet(t, canon.Chord, 2048, 3, 10, 1)
+	logN := math.Log2(2048)
+	if avg := nw.AvgDegree(); avg < logN-2 || avg > logN+1 {
+		t.Errorf("avg degree %.2f not near log n = %.1f", avg, logN)
+	}
+}
+
+func TestStoreCacheIntegration(t *testing.T) {
+	nw := buildNet(t, canon.Chord, 512, 3, 4, 2)
+	st := nw.NewStore()
+	c := nw.NewCache(st, 32, canon.CachePolicyLevelAware)
+
+	key := nw.HashKey("hello-world")
+	origin := 0
+	if _, err := st.Put(origin, key, []byte("v"), nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	r1 := c.Get(100, key)
+	if !r1.Found {
+		t.Fatal("miss on stored key")
+	}
+	r2 := c.Get(100, key)
+	if !r2.Found {
+		t.Fatal("second get failed")
+	}
+	if r2.Hops > r1.Hops {
+		t.Errorf("cached query took more hops (%d > %d)", r2.Hops, r1.Hops)
+	}
+}
+
+func TestMulticastIntegration(t *testing.T) {
+	nw := buildNet(t, canon.Chord, 512, 3, 4, 3)
+	rng := rand.New(rand.NewSource(9))
+	sources := make([]int, 100)
+	for i := range sources {
+		sources[i] = rng.Intn(nw.Len())
+	}
+	tree := nw.Multicast(sources, rng.Intn(nw.Len()))
+	if tree.Failed() != 0 || tree.NumEdges() == 0 {
+		t.Fatalf("multicast tree: %d edges, %d failed", tree.NumEdges(), tree.Failed())
+	}
+	if l1, l2 := tree.InterDomainLinks(1), tree.InterDomainLinks(2); l1 > l2 {
+		t.Errorf("inter-domain links not monotone: %d > %d", l1, l2)
+	}
+}
+
+func TestFixedIDs(t *testing.T) {
+	tree := canon.NewHierarchy()
+	placement := []*canon.Domain{tree.Root(), tree.Root(), tree.Root()}
+	ids := []canon.ID{10, 20, 30}
+	nw, err := canon.Build(tree, placement, canon.Options{IDs: ids, Bits: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range ids {
+		if nw.NodeID(i) != want {
+			t.Errorf("NodeID(%d) = %d, want %d", i, nw.NodeID(i), want)
+		}
+	}
+	if nw.Owner(25) != 1 {
+		t.Errorf("Owner(25) = %d, want node index 1 (ID 20)", nw.Owner(25))
+	}
+	// Tags map back to placement order: placement order was already
+	// ascending here.
+	for i := range ids {
+		if nw.NodeTag(i) != i {
+			t.Errorf("NodeTag(%d) = %d", i, nw.NodeTag(i))
+		}
+	}
+}
+
+func TestLiveFacade(t *testing.T) {
+	bus := canon.NewBus()
+	rng := rand.New(rand.NewSource(4))
+	ctx := context.Background()
+	a, err := canon.NewLiveNode(canon.LiveConfig{
+		Name: "x/y", RandomID: true, Rand: rng, Transport: bus.Endpoint("a"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if err := a.Join(ctx, ""); err != nil {
+		t.Fatal(err)
+	}
+	b, err := canon.NewLiveNode(canon.LiveConfig{
+		Name: "x/y", RandomID: true, Rand: rng, Transport: bus.Endpoint("b"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if err := b.Join(ctx, a.Info().Addr); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Put(ctx, 123, []byte("live"), "x", "x"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Get(ctx, 123)
+	if err != nil || string(got) != "live" {
+		t.Fatalf("live get: %q, %v", got, err)
+	}
+}
+
+func TestProximityFacade(t *testing.T) {
+	tree := canon.NewHierarchy()
+	const n = 256
+	placement := make([]*canon.Domain, n)
+	for i := range placement {
+		placement[i] = tree.Root()
+	}
+	nw, err := canon.Build(tree, placement, canon.Options{
+		Seed: 5,
+		Proximity: &canon.ProximityOptions{
+			Latency: func(a, b int) float64 { return float64((a - b) * (a - b) % 97) },
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.GroupBits() == 0 {
+		t.Error("expected non-zero group bits for 256 nodes")
+	}
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 300; i++ {
+		key := nw.Space().Random(rng)
+		r := nw.RouteToKey(rng.Intn(n), key)
+		if !r.Success || r.Last() != nw.Owner(key) {
+			t.Fatalf("grouped route failed for key %d", key)
+		}
+	}
+}
+
+func TestCompleteLeafDomains(t *testing.T) {
+	tree, err := canon.BalancedHierarchy(2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(12))
+	placement := canon.AssignUniform(rng, tree, 256)
+	nw, err := canon.Build(tree, placement, canon.Options{Seed: 12, CompleteLeafDomains: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Intra-LAN routes are one hop.
+	for i := 0; i < 200; i++ {
+		from := rng.Intn(nw.Len())
+		members := nw.NodesIn(nw.NodeDomain(from))
+		to := members[rng.Intn(len(members))]
+		if to == from {
+			continue
+		}
+		if r := nw.RouteToNode(from, to); !r.Success || r.Hops() != 1 {
+			t.Fatalf("LAN route took %d hops", r.Hops())
+		}
+	}
+	// XOR kinds reject the option.
+	if _, err := canon.Build(tree, placement, canon.Options{Kind: canon.CAN, CompleteLeafDomains: true}); err == nil {
+		t.Error("CAN with complete leaf domains should error")
+	}
+}
+
+func TestWorkersOption(t *testing.T) {
+	tree, err := canon.BalancedHierarchy(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(14))
+	placement := canon.AssignUniform(rng, tree, 200)
+	seq, err := canon.Build(tree, placement, canon.Options{Seed: 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := canon.Build(tree, placement, canon.Options{Seed: 14, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deterministic chord: identical output.
+	for i := 0; i < seq.Len(); i++ {
+		a, b := seq.Links(i), par.Links(i)
+		if len(a) != len(b) {
+			t.Fatalf("node %d degree differs", i)
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("node %d link %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestDynamicFacade(t *testing.T) {
+	tree, err := canon.BalancedHierarchy(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dn := canon.NewDynamicNetwork(tree)
+	trace, err := canon.NewChurnTrace(tree.Leaves(), 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(15))
+	for i := 0; i < 200; i++ {
+		op := trace.Next(rng)
+		if op.Join {
+			if err := dn.Join(op.ID, op.Leaf); err != nil {
+				t.Fatal(err)
+			}
+		} else if err := dn.Leave(op.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if dn.Len() == 0 || dn.Messages() == 0 {
+		t.Fatalf("churn left no state: len=%d msgs=%d", dn.Len(), dn.Messages())
+	}
+	members := dn.Members()
+	key := canon.DefaultSpace().Random(rng)
+	_, last, err := dn.RouteToKey(members[0], key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner, err := dn.Owner(key)
+	if err != nil || last != owner {
+		t.Fatalf("route ended at %d, owner %d (%v)", last, owner, err)
+	}
+}
+
+func TestLoadPlacementFacade(t *testing.T) {
+	tree, placement, err := canon.LoadPlacement(strings.NewReader("a/x 5\na/y 5\nb 6\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := canon.Build(tree, placement, canon.Options{Seed: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.Len() != 16 {
+		t.Fatalf("Len = %d", nw.Len())
+	}
+	r := nw.RouteToNode(0, nw.Len()-1)
+	if !r.Success {
+		t.Fatal("routing failed on loaded placement")
+	}
+}

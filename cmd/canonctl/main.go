@@ -1,0 +1,184 @@
+// Command canonctl is the client for a running canond node: it pings nodes,
+// resolves key ownership, stores and retrieves values, and dumps neighbor
+// state.
+//
+// Usage:
+//
+//	canonctl -node host:port ping
+//	canonctl -node host:port lookup <key> [domain]
+//	canonctl -node host:port put <key> <value> [storage [access]]
+//	canonctl -node host:port get <key>
+//	canonctl -node host:port neighbors <level>
+//	canonctl status http://host:statusport/
+//
+// Keys are unsigned integers (use canond's hash of your choice upstream).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"time"
+
+	canon "github.com/canon-dht/canon"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "canonctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("canonctl", flag.ContinueOnError)
+	var (
+		node    = fs.String("node", "127.0.0.1:7001", "address of a live node")
+		timeout = fs.Duration("timeout", 10*time.Second, "operation timeout")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: canonctl [flags] ping|lookup|put|get|neighbors|status ...")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() < 1 {
+		fs.Usage()
+		return fmt.Errorf("a command is required")
+	}
+	tr, err := canon.ListenTCP("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer tr.Close()
+	client := canon.NewLiveClient(tr)
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	cmd, rest := fs.Arg(0), fs.Args()[1:]
+	switch cmd {
+	case "ping":
+		info, err := client.Ping(ctx, *node)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("node %d domain=%q addr=%s\n", info.ID, info.Name, info.Addr)
+		return nil
+
+	case "lookup":
+		if len(rest) < 1 {
+			return fmt.Errorf("lookup needs a key")
+		}
+		key, err := parseKey(rest[0])
+		if err != nil {
+			return err
+		}
+		domain := ""
+		if len(rest) > 1 {
+			domain = rest[1]
+		}
+		owner, hops, err := client.Lookup(ctx, *node, key, domain)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("owner of %d in %q: node %d (%s) via %d hops\n", key, domain, owner.ID, owner.Addr, hops)
+		return nil
+
+	case "put":
+		if len(rest) < 2 {
+			return fmt.Errorf("put needs a key and a value")
+		}
+		key, err := parseKey(rest[0])
+		if err != nil {
+			return err
+		}
+		storage, access := "", ""
+		if len(rest) > 2 {
+			storage = rest[2]
+			access = storage
+		}
+		if len(rest) > 3 {
+			access = rest[3]
+		}
+		if err := client.Put(ctx, *node, key, []byte(rest[1]), storage, access); err != nil {
+			return err
+		}
+		fmt.Printf("stored key %d (storage=%q access=%q)\n", key, storage, access)
+		return nil
+
+	case "get":
+		if len(rest) < 1 {
+			return fmt.Errorf("get needs a key")
+		}
+		key, err := parseKey(rest[0])
+		if err != nil {
+			return err
+		}
+		value, err := client.Get(ctx, *node, key)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s\n", value)
+		return nil
+
+	case "status":
+		if len(rest) < 1 {
+			return fmt.Errorf("status needs the node's HTTP status URL")
+		}
+		return fetchStatus(ctx, rest[0])
+
+	case "neighbors":
+		level := 0
+		if len(rest) > 0 {
+			v, err := strconv.Atoi(rest[0])
+			if err != nil {
+				return fmt.Errorf("bad level %q: %w", rest[0], err)
+			}
+			level = v
+		}
+		pred, succs, err := client.Neighbors(ctx, *node, level)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("level %d predecessor: %d (%s)\n", level, pred.ID, pred.Addr)
+		for i, s := range succs {
+			fmt.Printf("level %d successor[%d]: %d (%s)\n", level, i, s.ID, s.Addr)
+		}
+		return nil
+
+	default:
+		fs.Usage()
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+// fetchStatus GETs a canond status endpoint and prints the JSON.
+func fetchStatus(ctx context.Context, url string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status endpoint returned %s", resp.Status)
+	}
+	_, err = io.Copy(os.Stdout, resp.Body)
+	return err
+}
+
+func parseKey(s string) (uint64, error) {
+	v, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad key %q: %w", s, err)
+	}
+	return v, nil
+}

@@ -1,0 +1,113 @@
+// Command canond runs a live Crescendo node: it listens on a TCP address,
+// joins a network through an optional contact, and serves hierarchical
+// lookups and put/get until interrupted.
+//
+// Usage:
+//
+//	canond -listen :7001 -domain stanford/cs/db [-join host:port] [-id N]
+//
+// Use canonctl to issue puts, gets and lookups against a running node.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	canon "github.com/canon-dht/canon"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "canond:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) (err error) {
+	fs := flag.NewFlagSet("canond", flag.ContinueOnError)
+	var (
+		listen    = fs.String("listen", ":7001", "TCP listen address")
+		domain    = fs.String("domain", "", "hierarchical domain name, e.g. stanford/cs/db")
+		join      = fs.String("join", "", "address of an existing node to join through")
+		nodeID    = fs.Uint64("id", 0, "node identifier (0 = random)")
+		stabevery = fs.Duration("stabilize", 2*time.Second, "stabilization interval")
+		succlist  = fs.Int("successors", 4, "per-level successor list length")
+		replicas  = fs.Int("replicas", 1, "copies of each stored item (1 = no replication)")
+		status    = fs.String("status", "", "HTTP address serving node status as JSON (empty = off)")
+		proto     = fs.String("transport", "tcp", "wire transport: tcp or udp")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var tr canon.Transport
+	switch *proto {
+	case "tcp":
+		tr, err = canon.ListenTCP(*listen)
+	case "udp":
+		tr, err = canon.ListenUDP(*listen)
+	default:
+		return fmt.Errorf("unknown transport %q", *proto)
+	}
+	if err != nil {
+		return err
+	}
+	cfg := canon.LiveConfig{
+		Name:              *domain,
+		Transport:         tr,
+		SuccessorListLen:  *succlist,
+		ReplicationFactor: *replicas,
+	}
+	if *nodeID != 0 {
+		cfg.ID = *nodeID
+	} else {
+		cfg.RandomID = true
+	}
+	node, err := canon.NewLiveNode(cfg)
+	if err != nil {
+		return err
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	err = node.Join(ctx, *join)
+	cancel()
+	if err != nil {
+		_ = node.Close()
+		return fmt.Errorf("join: %w", err)
+	}
+	node.Start(*stabevery)
+
+	var statusSrv *http.Server
+	if *status != "" {
+		statusSrv = &http.Server{Addr: *status, Handler: node}
+		go func() {
+			if err := statusSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "canond: status server:", err)
+			}
+		}()
+	}
+
+	info := node.Info()
+	fmt.Printf("canond: node %d (%q) listening on %s\n", info.ID, info.Name, info.Addr)
+	if *status != "" {
+		fmt.Printf("canond: status at http://%s/\n", *status)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+
+	fmt.Println("canond: leaving gracefully")
+	leaveCtx, cancelLeave := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancelLeave()
+	if statusSrv != nil {
+		_ = statusSrv.Shutdown(leaveCtx)
+	}
+	return node.Leave(leaveCtx)
+}

@@ -1,0 +1,15 @@
+package main
+
+import "testing"
+
+func TestRunValidation(t *testing.T) {
+	if err := run([]string{"-transport", "carrier-pigeon"}); err == nil {
+		t.Error("unknown transport should error")
+	}
+	if err := run([]string{"-listen", "definitely:not:an:address"}); err == nil {
+		t.Error("bad listen address should error")
+	}
+	if err := run([]string{"-bogus-flag"}); err == nil {
+		t.Error("unknown flag should error")
+	}
+}

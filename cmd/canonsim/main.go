@@ -1,0 +1,212 @@
+// Command canonsim regenerates the tables and figures of the paper's
+// evaluation (Section 5), the ablations for Sections 2-4, and a programmatic
+// claim checklist.
+//
+// Usage:
+//
+//	canonsim [flags] <experiment>
+//
+// Experiments: fig3 fig4 fig5 fig6 fig7 fig8 fig9 (the paper's evaluation),
+// variants lookahead balance caching resilience churn groups live (ablations
+// and extensions), route (hop-by-hop explainer), verify (one PASS/FAIL line
+// per paper claim) and all. Sizes default to the paper's sweeps; use -sizes
+// and -n to scale down for a quick run, and -format csv|json for machine
+// output.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	canon "github.com/canon-dht/canon"
+
+	"github.com/canon-dht/canon/internal/experiments"
+	"github.com/canon-dht/canon/internal/metrics"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "canonsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("canonsim", flag.ContinueOnError)
+	var (
+		seed    = fs.Int64("seed", 1, "random seed")
+		fanout  = fs.Int("fanout", 10, "hierarchy fan-out")
+		zipf    = fs.Float64("zipf", 1.25, "zipf exponent for leaf sizes")
+		pairs   = fs.Int("pairs", 2000, "sampled route pairs per measurement")
+		n       = fs.Int("n", 32768, "network size for single-size experiments")
+		sizes   = fs.String("sizes", "", "comma-separated size sweep (default: paper's)")
+		levels  = fs.String("levels", "1,2,3,4,5", "comma-separated hierarchy depths")
+		sources = fs.Int("sources", 1000, "multicast sources (fig9)")
+		format  = fs.String("format", "text", "output format: text, csv or json")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: canonsim [flags] fig3|fig4|fig5|fig6|fig7|fig8|fig9|variants|lookahead|balance|caching|resilience|churn|groups|live|route|verify|all")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return fmt.Errorf("exactly one experiment expected")
+	}
+	cfg := experiments.Config{
+		Seed:         *seed,
+		Fanout:       *fanout,
+		ZipfExponent: *zipf,
+		RoutePairs:   *pairs,
+	}
+	sweep := experiments.DefaultSizes
+	if *sizes != "" {
+		var err error
+		sweep, err = parseInts(*sizes)
+		if err != nil {
+			return err
+		}
+	}
+	physSweep := experiments.DefaultPhysicalSizes
+	if *sizes != "" {
+		physSweep = sweep
+	}
+	lvls, err := parseInts(*levels)
+	if err != nil {
+		return err
+	}
+
+	show := func(tbl *metrics.Table, err error) error {
+		if err != nil {
+			return err
+		}
+		switch *format {
+		case "text":
+			fmt.Println(tbl.String())
+			return nil
+		case "csv":
+			return tbl.WriteCSV(os.Stdout)
+		case "json":
+			return tbl.WriteJSON(os.Stdout)
+		default:
+			return fmt.Errorf("unknown format %q", *format)
+		}
+	}
+
+	experimentsByName := map[string]func() error{
+		"fig3": func() error { t, err := experiments.Fig3(cfg, sweep, lvls); return show(t, err) },
+		"fig4": func() error { t, err := experiments.Fig4(cfg, *n, lvls); return show(t, err) },
+		"fig5": func() error { t, err := experiments.Fig5(cfg, sweep, lvls); return show(t, err) },
+		"fig6": func() error {
+			lat, str, err := experiments.Fig6(cfg, physSweep)
+			if err != nil {
+				return err
+			}
+			if err := show(lat, nil); err != nil {
+				return err
+			}
+			return show(str, nil)
+		},
+		"fig7":      func() error { t, err := experiments.Fig7(cfg, *n); return show(t, err) },
+		"fig8":      func() error { t, err := experiments.Fig8(cfg, *n); return show(t, err) },
+		"fig9":      func() error { t, err := experiments.Fig9(cfg, *n, *sources); return show(t, err) },
+		"variants":  func() error { t, err := experiments.Variants(cfg, *n, 3); return show(t, err) },
+		"lookahead": func() error { t, err := experiments.Lookahead(cfg, sweep, 1); return show(t, err) },
+		"balance":   func() error { t, err := experiments.Balance(cfg, sweep); return show(t, err) },
+		"caching":   func() error { t, err := experiments.Caching(cfg, *n, 64, 200, 20000); return show(t, err) },
+		"resilience": func() error {
+			t, err := experiments.Resilience(cfg, *n, 3, []float64{0.05, 0.1, 0.2, 0.3, 0.5})
+			return show(t, err)
+		},
+		"churn": func() error { t, err := experiments.Churn(cfg, sweep, 3); return show(t, err) },
+		"verify": func() error {
+			report, failures := experiments.Verify(cfg)
+			for _, line := range report {
+				fmt.Println(line)
+			}
+			if failures > 0 {
+				return fmt.Errorf("%d claim(s) failed to reproduce", failures)
+			}
+			fmt.Println("all paper claims reproduce")
+			return nil
+		},
+		"groups": func() error {
+			t, err := experiments.GroupSizes(cfg, *n, 16)
+			return show(t, err)
+		},
+		"live": func() error {
+			liveSizes := []int{32, 64, 128, 256}
+			if *sizes != "" {
+				liveSizes = sweep
+			}
+			t, err := experiments.Live(cfg, liveSizes, "org/dept")
+			return show(t, err)
+		},
+	}
+	name := fs.Arg(0)
+	if name == "route" {
+		return showRoute(cfg, *n, lvls[len(lvls)-1])
+	}
+	if name == "all" {
+		for _, key := range []string{"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "variants", "lookahead", "balance", "caching", "resilience", "churn", "groups", "live"} {
+			if err := experimentsByName[key](); err != nil {
+				return fmt.Errorf("%s: %w", key, err)
+			}
+		}
+		return nil
+	}
+	fn, ok := experimentsByName[name]
+	if !ok {
+		fs.Usage()
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+	return fn()
+}
+
+// showRoute builds one Crescendo network and walks a random route hop by
+// hop, printing each node's identifier and domain — a routing explainer.
+func showRoute(cfg experiments.Config, n, levels int) error {
+	tree, err := canon.BalancedHierarchy(levels, cfg.Fanout)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	placement := canon.AssignZipf(rng, tree, n, cfg.ZipfExponent)
+	nw, err := canon.Build(tree, placement, canon.Options{Seed: cfg.Seed})
+	if err != nil {
+		return err
+	}
+	from, to := rng.Intn(nw.Len()), rng.Intn(nw.Len())
+	r := nw.RouteToNode(from, to)
+	fmt.Printf("route from node %d (%s) to node %d (%s): %d hops\n\n",
+		nw.NodeID(from), nw.NodeDomain(from).Path(),
+		nw.NodeID(to), nw.NodeDomain(to).Path(), r.Hops())
+	depths := nw.PathDomains(r)
+	for i, hop := range r.Nodes {
+		marker := ""
+		if i > 0 && depths[i-1] < levels-1 {
+			marker = fmt.Sprintf("  (crossed a level-%d boundary)", depths[i-1]+1)
+		}
+		fmt.Printf("  %2d. node %12d in %-24s%s\n", i, nw.NodeID(hop), nw.NodeDomain(hop).Path(), marker)
+	}
+	return nil
+}
+
+func parseInts(csv string) ([]int, error) {
+	parts := strings.Split(csv, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q: %w", p, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestParseInts(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    []int
+		wantErr bool
+	}{
+		{in: "1,2,3", want: []int{1, 2, 3}},
+		{in: " 10 , 20 ", want: []int{10, 20}},
+		{in: "7", want: []int{7}},
+		{in: "a,b", wantErr: true},
+		{in: "", wantErr: true},
+	}
+	for _, tt := range tests {
+		got, err := parseInts(tt.in)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("parseInts(%q) error = %v, wantErr %v", tt.in, err, tt.wantErr)
+			continue
+		}
+		if err != nil {
+			continue
+		}
+		if len(got) != len(tt.want) {
+			t.Errorf("parseInts(%q) = %v, want %v", tt.in, got, tt.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tt.want[i] {
+				t.Errorf("parseInts(%q)[%d] = %d, want %d", tt.in, i, got[i], tt.want[i])
+			}
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Error("no experiment should error")
+	}
+	if err := run([]string{"nonsense"}); err == nil {
+		t.Error("unknown experiment should error")
+	}
+	if err := run([]string{"-sizes", "x", "fig3"}); err == nil {
+		t.Error("bad sizes should error")
+	}
+	if err := run([]string{"-levels", "y", "fig3"}); err == nil {
+		t.Error("bad levels should error")
+	}
+}
+
+func TestRunTinyExperiments(t *testing.T) {
+	// Exercise a representative subset end to end at tiny scale; output goes
+	// to stdout, which `go test` captures.
+	cases := [][]string{
+		{"-sizes", "256", "-levels", "1,2", "-pairs", "50", "fig3"},
+		{"-sizes", "256", "-levels", "1,2", "-pairs", "50", "-n", "256", "fig4"},
+		{"-sizes", "256", "-levels", "1,2", "-pairs", "50", "fig5"},
+		{"-sizes", "256", "-pairs", "50", "lookahead"},
+		{"-sizes", "256", "-pairs", "50", "balance"},
+		{"-n", "256", "-pairs", "50", "-fanout", "4", "variants"},
+		{"-n", "512", "-pairs", "50", "-fanout", "4", "resilience"},
+	}
+	for _, args := range cases {
+		if err := run(args); err != nil {
+			t.Errorf("run(%v): %v", args, err)
+		}
+	}
+}
+
+func TestRunFormats(t *testing.T) {
+	for _, format := range []string{"text", "csv", "json"} {
+		if err := run([]string{"-sizes", "128", "-levels", "1", "-pairs", "20", "-format", format, "fig3"}); err != nil {
+			t.Errorf("format %s: %v", format, err)
+		}
+	}
+	if err := run([]string{"-sizes", "128", "-levels", "1", "-pairs", "20", "-format", "xml", "fig3"}); err == nil {
+		t.Error("unknown format should error")
+	}
+}

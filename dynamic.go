@@ -1,0 +1,43 @@
+package canon
+
+import (
+	"github.com/canon-dht/canon/internal/dynamic"
+	"github.com/canon-dht/canon/internal/workload"
+)
+
+// Dynamic-maintenance and workload aliases: the incremental join/leave
+// simulator of Section 2.3 and the synthetic workload generators experiments
+// are built from.
+type (
+	// DynamicNetwork is a dynamically maintained Crescendo network: nodes
+	// join and leave one at a time with incremental link repair, and every
+	// maintenance message is counted. Its link state is always identical to
+	// a from-scratch Build over the same membership.
+	DynamicNetwork = dynamic.Network
+	// ChurnOp is one membership event emitted by a ChurnTrace.
+	ChurnOp = workload.ChurnOp
+	// ChurnTrace generates reproducible join/leave sequences.
+	ChurnTrace = workload.ChurnTrace
+	// ZipfKeys is a key catalogue with Zipf popularity.
+	ZipfKeys = workload.ZipfKeys
+)
+
+// Dynamic-network errors.
+var (
+	// ErrDynamicDuplicate is returned when a joining identifier exists.
+	ErrDynamicDuplicate = dynamic.ErrDuplicate
+	// ErrDynamicUnknown is returned when an identifier is not a member.
+	ErrDynamicUnknown = dynamic.ErrUnknown
+)
+
+// NewDynamicNetwork returns an empty incremental Crescendo network over the
+// default identifier space and the given hierarchy.
+func NewDynamicNetwork(tree *Hierarchy) *DynamicNetwork {
+	return dynamic.New(DefaultSpace(), tree)
+}
+
+// NewChurnTrace returns a generator emitting joins with probability joinP
+// (leaves otherwise) over the given leaf domains.
+func NewChurnTrace(leaves []*Domain, joinP float64) (*ChurnTrace, error) {
+	return workload.NewChurnTrace(DefaultSpace(), leaves, joinP)
+}

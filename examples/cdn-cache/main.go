@@ -1,0 +1,89 @@
+// CDN-style caching: popular global content queried with locality of access
+// gets cached at the proxy node of every domain on the query path (Section
+// 4.2). The example measures hop costs cold vs warm and shows level
+// annotations driving the replacement policy.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+
+	canon "github.com/canon-dht/canon"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "cdn-cache:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// A 3-level hierarchy: regions / sites / racks.
+	tree, err := canon.BalancedHierarchy(4, 4)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(3))
+	leaves := canon.AssignUniform(rng, tree, 2048)
+	nw, err := canon.Build(tree, leaves, canon.Options{Seed: 13})
+	if err != nil {
+		return err
+	}
+	st := nw.NewStore()
+	cacheLayer := nw.NewCache(st, 64, canon.CachePolicyLevelAware)
+
+	// Publish 50 popular objects, stored anywhere in the system.
+	keys := make([]canon.ID, 50)
+	for i := range keys {
+		keys[i] = nw.HashKey(fmt.Sprintf("video-%03d", i))
+		if _, err := st.Put(rng.Intn(nw.Len()), keys[i], []byte("mpeg-bits"), nil, nil); err != nil {
+			return err
+		}
+	}
+
+	// All queries come from one region (a level-1 domain), with Zipf-like
+	// popularity — the locality of access the paper's caching exploits.
+	region := tree.Root().ChildAt(0)
+	clients := nw.NodesIn(region)
+	fmt.Printf("region %q has %d client nodes\n", region.Path(), len(clients))
+
+	var coldHops, warmHops, hits, queries float64
+	const rounds = 3000
+	for i := 0; i < rounds; i++ {
+		client := clients[rng.Intn(len(clients))]
+		key := keys[int(float64(len(keys))*rng.Float64()*rng.Float64())]
+		res := cacheLayer.Get(client, key)
+		if !res.Found {
+			return fmt.Errorf("lost object %d", key)
+		}
+		if i < rounds/10 {
+			coldHops += float64(res.Hops)
+		} else {
+			warmHops += float64(res.Hops)
+		}
+		if res.CacheHit {
+			hits++
+		}
+		queries++
+	}
+	hitRate, _ := cacheLayer.Stats()
+	fmt.Printf("\nafter %d queries: %.0f cache hits (%.1f%%)\n",
+		rounds, float64(hitRate), 100*hits/queries)
+	fmt.Printf("avg hops cold (first 10%%): %.2f\n", coldHops/(rounds/10))
+	fmt.Printf("avg hops warm (rest):      %.2f\n", warmHops/(rounds-rounds/10))
+
+	// Show where one object is cached and at which levels.
+	key := keys[0]
+	fmt.Printf("\ncache placement for %q:\n", "video-000")
+	count := 0
+	for node := 0; node < nw.Len() && count < 8; node++ {
+		if level, ok := cacheLayer.Contains(node, key); ok {
+			fmt.Printf("  node %10d in %-20q level=%d\n",
+				nw.NodeID(node), nw.NodeDomain(node).Path(), level)
+			count++
+		}
+	}
+	return nil
+}

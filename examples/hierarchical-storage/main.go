@@ -1,0 +1,114 @@
+// Hierarchical storage: a campus file store where content can be pinned to
+// a department (storage domain) while remaining visible campus-wide (access
+// domain), per Section 4 of the paper. Demonstrates local retrieval that
+// never leaves the domain, pointer indirection, and access control.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+
+	canon "github.com/canon-dht/canon"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "hierarchical-storage:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	tree := canon.NewHierarchy()
+	departments := []string{"campus/cs", "campus/ee", "campus/bio", "offsite/partner"}
+	var leaves []*canon.Domain
+	for _, path := range departments {
+		d, err := tree.EnsurePath(path)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < 50; i++ {
+			leaves = append(leaves, d)
+		}
+	}
+	nw, err := canon.Build(tree, leaves, canon.Options{Seed: 11})
+	if err != nil {
+		return err
+	}
+	st := nw.NewStore()
+	rng := rand.New(rand.NewSource(2))
+
+	cs, _ := tree.Lookup("campus/cs")
+	campus, _ := tree.Lookup("campus")
+	csNodes := nw.NodesIn(cs)
+	author := csNodes[rng.Intn(len(csNodes))]
+
+	// 1. A CS-only dataset: stored and visible only within campus/cs.
+	dataset := nw.HashKey("cs/private-dataset.tar")
+	if _, err := st.Put(author, dataset, []byte("raw measurements"), cs, cs); err != nil {
+		return err
+	}
+	// 2. A campus-wide paper: stored in CS, readable by the whole campus.
+	paper := nw.HashKey("cs/tech-report-42.pdf")
+	holder, err := st.Put(author, paper, []byte("canon in g major"), cs, campus)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("tech report stored at node %d in %q, visible in %q\n",
+		nw.NodeID(holder), nw.NodeDomain(holder).Path(), campus.Path())
+	// 3. A public announcement: global storage and access.
+	announce := nw.HashKey("campus/announcement")
+	if _, err := st.Put(author, announce, []byte("colloquium friday"), nil, nil); err != nil {
+		return err
+	}
+
+	// CS reader: finds the dataset without leaving the department.
+	reader := csNodes[rng.Intn(len(csNodes))]
+	res := st.Get(reader, dataset)
+	fmt.Printf("\nCS reader fetches dataset: found=%v hops=%d; path stayed in %q: %v\n",
+		res.Found, res.Hops, cs.Path(), pathInside(nw, res.Path[:res.Hops+1], cs))
+
+	// EE reader: the paper is visible (through a pointer if needed), the
+	// dataset is not.
+	ee, _ := tree.Lookup("campus/ee")
+	eeNodes := nw.NodesIn(ee)
+	eeReader := eeNodes[rng.Intn(len(eeNodes))]
+	paperRes := st.Get(eeReader, paper)
+	fmt.Printf("\nEE reader fetches tech report: found=%v (indirect=%v, value=%q)\n",
+		paperRes.Found, paperRes.Indirect, paperRes.Value)
+	dsRes := st.Get(eeReader, dataset)
+	fmt.Printf("EE reader fetches CS-only dataset: found=%v (access control)\n", dsRes.Found)
+
+	// Off-site partner: only global content is visible.
+	offsite, _ := tree.Lookup("offsite/partner")
+	partner := nw.NodesIn(offsite)[0]
+	fmt.Printf("\npartner fetches tech report: found=%v\n", st.Get(partner, paper).Found)
+	fmt.Printf("partner fetches announcement: found=%v value=%q\n",
+		st.Get(partner, announce).Found, st.Get(partner, announce).Value)
+
+	// Multi-value keys: each department publishes under one "directory" key.
+	directory := nw.HashKey("campus/directory")
+	for _, path := range departments[:3] {
+		d, _ := tree.Lookup(path)
+		member := nw.NodesIn(d)[0]
+		if _, err := st.Put(member, directory, []byte(path), d, nil); err != nil {
+			return err
+		}
+	}
+	all := st.GetAll(partner, directory, 0)
+	fmt.Printf("\ndirectory entries visible to the partner: %d\n", len(all))
+	for _, entry := range all {
+		fmt.Printf("  %s (answered by node %d)\n", entry.Value, nw.NodeID(entry.Node))
+	}
+	return nil
+}
+
+func pathInside(nw *canon.Network, path []int, d *canon.Domain) bool {
+	for _, hop := range path {
+		if !d.IsAncestorOf(nw.NodeDomain(hop)) {
+			return false
+		}
+	}
+	return true
+}

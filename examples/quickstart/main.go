@@ -1,0 +1,102 @@
+// Quickstart: build a three-level Crescendo network, route some queries,
+// and observe the two structural properties the paper proves — intra-domain
+// path locality and inter-domain path convergence.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+
+	canon "github.com/canon-dht/canon"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// A hierarchy mirroring a real-world organization.
+	tree := canon.NewHierarchy()
+	var leaves []*canon.Domain
+	for _, path := range []string{"stanford/cs/db", "stanford/cs/ai", "stanford/ee", "mit/csail", "mit/media"} {
+		d, err := tree.EnsurePath(path)
+		if err != nil {
+			return err
+		}
+		// 40 nodes per department.
+		for i := 0; i < 40; i++ {
+			leaves = append(leaves, d)
+		}
+	}
+
+	// Build Crescendo (Canonical Chord) over it.
+	nw, err := canon.Build(tree, leaves, canon.Options{Kind: canon.Chord, Seed: 7})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("built %s with %d nodes; average degree %.2f (log2 n = %.2f)\n",
+		canon.Chord.CanonicalName(), nw.Len(), nw.AvgDegree(), log2(nw.Len()))
+
+	rng := rand.New(rand.NewSource(1))
+
+	// Route between two random nodes and show the path with domains.
+	from, to := rng.Intn(nw.Len()), rng.Intn(nw.Len())
+	route := nw.RouteToNode(from, to)
+	fmt.Printf("\nroute from %q to %q in %d hops:\n",
+		nw.NodeDomain(from).Path(), nw.NodeDomain(to).Path(), route.Hops())
+	for _, hop := range route.Nodes {
+		fmt.Printf("  node %10d  in %s\n", nw.NodeID(hop), nw.NodeDomain(hop).Path())
+	}
+
+	// Intra-domain locality: a route between two stanford/cs nodes never
+	// leaves stanford/cs.
+	cs, _ := tree.Lookup("stanford/cs")
+	members := nw.NodesIn(cs)
+	a, b := members[rng.Intn(len(members))], members[rng.Intn(len(members))]
+	local := nw.RouteToNode(a, b)
+	inside := true
+	for _, hop := range local.Nodes {
+		if !cs.IsAncestorOf(nw.NodeDomain(hop)) {
+			inside = false
+		}
+	}
+	fmt.Printf("\nintra-domain route across stanford/cs: %d hops, stayed inside: %v\n",
+		local.Hops(), inside)
+
+	// Inter-domain convergence: routes from several stanford nodes to the
+	// same outside key all exit stanford through one proxy node.
+	stanford, _ := tree.Lookup("stanford")
+	key := nw.HashKey("some-global-content")
+	proxy := nw.Proxy(stanford, key)
+	fmt.Printf("\nproxy for key %d in %q is node %d; exits observed:\n",
+		key, stanford.Path(), nw.NodeID(proxy))
+	stanfordNodes := nw.NodesIn(stanford)
+	for i := 0; i < 5; i++ {
+		src := stanfordNodes[rng.Intn(len(stanfordNodes))]
+		r := nw.RouteToKey(src, key)
+		exit := -1
+		for _, hop := range r.Nodes {
+			if stanford.IsAncestorOf(nw.NodeDomain(hop)) {
+				exit = hop
+			} else {
+				break
+			}
+		}
+		fmt.Printf("  from node %10d -> exit node %10d (proxy: %v)\n",
+			nw.NodeID(src), nw.NodeID(exit), exit == proxy)
+	}
+	return nil
+}
+
+func log2(n int) float64 {
+	v, r := float64(n), 0.0
+	for v > 1 {
+		v /= 2
+		r++
+	}
+	return r
+}

@@ -1,0 +1,3 @@
+module github.com/canon-dht/canon
+
+go 1.22

@@ -1,0 +1,73 @@
+// Package analysis encodes the paper's analytic results (Theorems 1-5) as
+// functions, so experiments and benchmarks can annotate measurements with
+// the bound they are supposed to respect:
+//
+//	Theorem 1: E[degree] of Chord      <= log2(n-1) + 1
+//	Theorem 2: E[degree] of Crescendo  <= log2(n-1) + min(l, log2 n)
+//	Theorem 3: degree of any Crescendo node is O(log n) w.h.p.
+//	Theorem 4: E[hops] of Chord        <= 0.5*log2(n-1) + 0.5
+//	Theorem 5: E[hops] of Crescendo    <= log2(n-1) + 1
+package analysis
+
+import "math"
+
+// ChordDegreeBound returns Theorem 1's bound on the expected out-degree of
+// a flat Chord node in an n-node ring (n > 1).
+func ChordDegreeBound(n int) float64 {
+	if n <= 1 {
+		return 0
+	}
+	if n == 2 {
+		return 1
+	}
+	return math.Log2(float64(n-1)) + 1
+}
+
+// CrescendoDegreeBound returns Theorem 2's bound on the expected out-degree
+// of a Crescendo node in an n-node network over a hierarchy with at most
+// `levels` levels.
+func CrescendoDegreeBound(n, levels int) float64 {
+	if n <= 1 {
+		return 0
+	}
+	extra := math.Min(float64(levels), math.Log2(float64(n)))
+	return math.Log2(float64(n-1)) + extra
+}
+
+// ChordHopsBound returns Theorem 4's bound on the expected routing hops
+// between two random nodes of a flat Chord ring.
+func ChordHopsBound(n int) float64 {
+	if n <= 1 {
+		return 0
+	}
+	return 0.5*math.Log2(float64(n-1)) + 0.5
+}
+
+// CrescendoHopsBound returns Theorem 5's bound on the expected routing hops
+// in Crescendo, irrespective of the hierarchy's structure.
+func CrescendoHopsBound(n int) float64 {
+	if n <= 1 {
+		return 0
+	}
+	return math.Log2(float64(n-1)) + 1
+}
+
+// WHPDegreeCeiling returns a practical ceiling for Theorem 3's "O(log n)
+// with high probability" claim with the given constant factor: nodes above
+// factor*log2(n) links should essentially never occur.
+func WHPDegreeCeiling(n int, factor float64) float64 {
+	if n <= 1 {
+		return 0
+	}
+	return factor * math.Log2(float64(n))
+}
+
+// JoinMessagesBound returns the paper's O(log n) bound on the messages
+// required for a node insertion, with the given constant factor: the join
+// lookup, the new node's link setups and the eager repairs together.
+func JoinMessagesBound(n int, factor float64) float64 {
+	if n <= 1 {
+		return 0
+	}
+	return factor * math.Log2(float64(n))
+}

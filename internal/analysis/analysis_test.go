@@ -1,0 +1,100 @@
+package analysis_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/canon-dht/canon/internal/analysis"
+	"github.com/canon-dht/canon/internal/chord"
+	"github.com/canon-dht/canon/internal/core"
+	"github.com/canon-dht/canon/internal/hierarchy"
+	"github.com/canon-dht/canon/internal/id"
+)
+
+func TestBoundValues(t *testing.T) {
+	tests := []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		{"chord degree n=1025", analysis.ChordDegreeBound(1025), 11},
+		{"chord degree n=2", analysis.ChordDegreeBound(2), 1},
+		{"chord hops n=1025", analysis.ChordHopsBound(1025), 5.5},
+		{"crescendo hops n=1025", analysis.CrescendoHopsBound(1025), 11},
+		{"crescendo degree n=1024 l=3", analysis.CrescendoDegreeBound(1024, 3), math.Log2(1023) + 3},
+		{"crescendo degree n=4 l=10", analysis.CrescendoDegreeBound(4, 10), math.Log2(3) + 2},
+		{"whp ceiling", analysis.WHPDegreeCeiling(1024, 4), 40},
+		{"join messages", analysis.JoinMessagesBound(1024, 5), 50},
+	}
+	for _, tt := range tests {
+		if math.Abs(tt.got-tt.want) > 1e-9 {
+			t.Errorf("%s = %v, want %v", tt.name, tt.got, tt.want)
+		}
+	}
+	// Degenerate inputs.
+	for _, v := range []float64{
+		analysis.ChordDegreeBound(1), analysis.ChordHopsBound(0),
+		analysis.CrescendoDegreeBound(1, 3), analysis.CrescendoHopsBound(1),
+		analysis.WHPDegreeCeiling(1, 4), analysis.JoinMessagesBound(0, 5),
+	} {
+		if v != 0 {
+			t.Errorf("degenerate input should yield 0, got %v", v)
+		}
+	}
+}
+
+// TestBoundsHoldEmpirically ties the formulas back to built networks: the
+// same check the per-package theorem tests make, driven through the
+// analysis package.
+func TestBoundsHoldEmpirically(t *testing.T) {
+	const n = 1024
+	space := id.DefaultSpace()
+	for _, levels := range []int{1, 3} {
+		rng := rand.New(rand.NewSource(7))
+		tree, err := hierarchy.Balanced(levels, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		leaves := hierarchy.AssignZipf(rng, tree, n, 1.25)
+		pop, err := core.RandomPopulation(rng, space, tree, leaves)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nw := core.Build(pop, chord.NewDeterministic(space), nil)
+
+		var degBound float64
+		if levels == 1 {
+			degBound = analysis.ChordDegreeBound(n)
+		} else {
+			degBound = analysis.CrescendoDegreeBound(n, levels)
+		}
+		if avg := nw.AvgDegree(); avg > degBound {
+			t.Errorf("levels=%d: avg degree %.3f exceeds bound %.3f", levels, avg, degBound)
+		}
+
+		var hops float64
+		const pairs = 3000
+		rrng := rand.New(rand.NewSource(8))
+		for i := 0; i < pairs; i++ {
+			r := nw.RouteToNode(rrng.Intn(n), rrng.Intn(n))
+			hops += float64(r.Hops())
+		}
+		avgHops := hops / pairs
+		var hopsBound float64
+		if levels == 1 {
+			hopsBound = analysis.ChordHopsBound(n)
+		} else {
+			hopsBound = analysis.CrescendoHopsBound(n)
+		}
+		if avgHops > hopsBound {
+			t.Errorf("levels=%d: avg hops %.3f exceeds bound %.3f", levels, avgHops, hopsBound)
+		}
+		// Theorem 3 ceiling.
+		for i := 0; i < n; i++ {
+			if float64(nw.Degree(i)) > analysis.WHPDegreeCeiling(n, 4) {
+				t.Errorf("levels=%d: node %d degree %d above w.h.p. ceiling", levels, i, nw.Degree(i))
+			}
+		}
+	}
+}

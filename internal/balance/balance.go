@@ -1,0 +1,255 @@
+// Package balance implements the partition-balancing identifier selection of
+// Section 4.3. Random ID choice leaves a Theta(log^2 n) ratio between the
+// largest and smallest partition; the bisection scheme — join at a random
+// point, then bisect the largest partition among the nodes sharing a B-bit
+// prefix with the point's owner — reduces the ratio to a small constant
+// while keeping joins at O(log n) messages. A hierarchical variant
+// additionally spreads the nodes of every domain across the identifier
+// space by balancing the top bits of new IDs within the joiner's domain.
+package balance
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+
+	"github.com/canon-dht/canon/internal/hierarchy"
+	"github.com/canon-dht/canon/internal/id"
+)
+
+// ErrSpaceExhausted is returned when no further identifier can be assigned.
+var ErrSpaceExhausted = errors.New("balance: identifier space exhausted")
+
+// PartitionRatio returns the ratio of the largest to the smallest partition
+// induced by the given identifiers on the ring: partition of a node = the
+// clockwise gap from its ID to the next. It returns 0 for fewer than 2 ids.
+func PartitionRatio(space id.Space, ids []id.ID) float64 {
+	if len(ids) < 2 {
+		return 0
+	}
+	sorted := make([]id.ID, len(ids))
+	copy(sorted, ids)
+	id.SortIDs(sorted)
+	minGap, maxGap := space.Size(), uint64(0)
+	for i := range sorted {
+		next := sorted[(i+1)%len(sorted)]
+		gap := space.Clockwise(sorted[i], next)
+		if gap == 0 {
+			gap = space.Size() // single distinct id: whole ring
+		}
+		if gap < minGap {
+			minGap = gap
+		}
+		if gap > maxGap {
+			maxGap = gap
+		}
+	}
+	return float64(maxGap) / float64(minGap)
+}
+
+// Bisector assigns identifiers with the bisection scheme.
+type Bisector struct {
+	space id.Space
+	ids   []id.ID // sorted
+}
+
+// NewBisector returns an empty bisector over space.
+func NewBisector(space id.Space) *Bisector {
+	return &Bisector{space: space}
+}
+
+// Len returns the number of identifiers assigned so far.
+func (b *Bisector) Len() int { return len(b.ids) }
+
+// IDs returns a copy of the assigned identifiers in ascending order.
+func (b *Bisector) IDs() []id.ID {
+	out := make([]id.ID, len(b.ids))
+	copy(out, b.ids)
+	return out
+}
+
+// prefixBits returns B, chosen so only a logarithmic number of nodes share a
+// B-bit prefix.
+func (b *Bisector) prefixBits() uint {
+	n := len(b.ids)
+	if n < 4 {
+		return 0
+	}
+	logn := math.Log2(float64(n))
+	bBits := uint(math.Floor(math.Log2(float64(n) / logn)))
+	if bBits > b.space.Bits() {
+		bBits = b.space.Bits()
+	}
+	return bBits
+}
+
+// Join assigns the next identifier: a random point selects an owner, and the
+// largest partition among the nodes sharing the owner's B-bit prefix is
+// bisected; the bisection point becomes the new identifier.
+func (b *Bisector) Join(rng *rand.Rand) (id.ID, error) {
+	if len(b.ids) == 0 {
+		v := b.space.Random(rng)
+		b.ids = append(b.ids, v)
+		return v, nil
+	}
+	r := b.space.Random(rng)
+	ownerIdx := b.ownerIndex(r)
+	bBits := b.prefixBits()
+	prefix := b.space.Prefix(b.ids[ownerIdx], bBits)
+
+	// Scan the nodes sharing the prefix for the largest partition.
+	loID, hiID := b.space.PrefixRange(prefix, bBits)
+	lo := sort.Search(len(b.ids), func(i int) bool { return b.ids[i] >= loID })
+	hi := sort.Search(len(b.ids), func(i int) bool { return b.ids[i] > hiID })
+	bestIdx, bestGap := -1, uint64(0)
+	for i := lo; i < hi; i++ {
+		next := b.ids[(i+1)%len(b.ids)]
+		gap := b.space.Clockwise(b.ids[i], next)
+		if len(b.ids) == 1 {
+			gap = b.space.Size()
+		}
+		if gap > bestGap {
+			bestIdx, bestGap = i, gap
+		}
+	}
+	if bestIdx < 0 || bestGap < 2 {
+		return 0, ErrSpaceExhausted
+	}
+	v := b.space.Add(b.ids[bestIdx], bestGap/2)
+	b.insert(v)
+	return v, nil
+}
+
+func (b *Bisector) ownerIndex(k id.ID) int {
+	i := sort.Search(len(b.ids), func(x int) bool { return b.ids[x] > k })
+	if i == 0 {
+		return len(b.ids) - 1
+	}
+	return i - 1
+}
+
+func (b *Bisector) insert(v id.ID) {
+	i := sort.Search(len(b.ids), func(x int) bool { return b.ids[x] >= v })
+	b.ids = append(b.ids, 0)
+	copy(b.ids[i+1:], b.ids[i:])
+	b.ids[i] = v
+}
+
+// Hierarchical assigns identifiers so that the hash space is evenly
+// partitioned at every level of the hierarchy: a joiner first picks the top
+// bits of its ID to be maximally far from the other nodes of its domain
+// (balancing the domain's prefix tree), then bisects the largest global
+// partition inside the chosen top-bit bucket. The top-bit balancing in the
+// lowest-level domains provides balance through the hierarchy, and the
+// bisection keeps the global ratio constant.
+type Hierarchical struct {
+	space   id.Space
+	topBits uint
+	// perDomain counts, for every domain and prefix, how many domain
+	// members' IDs start with that prefix.
+	perDomain map[int]map[prefixKey]int
+	ids       []id.ID // global sorted identifiers
+}
+
+// prefixKey distinguishes prefixes of different lengths whose right-aligned
+// values coincide (e.g. "01" and "1").
+type prefixKey struct {
+	plen uint
+	val  uint64
+}
+
+// NewHierarchical returns a selector that balances the top topBits bits of
+// new identifiers within every domain on the joiner's chain. The paper notes
+// log log n bits suffice; 4-6 is typical for the network sizes evaluated.
+func NewHierarchical(space id.Space, topBits uint) *Hierarchical {
+	if topBits > space.Bits() {
+		topBits = space.Bits()
+	}
+	return &Hierarchical{
+		space:     space,
+		topBits:   topBits,
+		perDomain: make(map[int]map[prefixKey]int),
+	}
+}
+
+// Join assigns an identifier for a node whose lowest-level domain is leaf,
+// choosing each of the top bits to keep the leaf domain's members spread
+// evenly and then bisecting the largest global partition within the chosen
+// bucket. The choice is registered on the whole domain chain.
+func (h *Hierarchical) Join(rng *rand.Rand, leaf *hierarchy.Domain) (id.ID, error) {
+	counts := h.perDomain[leaf.ID()]
+	var prefix uint64
+	for bit := uint(0); bit < h.topBits; bit++ {
+		zero := counts[prefixKey{plen: bit + 1, val: prefix << 1}]
+		one := counts[prefixKey{plen: bit + 1, val: prefix<<1 | 1}]
+		switch {
+		case zero < one:
+			prefix = prefix << 1
+		case one < zero:
+			prefix = prefix<<1 | 1
+		default:
+			prefix = prefix<<1 | uint64(rng.Intn(2))
+		}
+	}
+	v, err := h.bisectInBucket(prefix)
+	if err != nil {
+		return 0, err
+	}
+	h.register(leaf, v)
+	h.insert(v)
+	return v, nil
+}
+
+// bisectInBucket returns the midpoint of the largest gap between global
+// identifiers inside the top-bit bucket, clipped at the bucket boundaries.
+func (h *Hierarchical) bisectInBucket(prefix uint64) (id.ID, error) {
+	loID, hiID := h.space.PrefixRange(prefix, h.topBits)
+	lo := sort.Search(len(h.ids), func(i int) bool { return h.ids[i] >= loID })
+	hi := sort.Search(len(h.ids), func(i int) bool { return h.ids[i] > hiID })
+	if lo == hi {
+		// Empty bucket: take its midpoint.
+		return h.space.Add(loID, (uint64(hiID)-uint64(loID))/2), nil
+	}
+	// Gaps: [loID, first), between consecutive ids, and [last, hiID].
+	bestStart, bestGap := uint64(loID), uint64(h.ids[lo])-uint64(loID)
+	for i := lo; i < hi-1; i++ {
+		if gap := uint64(h.ids[i+1]) - uint64(h.ids[i]); gap > bestGap {
+			bestStart, bestGap = uint64(h.ids[i]), gap
+		}
+	}
+	if gap := uint64(hiID) - uint64(h.ids[hi-1]) + 1; gap > bestGap {
+		bestStart, bestGap = uint64(h.ids[hi-1]), gap
+	}
+	if bestGap < 2 {
+		return 0, ErrSpaceExhausted
+	}
+	return h.space.Wrap(bestStart + bestGap/2), nil
+}
+
+func (h *Hierarchical) insert(v id.ID) {
+	i := sort.Search(len(h.ids), func(x int) bool { return h.ids[x] >= v })
+	h.ids = append(h.ids, 0)
+	copy(h.ids[i+1:], h.ids[i:])
+	h.ids[i] = v
+}
+
+// register updates the prefix counts of every domain on the leaf's chain.
+func (h *Hierarchical) register(leaf *hierarchy.Domain, v id.ID) {
+	for d := leaf; d != nil; d = d.Parent() {
+		counts := h.perDomain[d.ID()]
+		if counts == nil {
+			counts = make(map[prefixKey]int)
+			h.perDomain[d.ID()] = counts
+		}
+		for plen := uint(1); plen <= h.topBits; plen++ {
+			counts[prefixKey{plen: plen, val: h.space.Prefix(v, plen)}]++
+		}
+	}
+}
+
+// RandomIDs draws n identifiers uniformly at random — the baseline whose
+// partition ratio is Theta(log^2 n).
+func RandomIDs(rng *rand.Rand, space id.Space, n int) ([]id.ID, error) {
+	return space.UniqueRandom(rng, n)
+}

@@ -1,0 +1,230 @@
+// Package cache implements the hierarchical query-answer caching of
+// Section 4.2. The convergence of inter-domain paths means that, in every
+// domain D, all queries for the same key exit D through a single proxy node;
+// answers are therefore cached at the proxy of each domain on the querying
+// node's chain, annotated with the domain's level. Because a cached copy
+// lost at a deep (large-numbered) level is likely to be re-found one level
+// up, the level-aware replacement policy preferentially evicts entries with
+// larger level numbers — the package also offers plain LRU for comparison.
+package cache
+
+import (
+	"github.com/canon-dht/canon/internal/core"
+	"github.com/canon-dht/canon/internal/hierarchy"
+	"github.com/canon-dht/canon/internal/id"
+	"github.com/canon-dht/canon/internal/storage"
+)
+
+// Policy selects the cache replacement policy.
+type Policy int
+
+const (
+	// PolicyLevelAware evicts the entry with the deepest level annotation
+	// first (ties broken by least recent use), the paper's proposal.
+	PolicyLevelAware Policy = iota + 1
+	// PolicyLRU evicts the least recently used entry, the baseline.
+	PolicyLRU
+	// PolicyCoordinated extends PolicyLevelAware with the paper's
+	// coordinated variant: caches at different levels interact, so an entry
+	// whose key is also cached at the next-higher-level proxy is evicted
+	// first — the content stays findable one level up.
+	PolicyCoordinated
+)
+
+// entry is one cached answer.
+type entry struct {
+	key      id.ID
+	value    []byte
+	level    int // depth of the domain this node proxies for the key
+	lastUsed int64
+}
+
+// Cache layers per-node answer caches over a store.
+type Cache struct {
+	st       *storage.Store
+	nw       *core.Network
+	policy   Policy
+	capacity int
+	nodes    []map[id.ID]*entry
+	clock    int64
+
+	// Stats.
+	hits   int64
+	misses int64
+}
+
+// New returns a cache over st where every node can hold up to capacity
+// answers, replaced according to policy.
+func New(st *storage.Store, capacity int, policy Policy) *Cache {
+	nw := st.Network()
+	return &Cache{
+		st:       st,
+		nw:       nw,
+		policy:   policy,
+		capacity: capacity,
+		nodes:    make([]map[id.ID]*entry, nw.Len()),
+	}
+}
+
+// Result describes a cached-path lookup.
+type Result struct {
+	// Found reports whether a value was located (cached or stored).
+	Found bool
+	// Value is the answer.
+	Value []byte
+	// Hops is the number of routing hops until the answer.
+	Hops int
+	// CacheHit reports whether the answer came from a cache.
+	CacheHit bool
+	// HitLevel is the level annotation of the cache entry on a hit.
+	HitLevel int
+	// Path is the route walked, ending at the answering node.
+	Path []int
+}
+
+// Get answers the query for key from origin, consulting caches along the
+// hierarchical route before falling back to stored content, then populates
+// the proxy caches of every domain level between origin and the answer.
+func (c *Cache) Get(origin int, key id.ID) Result {
+	c.clock++
+	route := c.nw.RouteToKey(origin, key)
+
+	var res Result
+	for idx, node := range route.Nodes {
+		res.Path = append(res.Path, node)
+		if e, ok := c.nodes[node][key]; ok {
+			e.lastUsed = c.clock
+			res.Found, res.Value, res.Hops = true, e.value, idx
+			res.CacheHit, res.HitLevel = true, e.level
+			break
+		}
+	}
+	if !res.Found {
+		sres := c.st.Get(origin, key)
+		if !sres.Found {
+			c.misses++
+			return Result{Path: sres.Path, Hops: sres.Hops}
+		}
+		res.Found, res.Value, res.Hops = true, sres.Value, sres.Hops
+		res.Path = sres.Path
+		c.misses++
+	} else {
+		c.hits++
+	}
+	answerNode := res.Path[len(res.Path)-1]
+	c.populate(origin, answerNode, key, res.Value)
+	return res
+}
+
+// populate caches the answer at the proxy node of every domain on origin's
+// chain strictly below the lowest common ancestor of origin and the answer
+// node, annotating each copy with the domain's level. If one node proxies
+// several levels it keeps the smallest (highest) level.
+func (c *Cache) populate(origin, answerNode int, key id.ID, value []byte) {
+	pop := c.nw.Population()
+	lca := hierarchy.LCA(pop.LeafOf(origin), pop.LeafOf(answerNode))
+	for d := pop.LeafOf(origin); d != nil && d.Depth() > lca.Depth(); d = d.Parent() {
+		proxy := c.nw.Proxy(d, key)
+		if proxy < 0 || proxy == answerNode {
+			continue
+		}
+		c.insert(proxy, key, value, d.Depth())
+	}
+}
+
+func (c *Cache) insert(node int, key id.ID, value []byte, level int) {
+	if c.capacity <= 0 {
+		return
+	}
+	if c.nodes[node] == nil {
+		c.nodes[node] = make(map[id.ID]*entry, c.capacity)
+	}
+	if e, ok := c.nodes[node][key]; ok {
+		if level < e.level {
+			e.level = level
+		}
+		e.lastUsed = c.clock
+		e.value = value
+		return
+	}
+	if len(c.nodes[node]) >= c.capacity {
+		c.evict(node)
+	}
+	c.nodes[node][key] = &entry{key: key, value: value, level: level, lastUsed: c.clock}
+}
+
+// evict removes one entry from node's cache according to the policy.
+func (c *Cache) evict(node int) {
+	var victim *entry
+	victimCovered := false
+	for _, e := range c.nodes[node] {
+		if victim == nil {
+			victim = e
+			victimCovered = c.policy == PolicyCoordinated && c.coveredAbove(node, e)
+			continue
+		}
+		switch c.policy {
+		case PolicyCoordinated:
+			covered := c.coveredAbove(node, e)
+			better := false
+			switch {
+			case covered != victimCovered:
+				better = covered
+			case e.level != victim.level:
+				better = e.level > victim.level
+			default:
+				better = e.lastUsed < victim.lastUsed
+			}
+			if better {
+				victim, victimCovered = e, covered
+			}
+		case PolicyLevelAware:
+			if e.level > victim.level || (e.level == victim.level && e.lastUsed < victim.lastUsed) {
+				victim = e
+			}
+		default: // PolicyLRU
+			if e.lastUsed < victim.lastUsed {
+				victim = e
+			}
+		}
+	}
+	if victim != nil {
+		delete(c.nodes[node], victim.key)
+	}
+}
+
+// coveredAbove reports whether the entry's key is also cached at the proxy
+// of the next-higher-level domain (so evicting it here only costs one extra
+// level of routing). The entry's domain is the node's ancestor at the
+// entry's level, since a proxy is always a member of the domain it proxies.
+func (c *Cache) coveredAbove(node int, e *entry) bool {
+	if e.level == 0 {
+		return false
+	}
+	pop := c.nw.Population()
+	parent := pop.LeafOf(node).AncestorAt(e.level - 1)
+	if parent == nil {
+		return false
+	}
+	proxy := c.nw.Proxy(parent, e.key)
+	if proxy < 0 || proxy == node {
+		return false
+	}
+	_, ok := c.nodes[proxy][e.key]
+	return ok
+}
+
+// Contains reports whether node currently caches key, and at what level.
+func (c *Cache) Contains(node int, key id.ID) (level int, ok bool) {
+	e, found := c.nodes[node][key]
+	if !found {
+		return 0, false
+	}
+	return e.level, true
+}
+
+// Stats returns the number of cache hits and misses served so far.
+func (c *Cache) Stats() (hits, misses int64) { return c.hits, c.misses }
+
+// Size returns the number of entries cached at node.
+func (c *Cache) Size(node int) int { return len(c.nodes[node]) }

@@ -1,0 +1,261 @@
+package cache_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"github.com/canon-dht/canon/internal/cache"
+	"github.com/canon-dht/canon/internal/chord"
+	"github.com/canon-dht/canon/internal/core"
+	"github.com/canon-dht/canon/internal/hierarchy"
+	"github.com/canon-dht/canon/internal/id"
+	"github.com/canon-dht/canon/internal/storage"
+)
+
+type fixture struct {
+	nw   *core.Network
+	st   *storage.Store
+	tree *hierarchy.Tree
+	rng  *rand.Rand
+}
+
+func newFixture(t *testing.T, seed int64) *fixture {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	space := id.DefaultSpace()
+	tree, err := hierarchy.Balanced(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaves := hierarchy.AssignUniform(rng, tree, 512)
+	pop, err := core.RandomPopulation(rng, space, tree, leaves)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw := core.Build(pop, chord.NewDeterministic(space), rng)
+	return &fixture{nw: nw, st: storage.New(nw), tree: tree, rng: rng}
+}
+
+func (f *fixture) put(t *testing.T, origin int, key id.ID, val string) {
+	t.Helper()
+	if _, err := f.st.Put(origin, key, []byte(val), nil, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCacheHitOnRepeat(t *testing.T) {
+	f := newFixture(t, 1)
+	c := cache.New(f.st, 16, cache.PolicyLevelAware)
+	key := id.ID(0x1111)
+	f.put(t, 0, key, "v")
+
+	origin := f.rng.Intn(f.nw.Len())
+	r1 := c.Get(origin, key)
+	if !r1.Found || r1.CacheHit {
+		t.Fatalf("first get: %+v", r1)
+	}
+	// A second query from a node in the same leaf domain must hit the cache
+	// at or before the first query's cost.
+	leaf := f.nw.Population().LeafOf(origin)
+	ring := f.nw.RingOf(leaf)
+	second := ring.Member(f.rng.Intn(ring.Len()))
+	r2 := c.Get(second, key)
+	if !r2.Found || !bytes.Equal(r2.Value, []byte("v")) {
+		t.Fatalf("second get: %+v", r2)
+	}
+	if r1.Hops > 0 && !r2.CacheHit && second != r1.Path[len(r1.Path)-1] {
+		t.Errorf("same-domain repeat query did not hit cache: %+v", r2)
+	}
+	hits, misses := c.Stats()
+	if misses < 1 {
+		t.Errorf("stats: hits=%d misses=%d", hits, misses)
+	}
+}
+
+func TestCacheLevelsAnnotation(t *testing.T) {
+	f := newFixture(t, 2)
+	c := cache.New(f.st, 16, cache.PolicyLevelAware)
+	key := id.ID(0x2222)
+	f.put(t, 0, key, "v")
+	origin := f.rng.Intn(f.nw.Len())
+	res := c.Get(origin, key)
+	if !res.Found {
+		t.Fatal("get failed")
+	}
+	// The proxies of origin's domains below the LCA with the answer node
+	// must now cache the key with the right level annotation.
+	pop := f.nw.Population()
+	answer := res.Path[len(res.Path)-1]
+	lca := hierarchy.LCA(pop.LeafOf(origin), pop.LeafOf(answer))
+	for d := pop.LeafOf(origin); d != nil && d.Depth() > lca.Depth(); d = d.Parent() {
+		proxy := f.nw.Proxy(d, key)
+		if proxy == answer {
+			continue
+		}
+		level, ok := c.Contains(proxy, key)
+		if !ok {
+			t.Fatalf("proxy of %q does not cache the key", d.Path())
+		}
+		if level > d.Depth() {
+			t.Errorf("proxy of %q cached at level %d, want <= %d", d.Path(), level, d.Depth())
+		}
+	}
+}
+
+func TestLevelAwareEviction(t *testing.T) {
+	f := newFixture(t, 3)
+	c := cache.New(f.st, 2, cache.PolicyLevelAware)
+	// Fill a node's cache by direct insertion through queries is awkward;
+	// exercise eviction through the policy comparison below instead, and
+	// here just verify capacity is enforced.
+	for i := 0; i < 20; i++ {
+		key := f.nw.Population().Space().Random(f.rng)
+		f.put(t, 0, key, "x")
+		c.Get(f.rng.Intn(f.nw.Len()), key)
+	}
+	for n := 0; n < f.nw.Len(); n++ {
+		if c.Size(n) > 2 {
+			t.Fatalf("node %d cache size %d exceeds capacity", n, c.Size(n))
+		}
+	}
+}
+
+// TestLocalityImprovesHitRate: with domain-local repeat queries, the
+// hierarchical cache must serve most repeats from inside the domain.
+func TestLocalityImprovesHitRate(t *testing.T) {
+	f := newFixture(t, 4)
+	c := cache.New(f.st, 64, cache.PolicyLevelAware)
+	// 20 popular keys stored globally.
+	keys := make([]id.ID, 20)
+	for i := range keys {
+		keys[i] = f.nw.Population().Space().Random(f.rng)
+		f.put(t, 0, keys[i], "v")
+	}
+	// Queries come from one level-1 domain only.
+	d := f.tree.Root().ChildAt(0)
+	ring := f.nw.RingOf(d)
+	var coldHops, warmHops float64
+	const rounds = 200
+	for i := 0; i < rounds; i++ {
+		origin := ring.Member(f.rng.Intn(ring.Len()))
+		key := keys[f.rng.Intn(len(keys))]
+		res := c.Get(origin, key)
+		if !res.Found {
+			t.Fatal("query failed")
+		}
+		if i < 50 {
+			coldHops += float64(res.Hops)
+		} else {
+			warmHops += float64(res.Hops)
+		}
+	}
+	cold, warm := coldHops/50, warmHops/(rounds-50)
+	if warm >= cold {
+		t.Errorf("warm avg hops %.2f not below cold %.2f", warm, cold)
+	}
+	hits, misses := c.Stats()
+	if hits == 0 {
+		t.Errorf("no cache hits recorded (hits=%d misses=%d)", hits, misses)
+	}
+}
+
+// TestPolicyComparison: under cache pressure with local access patterns the
+// level-aware policy should not lose to LRU on hit rate.
+func TestPolicyComparison(t *testing.T) {
+	hitRate := func(policy cache.Policy) float64 {
+		f := newFixture(t, 5) // same seed: identical network and workload
+		c := cache.New(f.st, 4, policy)
+		keys := make([]id.ID, 40)
+		for i := range keys {
+			keys[i] = f.nw.Population().Space().Random(f.rng)
+			f.put(t, 0, keys[i], "v")
+		}
+		d := f.tree.Root().ChildAt(1)
+		ring := f.nw.RingOf(d)
+		wrng := rand.New(rand.NewSource(99))
+		var hits, total float64
+		for i := 0; i < 600; i++ {
+			origin := ring.Member(wrng.Intn(ring.Len()))
+			// Zipf-ish popularity: low indices queried more.
+			k := keys[int(float64(len(keys))*wrng.Float64()*wrng.Float64())]
+			res := c.Get(origin, k)
+			if res.CacheHit {
+				hits++
+			}
+			total++
+		}
+		return hits / total
+	}
+	la := hitRate(cache.PolicyLevelAware)
+	lru := hitRate(cache.PolicyLRU)
+	if la < lru-0.1 {
+		t.Errorf("level-aware hit rate %.3f far below LRU %.3f", la, lru)
+	}
+	if la == 0 {
+		t.Error("level-aware policy produced no hits")
+	}
+}
+
+func TestMissOnAbsentKey(t *testing.T) {
+	f := newFixture(t, 6)
+	c := cache.New(f.st, 8, cache.PolicyLRU)
+	res := c.Get(0, id.ID(0x404))
+	if res.Found || res.CacheHit {
+		t.Fatalf("absent key reported found: %+v", res)
+	}
+}
+
+func TestZeroCapacityNeverCaches(t *testing.T) {
+	f := newFixture(t, 7)
+	c := cache.New(f.st, 0, cache.PolicyLevelAware)
+	key := id.ID(0x3333)
+	f.put(t, 0, key, "v")
+	c.Get(1, key)
+	c.Get(1, key)
+	hits, _ := c.Stats()
+	if hits != 0 {
+		t.Errorf("zero-capacity cache produced %d hits", hits)
+	}
+}
+
+// TestCoordinatedPolicy: under cache pressure the coordinated policy must
+// keep working (hits, capacity respected) and not lose badly to the plain
+// level-aware policy; its victims prefer keys still cached one level up.
+func TestCoordinatedPolicy(t *testing.T) {
+	hitRate := func(policy cache.Policy) float64 {
+		f := newFixture(t, 8)
+		c := cache.New(f.st, 4, policy)
+		keys := make([]id.ID, 40)
+		for i := range keys {
+			keys[i] = f.nw.Population().Space().Random(f.rng)
+			f.put(t, 0, keys[i], "v")
+		}
+		d := f.tree.Root().ChildAt(2)
+		ring := f.nw.RingOf(d)
+		wrng := rand.New(rand.NewSource(77))
+		var hits, total float64
+		for i := 0; i < 800; i++ {
+			origin := ring.Member(wrng.Intn(ring.Len()))
+			k := keys[int(float64(len(keys))*wrng.Float64()*wrng.Float64())]
+			if c.Get(origin, k).CacheHit {
+				hits++
+			}
+			total++
+		}
+		for n := 0; n < f.nw.Len(); n++ {
+			if c.Size(n) > 4 {
+				t.Fatalf("capacity exceeded at node %d", n)
+			}
+		}
+		return hits / total
+	}
+	coord := hitRate(cache.PolicyCoordinated)
+	plain := hitRate(cache.PolicyLevelAware)
+	if coord == 0 {
+		t.Error("coordinated policy produced no hits")
+	}
+	if coord < plain-0.1 {
+		t.Errorf("coordinated hit rate %.3f far below level-aware %.3f", coord, plain)
+	}
+}

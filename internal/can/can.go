@@ -1,0 +1,200 @@
+// Package can implements the logarithmic-dimensional CAN geometry of
+// Section 3.4: node identifiers are viewed as leaves of a binary prefix
+// tree, nodes with shorter (zone) prefixes act as multiple virtual nodes,
+// and edges are exactly the hypercube edges between virtual nodes — there is
+// an edge for every bit position of a node's zone prefix, leading to the
+// node(s) whose zones cover the bit-flipped region. Routing is left-to-right
+// bit fixing, i.e. greedy routing under the XOR metric.
+//
+// Plugged into the Canon framework this yields Can-Can: CAN edges are
+// created at the lowest level, and a higher-level edge is kept only if it is
+// a valid CAN edge over the merged node set and shorter (in XOR distance)
+// than the node's shortest lower-level link.
+package can
+
+import (
+	"math/rand"
+
+	"github.com/canon-dht/canon/internal/core"
+	"github.com/canon-dht/canon/internal/id"
+)
+
+// AssignSplitIDs generates n identifiers with CAN's own join process
+// (Section 3.4): the identifier tree is a binary prefix tree, and each
+// joining node picks a random point, finds the zone containing it, and
+// splits that zone in half, taking one half. The resulting zone prefixes
+// tile the space, so the returned identifiers (zone prefixes padded with
+// zeros) make every hypercube edge well defined.
+func AssignSplitIDs(rng *rand.Rand, space id.Space, n int) []id.ID {
+	type zone struct {
+		prefix uint64
+		plen   uint
+	}
+	zones := make([]zone, 1, n)
+	zones[0] = zone{prefix: 0, plen: 0}
+	// byPrefix indexes live zones by (plen, prefix) so the zone containing a
+	// random point is found by walking its prefixes from the root.
+	byPrefix := make([]map[uint64]int, space.Bits()+1)
+	for i := range byPrefix {
+		byPrefix[i] = make(map[uint64]int)
+	}
+	byPrefix[0][0] = 0
+	for len(zones) < n {
+		p := space.Random(rng)
+		at := -1
+		for plen := uint(0); plen <= space.Bits(); plen++ {
+			if i, ok := byPrefix[plen][space.Prefix(p, plen)]; ok {
+				at = i
+				break
+			}
+		}
+		z := zones[at]
+		if z.plen >= space.Bits() {
+			continue // zone cannot be split further; retry
+		}
+		delete(byPrefix[z.plen], z.prefix)
+		zones[at] = zone{prefix: z.prefix << 1, plen: z.plen + 1}
+		byPrefix[z.plen+1][z.prefix<<1] = at
+		zones = append(zones, zone{prefix: z.prefix<<1 | 1, plen: z.plen + 1})
+		byPrefix[z.plen+1][z.prefix<<1|1] = len(zones) - 1
+	}
+	ids := make([]id.ID, n)
+	for i, z := range zones {
+		lo, _ := space.PrefixRange(z.prefix, z.plen)
+		ids[i] = lo
+	}
+	return ids
+}
+
+// Geometry is the CAN hypercube link rule.
+type Geometry struct {
+	space id.Space
+}
+
+var _ core.Geometry = (*Geometry)(nil)
+
+// New returns the CAN geometry over space.
+func New(space id.Space) *Geometry {
+	return &Geometry{space: space}
+}
+
+// Name implements core.Geometry.
+func (g *Geometry) Name() string { return "can" }
+
+// Metric implements core.Geometry.
+func (g *Geometry) Metric() core.Metric { return core.MetricXOR }
+
+// Distance implements core.Geometry.
+func (g *Geometry) Distance(a, b id.ID) uint64 { return g.space.XOR(a, b) }
+
+// BaseLinks implements core.Geometry: the full set of hypercube edges within
+// the node's lowest-level ring.
+func (g *Geometry) BaseLinks(ring *core.Ring, node int, _ *rand.Rand) []int {
+	return g.edges(ring, nil, node, g.space.Size())
+}
+
+// MergeLinks implements core.Geometry: hypercube edges over the merged ring,
+// keeping only those shorter than the node's shortest lower-level link and
+// outside its own ring. When the bound excludes every edge, the nearest
+// outside node is linked instead so the node is never stranded inside its
+// ring at a level (the XOR analog of Crescendo's always-present merged-ring
+// successor).
+func (g *Geometry) MergeLinks(merged, own *core.Ring, node int, bound uint64, _ *rand.Rand) []int {
+	links := g.edges(merged, own, node, bound)
+	if len(links) == 0 {
+		if pos := merged.PosOfMember(node); pos >= 0 {
+			if cand := merged.XORNearestOutside(pos, own); cand >= 0 {
+				links = append(links, cand)
+			}
+		}
+	}
+	return links
+}
+
+// edges enumerates the node's CAN edges within ring. For every bit position
+// j of the node's zone prefix (its shortest ring-unique prefix), the
+// partners are the ring members whose zones cover the region obtained by
+// flipping bit j: descend the implicit trie from the flipped prefix
+// following the node's own bits while the zone prefix still constrains
+// them, then take every member below. Partners at XOR distance >= bound, or
+// inside `exclude`, are dropped.
+func (g *Geometry) edges(ring, exclude *core.Ring, node int, bound uint64) []int {
+	pos := ring.PosOfMember(node)
+	if pos < 0 || ring.Len() == 1 {
+		return nil
+	}
+	m := ring.IDAt(pos)
+	plen := ring.UniquePrefixLen(pos)
+	var links []int
+	for j := uint(0); j < plen; j++ {
+		// The flipped subtree's XOR distance from m is at least 2^(bits-1-j);
+		// condition (b) lets us skip whole bit positions early.
+		if uint64(1)<<(g.space.Bits()-1-j) >= bound {
+			continue
+		}
+		flipped := g.space.FlipBit(m, j)
+		depth := j + 1
+		prefix := g.space.Prefix(flipped, depth)
+		for {
+			lo, hi := ring.PrefixRangePos(prefix, depth)
+			if lo >= hi {
+				// No member zone covers this region. With identifiers
+				// assigned by CAN's own zone-splitting join this cannot
+				// happen (zones tile the space); with arbitrary identifiers
+				// the region's owner in the completed partition is the
+				// member XOR-closest to the node's aligned virtual point,
+				// exactly the zone that would absorb the gap in real CAN.
+				links = g.appendPartner(links, ring, exclude, m,
+					ring.XORClosestPos(flipped), bound)
+				break
+			}
+			if hi-lo == 1 {
+				// A single member's zone covers the whole region: it is the
+				// unique partner for this bit.
+				links = g.appendPartner(links, ring, exclude, m, lo, bound)
+				break
+			}
+			if depth >= plen {
+				// Past the node's own zone depth every member below
+				// qualifies as a virtual-node partner.
+				for p := lo; p < hi; p++ {
+					links = g.appendPartner(links, ring, exclude, m, p, bound)
+				}
+				break
+			}
+			// Still inside the zone prefix: partners must agree with the
+			// node's own bit here.
+			prefix = (prefix << 1) | uint64(g.space.Bit(m, depth))
+			depth++
+		}
+	}
+	return links
+}
+
+func (g *Geometry) appendPartner(links []int, ring, exclude *core.Ring, m id.ID, pos int, bound uint64) []int {
+	if g.space.XOR(m, ring.IDAt(pos)) >= bound {
+		return links
+	}
+	cand := ring.Member(pos)
+	if exclude != nil && exclude.PosOfMember(cand) >= 0 {
+		return links
+	}
+	return append(links, cand)
+}
+
+// Bound implements core.Geometry: the XOR distance of the node's shortest
+// existing link ("shorter than the shortest link at the lower level").
+func (g *Geometry) Bound(own *core.Ring, node int, linkIDs []id.ID) uint64 {
+	pos := own.PosOfMember(node)
+	if pos < 0 {
+		return 0
+	}
+	m := own.IDAt(pos)
+	bound := g.space.Size()
+	for _, lid := range linkIDs {
+		if d := g.space.XOR(m, lid); d < bound {
+			bound = d
+		}
+	}
+	return bound
+}

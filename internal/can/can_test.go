@@ -1,0 +1,219 @@
+package can_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/canon-dht/canon/internal/can"
+	"github.com/canon-dht/canon/internal/core"
+	"github.com/canon-dht/canon/internal/hierarchy"
+	"github.com/canon-dht/canon/internal/id"
+)
+
+func build(t testing.TB, seed int64, n, levels, fanout int) *core.Network {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	space := id.DefaultSpace()
+	tree, err := hierarchy.Balanced(levels, fanout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaves := hierarchy.AssignUniform(rng, tree, n)
+	pop, err := core.RandomPopulation(rng, space, tree, leaves)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core.Build(pop, can.New(space), rng)
+}
+
+// TestPaperExample reproduces Section 3.4's worked example: nodes with zone
+// prefixes 0, 10 and 11. Node "0" acts as virtual nodes 00 and 01, so it
+// links to both 10 and 11; nodes 10 and 11 link to each other and to 0.
+func TestPaperExample(t *testing.T) {
+	space := id.MustSpace(2)
+	tree := hierarchy.NewTree()
+	root := tree.Root()
+	// IDs 00, 10, 11 give exactly the zone prefixes 0, 10, 11.
+	ids := []id.ID{0b00, 0b10, 0b11}
+	pop, err := core.NewPopulation(space, tree, ids, []*hierarchy.Domain{root, root, root})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw := core.Build(pop, can.New(space), nil)
+
+	wantDegree := map[id.ID]int{0b00: 2, 0b10: 2, 0b11: 2}
+	for i := 0; i < 3; i++ {
+		v := pop.IDOf(i)
+		if got := nw.Degree(i); got != wantDegree[v] {
+			t.Errorf("node %02b degree = %d, want %d", v, got, wantDegree[v])
+		}
+	}
+	// Node 0 links to both 10 and 11 (virtual nodes 00 and 01 each see both
+	// halves of subtree 1 via bit 0... bit 0 flip of prefix "0" covers the
+	// whole "1" subtree).
+	n0 := pop.OwnerOf(0)
+	if !nw.HasLink(n0, pop.OwnerOf(0b10)) || !nw.HasLink(n0, pop.OwnerOf(0b11)) {
+		t.Error("node 0 should link to both 10 and 11")
+	}
+	// 10 and 11 are hypercube neighbors (differ in last bit) and both border
+	// zone 0.
+	if !nw.HasLink(pop.OwnerOf(0b10), pop.OwnerOf(0b11)) {
+		t.Error("10 should link to 11")
+	}
+	if !nw.HasLink(pop.OwnerOf(0b11), pop.OwnerOf(0b10)) {
+		t.Error("11 should link to 10")
+	}
+}
+
+// TestEdgesSymmetric: with identifiers assigned by CAN's own zone-splitting
+// join, zones tile the space and hypercube adjacency is symmetric, so u->v
+// implies v->u in the flat construction.
+func TestEdgesSymmetric(t *testing.T) {
+	const n = 256
+	rng := rand.New(rand.NewSource(51))
+	space := id.DefaultSpace()
+	tree := hierarchy.NewTree()
+	ids := can.AssignSplitIDs(rng, space, n)
+	leaves := make([]*hierarchy.Domain, n)
+	for i := range leaves {
+		leaves[i] = tree.Root()
+	}
+	pop, err := core.NewPopulation(space, tree, ids, leaves)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw := core.Build(pop, can.New(space), rng)
+	for u := 0; u < n; u++ {
+		for _, v := range nw.Links(u) {
+			if !nw.HasLink(int(v), u) {
+				t.Fatalf("edge %d -> %d not symmetric", u, v)
+			}
+		}
+	}
+}
+
+func TestAssignSplitIDsTile(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	space := id.MustSpace(10)
+	const n = 100
+	ids := can.AssignSplitIDs(rng, space, n)
+	if len(ids) != n {
+		t.Fatalf("got %d ids, want %d", len(ids), n)
+	}
+	seen := make(map[id.ID]bool, n)
+	for _, v := range ids {
+		if seen[v] {
+			t.Fatalf("duplicate id %d", v)
+		}
+		seen[v] = true
+	}
+	// Zones tile: sum over nodes of 2^(bits - plen) must equal the space
+	// size, where plen is the shortest unique prefix within the set.
+	tree := hierarchy.NewTree()
+	leaves := make([]*hierarchy.Domain, n)
+	for i := range leaves {
+		leaves[i] = tree.Root()
+	}
+	pop, err := core.NewPopulation(space, tree, ids, leaves)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw := core.Build(pop, can.New(space), rng)
+	ring := nw.RingOf(tree.Root())
+	var total uint64
+	for pos := 0; pos < ring.Len(); pos++ {
+		total += uint64(1) << (space.Bits() - ring.UniquePrefixLen(pos))
+	}
+	if total != space.Size() {
+		t.Errorf("zones cover %d of %d", total, space.Size())
+	}
+}
+
+// TestFlatRouting: bit-fixing routing between members always succeeds.
+func TestFlatRouting(t *testing.T) {
+	const n = 512
+	nw := build(t, 52, n, 1, 10)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 3000; i++ {
+		from, to := rng.Intn(n), rng.Intn(n)
+		r := nw.RouteToNode(from, to)
+		if !r.Success || r.Last() != to {
+			t.Fatalf("route %d -> %d failed (path %v)", from, to, r.Nodes)
+		}
+	}
+}
+
+// TestLogarithmicDegree: the generalized CAN has O(log n) expected degree.
+func TestLogarithmicDegree(t *testing.T) {
+	for _, n := range []int{256, 1024} {
+		nw := build(t, 53, n, 1, 10)
+		avg := nw.AvgDegree()
+		logN := math.Log2(float64(n))
+		if avg < logN-2 || avg > 3*logN {
+			t.Errorf("n=%d: avg CAN degree %.2f outside plausible range around log n = %.1f", n, avg, logN)
+		}
+	}
+}
+
+// TestCanCanConditionB: cross-leaf links must be shorter than the shortest
+// leaf-level link, except the per-merge-level liveness link (at most one per
+// merge level; see Geometry.MergeLinks).
+func TestCanCanConditionB(t *testing.T) {
+	const n = 1024
+	const mergeLevels = 2 // 3-level hierarchy
+	nw := build(t, 54, n, 3, 8)
+	pop := nw.Population()
+	space := pop.Space()
+	for i := 0; i < n; i++ {
+		minLeaf := space.Size()
+		for _, l := range nw.Links(i) {
+			if pop.LeafOf(int(l)) == pop.LeafOf(i) {
+				if d := space.XOR(pop.IDOf(i), pop.IDOf(int(l))); d < minLeaf {
+					minLeaf = d
+				}
+			}
+		}
+		violations := 0
+		for _, l := range nw.Links(i) {
+			if pop.LeafOf(int(l)) == pop.LeafOf(i) {
+				continue
+			}
+			if d := space.XOR(pop.IDOf(i), pop.IDOf(int(l))); d >= minLeaf {
+				violations++
+			}
+		}
+		if violations > mergeLevels {
+			t.Fatalf("node %d has %d over-bound cross-domain links, max %d allowed", i, violations, mergeLevels)
+		}
+	}
+}
+
+// TestCanCanRouting: hierarchical bit-fixing should nearly always complete.
+func TestCanCanRouting(t *testing.T) {
+	const n = 1024
+	nw := build(t, 55, n, 3, 8)
+	rng := rand.New(rand.NewSource(2))
+	const routes = 3000
+	failures := 0
+	for i := 0; i < routes; i++ {
+		from, to := rng.Intn(n), rng.Intn(n)
+		r := nw.RouteToNode(from, to)
+		if !r.Success || r.Last() != to {
+			failures++
+		}
+	}
+	if rate := float64(failures) / routes; rate > 0.01 {
+		t.Errorf("Can-Can routing failure rate %.3f exceeds 1%%", rate)
+	}
+}
+
+func TestGeometryMetadata(t *testing.T) {
+	g := can.New(id.DefaultSpace())
+	if g.Name() != "can" {
+		t.Error("unexpected name")
+	}
+	if g.Metric() != core.MetricXOR {
+		t.Error("CAN must use the XOR metric")
+	}
+}

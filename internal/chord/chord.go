@@ -1,0 +1,164 @@
+// Package chord implements the Chord link-creation geometry, in both its
+// deterministic form (Stoica et al., SIGCOMM 2001) and the nondeterministic
+// variant used by CFS and studied by Gummadi et al. Plugged into the Canon
+// framework (internal/core), the deterministic geometry yields Crescendo and
+// the nondeterministic one yields nondeterministic Crescendo (Sections 2 and
+// 3.2 of the paper); on a one-level hierarchy they yield plain flat Chord.
+package chord
+
+import (
+	"math/rand"
+
+	"github.com/canon-dht/canon/internal/core"
+	"github.com/canon-dht/canon/internal/id"
+)
+
+// Deterministic is the classic Chord rule: for every 0 <= k < N, link to the
+// closest node at clockwise distance at least 2^k.
+type Deterministic struct {
+	space id.Space
+}
+
+var _ core.Geometry = (*Deterministic)(nil)
+
+// NewDeterministic returns the deterministic Chord geometry over space.
+func NewDeterministic(space id.Space) *Deterministic {
+	return &Deterministic{space: space}
+}
+
+// Name implements core.Geometry.
+func (g *Deterministic) Name() string { return "chord" }
+
+// Metric implements core.Geometry.
+func (g *Deterministic) Metric() core.Metric { return core.MetricClockwise }
+
+// Distance implements core.Geometry.
+func (g *Deterministic) Distance(a, b id.ID) uint64 { return g.space.Clockwise(a, b) }
+
+// BaseLinks implements core.Geometry: the standard Chord finger table within
+// the node's lowest-level ring.
+func (g *Deterministic) BaseLinks(ring *core.Ring, node int, _ *rand.Rand) []int {
+	return g.fingers(ring, node, g.space.Size())
+}
+
+// MergeLinks implements core.Geometry: the Chord rule applied over the
+// merged ring (condition a), keeping only links strictly shorter than the
+// distance to the node's own-ring successor (condition b). Nodes of the
+// node's own ring are all at distance >= bound, so they are excluded
+// automatically.
+func (g *Deterministic) MergeLinks(merged, _ *core.Ring, node int, bound uint64, _ *rand.Rand) []int {
+	return g.fingers(merged, node, bound)
+}
+
+// fingers returns, for each k, the closest ring member at clockwise distance
+// in [2^k, bound). With bound = space size this is the plain Chord rule.
+func (g *Deterministic) fingers(ring *core.Ring, node int, bound uint64) []int {
+	pos := ring.PosOfMember(node)
+	if pos < 0 || ring.Len() == 1 {
+		return nil
+	}
+	m := ring.IDAt(pos)
+	links := make([]int, 0, g.space.Bits())
+	for k := uint(0); k < g.space.Bits(); k++ {
+		step := uint64(1) << k
+		if step >= bound {
+			break
+		}
+		spos := ring.SuccessorPos(g.space.Add(m, step))
+		d := g.space.Clockwise(m, ring.IDAt(spos))
+		if d < step || d >= bound {
+			continue
+		}
+		links = append(links, ring.Member(spos))
+	}
+	return links
+}
+
+// Bound implements core.Geometry: the clockwise distance to the node's
+// own-ring successor ("closer than any node in m's ring").
+func (g *Deterministic) Bound(own *core.Ring, node int, _ []id.ID) uint64 {
+	pos := own.PosOfMember(node)
+	if pos < 0 {
+		return 0
+	}
+	return own.SuccessorDistance(pos)
+}
+
+// Nondeterministic is the relaxed Chord rule: for every 0 <= k < N, link to
+// any (uniformly chosen) node with clockwise distance in [2^k, 2^(k+1)),
+// plus an explicit successor link. Its routing behaviour is close to
+// Symphony's (Section 3.2).
+type Nondeterministic struct {
+	space id.Space
+}
+
+var _ core.Geometry = (*Nondeterministic)(nil)
+
+// NewNondeterministic returns the nondeterministic Chord geometry.
+func NewNondeterministic(space id.Space) *Nondeterministic {
+	return &Nondeterministic{space: space}
+}
+
+// Name implements core.Geometry.
+func (g *Nondeterministic) Name() string { return "ndchord" }
+
+// Metric implements core.Geometry.
+func (g *Nondeterministic) Metric() core.Metric { return core.MetricClockwise }
+
+// Distance implements core.Geometry.
+func (g *Nondeterministic) Distance(a, b id.ID) uint64 { return g.space.Clockwise(a, b) }
+
+// BaseLinks implements core.Geometry.
+func (g *Nondeterministic) BaseLinks(ring *core.Ring, node int, rng *rand.Rand) []int {
+	return g.randomFingers(ring, node, g.space.Size(), rng, true)
+}
+
+// MergeLinks implements core.Geometry. Per Section 3.2, the node exercises
+// its nondeterministic choice only among nodes closer than any node in its
+// own ring: every interval [2^k, 2^(k+1)) is truncated at bound.
+func (g *Nondeterministic) MergeLinks(merged, _ *core.Ring, node int, bound uint64, rng *rand.Rand) []int {
+	return g.randomFingers(merged, node, bound, rng, false)
+}
+
+// randomFingers draws one uniform choice from each truncated interval
+// [2^k, min(2^(k+1), bound)). A successor link is added: unconditionally for
+// base rings (withSucc), and subject to the bound during merges so that ring
+// connectivity exists at every level exactly when condition (b) allows it.
+func (g *Nondeterministic) randomFingers(ring *core.Ring, node int, bound uint64, rng *rand.Rand, withSucc bool) []int {
+	pos := ring.PosOfMember(node)
+	if pos < 0 || ring.Len() == 1 {
+		return nil
+	}
+	m := ring.IDAt(pos)
+	links := make([]int, 0, g.space.Bits()+1)
+
+	succDist := ring.SuccessorDistance(pos)
+	if withSucc || succDist < bound {
+		links = append(links, ring.Member(ring.NextPos(pos)))
+	}
+	for k := uint(0); k < g.space.Bits(); k++ {
+		lo := uint64(1) << k
+		if lo >= bound {
+			break
+		}
+		hi := lo << 1
+		if hi > bound {
+			hi = bound
+		}
+		count, first := ring.CountInArc(m, lo, hi)
+		if count == 0 {
+			continue
+		}
+		links = append(links, ring.ArcMember(first, rng.Intn(count)))
+	}
+	return links
+}
+
+// Bound implements core.Geometry.
+func (g *Nondeterministic) Bound(own *core.Ring, node int, _ []id.ID) uint64 {
+	pos := own.PosOfMember(node)
+	if pos < 0 {
+		return 0
+	}
+	return own.SuccessorDistance(pos)
+}

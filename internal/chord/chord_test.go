@@ -1,0 +1,188 @@
+package chord_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/canon-dht/canon/internal/chord"
+	"github.com/canon-dht/canon/internal/core"
+	"github.com/canon-dht/canon/internal/hierarchy"
+	"github.com/canon-dht/canon/internal/id"
+)
+
+func flatPopulation(t *testing.T, space id.Space, ids []id.ID) *core.Population {
+	t.Helper()
+	tree := hierarchy.NewTree()
+	leaves := make([]*hierarchy.Domain, len(ids))
+	for i := range leaves {
+		leaves[i] = tree.Root()
+	}
+	pop, err := core.NewPopulation(space, tree, ids, leaves)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pop
+}
+
+func TestDeterministicFingerTable(t *testing.T) {
+	space := id.MustSpace(4)
+	// Ring from the paper's Figure 2, ring A: 0, 5, 10, 12.
+	pop := flatPopulation(t, space, []id.ID{0, 5, 10, 12})
+	nw := core.Build(pop, chord.NewDeterministic(space), nil)
+
+	wantLinks := map[id.ID][]id.ID{
+		0:  {5, 10},     // distances 1,2,4 -> 5; distance 8 -> 10
+		5:  {10, 12, 0}, // 1,2,4 -> 10 (d5); wait: computed below
+		10: {12, 0, 5},
+		12: {0, 5},
+	}
+	// Recompute expectations by hand:
+	// node 5: d(5,10)=5, d(5,12)=7, d(5,0)=11.
+	//   k=0 (>=1): 10. k=1 (>=2): 10. k=2 (>=4): 10. k=3 (>=8): 0.
+	wantLinks[5] = []id.ID{10, 0}
+	// node 10: d(10,12)=2, d(10,0)=6, d(10,5)=11.
+	//   k=0: 12. k=1: 12. k=2 (>=4): 0. k=3 (>=8): 5.
+	wantLinks[10] = []id.ID{12, 0, 5}
+	// node 12: d(12,0)=4, d(12,5)=9, d(12,10)=14.
+	//   k=0: 0. k=1: 0. k=2: 0. k=3 (>=8): 5.
+	wantLinks[12] = []id.ID{0, 5}
+
+	for i := 0; i < pop.Len(); i++ {
+		m := pop.IDOf(i)
+		want := wantLinks[m]
+		got := nw.Links(i)
+		if len(got) != len(want) {
+			t.Errorf("node %d degree = %d, want %d", m, len(got), len(want))
+			continue
+		}
+		gotSet := make(map[id.ID]bool)
+		for _, l := range got {
+			gotSet[pop.IDOf(int(l))] = true
+		}
+		for _, w := range want {
+			if !gotSet[w] {
+				t.Errorf("node %d missing finger %d", m, w)
+			}
+		}
+	}
+}
+
+func TestDeterministicSingleton(t *testing.T) {
+	space := id.MustSpace(4)
+	pop := flatPopulation(t, space, []id.ID{7})
+	nw := core.Build(pop, chord.NewDeterministic(space), nil)
+	if d := nw.Degree(0); d != 0 {
+		t.Errorf("singleton degree = %d, want 0", d)
+	}
+}
+
+func TestNondeterministicIntervals(t *testing.T) {
+	space := id.DefaultSpace()
+	rng := rand.New(rand.NewSource(21))
+	ids, err := space.UniqueRandom(rng, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop := flatPopulation(t, space, ids)
+	nw := core.Build(pop, chord.NewNondeterministic(space), rng)
+
+	// Every node links to its successor, and every link other than the
+	// successor lies in some [2^k, 2^(k+1)) interval (trivially true) with at
+	// most one link per interval plus the successor.
+	n := pop.Len()
+	for i := 0; i < n; i++ {
+		succ := (i + 1) % n
+		if !nw.HasLink(i, succ) {
+			t.Fatalf("node %d missing successor link", i)
+		}
+		perInterval := make(map[int]int)
+		for _, l := range nw.Links(i) {
+			if int(l) == succ {
+				continue
+			}
+			d := space.Clockwise(pop.IDOf(i), pop.IDOf(int(l)))
+			k := 0
+			for (uint64(1) << (k + 1)) <= d {
+				k++
+			}
+			perInterval[k]++
+		}
+		for k, c := range perInterval {
+			// The successor may fall in the same interval as the random
+			// pick, so allow 2 only for the successor's interval.
+			if c > 1 {
+				t.Fatalf("node %d has %d links in interval 2^%d", i, c, k)
+			}
+		}
+	}
+}
+
+func TestNondeterministicCrescendoRouting(t *testing.T) {
+	space := id.DefaultSpace()
+	rng := rand.New(rand.NewSource(22))
+	tree, err := hierarchy.Balanced(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaves := hierarchy.AssignUniform(rng, tree, 256)
+	pop, err := core.RandomPopulation(rng, space, tree, leaves)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw := core.Build(pop, chord.NewNondeterministic(space), rng)
+
+	for i := 0; i < 1000; i++ {
+		from, to := rng.Intn(pop.Len()), rng.Intn(pop.Len())
+		r := nw.RouteToNode(from, to)
+		if !r.Success || r.Last() != to {
+			t.Fatalf("route %d -> %d failed (path %v)", from, to, r.Nodes)
+		}
+	}
+}
+
+// TestMergeConditionB: no inter-domain link may be longer than the
+// distance to the node's own-ring (leaf-domain) successor.
+func TestMergeConditionB(t *testing.T) {
+	space := id.DefaultSpace()
+	rng := rand.New(rand.NewSource(23))
+	tree, err := hierarchy.Balanced(2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaves := hierarchy.AssignUniform(rng, tree, 512)
+	pop, err := core.RandomPopulation(rng, space, tree, leaves)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw := core.Build(pop, chord.NewDeterministic(space), nil)
+
+	for i := 0; i < pop.Len(); i++ {
+		leafRing := nw.RingOf(pop.LeafOf(i))
+		bound := leafRing.SuccessorDistance(leafRing.PosOfMember(i))
+		for _, l := range nw.Links(i) {
+			if pop.LeafOf(int(l)) == pop.LeafOf(i) {
+				continue // intra-ring link: no constraint from condition (b)
+			}
+			d := space.Clockwise(pop.IDOf(i), pop.IDOf(int(l)))
+			if d >= bound {
+				t.Fatalf("node %d inter-domain link to %d at distance %d >= bound %d",
+					i, l, d, bound)
+			}
+		}
+	}
+}
+
+func TestGeometryMetadata(t *testing.T) {
+	space := id.DefaultSpace()
+	det := chord.NewDeterministic(space)
+	nd := chord.NewNondeterministic(space)
+	if det.Name() != "chord" || nd.Name() != "ndchord" {
+		t.Error("unexpected geometry names")
+	}
+	if det.Metric() != core.MetricClockwise || nd.Metric() != core.MetricClockwise {
+		t.Error("chord geometries must use the clockwise metric")
+	}
+	if det.Distance(2, 1) != space.Size()-1 {
+		t.Error("Distance should be clockwise distance")
+	}
+}

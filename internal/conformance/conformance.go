@@ -1,0 +1,229 @@
+// Package conformance provides a reusable invariant battery for Canon
+// geometries: any implementation of core.Geometry can be checked for the
+// structural properties the paper's construction promises — logarithmic
+// degree, high routing success, intra-domain path locality, inter-domain
+// path convergence, and condition-(b) discipline. The five shipped
+// geometries all pass; a sixth DHT added to the library should too.
+package conformance
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/canon-dht/canon/internal/core"
+	"github.com/canon-dht/canon/internal/hierarchy"
+	"github.com/canon-dht/canon/internal/id"
+)
+
+// Options tunes the battery for a geometry's characteristics.
+type Options struct {
+	// Seed drives the population and nondeterministic links.
+	Seed int64
+	// N is the network size (default 512).
+	N int
+	// Levels and Fanout shape the hierarchy (defaults 3 and 4).
+	Levels, Fanout int
+	// MaxDegreeFactor bounds max degree by factor*log2(n) (default 5).
+	MaxDegreeFactor float64
+	// AvgDegreeFactor bounds average degree by factor*log2(n) (default 4).
+	// Composites with complete leaf graphs need more headroom.
+	AvgDegreeFactor float64
+	// MinRouteSuccess is the required node-to-node routing success rate
+	// (default 0.99).
+	MinRouteSuccess float64
+	// SkipConvergence disables the proxy-convergence check, which is a
+	// ring-metric property (XOR geometries converge per key, not per
+	// clockwise predecessor).
+	SkipConvergence bool
+	// LocalityMaxViolationRate is the tolerated fraction of intra-domain
+	// routes that leave their domain. Ring geometries guarantee strict
+	// locality (0, the default): greedy clockwise always has an in-domain
+	// candidate with maximal advance. The XOR metric offers no such
+	// dominance, so Kandy and Can-Can keep locality only approximately.
+	LocalityMaxViolationRate float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.N == 0 {
+		o.N = 512
+	}
+	if o.Levels == 0 {
+		o.Levels = 3
+	}
+	if o.Fanout == 0 {
+		o.Fanout = 4
+	}
+	if o.MaxDegreeFactor == 0 {
+		o.MaxDegreeFactor = 5
+	}
+	if o.AvgDegreeFactor == 0 {
+		o.AvgDegreeFactor = 4
+	}
+	if o.MinRouteSuccess == 0 {
+		o.MinRouteSuccess = 0.99
+	}
+	return o
+}
+
+// Run executes the battery against the geometry produced by factory.
+func Run(t *testing.T, factory func(space id.Space) core.Geometry, opts Options) {
+	t.Helper()
+	opts = opts.withDefaults()
+	space := id.DefaultSpace()
+	rng := rand.New(rand.NewSource(opts.Seed))
+	tree, err := hierarchy.Balanced(opts.Levels, opts.Fanout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaves := hierarchy.AssignZipf(rng, tree, opts.N, 1.25)
+	pop, err := core.RandomPopulation(rng, space, tree, leaves)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw := core.Build(pop, factory(space), rng)
+
+	t.Run("degree", func(t *testing.T) { checkDegree(t, nw, opts) })
+	t.Run("routing", func(t *testing.T) { checkRouting(t, nw, opts) })
+	t.Run("locality", func(t *testing.T) { checkLocality(t, nw, opts) })
+	if !opts.SkipConvergence {
+		t.Run("convergence", func(t *testing.T) { checkConvergence(t, nw, opts) })
+	}
+	t.Run("no-self-links", func(t *testing.T) { checkNoSelfLinks(t, nw) })
+}
+
+// checkDegree: average degree in the log2(n) ballpark, max degree bounded.
+func checkDegree(t *testing.T, nw *core.Network, opts Options) {
+	t.Helper()
+	logN := math.Log2(float64(nw.Len()))
+	avg := nw.AvgDegree()
+	if avg < logN/2 || avg > opts.AvgDegreeFactor*logN {
+		t.Errorf("avg degree %.2f outside [log n / 2, %.0f log n] for n=%d",
+			avg, opts.AvgDegreeFactor, nw.Len())
+	}
+	maxDeg := 0
+	for i := 0; i < nw.Len(); i++ {
+		if d := nw.Degree(i); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	if limit := opts.MaxDegreeFactor * logN; float64(maxDeg) > limit {
+		t.Errorf("max degree %d exceeds %.0f", maxDeg, limit)
+	}
+}
+
+// checkRouting: node-to-node routes succeed nearly always.
+func checkRouting(t *testing.T, nw *core.Network, opts Options) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(opts.Seed + 1))
+	ok, total := 0, 2000
+	var hops float64
+	for i := 0; i < total; i++ {
+		from, to := rng.Intn(nw.Len()), rng.Intn(nw.Len())
+		r := nw.RouteToNode(from, to)
+		if r.Success && r.Last() == to {
+			ok++
+			hops += float64(r.Hops())
+		}
+	}
+	if rate := float64(ok) / float64(total); rate < opts.MinRouteSuccess {
+		t.Errorf("routing success %.4f below %.4f", rate, opts.MinRouteSuccess)
+	}
+	if ok > 0 {
+		if avg := hops / float64(ok); avg > 3*math.Log2(float64(nw.Len())) {
+			t.Errorf("avg hops %.2f superlogarithmic", avg)
+		}
+	}
+}
+
+// checkLocality: routes between same-domain nodes stay in the domain —
+// strictly for ring geometries, within the tolerated rate otherwise.
+func checkLocality(t *testing.T, nw *core.Network, opts Options) {
+	t.Helper()
+	pop := nw.Population()
+	rng := rand.New(rand.NewSource(opts.Seed + 2))
+	violations, total := 0, 0
+	for i := 0; i < 1500; i++ {
+		from, to := rng.Intn(nw.Len()), rng.Intn(nw.Len())
+		lca := hierarchy.LCA(pop.LeafOf(from), pop.LeafOf(to))
+		r := nw.RouteToNode(from, to)
+		if !r.Success {
+			continue
+		}
+		total++
+		for _, hop := range r.Nodes {
+			if !lca.IsAncestorOf(pop.LeafOf(hop)) {
+				if opts.LocalityMaxViolationRate == 0 {
+					t.Fatalf("route %d -> %d left %q at %d", from, to, lca.Path(), hop)
+				}
+				violations++
+				break
+			}
+		}
+	}
+	if total > 0 {
+		if rate := float64(violations) / float64(total); rate > opts.LocalityMaxViolationRate {
+			t.Errorf("locality violation rate %.3f exceeds %.3f", rate, opts.LocalityMaxViolationRate)
+		}
+	}
+}
+
+// checkConvergence: all routes from a domain to the same outside key exit
+// through the domain's proxy node (ring geometries).
+func checkConvergence(t *testing.T, nw *core.Network, opts Options) {
+	t.Helper()
+	pop := nw.Population()
+	rng := rand.New(rand.NewSource(opts.Seed + 3))
+	checked := 0
+	for trial := 0; trial < 400 && checked < 100; trial++ {
+		dst := rng.Intn(nw.Len())
+		src := rng.Intn(nw.Len())
+		d := pop.LeafOf(src).AncestorAt(1)
+		if d == nil || d.IsAncestorOf(pop.LeafOf(dst)) {
+			continue
+		}
+		ring := nw.RingOf(d)
+		if ring == nil || ring.Len() < 3 {
+			continue
+		}
+		proxy := nw.Proxy(d, pop.IDOf(dst))
+		for i := 0; i < 3; i++ {
+			from := ring.Member(rng.Intn(ring.Len()))
+			r := nw.RouteToNode(from, dst)
+			if !r.Success {
+				continue
+			}
+			exit := -1
+			for _, hop := range r.Nodes {
+				if d.IsAncestorOf(pop.LeafOf(hop)) {
+					exit = hop
+				} else {
+					break
+				}
+			}
+			if exit != proxy {
+				t.Fatalf("route from %d exits %q at %d, want proxy %d", from, d.Path(), exit, proxy)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Skip("no convergence cases sampled")
+	}
+}
+
+// checkNoSelfLinks: adjacency lists are sorted, unique and self-free.
+func checkNoSelfLinks(t *testing.T, nw *core.Network) {
+	t.Helper()
+	for i := 0; i < nw.Len(); i++ {
+		links := nw.Links(i)
+		for j, l := range links {
+			if int(l) == i {
+				t.Fatalf("node %d links to itself", i)
+			}
+			if j > 0 && links[j-1] >= l {
+				t.Fatalf("node %d adjacency not sorted/unique", i)
+			}
+		}
+	}
+}

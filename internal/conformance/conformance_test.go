@@ -1,0 +1,97 @@
+package conformance_test
+
+import (
+	"testing"
+
+	"github.com/canon-dht/canon/internal/can"
+	"github.com/canon-dht/canon/internal/chord"
+	"github.com/canon-dht/canon/internal/conformance"
+	"github.com/canon-dht/canon/internal/core"
+	"github.com/canon-dht/canon/internal/id"
+	"github.com/canon-dht/canon/internal/kademlia"
+	"github.com/canon-dht/canon/internal/symphony"
+)
+
+func TestCrescendoConformance(t *testing.T) {
+	conformance.Run(t, func(s id.Space) core.Geometry {
+		return chord.NewDeterministic(s)
+	}, conformance.Options{Seed: 101, MinRouteSuccess: 1.0})
+}
+
+func TestNDCrescendoConformance(t *testing.T) {
+	conformance.Run(t, func(s id.Space) core.Geometry {
+		return chord.NewNondeterministic(s)
+	}, conformance.Options{Seed: 102, MinRouteSuccess: 1.0})
+}
+
+func TestCacophonyConformance(t *testing.T) {
+	conformance.Run(t, func(s id.Space) core.Geometry {
+		return symphony.New(s)
+	}, conformance.Options{Seed: 103, MinRouteSuccess: 1.0})
+}
+
+func TestKandyConformance(t *testing.T) {
+	conformance.Run(t, func(s id.Space) core.Geometry {
+		return kademlia.New(s)
+	}, conformance.Options{Seed: 104, SkipConvergence: true, LocalityMaxViolationRate: 0.15})
+}
+
+func TestKandyWideConformance(t *testing.T) {
+	conformance.Run(t, func(s id.Space) core.Geometry {
+		return kademlia.NewWithWidth(s, 2)
+	}, conformance.Options{Seed: 105, SkipConvergence: true, MaxDegreeFactor: 8, LocalityMaxViolationRate: 0.15})
+}
+
+func TestCanCanConformance(t *testing.T) {
+	conformance.Run(t, func(s id.Space) core.Geometry {
+		return can.New(s)
+	}, conformance.Options{Seed: 106, SkipConvergence: true, MaxDegreeFactor: 8, LocalityMaxViolationRate: 0.15})
+}
+
+// Flat (one-level) variants must also pass: Canon generalizes flat DHTs.
+func TestFlatConformance(t *testing.T) {
+	kinds := []struct {
+		name    string
+		factory func(s id.Space) core.Geometry
+		skip    bool
+	}{
+		{"chord", func(s id.Space) core.Geometry { return chord.NewDeterministic(s) }, false},
+		{"symphony", func(s id.Space) core.Geometry { return symphony.New(s) }, false},
+		{"kademlia", func(s id.Space) core.Geometry { return kademlia.New(s) }, true},
+		{"can", func(s id.Space) core.Geometry { return can.New(s) }, true},
+	}
+	for i, k := range kinds {
+		t.Run(k.name, func(t *testing.T) {
+			conformance.Run(t, k.factory, conformance.Options{
+				Seed:            110 + int64(i),
+				Levels:          1,
+				SkipConvergence: k.skip,
+				MinRouteSuccess: 1.0,
+				MaxDegreeFactor: 8,
+			})
+		})
+	}
+}
+
+// The Section 3.5 composite (complete LAN graphs under Crescendo merges)
+// must satisfy the full ring-geometry battery, including strict locality.
+func TestCompositeConformance(t *testing.T) {
+	conformance.Run(t, func(s id.Space) core.Geometry {
+		return core.Compose(core.NewCompleteGeometry(s), chord.NewDeterministic(s))
+	}, conformance.Options{
+		Seed:            120,
+		MinRouteSuccess: 1.0,
+		// Complete leaf graphs inflate degree beyond c*log n when a Zipf
+		// leaf domain is large; that is the premise of the LAN composite.
+		MaxDegreeFactor: 20,
+		AvgDegreeFactor: 10,
+	})
+}
+
+// Symphony with estimated ring sizes (the live protocol's estimation) must
+// still pass everything.
+func TestEstimatedSymphonyConformance(t *testing.T) {
+	conformance.Run(t, func(s id.Space) core.Geometry {
+		return symphony.NewEstimated(s, 6)
+	}, conformance.Options{Seed: 121, MinRouteSuccess: 1.0})
+}

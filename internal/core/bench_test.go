@@ -1,0 +1,103 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/canon-dht/canon/internal/chord"
+	"github.com/canon-dht/canon/internal/core"
+	"github.com/canon-dht/canon/internal/hierarchy"
+	"github.com/canon-dht/canon/internal/id"
+)
+
+func benchNetwork(b *testing.B, n, levels int) *core.Network {
+	b.Helper()
+	space := id.DefaultSpace()
+	tree, err := hierarchy.Balanced(levels, 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	leaves := hierarchy.AssignZipf(rng, tree, n, 1.25)
+	pop, err := core.RandomPopulation(rng, space, tree, leaves)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return core.Build(pop, chord.NewDeterministic(space), nil)
+}
+
+func BenchmarkBuildSequential(b *testing.B) {
+	space := id.DefaultSpace()
+	tree, _ := hierarchy.Balanced(3, 10)
+	rng := rand.New(rand.NewSource(1))
+	leaves := hierarchy.AssignZipf(rng, tree, 8192, 1.25)
+	pop, err := core.RandomPopulation(rng, space, tree, leaves)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.Build(pop, chord.NewDeterministic(space), nil)
+	}
+}
+
+func BenchmarkBuildParallel(b *testing.B) {
+	space := id.DefaultSpace()
+	tree, _ := hierarchy.Balanced(3, 10)
+	rng := rand.New(rand.NewSource(1))
+	leaves := hierarchy.AssignZipf(rng, tree, 8192, 1.25)
+	pop, err := core.RandomPopulation(rng, space, tree, leaves)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.BuildParallel(pop, chord.NewDeterministic(space), 1, 0)
+	}
+}
+
+func BenchmarkRouteToKey(b *testing.B) {
+	nw := benchNetwork(b, 8192, 3)
+	rng := rand.New(rand.NewSource(2))
+	space := nw.Population().Space()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := nw.RouteToKey(rng.Intn(nw.Len()), space.Random(rng))
+		if !r.Success {
+			b.Fatal("route failed")
+		}
+	}
+}
+
+func BenchmarkRingOwner(b *testing.B) {
+	nw := benchNetwork(b, 8192, 1)
+	ring := nw.RingOf(nw.Population().Tree().Root())
+	rng := rand.New(rand.NewSource(3))
+	space := nw.Population().Space()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ring.Owner(space.Random(rng))
+	}
+}
+
+func BenchmarkRingXORClosest(b *testing.B) {
+	nw := benchNetwork(b, 8192, 1)
+	ring := nw.RingOf(nw.Population().Tree().Root())
+	rng := rand.New(rand.NewSource(4))
+	space := nw.Population().Space()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ring.XORClosestPos(space.Random(rng))
+	}
+}
+
+func BenchmarkRingCountInArc(b *testing.B) {
+	nw := benchNetwork(b, 8192, 1)
+	ring := nw.RingOf(nw.Population().Tree().Root())
+	rng := rand.New(rand.NewSource(5))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pos := rng.Intn(ring.Len())
+		ring.CountInArc(ring.IDAt(pos), 1<<10, 1<<20)
+	}
+}

@@ -1,0 +1,202 @@
+package core
+
+import (
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+
+	"github.com/canon-dht/canon/internal/hierarchy"
+	"github.com/canon-dht/canon/internal/id"
+)
+
+// Network is a fully constructed (flat or Canonical) DHT over a population:
+// the per-domain rings plus every node's out-links. It supports greedy
+// routing, proxy lookup and the structural queries used by the storage,
+// caching and multicast layers. A Network is immutable after Build and safe
+// for concurrent use.
+type Network struct {
+	pop   *Population
+	geom  Geometry
+	rings map[int]*Ring // keyed by domain ID
+	out   [][]int32     // out-links per node, ascending, deduplicated
+}
+
+// Build constructs the Canonical version of the geometry's DHT over the
+// population's hierarchy, exactly as Section 2.1 prescribes: every
+// lowest-level domain forms a flat DHT, and sibling rings are merged
+// bottom-up with each node adding only the links that satisfy conditions (a)
+// and (b). A population on a one-level hierarchy (all nodes in the root
+// domain) yields the plain flat DHT.
+//
+// Randomness used by nondeterministic geometries is drawn from rng, which
+// must not be nil when such a geometry is used; deterministic geometries
+// ignore it.
+func Build(pop *Population, g Geometry, rng *rand.Rand) *Network {
+	nw := &Network{
+		pop:   pop,
+		geom:  g,
+		rings: buildRings(pop),
+		out:   make([][]int32, pop.Len()),
+	}
+	for i := 0; i < pop.Len(); i++ {
+		nw.out[i] = nw.buildNodeLinks(i, rng)
+	}
+	return nw
+}
+
+// BuildParallel is Build spread across worker goroutines. Each node's links
+// are computed with a private rand.Rand seeded from (seed, node index), so
+// the result is deterministic in seed and independent of scheduling — but it
+// differs from Build's output for nondeterministic geometries, which there
+// draw from one shared stream. Geometries must be stateless (all shipped
+// ones are). workers <= 0 means GOMAXPROCS.
+func BuildParallel(pop *Population, g Geometry, seed int64, workers int) *Network {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	nw := &Network{
+		pop:   pop,
+		geom:  g,
+		rings: buildRings(pop),
+		out:   make([][]int32, pop.Len()),
+	}
+	var wg sync.WaitGroup
+	n := pop.Len()
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			src := &splitmix{}
+			rng := rand.New(src)
+			for i := lo; i < hi; i++ {
+				src.state = uint64(seed) ^ (uint64(i)+1)*0x9E3779B97F4A7C15
+				nw.out[i] = nw.buildNodeLinks(i, rng)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return nw
+}
+
+// splitmix is a splitmix64 rand.Source: O(1) reseeding makes per-node
+// deterministic streams cheap, which BuildParallel relies on.
+type splitmix struct {
+	state uint64
+}
+
+func (s *splitmix) Seed(v int64) { s.state = uint64(v) }
+
+func (s *splitmix) Int63() int64 {
+	s.state += 0x9E3779B97F4A7C15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64((z ^ (z >> 31)) >> 1)
+}
+
+var _ rand.Source = (*splitmix)(nil)
+
+// buildNodeLinks runs the Canon construction for a single node: base links
+// in its leaf ring, then merge links at every level going up the hierarchy.
+func (nw *Network) buildNodeLinks(node int, rng *rand.Rand) []int32 {
+	chain := hierarchy.DomainsOnPath(nw.pop.LeafOf(node)) // root first
+	leafRing := nw.rings[chain[len(chain)-1].ID()]
+
+	links := nw.geom.BaseLinks(leafRing, node, rng)
+	own := leafRing
+	for depth := len(chain) - 2; depth >= 0; depth-- {
+		merged := nw.rings[chain[depth].ID()]
+		if merged.Len() == own.Len() {
+			// No sibling contributed nodes at this level: nothing to merge.
+			own = merged
+			continue
+		}
+		linkIDs := make([]id.ID, len(links))
+		for i, l := range links {
+			linkIDs[i] = nw.pop.IDOf(l)
+		}
+		bound := nw.geom.Bound(own, node, linkIDs)
+		links = append(links, nw.geom.MergeLinks(merged, own, node, bound, rng)...)
+		own = merged
+	}
+	return dedupeLinks(links, node)
+}
+
+// dedupeLinks sorts, deduplicates and compacts a link list, dropping any
+// accidental self-link.
+func dedupeLinks(links []int, self int) []int32 {
+	sort.Ints(links)
+	out := make([]int32, 0, len(links))
+	prev := -1
+	for _, l := range links {
+		if l == self || l == prev {
+			continue
+		}
+		out = append(out, int32(l))
+		prev = l
+	}
+	return out
+}
+
+// Population returns the population the network was built over.
+func (nw *Network) Population() *Population { return nw.pop }
+
+// Geometry returns the geometry the network was built with.
+func (nw *Network) Geometry() Geometry { return nw.geom }
+
+// Len returns the number of nodes.
+func (nw *Network) Len() int { return nw.pop.Len() }
+
+// Links returns node's out-links as population indices in ascending order.
+// Callers must not modify the returned slice.
+func (nw *Network) Links(node int) []int32 { return nw.out[node] }
+
+// Degree returns node's out-degree. Following the paper, only out-links are
+// counted.
+func (nw *Network) Degree(node int) int { return len(nw.out[node]) }
+
+// AvgDegree returns the mean out-degree across all nodes.
+func (nw *Network) AvgDegree() float64 {
+	total := 0
+	for _, l := range nw.out {
+		total += len(l)
+	}
+	return float64(total) / float64(len(nw.out))
+}
+
+// RingOf returns the ring of the given domain, or nil if the domain holds no
+// nodes.
+func (nw *Network) RingOf(d *hierarchy.Domain) *Ring {
+	return nw.rings[d.ID()]
+}
+
+// Proxy returns the population index of the proxy node for key k in domain
+// d: the member of d's ring responsible for k. Per Section 2.2, every route
+// from inside d to a destination outside d exits through this node. It
+// returns -1 if d holds no nodes.
+func (nw *Network) Proxy(d *hierarchy.Domain, k id.ID) int {
+	r := nw.rings[d.ID()]
+	if r == nil {
+		return -1
+	}
+	if nw.geom.Metric() == MetricXOR {
+		return r.Member(r.XORClosestPos(k))
+	}
+	return r.Owner(k)
+}
+
+// HasLink reports whether node links to target.
+func (nw *Network) HasLink(node, target int) bool {
+	l := nw.out[node]
+	i := sort.Search(len(l), func(x int) bool { return l[x] >= int32(target) })
+	return i < len(l) && l[i] == int32(target)
+}

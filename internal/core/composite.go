@@ -1,0 +1,131 @@
+package core
+
+import (
+	"math/rand"
+
+	"github.com/canon-dht/canon/internal/id"
+)
+
+// CompleteGeometry links every ring member to every other — the Section 3.5
+// observation that nodes sharing a LAN can exploit broadcast to maintain a
+// complete graph instead of a Chord ring. It only makes sense as the
+// lowest-level structure of a composite (see Compose): at higher levels its
+// link count would explode.
+type CompleteGeometry struct {
+	space id.Space
+}
+
+var _ Geometry = (*CompleteGeometry)(nil)
+
+// NewCompleteGeometry returns the complete-graph geometry over space.
+func NewCompleteGeometry(space id.Space) *CompleteGeometry {
+	return &CompleteGeometry{space: space}
+}
+
+// Name implements Geometry.
+func (g *CompleteGeometry) Name() string { return "complete" }
+
+// Metric implements Geometry.
+func (g *CompleteGeometry) Metric() Metric { return MetricClockwise }
+
+// Distance implements Geometry.
+func (g *CompleteGeometry) Distance(a, b id.ID) uint64 { return g.space.Clockwise(a, b) }
+
+// BaseLinks implements Geometry: links to every other ring member.
+func (g *CompleteGeometry) BaseLinks(ring *Ring, node int, _ *rand.Rand) []int {
+	if ring.Len() <= 1 {
+		return nil
+	}
+	links := make([]int, 0, ring.Len()-1)
+	for pos := 0; pos < ring.Len(); pos++ {
+		if m := ring.Member(pos); m != node {
+			links = append(links, m)
+		}
+	}
+	return links
+}
+
+// MergeLinks implements Geometry. A complete graph is a leaf-level
+// structure; merges fall back to the Chord rule bounded by condition (b),
+// which keeps the composite's higher levels sane even if someone uses this
+// geometry directly.
+func (g *CompleteGeometry) MergeLinks(merged, own *Ring, node int, bound uint64, rng *rand.Rand) []int {
+	det := &Deterministic{space: g.space}
+	return det.MergeLinks(merged, own, node, bound, rng)
+}
+
+// Bound implements Geometry: the distance to the own-ring successor, as for
+// any clockwise geometry.
+func (g *CompleteGeometry) Bound(own *Ring, node int, _ []id.ID) uint64 {
+	pos := own.PosOfMember(node)
+	if pos < 0 {
+		return 0
+	}
+	return own.SuccessorDistance(pos)
+}
+
+// Deterministic is a minimal internal copy of the Chord finger rule used by
+// CompleteGeometry's merge fallback; the canonical implementation lives in
+// internal/chord, which cannot be imported here without a cycle.
+type Deterministic struct {
+	space id.Space
+}
+
+// MergeLinks applies the Chord rule over the merged ring bounded by
+// condition (b).
+func (g *Deterministic) MergeLinks(merged, _ *Ring, node int, bound uint64, _ *rand.Rand) []int {
+	pos := merged.PosOfMember(node)
+	if pos < 0 || merged.Len() == 1 {
+		return nil
+	}
+	m := merged.IDAt(pos)
+	var links []int
+	for k := uint(0); k < g.space.Bits(); k++ {
+		step := uint64(1) << k
+		if step >= bound {
+			break
+		}
+		spos := merged.SuccessorPos(g.space.Add(m, step))
+		d := g.space.Clockwise(m, merged.IDAt(spos))
+		if d < step || d >= bound {
+			continue
+		}
+		links = append(links, merged.Member(spos))
+	}
+	return links
+}
+
+// Compose builds a per-level geometry (Section 3.5): `leaf` creates the
+// links inside lowest-level domains and `upper` handles every merge. Both
+// must share the same metric. The classic use is a complete graph on LANs
+// with Crescendo above:
+//
+//	core.Compose(core.NewCompleteGeometry(space), chord.NewDeterministic(space))
+type composite struct {
+	leaf, upper Geometry
+}
+
+var _ Geometry = (*composite)(nil)
+
+// Compose returns a geometry using leaf for BaseLinks and upper for merges.
+func Compose(leaf, upper Geometry) Geometry {
+	return &composite{leaf: leaf, upper: upper}
+}
+
+func (c *composite) Name() string { return c.leaf.Name() + "/" + c.upper.Name() }
+
+func (c *composite) Metric() Metric { return c.upper.Metric() }
+
+func (c *composite) Distance(a, b id.ID) uint64 { return c.upper.Distance(a, b) }
+
+func (c *composite) BaseLinks(ring *Ring, node int, rng *rand.Rand) []int {
+	return c.leaf.BaseLinks(ring, node, rng)
+}
+
+func (c *composite) MergeLinks(merged, own *Ring, node int, bound uint64, rng *rand.Rand) []int {
+	return c.upper.MergeLinks(merged, own, node, bound, rng)
+}
+
+func (c *composite) Bound(own *Ring, node int, linkIDs []id.ID) uint64 {
+	return c.upper.Bound(own, node, linkIDs)
+}

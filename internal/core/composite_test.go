@@ -1,0 +1,123 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/canon-dht/canon/internal/chord"
+	"github.com/canon-dht/canon/internal/core"
+	"github.com/canon-dht/canon/internal/hierarchy"
+	"github.com/canon-dht/canon/internal/id"
+)
+
+// buildComposite builds the Section 3.5 LAN composite: complete graphs in
+// leaf domains, Crescendo merges above.
+func buildComposite(t *testing.T, seed int64, n, levels, fanout int) *core.Network {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	space := id.DefaultSpace()
+	tree, err := hierarchy.Balanced(levels, fanout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaves := hierarchy.AssignUniform(rng, tree, n)
+	pop, err := core.RandomPopulation(rng, space, tree, leaves)
+	if err != nil {
+		t.Fatal(err)
+	}
+	geom := core.Compose(core.NewCompleteGeometry(space), chord.NewDeterministic(space))
+	return core.Build(pop, geom, rng)
+}
+
+func TestCompositeLeafIsCompleteGraph(t *testing.T) {
+	nw := buildComposite(t, 121, 256, 2, 8)
+	pop := nw.Population()
+	for i := 0; i < nw.Len(); i++ {
+		ring := nw.RingOf(pop.LeafOf(i))
+		for pos := 0; pos < ring.Len(); pos++ {
+			other := ring.Member(pos)
+			if other == i {
+				continue
+			}
+			if !nw.HasLink(i, other) {
+				t.Fatalf("node %d missing LAN link to %d", i, other)
+			}
+		}
+	}
+}
+
+// TestCompositeLANRoutingOneHop: intra-LAN routes take exactly one hop.
+func TestCompositeLANRoutingOneHop(t *testing.T) {
+	nw := buildComposite(t, 122, 256, 2, 8)
+	pop := nw.Population()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		from := rng.Intn(nw.Len())
+		ring := nw.RingOf(pop.LeafOf(from))
+		to := ring.Member(rng.Intn(ring.Len()))
+		if to == from {
+			continue
+		}
+		r := nw.RouteToNode(from, to)
+		if !r.Success || r.Hops() != 1 {
+			t.Fatalf("intra-LAN route %d -> %d took %d hops", from, to, r.Hops())
+		}
+	}
+}
+
+// TestCompositeGlobalRouting: cross-LAN routing still completes, and path
+// locality holds (the composite preserves the Canon properties).
+func TestCompositeGlobalRouting(t *testing.T) {
+	nw := buildComposite(t, 123, 512, 3, 4)
+	pop := nw.Population()
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 2000; i++ {
+		from, to := rng.Intn(nw.Len()), rng.Intn(nw.Len())
+		r := nw.RouteToNode(from, to)
+		if !r.Success || r.Last() != to {
+			t.Fatalf("route %d -> %d failed", from, to)
+		}
+		lca := hierarchy.LCA(pop.LeafOf(from), pop.LeafOf(to))
+		for _, hop := range r.Nodes {
+			if !lca.IsAncestorOf(pop.LeafOf(hop)) {
+				t.Fatalf("route %d -> %d left %q", from, to, lca.Path())
+			}
+		}
+	}
+}
+
+// TestCompositeUpperBounds: inter-LAN links still obey condition (b), so the
+// degree stays tame despite complete LAN graphs.
+func TestCompositeUpperBounds(t *testing.T) {
+	nw := buildComposite(t, 124, 512, 2, 16) // 16 LANs of ~32 nodes
+	pop := nw.Population()
+	space := pop.Space()
+	for i := 0; i < nw.Len(); i++ {
+		leafRing := nw.RingOf(pop.LeafOf(i))
+		bound := leafRing.SuccessorDistance(leafRing.PosOfMember(i))
+		crossLinks := 0
+		for _, l := range nw.Links(i) {
+			if pop.LeafOf(int(l)) == pop.LeafOf(i) {
+				continue
+			}
+			crossLinks++
+			if d := space.Clockwise(pop.IDOf(i), pop.IDOf(int(l))); d >= bound {
+				t.Fatalf("node %d cross-LAN link at distance %d >= bound %d", i, d, bound)
+			}
+		}
+		if crossLinks > 40 {
+			t.Fatalf("node %d has %d cross-LAN links", i, crossLinks)
+		}
+	}
+}
+
+func TestCompositeMetadata(t *testing.T) {
+	space := id.DefaultSpace()
+	g := core.Compose(core.NewCompleteGeometry(space), chord.NewDeterministic(space))
+	if g.Name() != "complete/chord" {
+		t.Errorf("Name = %q", g.Name())
+	}
+	if g.Metric() != core.MetricClockwise {
+		t.Error("composite metric should come from the upper geometry")
+	}
+}

@@ -1,0 +1,508 @@
+package core_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/canon-dht/canon/internal/chord"
+	"github.com/canon-dht/canon/internal/core"
+	"github.com/canon-dht/canon/internal/hierarchy"
+	"github.com/canon-dht/canon/internal/id"
+)
+
+// figure2 builds the paper's Figure 2 scenario: two Chord rings A and B in a
+// 4-bit space, merged into one Crescendo ring.
+//
+//	Ring A: 0, 5, 10, 12
+//	Ring B: 2, 3, 8, 13
+func figure2(t *testing.T) (*core.Network, map[id.ID]int) {
+	t.Helper()
+	space := id.MustSpace(4)
+	tree := hierarchy.NewTree()
+	a, err := tree.EnsurePath("A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := tree.EnsurePath("B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := []id.ID{0, 5, 10, 12, 2, 3, 8, 13}
+	leaves := []*hierarchy.Domain{a, a, a, a, b, b, b, b}
+	pop, err := core.NewPopulation(space, tree, ids, leaves)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw := core.Build(pop, chord.NewDeterministic(space), nil)
+	byID := make(map[id.ID]int)
+	for i := 0; i < pop.Len(); i++ {
+		byID[pop.IDOf(i)] = i
+	}
+	return nw, byID
+}
+
+func linkIDs(nw *core.Network, node int) map[id.ID]bool {
+	out := make(map[id.ID]bool)
+	for _, l := range nw.Links(node) {
+		out[nw.Population().IDOf(int(l))] = true
+	}
+	return out
+}
+
+// TestFigure2Links verifies the exact link sets the paper walks through when
+// merging rings A and B.
+func TestFigure2Links(t *testing.T) {
+	nw, byID := figure2(t)
+	tests := []struct {
+		node id.ID
+		want []id.ID
+	}{
+		// Node 0 keeps ring-A links {5, 10} and gains only node 2 from the
+		// merge; node 8 is ruled out by condition (b), and no link to 3.
+		{node: 0, want: []id.ID{5, 10, 2}},
+		// Node 8 keeps ring-B links {13, 2} and gains 10 and 12; node 0 is
+		// ruled out by condition (b).
+		{node: 8, want: []id.ID{13, 2, 10, 12}},
+		// Node 2's own-ring successor (3) is at distance 1, so condition (b)
+		// rules out every inter-ring link.
+		{node: 2, want: []id.ID{3, 8, 13}},
+	}
+	for _, tt := range tests {
+		got := linkIDs(nw, byID[tt.node])
+		if len(got) != len(tt.want) {
+			t.Errorf("node %d links = %v, want %v", tt.node, got, tt.want)
+			continue
+		}
+		for _, w := range tt.want {
+			if !got[w] {
+				t.Errorf("node %d missing link to %d (links %v)", tt.node, w, got)
+			}
+		}
+	}
+}
+
+// TestFigure2Routing verifies the paper's routing walk-through: node 2
+// routing to node 12 stays in ring B until node 8 (the closest predecessor
+// of 12 in B), then switches to the merged ring.
+func TestFigure2Routing(t *testing.T) {
+	nw, byID := figure2(t)
+	r := nw.RouteToNode(byID[2], byID[12])
+	if !r.Success {
+		t.Fatal("route 2 -> 12 failed")
+	}
+	if len(r.Nodes) < 2 || r.Nodes[1] != byID[8] {
+		t.Errorf("route 2 -> 12 should pass through 8 first, got path %v", r.Nodes)
+	}
+	if r.Last() != byID[12] {
+		t.Errorf("route should end at 12, ended at node %d", nw.Population().IDOf(r.Last()))
+	}
+}
+
+func buildRandom(t testing.TB, seed int64, n, levels, fanout int, g func(id.Space) core.Geometry) *core.Network {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	space := id.DefaultSpace()
+	tree, err := hierarchy.Balanced(levels, fanout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaves := hierarchy.AssignZipf(rng, tree, n, 1.25)
+	pop, err := core.RandomPopulation(rng, space, tree, leaves)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core.Build(pop, g(space), rng)
+}
+
+func detChord(s id.Space) core.Geometry { return chord.NewDeterministic(s) }
+
+func TestFlatChordEqualsOneLevelCrescendo(t *testing.T) {
+	// Flat Chord is the special case of a one-level hierarchy: the degree of
+	// every node must match the classic finger-table construction.
+	nw := buildRandom(t, 1, 256, 1, 10, detChord)
+	n := nw.Len()
+	// Every node must link to its global successor.
+	for i := 0; i < n; i++ {
+		succ := (i + 1) % n
+		if !nw.HasLink(i, succ) {
+			t.Fatalf("node %d does not link to its successor %d", i, succ)
+		}
+	}
+}
+
+func TestAllPairsRoutingSucceeds(t *testing.T) {
+	for _, levels := range []int{1, 2, 3} {
+		nw := buildRandom(t, 2, 128, levels, 4, detChord)
+		n := nw.Len()
+		for from := 0; from < n; from++ {
+			for to := 0; to < n; to += 7 {
+				r := nw.RouteToNode(from, to)
+				if !r.Success || r.Last() != to {
+					t.Fatalf("levels=%d: route %d -> %d failed (path %v)", levels, from, to, r.Nodes)
+				}
+			}
+		}
+	}
+}
+
+func TestRouteToKeyEndsAtOwner(t *testing.T) {
+	nw := buildRandom(t, 3, 200, 3, 4, detChord)
+	rng := rand.New(rand.NewSource(9))
+	space := nw.Population().Space()
+	for i := 0; i < 500; i++ {
+		from := rng.Intn(nw.Len())
+		key := space.Random(rng)
+		r := nw.RouteToKey(from, key)
+		if !r.Success {
+			t.Fatalf("route to key %d from %d did not reach owner (path %v)", key, from, r.Nodes)
+		}
+		if r.Last() != nw.Population().OwnerOf(key) {
+			t.Fatalf("route ended at %d, owner is %d", r.Last(), nw.Population().OwnerOf(key))
+		}
+	}
+}
+
+// TestIntraDomainPathLocality checks the paper's first crucial property:
+// the route between two nodes never leaves the lowest domain containing
+// both.
+func TestIntraDomainPathLocality(t *testing.T) {
+	nw := buildRandom(t, 4, 512, 4, 3, detChord)
+	pop := nw.Population()
+	rng := rand.New(rand.NewSource(10))
+	for i := 0; i < 2000; i++ {
+		from := rng.Intn(nw.Len())
+		to := rng.Intn(nw.Len())
+		lca := hierarchy.LCA(pop.LeafOf(from), pop.LeafOf(to))
+		r := nw.RouteToNode(from, to)
+		for _, hop := range r.Nodes {
+			if !lca.IsAncestorOf(pop.LeafOf(hop)) {
+				t.Fatalf("route %d -> %d left domain %q at node %d", from, to, lca.Path(), hop)
+			}
+		}
+	}
+}
+
+// TestInterDomainPathConvergence checks the second crucial property: all
+// routes from inside a domain D to the same outside destination exit D
+// through the proxy node, the closest predecessor of the destination in D.
+func TestInterDomainPathConvergence(t *testing.T) {
+	nw := buildRandom(t, 5, 512, 3, 4, detChord)
+	pop := nw.Population()
+	rng := rand.New(rand.NewSource(11))
+
+	for trial := 0; trial < 200; trial++ {
+		dst := rng.Intn(nw.Len())
+		// Pick a depth-1 domain not containing the destination.
+		src := rng.Intn(nw.Len())
+		d := pop.LeafOf(src).AncestorAt(1)
+		if d.IsAncestorOf(pop.LeafOf(dst)) {
+			continue
+		}
+		ring := nw.RingOf(d)
+		if ring == nil || ring.Len() < 2 {
+			continue
+		}
+		proxy := nw.Proxy(d, pop.IDOf(dst))
+		// Route from several members of d; the last in-domain node on every
+		// path must be the proxy.
+		for i := 0; i < 5; i++ {
+			from := ring.Member(rng.Intn(ring.Len()))
+			r := nw.RouteToNode(from, dst)
+			exit := -1
+			for _, hop := range r.Nodes {
+				if d.IsAncestorOf(pop.LeafOf(hop)) {
+					exit = hop
+				} else {
+					break
+				}
+			}
+			if exit != proxy {
+				t.Fatalf("route from %d exits %q at %d, want proxy %d", from, d.Path(), exit, proxy)
+			}
+		}
+	}
+}
+
+// TestTheorem1ChordDegree checks E[degree] <= log2(n-1) + 1 for flat Chord.
+func TestTheorem1ChordDegree(t *testing.T) {
+	for _, n := range []int{64, 256, 1024} {
+		var total float64
+		const trials = 3
+		for s := int64(0); s < trials; s++ {
+			nw := buildRandom(t, 100+s, n, 1, 10, detChord)
+			total += nw.AvgDegree()
+		}
+		avg := total / trials
+		bound := math.Log2(float64(n-1)) + 1
+		if avg > bound {
+			t.Errorf("n=%d: avg chord degree %.3f exceeds theorem bound %.3f", n, avg, bound)
+		}
+		// Sanity: it should not be wildly below log2(n) - 2 either.
+		if avg < math.Log2(float64(n))-2 {
+			t.Errorf("n=%d: avg chord degree %.3f implausibly low", n, avg)
+		}
+	}
+}
+
+// TestTheorem2CrescendoDegree checks E[degree] <= log2(n-1) + min(l, log n)
+// and the paper's empirical observation that Crescendo's average degree is
+// below Chord's.
+func TestTheorem2CrescendoDegree(t *testing.T) {
+	const n = 1024
+	flat := buildRandom(t, 200, n, 1, 10, detChord)
+	for _, levels := range []int{2, 3, 4} {
+		nw := buildRandom(t, 200, n, levels, 10, detChord)
+		avg := nw.AvgDegree()
+		bound := math.Log2(float64(n-1)) + math.Min(float64(levels), math.Log2(float64(n)))
+		if avg > bound {
+			t.Errorf("levels=%d: avg crescendo degree %.3f exceeds bound %.3f", levels, avg, bound)
+		}
+		if avg > flat.AvgDegree()+0.5 {
+			t.Errorf("levels=%d: crescendo degree %.3f should not exceed chord's %.3f", levels, avg, flat.AvgDegree())
+		}
+	}
+}
+
+// TestTheorem4ChordHops checks E[hops] <= 0.5*log2(n-1) + 0.5 for flat Chord.
+func TestTheorem4ChordHops(t *testing.T) {
+	const n = 1024
+	nw := buildRandom(t, 300, n, 1, 10, detChord)
+	rng := rand.New(rand.NewSource(12))
+	var hops, routes float64
+	for i := 0; i < 4000; i++ {
+		from, to := rng.Intn(n), rng.Intn(n)
+		r := nw.RouteToNode(from, to)
+		hops += float64(r.Hops())
+		routes++
+	}
+	avg := hops / routes
+	bound := 0.5*math.Log2(float64(n-1)) + 0.5
+	if avg > bound {
+		t.Errorf("avg chord hops %.3f exceeds theorem bound %.3f", avg, bound)
+	}
+}
+
+// TestTheorem5CrescendoHops checks E[hops] <= log2(n-1) + 1 regardless of
+// hierarchy, and the empirical claim that it stays within ~0.7 of Chord.
+func TestTheorem5CrescendoHops(t *testing.T) {
+	const n = 1024
+	measure := func(nw *core.Network, seed int64) float64 {
+		rng := rand.New(rand.NewSource(seed))
+		var hops float64
+		const routes = 4000
+		for i := 0; i < routes; i++ {
+			r := nw.RouteToNode(rng.Intn(n), rng.Intn(n))
+			hops += float64(r.Hops())
+		}
+		return hops / routes
+	}
+	flatAvg := measure(buildRandom(t, 400, n, 1, 10, detChord), 13)
+	for _, levels := range []int{2, 4} {
+		nw := buildRandom(t, 400, n, levels, 10, detChord)
+		avg := measure(nw, 13)
+		if bound := math.Log2(float64(n-1)) + 1; avg > bound {
+			t.Errorf("levels=%d: avg hops %.3f exceeds theorem bound %.3f", levels, avg, bound)
+		}
+		if avg > flatAvg+0.9 {
+			t.Errorf("levels=%d: avg hops %.3f too far above flat chord's %.3f", levels, avg, flatAvg)
+		}
+	}
+}
+
+func TestPopulationValidation(t *testing.T) {
+	space := id.MustSpace(8)
+	tree := hierarchy.NewTree()
+	leaf := tree.Root()
+
+	if _, err := core.NewPopulation(space, tree, nil, nil); err == nil {
+		t.Error("empty population should error")
+	}
+	if _, err := core.NewPopulation(space, tree, []id.ID{1, 1}, []*hierarchy.Domain{leaf, leaf}); err == nil {
+		t.Error("duplicate IDs should error")
+	}
+	if _, err := core.NewPopulation(space, tree, []id.ID{1}, []*hierarchy.Domain{leaf, leaf}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := core.NewPopulation(space, tree, []id.ID{300}, []*hierarchy.Domain{leaf}); err == nil {
+		t.Error("out-of-space ID should error")
+	}
+	if _, err := core.NewPopulation(space, tree, []id.ID{1}, []*hierarchy.Domain{nil}); err == nil {
+		t.Error("nil leaf should error")
+	}
+}
+
+func TestOwnerOf(t *testing.T) {
+	space := id.MustSpace(4)
+	tree := hierarchy.NewTree()
+	leaf := tree.Root()
+	ids := []id.ID{2, 5, 9}
+	pop, err := core.NewPopulation(space, tree, ids, []*hierarchy.Domain{leaf, leaf, leaf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		key  id.ID
+		want id.ID
+	}{
+		{2, 2}, {3, 2}, {4, 2}, {5, 5}, {8, 5}, {9, 9}, {15, 9}, {0, 9}, {1, 9},
+	}
+	for _, tt := range tests {
+		got := pop.IDOf(pop.OwnerOf(tt.key))
+		if got != tt.want {
+			t.Errorf("OwnerOf(%d) = node %d, want %d", tt.key, got, tt.want)
+		}
+	}
+}
+
+func TestRingQueries(t *testing.T) {
+	space := id.MustSpace(4)
+	tree := hierarchy.NewTree()
+	leaf := tree.Root()
+	ids := []id.ID{2, 5, 9, 14}
+	pop, err := core.NewPopulation(space, tree, ids, []*hierarchy.Domain{leaf, leaf, leaf, leaf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw := core.Build(pop, chord.NewDeterministic(space), nil)
+	r := nw.RingOf(tree.Root())
+	if r.Len() != 4 {
+		t.Fatalf("ring len = %d", r.Len())
+	}
+	if got := pop.IDOf(r.Successor(10)); got != 14 {
+		t.Errorf("Successor(10) = %d, want 14", got)
+	}
+	if got := pop.IDOf(r.Owner(10)); got != 9 {
+		t.Errorf("Owner(10) = %d, want 9", got)
+	}
+	if got := pop.IDOf(r.Owner(1)); got != 14 {
+		t.Errorf("Owner(1) = %d, want 14 (wrap)", got)
+	}
+	// CountInArc from node 2: distances are 5->3, 9->7, 14->12.
+	tests := []struct {
+		lo, hi uint64
+		want   int
+	}{
+		{1, 16, 3},
+		{3, 4, 1},
+		{4, 8, 1},
+		{3, 13, 3},
+		{8, 12, 0},
+		{13, 16, 0},
+	}
+	for _, tt := range tests {
+		got, _ := r.CountInArc(2, tt.lo, tt.hi)
+		if got != tt.want {
+			t.Errorf("CountInArc(2,%d,%d) = %d, want %d", tt.lo, tt.hi, got, tt.want)
+		}
+	}
+	// XOR closest.
+	if got := pop.IDOf(r.Member(r.XORClosestPos(4))); got != 5 {
+		t.Errorf("XORClosest(4) = %d, want 5", got)
+	}
+	if got := pop.IDOf(r.Member(r.XORClosestPos(14))); got != 14 {
+		t.Errorf("XORClosest(14) = %d, want 14", got)
+	}
+	// Unique prefix lengths: ids are 0010, 0101, 1001, 1110.
+	wantPlen := []uint{2, 2, 2, 2}
+	for pos, want := range wantPlen {
+		if got := r.UniquePrefixLen(pos); got != want {
+			t.Errorf("UniquePrefixLen(pos %d) = %d, want %d", pos, got, want)
+		}
+	}
+}
+
+func TestPathDomains(t *testing.T) {
+	nw, byID := figure2(t)
+	r := nw.RouteToNode(byID[2], byID[12])
+	depths := nw.PathDomains(r)
+	if len(depths) != r.Hops() {
+		t.Fatalf("PathDomains length %d, want %d", len(depths), r.Hops())
+	}
+	// Path 2 -> 8 stays in B (LCA depth 1); 8 -> 12 crosses to A (depth 0).
+	if depths[0] != 1 {
+		t.Errorf("first hop LCA depth = %d, want 1", depths[0])
+	}
+	if depths[len(depths)-1] != 0 {
+		t.Errorf("last hop LCA depth = %d, want 0", depths[len(depths)-1])
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	nw, byID := figure2(t)
+	pop := nw.Population()
+
+	// Population accessors.
+	if got := pop.Node(0); got.Index != 0 || got.ID != pop.IDOf(0) {
+		t.Errorf("Node(0) = %+v", got)
+	}
+	ids := pop.IDs()
+	if len(ids) != pop.Len() || ids[0] != pop.IDOf(0) {
+		t.Errorf("IDs() inconsistent")
+	}
+	// SuccessorOf: first node with ID >= key.
+	if got := pop.IDOf(pop.SuccessorOf(4)); got != 5 {
+		t.Errorf("SuccessorOf(4) = %d, want node 5", got)
+	}
+	if got := pop.IDOf(pop.SuccessorOf(14)); got != 0 {
+		t.Errorf("SuccessorOf(14) = %d, want wrap to node 0", got)
+	}
+	// Ring accessors.
+	ring := nw.RingOf(pop.Tree().Root())
+	if ring.Domain() != pop.Tree().Root() {
+		t.Error("Ring.Domain mismatch")
+	}
+	if ring.Space().Bits() != 4 {
+		t.Errorf("Ring.Space bits = %d", ring.Space().Bits())
+	}
+	if !ring.Contains(8) || ring.Contains(9) {
+		t.Error("Ring.Contains wrong")
+	}
+	if got := ring.IDAt(ring.PosOf(8)); got != 8 {
+		t.Errorf("PosOf/IDAt roundtrip = %d", got)
+	}
+	// Network accessors.
+	if nw.Geometry().Name() != "chord" {
+		t.Errorf("Geometry() = %q", nw.Geometry().Name())
+	}
+	_ = byID
+}
+
+func TestCompleteGeometryDirect(t *testing.T) {
+	space := id.MustSpace(6)
+	g := core.NewCompleteGeometry(space)
+	if g.Name() != "complete" || g.Metric() != core.MetricClockwise {
+		t.Error("metadata wrong")
+	}
+	if g.Distance(5, 2) != space.Clockwise(5, 2) {
+		t.Error("Distance wrong")
+	}
+	// Used directly (not composed) on a 2-level hierarchy: merges fall back
+	// to the Chord rule, so routing still works.
+	tree, err := hierarchy.Balanced(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	leaves := hierarchy.AssignUniform(rng, tree, 48)
+	pop, err := core.RandomPopulation(rng, id.DefaultSpace(), tree, leaves)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw := core.Build(pop, core.NewCompleteGeometry(id.DefaultSpace()), rng)
+	for i := 0; i < 300; i++ {
+		from, to := rng.Intn(48), rng.Intn(48)
+		r := nw.RouteToNode(from, to)
+		if !r.Success || r.Last() != to {
+			t.Fatalf("route %d -> %d failed", from, to)
+		}
+	}
+}
+
+func TestCompositeDelegation(t *testing.T) {
+	space := id.DefaultSpace()
+	g := core.Compose(core.NewCompleteGeometry(space), chord.NewDeterministic(space))
+	if g.Distance(9, 4) != space.Clockwise(9, 4) {
+		t.Error("composite Distance should come from the upper geometry")
+	}
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"github.com/canon-dht/canon/internal/id"
+)
+
+// FailureSet marks a subset of nodes as failed for failure-injection
+// experiments: static resilience (what fraction of routes still complete
+// right after a batch of failures, before any repair) and fault isolation
+// (failures outside a domain never affect routes within it, Section 2.2).
+type FailureSet struct {
+	down []bool
+	n    int
+}
+
+// NewFailureSet returns an all-alive set for a network of size n.
+func NewFailureSet(n int) *FailureSet {
+	return &FailureSet{down: make([]bool, n)}
+}
+
+// Fail marks a node as failed.
+func (f *FailureSet) Fail(node int) {
+	if !f.down[node] {
+		f.down[node] = true
+		f.n++
+	}
+}
+
+// Revive marks a node as alive again.
+func (f *FailureSet) Revive(node int) {
+	if f.down[node] {
+		f.down[node] = false
+		f.n--
+	}
+}
+
+// Down reports whether a node is failed.
+func (f *FailureSet) Down(node int) bool { return f.down[node] }
+
+// NumDown returns how many nodes are failed.
+func (f *FailureSet) NumDown() int { return f.n }
+
+// AliveOwnerOf returns the node responsible for key k among the surviving
+// nodes: the closest alive predecessor. It returns -1 if every node is down.
+func (nw *Network) AliveOwnerOf(k id.ID, fails *FailureSet) int {
+	n := nw.pop.Len()
+	owner := nw.pop.OwnerOf(k)
+	for i := 0; i < n; i++ {
+		cand := owner - i
+		if cand < 0 {
+			cand += n
+		}
+		if !fails.Down(cand) {
+			return cand
+		}
+	}
+	return -1
+}
+
+// RouteToKeyFailures routes greedily from an alive node toward key k while
+// treating the nodes in fails as crashed: a dead neighbor is simply skipped,
+// exactly what a live node does when a link times out. The route succeeds if
+// it terminates at the key's alive owner. No repair is modeled — this is the
+// static-resilience measurement.
+func (nw *Network) RouteToKeyFailures(from int, k id.ID, fails *FailureSet) Route {
+	space := nw.pop.Space()
+	path := []int{from}
+	cur := from
+	for hops := 0; hops <= nw.Len(); hops++ {
+		remaining := space.Clockwise(nw.pop.IDOf(cur), k)
+		if remaining == 0 {
+			break
+		}
+		best, bestAdvance := -1, uint64(0)
+		for _, nb := range nw.out[cur] {
+			if fails.Down(int(nb)) {
+				continue
+			}
+			advance := space.Clockwise(nw.pop.IDOf(cur), nw.pop.IDOf(int(nb)))
+			if advance <= remaining && advance > bestAdvance {
+				best, bestAdvance = int(nb), advance
+			}
+		}
+		if best < 0 {
+			break
+		}
+		cur = best
+		path = append(path, cur)
+	}
+	return Route{Nodes: path, Success: cur == nw.AliveOwnerOf(k, fails)}
+}

@@ -1,0 +1,140 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/canon-dht/canon/internal/core"
+	"github.com/canon-dht/canon/internal/hierarchy"
+)
+
+func TestFailureSetBookkeeping(t *testing.T) {
+	f := core.NewFailureSet(10)
+	if f.NumDown() != 0 || f.Down(3) {
+		t.Fatal("fresh set should be all alive")
+	}
+	f.Fail(3)
+	f.Fail(3) // idempotent
+	f.Fail(7)
+	if f.NumDown() != 2 || !f.Down(3) || !f.Down(7) || f.Down(4) {
+		t.Fatalf("bookkeeping wrong: down=%d", f.NumDown())
+	}
+	f.Revive(3)
+	f.Revive(3)
+	if f.NumDown() != 1 || f.Down(3) {
+		t.Fatal("revive failed")
+	}
+}
+
+func TestAliveOwner(t *testing.T) {
+	nw := buildRandom(t, 81, 64, 1, 10, detChord)
+	fails := core.NewFailureSet(nw.Len())
+	key := nw.Population().Space().Random(rand.New(rand.NewSource(1)))
+	owner := nw.Population().OwnerOf(key)
+	if got := nw.AliveOwnerOf(key, fails); got != owner {
+		t.Fatalf("alive owner %d != owner %d with no failures", got, owner)
+	}
+	fails.Fail(owner)
+	next := nw.AliveOwnerOf(key, fails)
+	if next == owner {
+		t.Fatal("dead node still owner")
+	}
+	// The replacement is the closest alive predecessor.
+	want := owner - 1
+	if want < 0 {
+		want += nw.Len()
+	}
+	if next != want {
+		t.Fatalf("alive owner %d, want %d", next, want)
+	}
+}
+
+func TestRoutingNoFailuresMatchesPlain(t *testing.T) {
+	nw := buildRandom(t, 82, 256, 3, 4, detChord)
+	fails := core.NewFailureSet(nw.Len())
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 300; i++ {
+		from := rng.Intn(nw.Len())
+		key := nw.Population().Space().Random(rng)
+		r1 := nw.RouteToKey(from, key)
+		r2 := nw.RouteToKeyFailures(from, key, fails)
+		if !r2.Success || r2.Last() != r1.Last() {
+			t.Fatalf("failure-aware route diverges with no failures: %v vs %v", r2.Nodes, r1.Nodes)
+		}
+	}
+}
+
+// TestStaticResilience: with a modest failure fraction most routes still
+// complete, and Crescendo is not more fragile than flat Chord.
+func TestStaticResilience(t *testing.T) {
+	const n = 512
+	rate := func(levels int, frac float64) float64 {
+		nw := buildRandom(t, 83, n, levels, 4, detChord)
+		rng := rand.New(rand.NewSource(3))
+		fails := core.NewFailureSet(n)
+		for fails.NumDown() < int(frac*n) {
+			fails.Fail(rng.Intn(n))
+		}
+		ok, total := 0, 0
+		for i := 0; i < 1500; i++ {
+			from := rng.Intn(n)
+			if fails.Down(from) {
+				continue
+			}
+			key := nw.Population().Space().Random(rng)
+			if nw.RouteToKeyFailures(from, key, fails).Success {
+				ok++
+			}
+			total++
+		}
+		return float64(ok) / float64(total)
+	}
+	flat := rate(1, 0.2)
+	hier := rate(3, 0.2)
+	if flat < 0.5 {
+		t.Errorf("flat chord resilience %.2f implausibly low at 20%% failures", flat)
+	}
+	if hier < flat-0.15 {
+		t.Errorf("crescendo resilience %.2f far below chord's %.2f", hier, flat)
+	}
+}
+
+// TestFaultIsolation: kill every node outside a domain; routing between the
+// domain's members must be completely unaffected (Section 2.2).
+func TestFaultIsolation(t *testing.T) {
+	nw := buildRandom(t, 84, 512, 3, 4, detChord)
+	pop := nw.Population()
+	rng := rand.New(rand.NewSource(4))
+
+	// Pick a level-1 domain with a healthy population.
+	var dom *hierarchy.Domain
+	for _, c := range pop.Tree().Root().Children() {
+		if r := nw.RingOf(c); r != nil && r.Len() >= 50 {
+			dom = c
+			break
+		}
+	}
+	if dom == nil {
+		t.Skip("no sufficiently populated domain")
+	}
+	fails := core.NewFailureSet(nw.Len())
+	for i := 0; i < nw.Len(); i++ {
+		if !dom.IsAncestorOf(pop.LeafOf(i)) {
+			fails.Fail(i)
+		}
+	}
+	members := nw.RingOf(dom).Members()
+	for i := 0; i < 500; i++ {
+		from := members[rng.Intn(len(members))]
+		to := members[rng.Intn(len(members))]
+		r := nw.RouteToKeyFailures(from, pop.IDOf(to), fails)
+		if !r.Success || r.Last() != to {
+			t.Fatalf("intra-domain route %d -> %d failed with outside world down", from, to)
+		}
+		// And it took exactly the same path as without failures.
+		plain := nw.RouteToNode(from, to)
+		if len(plain.Nodes) != len(r.Nodes) {
+			t.Fatalf("path changed under outside failures: %v vs %v", r.Nodes, plain.Nodes)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"math/rand"
+
+	"github.com/canon-dht/canon/internal/id"
+)
+
+// Metric selects the distance function a geometry routes by.
+type Metric int
+
+const (
+	// MetricClockwise is the ring metric used by Chord, Crescendo, Symphony
+	// and Cacophony: the clockwise distance on the identifier circle.
+	MetricClockwise Metric = iota + 1
+	// MetricXOR is the Kademlia metric, also used by CAN's bit-fixing
+	// (left-to-right bit fixing is greedy routing under XOR).
+	MetricXOR
+)
+
+// Geometry is a flat DHT's link-creation discipline. The Canon construction
+// in Build is generic over this interface: it applies BaseLinks within each
+// lowest-level domain and, at every merge up the hierarchy, applies
+// MergeLinks over the union ring restricted by the condition-(b) bound
+// computed by Bound. Implementations live in the chord, symphony, kademlia
+// and can packages.
+//
+// All methods identify nodes by population index. Implementations must be
+// deterministic given the rng and must not retain the rings they are handed.
+type Geometry interface {
+	// Name identifies the geometry ("chord", "symphony", ...).
+	Name() string
+
+	// Metric returns the routing metric this geometry uses.
+	Metric() Metric
+
+	// Distance returns the metric distance from a to b.
+	Distance(a, b id.ID) uint64
+
+	// BaseLinks returns the out-links node creates inside its lowest-level
+	// ring, exactly as in the flat DHT.
+	BaseLinks(ring *Ring, node int, rng *rand.Rand) []int
+
+	// MergeLinks returns the out-links node creates when its ring `own` is
+	// merged (together with its sibling rings) into the larger ring
+	// `merged`. Implementations apply the flat link rule over merged but
+	// must return only links to nodes outside own whose Distance from node
+	// is strictly less than bound — the paper's condition (b).
+	MergeLinks(merged, own *Ring, node int, bound uint64, rng *rand.Rand) []int
+
+	// Bound returns the condition-(b) bound the node carries into the next
+	// merge, given its current ring and the identifiers of the links it
+	// has accumulated so far. Ring geometries return the clockwise
+	// distance to the node's own-ring successor; XOR geometries return the
+	// shortest link distance (Sections 3.3 and 3.4).
+	Bound(own *Ring, node int, linkIDs []id.ID) uint64
+}

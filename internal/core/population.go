@@ -1,0 +1,145 @@
+// Package core implements the Canon framework: populations of nodes arranged
+// in a conceptual hierarchy, per-domain rings, the generic bottom-up merge
+// that turns any flat DHT geometry into its Canonical (hierarchical) version,
+// and the greedy routing engine shared by all constructions.
+//
+// The package is the paper's primary contribution. Concrete DHT geometries
+// (Chord, Symphony, Kademlia, CAN, ...) live in sibling packages and plug in
+// through the Geometry interface; building a flat DHT is the special case of
+// a one-level hierarchy.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"github.com/canon-dht/canon/internal/hierarchy"
+	"github.com/canon-dht/canon/internal/id"
+)
+
+var (
+	// ErrDuplicateID is returned when two nodes share an identifier.
+	ErrDuplicateID = errors.New("core: duplicate node identifier")
+	// ErrEmptyPopulation is returned when a population has no nodes.
+	ErrEmptyPopulation = errors.New("core: empty population")
+)
+
+// Node is one participant in the DHT. Nodes are identified by a dense index
+// into the population (stable across the population's lifetime) and carry an
+// identifier plus their position in the conceptual hierarchy.
+type Node struct {
+	// Index is the node's dense index within its Population.
+	Index int
+	// ID is the node's identifier in the population's identifier space.
+	ID id.ID
+	// Leaf is the lowest-level domain the node belongs to.
+	Leaf *hierarchy.Domain
+	// Tag is the node's position in the slices passed to NewPopulation,
+	// preserved across the internal ID sort. It lets callers map nodes back
+	// to external entities such as topology hosts.
+	Tag int
+}
+
+// Population is an immutable set of nodes placed on a hierarchy. Node indices
+// are assigned in ascending identifier order, so index order equals ring
+// order, which the construction and routing code relies on.
+type Population struct {
+	space id.Space
+	tree  *hierarchy.Tree
+	nodes []Node
+	ids   []id.ID // ids[i] == nodes[i].ID, ascending
+}
+
+// NewPopulation builds a population from parallel slices of identifiers and
+// leaf-domain assignments. Identifiers must be unique and valid in the space;
+// every assigned domain must be a leaf of tree.
+func NewPopulation(space id.Space, tree *hierarchy.Tree, ids []id.ID, leaves []*hierarchy.Domain) (*Population, error) {
+	if len(ids) == 0 {
+		return nil, ErrEmptyPopulation
+	}
+	if len(ids) != len(leaves) {
+		return nil, fmt.Errorf("core: %d ids but %d leaf assignments", len(ids), len(leaves))
+	}
+	type pair struct {
+		id   id.ID
+		leaf *hierarchy.Domain
+		tag  int
+	}
+	pairs := make([]pair, len(ids))
+	for i := range ids {
+		if !space.Contains(ids[i]) {
+			return nil, fmt.Errorf("core: id %d outside %d-bit space", ids[i], space.Bits())
+		}
+		if leaves[i] == nil {
+			return nil, fmt.Errorf("core: nil leaf assignment at position %d", i)
+		}
+		pairs[i] = pair{id: ids[i], leaf: leaves[i], tag: i}
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].id < pairs[j].id })
+
+	p := &Population{
+		space: space,
+		tree:  tree,
+		nodes: make([]Node, len(pairs)),
+		ids:   make([]id.ID, len(pairs)),
+	}
+	for i, pr := range pairs {
+		if i > 0 && pr.id == pairs[i-1].id {
+			return nil, fmt.Errorf("%w: %d", ErrDuplicateID, pr.id)
+		}
+		p.nodes[i] = Node{Index: i, ID: pr.id, Leaf: pr.leaf, Tag: pr.tag}
+		p.ids[i] = pr.id
+	}
+	return p, nil
+}
+
+// RandomPopulation draws n unique random identifiers and pairs them with the
+// given leaf assignment (commonly produced by hierarchy.AssignUniform or
+// hierarchy.AssignZipf).
+func RandomPopulation(rng *rand.Rand, space id.Space, tree *hierarchy.Tree, leaves []*hierarchy.Domain) (*Population, error) {
+	ids, err := space.UniqueRandom(rng, len(leaves))
+	if err != nil {
+		return nil, err
+	}
+	return NewPopulation(space, tree, ids, leaves)
+}
+
+// Space returns the population's identifier space.
+func (p *Population) Space() id.Space { return p.space }
+
+// Tree returns the conceptual hierarchy the population lives on.
+func (p *Population) Tree() *hierarchy.Tree { return p.tree }
+
+// Len returns the number of nodes.
+func (p *Population) Len() int { return len(p.nodes) }
+
+// Node returns the node at the given dense index.
+func (p *Population) Node(i int) Node { return p.nodes[i] }
+
+// IDOf returns the identifier of node i.
+func (p *Population) IDOf(i int) id.ID { return p.ids[i] }
+
+// LeafOf returns the leaf domain of node i.
+func (p *Population) LeafOf(i int) *hierarchy.Domain { return p.nodes[i].Leaf }
+
+// IDs returns the ascending identifier slice. Callers must not modify it.
+func (p *Population) IDs() []id.ID { return p.ids }
+
+// OwnerOf returns the index of the node responsible for key k: the node with
+// the greatest identifier less than or equal to k, wrapping around the ring
+// (the paper's improved responsibility rule, footnote 3).
+func (p *Population) OwnerOf(k id.ID) int {
+	i := sort.Search(len(p.ids), func(x int) bool { return p.ids[x] > k })
+	if i == 0 {
+		return len(p.ids) - 1
+	}
+	return i - 1
+}
+
+// SuccessorOf returns the index of the first node with identifier >= k,
+// wrapping around the ring.
+func (p *Population) SuccessorOf(k id.ID) int {
+	return id.SuccessorIndex(p.ids, k)
+}

@@ -1,0 +1,291 @@
+package core_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/canon-dht/canon/internal/chord"
+	"github.com/canon-dht/canon/internal/core"
+	"github.com/canon-dht/canon/internal/hierarchy"
+	"github.com/canon-dht/canon/internal/id"
+)
+
+// randomRing builds a single-domain network to get a Ring populated with
+// random identifiers.
+func randomRing(t *testing.T, seed int64, bits uint, n int) (*core.Ring, id.Space) {
+	t.Helper()
+	space := id.MustSpace(bits)
+	tree := hierarchy.NewTree()
+	rng := rand.New(rand.NewSource(seed))
+	leaves := make([]*hierarchy.Domain, n)
+	for i := range leaves {
+		leaves[i] = tree.Root()
+	}
+	pop, err := core.RandomPopulation(rng, space, tree, leaves)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw := core.Build(pop, chord.NewDeterministic(space), nil)
+	return nw.RingOf(tree.Root()), space
+}
+
+// TestCountInArcMatchesBruteForce cross-checks the binary-search arc count
+// against an exhaustive scan for random rings and arcs.
+func TestCountInArcMatchesBruteForce(t *testing.T) {
+	ring, space := randomRing(t, 91, 12, 60)
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 3000; trial++ {
+		pos := rng.Intn(ring.Len())
+		base := ring.IDAt(pos)
+		lo := uint64(rng.Intn(int(space.Size())))
+		hi := lo + uint64(rng.Intn(int(space.Size())))
+		if lo == 0 {
+			lo = 1
+		}
+		want := 0
+		var wantFirstDist uint64 = math.MaxUint64
+		for p := 0; p < ring.Len(); p++ {
+			d := space.Clockwise(base, ring.IDAt(p))
+			if d >= lo && d < hi && d < space.Size() {
+				want++
+				if d < wantFirstDist {
+					wantFirstDist = d
+				}
+			}
+		}
+		got, first := ring.CountInArc(base, lo, hi)
+		if got != want {
+			t.Fatalf("CountInArc(base=%d, lo=%d, hi=%d) = %d, want %d", base, lo, hi, got, want)
+		}
+		if want > 0 {
+			if d := space.Clockwise(base, ring.IDAt(first)); d != wantFirstDist {
+				t.Fatalf("first member at distance %d, want %d", d, wantFirstDist)
+			}
+		}
+	}
+}
+
+// TestXORClosestMatchesBruteForce cross-checks the bit-descent search.
+func TestXORClosestMatchesBruteForce(t *testing.T) {
+	ring, space := randomRing(t, 92, 14, 80)
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 3000; trial++ {
+		k := space.Random(rng)
+		best, bestD := -1, space.Size()
+		for p := 0; p < ring.Len(); p++ {
+			if d := space.XOR(ring.IDAt(p), k); d < bestD {
+				best, bestD = p, d
+			}
+		}
+		if got := ring.XORClosestPos(k); got != best {
+			t.Fatalf("XORClosestPos(%d) = pos %d (dist %d), want pos %d (dist %d)",
+				k, got, space.XOR(ring.IDAt(got), k), best, bestD)
+		}
+	}
+}
+
+// TestXORNearestOutsideMatchesBruteForce cross-checks the per-merge
+// liveness-link search, including the exclusion of an own ring.
+func TestXORNearestOutsideMatchesBruteForce(t *testing.T) {
+	space := id.MustSpace(12)
+	tree := hierarchy.NewTree()
+	a, err := tree.EnsurePath("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := tree.EnsurePath("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	leaves := make([]*hierarchy.Domain, 60)
+	for i := range leaves {
+		if i%2 == 0 {
+			leaves[i] = a
+		} else {
+			leaves[i] = b
+		}
+	}
+	pop, err := core.RandomPopulation(rng, space, tree, leaves)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw := core.Build(pop, chord.NewDeterministic(space), nil)
+	merged := nw.RingOf(tree.Root())
+	ringA := nw.RingOf(a)
+
+	for pos := 0; pos < merged.Len(); pos++ {
+		node := merged.Member(pos)
+		m := merged.IDAt(pos)
+		// Brute force: nearest by XOR outside ring A.
+		best, bestD := -1, space.Size()
+		for p := 0; p < merged.Len(); p++ {
+			cand := merged.Member(p)
+			if cand == node || ringA.PosOfMember(cand) >= 0 {
+				continue
+			}
+			if d := space.XOR(m, merged.IDAt(p)); d < bestD {
+				best, bestD = cand, d
+			}
+		}
+		got := merged.XORNearestOutside(pos, ringA)
+		if got != best {
+			gotD := uint64(0)
+			if got >= 0 {
+				gotD = space.XOR(m, pop.IDOf(got))
+			}
+			t.Fatalf("XORNearestOutside(pos %d) = %d (dist %d), want %d (dist %d)",
+				pos, got, gotD, best, bestD)
+		}
+	}
+}
+
+// TestUniquePrefixLenMinimalAndUnique cross-checks the zone-depth
+// computation: the returned prefix is unique within the ring, and one bit
+// shorter is not.
+func TestUniquePrefixLenMinimalAndUnique(t *testing.T) {
+	ring, space := randomRing(t, 93, 12, 50)
+	for pos := 0; pos < ring.Len(); pos++ {
+		plen := ring.UniquePrefixLen(pos)
+		v := ring.IDAt(pos)
+		count := func(l uint) int {
+			c := 0
+			for p := 0; p < ring.Len(); p++ {
+				if space.Prefix(ring.IDAt(p), l) == space.Prefix(v, l) {
+					c++
+				}
+			}
+			return c
+		}
+		if count(plen) != 1 {
+			t.Fatalf("prefix of length %d not unique for pos %d", plen, pos)
+		}
+		if plen > 1 && count(plen-1) == 1 {
+			t.Fatalf("prefix of length %d already unique for pos %d", plen-1, pos)
+		}
+	}
+}
+
+// TestTheorem3MaxDegreeLogarithmic: the degree of every Crescendo node is
+// O(log n) w.h.p., irrespective of the hierarchy's structure.
+func TestTheorem3MaxDegreeLogarithmic(t *testing.T) {
+	for _, levels := range []int{1, 3, 5} {
+		nw := buildRandom(t, 94+int64(levels), 2048, levels, 4, detChord)
+		maxDeg := 0
+		for i := 0; i < nw.Len(); i++ {
+			if d := nw.Degree(i); d > maxDeg {
+				maxDeg = d
+			}
+		}
+		if limit := int(4 * math.Log2(2048)); maxDeg > limit {
+			t.Errorf("levels=%d: max degree %d exceeds 4*log2(n) = %d", levels, maxDeg, limit)
+		}
+	}
+}
+
+// TestPerLevelRingsAreDHTs: the nodes of every domain form a complete DHT by
+// themselves — greedy routing restricted to a domain's members succeeds
+// between any two of them. (Exercised through intra-domain routes, which by
+// path locality only ever use domain members.)
+func TestPerLevelRingsAreDHTs(t *testing.T) {
+	nw := buildRandom(t, 95, 512, 3, 4, detChord)
+	pop := nw.Population()
+	rng := rand.New(rand.NewSource(4))
+	pop.Tree().Walk(func(d *hierarchy.Domain) {
+		ring := nw.RingOf(d)
+		if ring == nil || ring.Len() < 2 {
+			return
+		}
+		for trial := 0; trial < 20; trial++ {
+			from := ring.Member(rng.Intn(ring.Len()))
+			to := ring.Member(rng.Intn(ring.Len()))
+			r := nw.RouteToNode(from, to)
+			if !r.Success || r.Last() != to {
+				t.Fatalf("domain %q: route %d -> %d failed", d.Path(), from, to)
+			}
+			for _, hop := range r.Nodes {
+				if !d.IsAncestorOf(pop.LeafOf(hop)) {
+					t.Fatalf("domain %q: route used outsider %d", d.Path(), hop)
+				}
+			}
+		}
+	})
+}
+
+// TestDeterministicBuild: identical seeds give identical networks.
+func TestDeterministicBuild(t *testing.T) {
+	a := buildRandom(t, 96, 256, 3, 4, detChord)
+	b := buildRandom(t, 96, 256, 3, 4, detChord)
+	if a.Len() != b.Len() {
+		t.Fatal("sizes differ")
+	}
+	for i := 0; i < a.Len(); i++ {
+		if a.Population().IDOf(i) != b.Population().IDOf(i) {
+			t.Fatal("ids differ")
+		}
+		la, lb := a.Links(i), b.Links(i)
+		if len(la) != len(lb) {
+			t.Fatalf("node %d degree differs", i)
+		}
+		for j := range la {
+			if la[j] != lb[j] {
+				t.Fatalf("node %d link %d differs", i, j)
+			}
+		}
+	}
+}
+
+// TestBuildParallelDeterministic: the parallel builder gives the same result
+// regardless of worker count, and matches sequential Build exactly for
+// deterministic geometries.
+func TestBuildParallelDeterministic(t *testing.T) {
+	space := id.DefaultSpace()
+	tree, err := hierarchy.Balanced(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(131))
+	leaves := hierarchy.AssignZipf(rng, tree, 512, 1.25)
+	pop, err := core.RandomPopulation(rng, space, tree, leaves)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := core.Build(pop, chord.NewDeterministic(space), nil)
+	par1 := core.BuildParallel(pop, chord.NewDeterministic(space), 7, 1)
+	par8 := core.BuildParallel(pop, chord.NewDeterministic(space), 7, 8)
+
+	for i := 0; i < pop.Len(); i++ {
+		a, b, c := seq.Links(i), par1.Links(i), par8.Links(i)
+		if len(a) != len(b) || len(b) != len(c) {
+			t.Fatalf("node %d: degree mismatch %d/%d/%d", i, len(a), len(b), len(c))
+		}
+		for j := range a {
+			if a[j] != b[j] || b[j] != c[j] {
+				t.Fatalf("node %d link %d differs across builders", i, j)
+			}
+		}
+	}
+	// Nondeterministic geometry: parallel is deterministic in seed and
+	// worker-independent, and still routes perfectly.
+	nd1 := core.BuildParallel(pop, chord.NewNondeterministic(space), 9, 2)
+	nd2 := core.BuildParallel(pop, chord.NewNondeterministic(space), 9, 16)
+	for i := 0; i < pop.Len(); i++ {
+		a, b := nd1.Links(i), nd2.Links(i)
+		if len(a) != len(b) {
+			t.Fatalf("nd node %d: degree differs across worker counts", i)
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("nd node %d link %d differs across worker counts", i, j)
+			}
+		}
+	}
+	rr := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		from, to := rr.Intn(pop.Len()), rr.Intn(pop.Len())
+		if r := nd1.RouteToNode(from, to); !r.Success || r.Last() != to {
+			t.Fatalf("parallel nd route %d -> %d failed", from, to)
+		}
+	}
+}

@@ -1,0 +1,261 @@
+package core
+
+import (
+	"sort"
+
+	"github.com/canon-dht/canon/internal/hierarchy"
+	"github.com/canon-dht/canon/internal/id"
+)
+
+// Ring is the sorted set of nodes belonging to one domain of the hierarchy.
+// In Canon, the nodes of every domain form a complete DHT by themselves; the
+// Ring is the structural backbone shared by all geometries (ring metrics use
+// it directly, XOR/hypercube geometries treat the sorted identifier slice as
+// an implicit binary trie navigated by prefix range searches).
+type Ring struct {
+	domain  *hierarchy.Domain
+	space   id.Space
+	members []int   // population indices, ascending by ID
+	ids     []id.ID // parallel identifiers, ascending
+}
+
+// Domain returns the hierarchy domain this ring covers.
+func (r *Ring) Domain() *hierarchy.Domain { return r.domain }
+
+// Len returns the number of nodes in the ring.
+func (r *Ring) Len() int { return len(r.members) }
+
+// Member returns the population index of the ring member at position pos.
+func (r *Ring) Member(pos int) int { return r.members[pos] }
+
+// Members returns the population indices in ascending ID order. Callers must
+// not modify the returned slice.
+func (r *Ring) Members() []int { return r.members }
+
+// IDAt returns the identifier of the member at position pos.
+func (r *Ring) IDAt(pos int) id.ID { return r.ids[pos] }
+
+// Space returns the identifier space the ring lives in.
+func (r *Ring) Space() id.Space { return r.space }
+
+// PosOfMember returns the ring position of the given population index, or -1
+// if the node is not a member. Population indices are assigned in ascending
+// identifier order, so the members slice is sorted by index as well.
+func (r *Ring) PosOfMember(node int) int {
+	i := sort.SearchInts(r.members, node)
+	if i < len(r.members) && r.members[i] == node {
+		return i
+	}
+	return -1
+}
+
+// PosOf returns the ring position of the node with identifier v, or -1 if v
+// is not a member identifier.
+func (r *Ring) PosOf(v id.ID) int {
+	i := sort.Search(len(r.ids), func(x int) bool { return r.ids[x] >= v })
+	if i < len(r.ids) && r.ids[i] == v {
+		return i
+	}
+	return -1
+}
+
+// Contains reports whether the node with identifier v is a ring member.
+func (r *Ring) Contains(v id.ID) bool { return r.PosOf(v) >= 0 }
+
+// SuccessorPos returns the position of the first member with ID >= k,
+// wrapping to position 0.
+func (r *Ring) SuccessorPos(k id.ID) int {
+	return id.SuccessorIndex(r.ids, k)
+}
+
+// Successor returns the population index of the first member clockwise from
+// key k (ID >= k, wrapping).
+func (r *Ring) Successor(k id.ID) int {
+	return r.members[r.SuccessorPos(k)]
+}
+
+// OwnerPos returns the position of the member responsible for key k: the
+// greatest ID <= k, wrapping.
+func (r *Ring) OwnerPos(k id.ID) int {
+	i := sort.Search(len(r.ids), func(x int) bool { return r.ids[x] > k })
+	if i == 0 {
+		return len(r.ids) - 1
+	}
+	return i - 1
+}
+
+// Owner returns the population index of the member responsible for key k.
+// This is the paper's proxy node for key k in this ring's domain.
+func (r *Ring) Owner(k id.ID) int {
+	return r.members[r.OwnerPos(k)]
+}
+
+// NextPos returns the position clockwise-adjacent to pos.
+func (r *Ring) NextPos(pos int) int { return (pos + 1) % len(r.members) }
+
+// SuccessorDistance returns the clockwise distance from the member at pos to
+// its immediate ring successor. For a singleton ring it returns the full
+// space size, i.e. "no other node", which makes the Canon merge condition (b)
+// vacuous as the paper requires.
+func (r *Ring) SuccessorDistance(pos int) uint64 {
+	if len(r.members) == 1 {
+		return r.space.Size()
+	}
+	return r.space.Clockwise(r.ids[pos], r.ids[r.NextPos(pos)])
+}
+
+// CountInArc returns the number of members whose clockwise distance from
+// base lies in [lo, hi), along with the position of the first such member.
+// If the arc is empty it returns (0, -1).
+//
+// base must be the identifier of a ring member and lo must be >= 1, so the
+// base node itself (distance 0) is never part of the arc; this is exactly
+// the shape of every link-rule query in the paper's constructions.
+func (r *Ring) CountInArc(base id.ID, lo, hi uint64) (count int, firstPos int) {
+	if hi > r.space.Size() {
+		hi = r.space.Size()
+	}
+	if lo < 1 || lo >= hi {
+		return 0, -1
+	}
+	n := len(r.members)
+	start := r.SuccessorPos(r.space.Add(base, lo))
+	d := r.space.Clockwise(base, r.ids[start])
+	if d < lo || d >= hi {
+		return 0, -1
+	}
+	// end is the first member clockwise from base+hi. Because base itself is
+	// a member at distance 0 < hi, the wrap-around always stops at or before
+	// base, so end != start and the circular position difference counts
+	// exactly the members at distance in [lo, hi).
+	end := r.SuccessorPos(r.space.Add(base, hi))
+	count = end - start
+	if count < 0 {
+		count += n
+	}
+	return count, start
+}
+
+// ArcMember returns the population index of the member k steps clockwise from
+// ring position start.
+func (r *Ring) ArcMember(start, k int) int {
+	return r.members[(start+k)%len(r.members)]
+}
+
+// PrefixRangePos returns the half-open member-position range [lo, hi) of
+// members whose identifiers share the given right-aligned prefix of length
+// plen bits.
+func (r *Ring) PrefixRangePos(prefix uint64, plen uint) (lo, hi int) {
+	loID, hiID := r.space.PrefixRange(prefix, plen)
+	lo = sort.Search(len(r.ids), func(x int) bool { return r.ids[x] >= loID })
+	hi = sort.Search(len(r.ids), func(x int) bool { return r.ids[x] > hiID })
+	return lo, hi
+}
+
+// UniquePrefixLen returns the length of the shortest prefix of the member at
+// pos that is unique within the ring — the node's zone depth in the binary
+// prefix tree used by CAN. For a singleton ring it returns 0 (the zone is
+// the whole space).
+func (r *Ring) UniquePrefixLen(pos int) uint {
+	if len(r.members) == 1 {
+		return 0
+	}
+	v := r.ids[pos]
+	best := uint(0)
+	if pos > 0 {
+		if c := r.space.CommonPrefixLen(v, r.ids[pos-1]); c > best {
+			best = c
+		}
+	}
+	if pos < len(r.ids)-1 {
+		if c := r.space.CommonPrefixLen(v, r.ids[pos+1]); c > best {
+			best = c
+		}
+	}
+	return best + 1
+}
+
+// XORClosestPos returns the position of the member minimizing XOR distance
+// to k, found by bit descent over the implicit trie.
+func (r *Ring) XORClosestPos(k id.ID) int {
+	bits := r.space.Bits()
+	prefix := uint64(0)
+	var plen uint
+	for plen < bits {
+		// Try to extend the prefix with k's next bit.
+		next := (prefix << 1) | uint64(r.space.Bit(k, plen))
+		lo, hi := r.PrefixRangePos(next, plen+1)
+		if lo >= hi {
+			next ^= 1 // flip to the sibling subtree, which must be non-empty
+		}
+		prefix = next
+		plen++
+	}
+	pos := r.PosOf(id.ID(prefix))
+	if pos < 0 {
+		// Cannot happen for a non-empty ring: the descent ends at a full-width
+		// identifier present in the ring.
+		panic("core: XOR descent missed")
+	}
+	return pos
+}
+
+// XORNearestOutside returns the population index of the member closest (by
+// XOR) to the member at pos that is not in exclude (nil = no exclusion), or
+// -1 if none exists. It is the XOR analog of the ring successor: the Canon
+// XOR geometries link to it when condition (b) would otherwise leave a node
+// with no link out of its own ring at a merge level.
+func (r *Ring) XORNearestOutside(pos int, exclude *Ring) int {
+	m := r.ids[pos]
+	for j := int(r.UniquePrefixLen(pos)) - 1; j >= 0; j-- {
+		flipped := r.space.FlipBit(m, uint(j))
+		lo, hi := r.PrefixRangePos(r.space.Prefix(flipped, uint(j)+1), uint(j)+1)
+		if lo >= hi {
+			continue
+		}
+		// The bit-descent lands inside the flipped subtree (it is non-empty)
+		// and yields the member minimizing XOR distance to m among those
+		// differing from m first at bit j.
+		cand := r.XORClosestPos(flipped)
+		c := r.members[cand]
+		if exclude == nil || exclude.PosOfMember(c) < 0 {
+			return c
+		}
+		// The closest is excluded: scan the subtree for the nearest
+		// non-excluded member.
+		best, bestDist := -1, r.space.Size()
+		for p := lo; p < hi; p++ {
+			if exclude.PosOfMember(r.members[p]) >= 0 {
+				continue
+			}
+			if d := r.space.XOR(m, r.ids[p]); d < bestDist {
+				best, bestDist = r.members[p], d
+			}
+		}
+		if best >= 0 {
+			return best
+		}
+	}
+	return -1
+}
+
+// buildRings computes the ring of every domain that contains at least one
+// node, returned as a map keyed by domain ID. Rings are shared: the root
+// ring contains the whole population.
+func buildRings(p *Population) map[int]*Ring {
+	rings := make(map[int]*Ring)
+	// Nodes are already in ascending ID order, so appending in index order
+	// keeps every domain ring sorted.
+	for i := range p.nodes {
+		for d := p.nodes[i].Leaf; d != nil; d = d.Parent() {
+			r, ok := rings[d.ID()]
+			if !ok {
+				r = &Ring{domain: d, space: p.space}
+				rings[d.ID()] = r
+			}
+			r.members = append(r.members, i)
+			r.ids = append(r.ids, p.ids[i])
+		}
+	}
+	return rings
+}

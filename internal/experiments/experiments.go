@@ -1,0 +1,171 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 5) plus ablations for the Section 3 variants and the
+// Section 4 storage/caching/balance machinery. Each driver returns a
+// metrics.Table whose rows mirror the corresponding figure's curves; the
+// canonsim command prints them and bench_test.go wraps them in testing.B
+// benchmarks.
+package experiments
+
+import (
+	"math/rand"
+	"sort"
+
+	canon "github.com/canon-dht/canon"
+	"github.com/canon-dht/canon/internal/metrics"
+	"github.com/canon-dht/canon/internal/topology"
+)
+
+// Config carries the common experiment knobs.
+type Config struct {
+	// Seed drives all randomness; equal seeds give identical outputs.
+	Seed int64
+	// Fanout of the balanced hierarchies (the paper uses 10).
+	Fanout int
+	// ZipfExponent skews leaf population sizes (the paper uses 1.25).
+	ZipfExponent float64
+	// RoutePairs is the number of sampled source/destination pairs per
+	// measurement (default 2000).
+	RoutePairs int
+}
+
+// Defaults returns the paper's parameters.
+func Defaults() Config {
+	return Config{Seed: 1, Fanout: 10, ZipfExponent: 1.25, RoutePairs: 2000}
+}
+
+func (c Config) withDefaults() Config {
+	if c.Fanout == 0 {
+		c.Fanout = 10
+	}
+	if c.ZipfExponent == 0 {
+		c.ZipfExponent = 1.25
+	}
+	if c.RoutePairs == 0 {
+		c.RoutePairs = 2000
+	}
+	return c
+}
+
+// buildHierNet builds a Canonical network of the given kind over a balanced
+// hierarchy with Zipf-distributed leaf sizes.
+func buildHierNet(cfg Config, kind canon.Kind, n, levels int) (*canon.Network, error) {
+	tree, err := canon.BalancedHierarchy(levels, cfg.Fanout)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	placement := canon.AssignZipf(rng, tree, n, cfg.ZipfExponent)
+	return canon.Build(tree, placement, canon.Options{Kind: kind, Seed: cfg.Seed})
+}
+
+// avgHops samples route pairs and returns the mean hop count.
+func avgHops(nw *canon.Network, pairs int, seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	var s metrics.Stream
+	for i := 0; i < pairs; i++ {
+		from, to := rng.Intn(nw.Len()), rng.Intn(nw.Len())
+		r := nw.RouteToNode(from, to)
+		if r.Success {
+			s.Add(float64(r.Hops()))
+		}
+	}
+	return s.Mean()
+}
+
+// topoEnv bundles a transit-stub topology with an attached host set, shared
+// by the physical-network experiments (Figures 6-9).
+type topoEnv struct {
+	topo  *topology.Topology
+	hosts *topology.Hosts
+}
+
+func newTopoEnv(cfg Config, n int) (*topoEnv, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	topo, err := topology.New(rng, topology.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	hosts, err := topo.AttachHosts(rng, n)
+	if err != nil {
+		return nil, err
+	}
+	return &topoEnv{topo: topo, hosts: hosts}, nil
+}
+
+// netSystem is one of the four systems of Figure 6: Chord or Crescendo, with
+// or without proximity adaptation, over the same host set.
+type netSystem struct {
+	name      string
+	nw        *canon.Network
+	env       *topoEnv
+	tagToNode []int // lazy inverse of NodeTag
+}
+
+// buildSystem builds a system over the environment's hosts. Hierarchical
+// systems use the topology-induced 5-level hierarchy; flat ones a root-only
+// hierarchy.
+func (e *topoEnv) buildSystem(cfg Config, name string, hierarchical, prox bool) (*netSystem, error) {
+	n := e.hosts.Len()
+	var tree *canon.Hierarchy
+	placement := make([]*canon.Domain, n)
+	if hierarchical {
+		tree = e.hosts.Tree()
+		copy(placement, e.hosts.Leaves())
+	} else {
+		tree = canon.NewHierarchy()
+		for i := range placement {
+			placement[i] = tree.Root()
+		}
+	}
+	// The proximity latency callback is keyed by node index, but node
+	// indices only exist after Build (nodes are sorted by ID). Fixing the
+	// identifiers up front makes the index→host mapping deterministic, so
+	// the callback can be constructed before building.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ids, err := canon.DefaultSpace().UniqueRandom(rng, n)
+	if err != nil {
+		return nil, err
+	}
+	opts := canon.Options{Kind: canon.Chord, Seed: cfg.Seed, IDs: ids}
+	if prox {
+		tagOf := tagsByID(ids)
+		opts.Proximity = &canon.ProximityOptions{
+			Latency: func(a, b int) float64 {
+				return e.hosts.Latency(tagOf[a], tagOf[b])
+			},
+		}
+	}
+	nw, err := canon.Build(tree, placement, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &netSystem{name: name, nw: nw, env: e}, nil
+}
+
+// tagsByID returns, for each future node index (ascending ID order), the
+// original placement position.
+func tagsByID(ids []canon.ID) []int {
+	type pair struct {
+		id  canon.ID
+		tag int
+	}
+	pairs := make([]pair, len(ids))
+	for i, v := range ids {
+		pairs[i] = pair{id: v, tag: i}
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].id < pairs[j].id })
+	out := make([]int, len(ids))
+	for i, p := range pairs {
+		out[i] = p.tag
+	}
+	return out
+}
+
+// routeLatency returns the overlay path latency of a route in milliseconds.
+func (s *netSystem) routeLatency(r canon.Route) float64 {
+	total := 0.0
+	for i := 0; i+1 < len(r.Nodes); i++ {
+		total += s.env.hosts.Latency(s.nw.NodeTag(r.Nodes[i]), s.nw.NodeTag(r.Nodes[i+1]))
+	}
+	return total
+}

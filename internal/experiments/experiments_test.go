@@ -1,0 +1,452 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// Small parameters keep the tests fast; the full paper-scale sweeps run via
+// cmd/canonsim.
+func smallCfg() Config {
+	return Config{Seed: 1, Fanout: 4, ZipfExponent: 1.25, RoutePairs: 200}
+}
+
+func seriesByName(tbl interface{ String() string }, name string) bool {
+	return strings.Contains(tbl.String(), name)
+}
+
+func TestFig3ShapeHolds(t *testing.T) {
+	tbl, err := Fig3(smallCfg(), []int{512, 1024}, []int{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Series) != 2 {
+		t.Fatalf("series = %d, want 2", len(tbl.Series))
+	}
+	flat, hier := tbl.Series[0], tbl.Series[1]
+	for i := range flat.Y {
+		// Degree near log2(n): in [log2(n)-2, log2(n)+1].
+		logN := map[float64]float64{512: 9, 1024: 10}[flat.X[i]]
+		if flat.Y[i] < logN-2 || flat.Y[i] > logN+1 {
+			t.Errorf("flat degree %v at n=%v not near log n", flat.Y[i], flat.X[i])
+		}
+		// Crescendo's degree is at or below Chord's (paper's observation).
+		if hier.Y[i] > flat.Y[i]+0.3 {
+			t.Errorf("hierarchical degree %v above flat %v", hier.Y[i], flat.Y[i])
+		}
+	}
+	// Degree grows with n.
+	if flat.Y[1] <= flat.Y[0] {
+		t.Error("flat degree should grow with n")
+	}
+}
+
+func TestFig4IsDistribution(t *testing.T) {
+	tbl, err := Fig4(smallCfg(), 1024, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range tbl.Series {
+		sum := 0.0
+		for _, y := range s.Y {
+			if y < 0 || y > 1 {
+				t.Fatalf("fraction %v out of range", y)
+			}
+			sum += y
+		}
+		if sum < 0.999 || sum > 1.001 {
+			t.Errorf("series %q sums to %v", s.Name, sum)
+		}
+	}
+}
+
+func TestFig5ShapeHolds(t *testing.T) {
+	tbl, err := Fig5(smallCfg(), []int{512, 1024}, []int{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, hier := tbl.Series[0], tbl.Series[1]
+	for i := range flat.Y {
+		// Hops ~ 0.5*log2(n) + small constant.
+		logN := map[float64]float64{512: 9, 1024: 10}[flat.X[i]]
+		if flat.Y[i] < 0.3*logN || flat.Y[i] > 0.75*logN {
+			t.Errorf("flat hops %v at n=%v not near 0.5 log n", flat.Y[i], flat.X[i])
+		}
+		// Crescendo within ~0.9 hops of Chord (paper: at most ~0.7).
+		if hier.Y[i] > flat.Y[i]+0.9 {
+			t.Errorf("hierarchical hops %v too far above flat %v", hier.Y[i], flat.Y[i])
+		}
+	}
+}
+
+func TestFig6ShapeHolds(t *testing.T) {
+	cfg := smallCfg()
+	lat, str, err := Fig6(cfg, []int{1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lat.Series) != 4 || len(str.Series) != 4 {
+		t.Fatalf("expected 4 systems, got %d/%d", len(lat.Series), len(str.Series))
+	}
+	get := func(name string) float64 {
+		for _, s := range str.Series {
+			if s.Name == name {
+				return s.Y[0]
+			}
+		}
+		t.Fatalf("missing series %q", name)
+		return 0
+	}
+	chordPlain := get("chord (no prox.)")
+	crescendoPlain := get("crescendo (no prox.)")
+	chordProx := get("chord (prox.)")
+	crescendoProx := get("crescendo (prox.)")
+	// Ordering from the paper: Crescendo (Prox.) best, plain Chord worst,
+	// Crescendo beats plain Chord, proximity helps Chord.
+	if !(crescendoProx < crescendoPlain) {
+		t.Errorf("prox should improve crescendo: %.2f vs %.2f", crescendoProx, crescendoPlain)
+	}
+	if !(chordProx < chordPlain) {
+		t.Errorf("prox should improve chord: %.2f vs %.2f", chordProx, chordPlain)
+	}
+	if !(crescendoPlain < chordPlain) {
+		t.Errorf("crescendo %.2f should beat plain chord %.2f", crescendoPlain, chordPlain)
+	}
+	if crescendoProx >= chordProx {
+		t.Errorf("crescendo (prox.) %.2f should beat chord (prox.) %.2f", crescendoProx, chordProx)
+	}
+	if chordPlain < 1 {
+		t.Errorf("stretch below 1 is impossible: %v", chordPlain)
+	}
+}
+
+func TestFig7LocalityCollapse(t *testing.T) {
+	tbl, err := Fig7(smallCfg(), 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var crescendo *seriesRef
+	var chordProx *seriesRef
+	for _, s := range tbl.Series {
+		switch s.Name {
+		case "crescendo (no prox.)":
+			crescendo = &seriesRef{x: s.X, y: s.Y}
+		case "chord (prox.)":
+			chordProx = &seriesRef{x: s.X, y: s.Y}
+		}
+	}
+	if crescendo == nil || chordProx == nil {
+		t.Fatal("missing series")
+	}
+	// Crescendo's latency at level 3+ (stub domain) is near zero and far
+	// below its top-level latency.
+	top, local := crescendo.y[0], crescendo.y[3]
+	if local > top/4 {
+		t.Errorf("crescendo locality collapse missing: top %.1f, level3 %.1f", top, local)
+	}
+	// Chord (Prox.) barely improves with locality.
+	if chordProx.y[3] < chordProx.y[0]/4 {
+		t.Errorf("chord (prox.) should not collapse: top %.1f, level3 %.1f",
+			chordProx.y[0], chordProx.y[3])
+	}
+}
+
+type seriesRef struct{ x, y []float64 }
+
+func TestFig8OverlapOrdering(t *testing.T) {
+	tbl, err := Fig8(smallCfg(), 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var crescendoHops, chordHops []float64
+	for _, s := range tbl.Series {
+		switch s.Name {
+		case "crescendo (hops)":
+			crescendoHops = s.Y
+		case "chord (prox.) (hops)":
+			chordHops = s.Y
+		}
+	}
+	if crescendoHops == nil || chordHops == nil {
+		t.Fatal("missing series")
+	}
+	// At deep domain levels Crescendo's overlap must far exceed Chord's.
+	if crescendoHops[3] < 2*chordHops[3] {
+		t.Errorf("crescendo overlap %.3f not well above chord %.3f at level 3",
+			crescendoHops[3], chordHops[3])
+	}
+	// Crescendo's overlap rises with domain level.
+	if crescendoHops[3] <= crescendoHops[0] {
+		t.Errorf("crescendo overlap should rise with level: %v", crescendoHops)
+	}
+	for _, v := range append(append([]float64{}, crescendoHops...), chordHops...) {
+		if v < 0 || v > 1 {
+			t.Fatalf("overlap fraction %v out of range", v)
+		}
+	}
+}
+
+func TestFig9CrescendoSavesLinks(t *testing.T) {
+	tbl, err := Fig9(smallCfg(), 1024, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var crescendo, chord []float64
+	for _, s := range tbl.Series {
+		switch s.Name {
+		case "crescendo":
+			crescendo = s.Y
+		case "chord (prox.)":
+			chord = s.Y
+		}
+	}
+	if crescendo == nil || chord == nil {
+		t.Fatal("missing series")
+	}
+	for i := range crescendo {
+		if crescendo[i] > chord[i] {
+			t.Errorf("level %d: crescendo %v uses more inter-domain links than chord %v",
+				i+1, crescendo[i], chord[i])
+		}
+	}
+	// Top-level savings must be large (paper: 44x; assert at least 4x at
+	// this small scale).
+	if crescendo[0]*4 > chord[0] {
+		t.Errorf("crescendo top-level links %v not well below chord %v", crescendo[0], chord[0])
+	}
+}
+
+func TestVariantsTable(t *testing.T) {
+	tbl, err := Variants(smallCfg(), 512, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Series) != 4 {
+		t.Fatalf("series = %d", len(tbl.Series))
+	}
+	for _, s := range tbl.Series {
+		if len(s.Y) != 5 {
+			t.Fatalf("series %q has %d rows, want 5", s.Name, len(s.Y))
+		}
+		for _, v := range s.Y {
+			if v <= 0 {
+				t.Errorf("series %q has non-positive value %v", s.Name, v)
+			}
+		}
+	}
+}
+
+func TestLookaheadSavings(t *testing.T) {
+	tbl, err := Lookahead(smallCfg(), []int{1024}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var saving float64
+	for _, s := range tbl.Series {
+		if s.Name == "saving fraction" {
+			saving = s.Y[0]
+		}
+	}
+	if saving < 0.15 || saving > 0.7 {
+		t.Errorf("lookahead saving %.2f outside plausible band (paper: ~0.4)", saving)
+	}
+}
+
+func TestBalanceTable(t *testing.T) {
+	tbl, err := Balance(smallCfg(), []int{1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var randRatio, bisect float64
+	for _, s := range tbl.Series {
+		switch s.Name {
+		case "random ids":
+			randRatio = s.Y[0]
+		case "bisection":
+			bisect = s.Y[0]
+		}
+	}
+	if bisect > 8 {
+		t.Errorf("bisection ratio %v exceeds 8", bisect)
+	}
+	if bisect*3 > randRatio {
+		t.Errorf("bisection %v not well below random %v", bisect, randRatio)
+	}
+}
+
+func TestCachingTable(t *testing.T) {
+	tbl, err := Caching(smallCfg(), 512, 8, 30, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hitRates, hops []float64
+	for _, s := range tbl.Series {
+		switch s.Name {
+		case "hit rate":
+			hitRates = s.Y
+		case "avg hops":
+			hops = s.Y
+		}
+	}
+	if hitRates[0] != 0 {
+		t.Errorf("no-cache hit rate = %v", hitRates[0])
+	}
+	if hitRates[1] == 0 {
+		t.Error("level-aware cache produced no hits")
+	}
+	// Caching must reduce average hops versus no cache.
+	if hops[1] >= hops[0] {
+		t.Errorf("caching did not reduce hops: %v vs %v", hops[1], hops[0])
+	}
+}
+
+func TestTablesRender(t *testing.T) {
+	tbl, err := Fig3(smallCfg(), []int{512}, []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tbl.String()
+	for _, want := range []string{"Figure 3", "512", "levels=1 (chord)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestResilienceTable(t *testing.T) {
+	tbl, err := Resilience(smallCfg(), 512, 3, []float64{0.1, 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var chordSuccess, crescendoSuccess []float64
+	for _, s := range tbl.Series {
+		switch s.Name {
+		case "chord success":
+			chordSuccess = s.Y
+		case "crescendo-3 success":
+			crescendoSuccess = s.Y
+		}
+	}
+	if chordSuccess == nil || crescendoSuccess == nil {
+		t.Fatal("missing series")
+	}
+	for i := range chordSuccess {
+		if chordSuccess[i] <= 0 || chordSuccess[i] > 1 {
+			t.Fatalf("success rate %v out of range", chordSuccess[i])
+		}
+	}
+	// More failures, fewer successes.
+	if chordSuccess[1] > chordSuccess[0] {
+		t.Errorf("success should fall with failure fraction: %v", chordSuccess)
+	}
+	// Hierarchy must not collapse resilience.
+	if crescendoSuccess[0] < chordSuccess[0]-0.2 {
+		t.Errorf("crescendo %v far below chord %v at 10%%", crescendoSuccess[0], chordSuccess[0])
+	}
+}
+
+func TestChurnTable(t *testing.T) {
+	tbl, err := Churn(smallCfg(), []int{256, 1024}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var joins, perLog []float64
+	for _, s := range tbl.Series {
+		switch s.Name {
+		case "messages/join":
+			joins = s.Y
+		case "join messages / log2 n":
+			perLog = s.Y
+		}
+	}
+	if joins == nil || perLog == nil {
+		t.Fatal("missing series")
+	}
+	// O(log n): growing n 4x must not grow per-join cost much beyond the
+	// log factor (log2 1024 / log2 256 = 1.25).
+	if joins[1] > 2*joins[0] {
+		t.Errorf("join cost grew too fast: %v", joins)
+	}
+	for _, c := range perLog {
+		if c <= 0 || c > 8 {
+			t.Errorf("messages/log2(n) = %v outside (0, 8]", c)
+		}
+	}
+}
+
+func TestLiveTable(t *testing.T) {
+	cfg := smallCfg()
+	cfg.RoutePairs = 60
+	tbl, err := Live(cfg, []int{16, 32}, "a/b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hops, perLog []float64
+	for _, s := range tbl.Series {
+		switch s.Name {
+		case "lookup hops":
+			hops = s.Y
+		case "hops / log2 n":
+			perLog = s.Y
+		}
+	}
+	if hops == nil || perLog == nil {
+		t.Fatal("missing series")
+	}
+	for i, h := range hops {
+		if h <= 0 || h > 20 {
+			t.Errorf("live hops[%d] = %v implausible", i, h)
+		}
+	}
+	// Hops grow sublinearly: doubling n must not double hops.
+	if hops[1] > 2*hops[0] {
+		t.Errorf("live hops grew too fast: %v", hops)
+	}
+}
+
+func TestVerifyAllClaims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full claim sweep takes ~1 min; skipped with -short")
+	}
+	cfg := Defaults()
+	cfg.RoutePairs = 400
+	report, failures := Verify(cfg)
+	if len(report) != len(Claims()) {
+		t.Fatalf("report has %d lines for %d claims", len(report), len(Claims()))
+	}
+	if failures != 0 {
+		for _, line := range report {
+			t.Log(line)
+		}
+		t.Fatalf("%d claims failed", failures)
+	}
+}
+
+func TestGroupSizesTable(t *testing.T) {
+	tbl, err := GroupSizes(smallCfg(), 4096, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var maxOverMean, empty []float64
+	for _, s := range tbl.Series {
+		switch s.Name {
+		case "max/mean group size":
+			maxOverMean = s.Y
+		case "empty group fraction":
+			empty = s.Y
+		}
+	}
+	if maxOverMean == nil || empty == nil {
+		t.Fatal("missing series")
+	}
+	// Bisection (row 2) must beat random (row 1) on both metrics.
+	if maxOverMean[1] >= maxOverMean[0] {
+		t.Errorf("bisection max/mean %v not below random %v", maxOverMean[1], maxOverMean[0])
+	}
+	if empty[1] > empty[0] {
+		t.Errorf("bisection empty fraction %v above random %v", empty[1], empty[0])
+	}
+	if empty[1] > 0.01 {
+		t.Errorf("bisection leaves %.3f of groups empty", empty[1])
+	}
+}

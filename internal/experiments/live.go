@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"github.com/canon-dht/canon/internal/metrics"
+	"github.com/canon-dht/canon/internal/netnode"
+	"github.com/canon-dht/canon/internal/transport"
+)
+
+// Live measures the wire protocol itself (Section 2.3 made real): in-process
+// clusters of live Crescendo nodes over the in-memory bus, reporting average
+// lookup forwarding hops versus log2(n) and the number of maintenance
+// messages a stabilization round costs per node. Unlike the analytical
+// experiments, every number here comes from counted RPCs.
+func Live(cfg Config, sizes []int, levelsPath string) (*metrics.Table, error) {
+	cfg = cfg.withDefaults()
+	tbl := &metrics.Table{
+		Title:  "Live protocol: lookup hops and maintenance traffic",
+		XLabel: "nodes",
+	}
+	hopsSeries := &metrics.Series{Name: "lookup hops"}
+	perLog := &metrics.Series{Name: "hops / log2 n"}
+	maint := &metrics.Series{Name: "messages per stabilize round per node"}
+
+	for _, n := range sizes {
+		h, m, err := liveAt(cfg, n, levelsPath)
+		if err != nil {
+			return nil, err
+		}
+		hopsSeries.Append(float64(n), h)
+		perLog.Append(float64(n), h/log2f(n))
+		maint.Append(float64(n), m)
+	}
+	tbl.AddSeries(hopsSeries)
+	tbl.AddSeries(perLog)
+	tbl.AddSeries(maint)
+	tbl.AddNote("in-process cluster over the in-memory bus; every number is a counted RPC")
+	return tbl, nil
+}
+
+func liveAt(cfg Config, n int, levelsPath string) (avgHopCount, maintPerNode float64, err error) {
+	bus := transport.NewBus()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ctx := context.Background()
+
+	nodes := make([]*netnode.Node, 0, n)
+	defer func() {
+		for _, node := range nodes {
+			_ = node.Close()
+		}
+	}()
+	for i := 0; i < n; i++ {
+		node, nerr := netnode.New(netnode.Config{
+			Name:      levelsPath,
+			RandomID:  true,
+			Rand:      rng,
+			Transport: bus.Endpoint(fmt.Sprintf("live-%d-%d", n, i)),
+		})
+		if nerr != nil {
+			return 0, 0, nerr
+		}
+		contact := ""
+		if i > 0 {
+			contact = nodes[0].Info().Addr
+		}
+		if jerr := node.Join(ctx, contact); jerr != nil {
+			return 0, 0, fmt.Errorf("join node %d: %w", i, jerr)
+		}
+		nodes = append(nodes, node)
+		// Periodic settling keeps join lookups accurate as the ring grows.
+		if i%8 == 7 {
+			for _, nd := range nodes {
+				nd.StabilizeOnce(ctx)
+			}
+		}
+	}
+	for r := 0; r < 6; r++ {
+		for _, nd := range nodes {
+			nd.StabilizeOnce(ctx)
+		}
+		for _, nd := range nodes {
+			nd.FixFingers(ctx)
+		}
+	}
+
+	// Measure lookups.
+	var hops metrics.Stream
+	for i := 0; i < cfg.RoutePairs; i++ {
+		from := nodes[rng.Intn(len(nodes))]
+		key := uint64(rng.Uint32())
+		if _, h, lerr := from.LookupHops(ctx, key, ""); lerr == nil {
+			hops.Add(float64(h))
+		}
+	}
+
+	// Measure one more stabilization round's traffic.
+	var before, after int64
+	for _, nd := range nodes {
+		for _, v := range nd.Stats().Sent {
+			before += v
+		}
+	}
+	for _, nd := range nodes {
+		nd.StabilizeOnce(ctx)
+	}
+	for _, nd := range nodes {
+		for _, v := range nd.Stats().Sent {
+			after += v
+		}
+	}
+	return hops.Mean(), float64(after-before) / float64(n), nil
+}

@@ -1,0 +1,336 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/canon-dht/canon/internal/hierarchy"
+	"github.com/canon-dht/canon/internal/metrics"
+)
+
+// DefaultPhysicalSizes is the network-size sweep of Figure 6.
+var DefaultPhysicalSizes = []int{2048, 4096, 8192, 16384, 32768, 65536}
+
+// fourSystems builds the four systems of Figure 6 over one environment.
+func fourSystems(cfg Config, env *topoEnv) ([]*netSystem, error) {
+	specs := []struct {
+		name         string
+		hierarchical bool
+		prox         bool
+	}{
+		{"chord (no prox.)", false, false},
+		{"crescendo (no prox.)", true, false},
+		{"chord (prox.)", false, true},
+		{"crescendo (prox.)", true, true},
+	}
+	out := make([]*netSystem, 0, len(specs))
+	for _, sp := range specs {
+		s, err := env.buildSystem(cfg, sp.name, sp.hierarchical, sp.prox)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// Fig6 reproduces Figure 6: average routing latency and stretch on the
+// transit-stub topology for Chord and Crescendo, with and without proximity
+// adaptation. The paper's findings: flat Chord's latency grows linearly in
+// log n; Crescendo's stretch is essentially constant (~2.7 plain, ~1.3 with
+// proximity adaptation) and beats Chord (Prox.) at every size.
+func Fig6(cfg Config, sizes []int) (latency, stretch *metrics.Table, err error) {
+	cfg = cfg.withDefaults()
+	latency = &metrics.Table{Title: "Figure 6: Average routing latency (ms)", XLabel: "nodes"}
+	stretch = &metrics.Table{Title: "Figure 6: Stretch (latency / direct latency)", XLabel: "nodes"}
+	latSeries := make(map[string]*metrics.Series)
+	strSeries := make(map[string]*metrics.Series)
+
+	for _, n := range sizes {
+		env, err := newTopoEnv(cfg, n)
+		if err != nil {
+			return nil, nil, err
+		}
+		systems, err := fourSystems(cfg, env)
+		if err != nil {
+			return nil, nil, err
+		}
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(n)))
+		direct := env.hosts.AvgDirectLatency(rng, cfg.RoutePairs)
+
+		for _, sys := range systems {
+			var s metrics.Stream
+			rrng := rand.New(rand.NewSource(cfg.Seed + int64(n) + 7))
+			for i := 0; i < cfg.RoutePairs; i++ {
+				from := rrng.Intn(n)
+				key := sys.nw.Space().Random(rrng)
+				r := sys.nw.RouteToKey(from, key)
+				if r.Success {
+					s.Add(sys.routeLatency(r))
+				}
+			}
+			if latSeries[sys.name] == nil {
+				latSeries[sys.name] = &metrics.Series{Name: sys.name}
+				strSeries[sys.name] = &metrics.Series{Name: sys.name}
+				latency.AddSeries(latSeries[sys.name])
+				stretch.AddSeries(strSeries[sys.name])
+			}
+			latSeries[sys.name].Append(float64(n), s.Mean())
+			strSeries[sys.name].Append(float64(n), s.Mean()/direct)
+		}
+	}
+	latency.AddNote("pairs=%d seed=%d topology=2040-router transit-stub", cfg.RoutePairs, cfg.Seed)
+	stretch.AddNote("stretch 1.0 = direct routing on the underlying network")
+	return latency, stretch, nil
+}
+
+// Fig7 reproduces Figure 7: query latency as a function of query locality.
+// A "level-L" query's destination lies within the source's level-L domain
+// (level 0 = top, anywhere in the system). The paper's findings: Crescendo's
+// latency collapses as locality increases (virtually zero at level 3, the
+// stub domain); Chord (Prox.) barely improves.
+func Fig7(cfg Config, n int) (*metrics.Table, error) {
+	cfg = cfg.withDefaults()
+	env, err := newTopoEnv(cfg, n)
+	if err != nil {
+		return nil, err
+	}
+	specs := []struct {
+		name         string
+		hierarchical bool
+		prox         bool
+	}{
+		{"chord (prox.)", false, true},
+		{"crescendo (no prox.)", true, false},
+		{"crescendo (prox.)", true, true},
+	}
+	tbl := &metrics.Table{
+		Title:  fmt.Sprintf("Figure 7: Latency (ms) vs query locality, %d nodes", n),
+		XLabel: "locality level",
+	}
+	for _, sp := range specs {
+		sys, err := env.buildSystem(cfg, sp.name, sp.hierarchical, sp.prox)
+		if err != nil {
+			return nil, err
+		}
+		series := &metrics.Series{Name: sys.name}
+		for level := 0; level <= 4; level++ {
+			series.Append(float64(level), localityLatency(cfg, sys, env, level))
+		}
+		tbl.AddSeries(series)
+	}
+	tbl.AddNote("level 0 = top-level (global) queries; level 4 = same stub router")
+	return tbl, nil
+}
+
+// localityLatency measures the mean latency of queries whose destination
+// node lies within the source's level-`level` domain of the topology-induced
+// hierarchy.
+func localityLatency(cfg Config, sys *netSystem, env *topoEnv, level int) float64 {
+	rng := rand.New(rand.NewSource(cfg.Seed + int64(level)*101))
+	leaves := env.hosts.Leaves()
+	var s metrics.Stream
+	for i := 0; i < cfg.RoutePairs; i++ {
+		fromTag := rng.Intn(env.hosts.Len())
+		dom := leaves[fromTag].AncestorAt(level)
+		// Destination host within the domain.
+		toTag := -1
+		for attempt := 0; attempt < 64; attempt++ {
+			cand := rng.Intn(env.hosts.Len())
+			if cand != fromTag && dom.IsAncestorOf(leaves[cand]) {
+				toTag = cand
+				break
+			}
+		}
+		if toTag < 0 {
+			continue
+		}
+		from, to := sys.nodeOfTag(fromTag), sys.nodeOfTag(toTag)
+		r := sys.nw.RouteToNode(from, to)
+		if r.Success {
+			s.Add(sys.routeLatency(r))
+		}
+	}
+	return s.Mean()
+}
+
+// nodeOfTag maps a placement/host position back to a node index.
+func (s *netSystem) nodeOfTag(tag int) int {
+	if s.tagToNode == nil {
+		s.tagToNode = make([]int, s.nw.Len())
+		for node := 0; node < s.nw.Len(); node++ {
+			s.tagToNode[s.nw.NodeTag(node)] = node
+		}
+	}
+	return s.tagToNode[tag]
+}
+
+// Fig8 reproduces Figure 8: the expected hop- and latency-overlap fraction
+// between the query paths of two nodes drawn from the same domain, as a
+// function of the domain's level. The overlap measures how much of a second
+// query's path would be served by answers cached along the first (Section
+// 5.4). The paper's findings: overlap is near zero for Chord (Prox.) and
+// substantial and rising with domain level for Crescendo.
+func Fig8(cfg Config, n int) (*metrics.Table, error) {
+	cfg = cfg.withDefaults()
+	env, err := newTopoEnv(cfg, n)
+	if err != nil {
+		return nil, err
+	}
+	specs := []struct {
+		name         string
+		hierarchical bool
+		prox         bool
+	}{
+		{"crescendo", true, false},
+		{"chord (prox.)", false, true},
+	}
+	tbl := &metrics.Table{
+		Title:  fmt.Sprintf("Figure 8: Path overlap fraction vs domain level, %d nodes", n),
+		XLabel: "domain level",
+	}
+	for _, sp := range specs {
+		sys, err := env.buildSystem(cfg, sp.name, sp.hierarchical, sp.prox)
+		if err != nil {
+			return nil, err
+		}
+		hops := &metrics.Series{Name: sys.name + " (hops)"}
+		lat := &metrics.Series{Name: sys.name + " (latency)"}
+		for level := 0; level <= 4; level++ {
+			h, l := overlapFractions(cfg, sys, env, level)
+			hops.Append(float64(level), h)
+			lat.Append(float64(level), l)
+		}
+		tbl.AddSeries(hops)
+		tbl.AddSeries(lat)
+	}
+	tbl.AddNote("two query sources drawn from the same level-L domain, same random key")
+	return tbl, nil
+}
+
+// overlapFractions draws pairs of nodes from a common level-`level` domain,
+// routes both to the same random key, and returns the mean fraction of the
+// second path (by hops and by latency) that overlaps the first.
+func overlapFractions(cfg Config, sys *netSystem, env *topoEnv, level int) (hopFrac, latFrac float64) {
+	rng := rand.New(rand.NewSource(cfg.Seed + int64(level)*211))
+	leaves := env.hosts.Leaves()
+	var hs, ls metrics.Stream
+	for i := 0; i < cfg.RoutePairs/2; i++ {
+		aTag := rng.Intn(env.hosts.Len())
+		dom := leaves[aTag].AncestorAt(level)
+		bTag := -1
+		for attempt := 0; attempt < 64; attempt++ {
+			cand := rng.Intn(env.hosts.Len())
+			if cand != aTag && dom.IsAncestorOf(leaves[cand]) {
+				bTag = cand
+				break
+			}
+		}
+		if bTag < 0 {
+			continue
+		}
+		key := sys.nw.Space().Random(rng)
+		pa := sys.nw.RouteToKey(sys.nodeOfTag(aTag), key)
+		pb := sys.nw.RouteToKey(sys.nodeOfTag(bTag), key)
+		if !pa.Success || !pb.Success || pb.Hops() == 0 {
+			continue
+		}
+		onA := make(map[int]bool, len(pa.Nodes))
+		for _, v := range pa.Nodes {
+			onA[v] = true
+		}
+		overlapHops, overlapLat, totalLat := 0, 0.0, 0.0
+		for j := 0; j+1 < len(pb.Nodes); j++ {
+			l := env.hosts.Latency(sys.nw.NodeTag(pb.Nodes[j]), sys.nw.NodeTag(pb.Nodes[j+1]))
+			totalLat += l
+			if onA[pb.Nodes[j]] && onA[pb.Nodes[j+1]] {
+				overlapHops++
+				overlapLat += l
+			}
+		}
+		hs.Add(float64(overlapHops) / float64(pb.Hops()))
+		if totalLat > 0 {
+			ls.Add(overlapLat / totalLat)
+		}
+	}
+	return hs.Mean(), ls.Mean()
+}
+
+// Fig9 reproduces the Figure 9 table: the number of inter-domain links used
+// by a multicast tree formed from the converged query paths of `sources`
+// random nodes to one destination, for domain boundaries at levels 1-3.
+// The paper's finding: at the top level Crescendo uses ~1/44 of Chord's
+// links; at stub-domain level still ~15%.
+func Fig9(cfg Config, n, sources int) (*metrics.Table, error) {
+	cfg = cfg.withDefaults()
+	env, err := newTopoEnv(cfg, n)
+	if err != nil {
+		return nil, err
+	}
+	specs := []struct {
+		name         string
+		hierarchical bool
+		prox         bool
+	}{
+		{"crescendo", true, false},
+		{"chord (prox.)", false, true},
+	}
+	tbl := &metrics.Table{
+		Title:  fmt.Sprintf("Figure 9: Inter-domain links in a %d-source multicast tree, %d nodes", sources, n),
+		XLabel: "domain level",
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 999))
+	srcTags := make([]int, sources)
+	for i := range srcTags {
+		srcTags[i] = rng.Intn(env.hosts.Len())
+	}
+	dstTag := rng.Intn(env.hosts.Len())
+
+	// For the flat system, domain levels refer to the topology-induced
+	// hierarchy; count crossings by host leaves rather than node domains.
+	for _, sp := range specs {
+		sys, err := env.buildSystem(cfg, sp.name, sp.hierarchical, sp.prox)
+		if err != nil {
+			return nil, err
+		}
+		series := &metrics.Series{Name: sys.name}
+		counts := interDomainTreeLinks(sys, env, srcTags, dstTag)
+		for level := 1; level <= 3; level++ {
+			series.Append(float64(level), float64(counts[level]))
+		}
+		tbl.AddSeries(series)
+	}
+	tbl.AddNote("level 1 = transit domains, level 2 = transit routers, level 3 = stub domains")
+	return tbl, nil
+}
+
+// interDomainTreeLinks unions the routes from all sources to the destination
+// and counts distinct tree edges crossing each level of the topology-induced
+// hierarchy (indexed 1..4).
+func interDomainTreeLinks(sys *netSystem, env *topoEnv, srcTags []int, dstTag int) [5]int {
+	type edge struct{ a, b int }
+	edges := make(map[edge]bool)
+	dst := sys.nodeOfTag(dstTag)
+	for _, srcTag := range srcTags {
+		r := sys.nw.RouteToNode(sys.nodeOfTag(srcTag), dst)
+		if !r.Success {
+			continue
+		}
+		for i := 0; i+1 < len(r.Nodes); i++ {
+			edges[edge{a: r.Nodes[i], b: r.Nodes[i+1]}] = true
+		}
+	}
+	leaves := env.hosts.Leaves()
+	var counts [5]int
+	for e := range edges {
+		la := leaves[sys.nw.NodeTag(e.a)]
+		lb := leaves[sys.nw.NodeTag(e.b)]
+		lcaDepth := hierarchy.LCA(la, lb).Depth()
+		for level := 1; level <= 4; level++ {
+			if lcaDepth < level {
+				counts[level]++
+			}
+		}
+	}
+	return counts
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	canon "github.com/canon-dht/canon"
+	"github.com/canon-dht/canon/internal/metrics"
+)
+
+// Resilience measures static resilience — the fraction of routes that still
+// reach the key's surviving owner immediately after a batch of crashes,
+// before any repair — for flat Chord versus Crescendo, across failure
+// fractions. Hierarchy must not make the overlay more fragile; the paper's
+// fault-isolation property additionally guarantees that intra-domain routes
+// are untouched by outside failures (asserted by tests, reported here as a
+// separate row pair).
+func Resilience(cfg Config, n, levels int, fractions []float64) (*metrics.Table, error) {
+	cfg = cfg.withDefaults()
+	tbl := &metrics.Table{
+		Title:  fmt.Sprintf("Static resilience, %d nodes (no repair)", n),
+		XLabel: "failure fraction",
+	}
+	flatNet, err := buildHierNet(cfg, canon.Chord, n, 1)
+	if err != nil {
+		return nil, err
+	}
+	hierNet, err := buildHierNet(cfg, canon.Chord, n, levels)
+	if err != nil {
+		return nil, err
+	}
+	systems := []struct {
+		name string
+		nw   *canon.Network
+	}{
+		{"chord success", flatNet},
+		{fmt.Sprintf("crescendo-%d success", levels), hierNet},
+	}
+	for _, sys := range systems {
+		success := &metrics.Series{Name: sys.name}
+		hops := &metrics.Series{Name: sys.name + " hops"}
+		for _, frac := range fractions {
+			s, h := resilienceAt(cfg, sys.nw, frac)
+			success.Append(frac, s)
+			hops.Append(frac, h)
+		}
+		tbl.AddSeries(success)
+		tbl.AddSeries(hops)
+	}
+	tbl.AddNote("success = route reaches the key's surviving owner")
+	return tbl, nil
+}
+
+func resilienceAt(cfg Config, nw *canon.Network, frac float64) (successRate, avgHopCount float64) {
+	rng := rand.New(rand.NewSource(cfg.Seed + int64(frac*1000)))
+	fails := nw.NewFailureSet()
+	for fails.NumDown() < int(frac*float64(nw.Len())) {
+		fails.Fail(rng.Intn(nw.Len()))
+	}
+	var ok, total float64
+	var hops metrics.Stream
+	for i := 0; i < cfg.RoutePairs; i++ {
+		from := rng.Intn(nw.Len())
+		if fails.Down(from) {
+			continue
+		}
+		key := nw.Space().Random(rng)
+		r := nw.RouteToKeyFailures(from, key, fails)
+		total++
+		if r.Success {
+			ok++
+			hops.Add(float64(r.Hops()))
+		}
+	}
+	if total == 0 {
+		return 0, 0
+	}
+	return ok / total, hops.Mean()
+}

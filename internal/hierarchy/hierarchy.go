@@ -1,0 +1,406 @@
+// Package hierarchy models the conceptual hierarchy of domains that Canon
+// DHTs are built over (Section 2.1 of the paper). Internal vertices of the
+// hierarchy are called domains; system nodes conceptually hang off leaf
+// domains. No global knowledge of the hierarchy is required by the DHT
+// algorithms — it suffices that each node knows its own position and that the
+// lowest common ancestor of two positions can be computed — but the
+// simulator keeps the whole tree in memory.
+//
+// Domains are addressed by slash-separated hierarchical paths such as
+// "stanford/cs/db", mirroring DNS-style naming suggested by the paper.
+package hierarchy
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PathSeparator separates domain components in a hierarchical name.
+const PathSeparator = "/"
+
+var (
+	// ErrEmptyComponent is returned when a path contains an empty component,
+	// e.g. "a//b" or a leading slash.
+	ErrEmptyComponent = errors.New("hierarchy: empty path component")
+)
+
+// Domain is a vertex of the conceptual hierarchy. The root domain has an
+// empty name and nil parent. Domains are created through a Tree and must not
+// be shared across trees.
+type Domain struct {
+	name     string
+	parent   *Domain
+	children []*Domain
+	childIdx map[string]int
+	depth    int
+	id       int
+}
+
+// Tree owns a hierarchy of domains rooted at a single root domain.
+type Tree struct {
+	root   *Domain
+	nextID int
+}
+
+// NewTree returns a tree containing only the root domain. A one-domain tree
+// corresponds to a flat DHT (a one-level hierarchy in the paper's counting).
+func NewTree() *Tree {
+	t := &Tree{}
+	t.root = t.newDomain("", nil)
+	return t
+}
+
+func (t *Tree) newDomain(name string, parent *Domain) *Domain {
+	d := &Domain{
+		name:     name,
+		parent:   parent,
+		childIdx: make(map[string]int),
+		id:       t.nextID,
+	}
+	t.nextID++
+	if parent != nil {
+		d.depth = parent.depth + 1
+		parent.childIdx[name] = len(parent.children)
+		parent.children = append(parent.children, d)
+	}
+	return d
+}
+
+// Root returns the root domain.
+func (t *Tree) Root() *Domain { return t.root }
+
+// NumDomains returns the total number of domains in the tree.
+func (t *Tree) NumDomains() int { return t.nextID }
+
+// EnsurePath returns the domain named by path, creating any missing domains
+// along the way. The empty path names the root.
+func (t *Tree) EnsurePath(path string) (*Domain, error) {
+	d := t.root
+	if path == "" {
+		return d, nil
+	}
+	for _, comp := range strings.Split(path, PathSeparator) {
+		if comp == "" {
+			return nil, fmt.Errorf("%w in %q", ErrEmptyComponent, path)
+		}
+		if i, ok := d.childIdx[comp]; ok {
+			d = d.children[i]
+			continue
+		}
+		d = t.newDomain(comp, d)
+	}
+	return d, nil
+}
+
+// Lookup returns the domain named by path if it exists.
+func (t *Tree) Lookup(path string) (*Domain, bool) {
+	d := t.root
+	if path == "" {
+		return d, true
+	}
+	for _, comp := range strings.Split(path, PathSeparator) {
+		i, ok := d.childIdx[comp]
+		if !ok {
+			return nil, false
+		}
+		d = d.children[i]
+	}
+	return d, true
+}
+
+// Leaves returns all leaf domains in depth-first order.
+func (t *Tree) Leaves() []*Domain {
+	var out []*Domain
+	var walk func(d *Domain)
+	walk = func(d *Domain) {
+		if len(d.children) == 0 {
+			out = append(out, d)
+			return
+		}
+		for _, c := range d.children {
+			walk(c)
+		}
+	}
+	walk(t.root)
+	return out
+}
+
+// Depth returns the maximum leaf depth. A tree with only the root has depth 0.
+func (t *Tree) Depth() int {
+	max := 0
+	for _, l := range t.Leaves() {
+		if l.depth > max {
+			max = l.depth
+		}
+	}
+	return max
+}
+
+// Levels returns the number of hierarchy levels in the paper's counting: a
+// flat structure (root only) has 1 level, and each additional tier of
+// domains adds one.
+func (t *Tree) Levels() int { return t.Depth() + 1 }
+
+// Walk visits every domain in depth-first pre-order.
+func (t *Tree) Walk(fn func(d *Domain)) {
+	var walk func(d *Domain)
+	walk = func(d *Domain) {
+		fn(d)
+		for _, c := range d.children {
+			walk(c)
+		}
+	}
+	walk(t.root)
+}
+
+// Balanced returns a complete hierarchy with the given number of levels and
+// fan-out at every internal domain, matching the paper's evaluation setup
+// (fan-out 10, levels 1..5). levels must be >= 1 and fanout >= 1.
+func Balanced(levels, fanout int) (*Tree, error) {
+	if levels < 1 {
+		return nil, fmt.Errorf("hierarchy: levels %d < 1", levels)
+	}
+	if fanout < 1 {
+		return nil, fmt.Errorf("hierarchy: fanout %d < 1", fanout)
+	}
+	t := NewTree()
+	var grow func(d *Domain, remaining int)
+	grow = func(d *Domain, remaining int) {
+		if remaining == 0 {
+			return
+		}
+		for i := 0; i < fanout; i++ {
+			c := t.newDomain(fmt.Sprintf("d%d", i), d)
+			grow(c, remaining-1)
+		}
+	}
+	grow(t.root, levels-1)
+	return t, nil
+}
+
+// Name returns the domain's own component name ("" for the root).
+func (d *Domain) Name() string { return d.name }
+
+// Parent returns the parent domain, or nil for the root.
+func (d *Domain) Parent() *Domain { return d.parent }
+
+// Children returns the domain's children. The returned slice is a copy.
+func (d *Domain) Children() []*Domain {
+	out := make([]*Domain, len(d.children))
+	copy(out, d.children)
+	return out
+}
+
+// NumChildren returns the number of child domains.
+func (d *Domain) NumChildren() int { return len(d.children) }
+
+// ChildAt returns the i-th child.
+func (d *Domain) ChildAt(i int) *Domain { return d.children[i] }
+
+// IsLeaf reports whether the domain has no children.
+func (d *Domain) IsLeaf() bool { return len(d.children) == 0 }
+
+// IsRoot reports whether the domain is the root.
+func (d *Domain) IsRoot() bool { return d.parent == nil }
+
+// Depth returns the domain's depth; the root has depth 0.
+func (d *Domain) Depth() int { return d.depth }
+
+// ID returns a tree-unique integer identifier for the domain, usable as a
+// compact map key.
+func (d *Domain) ID() int { return d.id }
+
+// Path returns the slash-separated hierarchical name of the domain. The root
+// has the empty path.
+func (d *Domain) Path() string {
+	if d.parent == nil {
+		return ""
+	}
+	parts := make([]string, 0, d.depth)
+	for x := d; x.parent != nil; x = x.parent {
+		parts = append(parts, x.name)
+	}
+	for i, j := 0, len(parts)-1; i < j; i, j = i+1, j-1 {
+		parts[i], parts[j] = parts[j], parts[i]
+	}
+	return strings.Join(parts, PathSeparator)
+}
+
+// AncestorAt returns the ancestor of d at the given depth (0 = root). It
+// returns d itself when depth == d.Depth() and nil when depth > d.Depth().
+func (d *Domain) AncestorAt(depth int) *Domain {
+	if depth < 0 || depth > d.depth {
+		return nil
+	}
+	x := d
+	for x.depth > depth {
+		x = x.parent
+	}
+	return x
+}
+
+// IsAncestorOf reports whether d is x or an ancestor of x.
+func (d *Domain) IsAncestorOf(x *Domain) bool {
+	return x != nil && x.AncestorAt(d.depth) == d
+}
+
+// LCA returns the lowest common ancestor of a and b. Both must belong to the
+// same tree; otherwise the result is nil.
+func LCA(a, b *Domain) *Domain {
+	if a == nil || b == nil {
+		return nil
+	}
+	for a.depth > b.depth {
+		a = a.parent
+	}
+	for b.depth > a.depth {
+		b = b.parent
+	}
+	for a != b {
+		if a.parent == nil || b.parent == nil {
+			return nil
+		}
+		a, b = a.parent, b.parent
+	}
+	return a
+}
+
+// AssignUniform assigns each of n nodes to a leaf domain chosen uniformly at
+// random, the first population distribution used in the paper's evaluation.
+func AssignUniform(rng *rand.Rand, t *Tree, n int) []*Domain {
+	leaves := t.Leaves()
+	out := make([]*Domain, n)
+	for i := range out {
+		out[i] = leaves[rng.Intn(len(leaves))]
+	}
+	return out
+}
+
+// AssignZipf assigns n nodes to leaf domains so that, within every internal
+// domain, the number of nodes in the k-th largest branch is proportional to
+// 1/k^exponent (the paper uses exponent 1.25). Which child plays the role of
+// the k-th largest branch is chosen at random per domain. Counts are
+// apportioned by largest remainder so they sum exactly to n.
+func AssignZipf(rng *rand.Rand, t *Tree, n int, exponent float64) []*Domain {
+	out := make([]*Domain, 0, n)
+	var assign func(d *Domain, count int)
+	assign = func(d *Domain, count int) {
+		if count == 0 {
+			return
+		}
+		if d.IsLeaf() {
+			for i := 0; i < count; i++ {
+				out = append(out, d)
+			}
+			return
+		}
+		counts := apportionZipf(rng, len(d.children), count, exponent)
+		for i, c := range d.children {
+			assign(c, counts[i])
+		}
+	}
+	assign(t.root, n)
+	return out
+}
+
+// apportionZipf splits total into k integer parts with Zipf(exponent)
+// weights assigned to the children in random order, using the
+// largest-remainder method.
+func apportionZipf(rng *rand.Rand, k, total int, exponent float64) []int {
+	weights := make([]float64, k)
+	sum := 0.0
+	for i := range weights {
+		weights[i] = 1 / math.Pow(float64(i+1), exponent)
+		sum += weights[i]
+	}
+	// Random permutation decides which child is the k-th largest branch.
+	perm := rng.Perm(k)
+
+	type share struct {
+		idx  int
+		frac float64
+	}
+	counts := make([]int, k)
+	shares := make([]share, k)
+	assigned := 0
+	for rank, childIdx := range perm {
+		exact := float64(total) * weights[rank] / sum
+		whole := int(exact)
+		counts[childIdx] = whole
+		assigned += whole
+		shares[rank] = share{idx: childIdx, frac: exact - float64(whole)}
+	}
+	sort.Slice(shares, func(i, j int) bool { return shares[i].frac > shares[j].frac })
+	for i := 0; assigned < total; i++ {
+		counts[shares[i%k].idx]++
+		assigned++
+	}
+	return counts
+}
+
+// DomainsOnPath returns the chain of domains from the root down to d,
+// inclusive, ordered root first.
+func DomainsOnPath(d *Domain) []*Domain {
+	out := make([]*Domain, d.depth+1)
+	for x := d; x != nil; x = x.parent {
+		out[x.depth] = x
+	}
+	return out
+}
+
+// LoadPlacement parses a plain-text placement specification into a hierarchy
+// and a per-node leaf assignment. Each non-empty line reads
+//
+//	<domain-path> <node-count>
+//
+// e.g. "stanford/cs/db 40". Lines starting with '#' are comments. The same
+// path may appear multiple times; counts accumulate.
+func LoadPlacement(r io.Reader) (*Tree, []*Domain, error) {
+	tree := NewTree()
+	var placement []*Domain
+	scanner := bufio.NewScanner(r)
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, nil, fmt.Errorf("hierarchy: line %d: want \"<path> <count>\", got %q", lineNo, line)
+		}
+		count, err := strconv.Atoi(fields[1])
+		if err != nil || count < 0 {
+			return nil, nil, fmt.Errorf("hierarchy: line %d: bad count %q", lineNo, fields[1])
+		}
+		d, err := tree.EnsurePath(fields[0])
+		if err != nil {
+			return nil, nil, fmt.Errorf("hierarchy: line %d: %w", lineNo, err)
+		}
+		for i := 0; i < count; i++ {
+			placement = append(placement, d)
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, nil, fmt.Errorf("hierarchy: read placement: %w", err)
+	}
+	if len(placement) == 0 {
+		return nil, nil, errors.New("hierarchy: placement is empty")
+	}
+	// Placement must reference leaves only: a path used for nodes must not
+	// also be an internal domain.
+	for _, d := range placement {
+		if !d.IsLeaf() {
+			return nil, nil, fmt.Errorf("hierarchy: %q holds nodes but also has subdomains", d.Path())
+		}
+	}
+	return tree, placement, nil
+}

@@ -1,0 +1,338 @@
+package hierarchy
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewTreeRootOnly(t *testing.T) {
+	tr := NewTree()
+	r := tr.Root()
+	if !r.IsRoot() || !r.IsLeaf() {
+		t.Fatal("fresh root should be both root and leaf")
+	}
+	if r.Depth() != 0 || r.Path() != "" {
+		t.Fatalf("root depth/path = %d/%q, want 0/\"\"", r.Depth(), r.Path())
+	}
+	if tr.Levels() != 1 {
+		t.Fatalf("Levels() = %d, want 1 for flat tree", tr.Levels())
+	}
+}
+
+func TestEnsurePathAndLookup(t *testing.T) {
+	tr := NewTree()
+	db, err := tr.EnsurePath("stanford/cs/db")
+	if err != nil {
+		t.Fatalf("EnsurePath: %v", err)
+	}
+	if db.Path() != "stanford/cs/db" {
+		t.Errorf("Path() = %q", db.Path())
+	}
+	if db.Depth() != 3 {
+		t.Errorf("Depth() = %d, want 3", db.Depth())
+	}
+	// Idempotent.
+	db2, err := tr.EnsurePath("stanford/cs/db")
+	if err != nil {
+		t.Fatalf("EnsurePath again: %v", err)
+	}
+	if db2 != db {
+		t.Error("EnsurePath not idempotent")
+	}
+	cs, ok := tr.Lookup("stanford/cs")
+	if !ok {
+		t.Fatal("Lookup(stanford/cs) failed")
+	}
+	if db.Parent() != cs {
+		t.Error("db.Parent() != cs")
+	}
+	if _, ok := tr.Lookup("stanford/ee"); ok {
+		t.Error("Lookup(stanford/ee) should fail")
+	}
+	if root, ok := tr.Lookup(""); !ok || root != tr.Root() {
+		t.Error("Lookup(\"\") should return root")
+	}
+}
+
+func TestEnsurePathEmptyComponent(t *testing.T) {
+	tr := NewTree()
+	if _, err := tr.EnsurePath("a//b"); !errors.Is(err, ErrEmptyComponent) {
+		t.Fatalf("EnsurePath(a//b) error = %v, want ErrEmptyComponent", err)
+	}
+	if _, err := tr.EnsurePath("/a"); !errors.Is(err, ErrEmptyComponent) {
+		t.Fatalf("EnsurePath(/a) error = %v, want ErrEmptyComponent", err)
+	}
+}
+
+func TestBalanced(t *testing.T) {
+	tests := []struct {
+		levels, fanout int
+		wantLeaves     int
+		wantDomains    int
+	}{
+		{1, 10, 1, 1},
+		{2, 3, 3, 4},
+		{3, 3, 9, 13},
+		{4, 2, 8, 15},
+	}
+	for _, tt := range tests {
+		tr, err := Balanced(tt.levels, tt.fanout)
+		if err != nil {
+			t.Fatalf("Balanced(%d,%d): %v", tt.levels, tt.fanout, err)
+		}
+		if got := len(tr.Leaves()); got != tt.wantLeaves {
+			t.Errorf("Balanced(%d,%d) leaves = %d, want %d", tt.levels, tt.fanout, got, tt.wantLeaves)
+		}
+		if got := tr.NumDomains(); got != tt.wantDomains {
+			t.Errorf("Balanced(%d,%d) domains = %d, want %d", tt.levels, tt.fanout, got, tt.wantDomains)
+		}
+		if got := tr.Levels(); got != tt.levels {
+			t.Errorf("Balanced(%d,%d) levels = %d", tt.levels, tt.fanout, got)
+		}
+	}
+	if _, err := Balanced(0, 2); err == nil {
+		t.Error("Balanced(0,2): expected error")
+	}
+	if _, err := Balanced(2, 0); err == nil {
+		t.Error("Balanced(2,0): expected error")
+	}
+}
+
+func TestLCA(t *testing.T) {
+	tr := NewTree()
+	mustPath := func(p string) *Domain {
+		d, err := tr.EnsurePath(p)
+		if err != nil {
+			t.Fatalf("EnsurePath(%q): %v", p, err)
+		}
+		return d
+	}
+	db := mustPath("stanford/cs/db")
+	ai := mustPath("stanford/cs/ai")
+	ee := mustPath("stanford/ee")
+	mit := mustPath("mit/csail")
+
+	tests := []struct {
+		a, b *Domain
+		want string
+	}{
+		{db, ai, "stanford/cs"},
+		{db, ee, "stanford"},
+		{db, mit, ""},
+		{db, db, "stanford/cs/db"},
+		{db, db.Parent(), "stanford/cs"},
+	}
+	for _, tt := range tests {
+		got := LCA(tt.a, tt.b)
+		if got == nil || got.Path() != tt.want {
+			t.Errorf("LCA(%q,%q) = %v, want %q", tt.a.Path(), tt.b.Path(), got, tt.want)
+		}
+		// Symmetry.
+		if LCA(tt.b, tt.a) != got {
+			t.Errorf("LCA not symmetric for %q,%q", tt.a.Path(), tt.b.Path())
+		}
+	}
+	if LCA(nil, db) != nil {
+		t.Error("LCA(nil, x) should be nil")
+	}
+}
+
+func TestAncestorAtAndIsAncestorOf(t *testing.T) {
+	tr := NewTree()
+	db, _ := tr.EnsurePath("stanford/cs/db")
+	if got := db.AncestorAt(0); got != tr.Root() {
+		t.Error("AncestorAt(0) != root")
+	}
+	if got := db.AncestorAt(1).Path(); got != "stanford" {
+		t.Errorf("AncestorAt(1) = %q", got)
+	}
+	if got := db.AncestorAt(3); got != db {
+		t.Error("AncestorAt(own depth) != self")
+	}
+	if db.AncestorAt(4) != nil || db.AncestorAt(-1) != nil {
+		t.Error("out-of-range AncestorAt should be nil")
+	}
+	cs, _ := tr.Lookup("stanford/cs")
+	if !cs.IsAncestorOf(db) {
+		t.Error("cs should be ancestor of db")
+	}
+	if !db.IsAncestorOf(db) {
+		t.Error("IsAncestorOf should be inclusive")
+	}
+	if db.IsAncestorOf(cs) {
+		t.Error("db is not an ancestor of cs")
+	}
+}
+
+func TestDomainsOnPath(t *testing.T) {
+	tr := NewTree()
+	db, _ := tr.EnsurePath("a/b/c")
+	chain := DomainsOnPath(db)
+	if len(chain) != 4 {
+		t.Fatalf("chain length = %d, want 4", len(chain))
+	}
+	wantPaths := []string{"", "a", "a/b", "a/b/c"}
+	for i, want := range wantPaths {
+		if chain[i].Path() != want {
+			t.Errorf("chain[%d] = %q, want %q", i, chain[i].Path(), want)
+		}
+	}
+}
+
+func TestAssignUniform(t *testing.T) {
+	tr, _ := Balanced(3, 4)
+	rng := rand.New(rand.NewSource(7))
+	const n = 10000
+	assign := AssignUniform(rng, tr, n)
+	if len(assign) != n {
+		t.Fatalf("assigned %d, want %d", len(assign), n)
+	}
+	counts := make(map[int]int)
+	for _, d := range assign {
+		if !d.IsLeaf() {
+			t.Fatal("assigned to non-leaf")
+		}
+		counts[d.ID()]++
+	}
+	// 16 leaves, expect ~625 each; allow generous slack.
+	for id, c := range counts {
+		if c < 400 || c > 900 {
+			t.Errorf("leaf %d count %d far from uniform expectation 625", id, c)
+		}
+	}
+}
+
+func TestAssignZipfExactTotalAndSkew(t *testing.T) {
+	tr, _ := Balanced(2, 10)
+	rng := rand.New(rand.NewSource(3))
+	const n = 10000
+	assign := AssignZipf(rng, tr, n, 1.25)
+	if len(assign) != n {
+		t.Fatalf("assigned %d, want %d", len(assign), n)
+	}
+	counts := make(map[int]int)
+	for _, d := range assign {
+		counts[d.ID()]++
+	}
+	// The largest branch should hold roughly w1/sum = 1/sum of the total.
+	max, min := 0, n
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+		if c < min {
+			min = c
+		}
+	}
+	// With exponent 1.25 and 10 branches, largest/smallest ≈ 10^1.25 ≈ 17.8.
+	ratio := float64(max) / math.Max(float64(min), 1)
+	if ratio < 5 || ratio > 40 {
+		t.Errorf("zipf skew ratio = %.1f, want within [5,40]", ratio)
+	}
+}
+
+func TestApportionZipfSumsExactly(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	f := func(rk uint8, rtotal uint16) bool {
+		k := int(rk)%12 + 1
+		total := int(rtotal) % 5000
+		counts := apportionZipf(rng, k, total, 1.25)
+		sum := 0
+		for _, c := range counts {
+			if c < 0 {
+				return false
+			}
+			sum += c
+		}
+		return sum == total
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: LCA depth never exceeds either argument's depth, and the LCA is
+// an ancestor of both.
+func TestLCAProperty(t *testing.T) {
+	tr, _ := Balanced(4, 3)
+	leaves := tr.Leaves()
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 500; i++ {
+		a := leaves[rng.Intn(len(leaves))]
+		b := leaves[rng.Intn(len(leaves))]
+		l := LCA(a, b)
+		if l == nil {
+			t.Fatal("LCA nil for same-tree leaves")
+		}
+		if !l.IsAncestorOf(a) || !l.IsAncestorOf(b) {
+			t.Fatal("LCA is not a common ancestor")
+		}
+		// Lowest: no child of l is a common ancestor.
+		for _, c := range l.Children() {
+			if c.IsAncestorOf(a) && c.IsAncestorOf(b) {
+				t.Fatal("LCA is not lowest")
+			}
+		}
+	}
+}
+
+func TestWalkVisitsAll(t *testing.T) {
+	tr, _ := Balanced(3, 2)
+	visited := 0
+	tr.Walk(func(d *Domain) { visited++ })
+	if visited != tr.NumDomains() {
+		t.Fatalf("Walk visited %d, want %d", visited, tr.NumDomains())
+	}
+}
+
+func TestLoadPlacement(t *testing.T) {
+	spec := `
+# campus file store
+stanford/cs/db 3
+stanford/cs/ai 2
+mit/csail      4
+stanford/cs/db 1
+`
+	tree, placement, err := LoadPlacement(strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(placement) != 10 {
+		t.Fatalf("placement = %d nodes, want 10", len(placement))
+	}
+	counts := make(map[string]int)
+	for _, d := range placement {
+		counts[d.Path()]++
+	}
+	if counts["stanford/cs/db"] != 4 || counts["stanford/cs/ai"] != 2 || counts["mit/csail"] != 4 {
+		t.Errorf("counts = %v", counts)
+	}
+	if tree.Levels() != 4 {
+		t.Errorf("Levels = %d", tree.Levels())
+	}
+}
+
+func TestLoadPlacementErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		spec string
+	}{
+		{"missing count", "a/b\n"},
+		{"bad count", "a/b x\n"},
+		{"negative count", "a/b -1\n"},
+		{"empty component", "a//b 2\n"},
+		{"empty placement", "# nothing\n"},
+		{"internal with nodes", "a 2\na/b 3\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, _, err := LoadPlacement(strings.NewReader(tc.spec)); err == nil {
+				t.Errorf("spec %q should fail", tc.spec)
+			}
+		})
+	}
+}

@@ -1,0 +1,234 @@
+// Package id implements the identifier spaces used by Canon DHTs: an N-bit
+// circular space with clockwise (ring) distance, as used by Chord, Crescendo,
+// Symphony and Cacophony, and the XOR metric used by Kademlia, Kandy, CAN and
+// Can-Can.
+//
+// Identifiers are stored in the low Bits bits of a uint64. All arithmetic is
+// performed modulo 2^Bits. The package is purely computational and safe for
+// concurrent use.
+package id
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+)
+
+// DefaultBits is the identifier width used throughout the paper's
+// evaluation (nodes choose random 32-bit IDs).
+const DefaultBits = 32
+
+// MaxBits is the widest identifier space supported.
+const MaxBits = 63
+
+// ID is an identifier in an N-bit circular space. The space width is carried
+// separately (see Space); an ID by itself is just the integer value.
+type ID uint64
+
+// Space describes an N-bit identifier space and provides modular arithmetic
+// and the two distance metrics over it.
+type Space struct {
+	bits uint
+	mask uint64
+}
+
+// NewSpace returns a Space with the given number of bits. It returns an
+// error if bits is outside [1, MaxBits].
+func NewSpace(bits uint) (Space, error) {
+	if bits < 1 || bits > MaxBits {
+		return Space{}, fmt.Errorf("id: space bits %d out of range [1,%d]", bits, MaxBits)
+	}
+	return Space{bits: bits, mask: (uint64(1) << bits) - 1}, nil
+}
+
+// MustSpace is like NewSpace but panics on error. It is intended for
+// package-level defaults and tests.
+func MustSpace(bits uint) Space {
+	s, err := NewSpace(bits)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// DefaultSpace is the 32-bit identifier space used in the paper's evaluation.
+func DefaultSpace() Space { return MustSpace(DefaultBits) }
+
+// Bits returns the width of the space in bits.
+func (s Space) Bits() uint { return s.bits }
+
+// Size returns the number of identifiers in the space, 2^Bits.
+func (s Space) Size() uint64 { return s.mask + 1 }
+
+// Mask returns the bit mask selecting valid identifier bits.
+func (s Space) Mask() uint64 { return s.mask }
+
+// Contains reports whether v is a valid identifier in this space.
+func (s Space) Contains(v ID) bool { return uint64(v)&^s.mask == 0 }
+
+// Wrap reduces an arbitrary integer into the space.
+func (s Space) Wrap(v uint64) ID { return ID(v & s.mask) }
+
+// Random returns an identifier drawn uniformly at random from the space.
+func (s Space) Random(rng *rand.Rand) ID {
+	return ID(rng.Uint64() & s.mask)
+}
+
+// Add returns a + d (mod 2^Bits).
+func (s Space) Add(a ID, d uint64) ID {
+	return ID((uint64(a) + d) & s.mask)
+}
+
+// Sub returns a - d (mod 2^Bits).
+func (s Space) Sub(a ID, d uint64) ID {
+	return ID((uint64(a) - d) & s.mask)
+}
+
+// Clockwise returns the clockwise distance from a to b on the ring: the
+// number of unit steps needed to reach b from a moving in increasing-ID
+// direction, in [0, 2^Bits).
+func (s Space) Clockwise(a, b ID) uint64 {
+	return (uint64(b) - uint64(a)) & s.mask
+}
+
+// XOR returns the XOR distance between a and b (the Kademlia metric).
+func (s Space) XOR(a, b ID) uint64 {
+	return (uint64(a) ^ uint64(b)) & s.mask
+}
+
+// Between reports whether x lies in the half-open clockwise interval (a, b].
+// The interval wraps around zero when b's clockwise position precedes a's.
+// If a == b the interval covers the entire ring (every x qualifies), matching
+// Chord's convention for a ring with a single node.
+func (s Space) Between(x, a, b ID) bool {
+	if a == b {
+		return true
+	}
+	da := s.Clockwise(a, x)
+	db := s.Clockwise(a, b)
+	return da > 0 && da <= db
+}
+
+// InInterval reports whether the clockwise distance from a to x lies in
+// [lo, hi). It is the primitive behind nondeterministic Chord's link rule.
+func (s Space) InInterval(x, a ID, lo, hi uint64) bool {
+	d := s.Clockwise(a, x)
+	return d >= lo && d < hi
+}
+
+// CommonPrefixLen returns the number of leading bits (most significant first,
+// within the space width) shared by a and b.
+func (s Space) CommonPrefixLen(a, b ID) uint {
+	x := s.XOR(a, b)
+	if x == 0 {
+		return s.bits
+	}
+	n := uint(0)
+	for i := int(s.bits) - 1; i >= 0; i-- {
+		if x&(uint64(1)<<uint(i)) != 0 {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// Bit returns bit i of v, where bit 0 is the most significant bit of the
+// space. It panics if i >= Bits, which would indicate a programming error.
+func (s Space) Bit(v ID, i uint) uint {
+	if i >= s.bits {
+		panic("id: bit index out of range")
+	}
+	return uint(uint64(v)>>(s.bits-1-i)) & 1
+}
+
+// FlipBit returns v with bit i (MSB-first) inverted.
+func (s Space) FlipBit(v ID, i uint) ID {
+	if i >= s.bits {
+		panic("id: bit index out of range")
+	}
+	return ID(uint64(v) ^ (uint64(1) << (s.bits - 1 - i)))
+}
+
+// Prefix returns the top plen bits of v, right-aligned. Prefix(v, 0) is 0.
+func (s Space) Prefix(v ID, plen uint) uint64 {
+	if plen == 0 {
+		return 0
+	}
+	if plen > s.bits {
+		panic("id: prefix length out of range")
+	}
+	return uint64(v) >> (s.bits - plen)
+}
+
+// PrefixRange returns the smallest and largest identifiers sharing the given
+// right-aligned prefix of length plen.
+func (s Space) PrefixRange(prefix uint64, plen uint) (lo, hi ID) {
+	if plen > s.bits {
+		panic("id: prefix length out of range")
+	}
+	if plen == 0 {
+		return 0, ID(s.mask)
+	}
+	lo = ID(prefix << (s.bits - plen))
+	hi = ID(uint64(lo) | (s.mask >> plen))
+	return lo, hi
+}
+
+// String renders v as a zero-padded binary string of the space's width,
+// which makes prefix structure visible in logs and tests.
+func (s Space) String(v ID) string {
+	raw := strconv.FormatUint(uint64(v), 2)
+	for uint(len(raw)) < s.bits {
+		raw = "0" + raw
+	}
+	return raw
+}
+
+// SortIDs sorts ids ascending in place and returns them.
+func SortIDs(ids []ID) []ID {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// UniqueRandom draws n distinct identifiers uniformly at random. It returns
+// an error if the space cannot hold n distinct values.
+func (s Space) UniqueRandom(rng *rand.Rand, n int) ([]ID, error) {
+	if uint64(n) > s.Size() {
+		return nil, fmt.Errorf("id: cannot draw %d distinct ids from space of size %d", n, s.Size())
+	}
+	seen := make(map[ID]struct{}, n)
+	out := make([]ID, 0, n)
+	for len(out) < n {
+		v := s.Random(rng)
+		if _, dup := seen[v]; dup {
+			continue
+		}
+		seen[v] = struct{}{}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// SuccessorIndex returns the index in the ascending-sorted slice ids of the
+// first identifier whose value is >= target, wrapping to index 0 when target
+// exceeds every element. The slice must be non-empty.
+func SuccessorIndex(ids []ID, target ID) int {
+	i := sort.Search(len(ids), func(k int) bool { return ids[k] >= target })
+	if i == len(ids) {
+		return 0
+	}
+	return i
+}
+
+// PredecessorIndex returns the index in the ascending-sorted slice ids of the
+// last identifier strictly less than target, wrapping to the final index when
+// target precedes every element. The slice must be non-empty.
+func PredecessorIndex(ids []ID, target ID) int {
+	i := sort.Search(len(ids), func(k int) bool { return ids[k] >= target })
+	if i == 0 {
+		return len(ids) - 1
+	}
+	return i - 1
+}

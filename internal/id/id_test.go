@@ -1,0 +1,373 @@
+package id
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewSpaceValidation(t *testing.T) {
+	tests := []struct {
+		name    string
+		bits    uint
+		wantErr bool
+	}{
+		{name: "zero bits", bits: 0, wantErr: true},
+		{name: "one bit", bits: 1, wantErr: false},
+		{name: "default", bits: DefaultBits, wantErr: false},
+		{name: "max", bits: MaxBits, wantErr: false},
+		{name: "too wide", bits: MaxBits + 1, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := NewSpace(tt.bits)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("NewSpace(%d) error = %v, wantErr %v", tt.bits, err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestMustSpacePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustSpace(0) did not panic")
+		}
+	}()
+	MustSpace(0)
+}
+
+func TestSpaceBasics(t *testing.T) {
+	s := MustSpace(4)
+	if got := s.Size(); got != 16 {
+		t.Errorf("Size() = %d, want 16", got)
+	}
+	if got := s.Mask(); got != 15 {
+		t.Errorf("Mask() = %d, want 15", got)
+	}
+	if !s.Contains(15) {
+		t.Error("Contains(15) = false, want true")
+	}
+	if s.Contains(16) {
+		t.Error("Contains(16) = true, want false")
+	}
+	if got := s.Wrap(17); got != 1 {
+		t.Errorf("Wrap(17) = %d, want 1", got)
+	}
+}
+
+func TestClockwise(t *testing.T) {
+	s := MustSpace(4)
+	tests := []struct {
+		a, b ID
+		want uint64
+	}{
+		{0, 0, 0},
+		{0, 5, 5},
+		{5, 0, 11},
+		{15, 0, 1},
+		{0, 15, 15},
+		{7, 7, 0},
+		{12, 3, 7},
+	}
+	for _, tt := range tests {
+		if got := s.Clockwise(tt.a, tt.b); got != tt.want {
+			t.Errorf("Clockwise(%d,%d) = %d, want %d", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestAddSub(t *testing.T) {
+	s := MustSpace(4)
+	if got := s.Add(14, 3); got != 1 {
+		t.Errorf("Add(14,3) = %d, want 1", got)
+	}
+	if got := s.Sub(1, 3); got != 14 {
+		t.Errorf("Sub(1,3) = %d, want 14", got)
+	}
+}
+
+func TestBetween(t *testing.T) {
+	s := MustSpace(4)
+	tests := []struct {
+		x, a, b ID
+		want    bool
+	}{
+		{5, 0, 10, true},
+		{10, 0, 10, true}, // half-open (a,b]: b included
+		{0, 0, 10, false}, // a excluded
+		{11, 0, 10, false},
+		{1, 14, 3, true},  // wrapping interval
+		{15, 14, 3, true}, // wrapping interval
+		{14, 14, 3, false},
+		{5, 14, 3, false},
+		{9, 7, 7, true}, // a==b covers whole ring
+	}
+	for _, tt := range tests {
+		if got := s.Between(tt.x, tt.a, tt.b); got != tt.want {
+			t.Errorf("Between(%d,%d,%d) = %v, want %v", tt.x, tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestInInterval(t *testing.T) {
+	s := MustSpace(4)
+	// distances from a=12: x=14 -> 2, x=3 -> 7, x=12 -> 0
+	if !s.InInterval(14, 12, 2, 4) {
+		t.Error("InInterval(14,12,2,4) = false, want true")
+	}
+	if s.InInterval(14, 12, 3, 4) {
+		t.Error("InInterval(14,12,3,4) = true, want false")
+	}
+	if !s.InInterval(12, 12, 0, 1) {
+		t.Error("InInterval(12,12,0,1) = false, want true")
+	}
+}
+
+func TestXOR(t *testing.T) {
+	s := MustSpace(4)
+	if got := s.XOR(0b1010, 0b0110); got != 0b1100 {
+		t.Errorf("XOR = %b, want 1100", got)
+	}
+	if got := s.XOR(7, 7); got != 0 {
+		t.Errorf("XOR(7,7) = %d, want 0", got)
+	}
+}
+
+func TestCommonPrefixLen(t *testing.T) {
+	s := MustSpace(4)
+	tests := []struct {
+		a, b ID
+		want uint
+	}{
+		{0b1010, 0b1011, 3},
+		{0b1010, 0b1010, 4},
+		{0b0000, 0b1000, 0},
+		{0b1100, 0b1000, 1},
+	}
+	for _, tt := range tests {
+		if got := s.CommonPrefixLen(tt.a, tt.b); got != tt.want {
+			t.Errorf("CommonPrefixLen(%04b,%04b) = %d, want %d", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestBitAndFlip(t *testing.T) {
+	s := MustSpace(4)
+	v := ID(0b1010)
+	wantBits := []uint{1, 0, 1, 0}
+	for i, want := range wantBits {
+		if got := s.Bit(v, uint(i)); got != want {
+			t.Errorf("Bit(%04b, %d) = %d, want %d", v, i, got, want)
+		}
+	}
+	if got := s.FlipBit(v, 0); got != 0b0010 {
+		t.Errorf("FlipBit(%04b, 0) = %04b, want 0010", v, got)
+	}
+	if got := s.FlipBit(v, 3); got != 0b1011 {
+		t.Errorf("FlipBit(%04b, 3) = %04b, want 1011", v, got)
+	}
+}
+
+func TestPrefixAndRange(t *testing.T) {
+	s := MustSpace(4)
+	if got := s.Prefix(0b1011, 2); got != 0b10 {
+		t.Errorf("Prefix(1011,2) = %b, want 10", got)
+	}
+	if got := s.Prefix(0b1011, 0); got != 0 {
+		t.Errorf("Prefix(1011,0) = %d, want 0", got)
+	}
+	lo, hi := s.PrefixRange(0b10, 2)
+	if lo != 0b1000 || hi != 0b1011 {
+		t.Errorf("PrefixRange(10,2) = (%04b,%04b), want (1000,1011)", lo, hi)
+	}
+	lo, hi = s.PrefixRange(0, 0)
+	if lo != 0 || hi != 15 {
+		t.Errorf("PrefixRange(0,0) = (%d,%d), want (0,15)", lo, hi)
+	}
+}
+
+func TestStringPadding(t *testing.T) {
+	s := MustSpace(6)
+	if got := s.String(5); got != "000101" {
+		t.Errorf("String(5) = %q, want 000101", got)
+	}
+}
+
+func TestUniqueRandom(t *testing.T) {
+	s := MustSpace(4)
+	rng := rand.New(rand.NewSource(1))
+	ids, err := s.UniqueRandom(rng, 16)
+	if err != nil {
+		t.Fatalf("UniqueRandom: %v", err)
+	}
+	seen := make(map[ID]bool)
+	for _, v := range ids {
+		if seen[v] {
+			t.Fatalf("duplicate id %d", v)
+		}
+		seen[v] = true
+	}
+	if _, err := s.UniqueRandom(rng, 17); err == nil {
+		t.Fatal("UniqueRandom(17) in 4-bit space: expected error")
+	}
+}
+
+func TestSuccessorPredecessorIndex(t *testing.T) {
+	ids := []ID{2, 5, 9, 14}
+	tests := []struct {
+		target ID
+		succ   int
+		pred   int
+	}{
+		{0, 0, 3}, // before all: succ wraps to first, pred wraps to last
+		{2, 0, 3}, // equal to first: succ is itself, pred wraps
+		{3, 1, 0},
+		{5, 1, 0},
+		{6, 2, 1},
+		{14, 3, 2},
+		{15, 0, 3}, // after all: succ wraps
+	}
+	for _, tt := range tests {
+		if got := SuccessorIndex(ids, tt.target); got != tt.succ {
+			t.Errorf("SuccessorIndex(%d) = %d, want %d", tt.target, got, tt.succ)
+		}
+		if got := PredecessorIndex(ids, tt.target); got != tt.pred {
+			t.Errorf("PredecessorIndex(%d) = %d, want %d", tt.target, got, tt.pred)
+		}
+	}
+}
+
+func TestSortIDs(t *testing.T) {
+	ids := []ID{9, 2, 14, 5}
+	SortIDs(ids)
+	want := []ID{2, 5, 9, 14}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("SortIDs = %v, want %v", ids, want)
+		}
+	}
+}
+
+// Property: clockwise distance is a "directed metric": d(a,a)=0,
+// d(a,b)+d(b,a) = ring size for a != b, and d(a,b)+d(b,c) ≡ d(a,c) (mod size).
+func TestClockwiseProperties(t *testing.T) {
+	s := DefaultSpace()
+	f := func(ra, rb, rc uint64) bool {
+		a, b, c := s.Wrap(ra), s.Wrap(rb), s.Wrap(rc)
+		if s.Clockwise(a, a) != 0 {
+			return false
+		}
+		if a != b && s.Clockwise(a, b)+s.Clockwise(b, a) != s.Size() {
+			return false
+		}
+		sum := (s.Clockwise(a, b) + s.Clockwise(b, c)) % s.Size()
+		return sum == s.Clockwise(a, c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: XOR is a metric: identity, symmetry, triangle inequality.
+func TestXORMetricProperties(t *testing.T) {
+	s := DefaultSpace()
+	f := func(ra, rb, rc uint64) bool {
+		a, b, c := s.Wrap(ra), s.Wrap(rb), s.Wrap(rc)
+		if (s.XOR(a, b) == 0) != (a == b) {
+			return false
+		}
+		if s.XOR(a, b) != s.XOR(b, a) {
+			return false
+		}
+		return s.XOR(a, c) <= s.XOR(a, b)+s.XOR(b, c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Between(x, a, b) iff clockwise walk from a hits x before or at b.
+func TestBetweenConsistentWithClockwise(t *testing.T) {
+	s := MustSpace(8)
+	f := func(rx, ra, rb uint64) bool {
+		x, a, b := s.Wrap(rx), s.Wrap(ra), s.Wrap(rb)
+		want := false
+		if a == b {
+			want = true
+		} else {
+			dx, db := s.Clockwise(a, x), s.Clockwise(a, b)
+			want = dx > 0 && dx <= db
+		}
+		return s.Between(x, a, b) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: PrefixRange brackets exactly the IDs sharing the prefix.
+func TestPrefixRangeProperty(t *testing.T) {
+	s := MustSpace(10)
+	f := func(rv uint64, rp uint8) bool {
+		v := s.Wrap(rv)
+		plen := uint(rp) % (s.Bits() + 1)
+		p := s.Prefix(v, plen)
+		lo, hi := s.PrefixRange(p, plen)
+		return v >= lo && v <= hi && s.Prefix(lo, plen) == p && s.Prefix(hi, plen) == p
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: FlipBit is an involution and changes exactly the named bit.
+func TestFlipBitProperty(t *testing.T) {
+	s := MustSpace(16)
+	f := func(rv uint64, ri uint8) bool {
+		v := s.Wrap(rv)
+		i := uint(ri) % s.Bits()
+		w := s.FlipBit(v, i)
+		if s.FlipBit(w, i) != v {
+			return false
+		}
+		return s.XOR(v, w) == uint64(1)<<(s.Bits()-1-i)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkClockwise(b *testing.B) {
+	s := DefaultSpace()
+	rng := rand.New(rand.NewSource(1))
+	a, c := s.Random(rng), s.Random(rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Clockwise(a, c)
+	}
+}
+
+func BenchmarkXOR(b *testing.B) {
+	s := DefaultSpace()
+	rng := rand.New(rand.NewSource(2))
+	a, c := s.Random(rng), s.Random(rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.XOR(a, c)
+	}
+}
+
+func BenchmarkSuccessorIndex(b *testing.B) {
+	s := DefaultSpace()
+	rng := rand.New(rand.NewSource(3))
+	ids, err := s.UniqueRandom(rng, 8192)
+	if err != nil {
+		b.Fatal(err)
+	}
+	SortIDs(ids)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = SuccessorIndex(ids, s.Random(rng))
+	}
+}

@@ -1,0 +1,173 @@
+// Package kademlia implements the Kademlia link-creation geometry
+// (Maymounkov & Mazieres, IPTPS 2002): for every 0 <= k < N a node links to
+// some node at XOR distance in [2^k, 2^(k+1)) — one representative per
+// bucket, as the paper's Section 3.3 discussion assumes. Plugged into the
+// Canon framework it yields Kandy, the Canonical Kademlia: at every merge a
+// node keeps only candidates whose XOR distance is smaller than the shortest
+// link it already possesses.
+package kademlia
+
+import (
+	"math/rand"
+
+	"github.com/canon-dht/canon/internal/core"
+	"github.com/canon-dht/canon/internal/id"
+)
+
+// enumerationCap bounds how many bucket members MergeLinks will enumerate
+// when filtering by bound; beyond the cap it falls back to rejection
+// sampling. In practice merge buckets hold only a handful of nodes.
+const enumerationCap = 8192
+
+// Geometry is the Kademlia link rule.
+type Geometry struct {
+	space id.Space
+	width int // links kept per bucket
+}
+
+var _ core.Geometry = (*Geometry)(nil)
+
+// New returns the Kademlia geometry over space with one link per bucket,
+// as the paper's discussion assumes.
+func New(space id.Space) *Geometry {
+	return &Geometry{space: space, width: 1}
+}
+
+// NewWithWidth keeps up to width links per bucket — the redundancy real
+// Kademlia maintains for resilience ("Kademlia actually maintains multiple
+// links for each of these distances", Section 3.3).
+func NewWithWidth(space id.Space, width int) *Geometry {
+	if width < 1 {
+		width = 1
+	}
+	return &Geometry{space: space, width: width}
+}
+
+// Name implements core.Geometry.
+func (g *Geometry) Name() string { return "kademlia" }
+
+// Metric implements core.Geometry.
+func (g *Geometry) Metric() core.Metric { return core.MetricXOR }
+
+// Distance implements core.Geometry.
+func (g *Geometry) Distance(a, b id.ID) uint64 { return g.space.XOR(a, b) }
+
+// bucketRange returns the member-position range of ring members at XOR
+// distance in [2^k, 2^(k+1)) from m: those sharing m's top (bits-k-1) bits
+// and differing at the next bit — a contiguous identifier range.
+func (g *Geometry) bucketRange(ring *core.Ring, m id.ID, k uint) (lo, hi int) {
+	j := g.space.Bits() - 1 - k // MSB-first index of the differing bit
+	prefix := g.space.Prefix(g.space.FlipBit(m, j), j+1)
+	return ring.PrefixRangePos(prefix, j+1)
+}
+
+// BaseLinks implements core.Geometry: up to `width` uniformly chosen
+// representatives from every non-empty bucket.
+func (g *Geometry) BaseLinks(ring *core.Ring, node int, rng *rand.Rand) []int {
+	pos := ring.PosOfMember(node)
+	if pos < 0 || ring.Len() == 1 {
+		return nil
+	}
+	m := ring.IDAt(pos)
+	links := make([]int, 0, g.space.Bits()*uint(g.width))
+	for k := uint(0); k < g.space.Bits(); k++ {
+		lo, hi := g.bucketRange(ring, m, k)
+		if lo >= hi {
+			continue
+		}
+		if hi-lo <= g.width {
+			for p := lo; p < hi; p++ {
+				links = append(links, ring.Member(p))
+			}
+			continue
+		}
+		for i := 0; i < g.width; i++ {
+			links = append(links, ring.Member(lo+rng.Intn(hi-lo)))
+		}
+	}
+	return links
+}
+
+// MergeLinks implements core.Geometry: the Kademlia rule over the merged
+// ring, discarding candidates at XOR distance >= bound (the node's shortest
+// existing link) or inside the node's own ring.
+func (g *Geometry) MergeLinks(merged, own *core.Ring, node int, bound uint64, rng *rand.Rand) []int {
+	pos := merged.PosOfMember(node)
+	if pos < 0 || merged.Len() == 1 {
+		return nil
+	}
+	m := merged.IDAt(pos)
+	var links []int
+	for k := uint(0); k < g.space.Bits(); k++ {
+		if uint64(1)<<k >= bound {
+			break
+		}
+		lo, hi := g.bucketRange(merged, m, k)
+		if lo >= hi {
+			continue
+		}
+		if cand := g.pickBounded(merged, own, m, lo, hi, bound, rng); cand >= 0 {
+			links = append(links, cand)
+		}
+	}
+	if len(links) == 0 {
+		// Condition (b) excluded every candidate. Crescendo keeps ring
+		// connectivity for free (the merged-ring successor is always within
+		// the bound); the XOR analog needs the nearest outside node added
+		// explicitly or the node has no way out of its own ring at this
+		// level.
+		if cand := merged.XORNearestOutside(pos, own); cand >= 0 {
+			links = append(links, cand)
+		}
+	}
+	return links
+}
+
+// pickBounded picks a uniform member of merged[lo:hi) whose XOR distance
+// from m is below bound and that is not in the node's own ring; -1 if none.
+func (g *Geometry) pickBounded(merged, own *core.Ring, m id.ID, lo, hi int, bound uint64, rng *rand.Rand) int {
+	if hi-lo > enumerationCap {
+		// Rejection-sample a handful of times; the qualifying fraction is
+		// tiny only when no candidate matters anyway.
+		for attempt := 0; attempt < 16; attempt++ {
+			p := lo + rng.Intn(hi-lo)
+			cand := merged.Member(p)
+			if g.space.XOR(m, merged.IDAt(p)) < bound && own.PosOfMember(cand) < 0 {
+				return cand
+			}
+		}
+		return -1
+	}
+	candidates := make([]int, 0, hi-lo)
+	for p := lo; p < hi; p++ {
+		cand := merged.Member(p)
+		if g.space.XOR(m, merged.IDAt(p)) >= bound {
+			continue
+		}
+		if own.PosOfMember(cand) >= 0 {
+			continue
+		}
+		candidates = append(candidates, cand)
+	}
+	if len(candidates) == 0 {
+		return -1
+	}
+	return candidates[rng.Intn(len(candidates))]
+}
+
+// Bound implements core.Geometry: the XOR distance of the node's shortest
+// existing link (Section 3.3), or the whole space when it has none.
+func (g *Geometry) Bound(own *core.Ring, node int, linkIDs []id.ID) uint64 {
+	pos := own.PosOfMember(node)
+	if pos < 0 {
+		return 0
+	}
+	m := own.IDAt(pos)
+	bound := g.space.Size()
+	for _, lid := range linkIDs {
+		if d := g.space.XOR(m, lid); d < bound {
+			bound = d
+		}
+	}
+	return bound
+}

@@ -1,0 +1,237 @@
+package kademlia_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/canon-dht/canon/internal/core"
+	"github.com/canon-dht/canon/internal/hierarchy"
+	"github.com/canon-dht/canon/internal/id"
+	"github.com/canon-dht/canon/internal/kademlia"
+)
+
+func build(t testing.TB, seed int64, n, levels, fanout int) *core.Network {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	space := id.DefaultSpace()
+	tree, err := hierarchy.Balanced(levels, fanout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaves := hierarchy.AssignUniform(rng, tree, n)
+	pop, err := core.RandomPopulation(rng, space, tree, leaves)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core.Build(pop, kademlia.New(space), rng)
+}
+
+// TestFlatBuckets: every link of flat Kademlia must land in a distinct XOR
+// bucket, and every non-empty bucket must be covered.
+func TestFlatBuckets(t *testing.T) {
+	const n = 512
+	nw := build(t, 41, n, 1, 10)
+	pop := nw.Population()
+	space := pop.Space()
+	for i := 0; i < n; i++ {
+		seen := make(map[int]bool)
+		for _, l := range nw.Links(i) {
+			d := space.XOR(pop.IDOf(i), pop.IDOf(int(l)))
+			k := 63
+			for uint64(1)<<k > d {
+				k--
+			}
+			if seen[k] {
+				t.Fatalf("node %d has two links in bucket %d", i, k)
+			}
+			seen[k] = true
+		}
+		// Every non-empty bucket must have a link: check via brute force on
+		// a sample of nodes.
+		if i%50 != 0 {
+			continue
+		}
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			d := space.XOR(pop.IDOf(i), pop.IDOf(j))
+			k := 63
+			for uint64(1)<<k > d {
+				k--
+			}
+			if !seen[k] {
+				t.Fatalf("node %d bucket %d non-empty (node %d) but uncovered", i, k, j)
+			}
+		}
+	}
+}
+
+// TestFlatRoutingExact: greedy XOR routing with one representative per
+// bucket always reaches the exact destination.
+func TestFlatRoutingExact(t *testing.T) {
+	const n = 512
+	nw := build(t, 42, n, 1, 10)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 3000; i++ {
+		from, to := rng.Intn(n), rng.Intn(n)
+		r := nw.RouteToNode(from, to)
+		if !r.Success || r.Last() != to {
+			t.Fatalf("route %d -> %d failed (path %v)", from, to, r.Nodes)
+		}
+	}
+}
+
+// TestFlatRoutingToKey: routing to an arbitrary key reaches the XOR-closest
+// node.
+func TestFlatRoutingToKey(t *testing.T) {
+	const n = 256
+	nw := build(t, 43, n, 1, 10)
+	pop := nw.Population()
+	space := pop.Space()
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 1000; i++ {
+		key := space.Random(rng)
+		r := nw.RouteToKey(rng.Intn(n), key)
+		if !r.Success {
+			t.Fatalf("route to key %d stalled at node %d (path %v)", key, r.Last(), r.Nodes)
+		}
+		// Verify against brute force.
+		best, bestD := -1, space.Size()
+		for j := 0; j < n; j++ {
+			if d := space.XOR(pop.IDOf(j), key); d < bestD {
+				best, bestD = j, d
+			}
+		}
+		if r.Last() != best {
+			t.Fatalf("route to key %d ended at %d, closest is %d", key, r.Last(), best)
+		}
+	}
+}
+
+// TestKandyConditionB: links outside a node's leaf domain must be shorter
+// (XOR) than its shortest leaf-level link — except the per-merge-level
+// liveness link added when condition (b) would strand the node (see
+// Geometry.MergeLinks), of which there can be at most one per merge level.
+func TestKandyConditionB(t *testing.T) {
+	const n = 1024
+	const mergeLevels = 2 // 3-level hierarchy
+	nw := build(t, 44, n, 3, 8)
+	pop := nw.Population()
+	space := pop.Space()
+	totalViolations := 0
+	for i := 0; i < n; i++ {
+		minLeaf := space.Size()
+		for _, l := range nw.Links(i) {
+			if pop.LeafOf(int(l)) == pop.LeafOf(i) {
+				if d := space.XOR(pop.IDOf(i), pop.IDOf(int(l))); d < minLeaf {
+					minLeaf = d
+				}
+			}
+		}
+		violations := 0
+		for _, l := range nw.Links(i) {
+			if pop.LeafOf(int(l)) == pop.LeafOf(i) {
+				continue
+			}
+			if d := space.XOR(pop.IDOf(i), pop.IDOf(int(l))); d >= minLeaf {
+				violations++
+			}
+		}
+		if violations > mergeLevels {
+			t.Fatalf("node %d has %d over-bound cross-domain links, max %d liveness links allowed",
+				i, violations, mergeLevels)
+		}
+		totalViolations += violations
+	}
+	if totalViolations > n/2 {
+		t.Errorf("liveness links dominate: %d over-bound links across %d nodes", totalViolations, n)
+	}
+}
+
+// TestKandyRouting: hierarchical greedy XOR routing should almost always
+// reach the destination; the paper's construction makes stalls possible in
+// principle but vanishingly rare.
+func TestKandyRouting(t *testing.T) {
+	const n = 1024
+	nw := build(t, 45, n, 3, 8)
+	rng := rand.New(rand.NewSource(3))
+	const routes = 3000
+	failures := 0
+	for i := 0; i < routes; i++ {
+		from, to := rng.Intn(n), rng.Intn(n)
+		r := nw.RouteToNode(from, to)
+		if !r.Success || r.Last() != to {
+			failures++
+		}
+	}
+	if rate := float64(failures) / routes; rate > 0.01 {
+		t.Errorf("Kandy routing failure rate %.3f exceeds 1%%", rate)
+	}
+}
+
+func TestGeometryMetadata(t *testing.T) {
+	space := id.DefaultSpace()
+	g := kademlia.New(space)
+	if g.Name() != "kademlia" {
+		t.Error("unexpected name")
+	}
+	if g.Metric() != core.MetricXOR {
+		t.Error("kademlia must use the XOR metric")
+	}
+	if g.Distance(0b1100, 0b1010) != 0b0110 {
+		t.Error("Distance must be XOR")
+	}
+}
+
+func TestBucketWidth(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	space := id.DefaultSpace()
+	tree := hierarchy.NewTree()
+	const n = 256
+	leaves := make([]*hierarchy.Domain, n)
+	for i := range leaves {
+		leaves[i] = tree.Root()
+	}
+	pop, err := core.RandomPopulation(rng, space, tree, leaves)
+	if err != nil {
+		t.Fatal(err)
+	}
+	narrow := core.Build(pop, kademlia.New(space), rand.New(rand.NewSource(1)))
+	wide := core.Build(pop, kademlia.NewWithWidth(space, 3), rand.New(rand.NewSource(1)))
+
+	if wide.AvgDegree() <= narrow.AvgDegree()*1.5 {
+		t.Errorf("width-3 degree %.1f not well above width-1 %.1f",
+			wide.AvgDegree(), narrow.AvgDegree())
+	}
+	// No bucket may hold more than 3 links.
+	for i := 0; i < n; i++ {
+		perBucket := make(map[int]int)
+		for _, l := range wide.Links(i) {
+			d := space.XOR(pop.IDOf(i), pop.IDOf(int(l)))
+			k := 63
+			for uint64(1)<<k > d {
+				k--
+			}
+			perBucket[k]++
+		}
+		for k, c := range perBucket {
+			if c > 3 {
+				t.Fatalf("node %d bucket %d holds %d links", i, k, c)
+			}
+		}
+	}
+	// Width must not break routing.
+	rrng := rand.New(rand.NewSource(2))
+	for i := 0; i < 1000; i++ {
+		from, to := rrng.Intn(n), rrng.Intn(n)
+		r := wide.RouteToNode(from, to)
+		if !r.Success || r.Last() != to {
+			t.Fatalf("wide route %d -> %d failed", from, to)
+		}
+	}
+	// NewWithWidth clamps nonsense widths.
+	if g := kademlia.NewWithWidth(space, 0); g == nil {
+		t.Fatal("nil geometry")
+	}
+}

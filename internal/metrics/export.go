@@ -1,0 +1,86 @@
+package metrics
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// WriteCSV renders the table as CSV: a header row with the x-label and
+// series names, then one row per x value (blank cells where a series has no
+// point). Notes are omitted; use the JSON encoding to keep them.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{t.XLabel}
+	for _, s := range t.Series {
+		header = append(header, s.Name)
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("metrics: csv header: %w", err)
+	}
+	for _, x := range t.xValues() {
+		row := []string{strconv.FormatFloat(x, 'g', -1, 64)}
+		for _, s := range t.Series {
+			cell := ""
+			for i, sx := range s.X {
+				if sx == x {
+					cell = strconv.FormatFloat(s.Y[i], 'g', -1, 64)
+					break
+				}
+			}
+			row = append(row, cell)
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("metrics: csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// tableJSON is the stable JSON shape of a Table.
+type tableJSON struct {
+	Title  string       `json:"title"`
+	XLabel string       `json:"xLabel"`
+	Series []seriesJSON `json:"series"`
+	Notes  []string     `json:"notes,omitempty"`
+}
+
+type seriesJSON struct {
+	Name string    `json:"name"`
+	X    []float64 `json:"x"`
+	Y    []float64 `json:"y"`
+}
+
+// WriteJSON renders the table as a single JSON object.
+func (t *Table) WriteJSON(w io.Writer) error {
+	out := tableJSON{Title: t.Title, XLabel: t.XLabel, Notes: t.Notes}
+	for _, s := range t.Series {
+		out.Series = append(out.Series, seriesJSON{Name: s.Name, X: s.X, Y: s.Y})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		return fmt.Errorf("metrics: json encode: %w", err)
+	}
+	return nil
+}
+
+// xValues returns the sorted union of the series' x values.
+func (t *Table) xValues() []float64 {
+	set := make(map[float64]struct{})
+	for _, s := range t.Series {
+		for _, x := range s.X {
+			set[x] = struct{}{}
+		}
+	}
+	xs := make([]float64, 0, len(set))
+	for x := range set {
+		xs = append(xs, x)
+	}
+	sort.Float64s(xs)
+	return xs
+}

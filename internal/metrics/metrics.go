@@ -1,0 +1,289 @@
+// Package metrics provides the small statistics toolkit used by the
+// experiment harness: streaming mean/variance (Welford), integer histograms
+// for degree PDFs, percentiles, and tabular series formatting matching the
+// rows and curves reported in the paper.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Stream accumulates a running mean and variance using Welford's algorithm.
+// The zero value is ready to use.
+type Stream struct {
+	n    int64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add records one observation.
+func (s *Stream) Add(x float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	delta := x - s.mean
+	s.mean += delta / float64(s.n)
+	s.m2 += delta * (x - s.mean)
+}
+
+// N returns the number of observations.
+func (s *Stream) N() int64 { return s.n }
+
+// Mean returns the sample mean, or 0 with no observations.
+func (s *Stream) Mean() float64 { return s.mean }
+
+// Variance returns the unbiased sample variance.
+func (s *Stream) Variance() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (s *Stream) StdDev() float64 { return math.Sqrt(s.Variance()) }
+
+// Min returns the smallest observation (0 if none).
+func (s *Stream) Min() float64 { return s.min }
+
+// Max returns the largest observation (0 if none).
+func (s *Stream) Max() float64 { return s.max }
+
+// StdErr returns the standard error of the mean.
+func (s *Stream) StdErr() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.StdDev() / math.Sqrt(float64(s.n))
+}
+
+// Merge folds other into s, as if all of other's observations had been added
+// to s directly.
+func (s *Stream) Merge(other *Stream) {
+	if other.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		*s = *other
+		return
+	}
+	n := s.n + other.n
+	delta := other.mean - s.mean
+	mean := s.mean + delta*float64(other.n)/float64(n)
+	m2 := s.m2 + other.m2 + delta*delta*float64(s.n)*float64(other.n)/float64(n)
+	if other.min < s.min {
+		s.min = other.min
+	}
+	if other.max > s.max {
+		s.max = other.max
+	}
+	s.n, s.mean, s.m2 = n, mean, m2
+}
+
+// IntHistogram counts occurrences of small non-negative integers, such as
+// node degrees. The zero value is ready to use.
+type IntHistogram struct {
+	counts map[int]int64
+	total  int64
+}
+
+// Add records one occurrence of v.
+func (h *IntHistogram) Add(v int) {
+	if h.counts == nil {
+		h.counts = make(map[int]int64)
+	}
+	h.counts[v]++
+	h.total++
+}
+
+// Total returns the number of recorded observations.
+func (h *IntHistogram) Total() int64 { return h.total }
+
+// Count returns the number of occurrences of v.
+func (h *IntHistogram) Count(v int) int64 { return h.counts[v] }
+
+// Fraction returns the empirical probability of v.
+func (h *IntHistogram) Fraction(v int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.counts[v]) / float64(h.total)
+}
+
+// Values returns the distinct observed values in ascending order.
+func (h *IntHistogram) Values() []int {
+	out := make([]int, 0, len(h.counts))
+	for v := range h.counts {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Mean returns the histogram mean.
+func (h *IntHistogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	sum := 0.0
+	for v, c := range h.counts {
+		sum += float64(v) * float64(c)
+	}
+	return sum / float64(h.total)
+}
+
+// Max returns the largest observed value (0 if empty).
+func (h *IntHistogram) Max() int {
+	max := 0
+	first := true
+	for v := range h.counts {
+		if first || v > max {
+			max = v
+			first = false
+		}
+	}
+	return max
+}
+
+// PDF returns (value, fraction) pairs in ascending value order.
+func (h *IntHistogram) PDF() ([]int, []float64) {
+	vals := h.Values()
+	fracs := make([]float64, len(vals))
+	for i, v := range vals {
+		fracs[i] = h.Fraction(v)
+	}
+	return vals, fracs
+}
+
+// Percentile returns the p-th percentile (p in [0,100]) of the data using
+// nearest-rank on a sorted copy. It returns 0 for an empty slice.
+func Percentile(data []float64, p float64) float64 {
+	if len(data) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(data))
+	copy(sorted, data)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return sorted[rank]
+}
+
+// Series is a named sequence of (x, y) points, one curve of a figure.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Append adds one point to the series.
+func (s *Series) Append(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// Table renders a set of series sharing the same X values as an aligned
+// text table with one row per X value, in the spirit of the paper's figures.
+type Table struct {
+	Title  string
+	XLabel string
+	Series []*Series
+	Notes  []string
+}
+
+// AddSeries appends a curve to the table.
+func (t *Table) AddSeries(s *Series) { t.Series = append(t.Series, s) }
+
+// AddNote appends a free-form annotation printed under the table.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the table. Series may have different X sets; the union of
+// X values is used and missing cells are left blank.
+func (t *Table) String() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	xsSet := make(map[float64]struct{})
+	for _, s := range t.Series {
+		for _, x := range s.X {
+			xsSet[x] = struct{}{}
+		}
+	}
+	xs := make([]float64, 0, len(xsSet))
+	for x := range xsSet {
+		xs = append(xs, x)
+	}
+	sort.Float64s(xs)
+
+	header := []string{t.XLabel}
+	for _, s := range t.Series {
+		header = append(header, s.Name)
+	}
+	rows := [][]string{header}
+	for _, x := range xs {
+		row := []string{formatNum(x)}
+		for _, s := range t.Series {
+			cell := ""
+			for i, sx := range s.X {
+				if sx == x {
+					cell = formatNum(s.Y[i])
+					break
+				}
+			}
+			row = append(row, cell)
+		}
+		rows = append(rows, row)
+	}
+	widths := make([]int, len(header))
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "# %s\n", n)
+	}
+	return b.String()
+}
+
+func formatNum(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e12 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.3f", v)
+}

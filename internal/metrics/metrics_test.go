@@ -1,0 +1,207 @@
+package metrics
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestStreamBasics(t *testing.T) {
+	var s Stream
+	if s.Mean() != 0 || s.N() != 0 || s.Variance() != 0 {
+		t.Fatal("zero-value Stream should report zeros")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Errorf("N = %d, want 8", s.N())
+	}
+	if got := s.Mean(); math.Abs(got-5) > 1e-12 {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	// Population variance is 4; sample variance = 32/7.
+	if got := s.Variance(); math.Abs(got-32.0/7) > 1e-12 {
+		t.Errorf("Variance = %v, want %v", got, 32.0/7)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v, want 2/9", s.Min(), s.Max())
+	}
+	if s.StdErr() <= 0 {
+		t.Error("StdErr should be positive")
+	}
+}
+
+func TestStreamMergeMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	f := func(na, nb uint8) bool {
+		var a, b, all Stream
+		for i := 0; i < int(na); i++ {
+			x := rng.NormFloat64()*3 + 1
+			a.Add(x)
+			all.Add(x)
+		}
+		for i := 0; i < int(nb); i++ {
+			x := rng.NormFloat64()*5 - 2
+			b.Add(x)
+			all.Add(x)
+		}
+		a.Merge(&b)
+		if a.N() != all.N() {
+			return false
+		}
+		if all.N() == 0 {
+			return true
+		}
+		return math.Abs(a.Mean()-all.Mean()) < 1e-9 &&
+			math.Abs(a.Variance()-all.Variance()) < 1e-6 &&
+			a.Min() == all.Min() && a.Max() == all.Max()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntHistogram(t *testing.T) {
+	var h IntHistogram
+	for _, v := range []int{3, 3, 5, 7, 3, 5} {
+		h.Add(v)
+	}
+	if h.Total() != 6 {
+		t.Errorf("Total = %d, want 6", h.Total())
+	}
+	if h.Count(3) != 3 || h.Count(5) != 2 || h.Count(7) != 1 || h.Count(9) != 0 {
+		t.Error("counts wrong")
+	}
+	if got := h.Fraction(3); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("Fraction(3) = %v, want 0.5", got)
+	}
+	vals := h.Values()
+	if len(vals) != 3 || vals[0] != 3 || vals[2] != 7 {
+		t.Errorf("Values = %v", vals)
+	}
+	if got := h.Mean(); math.Abs(got-26.0/6) > 1e-12 {
+		t.Errorf("Mean = %v, want %v", got, 26.0/6)
+	}
+	if h.Max() != 7 {
+		t.Errorf("Max = %d, want 7", h.Max())
+	}
+	xs, fs := h.PDF()
+	if len(xs) != len(fs) || len(xs) != 3 {
+		t.Fatalf("PDF lengths wrong")
+	}
+	sum := 0.0
+	for _, f := range fs {
+		sum += f
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("PDF sums to %v", sum)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	data := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {10, 1}, {50, 5}, {90, 9}, {100, 10},
+	}
+	for _, tt := range tests {
+		if got := Percentile(data, tt.p); got != tt.want {
+			t.Errorf("Percentile(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Errorf("Percentile(nil) = %v, want 0", got)
+	}
+	// Must not mutate input.
+	data2 := []float64{3, 1, 2}
+	Percentile(data2, 50)
+	if data2[0] != 3 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := Table{Title: "Figure X", XLabel: "n"}
+	s1 := &Series{Name: "chord"}
+	s1.Append(1024, 10.1)
+	s1.Append(2048, 11)
+	s2 := &Series{Name: "crescendo"}
+	s2.Append(1024, 9.9)
+	tbl.AddSeries(s1)
+	tbl.AddSeries(s2)
+	tbl.AddNote("seed=%d", 42)
+	out := tbl.String()
+	for _, want := range []string{"Figure X", "chord", "crescendo", "1024", "2048", "10.100", "11", "# seed=42"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+	// 2048 row should have a blank crescendo cell: the row must end after 11.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	last := lines[len(lines)-2] // row for 2048 (last line is the note)
+	if !strings.Contains(last, "2048") {
+		t.Fatalf("unexpected row ordering:\n%s", out)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	tbl := Table{Title: "T", XLabel: "n"}
+	s1 := &Series{Name: "a"}
+	s1.Append(1, 1.5)
+	s1.Append(2, 2.5)
+	s2 := &Series{Name: "b"}
+	s2.Append(2, 9)
+	tbl.AddSeries(s1)
+	tbl.AddSeries(s2)
+
+	var buf strings.Builder
+	if err := tbl.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "n,a,b\n1,1.5,\n2,2.5,9\n"
+	if buf.String() != want {
+		t.Errorf("csv = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	tbl := Table{Title: "T", XLabel: "n"}
+	s := &Series{Name: "a"}
+	s.Append(1, 2)
+	tbl.AddSeries(s)
+	tbl.AddNote("note-1")
+
+	var buf strings.Builder
+	if err := tbl.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Title  string `json:"title"`
+		XLabel string `json:"xLabel"`
+		Series []struct {
+			Name string    `json:"name"`
+			X    []float64 `json:"x"`
+			Y    []float64 `json:"y"`
+		} `json:"series"`
+		Notes []string `json:"notes"`
+	}
+	if err := json.Unmarshal([]byte(buf.String()), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Title != "T" || decoded.XLabel != "n" {
+		t.Errorf("metadata wrong: %+v", decoded)
+	}
+	if len(decoded.Series) != 1 || decoded.Series[0].Name != "a" ||
+		decoded.Series[0].X[0] != 1 || decoded.Series[0].Y[0] != 2 {
+		t.Errorf("series wrong: %+v", decoded.Series)
+	}
+	if len(decoded.Notes) != 1 || decoded.Notes[0] != "note-1" {
+		t.Errorf("notes wrong: %v", decoded.Notes)
+	}
+}

@@ -1,0 +1,73 @@
+package multicast
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"github.com/canon-dht/canon/internal/hierarchy"
+)
+
+// WriteDOT renders the multicast tree in Graphviz DOT format, clustering
+// nodes by their level-`level` domain so inter-domain links are visible at a
+// glance (render with `dot -Tsvg`).
+func (t *Tree) WriteDOT(w io.Writer, level int) error {
+	pop := t.nw.Population()
+	if _, err := fmt.Fprintln(w, "digraph multicast {"); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "  rankdir=LR;")
+	fmt.Fprintln(w, "  node [shape=circle, fontsize=8];")
+
+	// Group members by domain.
+	byDomain := make(map[*hierarchy.Domain][]int)
+	for m := range t.members {
+		d := pop.LeafOf(m).AncestorAt(level)
+		if d == nil {
+			d = pop.LeafOf(m)
+		}
+		byDomain[d] = append(byDomain[d], m)
+	}
+	domains := make([]*hierarchy.Domain, 0, len(byDomain))
+	for d := range byDomain {
+		domains = append(domains, d)
+	}
+	sort.Slice(domains, func(i, j int) bool { return domains[i].Path() < domains[j].Path() })
+	for i, d := range domains {
+		fmt.Fprintf(w, "  subgraph cluster_%d {\n    label=%q;\n", i, d.Path())
+		members := byDomain[d]
+		sort.Ints(members)
+		for _, m := range members {
+			label := fmt.Sprintf("%d", pop.IDOf(m))
+			if m == t.dst {
+				fmt.Fprintf(w, "    n%d [label=%q, shape=doublecircle];\n", m, label)
+			} else {
+				fmt.Fprintf(w, "    n%d [label=%q];\n", m, label)
+			}
+		}
+		fmt.Fprintln(w, "  }")
+	}
+	// Edges, cross-domain ones highlighted.
+	edges := make([]edgeKey, 0, len(t.edges))
+	for e := range t.edges {
+		edges = append(edges, e)
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].from != edges[j].from {
+			return edges[i].from < edges[j].from
+		}
+		return edges[i].to < edges[j].to
+	})
+	for _, e := range edges {
+		lca := hierarchy.LCA(pop.LeafOf(e.from), pop.LeafOf(e.to))
+		attr := ""
+		if lca.Depth() < level {
+			attr = " [color=red, penwidth=2]"
+		}
+		if _, err := fmt.Fprintf(w, "  n%d -> n%d%s;\n", e.from, e.to, attr); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

@@ -1,0 +1,88 @@
+// Package multicast builds multicast trees from converged query paths
+// (Section 5.4). Routing a query from every group member to a common
+// destination yields a set of paths whose union is a tree rooted at the
+// destination; the actual multicast transmits data along the reverse of the
+// query paths. Because inter-domain paths converge in Canon DHTs, the tree
+// crosses few domain boundaries — the package counts inter-domain links at
+// any level, the paper's bandwidth-savings metric (Figure 9).
+package multicast
+
+import (
+	"github.com/canon-dht/canon/internal/core"
+	"github.com/canon-dht/canon/internal/hierarchy"
+)
+
+// edgeKey identifies a directed overlay edge (toward the destination).
+type edgeKey struct {
+	from, to int
+}
+
+// Tree is a multicast tree over a network.
+type Tree struct {
+	nw      *core.Network
+	dst     int
+	edges   map[edgeKey]struct{}
+	members map[int]struct{}
+	// failed counts sources whose route did not reach the destination
+	// (possible only with XOR geometries).
+	failed int
+}
+
+// Build routes a query from every source to dst and returns the union of
+// the paths as a multicast tree.
+func Build(nw *core.Network, sources []int, dst int) *Tree {
+	t := &Tree{
+		nw:      nw,
+		dst:     dst,
+		edges:   make(map[edgeKey]struct{}),
+		members: map[int]struct{}{dst: {}},
+	}
+	for _, src := range sources {
+		r := nw.RouteToNode(src, dst)
+		if !r.Success || r.Last() != dst {
+			t.failed++
+			continue
+		}
+		for i := 0; i+1 < len(r.Nodes); i++ {
+			t.edges[edgeKey{from: r.Nodes[i], to: r.Nodes[i+1]}] = struct{}{}
+			t.members[r.Nodes[i]] = struct{}{}
+		}
+	}
+	return t
+}
+
+// NumEdges returns the number of distinct overlay links in the tree.
+func (t *Tree) NumEdges() int { return len(t.edges) }
+
+// NumMembers returns the number of distinct nodes in the tree, including
+// the destination.
+func (t *Tree) NumMembers() int { return len(t.members) }
+
+// Failed returns how many sources could not reach the destination.
+func (t *Tree) Failed() int { return t.failed }
+
+// InterDomainLinks returns the number of distinct tree links that cross a
+// domain boundary at the given level: links whose endpoints' lowest common
+// ancestor is shallower than level. Level 1 counts links between top-level
+// domains, level 2 between second-level domains, and so on.
+func (t *Tree) InterDomainLinks(level int) int {
+	pop := t.nw.Population()
+	count := 0
+	for e := range t.edges {
+		lca := hierarchy.LCA(pop.LeafOf(e.from), pop.LeafOf(e.to))
+		if lca.Depth() < level {
+			count++
+		}
+	}
+	return count
+}
+
+// TotalLatency sums the given latency metric over all tree links — the
+// aggregate bandwidth-time cost of one multicast transmission.
+func (t *Tree) TotalLatency(latency func(a, b int) float64) float64 {
+	total := 0.0
+	for e := range t.edges {
+		total += latency(e.from, e.to)
+	}
+	return total
+}

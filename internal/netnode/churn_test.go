@@ -1,0 +1,158 @@
+package netnode_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/canon-dht/canon/internal/netnode"
+	"github.com/canon-dht/canon/internal/transport"
+)
+
+// TestLiveChurn drives a live cluster through churn with background
+// maintenance running: nodes join and crash concurrently with lookups; after
+// the churn stops and the survivors stabilize, the ring must be consistent
+// and all data retrievable. Run with -race to exercise the locking.
+func TestLiveChurn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live churn takes ~10s; skipped with -short")
+	}
+	bus := transport.NewBus()
+	rng := rand.New(rand.NewSource(61))
+	ctx := context.Background()
+
+	newNode := func(i int) *netnode.Node {
+		n, err := netnode.New(netnode.Config{
+			Name:              "org/dept",
+			RandomID:          true,
+			Rand:              rng,
+			Transport:         bus.Endpoint(fmt.Sprintf("churn-%d", i)),
+			ReplicationFactor: 3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Stop background loops even when the test aborts early, or they
+		// starve the rest of the package on small machines.
+		t.Cleanup(func() { _ = n.Close() })
+		return n
+	}
+
+	// Initial stable cluster of 8.
+	var nodes []*netnode.Node
+	for i := 0; i < 8; i++ {
+		n := newNode(i)
+		contact := ""
+		if i > 0 {
+			contact = nodes[0].Info().Addr
+		}
+		if err := n.Join(ctx, contact); err != nil {
+			t.Fatal(err)
+		}
+		n.Start(2 * time.Millisecond)
+		nodes = append(nodes, n)
+	}
+	time.Sleep(60 * time.Millisecond)
+
+	// Seed some data.
+	keys := make([]uint64, 10)
+	for i := range keys {
+		keys[i] = uint64(1000 + i*7919)
+		if err := nodes[0].Put(ctx, keys[i], []byte(fmt.Sprintf("v%d", i)), "org", "org"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(60 * time.Millisecond) // let replication run
+
+	// Churn: joins and crashes interleaved with lookups from a reader
+	// goroutine.
+	var wg sync.WaitGroup
+	stopReads := make(chan struct{})
+	reader := nodes[0] // captured before the main goroutine mutates `nodes`
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rr := rand.New(rand.NewSource(1))
+		for {
+			select {
+			case <-stopReads:
+				return
+			default:
+			}
+			readCtx, cancel := context.WithTimeout(ctx, 200*time.Millisecond)
+			_, _, _ = reader.LookupHops(readCtx, uint64(rr.Uint32()), "")
+			cancel()
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	// Joins and crashes interleaved. Replication factor 3 tolerates two
+	// adjacent losses per re-replication window, so each crash gets a
+	// window for the background loops to restore redundancy before the
+	// next.
+	crashed := make(map[string]bool)
+	for i := 8; i < 14; i++ {
+		n := newNode(i)
+		if err := n.Join(ctx, nodes[0].Info().Addr); err != nil {
+			t.Fatalf("churn join: %v", err)
+		}
+		n.Start(2 * time.Millisecond)
+		nodes = append(nodes, n)
+		// Crash one of the mid-cluster nodes (never node 0, the reader's
+		// entry point) after every other join.
+		if i%2 == 0 {
+			victim := nodes[1+i%5]
+			if !crashed[victim.Info().Addr] {
+				bus.SetDown(victim.Info().Addr, true)
+				crashed[victim.Info().Addr] = true
+			}
+		}
+		time.Sleep(80 * time.Millisecond)
+	}
+	close(stopReads)
+	wg.Wait()
+
+	// Let the survivors settle.
+	var alive []*netnode.Node
+	for _, n := range nodes {
+		if !crashed[n.Info().Addr] {
+			alive = append(alive, n)
+		}
+	}
+	time.Sleep(200 * time.Millisecond)
+	for r := 0; r < 10; r++ {
+		for _, n := range alive {
+			sctx, cancel := context.WithTimeout(ctx, 200*time.Millisecond)
+			n.StabilizeOnce(sctx)
+			n.FixFingers(sctx)
+			cancel()
+		}
+	}
+
+	// All data survives the churn (replication factor 3, <= 5 crashes
+	// spread over time with re-replication between them).
+	for i, key := range keys {
+		got, err := alive[0].Get(ctx, key)
+		if err != nil || string(got) != fmt.Sprintf("v%d", i) {
+			t.Errorf("key %d lost after churn: %q, %v", key, got, err)
+		}
+	}
+	// Lookups from every survivor agree.
+	for _, key := range keys {
+		var owner string
+		for _, n := range alive {
+			info, err := n.Lookup(ctx, key, "")
+			if err != nil {
+				t.Fatalf("lookup after churn: %v", err)
+			}
+			if owner == "" {
+				owner = info.Addr
+			} else if info.Addr != owner {
+				t.Errorf("key %d: owners disagree (%s vs %s)", key, info.Addr, owner)
+			}
+		}
+	}
+}

@@ -1,0 +1,188 @@
+package netnode
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/canon-dht/canon/internal/transport"
+)
+
+// Client issues operations against a live network through any member node,
+// acting on that node's behalf (its domain position governs storage and
+// access checks). It is what command-line tools use to talk to a running
+// canond.
+type Client struct {
+	tr transport.Transport
+}
+
+// NewClient returns a client sending through the given transport.
+func NewClient(tr transport.Transport) *Client {
+	return &Client{tr: tr}
+}
+
+// Ping returns the identity of the node at addr.
+func (c *Client) Ping(ctx context.Context, addr string) (Info, error) {
+	req, err := transport.NewMessage(msgPing, nil)
+	if err != nil {
+		return Info{}, err
+	}
+	resp, err := c.tr.Call(ctx, addr, req)
+	if err != nil {
+		return Info{}, err
+	}
+	var info Info
+	if err := resp.Decode(&info); err != nil {
+		return Info{}, err
+	}
+	return info, nil
+}
+
+// Lookup asks the node at addr to resolve the owner of key within the
+// domain named prefix, returning the owner and the hop count used.
+func (c *Client) Lookup(ctx context.Context, addr string, key uint64, prefix string) (Info, int, error) {
+	req, err := transport.NewMessage(msgLookup, lookupReq{Key: key, Prefix: prefix})
+	if err != nil {
+		return Info{}, 0, err
+	}
+	raw, err := c.tr.Call(ctx, addr, req)
+	if err != nil {
+		return Info{}, 0, err
+	}
+	var resp lookupResp
+	if err := raw.Decode(&resp); err != nil {
+		return Info{}, 0, err
+	}
+	return resp.Pred, resp.Hops, nil
+}
+
+// Put stores value under key with the given storage and access domains,
+// routed through the node at addr. The storage domain must contain that
+// node.
+func (c *Client) Put(ctx context.Context, addr string, key uint64, value []byte, storagePath, accessPath string) error {
+	via, err := c.Ping(ctx, addr)
+	if err != nil {
+		return err
+	}
+	if !inDomain(via.Name, storagePath) {
+		return fmt.Errorf("%w: storage %q does not contain contacted node %q",
+			ErrBadDomain, storagePath, via.Name)
+	}
+	if !inDomain(storagePath, accessPath) {
+		return fmt.Errorf("%w: access %q does not contain storage %q",
+			ErrBadDomain, accessPath, storagePath)
+	}
+	owner, _, err := c.Lookup(ctx, addr, key, storagePath)
+	if err != nil {
+		return err
+	}
+	store, err := transport.NewMessage(msgStore, storeReq{
+		Key: key, Value: value, Storage: storagePath, Access: accessPath,
+	})
+	if err != nil {
+		return err
+	}
+	resp, err := c.tr.Call(ctx, owner.Addr, store)
+	if err != nil {
+		return err
+	}
+	var empty struct{}
+	if err := resp.Decode(&empty); err != nil {
+		return err
+	}
+	if accessPath == storagePath {
+		return nil
+	}
+	ptrOwner, _, err := c.Lookup(ctx, addr, key, accessPath)
+	if err != nil {
+		return err
+	}
+	if ptrOwner.Addr == owner.Addr {
+		return nil
+	}
+	ptr, err := transport.NewMessage(msgStore, storeReq{
+		Key: key, Storage: storagePath, Access: accessPath, Pointer: owner,
+	})
+	if err != nil {
+		return err
+	}
+	resp, err = c.tr.Call(ctx, ptrOwner.Addr, ptr)
+	if err != nil {
+		return err
+	}
+	return resp.Decode(&empty)
+}
+
+// Get retrieves the first value for key accessible to the node at addr,
+// probing its domains from the most local outward.
+func (c *Client) Get(ctx context.Context, addr string, key uint64) ([]byte, error) {
+	via, err := c.Ping(ctx, addr)
+	if err != nil {
+		return nil, err
+	}
+	levels := len(components(via.Name))
+	asked := make(map[string]bool)
+	for l := levels; l >= 0; l-- {
+		prefix := prefixAt(via.Name, l)
+		owner, _, err := c.Lookup(ctx, addr, key, prefix)
+		if err != nil {
+			continue
+		}
+		if asked[owner.Addr] {
+			continue
+		}
+		asked[owner.Addr] = true
+		values, err := c.fetch(ctx, owner.Addr, key, via.Name)
+		if err != nil {
+			continue
+		}
+		for _, v := range values {
+			if v.Pointer.IsZero() {
+				return v.Value, nil
+			}
+			resolved, err := c.fetch(ctx, v.Pointer.Addr, key, via.Name)
+			if err != nil {
+				continue
+			}
+			for _, rv := range resolved {
+				if rv.Pointer.IsZero() && rv.Access == v.Access {
+					return rv.Value, nil
+				}
+			}
+		}
+	}
+	return nil, ErrNotFound
+}
+
+func (c *Client) fetch(ctx context.Context, addr string, key uint64, origin string) ([]fetchValue, error) {
+	req, err := transport.NewMessage(msgFetch, fetchReq{Key: key, Origin: origin})
+	if err != nil {
+		return nil, err
+	}
+	raw, err := c.tr.Call(ctx, addr, req)
+	if err != nil {
+		return nil, err
+	}
+	var resp fetchResp
+	if err := raw.Decode(&resp); err != nil {
+		return nil, err
+	}
+	return resp.Values, nil
+}
+
+// Neighbors returns the successor list and predecessor of the node at addr
+// at the given level, for diagnostics.
+func (c *Client) Neighbors(ctx context.Context, addr string, level int) (pred Info, succs []Info, err error) {
+	req, err := transport.NewMessage(msgNeighbors, neighborsReq{Level: level})
+	if err != nil {
+		return Info{}, nil, err
+	}
+	raw, err := c.tr.Call(ctx, addr, req)
+	if err != nil {
+		return Info{}, nil, err
+	}
+	var resp neighborsResp
+	if err := raw.Decode(&resp); err != nil {
+		return Info{}, nil, err
+	}
+	return resp.Pred, resp.Succs, nil
+}

@@ -1,0 +1,71 @@
+package netnode_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"github.com/canon-dht/canon/internal/netnode"
+)
+
+func TestClientOperations(t *testing.T) {
+	c := newCluster(t, 21, hierNames())
+	defer c.close(t)
+	ctx := context.Background()
+
+	client := netnode.NewClient(c.bus.Endpoint("client"))
+	var csAddr, mitAddr string
+	for _, n := range c.nodes {
+		switch n.Info().Name {
+		case "stanford/cs":
+			csAddr = n.Info().Addr
+		case "mit/csail":
+			mitAddr = n.Info().Addr
+		}
+	}
+
+	info, err := client.Ping(ctx, csAddr)
+	if err != nil || info.Name != "stanford/cs" {
+		t.Fatalf("ping: %+v, %v", info, err)
+	}
+
+	// Put through a CS node with Stanford-wide access.
+	if err := client.Put(ctx, csAddr, 4242, []byte("via-client"), "stanford/cs", "stanford"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := client.Get(ctx, csAddr, 4242)
+	if err != nil || string(got) != "via-client" {
+		t.Fatalf("get via cs: %q, %v", got, err)
+	}
+	// Not visible through an MIT node.
+	if _, err := client.Get(ctx, mitAddr, 4242); !errors.Is(err, netnode.ErrNotFound) {
+		t.Errorf("get via mit: %v", err)
+	}
+	// Validation: storage domain must contain the contacted node.
+	if err := client.Put(ctx, mitAddr, 1, nil, "stanford/cs", "stanford"); !errors.Is(err, netnode.ErrBadDomain) {
+		t.Errorf("cross-domain client put: %v", err)
+	}
+
+	// Lookup agrees with a member node's own lookup.
+	owner, hops, err := client.Lookup(ctx, csAddr, 777, "")
+	if err != nil || hops < 0 {
+		t.Fatalf("client lookup: %v", err)
+	}
+	var cs *netnode.Node
+	for _, n := range c.nodes {
+		if n.Info().Addr == csAddr {
+			cs = n
+			break
+		}
+	}
+	direct, err := cs.Lookup(ctx, 777, "")
+	if err != nil || direct.Addr != owner.Addr {
+		t.Errorf("client owner %d != node owner %d (%v)", owner.ID, direct.ID, err)
+	}
+
+	// Neighbors dump.
+	pred, succs, err := client.Neighbors(ctx, csAddr, 0)
+	if err != nil || len(succs) == 0 || pred.IsZero() {
+		t.Errorf("neighbors: pred=%+v succs=%d err=%v", pred, len(succs), err)
+	}
+}

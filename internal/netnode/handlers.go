@@ -1,0 +1,181 @@
+package netnode
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/canon-dht/canon/internal/id"
+	"github.com/canon-dht/canon/internal/transport"
+)
+
+// handle dispatches an incoming message to the matching RPC handler.
+func (n *Node) handle(ctx context.Context, from string, msg transport.Message) (transport.Message, error) {
+	n.mu.Lock()
+	closed := n.closed
+	n.mu.Unlock()
+	if closed {
+		return transport.Message{}, ErrClosed
+	}
+	n.countReceived(msg.Type)
+	switch msg.Type {
+	case msgPing:
+		return transport.NewMessage(msgPing, n.self)
+
+	case msgLookup:
+		var req lookupReq
+		if err := msg.Decode(&req); err != nil {
+			return transport.Message{}, err
+		}
+		resp, err := n.handleLookup(ctx, req)
+		if err != nil {
+			return transport.Message{}, err
+		}
+		return transport.NewMessage(msgLookup, resp)
+
+	case msgNeighbors:
+		var req neighborsReq
+		if err := msg.Decode(&req); err != nil {
+			return transport.Message{}, err
+		}
+		n.mu.Lock()
+		resp := neighborsResp{}
+		if req.Level >= 0 && req.Level <= n.levels {
+			resp.Pred = n.preds[req.Level]
+			resp.Succs = append([]Info(nil), n.succs[req.Level]...)
+		}
+		n.mu.Unlock()
+		return transport.NewMessage(msgNeighbors, resp)
+
+	case msgNotify:
+		var req notifyReq
+		if err := msg.Decode(&req); err != nil {
+			return transport.Message{}, err
+		}
+		n.handleNotify(req)
+		return transport.NewMessage(msgNotify, nil)
+
+	case msgStore:
+		var req storeReq
+		if err := msg.Decode(&req); err != nil {
+			return transport.Message{}, err
+		}
+		if !inDomain(n.self.Name, req.Storage) && req.Pointer.IsZero() {
+			return transport.Message{}, fmt.Errorf("%w: store for %q at %q",
+				ErrBadDomain, req.Storage, n.self.Name)
+		}
+		n.storeLocal(req)
+		return transport.NewMessage(msgStore, nil)
+
+	case msgFetch:
+		var req fetchReq
+		if err := msg.Decode(&req); err != nil {
+			return transport.Message{}, err
+		}
+		return transport.NewMessage(msgFetch, fetchResp{Values: n.fetchLocal(req)})
+
+	case msgRegister:
+		var req registerReq
+		if err := msg.Decode(&req); err != nil {
+			return transport.Message{}, err
+		}
+		n.registerLocal(req.Prefix, req.From)
+		return transport.NewMessage(msgRegister, nil)
+
+	case msgMembers:
+		var req membersReq
+		if err := msg.Decode(&req); err != nil {
+			return transport.Message{}, err
+		}
+		n.mu.Lock()
+		members := append([]Info(nil), n.registry[req.Prefix]...)
+		n.mu.Unlock()
+		return transport.NewMessage(msgMembers, membersResp{Members: members})
+
+	case msgLeaving:
+		var req leavingReq
+		if err := msg.Decode(&req); err != nil {
+			return transport.Message{}, err
+		}
+		n.handleLeaving(req)
+		return transport.NewMessage(msgLeaving, nil)
+
+	default:
+		return transport.Message{}, fmt.Errorf("netnode: unknown message type %q", msg.Type)
+	}
+}
+
+// handleNotify adopts the sender as predecessor at the given level when it
+// lies between the current predecessor and us — or, with AsSuccessor set,
+// as our successor when it lies between us and the current one.
+func (n *Node) handleNotify(req notifyReq) {
+	level := req.Level
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if level < 0 || level > n.levels || req.From.Addr == n.self.Addr {
+		return
+	}
+	if !inDomain(req.From.Name, prefixAt(n.self.Name, level)) {
+		return
+	}
+	if req.AsSuccessor {
+		cur := Info{}
+		if len(n.succs[level]) > 0 {
+			cur = n.succs[level][0]
+		}
+		if cur.IsZero() || cur.Addr == n.self.Addr ||
+			n.space.Between(id.ID(req.From.ID), id.ID(n.self.ID), id.ID(cur.ID)) && req.From.ID != cur.ID {
+			n.succs[level] = capList(dedupeInfos(append([]Info{req.From}, n.succs[level]...)), n.cfg.SuccessorListLen)
+		}
+		return
+	}
+	cur := n.preds[level]
+	if cur.IsZero() || cur.Addr == n.self.Addr ||
+		n.space.Between(id.ID(req.From.ID), id.ID(cur.ID), id.ID(n.self.ID)) && req.From.ID != n.self.ID {
+		n.preds[level] = req.From
+	}
+}
+
+// handleLeaving splices a departing node out of all local state.
+func (n *Node) handleLeaving(req leavingReq) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	gone := req.From.Addr
+	for l := 0; l <= n.levels; l++ {
+		kept := n.succs[l][:0]
+		for _, s := range n.succs[l] {
+			if s.Addr != gone {
+				kept = append(kept, s)
+			}
+		}
+		// Use the leaver's successors as repair hints for this level.
+		for _, h := range req.Succs {
+			if h.Addr == gone || h.Addr == n.self.Addr {
+				continue
+			}
+			if inDomain(h.Name, prefixAt(n.self.Name, l)) {
+				kept = append(kept, h)
+			}
+		}
+		n.succs[l] = capList(dedupeInfos(kept), n.cfg.SuccessorListLen)
+		if len(n.succs[l]) == 0 {
+			n.succs[l] = []Info{n.self}
+		}
+		if n.preds[l].Addr == gone {
+			n.preds[l] = Info{}
+		}
+	}
+	for fid, f := range n.fingers {
+		if f.Addr == gone {
+			delete(n.fingers, fid)
+		}
+	}
+	for prefix, members := range n.registry {
+		kept := members[:0]
+		for _, m := range members {
+			if m.Addr != gone {
+				kept = append(kept, m)
+			}
+		}
+		n.registry[prefix] = kept
+	}
+}

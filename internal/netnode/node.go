@@ -1,0 +1,437 @@
+package netnode
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/canon-dht/canon/internal/id"
+	"github.com/canon-dht/canon/internal/transport"
+)
+
+var (
+	// ErrClosed is returned by operations on a closed node.
+	ErrClosed = errors.New("netnode: node closed")
+	// ErrNotFound is returned by Get when no accessible value exists.
+	ErrNotFound = errors.New("netnode: key not found")
+	// ErrBadDomain is returned when a storage/access domain does not relate
+	// to the node's position as Section 4.1 requires.
+	ErrBadDomain = errors.New("netnode: invalid storage/access domain")
+)
+
+// lookupHopLimit bounds forwarding chains defensively.
+const lookupHopLimit = 512
+
+// Config configures a live node.
+type Config struct {
+	// Space is the identifier space; the zero value means the default
+	// 32-bit space.
+	Space id.Space
+	// Name is the node's hierarchical domain name, e.g. "stanford/cs/db".
+	// Empty means the node lives directly in the root domain.
+	Name string
+	// ID is the node's identifier. Set RandomID to draw one instead.
+	ID uint64
+	// RandomID draws the identifier from Rand.
+	RandomID bool
+	// Rand seeds nondeterministic choices; nil means a time-seeded source.
+	Rand *rand.Rand
+	// Transport carries the node's traffic.
+	Transport transport.Transport
+	// SuccessorListLen is the per-level leaf-set length (default 4).
+	SuccessorListLen int
+	// RegistrySize bounds the per-domain membership registry (default 8).
+	RegistrySize int
+	// ReplicationFactor is how many copies of each item exist, counting the
+	// owner's: the owner pushes ReplicationFactor-1 replicas to its
+	// successors within the item's storage domain on every stabilization
+	// round. Values below 2 disable replication (the default).
+	ReplicationFactor int
+}
+
+// storedItem is one key-value pair held by the node.
+type storedItem struct {
+	key     uint64
+	value   []byte
+	storage string
+	access  string
+	pointer Info // non-zero for pointer records
+}
+
+// Node is a live Crescendo participant.
+type Node struct {
+	cfg    Config
+	space  id.Space
+	self   Info
+	levels int // depth of the leaf domain; chain levels are 0..levels
+	tr     transport.Transport
+	rng    *rand.Rand
+
+	mu       sync.Mutex
+	preds    []Info   // per level
+	succs    [][]Info // per level, ascending clockwise from self
+	fingers  map[uint64]Info
+	items    map[uint64][]*storedItem
+	registry map[string][]Info // domain prefix -> member hints
+	sent     map[string]int64
+	received map[string]int64
+	closed   bool
+
+	loopStop chan struct{}
+	loopDone chan struct{}
+}
+
+// New creates a node. It does not contact anyone; call Join.
+func New(cfg Config) (*Node, error) {
+	if cfg.Transport == nil {
+		return nil, errors.New("netnode: Config.Transport is required")
+	}
+	space := cfg.Space
+	if space.Bits() == 0 {
+		space = id.DefaultSpace()
+	}
+	rng := cfg.Rand
+	if rng == nil {
+		rng = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+	nodeID := cfg.ID
+	if cfg.RandomID {
+		nodeID = uint64(space.Random(rng))
+	}
+	if !space.Contains(id.ID(nodeID)) {
+		return nil, fmt.Errorf("netnode: id %d outside %d-bit space", nodeID, space.Bits())
+	}
+	if cfg.SuccessorListLen <= 0 {
+		cfg.SuccessorListLen = 4
+	}
+	if cfg.RegistrySize <= 0 {
+		cfg.RegistrySize = 8
+	}
+	levels := len(components(cfg.Name))
+	n := &Node{
+		cfg:      cfg,
+		space:    space,
+		self:     Info{ID: nodeID, Name: cfg.Name, Addr: cfg.Transport.Addr()},
+		levels:   levels,
+		tr:       cfg.Transport,
+		rng:      rng,
+		preds:    make([]Info, levels+1),
+		succs:    make([][]Info, levels+1),
+		fingers:  make(map[uint64]Info),
+		items:    make(map[uint64][]*storedItem),
+		registry: make(map[string][]Info),
+	}
+	n.tr.Serve(n.handle)
+	return n, nil
+}
+
+// Info returns the node's wire identity.
+func (n *Node) Info() Info { return n.self }
+
+// Levels returns the node's chain depth: level 0 is the root, Levels() is
+// the leaf.
+func (n *Node) Levels() int { return n.levels }
+
+// clockwise is shorthand for the ring distance from a to b.
+func (n *Node) clockwise(a, b uint64) uint64 {
+	return n.space.Clockwise(id.ID(a), id.ID(b))
+}
+
+// Join inserts the node into the network through the given contact address.
+// An empty contact bootstraps a new network. Per Section 2.3, the node looks
+// up its own identifier at every level of its chain, going from the lowest
+// domain to the top, and splices itself in after the predecessor found at
+// each level.
+func (n *Node) Join(ctx context.Context, contact string) error {
+	if contact == "" {
+		n.mu.Lock()
+		for l := 0; l <= n.levels; l++ {
+			n.succs[l] = []Info{n.self}
+			n.preds[l] = n.self
+		}
+		n.mu.Unlock()
+		return n.registerSelf(ctx)
+	}
+	// Find, for every level, a member of our domain to start the
+	// constrained lookup from. The contact serves the levels it shares;
+	// deeper domains are resolved through the membership registry.
+	contactInfo, err := n.pingAddr(ctx, contact)
+	if err != nil {
+		return fmt.Errorf("netnode: contact %s: %w", contact, err)
+	}
+	shared := sharedLevels(n.self.Name, contactInfo.Name)
+	for l := 0; l <= n.levels; l++ {
+		prefix := prefixAt(n.self.Name, l)
+		var seed Info
+		switch {
+		case l <= shared:
+			seed = contactInfo
+		default:
+			seed, err = n.findMember(ctx, contactInfo, prefix)
+			if err != nil {
+				// First node in this domain: alone at this level.
+				n.mu.Lock()
+				n.succs[l] = []Info{n.self}
+				n.preds[l] = n.self
+				n.mu.Unlock()
+				continue
+			}
+		}
+		resp, err := n.lookupFrom(ctx, seed, uint64(n.space.Sub(id.ID(n.self.ID), 1)), prefix)
+		if err != nil {
+			return fmt.Errorf("netnode: join lookup at level %d: %w", l, err)
+		}
+		n.mu.Lock()
+		if resp.Succ.IsZero() || resp.Succ.ID == n.self.ID {
+			n.succs[l] = []Info{n.self}
+			n.preds[l] = n.self
+		} else {
+			n.succs[l] = []Info{resp.Succ}
+			n.preds[l] = resp.Pred
+		}
+		pred, succ := n.preds[l], n.succs[l][0]
+		n.mu.Unlock()
+		// Eagerly notify both ring neighbors (Section 2.3: nodes that would
+		// erroneously skip the joiner are told right away).
+		if succ.Addr != n.self.Addr {
+			if note, err := transport.NewMessage(msgNotify, notifyReq{Level: l, From: n.self}); err == nil {
+				_, _ = n.call(ctx, succ.Addr, note)
+			}
+		}
+		if !pred.IsZero() && pred.Addr != n.self.Addr {
+			if note, err := transport.NewMessage(msgNotify, notifyReq{Level: l, From: n.self, AsSuccessor: true}); err == nil {
+				_, _ = n.call(ctx, pred.Addr, note)
+			}
+		}
+	}
+	if err := n.registerSelf(ctx); err != nil {
+		return err
+	}
+	// Pull successor lists, announce ourselves, and build fingers.
+	n.StabilizeOnce(ctx)
+	n.FixFingers(ctx)
+	n.StabilizeOnce(ctx)
+	return nil
+}
+
+// registerSelf records the node in the membership registry of every domain
+// on its chain.
+func (n *Node) registerSelf(ctx context.Context) error {
+	for l := 0; l <= n.levels; l++ {
+		prefix := prefixAt(n.self.Name, l)
+		key := domainKey(n.space, prefix)
+		resp, err := n.lookupFrom(ctx, n.self, key, "")
+		if err != nil {
+			continue
+		}
+		req, err := transport.NewMessage(msgRegister, registerReq{Prefix: prefix, From: n.self})
+		if err != nil {
+			return err
+		}
+		if resp.Pred.Addr == n.self.Addr {
+			n.registerLocal(prefix, n.self)
+			continue
+		}
+		if _, err := n.call(ctx, resp.Pred.Addr, req); err != nil {
+			continue
+		}
+	}
+	return nil
+}
+
+// findMember locates a live member of the named domain via the registry.
+func (n *Node) findMember(ctx context.Context, seed Info, prefix string) (Info, error) {
+	key := domainKey(n.space, prefix)
+	resp, err := n.lookupFrom(ctx, seed, key, "")
+	if err != nil {
+		return Info{}, err
+	}
+	req, err := transport.NewMessage(msgMembers, membersReq{Prefix: prefix})
+	if err != nil {
+		return Info{}, err
+	}
+	raw, err := n.call(ctx, resp.Pred.Addr, req)
+	if err != nil {
+		return Info{}, err
+	}
+	var members membersResp
+	if err := raw.Decode(&members); err != nil {
+		return Info{}, err
+	}
+	for _, m := range members.Members {
+		if m.Addr == n.self.Addr {
+			continue
+		}
+		if _, err := n.pingAddr(ctx, m.Addr); err == nil {
+			return m, nil
+		}
+	}
+	return Info{}, fmt.Errorf("netnode: no live member of %q", prefix)
+}
+
+func (n *Node) registerLocal(prefix string, who Info) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	members := n.registry[prefix]
+	for i, m := range members {
+		if m.Addr == who.Addr {
+			members[i] = who
+			return
+		}
+	}
+	if len(members) >= n.cfg.RegistrySize {
+		// Replace a random entry; stale entries get filtered by ping on use.
+		members[n.rng.Intn(len(members))] = who
+	} else {
+		members = append(members, who)
+	}
+	n.registry[prefix] = members
+}
+
+func (n *Node) pingAddr(ctx context.Context, addr string) (Info, error) {
+	req, err := transport.NewMessage(msgPing, nil)
+	if err != nil {
+		return Info{}, err
+	}
+	resp, err := n.call(ctx, addr, req)
+	if err != nil {
+		return Info{}, err
+	}
+	var info Info
+	if err := resp.Decode(&info); err != nil {
+		return Info{}, err
+	}
+	return info, nil
+}
+
+// Start launches the background maintenance loop.
+func (n *Node) Start(interval time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.loopStop != nil || n.closed {
+		return
+	}
+	n.loopStop = make(chan struct{})
+	n.loopDone = make(chan struct{})
+	go n.maintainLoop(interval, n.loopStop, n.loopDone)
+}
+
+func (n *Node) maintainLoop(interval time.Duration, stop, done chan struct{}) {
+	defer close(done)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			ctx, cancel := context.WithTimeout(context.Background(), interval)
+			n.StabilizeOnce(ctx)
+			n.FixFingers(ctx)
+			cancel()
+		case <-stop:
+			return
+		}
+	}
+}
+
+// Close stops maintenance and the transport. It does not announce departure;
+// use Leave for a graceful exit.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	stop, done := n.loopStop, n.loopDone
+	n.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+	return n.tr.Close()
+}
+
+// Leave gracefully exits: stored items move to each item's new owner, and
+// neighbors at every level are told to splice the node out. Close follows.
+func (n *Node) Leave(ctx context.Context) error {
+	// Snapshot item values, not pointers: concurrent stores mutate items in
+	// place under the node lock.
+	n.mu.Lock()
+	items := make([]storedItem, 0)
+	for _, list := range n.items {
+		for _, it := range list {
+			items = append(items, *it)
+		}
+	}
+	globalSuccs := append([]Info(nil), n.succs[0]...)
+	preds := append([]Info(nil), n.preds...)
+	n.mu.Unlock()
+
+	// Hand every item to the next owner within its home domain (storage
+	// domain for values, access domain for pointer records).
+	for i := range items {
+		item := &items[i]
+		target, err := n.Lookup(ctx, uint64(n.space.Sub(id.ID(n.self.ID), 1)), item.homeDomain())
+		if err != nil || target.Addr == n.self.Addr {
+			continue
+		}
+		req, err := transport.NewMessage(msgStore, storeReq{
+			Key: item.key, Value: item.value,
+			Storage: item.storage, Access: item.access, Pointer: item.pointer,
+		})
+		if err != nil {
+			continue
+		}
+		_, _ = n.call(ctx, target.Addr, req)
+	}
+	// Tell per-level predecessors we are going, handing them our successor
+	// lists as repair hints.
+	req, err := transport.NewMessage(msgLeaving, leavingReq{From: n.self, Succs: globalSuccs})
+	if err == nil {
+		seen := make(map[string]bool)
+		for _, p := range preds {
+			if p.IsZero() || p.Addr == n.self.Addr || seen[p.Addr] {
+				continue
+			}
+			seen[p.Addr] = true
+			_, _ = n.call(ctx, p.Addr, req)
+		}
+	}
+	return n.Close()
+}
+
+// Successors returns a copy of the node's successor list at a level.
+func (n *Node) Successors(level int) []Info {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if level < 0 || level > n.levels {
+		return nil
+	}
+	return append([]Info(nil), n.succs[level]...)
+}
+
+// Predecessor returns the node's predecessor at a level.
+func (n *Node) Predecessor(level int) Info {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if level < 0 || level > n.levels {
+		return Info{}
+	}
+	return n.preds[level]
+}
+
+// Fingers returns a copy of the node's finger table.
+func (n *Node) Fingers() []Info {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]Info, 0, len(n.fingers))
+	for _, f := range n.fingers {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

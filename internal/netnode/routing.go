@@ -1,0 +1,344 @@
+package netnode
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"github.com/canon-dht/canon/internal/id"
+	"github.com/canon-dht/canon/internal/transport"
+)
+
+// candidates snapshots every known contact inside the named domain: fingers,
+// per-level successors and predecessors.
+func (n *Node) candidates(prefix string) []Info {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	seen := make(map[string]bool)
+	out := make([]Info, 0, len(n.fingers)+2*(n.levels+1))
+	add := func(i Info) {
+		if i.IsZero() || i.Addr == n.self.Addr || seen[i.Addr] {
+			return
+		}
+		if !inDomain(i.Name, prefix) {
+			return
+		}
+		seen[i.Addr] = true
+		out = append(out, i)
+	}
+	for _, f := range n.fingers {
+		add(f)
+	}
+	for l := 0; l <= n.levels; l++ {
+		for _, s := range n.succs[l] {
+			add(s)
+		}
+		add(n.preds[l])
+	}
+	return out
+}
+
+// succInDomain returns the node's successor within the domain named prefix,
+// which must be one of the node's own domains.
+func (n *Node) succInDomain(prefix string) Info {
+	level := len(components(prefix))
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if level > n.levels || prefixAt(n.self.Name, level) != prefix {
+		return Info{}
+	}
+	if len(n.succs[level]) == 0 {
+		return n.self
+	}
+	return n.succs[level][0]
+}
+
+// handleLookup implements greedy clockwise forwarding constrained to a
+// domain: the receiving node either forwards to its neighbor closest to the
+// key without overshooting, or — being the key's closest predecessor within
+// the domain — answers with itself as the owner.
+func (n *Node) handleLookup(ctx context.Context, req lookupReq) (lookupResp, error) {
+	if req.Hops >= lookupHopLimit {
+		return lookupResp{}, fmt.Errorf("netnode: lookup exceeded %d hops", lookupHopLimit)
+	}
+	if !inDomain(n.self.Name, req.Prefix) {
+		return lookupResp{}, fmt.Errorf("netnode: lookup for %q reached node outside it", req.Prefix)
+	}
+	rem := n.clockwise(n.self.ID, req.Key)
+	if rem > 0 {
+		// Candidates that advance without overshooting, best first; a dead
+		// best candidate falls through to the next (the crash-recovery
+		// behaviour of a real deployment — stabilization prunes it later).
+		var ahead []Info
+		for _, cand := range n.candidates(req.Prefix) {
+			adv := n.clockwise(n.self.ID, cand.ID)
+			if adv >= 1 && adv <= rem {
+				ahead = append(ahead, cand)
+			}
+		}
+		sort.Slice(ahead, func(i, j int) bool {
+			return n.clockwise(n.self.ID, ahead[i].ID) > n.clockwise(n.self.ID, ahead[j].ID)
+		})
+		attempts := 0
+		for _, cand := range ahead {
+			if attempts >= 8 {
+				break // a whole region is down; stabilization will prune it
+			}
+			fwd, err := transport.NewMessage(msgLookup, lookupReq{
+				Key: req.Key, Prefix: req.Prefix, Hops: req.Hops + 1,
+			})
+			if err != nil {
+				return lookupResp{}, err
+			}
+			raw, err := n.call(ctx, cand.Addr, fwd)
+			if err != nil {
+				attempts++
+				continue
+			}
+			var resp lookupResp
+			if err := raw.Decode(&resp); err != nil {
+				attempts++
+				continue
+			}
+			return resp, nil
+		}
+		// Every forward failed: answer best-effort as the closest reachable
+		// predecessor, the liveness-over-accuracy choice real deployments
+		// make; stabilization repairs the stale links that got us here.
+	}
+	return lookupResp{Pred: n.self, Succ: n.succInDomain(req.Prefix), Hops: req.Hops}, nil
+}
+
+// lookupFrom runs a constrained lookup starting at seed (possibly self).
+func (n *Node) lookupFrom(ctx context.Context, seed Info, key uint64, prefix string) (lookupResp, error) {
+	req := lookupReq{Key: key, Prefix: prefix}
+	if seed.Addr == n.self.Addr {
+		return n.handleLookup(ctx, req)
+	}
+	msg, err := transport.NewMessage(msgLookup, req)
+	if err != nil {
+		return lookupResp{}, err
+	}
+	raw, err := n.call(ctx, seed.Addr, msg)
+	if err != nil {
+		return lookupResp{}, err
+	}
+	var resp lookupResp
+	if err := raw.Decode(&resp); err != nil {
+		return lookupResp{}, err
+	}
+	return resp, nil
+}
+
+// Lookup returns the node responsible for key within the domain named by
+// prefix (the key's closest predecessor there). The node must itself belong
+// to the domain.
+func (n *Node) Lookup(ctx context.Context, key uint64, prefix string) (Info, error) {
+	if !inDomain(n.self.Name, prefix) {
+		return Info{}, fmt.Errorf("%w: %q does not contain this node", ErrBadDomain, prefix)
+	}
+	resp, err := n.lookupFrom(ctx, n.self, key, prefix)
+	if err != nil {
+		return Info{}, err
+	}
+	return resp.Pred, nil
+}
+
+// LookupHops is Lookup plus the number of forwarding hops used, for
+// measurements.
+func (n *Node) LookupHops(ctx context.Context, key uint64, prefix string) (Info, int, error) {
+	if !inDomain(n.self.Name, prefix) {
+		return Info{}, 0, fmt.Errorf("%w: %q does not contain this node", ErrBadDomain, prefix)
+	}
+	resp, err := n.lookupFrom(ctx, n.self, key, prefix)
+	if err != nil {
+		return Info{}, 0, err
+	}
+	return resp.Pred, resp.Hops, nil
+}
+
+// StabilizeOnce runs one round of the per-level stabilization protocol:
+// refresh successor lists, adopt closer successors learned from them, prune
+// dead predecessors, and notify successors of our presence. It also
+// re-registers the node in its domains' membership registries (whose owners
+// drift as the key space repartitions) and uses the registry to escape
+// level-isolation when the node wrongly believes it is alone in a domain.
+func (n *Node) StabilizeOnce(ctx context.Context) {
+	for l := 0; l <= n.levels; l++ {
+		n.stabilizeLevel(ctx, l)
+	}
+	_ = n.registerSelf(ctx)
+	n.replicateOnce(ctx)
+	for l := 1; l <= n.levels; l++ {
+		n.mu.Lock()
+		alone := len(n.succs[l]) == 0 ||
+			(len(n.succs[l]) == 1 && n.succs[l][0].Addr == n.self.Addr &&
+				(n.preds[l].IsZero() || n.preds[l].Addr == n.self.Addr))
+		n.mu.Unlock()
+		if !alone {
+			continue
+		}
+		prefix := prefixAt(n.self.Name, l)
+		member, err := n.findMember(ctx, n.self, prefix)
+		if err != nil {
+			continue
+		}
+		n.mu.Lock()
+		n.succs[l] = []Info{member}
+		n.mu.Unlock()
+	}
+}
+
+func (n *Node) stabilizeLevel(ctx context.Context, level int) {
+	n.mu.Lock()
+	list := append([]Info(nil), n.succs[level]...)
+	pred := n.preds[level]
+	n.mu.Unlock()
+
+	// Find the first live successor.
+	var succ Info
+	alive := make([]Info, 0, len(list))
+	for _, s := range list {
+		if s.Addr == n.self.Addr {
+			alive = append(alive, s)
+			continue
+		}
+		if _, err := n.pingAddr(ctx, s.Addr); err == nil {
+			alive = append(alive, s)
+		}
+	}
+	if len(alive) == 0 {
+		alive = []Info{n.self}
+	}
+	succ = alive[0]
+
+	if succ.Addr != n.self.Addr {
+		// Ask the successor for its predecessor and successor list at this
+		// level (nodes sharing a domain share its level number); adopt its
+		// predecessor when it sits between us.
+		req, err := transport.NewMessage(msgNeighbors, neighborsReq{Level: level})
+		if err == nil {
+			if nbRaw, err := n.call(ctx, succ.Addr, req); err == nil {
+				var nb neighborsResp
+				if derr := nbRaw.Decode(&nb); derr == nil {
+					p := nb.Pred
+					if !p.IsZero() && p.Addr != n.self.Addr && p.Addr != succ.Addr &&
+						inDomain(p.Name, prefixAt(n.self.Name, level)) &&
+						n.space.Between(id.ID(p.ID), id.ID(n.self.ID), id.ID(succ.ID)) && p.ID != succ.ID {
+						if _, err := n.pingAddr(ctx, p.Addr); err == nil {
+							// Keep the old successor as the next list entry.
+							nb.Succs = append([]Info{succ}, nb.Succs...)
+							succ = p
+						}
+					}
+					alive = mergeSuccList(n.self, succ, nb.Succs, n.cfg.SuccessorListLen)
+				}
+			}
+		}
+		// Notify the successor that we may be its predecessor.
+		if note, err := transport.NewMessage(msgNotify, notifyReq{
+			Level: level, From: n.self,
+		}); err == nil {
+			_, _ = n.call(ctx, succ.Addr, note)
+		}
+	} else {
+		// Alone at this level unless a notify told us otherwise.
+		if !pred.IsZero() && pred.Addr != n.self.Addr {
+			if _, err := n.pingAddr(ctx, pred.Addr); err == nil {
+				succ = pred
+				alive = []Info{pred}
+			}
+		}
+	}
+
+	n.mu.Lock()
+	if len(alive) == 0 || alive[0].Addr != succ.Addr {
+		alive = append([]Info{succ}, alive...)
+	}
+	n.succs[level] = capList(dedupeInfos(alive), n.cfg.SuccessorListLen)
+	// Drop a dead predecessor so notify can replace it.
+	p := n.preds[level]
+	n.mu.Unlock()
+	if !p.IsZero() && p.Addr != n.self.Addr {
+		if _, err := n.pingAddr(ctx, p.Addr); err != nil {
+			n.mu.Lock()
+			if n.preds[level].Addr == p.Addr {
+				n.preds[level] = Info{}
+			}
+			n.mu.Unlock()
+		}
+	}
+}
+
+// mergeSuccList builds [succ] + tail of the successor's own list, excluding
+// ourselves.
+func mergeSuccList(self, succ Info, succsOfSucc []Info, cap int) []Info {
+	out := []Info{succ}
+	for _, s := range succsOfSucc {
+		if s.Addr == self.Addr || s.Addr == succ.Addr {
+			continue
+		}
+		out = append(out, s)
+	}
+	return capList(dedupeInfos(out), cap)
+}
+
+func dedupeInfos(in []Info) []Info {
+	seen := make(map[string]bool, len(in))
+	out := in[:0]
+	for _, i := range in {
+		if i.IsZero() || seen[i.Addr] {
+			continue
+		}
+		seen[i.Addr] = true
+		out = append(out, i)
+	}
+	return out
+}
+
+func capList(in []Info, max int) []Info {
+	if len(in) > max {
+		return in[:max]
+	}
+	return in
+}
+
+// FixFingers rebuilds the finger table with the Canon rule: full Chord
+// fingers within the leaf domain, and at every higher level only fingers
+// strictly shorter than the distance to the lower level's successor.
+func (n *Node) FixFingers(ctx context.Context) {
+	fingers := make(map[uint64]Info)
+	bound := n.space.Size()
+	for l := n.levels; l >= 0; l-- {
+		prefix := prefixAt(n.self.Name, l)
+		for k := uint(0); k < n.space.Bits(); k++ {
+			step := uint64(1) << k
+			if step >= bound {
+				break
+			}
+			target := uint64(n.space.Add(id.ID(n.self.ID), step))
+			resp, err := n.lookupFrom(ctx, n.self, uint64(n.space.Sub(id.ID(target), 1)), prefix)
+			if err != nil {
+				continue
+			}
+			cand := resp.Succ
+			if cand.IsZero() || cand.Addr == n.self.Addr {
+				continue
+			}
+			d := n.clockwise(n.self.ID, cand.ID)
+			if d >= step && d < bound {
+				fingers[cand.ID] = cand
+			}
+		}
+		// The next (higher-level) merge keeps only links shorter than our
+		// successor distance at this level.
+		n.mu.Lock()
+		if len(n.succs[l]) > 0 && n.succs[l][0].Addr != n.self.Addr {
+			bound = n.clockwise(n.self.ID, n.succs[l][0].ID)
+		}
+		n.mu.Unlock()
+	}
+	n.mu.Lock()
+	n.fingers = fingers
+	n.mu.Unlock()
+}

@@ -1,0 +1,55 @@
+package netnode
+
+import (
+	"context"
+
+	"github.com/canon-dht/canon/internal/transport"
+)
+
+// Stats is a snapshot of a node's wire-traffic counters, keyed by message
+// type. Useful for verifying protocol costs (e.g. O(log n) lookups) on live
+// deployments.
+type Stats struct {
+	// Sent counts outgoing requests by message type.
+	Sent map[string]int64
+	// Received counts incoming requests by message type.
+	Received map[string]int64
+}
+
+// call wraps the transport send, counting the outgoing message.
+func (n *Node) call(ctx context.Context, addr string, msg transport.Message) (transport.Message, error) {
+	n.mu.Lock()
+	if n.sent == nil {
+		n.sent = make(map[string]int64)
+	}
+	n.sent[msg.Type]++
+	n.mu.Unlock()
+	return n.tr.Call(ctx, addr, msg)
+}
+
+// countReceived tallies an incoming request.
+func (n *Node) countReceived(msgType string) {
+	n.mu.Lock()
+	if n.received == nil {
+		n.received = make(map[string]int64)
+	}
+	n.received[msgType]++
+	n.mu.Unlock()
+}
+
+// Stats returns a copy of the node's traffic counters.
+func (n *Node) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := Stats{
+		Sent:     make(map[string]int64, len(n.sent)),
+		Received: make(map[string]int64, len(n.received)),
+	}
+	for k, v := range n.sent {
+		out.Sent[k] = v
+	}
+	for k, v := range n.received {
+		out.Received[k] = v
+	}
+	return out
+}

@@ -1,0 +1,284 @@
+package netnode
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/canon-dht/canon/internal/transport"
+)
+
+// Put stores value under key with the given storage and access domains
+// (Section 4.1): the storage domain must contain this node and the access
+// domain must contain the storage domain; both are hierarchical name
+// prefixes ("" = global). The value lands at the key's owner within the
+// storage domain; a wider access domain additionally places a pointer at
+// the access domain's owner.
+func (n *Node) Put(ctx context.Context, key uint64, value []byte, storagePath, accessPath string) error {
+	if !inDomain(n.self.Name, storagePath) {
+		return fmt.Errorf("%w: storage %q does not contain %q", ErrBadDomain, storagePath, n.self.Name)
+	}
+	if !inDomain(storagePath, accessPath) {
+		return fmt.Errorf("%w: access %q does not contain storage %q", ErrBadDomain, accessPath, storagePath)
+	}
+	owner, err := n.Lookup(ctx, key, storagePath)
+	if err != nil {
+		return fmt.Errorf("netnode: put lookup: %w", err)
+	}
+	if err := n.storeAt(ctx, owner, storeReq{
+		Key: key, Value: value, Storage: storagePath, Access: accessPath,
+	}); err != nil {
+		return err
+	}
+	if accessPath != storagePath {
+		ptrOwner, err := n.Lookup(ctx, key, accessPath)
+		if err != nil {
+			return fmt.Errorf("netnode: pointer lookup: %w", err)
+		}
+		if ptrOwner.Addr != owner.Addr {
+			if err := n.storeAt(ctx, ptrOwner, storeReq{
+				Key: key, Storage: storagePath, Access: accessPath, Pointer: owner,
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (n *Node) storeAt(ctx context.Context, target Info, req storeReq) error {
+	if target.Addr == n.self.Addr {
+		n.storeLocal(req)
+		return nil
+	}
+	msg, err := transport.NewMessage(msgStore, req)
+	if err != nil {
+		return err
+	}
+	resp, err := n.call(ctx, target.Addr, msg)
+	if err != nil {
+		return fmt.Errorf("netnode: store at %s: %w", target.Addr, err)
+	}
+	var empty struct{}
+	return resp.Decode(&empty)
+}
+
+func (n *Node) storeLocal(req storeReq) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	isPtr := !req.Pointer.IsZero()
+	for _, item := range n.items[req.Key] {
+		if item.storage == req.Storage && item.access == req.Access &&
+			(!item.pointer.IsZero()) == isPtr {
+			item.value = req.Value
+			item.pointer = req.Pointer
+			return
+		}
+	}
+	n.items[req.Key] = append(n.items[req.Key], &storedItem{
+		key: req.Key, value: req.Value,
+		storage: req.Storage, access: req.Access, pointer: req.Pointer,
+	})
+}
+
+// Get retrieves the first value for key that this node may access, probing
+// its domains from the most local outward so that locally stored content is
+// found without the query leaving the domain.
+func (n *Node) Get(ctx context.Context, key uint64) ([]byte, error) {
+	asked := make(map[string]bool)
+	for l := n.levels; l >= 0; l-- {
+		prefix := prefixAt(n.self.Name, l)
+		owner, err := n.Lookup(ctx, key, prefix)
+		if err != nil {
+			continue
+		}
+		if asked[owner.Addr] {
+			continue
+		}
+		asked[owner.Addr] = true
+		values, err := n.fetchFrom(ctx, owner, key)
+		if err != nil {
+			continue
+		}
+		for _, v := range values {
+			if v.Pointer.IsZero() {
+				return v.Value, nil
+			}
+			// Resolve the indirection at the storing node.
+			resolved, err := n.fetchFrom(ctx, v.Pointer, key)
+			if err != nil {
+				continue
+			}
+			for _, rv := range resolved {
+				if rv.Pointer.IsZero() && rv.Access == v.Access {
+					return rv.Value, nil
+				}
+			}
+		}
+	}
+	return nil, ErrNotFound
+}
+
+func (n *Node) fetchFrom(ctx context.Context, target Info, key uint64) ([]fetchValue, error) {
+	req := fetchReq{Key: key, Origin: n.self.Name}
+	if target.Addr == n.self.Addr {
+		return n.fetchLocal(req), nil
+	}
+	msg, err := transport.NewMessage(msgFetch, req)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := n.call(ctx, target.Addr, msg)
+	if err != nil {
+		return nil, err
+	}
+	var resp fetchResp
+	if err := raw.Decode(&resp); err != nil {
+		return nil, err
+	}
+	return resp.Values, nil
+}
+
+// fetchLocal returns the values (and pointers) for key that a querier named
+// origin may access: those whose access domain contains the querier.
+func (n *Node) fetchLocal(req fetchReq) []fetchValue {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var out []fetchValue
+	for _, item := range n.items[req.Key] {
+		if !inDomain(req.Origin, item.access) {
+			continue
+		}
+		out = append(out, fetchValue{Value: item.value, Access: item.access, Pointer: item.pointer})
+	}
+	return out
+}
+
+// homeDomain returns the domain whose ring an item is placed by: the
+// storage domain for values, the access domain for pointer records (which
+// live at the access-domain owner, Section 4.1).
+func (item *storedItem) homeDomain() string {
+	if !item.pointer.IsZero() {
+		return item.access
+	}
+	return item.storage
+}
+
+// StoredKeys returns how many keys this node currently holds.
+func (n *Node) StoredKeys() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.items)
+}
+
+// ownsLocally reports whether, by the node's own neighbor state, it is the
+// owner of key within the domain at the given chain level: keys in
+// [self.ID, successor.ID) belong to it (footnote 3 of the paper).
+func (n *Node) ownsLocally(key uint64, level int) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if level < 0 || level > n.levels || len(n.succs[level]) == 0 {
+		return false
+	}
+	succ := n.succs[level][0]
+	if succ.Addr == n.self.Addr {
+		return true
+	}
+	return n.clockwise(n.self.ID, key) < n.clockwise(n.self.ID, succ.ID)
+}
+
+// replicateOnce pushes every item the node currently owns to the
+// ReplicationFactor-1 nearest predecessors within the item's storage domain.
+// Under the paper's responsibility rule (greatest ID <= key) a dead node's
+// range is inherited by its predecessor, so predecessors — found by walking
+// pred pointers through neighbor queries — are the nodes that must hold the
+// replicas. Called from StabilizeOnce so replicas follow ring repairs.
+func (n *Node) replicateOnce(ctx context.Context) {
+	// Snapshot item values, not pointers: concurrent stores mutate items in
+	// place under the node lock.
+	n.mu.Lock()
+	var items []storedItem
+	for _, list := range n.items {
+		for _, it := range list {
+			items = append(items, *it)
+		}
+	}
+	n.mu.Unlock()
+	for i := range items {
+		item := &items[i]
+		level := len(components(item.homeDomain()))
+		if level > n.levels {
+			continue
+		}
+		if !n.ownsLocally(item.key, level) {
+			// Ownership moved — typically a new node spliced into the range
+			// (Section 2.3 joins). Hand the item to the current owner; the
+			// local copy stays behind as an extra replica.
+			n.handOff(ctx, item, level)
+			continue
+		}
+		if n.cfg.ReplicationFactor < 2 {
+			continue
+		}
+		req, err := transport.NewMessage(msgStore, storeReq{
+			Key: item.key, Value: item.value,
+			Storage: item.storage, Access: item.access,
+			Pointer: item.pointer, Replica: true,
+		})
+		if err != nil {
+			continue
+		}
+		target := n.Predecessor(level)
+		for i := 0; i < n.cfg.ReplicationFactor-1; i++ {
+			if target.IsZero() || target.Addr == n.self.Addr {
+				break
+			}
+			if _, err := n.call(ctx, target.Addr, req); err != nil {
+				break
+			}
+			next, err := n.predecessorOf(ctx, target, level)
+			if err != nil {
+				break
+			}
+			target = next
+		}
+	}
+}
+
+// handOff pushes an item this node no longer owns to the current owner
+// within the item's storage domain.
+func (n *Node) handOff(ctx context.Context, item *storedItem, level int) {
+	prefix := prefixAt(n.self.Name, level)
+	if prefix != item.homeDomain() {
+		return // the item's home domain is not on our chain; nothing to do
+	}
+	owner, err := n.Lookup(ctx, item.key, item.homeDomain())
+	if err != nil || owner.Addr == n.self.Addr {
+		return
+	}
+	req, err := transport.NewMessage(msgStore, storeReq{
+		Key: item.key, Value: item.value,
+		Storage: item.storage, Access: item.access,
+		Pointer: item.pointer, Replica: true,
+	})
+	if err != nil {
+		return
+	}
+	_, _ = n.call(ctx, owner.Addr, req)
+}
+
+// predecessorOf asks a remote node for its predecessor at a level.
+func (n *Node) predecessorOf(ctx context.Context, who Info, level int) (Info, error) {
+	req, err := transport.NewMessage(msgNeighbors, neighborsReq{Level: level})
+	if err != nil {
+		return Info{}, err
+	}
+	raw, err := n.call(ctx, who.Addr, req)
+	if err != nil {
+		return Info{}, err
+	}
+	var resp neighborsResp
+	if err := raw.Decode(&resp); err != nil {
+		return Info{}, err
+	}
+	return resp.Pred, nil
+}

@@ -1,0 +1,176 @@
+// Package netnode implements a live, networked Crescendo node: the dynamic
+// side of the paper (Section 2.3). Nodes carry hierarchical names
+// ("stanford/cs/db"), maintain successor lists (leaf sets) and a predecessor
+// at every level of their domain chain, and build their finger tables with
+// the Canon rule — full Chord fingers inside the lowest-level domain, and at
+// each higher level only fingers shorter than the distance to the
+// lower-level successor. Lookups are forwarded greedily clockwise,
+// constrained to a domain, so intra-domain path locality holds on the wire
+// exactly as in the analytical model.
+//
+// Bootstrap uses the paper's third suggestion: membership hints are stored
+// in the DHT itself, under a key derived from each domain's name.
+package netnode
+
+import (
+	"hash/fnv"
+	"strings"
+
+	"github.com/canon-dht/canon/internal/id"
+)
+
+// Info identifies a live node on the wire.
+type Info struct {
+	ID   uint64 `json:"id"`
+	Name string `json:"name"`
+	Addr string `json:"addr"`
+}
+
+// IsZero reports whether the Info is unset.
+func (i Info) IsZero() bool { return i.Addr == "" }
+
+// Message type identifiers.
+const (
+	msgLookup    = "lookup"
+	msgNeighbors = "neighbors"
+	msgNotify    = "notify"
+	msgPing      = "ping"
+	msgStore     = "store"
+	msgFetch     = "fetch"
+	msgRegister  = "register"
+	msgMembers   = "members"
+	msgLeaving   = "leaving"
+)
+
+// lookupReq asks for the predecessor (owner) and successor of Key among the
+// nodes of the domain named by Prefix ("" = the whole system).
+type lookupReq struct {
+	Key    uint64 `json:"key"`
+	Prefix string `json:"prefix"`
+	Hops   int    `json:"hops"`
+}
+
+type lookupResp struct {
+	Pred Info `json:"pred"`
+	Succ Info `json:"succ"`
+	Hops int  `json:"hops"`
+}
+
+// neighborsReq asks for a node's neighbor state at one level.
+type neighborsReq struct {
+	Level int `json:"level"`
+}
+
+type neighborsResp struct {
+	Pred  Info   `json:"pred"`
+	Succs []Info `json:"succs"`
+}
+
+// notifyReq tells a node that From may be its predecessor at Level, or —
+// with AsSuccessor set — that From may be its successor (the paper's eager
+// notification of nodes that would otherwise erroneously skip a joiner).
+type notifyReq struct {
+	Level       int  `json:"level"`
+	From        Info `json:"from"`
+	AsSuccessor bool `json:"asSuccessor,omitempty"`
+}
+
+// storeReq stores a key-value pair (or a pointer to one) at the receiver.
+type storeReq struct {
+	Key     uint64 `json:"key"`
+	Value   []byte `json:"value,omitempty"`
+	Storage string `json:"storage"`
+	Access  string `json:"access"`
+	// Pointer, when set, is the node actually holding the value.
+	Pointer Info `json:"pointer,omitempty"`
+	// Replica marks a copy pushed by the key's owner to its successors; the
+	// receiver stores it without re-replicating.
+	Replica bool `json:"replica,omitempty"`
+}
+
+// fetchReq retrieves values for Key visible to a querier named Origin.
+type fetchReq struct {
+	Key    uint64 `json:"key"`
+	Origin string `json:"origin"`
+}
+
+type fetchValue struct {
+	Value   []byte `json:"value"`
+	Access  string `json:"access"`
+	Pointer Info   `json:"pointer,omitempty"`
+}
+
+type fetchResp struct {
+	Values []fetchValue `json:"values"`
+}
+
+// registerReq records From as a live member of the domain named Prefix in
+// the receiver's membership registry.
+type registerReq struct {
+	Prefix string `json:"prefix"`
+	From   Info   `json:"from"`
+}
+
+// membersReq asks for registered members of the domain named Prefix.
+type membersReq struct {
+	Prefix string `json:"prefix"`
+}
+
+type membersResp struct {
+	Members []Info `json:"members"`
+}
+
+// leavingReq announces a graceful departure at every shared level.
+type leavingReq struct {
+	From  Info   `json:"from"`
+	Succs []Info `json:"succs"` // the leaver's global successor list, as repair hints
+}
+
+// components splits a hierarchical name; the root is the empty slice.
+func components(name string) []string {
+	if name == "" {
+		return nil
+	}
+	return strings.Split(name, "/")
+}
+
+// prefixAt returns the first `level` components of name joined back into a
+// domain path; level 0 is the root ("").
+func prefixAt(name string, level int) string {
+	if level <= 0 {
+		return ""
+	}
+	comps := components(name)
+	if level >= len(comps) {
+		return name
+	}
+	return strings.Join(comps[:level], "/")
+}
+
+// inDomain reports whether a node named `name` belongs to the domain named
+// `prefix` (the root contains everyone).
+func inDomain(name, prefix string) bool {
+	if prefix == "" {
+		return true
+	}
+	return name == prefix || strings.HasPrefix(name, prefix+"/")
+}
+
+// sharedLevels returns the number of leading name components two nodes
+// share: the depth of their lowest common domain.
+func sharedLevels(a, b string) int {
+	ca, cb := components(a), components(b)
+	n := 0
+	for n < len(ca) && n < len(cb) && ca[n] == cb[n] {
+		n++
+	}
+	return n
+}
+
+// domainKey hashes a domain name into the identifier space; the membership
+// registry for the domain lives at this key's owner.
+func domainKey(space id.Space, prefix string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte("canon-domain:" + prefix))
+	return h.Sum64() & space.Mask()
+}

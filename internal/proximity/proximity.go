@@ -1,0 +1,223 @@
+// Package proximity implements the paper's group-based adaptation to
+// physical-network proximity (Section 3.6). Nodes are grouped by the top T
+// bits of their identifier; the DHT's link rules are applied to group IDs
+// rather than node IDs, which leaves each node free to link to any member of
+// a prescribed group — and it picks the physically closest of a latency
+// sample. Nodes within a group are densely connected (which the paper notes
+// is needed for replication and fault tolerance anyway), so routing reaches
+// the destination group and then finishes inside it.
+//
+// The package provides a Geometry wrapper: with a one-level hierarchy it
+// produces Chord (Prox.); wrapped around Crescendo's geometry on a deep
+// hierarchy it applies group-based construction at the top level only,
+// producing Crescendo (Prox.).
+package proximity
+
+import (
+	"math"
+	"math/rand"
+
+	"github.com/canon-dht/canon/internal/core"
+	"github.com/canon-dht/canon/internal/id"
+)
+
+// DefaultSamples is the latency sample size; internet measurements cited by
+// the paper show 32 samples suffice to find a nearby node.
+const DefaultSamples = 32
+
+// DefaultGroupSize is the targeted expected number of nodes per group.
+const DefaultGroupSize = 16
+
+// LatencyFunc returns the physical-network latency between two nodes,
+// identified by population index.
+type LatencyFunc func(a, b int) float64
+
+// Config parameterizes the proximity adaptation.
+type Config struct {
+	// Latency measures inter-node latency; required.
+	Latency LatencyFunc
+	// Samples is the number of group members sampled per link; 0 means
+	// DefaultSamples.
+	Samples int
+	// GroupSize is the targeted expected nodes per group; 0 means
+	// DefaultGroupSize.
+	GroupSize int
+}
+
+func (c Config) samples() int {
+	if c.Samples <= 0 {
+		return DefaultSamples
+	}
+	return c.Samples
+}
+
+func (c Config) groupSize() int {
+	if c.GroupSize <= 0 {
+		return DefaultGroupSize
+	}
+	return c.GroupSize
+}
+
+// Geometry wraps a clockwise-metric geometry, replacing link creation at the
+// root (top level) ring with group-based construction.
+type Geometry struct {
+	inner core.Geometry
+	space id.Space
+	cfg   Config
+}
+
+var _ core.Geometry = (*Geometry)(nil)
+
+// Wrap returns the proximity-adapted version of inner, which must use the
+// clockwise metric.
+func Wrap(inner core.Geometry, space id.Space, cfg Config) *Geometry {
+	return &Geometry{inner: inner, space: space, cfg: cfg}
+}
+
+// Name implements core.Geometry.
+func (g *Geometry) Name() string { return g.inner.Name() + "+prox" }
+
+// Metric implements core.Geometry.
+func (g *Geometry) Metric() core.Metric { return g.inner.Metric() }
+
+// Distance implements core.Geometry.
+func (g *Geometry) Distance(a, b id.ID) uint64 { return g.inner.Distance(a, b) }
+
+// GroupBits returns the group prefix length T for a ring of n nodes: groups
+// are sized so that each holds GroupSize nodes in expectation.
+func (g *Geometry) GroupBits(n int) uint {
+	if n <= g.cfg.groupSize() {
+		return 0
+	}
+	t := uint(math.Floor(math.Log2(float64(n) / float64(g.cfg.groupSize()))))
+	if t > g.space.Bits() {
+		t = g.space.Bits()
+	}
+	return t
+}
+
+// BaseLinks implements core.Geometry. On a non-root ring it defers to the
+// wrapped geometry; on the root ring (a flat DHT) it applies group-based
+// construction directly.
+func (g *Geometry) BaseLinks(ring *core.Ring, node int, rng *rand.Rand) []int {
+	if !ring.Domain().IsRoot() {
+		return g.inner.BaseLinks(ring, node, rng)
+	}
+	return g.groupLinks(ring, node, g.space.Size(), rng)
+}
+
+// MergeLinks implements core.Geometry: group-based construction at the top
+// level, the wrapped geometry everywhere else. (In general the group rule
+// would start at whatever level stops reflecting physical proximity; the
+// paper and this implementation use the top level.)
+func (g *Geometry) MergeLinks(merged, own *core.Ring, node int, bound uint64, rng *rand.Rand) []int {
+	if !merged.Domain().IsRoot() {
+		return g.inner.MergeLinks(merged, own, node, bound, rng)
+	}
+	return g.groupLinks(merged, node, bound, rng)
+}
+
+// Bound implements core.Geometry.
+func (g *Geometry) Bound(own *core.Ring, node int, linkIDs []id.ID) uint64 {
+	return g.inner.Bound(own, node, linkIDs)
+}
+
+// groupLinks creates the group-based links for node within ring: for every
+// 0 <= k < T, the Chord-on-groups rule prescribes a link into group(node)+2^k
+// (or the next non-empty group), and the node picks the lowest-latency
+// member of a sample. Links at clockwise distance >= bound are dropped
+// (condition (b) when this runs as a top-level merge). The node also links
+// to every other member of its own group, the dense intra-group structure
+// routing relies on to finish inside the destination group.
+func (g *Geometry) groupLinks(ring *core.Ring, node int, bound uint64, rng *rand.Rand) []int {
+	pos := ring.PosOfMember(node)
+	if pos < 0 || ring.Len() == 1 {
+		return nil
+	}
+	m := ring.IDAt(pos)
+	t := g.GroupBits(ring.Len())
+	if t == 0 {
+		// A single group: everyone links to everyone.
+		links := make([]int, 0, ring.Len()-1)
+		for p := 0; p < ring.Len(); p++ {
+			if mem := ring.Member(p); mem != node {
+				links = append(links, mem)
+			}
+		}
+		return links
+	}
+	myGroup := g.space.Prefix(m, t)
+	groupCount := uint64(1) << t
+	var links []int
+
+	// Intra-group dense connections (never bound-filtered; see package doc).
+	lo, hi := ring.PrefixRangePos(myGroup, t)
+	for p := lo; p < hi; p++ {
+		if mem := ring.Member(p); mem != node {
+			links = append(links, mem)
+		}
+	}
+	// Chord rule over groups.
+	for k := uint(0); k < t; k++ {
+		target := (myGroup + (uint64(1) << k)) % groupCount
+		glo, ghi := g.nextNonEmptyGroup(ring, target, t)
+		if glo < 0 {
+			continue
+		}
+		best := g.pickClosest(ring, node, glo, ghi, rng)
+		if best < 0 || best == node {
+			continue
+		}
+		bpos := ring.PosOfMember(best)
+		if d := g.space.Clockwise(m, ring.IDAt(bpos)); d == 0 || d >= bound {
+			continue
+		}
+		links = append(links, best)
+	}
+	return links
+}
+
+// nextNonEmptyGroup returns the member-position range of the first group at
+// or clockwise after target that contains at least one node, or (-1, -1)
+// if the ring is empty.
+func (g *Geometry) nextNonEmptyGroup(ring *core.Ring, target uint64, t uint) (int, int) {
+	groupCount := uint64(1) << t
+	for i := uint64(0); i < groupCount; i++ {
+		grp := (target + i) % groupCount
+		lo, hi := ring.PrefixRangePos(grp, t)
+		if lo < hi {
+			return lo, hi
+		}
+	}
+	return -1, -1
+}
+
+// pickClosest samples up to cfg.samples() members of ring[lo:hi) and returns
+// the one with the lowest latency to node.
+func (g *Geometry) pickClosest(ring *core.Ring, node, lo, hi int, rng *rand.Rand) int {
+	count := hi - lo
+	if count <= 0 {
+		return -1
+	}
+	samples := g.cfg.samples()
+	best, bestLat := -1, math.Inf(1)
+	consider := func(p int) {
+		cand := ring.Member(p)
+		if cand == node {
+			return
+		}
+		if l := g.cfg.Latency(node, cand); l < bestLat {
+			best, bestLat = cand, l
+		}
+	}
+	if count <= samples {
+		for p := lo; p < hi; p++ {
+			consider(p)
+		}
+		return best
+	}
+	for i := 0; i < samples; i++ {
+		consider(lo + rng.Intn(count))
+	}
+	return best
+}

@@ -1,0 +1,232 @@
+package proximity_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/canon-dht/canon/internal/chord"
+	"github.com/canon-dht/canon/internal/core"
+	"github.com/canon-dht/canon/internal/hierarchy"
+	"github.com/canon-dht/canon/internal/id"
+	"github.com/canon-dht/canon/internal/proximity"
+	"github.com/canon-dht/canon/internal/symphony"
+	"github.com/canon-dht/canon/internal/topology"
+)
+
+// buildProx builds a proximity-adapted network over a transit-stub topology.
+// flat=true gives Chord (Prox.) on a one-level hierarchy; flat=false gives
+// Crescendo (Prox.) on the topology-induced five-level hierarchy.
+func buildProx(t testing.TB, seed int64, n int, flat bool) (*core.Network, *topology.Hosts, *proximity.Geometry) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	cfg := topology.DefaultConfig()
+	cfg.TransitDomains = 3
+	cfg.TransitPerDomain = 4
+	cfg.StubSize = 10
+	topo, err := topology.New(rng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts, err := topo.AttachHosts(rng, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	space := id.DefaultSpace()
+	var tree *hierarchy.Tree
+	leaves := make([]*hierarchy.Domain, n)
+	if flat {
+		tree = hierarchy.NewTree()
+		for i := range leaves {
+			leaves[i] = tree.Root()
+		}
+	} else {
+		tree = hosts.Tree()
+		copy(leaves, hosts.Leaves())
+	}
+	pop, err := core.RandomPopulation(rng, space, tree, leaves)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat := func(a, b int) float64 {
+		return hosts.Latency(pop.Node(a).Tag, pop.Node(b).Tag)
+	}
+	geom := proximity.Wrap(chord.NewDeterministic(space), space, proximity.Config{Latency: lat})
+	return core.Build(pop, geom, rng), hosts, geom
+}
+
+func TestGroupBits(t *testing.T) {
+	g := proximity.Wrap(chord.NewDeterministic(id.DefaultSpace()), id.DefaultSpace(), proximity.Config{
+		Latency:   func(a, b int) float64 { return 1 },
+		GroupSize: 16,
+	})
+	tests := []struct {
+		n    int
+		want uint
+	}{
+		{8, 0}, {16, 0}, {32, 1}, {64, 2}, {1024, 6}, {65536, 12},
+	}
+	for _, tt := range tests {
+		if got := g.GroupBits(tt.n); got != tt.want {
+			t.Errorf("GroupBits(%d) = %d, want %d", tt.n, got, tt.want)
+		}
+	}
+}
+
+func TestFlatProxRoutingSucceeds(t *testing.T) {
+	const n = 512
+	nw, _, geom := buildProx(t, 61, n, true)
+	rng := rand.New(rand.NewSource(1))
+	space := nw.Population().Space()
+	T := geom.GroupBits(n)
+	for i := 0; i < 2000; i++ {
+		from := rng.Intn(n)
+		key := space.Random(rng)
+		r := nw.RouteGrouped(from, key, T)
+		if !r.Success {
+			t.Fatalf("grouped route from %d to key %d failed (path %v)", from, key, r.Nodes)
+		}
+		if r.Last() != nw.Population().OwnerOf(key) {
+			t.Fatalf("grouped route ended at %d, owner %d", r.Last(), nw.Population().OwnerOf(key))
+		}
+	}
+}
+
+func TestCrescendoProxRoutingSucceeds(t *testing.T) {
+	const n = 512
+	nw, _, geom := buildProx(t, 62, n, false)
+	rng := rand.New(rand.NewSource(2))
+	space := nw.Population().Space()
+	T := geom.GroupBits(n)
+	failures := 0
+	const routes = 2000
+	for i := 0; i < routes; i++ {
+		from := rng.Intn(n)
+		key := space.Random(rng)
+		r := nw.RouteGrouped(from, key, T)
+		if !r.Success {
+			failures++
+		}
+	}
+	if rate := float64(failures) / routes; rate > 0.01 {
+		t.Errorf("Crescendo (Prox.) routing failure rate %.4f exceeds 1%%", rate)
+	}
+}
+
+// TestProxReducesLatency: the headline effect of Figure 6 — proximity
+// adaptation must cut flat Chord's average routing latency substantially.
+func TestProxReducesLatency(t *testing.T) {
+	const n = 512
+	rng := rand.New(rand.NewSource(63))
+	cfg := topology.DefaultConfig()
+	cfg.TransitDomains = 3
+	cfg.TransitPerDomain = 4
+	cfg.StubSize = 10
+	topo, err := topology.New(rng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts, err := topo.AttachHosts(rng, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	space := id.DefaultSpace()
+	flatTree := hierarchy.NewTree()
+	leaves := make([]*hierarchy.Domain, n)
+	for i := range leaves {
+		leaves[i] = flatTree.Root()
+	}
+	ids, err := space.UniqueRandom(rng, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainPop, err := core.NewPopulation(space, flatTree, ids, leaves)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := core.Build(plainPop, chord.NewDeterministic(space), rng)
+
+	lat := func(a, b int) float64 {
+		return hosts.Latency(plainPop.Node(a).Tag, plainPop.Node(b).Tag)
+	}
+	geom := proximity.Wrap(chord.NewDeterministic(space), space, proximity.Config{Latency: lat})
+	prox := core.Build(plainPop, geom, rng)
+	T := geom.GroupBits(n)
+
+	hostPath := func(pop *core.Population, nodes []int) float64 {
+		total := 0.0
+		for i := 0; i+1 < len(nodes); i++ {
+			total += hosts.Latency(pop.Node(nodes[i]).Tag, pop.Node(nodes[i+1]).Tag)
+		}
+		return total
+	}
+	rrng := rand.New(rand.NewSource(3))
+	var plainLat, proxLat float64
+	const routes = 1000
+	for i := 0; i < routes; i++ {
+		from := rrng.Intn(n)
+		key := space.Random(rrng)
+		r1 := plain.RouteToKey(from, key)
+		r2 := prox.RouteGrouped(from, key, T)
+		if !r1.Success || !r2.Success {
+			t.Fatal("routing failed")
+		}
+		plainLat += hostPath(plainPop, r1.Nodes)
+		proxLat += hostPath(plainPop, r2.Nodes)
+	}
+	if proxLat >= plainLat*0.8 {
+		t.Errorf("prox latency %.0f not well below plain %.0f", proxLat/routes, plainLat/routes)
+	}
+}
+
+func TestWrapMetadata(t *testing.T) {
+	space := id.DefaultSpace()
+	g := proximity.Wrap(chord.NewDeterministic(space), space, proximity.Config{
+		Latency: func(a, b int) float64 { return 0 },
+	})
+	if g.Name() != "chord+prox" {
+		t.Errorf("Name = %q", g.Name())
+	}
+	if g.Metric() != core.MetricClockwise {
+		t.Error("metric should pass through")
+	}
+	if g.Distance(5, 2) != space.Clockwise(5, 2) {
+		t.Error("Distance should pass through")
+	}
+}
+
+// TestProximityOverSymphony: the wrapper composes with any clockwise-metric
+// geometry, not just Chord.
+func TestProximityOverSymphony(t *testing.T) {
+	const n = 512
+	rng := rand.New(rand.NewSource(71))
+	space := id.DefaultSpace()
+	tree := hierarchy.NewTree()
+	leaves := make([]*hierarchy.Domain, n)
+	for i := range leaves {
+		leaves[i] = tree.Root()
+	}
+	pop, err := core.RandomPopulation(rng, space, tree, leaves)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat := func(a, b int) float64 { return float64((a*31 + b*17) % 251) }
+	geom := proximity.Wrap(symphony.New(space), space, proximity.Config{Latency: lat})
+	if geom.Name() != "symphony+prox" {
+		t.Errorf("Name = %q", geom.Name())
+	}
+	nw := core.Build(pop, geom, rng)
+	T := geom.GroupBits(n)
+	rrng := rand.New(rand.NewSource(1))
+	failures := 0
+	const routes = 1000
+	for i := 0; i < routes; i++ {
+		key := space.Random(rrng)
+		r := nw.RouteGrouped(rrng.Intn(n), key, T)
+		if !r.Success {
+			failures++
+		}
+	}
+	if rate := float64(failures) / routes; rate > 0.01 {
+		t.Errorf("symphony+prox failure rate %.3f", rate)
+	}
+}

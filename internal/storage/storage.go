@@ -1,0 +1,275 @@
+// Package storage implements hierarchical content storage and retrieval
+// (Section 4.1). Content inserted by a node carries a storage domain — a
+// domain containing the inserter within which the key-value pair must be
+// stored — and an access domain, a superset of the storage domain to whose
+// nodes the content is visible. A pair with storage domain D is stored at
+// the proxy node for its key in D's ring; if the access domain is larger, a
+// pointer is additionally placed at the access domain's proxy.
+//
+// Retrieval is plain hierarchical greedy routing with two twists: every node
+// along the path answers from its local content when the content's access
+// domain is no smaller than the current routing level (the lowest common
+// ancestor of the query source and the current node), and pointers are
+// resolved transparently. A query for locally stored content therefore never
+// leaves its domain, and a node automatically retrieves exactly the content
+// it is permitted to access.
+package storage
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/canon-dht/canon/internal/core"
+	"github.com/canon-dht/canon/internal/hierarchy"
+	"github.com/canon-dht/canon/internal/id"
+)
+
+var (
+	// ErrOriginOutsideStorageDomain is returned when the inserting node does
+	// not belong to the requested storage domain.
+	ErrOriginOutsideStorageDomain = errors.New("storage: origin not inside storage domain")
+	// ErrAccessNotSuperset is returned when the access domain does not
+	// contain the storage domain.
+	ErrAccessNotSuperset = errors.New("storage: access domain must contain storage domain")
+)
+
+// Item is one stored key-value pair.
+type Item struct {
+	Key     id.ID
+	Value   []byte
+	Storage *hierarchy.Domain
+	Access  *hierarchy.Domain
+}
+
+// pointer is the indirection record placed at the access-domain proxy when
+// the access domain is wider than the storage domain.
+type pointer struct {
+	key    id.ID
+	target int // node holding the item
+	access *hierarchy.Domain
+}
+
+// Store is a hierarchical key-value store over a built network. It is not
+// safe for concurrent use.
+type Store struct {
+	nw    *core.Network
+	items []map[id.ID][]*Item
+	ptrs  []map[id.ID][]*pointer
+}
+
+// New returns an empty store over nw.
+func New(nw *core.Network) *Store {
+	return &Store{
+		nw:    nw,
+		items: make([]map[id.ID][]*Item, nw.Len()),
+		ptrs:  make([]map[id.ID][]*pointer, nw.Len()),
+	}
+}
+
+// Network returns the network the store runs on.
+func (s *Store) Network() *core.Network { return s.nw }
+
+// Put inserts a key-value pair from origin with the given storage and access
+// domains and returns the node the item was stored at. A nil storage or
+// access domain means the root (global storage / global access).
+func (s *Store) Put(origin int, key id.ID, value []byte, storage, access *hierarchy.Domain) (int, error) {
+	pop := s.nw.Population()
+	root := pop.Tree().Root()
+	if storage == nil {
+		storage = root
+	}
+	if access == nil {
+		access = root
+	}
+	if !storage.IsAncestorOf(pop.LeafOf(origin)) {
+		return -1, fmt.Errorf("%w: node %d, domain %q", ErrOriginOutsideStorageDomain, origin, storage.Path())
+	}
+	if !access.IsAncestorOf(storage) {
+		return -1, fmt.Errorf("%w: access %q, storage %q", ErrAccessNotSuperset, access.Path(), storage.Path())
+	}
+	holder := s.nw.Proxy(storage, key)
+	if holder < 0 {
+		return -1, fmt.Errorf("storage: domain %q has no nodes", storage.Path())
+	}
+	item := &Item{Key: key, Value: value, Storage: storage, Access: access}
+	if s.items[holder] == nil {
+		s.items[holder] = make(map[id.ID][]*Item)
+	}
+	s.items[holder][key] = append(s.items[holder][key], item)
+
+	if access != storage {
+		ptrNode := s.nw.Proxy(access, key)
+		if ptrNode >= 0 && ptrNode != holder {
+			if s.ptrs[ptrNode] == nil {
+				s.ptrs[ptrNode] = make(map[id.ID][]*pointer)
+			}
+			s.ptrs[ptrNode][key] = append(s.ptrs[ptrNode][key],
+				&pointer{key: key, target: holder, access: access})
+		}
+	}
+	return holder, nil
+}
+
+// Result describes the outcome of a Get.
+type Result struct {
+	// Found reports whether an accessible value was located.
+	Found bool
+	// Value is the retrieved value.
+	Value []byte
+	// Node is the node that answered (the pointer holder when Indirect).
+	Node int
+	// Hops is the number of routing hops taken until the answer.
+	Hops int
+	// Indirect reports whether the answer was reached through a pointer,
+	// which costs an extra fetch from the storing node.
+	Indirect bool
+	// Path is the routing path walked, ending at the answering node (or the
+	// full path on a miss).
+	Path []int
+}
+
+// Get retrieves the first value for key that origin is permitted to access,
+// walking the hierarchical route and answering at the earliest node holding
+// accessible content or a pointer to it (single-value semantics).
+func (s *Store) Get(origin int, key id.ID) Result {
+	res := s.collect(origin, key, 1)
+	if len(res.values) == 0 {
+		return Result{Path: res.path, Hops: len(res.path) - 1}
+	}
+	first := res.values[0]
+	return Result{
+		Found:    true,
+		Value:    first.item.Value,
+		Node:     first.node,
+		Hops:     first.hops,
+		Indirect: first.indirect,
+		Path:     res.path,
+	}
+}
+
+// GetAll retrieves up to max accessible values for key along the query path
+// (the paper's partial-list semantics; max <= 0 means no limit).
+func (s *Store) GetAll(origin int, key id.ID, max int) []Result {
+	res := s.collect(origin, key, max)
+	out := make([]Result, 0, len(res.values))
+	for _, v := range res.values {
+		out = append(out, Result{
+			Found:    true,
+			Value:    v.item.Value,
+			Node:     v.node,
+			Hops:     v.hops,
+			Indirect: v.indirect,
+			Path:     res.path,
+		})
+	}
+	return out
+}
+
+type hit struct {
+	item     *Item
+	node     int
+	hops     int
+	indirect bool
+}
+
+type collection struct {
+	values []hit
+	path   []int
+}
+
+// collect walks the greedy route from origin toward key, gathering
+// accessible values until max are found (max <= 0: all). Routing stops as
+// soon as the quota is met, so local queries never leave their domain.
+func (s *Store) collect(origin int, key id.ID, max int) collection {
+	pop := s.nw.Population()
+	route := s.nw.RouteToKey(origin, key)
+	var out collection
+	for idx, node := range route.Nodes {
+		out.path = append(out.path, node)
+		level := hierarchy.LCA(pop.LeafOf(origin), pop.LeafOf(node))
+		for _, item := range s.items[node][key] {
+			if !item.Access.IsAncestorOf(level) {
+				continue
+			}
+			out.values = append(out.values, hit{item: item, node: node, hops: idx})
+			if max > 0 && len(out.values) >= max {
+				return out
+			}
+		}
+		for _, p := range s.ptrs[node][key] {
+			if !p.access.IsAncestorOf(level) {
+				continue
+			}
+			// Resolve the indirection: fetch from the storing node.
+			for _, item := range s.items[p.target][key] {
+				if item.Access != p.access {
+					continue
+				}
+				out.values = append(out.values, hit{item: item, node: node, hops: idx, indirect: true})
+				if max > 0 && len(out.values) >= max {
+					return out
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Delete removes all values stored for key under the given storage domain
+// and any pointers to them, returning how many items were removed.
+func (s *Store) Delete(key id.ID, storage *hierarchy.Domain) int {
+	if storage == nil {
+		storage = s.nw.Population().Tree().Root()
+	}
+	holder := s.nw.Proxy(storage, key)
+	if holder < 0 || s.items[holder] == nil {
+		return 0
+	}
+	kept := s.items[holder][key][:0]
+	removed := 0
+	for _, item := range s.items[holder][key] {
+		if item.Storage == storage {
+			removed++
+			if item.Access != storage {
+				s.removePointer(key, item.Access, holder)
+			}
+			continue
+		}
+		kept = append(kept, item)
+	}
+	if len(kept) == 0 {
+		delete(s.items[holder], key)
+	} else {
+		s.items[holder][key] = kept
+	}
+	return removed
+}
+
+func (s *Store) removePointer(key id.ID, access *hierarchy.Domain, target int) {
+	ptrNode := s.nw.Proxy(access, key)
+	if ptrNode < 0 || s.ptrs[ptrNode] == nil {
+		return
+	}
+	kept := s.ptrs[ptrNode][key][:0]
+	for _, p := range s.ptrs[ptrNode][key] {
+		if p.target == target && p.access == access {
+			continue
+		}
+		kept = append(kept, p)
+	}
+	if len(kept) == 0 {
+		delete(s.ptrs[ptrNode], key)
+	} else {
+		s.ptrs[ptrNode][key] = kept
+	}
+}
+
+// ItemsAt returns the number of values stored at a node, used by partition
+// balance experiments.
+func (s *Store) ItemsAt(node int) int {
+	total := 0
+	for _, items := range s.items[node] {
+		total += len(items)
+	}
+	return total
+}

@@ -1,0 +1,311 @@
+package storage_test
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"github.com/canon-dht/canon/internal/chord"
+	"github.com/canon-dht/canon/internal/core"
+	"github.com/canon-dht/canon/internal/hierarchy"
+	"github.com/canon-dht/canon/internal/id"
+	"github.com/canon-dht/canon/internal/storage"
+)
+
+type fixture struct {
+	nw   *core.Network
+	st   *storage.Store
+	tree *hierarchy.Tree
+	rng  *rand.Rand
+}
+
+// newFixture builds a 3-level network: root -> {stanford, mit} ->
+// {stanford/cs, stanford/ee, mit/csail}, with nodes spread across leaves.
+func newFixture(t *testing.T, seed int64, perLeaf int) *fixture {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	space := id.DefaultSpace()
+	tree := hierarchy.NewTree()
+	var leaves []*hierarchy.Domain
+	for _, p := range []string{"stanford/cs", "stanford/ee", "mit/csail"} {
+		d, err := tree.EnsurePath(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < perLeaf; i++ {
+			leaves = append(leaves, d)
+		}
+	}
+	pop, err := core.RandomPopulation(rng, space, tree, leaves)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw := core.Build(pop, chord.NewDeterministic(space), rng)
+	return &fixture{nw: nw, st: storage.New(nw), tree: tree, rng: rng}
+}
+
+func (f *fixture) nodeIn(t *testing.T, path string) int {
+	t.Helper()
+	d, ok := f.tree.Lookup(path)
+	if !ok {
+		t.Fatalf("domain %q missing", path)
+	}
+	ring := f.nw.RingOf(d)
+	if ring == nil || ring.Len() == 0 {
+		t.Fatalf("domain %q empty", path)
+	}
+	return ring.Member(f.rng.Intn(ring.Len()))
+}
+
+func (f *fixture) domain(t *testing.T, path string) *hierarchy.Domain {
+	t.Helper()
+	d, ok := f.tree.Lookup(path)
+	if !ok {
+		t.Fatalf("domain %q missing", path)
+	}
+	return d
+}
+
+func TestGlobalPutGet(t *testing.T) {
+	f := newFixture(t, 1, 30)
+	origin := f.nodeIn(t, "stanford/cs")
+	key := id.ID(0x12345678)
+	holder, err := f.st.Put(origin, key, []byte("hello"), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if holder != f.nw.Population().OwnerOf(key) {
+		t.Errorf("global put stored at %d, want global owner %d", holder, f.nw.Population().OwnerOf(key))
+	}
+	for _, from := range []string{"stanford/cs", "mit/csail"} {
+		res := f.st.Get(f.nodeIn(t, from), key)
+		if !res.Found || !bytes.Equal(res.Value, []byte("hello")) {
+			t.Fatalf("get from %s failed: %+v", from, res)
+		}
+	}
+}
+
+func TestPutValidation(t *testing.T) {
+	f := newFixture(t, 2, 30)
+	csNode := f.nodeIn(t, "stanford/cs")
+	mit := f.domain(t, "mit/csail")
+	cs := f.domain(t, "stanford/cs")
+	stanford := f.domain(t, "stanford")
+
+	if _, err := f.st.Put(csNode, 1, nil, mit, nil); !errors.Is(err, storage.ErrOriginOutsideStorageDomain) {
+		t.Errorf("put outside storage domain: err = %v", err)
+	}
+	// Access domain must contain storage domain: mit does not contain cs.
+	if _, err := f.st.Put(csNode, 1, nil, cs, mit); !errors.Is(err, storage.ErrAccessNotSuperset) {
+		t.Errorf("non-superset access domain: err = %v", err)
+	}
+	// Equal domains and proper supersets are fine.
+	if _, err := f.st.Put(csNode, 1, nil, cs, cs); err != nil {
+		t.Errorf("put with equal domains: %v", err)
+	}
+	if _, err := f.st.Put(csNode, 2, nil, cs, stanford); err != nil {
+		t.Errorf("put with superset access: %v", err)
+	}
+}
+
+func TestDomainStorageStaysLocal(t *testing.T) {
+	f := newFixture(t, 3, 40)
+	cs := f.domain(t, "stanford/cs")
+	origin := f.nodeIn(t, "stanford/cs")
+	key := id.ID(0xCAFEBABE)
+	holder, err := f.st.Put(origin, key, []byte("cs-only"), cs, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cs.IsAncestorOf(f.nw.Population().LeafOf(holder)) {
+		t.Fatalf("item stored outside its storage domain (node %d)", holder)
+	}
+	// A CS node finds it without the query ever leaving CS.
+	res := f.st.Get(f.nodeIn(t, "stanford/cs"), key)
+	if !res.Found {
+		t.Fatal("CS node could not find CS content")
+	}
+	for _, hop := range res.Path[:res.Hops+1] {
+		if !cs.IsAncestorOf(f.nw.Population().LeafOf(hop)) {
+			t.Fatalf("local query left CS at node %d", hop)
+		}
+	}
+}
+
+func TestAccessControl(t *testing.T) {
+	f := newFixture(t, 4, 40)
+	cs := f.domain(t, "stanford/cs")
+	stanford := f.domain(t, "stanford")
+	origin := f.nodeIn(t, "stanford/cs")
+	key := id.ID(0xDEAD10CC)
+	// Stored in CS, accessible throughout Stanford but not beyond.
+	if _, err := f.st.Put(origin, key, []byte("stanford-wide"), cs, stanford); err != nil {
+		t.Fatal(err)
+	}
+	if res := f.st.Get(f.nodeIn(t, "stanford/ee"), key); !res.Found {
+		t.Error("EE node should access stanford-wide content")
+	}
+	if res := f.st.Get(f.nodeIn(t, "mit/csail"), key); res.Found {
+		t.Error("MIT node must not access stanford-wide content")
+	}
+}
+
+func TestPointerIndirection(t *testing.T) {
+	f := newFixture(t, 5, 40)
+	cs := f.domain(t, "stanford/cs")
+	stanford := f.domain(t, "stanford")
+	origin := f.nodeIn(t, "stanford/cs")
+	key := id.ID(0x0BADF00D)
+	holder, err := f.st.Put(origin, key, []byte("v"), cs, stanford)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A query from EE must be answered; if it was answered by a node other
+	// than the holder, the answer came through the pointer.
+	res := f.st.Get(f.nodeIn(t, "stanford/ee"), key)
+	if !res.Found {
+		t.Fatal("EE node could not find content")
+	}
+	if res.Node != holder && !res.Indirect {
+		t.Errorf("answer from non-holder %d without indirection", res.Node)
+	}
+}
+
+func TestGetAllMultiValue(t *testing.T) {
+	f := newFixture(t, 6, 40)
+	key := id.ID(0x77777777)
+	cs := f.domain(t, "stanford/cs")
+	ee := f.domain(t, "stanford/ee")
+	csNode := f.nodeIn(t, "stanford/cs")
+	eeNode := f.nodeIn(t, "stanford/ee")
+	if _, err := f.st.Put(csNode, key, []byte("from-cs"), cs, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.st.Put(eeNode, key, []byte("from-ee"), ee, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.st.Put(csNode, key, []byte("global"), nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	all := f.st.GetAll(f.nodeIn(t, "mit/csail"), key, 0)
+	if len(all) != 3 {
+		t.Fatalf("GetAll found %d values, want 3", len(all))
+	}
+	// Limit respected.
+	if got := f.st.GetAll(f.nodeIn(t, "mit/csail"), key, 2); len(got) != 2 {
+		t.Fatalf("GetAll(max=2) returned %d", len(got))
+	}
+}
+
+func TestDelete(t *testing.T) {
+	f := newFixture(t, 7, 30)
+	cs := f.domain(t, "stanford/cs")
+	stanford := f.domain(t, "stanford")
+	origin := f.nodeIn(t, "stanford/cs")
+	key := id.ID(0x5EED)
+	if _, err := f.st.Put(origin, key, []byte("v"), cs, stanford); err != nil {
+		t.Fatal(err)
+	}
+	if removed := f.st.Delete(key, cs); removed != 1 {
+		t.Fatalf("Delete removed %d, want 1", removed)
+	}
+	if res := f.st.Get(f.nodeIn(t, "stanford/ee"), key); res.Found {
+		t.Error("content still visible after delete")
+	}
+	if removed := f.st.Delete(key, cs); removed != 0 {
+		t.Error("second delete should remove nothing")
+	}
+}
+
+func TestMissReturnsPath(t *testing.T) {
+	f := newFixture(t, 8, 30)
+	res := f.st.Get(f.nodeIn(t, "stanford/cs"), id.ID(0x404))
+	if res.Found {
+		t.Fatal("found nonexistent key")
+	}
+	if len(res.Path) == 0 || res.Hops != len(res.Path)-1 {
+		t.Errorf("miss should report the full path: %+v", res)
+	}
+}
+
+// TestResponsibilityUniqueness: the same (key, storage domain) always maps
+// to exactly one holder, and re-putting lands on it.
+func TestResponsibilityUniqueness(t *testing.T) {
+	f := newFixture(t, 9, 40)
+	cs := f.domain(t, "stanford/cs")
+	for i := 0; i < 200; i++ {
+		key := f.nw.Population().Space().Random(f.rng)
+		h1, err := f.st.Put(f.nodeIn(t, "stanford/cs"), key, nil, cs, cs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h2, err := f.st.Put(f.nodeIn(t, "stanford/cs"), key, nil, cs, cs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h1 != h2 {
+			t.Fatalf("same key stored at %d then %d", h1, h2)
+		}
+		if h1 != f.nw.Proxy(cs, key) {
+			t.Fatalf("holder %d != proxy %d", h1, f.nw.Proxy(cs, key))
+		}
+	}
+}
+
+func TestItemsAt(t *testing.T) {
+	f := newFixture(t, 10, 30)
+	cs := f.domain(t, "stanford/cs")
+	origin := f.nodeIn(t, "stanford/cs")
+	key := id.ID(0xABC)
+	holder, err := f.st.Put(origin, key, []byte("x"), cs, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.st.ItemsAt(holder); got != 1 {
+		t.Errorf("ItemsAt(holder) = %d, want 1", got)
+	}
+}
+
+// TestVisibilityMatchesAccessDomains is a property sweep: for random
+// (storage, access) domain pairs, a value is visible from exactly the nodes
+// inside its access domain.
+func TestVisibilityMatchesAccessDomains(t *testing.T) {
+	f := newFixture(t, 11, 40)
+	pop := f.nw.Population()
+
+	domains := []string{"", "stanford", "stanford/cs", "stanford/ee", "mit", "mit/csail"}
+	lookup := func(p string) *hierarchy.Domain {
+		d, ok := f.tree.Lookup(p)
+		if !ok {
+			t.Fatalf("domain %q missing", p)
+		}
+		return d
+	}
+	for trial := 0; trial < 120; trial++ {
+		storage := lookup(domains[f.rng.Intn(len(domains))])
+		access := storage.AncestorAt(f.rng.Intn(storage.Depth() + 1))
+		ring := f.nw.RingOf(storage)
+		if ring == nil || ring.Len() == 0 {
+			continue
+		}
+		origin := ring.Member(f.rng.Intn(ring.Len()))
+		key := pop.Space().Random(f.rng)
+		if _, err := f.st.Put(origin, key, []byte("p"), storage, access); err != nil {
+			t.Fatalf("put(storage=%q access=%q): %v", storage.Path(), access.Path(), err)
+		}
+		// Probe from a sample of nodes across the whole network.
+		for probe := 0; probe < 15; probe++ {
+			reader := f.rng.Intn(f.nw.Len())
+			inAccess := access.IsAncestorOf(pop.LeafOf(reader))
+			found := f.st.Get(reader, key).Found
+			if found != inAccess {
+				t.Fatalf("key %d (storage=%q access=%q): reader %q found=%v, inAccess=%v",
+					key, storage.Path(), access.Path(),
+					pop.LeafOf(reader).Path(), found, inAccess)
+			}
+		}
+		// Clean up so later trials with coincidentally equal keys are exact.
+		f.st.Delete(key, storage)
+	}
+}

@@ -1,0 +1,150 @@
+// Package symphony implements the Symphony link-creation geometry (Manku,
+// Bawa, Raghavan, USITS 2003): a randomized small-world ring where each node
+// draws ~log2(n) long links whose lengths follow the harmonic distribution
+// (probability of linking to a node inversely proportional to its clockwise
+// distance), plus a successor link. Plugged into the Canon framework it
+// yields Cacophony, the Canonical Symphony of Section 3.1.
+package symphony
+
+import (
+	"math"
+	"math/rand"
+
+	"github.com/canon-dht/canon/internal/core"
+	"github.com/canon-dht/canon/internal/id"
+)
+
+// maxDrawAttempts bounds the retries used to avoid self-links and duplicate
+// draws when a ring is very small.
+const maxDrawAttempts = 8
+
+// EstimateRingSize estimates the number of nodes in a ring from the arc
+// spanned by the member at pos and its next `lookahead` successors, the
+// cheap estimation protocol Symphony relies on: if x consecutive nodes span
+// a fraction f of the ring, the ring holds about x/f nodes.
+func EstimateRingSize(ring *core.Ring, pos, lookahead int) int {
+	if ring.Len() == 1 {
+		return 1
+	}
+	if lookahead < 1 {
+		lookahead = 1
+	}
+	if lookahead >= ring.Len() {
+		lookahead = ring.Len() - 1
+	}
+	space := ring.Space()
+	arc := space.Clockwise(ring.IDAt(pos), ring.IDAt((pos+lookahead)%ring.Len()))
+	if arc == 0 {
+		return ring.Len()
+	}
+	est := int(float64(lookahead) * float64(space.Size()) / float64(arc))
+	if est < 2 {
+		est = 2
+	}
+	return est
+}
+
+// Geometry is the Symphony link rule.
+type Geometry struct {
+	space id.Space
+	// estimateWith, when positive, makes the geometry derive ring sizes
+	// from the arc of this many successors instead of using the exact
+	// count — the protocol a live Symphony deployment runs.
+	estimateWith int
+}
+
+var _ core.Geometry = (*Geometry)(nil)
+
+// New returns the Symphony geometry over space, using exact ring sizes.
+func New(space id.Space) *Geometry {
+	return &Geometry{space: space}
+}
+
+// NewEstimated returns the Symphony geometry with ring sizes estimated from
+// the arcs of `lookahead` successors (Section 3.1 notes the estimation is
+// cheap and accurate; this lets experiments quantify the claim).
+func NewEstimated(space id.Space, lookahead int) *Geometry {
+	return &Geometry{space: space, estimateWith: lookahead}
+}
+
+// ringSize returns the (exact or estimated) size of ring from the view of
+// the member at pos.
+func (g *Geometry) ringSize(ring *core.Ring, pos int) int {
+	if g.estimateWith <= 0 {
+		return ring.Len()
+	}
+	return EstimateRingSize(ring, pos, g.estimateWith)
+}
+
+// Name implements core.Geometry.
+func (g *Geometry) Name() string { return "symphony" }
+
+// Metric implements core.Geometry.
+func (g *Geometry) Metric() core.Metric { return core.MetricClockwise }
+
+// Distance implements core.Geometry.
+func (g *Geometry) Distance(a, b id.ID) uint64 { return g.space.Clockwise(a, b) }
+
+// BaseLinks implements core.Geometry: a successor link plus floor(log2(n))
+// harmonic draws within the node's lowest-level ring. Symphony estimates n
+// cheaply in a live deployment; the simulator uses the exact ring size,
+// which the paper notes is an accurate, inexpensive estimate.
+func (g *Geometry) BaseLinks(ring *core.Ring, node int, rng *rand.Rand) []int {
+	return g.draw(ring, node, g.space.Size(), rng, true)
+}
+
+// MergeLinks implements core.Geometry: floor(log2(n_level)) harmonic draws
+// over the merged ring, retaining only those closer than the node's
+// lower-level successor, plus the new level's successor link when it too is
+// closer (Section 3.1).
+func (g *Geometry) MergeLinks(merged, _ *core.Ring, node int, bound uint64, rng *rand.Rand) []int {
+	return g.draw(merged, node, bound, rng, false)
+}
+
+func (g *Geometry) draw(ring *core.Ring, node int, bound uint64, rng *rand.Rand, withSucc bool) []int {
+	pos := ring.PosOfMember(node)
+	if pos < 0 || ring.Len() == 1 {
+		return nil
+	}
+	n := float64(g.ringSize(ring, pos))
+	m := ring.IDAt(pos)
+	k := int(math.Floor(math.Log2(n)))
+	links := make([]int, 0, k+1)
+
+	succDist := ring.SuccessorDistance(pos)
+	if withSucc || succDist < bound {
+		links = append(links, ring.Member(ring.NextPos(pos)))
+	}
+	for i := 0; i < k; i++ {
+		for attempt := 0; attempt < maxDrawAttempts; attempt++ {
+			// Inverse-CDF sampling of the harmonic pdf 1/(x ln n) on
+			// [1/n, 1]: x = n^(u-1) for u uniform in [0, 1).
+			x := math.Pow(n, rng.Float64()-1)
+			d := uint64(x * float64(g.space.Size()))
+			if d == 0 {
+				d = 1
+			}
+			target := ring.Owner(g.space.Add(m, d))
+			if target == node {
+				continue
+			}
+			if g.space.Clockwise(m, ring.IDAt(ring.PosOfMember(target))) >= bound {
+				// Condition (b) rejects this draw; Symphony draws are
+				// independent, so the link is simply not created.
+				break
+			}
+			links = append(links, target)
+			break
+		}
+	}
+	return links
+}
+
+// Bound implements core.Geometry.
+func (g *Geometry) Bound(own *core.Ring, node int, _ []id.ID) uint64 {
+	pos := own.PosOfMember(node)
+	if pos < 0 {
+		return 0
+	}
+	return own.SuccessorDistance(pos)
+}

@@ -1,0 +1,191 @@
+package symphony_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/canon-dht/canon/internal/core"
+	"github.com/canon-dht/canon/internal/hierarchy"
+	"github.com/canon-dht/canon/internal/id"
+	"github.com/canon-dht/canon/internal/symphony"
+)
+
+func build(t testing.TB, seed int64, n, levels, fanout int) *core.Network {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	space := id.DefaultSpace()
+	tree, err := hierarchy.Balanced(levels, fanout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaves := hierarchy.AssignUniform(rng, tree, n)
+	pop, err := core.RandomPopulation(rng, space, tree, leaves)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core.Build(pop, symphony.New(space), rng)
+}
+
+func TestFlatSymphonyStructure(t *testing.T) {
+	const n = 1024
+	nw := build(t, 31, n, 1, 10)
+	// Successor links must exist for ring connectivity.
+	for i := 0; i < n; i++ {
+		if !nw.HasLink(i, (i+1)%n) {
+			t.Fatalf("node %d missing successor link", i)
+		}
+	}
+	// Expected degree ~ log2(n) + 1 = 11; harmonic draws may collide so the
+	// average can be a bit below. It must not exceed floor(log2 n) + 1.
+	avg := nw.AvgDegree()
+	maxAvg := math.Floor(math.Log2(n)) + 1
+	if avg > maxAvg {
+		t.Errorf("avg degree %.2f exceeds %v", avg, maxAvg)
+	}
+	if avg < maxAvg-3 {
+		t.Errorf("avg degree %.2f implausibly low (max %v)", avg, maxAvg)
+	}
+}
+
+func TestFlatSymphonyRouting(t *testing.T) {
+	const n = 512
+	nw := build(t, 32, n, 1, 10)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		from, to := rng.Intn(n), rng.Intn(n)
+		r := nw.RouteToNode(from, to)
+		if !r.Success || r.Last() != to {
+			t.Fatalf("route %d -> %d failed", from, to)
+		}
+	}
+}
+
+func TestCacophonyRoutingAndLocality(t *testing.T) {
+	const n = 1024
+	nw := build(t, 33, n, 3, 8)
+	pop := nw.Population()
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 3000; i++ {
+		from, to := rng.Intn(n), rng.Intn(n)
+		r := nw.RouteToNode(from, to)
+		if !r.Success || r.Last() != to {
+			t.Fatalf("route %d -> %d failed", from, to)
+		}
+		// Intra-domain path locality must hold for Cacophony too.
+		lca := hierarchy.LCA(pop.LeafOf(from), pop.LeafOf(to))
+		for _, hop := range r.Nodes {
+			if !lca.IsAncestorOf(pop.LeafOf(hop)) {
+				t.Fatalf("route %d -> %d left containing domain at %d", from, to, hop)
+			}
+		}
+	}
+}
+
+// TestCacophonyConditionB: every inter-leaf-domain link must be shorter than
+// the node's leaf-ring successor distance.
+func TestCacophonyConditionB(t *testing.T) {
+	const n = 1024
+	nw := build(t, 34, n, 2, 8)
+	pop := nw.Population()
+	space := pop.Space()
+	for i := 0; i < n; i++ {
+		leafRing := nw.RingOf(pop.LeafOf(i))
+		bound := leafRing.SuccessorDistance(leafRing.PosOfMember(i))
+		for _, l := range nw.Links(i) {
+			if pop.LeafOf(int(l)) == pop.LeafOf(i) {
+				continue
+			}
+			if d := space.Clockwise(pop.IDOf(i), pop.IDOf(int(l))); d >= bound {
+				t.Fatalf("node %d inter-domain link at distance %d >= bound %d", i, d, bound)
+			}
+		}
+	}
+}
+
+// TestLookaheadReducesHops checks the Section 3.1 claim that greedy routing
+// with lookahead needs noticeably fewer hops (about 40%% fewer in practice;
+// we assert a conservative 15%% improvement).
+func TestLookaheadReducesHops(t *testing.T) {
+	const n = 2048
+	nw := build(t, 35, n, 1, 10)
+	rng := rand.New(rand.NewSource(3))
+	var plain, ahead float64
+	const routes = 3000
+	for i := 0; i < routes; i++ {
+		from := rng.Intn(n)
+		key := nw.Population().Space().Random(rng)
+		r1 := nw.RouteToKey(from, key)
+		r2 := nw.RouteLookahead(from, key)
+		if !r1.Success || !r2.Success {
+			t.Fatalf("routing failed (plain %v, lookahead %v)", r1.Success, r2.Success)
+		}
+		if r1.Last() != r2.Last() {
+			t.Fatalf("lookahead ended at %d, plain at %d", r2.Last(), r1.Last())
+		}
+		plain += float64(r1.Hops())
+		ahead += float64(r2.Hops())
+	}
+	if ahead >= plain*0.85 {
+		t.Errorf("lookahead hops %.1f not sufficiently below plain %.1f", ahead/routes, plain/routes)
+	}
+}
+
+func TestGeometryMetadata(t *testing.T) {
+	g := symphony.New(id.DefaultSpace())
+	if g.Name() != "symphony" {
+		t.Error("unexpected name")
+	}
+	if g.Metric() != core.MetricClockwise {
+		t.Error("symphony must use the clockwise metric")
+	}
+}
+
+func TestEstimateRingSize(t *testing.T) {
+	nw := build(t, 36, 1024, 1, 10)
+	ring := nw.RingOf(nw.Population().Tree().Root())
+	rng := rand.New(rand.NewSource(5))
+	// Median estimate over many positions must land within a factor of 2.
+	var within, total float64
+	for i := 0; i < 300; i++ {
+		pos := rng.Intn(ring.Len())
+		est := symphony.EstimateRingSize(ring, pos, 8)
+		if est >= 512 && est <= 2048 {
+			within++
+		}
+		total++
+	}
+	if within/total < 0.7 {
+		t.Errorf("only %.0f%% of estimates within 2x of the true size", 100*within/total)
+	}
+	// Degenerate cases.
+	if got := symphony.EstimateRingSize(ring, 0, 0); got < 2 {
+		t.Errorf("EstimateRingSize with lookahead 0 = %d", got)
+	}
+}
+
+func TestEstimatedGeometryRoutes(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	space := id.DefaultSpace()
+	tree, err := hierarchy.Balanced(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaves := hierarchy.AssignUniform(rng, tree, 512)
+	pop, err := core.RandomPopulation(rng, space, tree, leaves)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw := core.Build(pop, symphony.NewEstimated(space, 6), rng)
+	for i := 0; i < 1500; i++ {
+		from, to := rng.Intn(512), rng.Intn(512)
+		r := nw.RouteToNode(from, to)
+		if !r.Success || r.Last() != to {
+			t.Fatalf("estimated-symphony route %d -> %d failed", from, to)
+		}
+	}
+	// Degree should still be in the log-n ballpark.
+	if avg := nw.AvgDegree(); avg < 4 || avg > 14 {
+		t.Errorf("estimated-symphony degree %.2f implausible for n=512", avg)
+	}
+}

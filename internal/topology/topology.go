@@ -1,0 +1,351 @@
+// Package topology implements the transit–stub internet model the paper uses
+// for its physical-network experiments (Section 5.2), replacing the GT-ITM
+// generator [12]: routers are partitioned into transit domains of transit
+// routers; a stub domain of stub routers hangs off every transit router; and
+// link latencies follow the paper's classes — 100 ms between transit
+// routers, 20 ms transit–stub, 5 ms stub–stub, and 1 ms from an end host to
+// its stub router. The default configuration reproduces the paper's
+// 2040-router graph.
+//
+// The model induces the natural five-level hierarchy the paper builds
+// Crescendo over: root / transit domain / transit router / stub domain /
+// stub router.
+package topology
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"github.com/canon-dht/canon/internal/hierarchy"
+)
+
+// Config describes a transit–stub topology.
+type Config struct {
+	// TransitDomains is the number of top-level transit domains.
+	TransitDomains int
+	// TransitPerDomain is the number of transit routers per transit domain.
+	TransitPerDomain int
+	// StubsPerTransit is the number of stub domains attached to each transit
+	// router.
+	StubsPerTransit int
+	// StubSize is the number of stub routers per stub domain.
+	StubSize int
+	// ExtraEdgeFraction adds this fraction of extra random edges (beyond the
+	// connecting spanning structure) inside every transit domain and stub
+	// domain, controlling path diversity.
+	ExtraEdgeFraction float64
+
+	// Latencies in milliseconds for each link class.
+	TransitTransitMS float64
+	TransitStubMS    float64
+	StubStubMS       float64
+	HostStubMS       float64
+}
+
+// DefaultConfig returns the paper's 2040-router setup: 4 transit domains of
+// 10 transit routers, each transit router with two 25-router stub domains
+// (4*10 + 4*10*2*25 = 2040), with the paper's latency classes. Multiple stub
+// domains per transit router keep the hierarchy's transit-router and
+// stub-domain levels distinct, as in GT-ITM.
+func DefaultConfig() Config {
+	return Config{
+		TransitDomains:    4,
+		TransitPerDomain:  10,
+		StubsPerTransit:   2,
+		StubSize:          25,
+		ExtraEdgeFraction: 1.5,
+		TransitTransitMS:  100,
+		TransitStubMS:     20,
+		StubStubMS:        5,
+		HostStubMS:        1,
+	}
+}
+
+func (c Config) validate() error {
+	if c.TransitDomains < 1 || c.TransitPerDomain < 1 || c.StubsPerTransit < 1 || c.StubSize < 1 {
+		return fmt.Errorf("topology: domains/routers/stubs/sizes must be >= 1 (got %d/%d/%d/%d)",
+			c.TransitDomains, c.TransitPerDomain, c.StubsPerTransit, c.StubSize)
+	}
+	if c.TransitTransitMS < 0 || c.TransitStubMS < 0 || c.StubStubMS < 0 || c.HostStubMS < 0 {
+		return fmt.Errorf("topology: latencies must be non-negative")
+	}
+	return nil
+}
+
+type edge struct {
+	to int
+	w  float32
+}
+
+// Topology is an immutable router graph with per-source shortest-path
+// caching. It is safe for concurrent use.
+type Topology struct {
+	cfg        Config
+	numRouters int
+	adj        [][]edge
+	stubs      []int // router ids of all stub routers
+	// For router classification.
+	transitDomainOf []int // per router: transit domain index
+	transitOf       []int // per stub router: its transit router; -1 for transit routers
+	stubDomainOf    []int // per stub router: global stub-domain index; -1 for transit routers
+
+	mu   sync.Mutex
+	dist map[int][]float32 // per-source shortest path latencies
+}
+
+// New generates a topology from cfg using rng for the random graph structure.
+func New(rng *rand.Rand, cfg Config) (*Topology, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	numTransit := cfg.TransitDomains * cfg.TransitPerDomain
+	total := numTransit + numTransit*cfg.StubsPerTransit*cfg.StubSize
+	t := &Topology{
+		cfg:             cfg,
+		numRouters:      total,
+		adj:             make([][]edge, total),
+		transitDomainOf: make([]int, total),
+		transitOf:       make([]int, total),
+		stubDomainOf:    make([]int, total),
+		dist:            make(map[int][]float32),
+	}
+	// Router numbering: transit routers first (domain-major), then stub
+	// routers grouped by stub domain, stub domains grouped by transit
+	// router.
+	transitRouter := func(dom, i int) int { return dom*cfg.TransitPerDomain + i }
+	stubRouter := func(sd, j int) int { return numTransit + sd*cfg.StubSize + j }
+
+	for dom := 0; dom < cfg.TransitDomains; dom++ {
+		// Connect the domain's transit routers: random spanning chain plus
+		// extra random chords, all at transit-transit latency.
+		members := make([]int, cfg.TransitPerDomain)
+		for i := range members {
+			members[i] = transitRouter(dom, i)
+			t.transitDomainOf[members[i]] = dom
+			t.transitOf[members[i]] = -1
+			t.stubDomainOf[members[i]] = -1
+		}
+		t.connectGroup(rng, members, float32(cfg.TransitTransitMS))
+	}
+	// Connect every pair of transit domains via random member routers; the
+	// GT-ITM backbones the paper uses are dense, keeping inter-domain routes
+	// to one or two transit-transit hops.
+	for dom := 0; dom < cfg.TransitDomains; dom++ {
+		for other := dom + 1; other < cfg.TransitDomains; other++ {
+			a := transitRouter(dom, rng.Intn(cfg.TransitPerDomain))
+			b := transitRouter(other, rng.Intn(cfg.TransitPerDomain))
+			t.addEdge(a, b, float32(cfg.TransitTransitMS))
+		}
+	}
+	// Stub domains.
+	t.stubs = make([]int, 0, numTransit*cfg.StubsPerTransit*cfg.StubSize)
+	for tr := 0; tr < numTransit; tr++ {
+		for s := 0; s < cfg.StubsPerTransit; s++ {
+			sd := tr*cfg.StubsPerTransit + s
+			members := make([]int, cfg.StubSize)
+			for j := range members {
+				r := stubRouter(sd, j)
+				members[j] = r
+				t.transitDomainOf[r] = t.transitDomainOf[tr]
+				t.transitOf[r] = tr
+				t.stubDomainOf[r] = sd
+				t.stubs = append(t.stubs, r)
+			}
+			t.connectGroup(rng, members, float32(cfg.StubStubMS))
+			// Gateway: one stub router links up to the transit router.
+			t.addEdge(members[rng.Intn(len(members))], tr, float32(cfg.TransitStubMS))
+		}
+	}
+	return t, nil
+}
+
+// connectGroup wires members into a connected random subgraph: a shuffled
+// chain plus ExtraEdgeFraction*len extra random edges, all of weight w.
+func (t *Topology) connectGroup(rng *rand.Rand, members []int, w float32) {
+	if len(members) == 1 {
+		return
+	}
+	perm := rng.Perm(len(members))
+	for i := 1; i < len(perm); i++ {
+		t.addEdge(members[perm[i-1]], members[perm[i]], w)
+	}
+	extra := int(t.cfg.ExtraEdgeFraction * float64(len(members)))
+	for i := 0; i < extra; i++ {
+		a := members[rng.Intn(len(members))]
+		b := members[rng.Intn(len(members))]
+		if a != b {
+			t.addEdge(a, b, w)
+		}
+	}
+}
+
+func (t *Topology) addEdge(a, b int, w float32) {
+	t.adj[a] = append(t.adj[a], edge{to: b, w: w})
+	t.adj[b] = append(t.adj[b], edge{to: a, w: w})
+}
+
+// NumRouters returns the total number of routers.
+func (t *Topology) NumRouters() int { return t.numRouters }
+
+// StubRouters returns the identifiers of all stub routers. Callers must not
+// modify the returned slice.
+func (t *Topology) StubRouters() []int { return t.stubs }
+
+// Config returns the topology's configuration.
+func (t *Topology) Config() Config { return t.cfg }
+
+// Latency returns the shortest-path latency in milliseconds between two
+// routers. Per-source results are cached.
+func (t *Topology) Latency(a, b int) float64 {
+	if a == b {
+		return 0
+	}
+	t.mu.Lock()
+	d, ok := t.dist[a]
+	t.mu.Unlock()
+	if !ok {
+		d = t.dijkstra(a)
+		t.mu.Lock()
+		t.dist[a] = d
+		t.mu.Unlock()
+	}
+	return float64(d[b])
+}
+
+type pqItem struct {
+	router int
+	dist   float32
+}
+
+type pq []pqItem
+
+func (q pq) Len() int           { return len(q) }
+func (q pq) Less(i, j int) bool { return q[i].dist < q[j].dist }
+func (q pq) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x any)        { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() any          { old := *q; n := len(old); it := old[n-1]; *q = old[:n-1]; return it }
+
+func (t *Topology) dijkstra(src int) []float32 {
+	const inf = float32(1e30)
+	d := make([]float32, t.numRouters)
+	for i := range d {
+		d[i] = inf
+	}
+	d[src] = 0
+	q := pq{{router: src}}
+	for q.Len() > 0 {
+		it := heap.Pop(&q).(pqItem)
+		if it.dist > d[it.router] {
+			continue
+		}
+		for _, e := range t.adj[it.router] {
+			if nd := it.dist + e.w; nd < d[e.to] {
+				d[e.to] = nd
+				heap.Push(&q, pqItem{router: e.to, dist: nd})
+			}
+		}
+	}
+	return d
+}
+
+// BuildHierarchy returns the natural five-level hierarchy induced by the
+// topology (root / transit domain / transit router / stub domain / stub
+// router) along with the leaf domain of every stub router, indexed by
+// position in StubRouters().
+func (t *Topology) BuildHierarchy() (*hierarchy.Tree, []*hierarchy.Domain, error) {
+	tree := hierarchy.NewTree()
+	leaves := make([]*hierarchy.Domain, len(t.stubs))
+	for i, r := range t.stubs {
+		path := fmt.Sprintf("td%d/tr%d/sd%d/sr%d",
+			t.transitDomainOf[r], t.transitOf[r], t.stubDomainOf[r], r)
+		d, err := tree.EnsurePath(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		leaves[i] = d
+	}
+	return tree, leaves, nil
+}
+
+// Hosts places end hosts (DHT nodes) on stub routers, each connected to its
+// stub router by a HostStubMS link.
+type Hosts struct {
+	topo   *Topology
+	stubOf []int // per host: stub router id
+	leaves []*hierarchy.Domain
+	tree   *hierarchy.Tree
+}
+
+// AttachHosts places n hosts on stub routers chosen uniformly at random and
+// returns the host set together with the induced hierarchy assignment.
+func (t *Topology) AttachHosts(rng *rand.Rand, n int) (*Hosts, error) {
+	tree, leaves, err := t.BuildHierarchy()
+	if err != nil {
+		return nil, err
+	}
+	h := &Hosts{
+		topo:   t,
+		stubOf: make([]int, n),
+		leaves: make([]*hierarchy.Domain, n),
+		tree:   tree,
+	}
+	for i := 0; i < n; i++ {
+		j := rng.Intn(len(t.stubs))
+		h.stubOf[i] = t.stubs[j]
+		h.leaves[i] = leaves[j]
+	}
+	return h, nil
+}
+
+// Len returns the number of hosts.
+func (h *Hosts) Len() int { return len(h.stubOf) }
+
+// Tree returns the topology-induced hierarchy.
+func (h *Hosts) Tree() *hierarchy.Tree { return h.tree }
+
+// Leaves returns each host's leaf domain (the stub-router domain), aligned
+// with host indices. Callers must not modify the returned slice.
+func (h *Hosts) Leaves() []*hierarchy.Domain { return h.leaves }
+
+// StubOf returns the stub router a host attaches to.
+func (h *Hosts) StubOf(host int) int { return h.stubOf[host] }
+
+// Latency returns the end-to-end latency between two hosts in milliseconds:
+// the host-stub hop on each side plus the router shortest path. Two hosts on
+// the same stub router are 2*HostStubMS apart; a host reaches itself at
+// cost 0.
+func (h *Hosts) Latency(a, b int) float64 {
+	if a == b {
+		return 0
+	}
+	return 2*h.topo.cfg.HostStubMS + h.topo.Latency(h.stubOf[a], h.stubOf[b])
+}
+
+// PathLatency sums the host-to-host latencies along a sequence of hosts
+// (an overlay routing path).
+func (h *Hosts) PathLatency(path []int) float64 {
+	total := 0.0
+	for i := 0; i+1 < len(path); i++ {
+		total += h.Latency(path[i], path[i+1])
+	}
+	return total
+}
+
+// AvgDirectLatency estimates the mean shortest-path latency between random
+// host pairs, the normalizer for the paper's stretch metric.
+func (h *Hosts) AvgDirectLatency(rng *rand.Rand, samples int) float64 {
+	if samples <= 0 || h.Len() < 2 {
+		return 0
+	}
+	total := 0.0
+	for i := 0; i < samples; i++ {
+		a, b := rng.Intn(h.Len()), rng.Intn(h.Len())
+		for a == b {
+			b = rng.Intn(h.Len())
+		}
+		total += h.Latency(a, b)
+	}
+	return total / float64(samples)
+}

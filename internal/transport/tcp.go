@@ -1,0 +1,245 @@
+package transport
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// maxFrameBytes bounds a single message frame; larger frames indicate a
+// protocol error or abuse.
+const maxFrameBytes = 16 << 20
+
+// defaultDialTimeout bounds connection establishment when the caller's
+// context has no deadline.
+const defaultDialTimeout = 5 * time.Second
+
+// TCP is a Transport over TCP with length-prefixed JSON frames. Outbound
+// connections are pooled and reused; each pooled connection carries one
+// request at a time.
+type TCP struct {
+	listener net.Listener
+	addr     string
+
+	mu      sync.Mutex
+	handler Handler
+	pools   map[string][]*tcpConn
+	closed  bool
+	conns   map[net.Conn]struct{}
+	wg      sync.WaitGroup
+}
+
+var _ Transport = (*TCP)(nil)
+
+type tcpConn struct {
+	c  net.Conn
+	br *bufio.Reader
+}
+
+// ListenTCP starts a TCP transport on the given address ("host:port";
+// ":0" picks a free port).
+func ListenTCP(addr string) (*TCP, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	t := &TCP{
+		listener: l,
+		addr:     l.Addr().String(),
+		pools:    make(map[string][]*tcpConn),
+		conns:    make(map[net.Conn]struct{}),
+	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Addr implements Transport.
+func (t *TCP) Addr() string { return t.addr }
+
+// Serve implements Transport.
+func (t *TCP) Serve(h Handler) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.handler = h
+}
+
+func (t *TCP) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		c, err := t.listener.Accept()
+		if err != nil {
+			return
+		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			_ = c.Close()
+			return
+		}
+		t.conns[c] = struct{}{}
+		t.mu.Unlock()
+		t.wg.Add(1)
+		go t.serveConn(c)
+	}
+}
+
+func (t *TCP) serveConn(c net.Conn) {
+	defer t.wg.Done()
+	defer func() {
+		t.mu.Lock()
+		delete(t.conns, c)
+		t.mu.Unlock()
+		_ = c.Close()
+	}()
+	br := bufio.NewReader(c)
+	for {
+		msg, err := readFrame(br)
+		if err != nil {
+			return
+		}
+		t.mu.Lock()
+		h := t.handler
+		t.mu.Unlock()
+		var resp Message
+		if h == nil {
+			resp = ErrorMessage(ErrNoHandler)
+		} else {
+			r, herr := h(context.Background(), c.RemoteAddr().String(), msg)
+			if herr != nil {
+				resp = ErrorMessage(herr)
+			} else {
+				resp = r
+			}
+		}
+		if err := writeFrame(c, resp); err != nil {
+			return
+		}
+	}
+}
+
+// Call implements Transport.
+func (t *TCP) Call(ctx context.Context, addr string, msg Message) (Message, error) {
+	conn, err := t.getConn(ctx, addr)
+	if err != nil {
+		return Message{}, err
+	}
+	if deadline, ok := ctx.Deadline(); ok {
+		_ = conn.c.SetDeadline(deadline)
+	} else {
+		_ = conn.c.SetDeadline(time.Now().Add(defaultDialTimeout))
+	}
+	if err := writeFrame(conn.c, msg); err != nil {
+		_ = conn.c.Close()
+		return Message{}, fmt.Errorf("%w: write to %s: %v", ErrUnreachable, addr, err)
+	}
+	resp, err := readFrame(conn.br)
+	if err != nil {
+		_ = conn.c.Close()
+		return Message{}, fmt.Errorf("%w: read from %s: %v", ErrUnreachable, addr, err)
+	}
+	_ = conn.c.SetDeadline(time.Time{})
+	t.putConn(addr, conn)
+	return resp, nil
+}
+
+func (t *TCP) getConn(ctx context.Context, addr string) (*tcpConn, error) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil, ErrClosed
+	}
+	pool := t.pools[addr]
+	if len(pool) > 0 {
+		conn := pool[len(pool)-1]
+		t.pools[addr] = pool[:len(pool)-1]
+		t.mu.Unlock()
+		return conn, nil
+	}
+	t.mu.Unlock()
+
+	d := net.Dialer{Timeout: defaultDialTimeout}
+	c, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("%w: dial %s: %v", ErrUnreachable, addr, err)
+	}
+	return &tcpConn{c: c, br: bufio.NewReader(c)}, nil
+}
+
+func (t *TCP) putConn(addr string, conn *tcpConn) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed || len(t.pools[addr]) >= 4 {
+		_ = conn.c.Close()
+		return
+	}
+	t.pools[addr] = append(t.pools[addr], conn)
+}
+
+// Close implements Transport: it stops accepting, closes all connections and
+// waits for in-flight handlers to finish.
+func (t *TCP) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	for _, pool := range t.pools {
+		for _, conn := range pool {
+			_ = conn.c.Close()
+		}
+	}
+	t.pools = make(map[string][]*tcpConn)
+	for c := range t.conns {
+		_ = c.Close()
+	}
+	t.mu.Unlock()
+	err := t.listener.Close()
+	t.wg.Wait()
+	return err
+}
+
+func writeFrame(w io.Writer, msg Message) error {
+	raw, err := json.Marshal(msg)
+	if err != nil {
+		return err
+	}
+	if len(raw) > maxFrameBytes {
+		return errors.New("transport: frame too large")
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(raw)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(raw)
+	return err
+}
+
+func readFrame(r io.Reader) (Message, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Message{}, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrameBytes {
+		return Message{}, errors.New("transport: frame too large")
+	}
+	raw := make([]byte, n)
+	if _, err := io.ReadFull(r, raw); err != nil {
+		return Message{}, err
+	}
+	var msg Message
+	if err := json.Unmarshal(raw, &msg); err != nil {
+		return Message{}, err
+	}
+	return msg, nil
+}

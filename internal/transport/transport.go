@@ -1,0 +1,76 @@
+// Package transport provides the message transport used by live Canon nodes
+// (internal/netnode): a request/response abstraction with two
+// implementations — an in-memory bus for tests and simulations, and a TCP
+// transport with length-prefixed JSON framing and connection reuse for real
+// deployments.
+package transport
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+)
+
+var (
+	// ErrClosed is returned by operations on a closed transport.
+	ErrClosed = errors.New("transport: closed")
+	// ErrUnreachable is returned when the destination cannot be contacted.
+	ErrUnreachable = errors.New("transport: unreachable")
+	// ErrNoHandler is returned when a message arrives before Serve.
+	ErrNoHandler = errors.New("transport: no handler registered")
+)
+
+// Message is the request/response envelope. Type selects the handler logic;
+// Payload carries a JSON-encoded body.
+type Message struct {
+	Type    string          `json:"type"`
+	Payload json.RawMessage `json:"payload,omitempty"`
+	// Error carries an application-level error string in responses.
+	Error string `json:"error,omitempty"`
+}
+
+// NewMessage marshals body into a Message of the given type.
+func NewMessage(msgType string, body any) (Message, error) {
+	if body == nil {
+		return Message{Type: msgType}, nil
+	}
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return Message{}, fmt.Errorf("transport: marshal %s: %w", msgType, err)
+	}
+	return Message{Type: msgType, Payload: raw}, nil
+}
+
+// Decode unmarshals the message payload into out.
+func (m Message) Decode(out any) error {
+	if m.Error != "" {
+		return fmt.Errorf("transport: remote error: %s", m.Error)
+	}
+	if len(m.Payload) == 0 {
+		return nil
+	}
+	return json.Unmarshal(m.Payload, out)
+}
+
+// ErrorMessage builds an error response.
+func ErrorMessage(err error) Message {
+	return Message{Type: "error", Error: err.Error()}
+}
+
+// Handler processes one request and produces a response.
+type Handler func(ctx context.Context, from string, msg Message) (Message, error)
+
+// Transport sends requests to remote endpoints and serves incoming ones.
+// Implementations are safe for concurrent use.
+type Transport interface {
+	// Addr returns the endpoint's address as other endpoints dial it.
+	Addr() string
+	// Call sends msg to addr and waits for the response.
+	Call(ctx context.Context, addr string, msg Message) (Message, error)
+	// Serve registers the handler for incoming requests. It must be called
+	// exactly once, before the first incoming message is expected.
+	Serve(h Handler)
+	// Close releases resources; pending calls fail with ErrClosed.
+	Close() error
+}

@@ -1,0 +1,247 @@
+package transport
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// maxDatagramBytes bounds a UDP message; larger payloads belong on TCP.
+const maxDatagramBytes = 60000
+
+// udpRetryInterval is how long a call waits before resending its request.
+const udpRetryInterval = 250 * time.Millisecond
+
+// udpDefaultTimeout bounds a call when the context has no deadline.
+const udpDefaultTimeout = 3 * time.Second
+
+// udpReplayCacheSize bounds the served-request cache that absorbs retries.
+const udpReplayCacheSize = 1024
+
+// UDP is a Transport over UDP datagrams, the low-overhead option the paper
+// suggests for LAN-level messaging (Section 3.5). Requests carry an ID and
+// are retried until the response datagram arrives or the deadline passes; a
+// bounded replay cache makes retried requests idempotent on the receiver.
+type UDP struct {
+	conn *net.UDPConn
+	addr string
+
+	mu       sync.Mutex
+	handler  Handler
+	pending  map[uint64]chan Message
+	replay   map[replayKey]Message
+	replayQ  []replayKey
+	inflight map[replayKey]bool
+	closed   bool
+
+	nextID atomic.Uint64
+	wg     sync.WaitGroup
+}
+
+type replayKey struct {
+	from string
+	id   uint64
+}
+
+var _ Transport = (*UDP)(nil)
+
+// udpEnvelope frames one datagram.
+type udpEnvelope struct {
+	ID   uint64  `json:"id"`
+	Resp bool    `json:"resp,omitempty"`
+	Msg  Message `json:"msg"`
+}
+
+// ListenUDP starts a UDP transport on the given address (":0" picks a port).
+func ListenUDP(addr string) (*UDP, error) {
+	laddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: resolve %s: %w", addr, err)
+	}
+	conn, err := net.ListenUDP("udp", laddr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen udp %s: %w", addr, err)
+	}
+	t := &UDP{
+		conn:     conn,
+		addr:     conn.LocalAddr().String(),
+		pending:  make(map[uint64]chan Message),
+		replay:   make(map[replayKey]Message),
+		inflight: make(map[replayKey]bool),
+	}
+	t.wg.Add(1)
+	go t.readLoop()
+	return t, nil
+}
+
+// Addr implements Transport.
+func (t *UDP) Addr() string { return t.addr }
+
+// Serve implements Transport.
+func (t *UDP) Serve(h Handler) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.handler = h
+}
+
+func (t *UDP) readLoop() {
+	defer t.wg.Done()
+	buf := make([]byte, maxDatagramBytes+1)
+	for {
+		n, from, err := t.conn.ReadFromUDP(buf)
+		if err != nil {
+			return // closed
+		}
+		var env udpEnvelope
+		if err := json.Unmarshal(buf[:n], &env); err != nil {
+			continue // malformed datagram: drop
+		}
+		if env.Resp {
+			t.mu.Lock()
+			ch := t.pending[env.ID]
+			t.mu.Unlock()
+			if ch != nil {
+				select {
+				case ch <- env.Msg:
+				default:
+				}
+			}
+			continue
+		}
+		t.wg.Add(1)
+		go t.serveRequest(env, from)
+	}
+}
+
+func (t *UDP) serveRequest(env udpEnvelope, from *net.UDPAddr) {
+	defer t.wg.Done()
+	key := replayKey{from: from.String(), id: env.ID}
+	t.mu.Lock()
+	if cached, ok := t.replay[key]; ok {
+		t.mu.Unlock()
+		t.send(udpEnvelope{ID: env.ID, Resp: true, Msg: cached}, from)
+		return
+	}
+	if t.inflight[key] {
+		// A retry of a request still being handled: drop it; the client
+		// keeps retrying and the original handler's response will answer.
+		t.mu.Unlock()
+		return
+	}
+	t.inflight[key] = true
+	h := t.handler
+	t.mu.Unlock()
+
+	var resp Message
+	if h == nil {
+		resp = ErrorMessage(ErrNoHandler)
+	} else {
+		r, err := h(context.Background(), from.String(), env.Msg)
+		if err != nil {
+			resp = ErrorMessage(err)
+		} else {
+			resp = r
+		}
+	}
+	t.mu.Lock()
+	delete(t.inflight, key)
+	if len(t.replayQ) >= udpReplayCacheSize {
+		oldest := t.replayQ[0]
+		t.replayQ = t.replayQ[1:]
+		delete(t.replay, oldest)
+	}
+	t.replay[key] = resp
+	t.replayQ = append(t.replayQ, key)
+	t.mu.Unlock()
+	t.send(udpEnvelope{ID: env.ID, Resp: true, Msg: resp}, from)
+}
+
+func (t *UDP) send(env udpEnvelope, to *net.UDPAddr) {
+	raw, err := json.Marshal(env)
+	if err != nil || len(raw) > maxDatagramBytes {
+		return
+	}
+	_, _ = t.conn.WriteToUDP(raw, to)
+}
+
+// Call implements Transport: the request datagram is resent every retry
+// interval until a response arrives or the deadline passes.
+func (t *UDP) Call(ctx context.Context, addr string, msg Message) (Message, error) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return Message{}, ErrClosed
+	}
+	t.mu.Unlock()
+
+	raddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return Message{}, fmt.Errorf("%w: resolve %s: %v", ErrUnreachable, addr, err)
+	}
+	id := t.nextID.Add(1)
+	raw, err := json.Marshal(udpEnvelope{ID: id, Msg: msg})
+	if err != nil {
+		return Message{}, err
+	}
+	if len(raw) > maxDatagramBytes {
+		return Message{}, errors.New("transport: message exceeds datagram size")
+	}
+	ch := make(chan Message, 1)
+	t.mu.Lock()
+	t.pending[id] = ch
+	t.mu.Unlock()
+	defer func() {
+		t.mu.Lock()
+		delete(t.pending, id)
+		t.mu.Unlock()
+	}()
+
+	deadline := time.Now().Add(udpDefaultTimeout)
+	if d, ok := ctx.Deadline(); ok {
+		deadline = d
+	}
+	for {
+		if _, err := t.conn.WriteToUDP(raw, raddr); err != nil {
+			return Message{}, fmt.Errorf("%w: send to %s: %v", ErrUnreachable, addr, err)
+		}
+		wait := udpRetryInterval
+		if remaining := time.Until(deadline); remaining < wait {
+			wait = remaining
+		}
+		if wait <= 0 {
+			return Message{}, fmt.Errorf("%w: %s did not respond", ErrUnreachable, addr)
+		}
+		timer := time.NewTimer(wait)
+		select {
+		case resp := <-ch:
+			timer.Stop()
+			return resp, nil
+		case <-ctx.Done():
+			timer.Stop()
+			return Message{}, ctx.Err()
+		case <-timer.C:
+			if time.Now().After(deadline) {
+				return Message{}, fmt.Errorf("%w: %s did not respond", ErrUnreachable, addr)
+			}
+		}
+	}
+}
+
+// Close implements Transport.
+func (t *UDP) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	t.mu.Unlock()
+	err := t.conn.Close()
+	t.wg.Wait()
+	return err
+}

@@ -1,0 +1,198 @@
+package transport_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/canon-dht/canon/internal/transport"
+)
+
+func TestUDPRoundTrip(t *testing.T) {
+	srv, err := transport.ListenUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	srv.Serve(echoHandler)
+
+	cli, err := transport.ListenUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	for i := 0; i < 10; i++ {
+		msg, _ := transport.NewMessage("echo", echoBody{Text: fmt.Sprintf("u%d", i)})
+		resp, err := cli.Call(context.Background(), srv.Addr(), msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out echoBody
+		if err := resp.Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		if want := fmt.Sprintf("echo:u%d", i); out.Text != want {
+			t.Errorf("got %q, want %q", out.Text, want)
+		}
+	}
+}
+
+func TestUDPConcurrent(t *testing.T) {
+	srv, err := transport.ListenUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	srv.Serve(echoHandler)
+
+	cli, err := transport.ListenUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			msg, _ := transport.NewMessage("echo", echoBody{Text: fmt.Sprintf("c%d", i)})
+			resp, err := cli.Call(context.Background(), srv.Addr(), msg)
+			if err != nil {
+				errs <- err
+				return
+			}
+			var out echoBody
+			if err := resp.Decode(&out); err != nil {
+				errs <- err
+				return
+			}
+			if out.Text != fmt.Sprintf("echo:c%d", i) {
+				errs <- fmt.Errorf("mismatch %q", out.Text)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestUDPRetryIdempotent: a handler that counts invocations must run once
+// per request ID even when the client retries (replay cache).
+func TestUDPRetryIdempotent(t *testing.T) {
+	srv, err := transport.ListenUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	var invocations atomic.Int64
+	var delayed atomic.Bool
+	srv.Serve(func(_ context.Context, _ string, msg transport.Message) (transport.Message, error) {
+		invocations.Add(1)
+		// Delay the first response past one retry interval so the client
+		// resends; the resend must hit the replay cache, not the handler.
+		if !delayed.Swap(true) {
+			time.Sleep(400 * time.Millisecond)
+		}
+		return msg, nil
+	})
+
+	cli, err := transport.ListenUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	msg, _ := transport.NewMessage("once", echoBody{Text: "x"})
+	if _, err := cli.Call(ctx, srv.Addr(), msg); err != nil {
+		t.Fatal(err)
+	}
+	// Let any straggler retry arrive.
+	time.Sleep(100 * time.Millisecond)
+	if n := invocations.Load(); n != 1 {
+		t.Errorf("handler ran %d times, want 1", n)
+	}
+}
+
+func TestUDPUnreachable(t *testing.T) {
+	cli, err := transport.ListenUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 400*time.Millisecond)
+	defer cancel()
+	_, err = cli.Call(ctx, "127.0.0.1:9", transport.Message{Type: "x"})
+	if err == nil {
+		t.Fatal("expected error for silent destination")
+	}
+	if !errors.Is(err, transport.ErrUnreachable) && !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestUDPOversizeMessage(t *testing.T) {
+	cli, err := transport.ListenUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	big := make([]byte, 70000)
+	msg, _ := transport.NewMessage("big", echoBody{Text: string(big)})
+	if _, err := cli.Call(context.Background(), "127.0.0.1:1", msg); err == nil {
+		t.Error("oversize message should error")
+	}
+}
+
+func TestUDPClose(t *testing.T) {
+	tr, err := transport.ListenUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Errorf("second close: %v", err)
+	}
+	if _, err := tr.Call(context.Background(), "127.0.0.1:1", transport.Message{}); !errors.Is(err, transport.ErrClosed) {
+		t.Errorf("call after close: %v", err)
+	}
+}
+
+// TestLiveNodesOverUDP: the full node protocol runs over UDP.
+func TestUDPWithEcho(t *testing.T) {
+	// Covered further by netnode tests over UDP; here verify handler errors
+	// surface through Decode.
+	srv, err := transport.ListenUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	srv.Serve(func(context.Context, string, transport.Message) (transport.Message, error) {
+		return transport.Message{}, errors.New("kaboom")
+	})
+	cli, err := transport.ListenUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	resp, err := cli.Call(context.Background(), srv.Addr(), transport.Message{Type: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out struct{}
+	if derr := resp.Decode(&out); derr == nil {
+		t.Error("handler error should surface through Decode")
+	}
+}

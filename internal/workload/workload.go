@@ -1,0 +1,155 @@
+// Package workload generates the synthetic workloads the paper's
+// storage/caching arguments assume: keys with Zipf popularity, query
+// streams with locality of access (clients in the same domain ask for the
+// same content), and churn traces (join/leave sequences with configurable
+// mix). Experiments and examples draw from here so workload assumptions are
+// explicit and reusable.
+package workload
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+
+	"github.com/canon-dht/canon/internal/hierarchy"
+	"github.com/canon-dht/canon/internal/id"
+)
+
+// ZipfKeys draws from a fixed catalogue of keys with Zipf(s) popularity:
+// the k-th most popular key is requested proportionally to 1/k^s.
+type ZipfKeys struct {
+	keys []id.ID
+	cdf  []float64
+}
+
+// NewZipfKeys builds a catalogue of n keys in the given space with exponent
+// s (s=0 gives uniform popularity). The catalogue order is the popularity
+// order.
+func NewZipfKeys(rng *rand.Rand, space id.Space, n int, s float64) (*ZipfKeys, error) {
+	if n <= 0 {
+		return nil, errors.New("workload: need at least one key")
+	}
+	keys, err := space.UniqueRandom(rng, n)
+	if err != nil {
+		return nil, err
+	}
+	cdf := make([]float64, n)
+	total := 0.0
+	for k := 1; k <= n; k++ {
+		total += 1 / math.Pow(float64(k), s)
+		cdf[k-1] = total
+	}
+	for i := range cdf {
+		cdf[i] /= total
+	}
+	return &ZipfKeys{keys: keys, cdf: cdf}, nil
+}
+
+// Len returns the catalogue size.
+func (z *ZipfKeys) Len() int { return len(z.keys) }
+
+// Key returns the k-th most popular key (0-indexed).
+func (z *ZipfKeys) Key(k int) id.ID { return z.keys[k] }
+
+// Draw samples a key according to the popularity distribution.
+func (z *ZipfKeys) Draw(rng *rand.Rand) id.ID {
+	u := rng.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return z.keys[lo]
+}
+
+// LocalQueries generates query origins restricted to one domain of a
+// network, modeling the locality of access the paper's caching exploits.
+type LocalQueries struct {
+	members []int
+	keys    *ZipfKeys
+}
+
+// NewLocalQueries builds a query source over the given member nodes and key
+// catalogue.
+func NewLocalQueries(members []int, keys *ZipfKeys) (*LocalQueries, error) {
+	if len(members) == 0 {
+		return nil, errors.New("workload: no members")
+	}
+	if keys == nil {
+		return nil, errors.New("workload: nil key catalogue")
+	}
+	out := make([]int, len(members))
+	copy(out, members)
+	return &LocalQueries{members: out, keys: keys}, nil
+}
+
+// Next draws one (origin, key) query.
+func (l *LocalQueries) Next(rng *rand.Rand) (origin int, key id.ID) {
+	return l.members[rng.Intn(len(l.members))], l.keys.Draw(rng)
+}
+
+// ChurnOp is one membership event in a churn trace.
+type ChurnOp struct {
+	// Join reports whether the event is a join (false = leave).
+	Join bool
+	// ID is the identifier joining or leaving.
+	ID id.ID
+	// Leaf is the joiner's leaf domain (nil on leaves).
+	Leaf *hierarchy.Domain
+}
+
+// ChurnTrace generates a reproducible sequence of joins and leaves over a
+// hierarchy: joins pick uniform random identifiers and leaves, leaves remove
+// a uniformly random current member.
+type ChurnTrace struct {
+	space   id.Space
+	leaves  []*hierarchy.Domain
+	joinP   float64
+	members []id.ID
+	present map[id.ID]struct{}
+}
+
+// NewChurnTrace returns a generator that emits joins with probability joinP
+// (and leaves otherwise, when members exist) over the given leaf domains.
+func NewChurnTrace(space id.Space, leaves []*hierarchy.Domain, joinP float64) (*ChurnTrace, error) {
+	if len(leaves) == 0 {
+		return nil, errors.New("workload: no leaf domains")
+	}
+	if joinP <= 0 || joinP > 1 {
+		return nil, errors.New("workload: joinP must be in (0, 1]")
+	}
+	return &ChurnTrace{
+		space:   space,
+		leaves:  leaves,
+		joinP:   joinP,
+		present: make(map[id.ID]struct{}),
+	}, nil
+}
+
+// Len returns the current membership size implied by the trace so far.
+func (c *ChurnTrace) Len() int { return len(c.members) }
+
+// Next emits the next membership event.
+func (c *ChurnTrace) Next(rng *rand.Rand) ChurnOp {
+	if len(c.members) == 0 || rng.Float64() < c.joinP {
+		for {
+			v := c.space.Random(rng)
+			if _, dup := c.present[v]; dup {
+				continue
+			}
+			c.present[v] = struct{}{}
+			c.members = append(c.members, v)
+			return ChurnOp{Join: true, ID: v, Leaf: c.leaves[rng.Intn(len(c.leaves))]}
+		}
+	}
+	i := rng.Intn(len(c.members))
+	v := c.members[i]
+	c.members[i] = c.members[len(c.members)-1]
+	c.members = c.members[:len(c.members)-1]
+	delete(c.present, v)
+	return ChurnOp{Join: false, ID: v}
+}

@@ -1,0 +1,166 @@
+package workload_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/canon-dht/canon/internal/hierarchy"
+	"github.com/canon-dht/canon/internal/id"
+	"github.com/canon-dht/canon/internal/workload"
+)
+
+func TestZipfKeysDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	space := id.DefaultSpace()
+	z, err := workload.NewZipfKeys(rng, space, 100, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z.Len() != 100 {
+		t.Fatalf("Len = %d", z.Len())
+	}
+	counts := make(map[id.ID]int)
+	const draws = 50000
+	for i := 0; i < draws; i++ {
+		counts[z.Draw(rng)]++
+	}
+	// The most popular key should be drawn far more often than the median.
+	top := counts[z.Key(0)]
+	mid := counts[z.Key(49)]
+	if top < 5*mid {
+		t.Errorf("zipf skew missing: top=%d mid=%d", top, mid)
+	}
+	// Every draw must come from the catalogue.
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != draws {
+		t.Errorf("draws outside catalogue: %d != %d", total, draws)
+	}
+}
+
+func TestZipfUniformWhenS0(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	z, err := workload.NewZipfKeys(rng, id.DefaultSpace(), 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[id.ID]int)
+	for i := 0; i < 20000; i++ {
+		counts[z.Draw(rng)]++
+	}
+	for k := 0; k < 10; k++ {
+		c := counts[z.Key(k)]
+		if c < 1500 || c > 2500 {
+			t.Errorf("key %d drawn %d times, want ~2000", k, c)
+		}
+	}
+}
+
+func TestZipfValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	if _, err := workload.NewZipfKeys(rng, id.DefaultSpace(), 0, 1); err == nil {
+		t.Error("zero keys should error")
+	}
+}
+
+func TestLocalQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	z, err := workload.NewZipfKeys(rng, id.DefaultSpace(), 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	members := []int{10, 20, 30}
+	lq, err := workload.NewLocalQueries(members, z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int]bool)
+	for i := 0; i < 200; i++ {
+		origin, key := lq.Next(rng)
+		if origin != 10 && origin != 20 && origin != 30 {
+			t.Fatalf("origin %d outside member set", origin)
+		}
+		seen[origin] = true
+		found := false
+		for k := 0; k < z.Len(); k++ {
+			if z.Key(k) == key {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("key %d outside catalogue", key)
+		}
+	}
+	if len(seen) != 3 {
+		t.Errorf("only %d origins used", len(seen))
+	}
+	// Mutating the input slice must not affect the generator.
+	members[0] = 999
+	for i := 0; i < 50; i++ {
+		if origin, _ := lq.Next(rng); origin == 999 {
+			t.Fatal("generator aliases caller slice")
+		}
+	}
+	if _, err := workload.NewLocalQueries(nil, z); err == nil {
+		t.Error("empty members should error")
+	}
+	if _, err := workload.NewLocalQueries(members, nil); err == nil {
+		t.Error("nil keys should error")
+	}
+}
+
+func TestChurnTraceConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tree, err := hierarchy.Balanced(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace, err := workload.NewChurnTrace(id.DefaultSpace(), tree.Leaves(), 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	present := make(map[id.ID]bool)
+	joins, leaves := 0, 0
+	for i := 0; i < 5000; i++ {
+		op := trace.Next(rng)
+		if op.Join {
+			joins++
+			if present[op.ID] {
+				t.Fatalf("duplicate join of %d", op.ID)
+			}
+			if op.Leaf == nil || !op.Leaf.IsLeaf() {
+				t.Fatal("join without a leaf domain")
+			}
+			present[op.ID] = true
+		} else {
+			leaves++
+			if !present[op.ID] {
+				t.Fatalf("leave of absent %d", op.ID)
+			}
+			delete(present, op.ID)
+		}
+		if trace.Len() != len(present) {
+			t.Fatalf("trace Len %d != tracked %d", trace.Len(), len(present))
+		}
+	}
+	// Join fraction near 0.6.
+	frac := float64(joins) / float64(joins+leaves)
+	if frac < 0.55 || frac > 0.68 {
+		t.Errorf("join fraction %.3f, want ~0.6", frac)
+	}
+}
+
+func TestChurnTraceValidation(t *testing.T) {
+	tree, _ := hierarchy.Balanced(2, 2)
+	if _, err := workload.NewChurnTrace(id.DefaultSpace(), nil, 0.5); err == nil {
+		t.Error("no leaves should error")
+	}
+	if _, err := workload.NewChurnTrace(id.DefaultSpace(), tree.Leaves(), 0); err == nil {
+		t.Error("joinP=0 should error")
+	}
+	if _, err := workload.NewChurnTrace(id.DefaultSpace(), tree.Leaves(), 1.5); err == nil {
+		t.Error("joinP>1 should error")
+	}
+}

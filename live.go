@@ -1,0 +1,49 @@
+package canon
+
+import (
+	"github.com/canon-dht/canon/internal/netnode"
+	"github.com/canon-dht/canon/internal/transport"
+)
+
+// Live-deployment aliases: a real Crescendo node with joins, per-level
+// successor lists, stabilization and hierarchical put/get (Section 2.3).
+type (
+	// LiveNode is a networked Crescendo participant.
+	LiveNode = netnode.Node
+	// LiveConfig configures a LiveNode.
+	LiveConfig = netnode.Config
+	// LiveInfo identifies a live node on the wire.
+	LiveInfo = netnode.Info
+	// LiveClient issues operations against a live network through any
+	// member node.
+	LiveClient = netnode.Client
+	// Transport carries a live node's traffic.
+	Transport = transport.Transport
+	// Bus is an in-memory network for tests and simulations.
+	Bus = transport.Bus
+)
+
+// Live-node errors.
+var (
+	// ErrLiveNotFound is returned by LiveNode.Get for absent keys.
+	ErrLiveNotFound = netnode.ErrNotFound
+	// ErrLiveBadDomain is returned for invalid storage/access domains.
+	ErrLiveBadDomain = netnode.ErrBadDomain
+)
+
+// NewLiveNode creates a live node; call Join to enter a network.
+func NewLiveNode(cfg LiveConfig) (*LiveNode, error) { return netnode.New(cfg) }
+
+// NewLiveClient returns a client sending through the given transport.
+func NewLiveClient(tr Transport) *LiveClient { return netnode.NewClient(tr) }
+
+// NewBus returns an in-memory network for running live nodes in-process.
+func NewBus() *Bus { return transport.NewBus() }
+
+// ListenTCP starts a TCP transport for a live node ("host:port"; ":0" picks
+// a free port).
+func ListenTCP(addr string) (Transport, error) { return transport.ListenTCP(addr) }
+
+// ListenUDP starts a UDP transport for a live node — the low-overhead
+// LAN-level option of Section 3.5 ("host:port"; ":0" picks a free port).
+func ListenUDP(addr string) (Transport, error) { return transport.ListenUDP(addr) }
