@@ -16,11 +16,13 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
 	"os"
+	"sort"
 	"strconv"
 	"time"
 
@@ -39,6 +41,7 @@ func run(args []string) error {
 	var (
 		node    = fs.String("node", "127.0.0.1:7001", "address of a live node")
 		timeout = fs.Duration("timeout", 10*time.Second, "operation timeout")
+		raw     = fs.Bool("raw", false, "status: dump the raw JSON instead of a summary")
 	)
 	fs.Usage = func() {
 		fmt.Fprintln(fs.Output(), "usage: canonctl [flags] ping|lookup|put|get|neighbors|status ...")
@@ -130,7 +133,7 @@ func run(args []string) error {
 		if len(rest) < 1 {
 			return fmt.Errorf("status needs the node's HTTP status URL")
 		}
-		return fetchStatus(ctx, rest[0])
+		return fetchStatus(ctx, rest[0], *raw)
 
 	case "neighbors":
 		level := 0
@@ -157,8 +160,9 @@ func run(args []string) error {
 	}
 }
 
-// fetchStatus GETs a canond status endpoint and prints the JSON.
-func fetchStatus(ctx context.Context, url string) error {
+// fetchStatus GETs a canond status endpoint and prints either the raw JSON
+// or a human-readable summary including the node's resilience counters.
+func fetchStatus(ctx context.Context, url string, raw bool) error {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
 		return err
@@ -171,8 +175,46 @@ func fetchStatus(ctx context.Context, url string) error {
 	if resp.StatusCode != http.StatusOK {
 		return fmt.Errorf("status endpoint returned %s", resp.Status)
 	}
-	_, err = io.Copy(os.Stdout, resp.Body)
-	return err
+	if raw {
+		_, err = io.Copy(os.Stdout, resp.Body)
+		return err
+	}
+	var st canon.LiveStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return fmt.Errorf("decode status: %w", err)
+	}
+	printStatus(os.Stdout, st)
+	return nil
+}
+
+// printStatus renders a status snapshot for operators.
+func printStatus(w io.Writer, st canon.LiveStatus) {
+	fmt.Fprintf(w, "node %d domain=%q addr=%s\n", st.Info.ID, st.Info.Name, st.Info.Addr)
+	for _, lv := range st.Levels {
+		fmt.Fprintf(w, "level %d %-20q pred=%d succs=%d\n",
+			lv.Level, lv.Prefix, lv.Predecessor.ID, len(lv.Successors))
+	}
+	fmt.Fprintf(w, "fingers: %d   stored keys: %d\n", len(st.Fingers), st.StoredKeys)
+	var sent, recv int64
+	for _, v := range st.Traffic.Sent {
+		sent += v
+	}
+	for _, v := range st.Traffic.Received {
+		recv += v
+	}
+	fmt.Fprintf(w, "traffic: sent=%d received=%d\n", sent, recv)
+	fmt.Fprintf(w, "resilience: retries=%d failed-calls=%d routed-around=%d\n",
+		st.Traffic.Retries, st.Traffic.FailedCalls, st.Traffic.RoutedAround)
+	if len(st.Traffic.SuspectPeers) > 0 {
+		addrs := make([]string, 0, len(st.Traffic.SuspectPeers))
+		for a := range st.Traffic.SuspectPeers {
+			addrs = append(addrs, a)
+		}
+		sort.Strings(addrs)
+		for _, a := range addrs {
+			fmt.Fprintf(w, "peer %s: %s\n", a, st.Traffic.SuspectPeers[a])
+		}
+	}
 }
 
 func parseKey(s string) (uint64, error) {

@@ -41,6 +41,10 @@ func run(args []string) (err error) {
 		replicas  = fs.Int("replicas", 1, "copies of each stored item (1 = no replication)")
 		status    = fs.String("status", "", "HTTP address serving node status as JSON (empty = off)")
 		proto     = fs.String("transport", "tcp", "wire transport: tcp or udp")
+		retries   = fs.Int("retries", 0, "RPC attempts per call (0 = default of 3, 1 = no retries)")
+		backoff   = fs.Duration("retry-backoff", 0, "base retry backoff (0 = default 5ms; doubles per retry)")
+		loss      = fs.Float64("inject-loss", 0, "drop this fraction of outgoing RPCs (soak testing; 0 = off)")
+		faultSeed = fs.Int64("fault-seed", 1, "seed for the injected fault schedule")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -58,11 +62,23 @@ func run(args []string) (err error) {
 	if err != nil {
 		return err
 	}
+	if *loss < 0 || *loss >= 1 {
+		_ = tr.Close()
+		return fmt.Errorf("-inject-loss must be in [0,1), got %g", *loss)
+	}
+	if *loss > 0 {
+		fmt.Fprintf(os.Stderr, "canond: WARNING: injecting %.0f%% message loss (seed %d)\n", *loss*100, *faultSeed)
+		tr = canon.NewFaultyTransport(tr, *faultSeed, canon.TransportFaults{Drop: *loss})
+	}
 	cfg := canon.LiveConfig{
 		Name:              *domain,
 		Transport:         tr,
 		SuccessorListLen:  *succlist,
 		ReplicationFactor: *replicas,
+		Retry: canon.LiveRetryPolicy{
+			MaxAttempts: *retries,
+			BaseBackoff: *backoff,
+		},
 	}
 	if *nodeID != 0 {
 		cfg.ID = *nodeID

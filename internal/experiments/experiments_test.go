@@ -450,3 +450,35 @@ func TestGroupSizesTable(t *testing.T) {
 		t.Errorf("bisection leaves %.3f of groups empty", empty[1])
 	}
 }
+
+func TestLiveResilienceTable(t *testing.T) {
+	cfg := smallCfg() // 200 lookups per rate keeps this fast
+	tbl, err := LiveResilience(cfg, 24, []float64{0.1, 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var success, retries []float64
+	for _, s := range tbl.Series {
+		switch s.Name {
+		case "lookup success":
+			success = s.Y
+		case "retries per lookup":
+			retries = s.Y
+		}
+	}
+	if success == nil || retries == nil {
+		t.Fatal("missing series")
+	}
+	for i, v := range success {
+		if v < 0.95 {
+			t.Errorf("success[%d] = %v under loss, want >= 0.95 with retries", i, v)
+		}
+	}
+	// Retry traffic must grow with the loss rate and be nonzero under loss.
+	if retries[0] <= 0 {
+		t.Errorf("no retries recorded at 10%% loss: %v", retries)
+	}
+	if retries[1] < retries[0] {
+		t.Errorf("retries per lookup should rise with loss: %v", retries)
+	}
+}

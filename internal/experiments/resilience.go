@@ -1,11 +1,15 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"time"
 
 	canon "github.com/canon-dht/canon"
 	"github.com/canon-dht/canon/internal/metrics"
+	"github.com/canon-dht/canon/internal/netnode"
+	"github.com/canon-dht/canon/internal/transport"
 )
 
 // Resilience measures static resilience — the fraction of routes that still
@@ -76,4 +80,180 @@ func resilienceAt(cfg Config, nw *canon.Network, frac float64) (successRate, avg
 		return 0, 0
 	}
 	return ok / total, hops.Mean()
+}
+
+// LiveResilience measures the wire protocol's end-to-end robustness: a live
+// in-process cluster is built over the in-memory bus with every endpoint
+// wrapped in a seeded FaultyTransport, then message loss is swept across
+// lossRates and the same lookup workload is replayed at each rate. A lookup
+// succeeds when it returns the same owner the loss-free network returns for
+// that key, so retries and route-around must actually recover the route, not
+// merely produce an answer. Reported per rate: success fraction, hop stretch
+// versus the loss-free baseline, and retries per lookup.
+func LiveResilience(cfg Config, n int, lossRates []float64) (*metrics.Table, error) {
+	cfg = cfg.withDefaults()
+	lookups := cfg.RoutePairs
+	if lookups > 500 {
+		lookups = 500 // retry sleeps make full 2000-pair sweeps needlessly slow
+	}
+	tbl := &metrics.Table{
+		Title:  fmt.Sprintf("Live resilience under message loss, %d nodes, %d lookups/rate", n, lookups),
+		XLabel: "loss rate",
+	}
+	cl, err := newLossCluster(cfg, n)
+	if err != nil {
+		return nil, err
+	}
+	defer cl.close()
+
+	base := cl.measure(lookups, nil)
+	success := &metrics.Series{Name: "lookup success"}
+	stretch := &metrics.Series{Name: "hop stretch vs loss-free"}
+	retries := &metrics.Series{Name: "retries per lookup"}
+	for _, rate := range lossRates {
+		cl.setLoss(rate)
+		m := cl.measure(lookups, base)
+		cl.setLoss(0)
+		success.Append(rate, m.successRate)
+		if base.meanHops > 0 {
+			stretch.Append(rate, m.meanHops/base.meanHops)
+		}
+		retries.Append(rate, m.retriesPerLookup)
+	}
+	tbl.AddSeries(success)
+	tbl.AddSeries(stretch)
+	tbl.AddSeries(retries)
+	tbl.AddNote("success = same owner as the loss-free network; loss injected by seeded FaultyTransport")
+	return tbl, nil
+}
+
+// lossCluster is a live cluster whose endpoints all sit behind Faulty
+// wrappers, plus the fixed lookup workload replayed at every loss rate.
+type lossCluster struct {
+	nodes    []*netnode.Node
+	faulties []*transport.Faulty
+	origins  []int
+	keys     []uint64
+	owners   []string // loss-free owner per workload entry, filled by measure(nil)
+}
+
+type lossMeasurement struct {
+	successRate      float64
+	meanHops         float64
+	retriesPerLookup float64
+	owners           []string
+}
+
+// newLossCluster builds and settles an n-node two-level cluster with
+// fault-capable transports (initially injecting nothing).
+func newLossCluster(cfg Config, n int) (*lossCluster, error) {
+	bus := transport.NewBus()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ctx := context.Background()
+	cl := &lossCluster{}
+	for i := 0; i < n; i++ {
+		ft := transport.NewFaulty(bus.Endpoint(fmt.Sprintf("loss-%d", i)), cfg.Seed+int64(i), transport.Faults{})
+		node, err := netnode.New(netnode.Config{
+			Name:      "org/dept",
+			RandomID:  true,
+			Rand:      rng,
+			Transport: ft,
+			Retry: netnode.RetryPolicy{
+				MaxAttempts: 3,
+				BaseBackoff: time.Millisecond,
+				MaxBackoff:  4 * time.Millisecond,
+			},
+		})
+		if err != nil {
+			cl.close()
+			return nil, err
+		}
+		contact := ""
+		if i > 0 {
+			contact = cl.nodes[0].Info().Addr
+		}
+		if err := node.Join(ctx, contact); err != nil {
+			_ = node.Close()
+			cl.close()
+			return nil, fmt.Errorf("join node %d: %w", i, err)
+		}
+		cl.nodes = append(cl.nodes, node)
+		cl.faulties = append(cl.faulties, ft)
+		if i%8 == 7 {
+			for _, nd := range cl.nodes {
+				nd.StabilizeOnce(ctx)
+			}
+		}
+	}
+	for r := 0; r < 6; r++ {
+		for _, nd := range cl.nodes {
+			nd.StabilizeOnce(ctx)
+		}
+		for _, nd := range cl.nodes {
+			nd.FixFingers(ctx)
+		}
+	}
+	// Fix the workload once so every loss rate resolves identical queries.
+	wrng := rand.New(rand.NewSource(cfg.Seed + 1))
+	for i := 0; i < 2000; i++ {
+		cl.origins = append(cl.origins, wrng.Intn(n))
+		cl.keys = append(cl.keys, uint64(wrng.Uint32()))
+	}
+	return cl, nil
+}
+
+// setLoss applies a uniform drop rate to every endpoint (0 heals the net).
+func (cl *lossCluster) setLoss(rate float64) {
+	for _, ft := range cl.faulties {
+		ft.SetFaults(transport.Faults{Drop: rate})
+	}
+}
+
+// measure replays the first `lookups` workload entries. With a nil baseline
+// it records the owners it sees as ground truth; against a baseline it
+// scores each lookup by owner equality.
+func (cl *lossCluster) measure(lookups int, base *lossMeasurement) *lossMeasurement {
+	ctx := context.Background()
+	m := &lossMeasurement{}
+	var hops metrics.Stream
+	before := cl.totalRetries()
+	ok, total := 0, 0
+	for i := 0; i < lookups && i < len(cl.keys); i++ {
+		from := cl.nodes[cl.origins[i]]
+		owner, h, err := from.LookupHops(ctx, cl.keys[i], "")
+		total++
+		addr := ""
+		if err == nil {
+			addr = owner.Addr
+			hops.Add(float64(h))
+		}
+		m.owners = append(m.owners, addr)
+		if base == nil {
+			if err == nil {
+				ok++
+			}
+		} else if addr != "" && addr == base.owners[i] {
+			ok++
+		}
+	}
+	if total > 0 {
+		m.successRate = float64(ok) / float64(total)
+		m.retriesPerLookup = float64(cl.totalRetries()-before) / float64(total)
+	}
+	m.meanHops = hops.Mean()
+	return m
+}
+
+func (cl *lossCluster) totalRetries() int64 {
+	var sum int64
+	for _, nd := range cl.nodes {
+		sum += nd.Stats().Retries
+	}
+	return sum
+}
+
+func (cl *lossCluster) close() {
+	for _, nd := range cl.nodes {
+		_ = nd.Close()
+	}
 }

@@ -1,0 +1,153 @@
+package netnode
+
+import (
+	"sync"
+	"time"
+)
+
+// PeerState classifies a peer's observed liveness.
+type PeerState int
+
+const (
+	// PeerAlive means the peer's last call succeeded (or it was never tried).
+	PeerAlive PeerState = iota
+	// PeerSuspect means the peer has failed a few consecutive calls; routing
+	// deprioritizes it but still uses it as a last resort.
+	PeerSuspect
+	// PeerDead means the peer kept failing past the suspect threshold; it is
+	// routed around until a probation probe succeeds.
+	PeerDead
+)
+
+// String returns the state's lowercase name.
+func (s PeerState) String() string {
+	switch s {
+	case PeerSuspect:
+		return "suspect"
+	case PeerDead:
+		return "dead"
+	default:
+		return "alive"
+	}
+}
+
+// Thresholds and probation windows of the failure detector. Consecutive
+// failures promote alive → suspect → dead; a success resets to alive. Suspect
+// and dead peers re-enter service through probation: after the window passes,
+// one call is allowed through as a probe, and its outcome decides the state.
+const (
+	suspectThreshold = 2
+	deadThreshold    = 5
+	suspectProbation = 500 * time.Millisecond
+	deadProbation    = 2 * time.Second
+)
+
+// peerHealth is one peer's failure-detector state.
+type peerHealth struct {
+	state      PeerState
+	fails      int       // consecutive failures
+	probeAfter time.Time // when a suspect/dead peer may be probed again
+}
+
+// healthTracker is a per-node failure detector fed by every RPC outcome.
+// It is its own lock domain, deliberately separate from Node.mu: call paths
+// record outcomes while routing holds no lock.
+type healthTracker struct {
+	mu    sync.Mutex
+	now   func() time.Time
+	peers map[string]*peerHealth
+}
+
+func newHealthTracker() *healthTracker {
+	return &healthTracker{now: time.Now, peers: make(map[string]*peerHealth)}
+}
+
+func (h *healthTracker) peer(addr string) *peerHealth {
+	p, ok := h.peers[addr]
+	if !ok {
+		p = &peerHealth{}
+		h.peers[addr] = p
+	}
+	return p
+}
+
+// recordSuccess marks the peer alive.
+func (h *healthTracker) recordSuccess(addr string) {
+	if addr == "" {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	p := h.peer(addr)
+	p.state = PeerAlive
+	p.fails = 0
+}
+
+// recordFailure counts a consecutive failure, promoting the peer to suspect
+// or dead when it crosses the thresholds.
+func (h *healthTracker) recordFailure(addr string) {
+	if addr == "" {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	p := h.peer(addr)
+	p.fails++
+	switch {
+	case p.fails >= deadThreshold:
+		p.state = PeerDead
+		p.probeAfter = h.now().Add(deadProbation)
+	case p.fails >= suspectThreshold:
+		p.state = PeerSuspect
+		p.probeAfter = h.now().Add(suspectProbation)
+	}
+}
+
+// state returns the peer's current classification.
+func (h *healthTracker) state(addr string) PeerState {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	p, ok := h.peers[addr]
+	if !ok {
+		return PeerAlive
+	}
+	return p.state
+}
+
+// preferred reports whether routing should rank the peer normally. Alive
+// peers are preferred; suspect/dead peers are not — except once per probation
+// window, when a single probe is let back through so recovered peers rejoin
+// the routing set.
+func (h *healthTracker) preferred(addr string) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	p, ok := h.peers[addr]
+	if !ok || p.state == PeerAlive {
+		return true
+	}
+	now := h.now()
+	if now.After(p.probeAfter) {
+		// Allow one probe, then push the window out so concurrent lookups
+		// don't all pile onto a possibly-dead peer.
+		if p.state == PeerDead {
+			p.probeAfter = now.Add(deadProbation)
+		} else {
+			p.probeAfter = now.Add(suspectProbation)
+		}
+		return true
+	}
+	return false
+}
+
+// snapshot returns the non-alive peers and their states.
+func (h *healthTracker) snapshot() map[string]string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make(map[string]string)
+	for addr, p := range h.peers {
+		if p.state != PeerAlive {
+			out[addr] = p.state.String()
+		}
+	}
+	return out
+}

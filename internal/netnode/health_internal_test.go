@@ -1,0 +1,98 @@
+package netnode
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock drives the health tracker's probation windows deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestTracker() (*healthTracker, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1_000_000, 0)}
+	h := newHealthTracker()
+	h.now = clk.now
+	return h, clk
+}
+
+func TestHealthThresholds(t *testing.T) {
+	h, _ := newTestTracker()
+	const peer = "p1"
+	if h.state(peer) != PeerAlive {
+		t.Fatal("unknown peer should be alive")
+	}
+	h.recordFailure(peer)
+	if got := h.state(peer); got != PeerAlive {
+		t.Fatalf("after 1 failure: %v, want alive", got)
+	}
+	h.recordFailure(peer)
+	if got := h.state(peer); got != PeerSuspect {
+		t.Fatalf("after %d failures: %v, want suspect", suspectThreshold, got)
+	}
+	for i := 0; i < deadThreshold-suspectThreshold; i++ {
+		h.recordFailure(peer)
+	}
+	if got := h.state(peer); got != PeerDead {
+		t.Fatalf("after %d failures: %v, want dead", deadThreshold, got)
+	}
+	// One success resets everything.
+	h.recordSuccess(peer)
+	if got := h.state(peer); got != PeerAlive {
+		t.Fatalf("after success: %v, want alive", got)
+	}
+	if snap := h.snapshot(); len(snap) != 0 {
+		t.Fatalf("snapshot after recovery: %v, want empty", snap)
+	}
+}
+
+func TestHealthProbation(t *testing.T) {
+	h, clk := newTestTracker()
+	const peer = "p2"
+	for i := 0; i < suspectThreshold; i++ {
+		h.recordFailure(peer)
+	}
+	if h.preferred(peer) {
+		t.Fatal("suspect peer preferred inside its probation window")
+	}
+	clk.advance(suspectProbation + time.Millisecond)
+	if !h.preferred(peer) {
+		t.Fatal("suspect peer not offered a probe after probation")
+	}
+	// The probe consumed the window: no second free pass until it elapses
+	// again or an outcome is recorded.
+	if h.preferred(peer) {
+		t.Fatal("second probe allowed inside the pushed-out window")
+	}
+	// A failed probe keeps (and escalates) distrust…
+	h.recordFailure(peer)
+	if h.preferred(peer) {
+		t.Fatal("peer preferred right after a failed probe")
+	}
+	// …while a successful one restores full preference.
+	clk.advance(deadProbation + time.Millisecond)
+	if !h.preferred(peer) {
+		t.Fatal("no probe offered after the window elapsed again")
+	}
+	h.recordSuccess(peer)
+	if h.state(peer) != PeerAlive || !h.preferred(peer) {
+		t.Fatal("peer not fully restored after successful probe")
+	}
+}
+
+func TestHealthSnapshotOnlyNonAlive(t *testing.T) {
+	h, _ := newTestTracker()
+	h.recordSuccess("ok")
+	for i := 0; i < suspectThreshold; i++ {
+		h.recordFailure("sus")
+	}
+	for i := 0; i < deadThreshold; i++ {
+		h.recordFailure("gone")
+	}
+	snap := h.snapshot()
+	if len(snap) != 2 || snap["sus"] != "suspect" || snap["gone"] != "dead" {
+		t.Fatalf("snapshot = %v, want sus=suspect gone=dead", snap)
+	}
+}

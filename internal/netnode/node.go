@@ -51,6 +51,9 @@ type Config struct {
 	// successors within the item's storage domain on every stabilization
 	// round. Values below 2 disable replication (the default).
 	ReplicationFactor int
+	// Retry governs RPC re-send behavior (attempts, backoff, per-attempt
+	// timeout). The zero value means the defaults; see RetryPolicy.
+	Retry RetryPolicy
 }
 
 // storedItem is one key-value pair held by the node.
@@ -70,6 +73,14 @@ type Node struct {
 	levels int // depth of the leaf domain; chain levels are 0..levels
 	tr     transport.Transport
 	rng    *rand.Rand
+	retry  RetryPolicy
+	health *healthTracker
+
+	// Resilience counters, updated atomically on hot call paths.
+	nonceSeq     uint64
+	retries      int64
+	failedCalls  int64
+	routedAround int64
 
 	mu       sync.Mutex
 	preds    []Info   // per level
@@ -102,6 +113,12 @@ func New(cfg Config) (*Node, error) {
 	if cfg.RandomID {
 		nodeID = uint64(space.Random(rng))
 	}
+	// The node keeps a private RNG seeded from the caller's: Config.Rand is
+	// routinely shared across the nodes of a simulated cluster, and rand.Rand
+	// is not safe for the concurrent use the maintenance loop and RPC retry
+	// jitter would make of it. Deriving the seed here keeps runs with a fixed
+	// Config.Rand deterministic.
+	private := rand.New(rand.NewSource(rng.Int63()))
 	if !space.Contains(id.ID(nodeID)) {
 		return nil, fmt.Errorf("netnode: id %d outside %d-bit space", nodeID, space.Bits())
 	}
@@ -118,14 +135,18 @@ func New(cfg Config) (*Node, error) {
 		self:     Info{ID: nodeID, Name: cfg.Name, Addr: cfg.Transport.Addr()},
 		levels:   levels,
 		tr:       cfg.Transport,
-		rng:      rng,
+		rng:      private,
+		retry:    cfg.Retry.withDefaults(),
+		health:   newHealthTracker(),
 		preds:    make([]Info, levels+1),
 		succs:    make([][]Info, levels+1),
 		fingers:  make(map[uint64]Info),
 		items:    make(map[uint64][]*storedItem),
 		registry: make(map[string][]Info),
 	}
-	n.tr.Serve(n.handle)
+	// Nonce-based dedup gives every handler at-most-once semantics under
+	// caller retries and transport-level duplication.
+	n.tr.Serve(transport.DedupHandler(n.handle, 4096))
 	return n, nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"github.com/canon-dht/canon/internal/id"
 	"github.com/canon-dht/canon/internal/transport"
@@ -79,6 +80,23 @@ func (n *Node) handleLookup(ctx context.Context, req lookupReq) (lookupResp, err
 		sort.Slice(ahead, func(i, j int) bool {
 			return n.clockwise(n.self.ID, ahead[i].ID) > n.clockwise(n.self.ID, ahead[j].ID)
 		})
+		// Route around unhealthy peers: candidates the failure detector
+		// distrusts sink behind every healthy one (still distance-ordered
+		// within each class) instead of being tried — and timing out —
+		// first. They remain last-resort options so a wrongly accused peer
+		// cannot partition the lookup.
+		var preferred, distrusted []Info
+		for _, cand := range ahead {
+			if n.health.preferred(cand.Addr) {
+				preferred = append(preferred, cand)
+			} else {
+				distrusted = append(distrusted, cand)
+			}
+		}
+		if len(preferred) > 0 && len(distrusted) > 0 && ahead[0].Addr != preferred[0].Addr {
+			atomic.AddInt64(&n.routedAround, 1)
+		}
+		ahead = append(preferred, distrusted...)
 		attempts := 0
 		for _, cand := range ahead {
 			if attempts >= 8 {

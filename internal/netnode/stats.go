@@ -2,29 +2,137 @@ package netnode
 
 import (
 	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
 
 	"github.com/canon-dht/canon/internal/transport"
 )
 
-// Stats is a snapshot of a node's wire-traffic counters, keyed by message
-// type. Useful for verifying protocol costs (e.g. O(log n) lookups) on live
-// deployments.
+// RetryPolicy governs how Node.call re-sends failed RPCs. The zero value is
+// replaced by defaults in New: 3 attempts, 5ms base backoff doubling to a
+// 100ms cap with jitter, and a 2s per-attempt timeout.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries per call (first send
+	// included). Values below 1 mean the default of 3; 1 disables retries.
+	MaxAttempts int
+	// BaseBackoff is the delay before the first retry; each further retry
+	// doubles it (exponential backoff), up to MaxBackoff. The actual sleep
+	// is jittered uniformly in [backoff/2, backoff).
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential growth.
+	MaxBackoff time.Duration
+	// AttemptTimeout bounds each individual attempt; the caller's context
+	// still bounds the whole call. Zero means the default of 2s; negative
+	// disables the per-attempt bound.
+	AttemptTimeout time.Duration
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts < 1 {
+		p.MaxAttempts = 3
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = 5 * time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 100 * time.Millisecond
+	}
+	if p.AttemptTimeout == 0 {
+		p.AttemptTimeout = 2 * time.Second
+	} else if p.AttemptTimeout < 0 {
+		p.AttemptTimeout = 0
+	}
+	return p
+}
+
+// Stats is a snapshot of a node's wire-traffic and resilience counters.
+// Useful for verifying protocol costs (e.g. O(log n) lookups) and failure
+// handling on live deployments.
 type Stats struct {
-	// Sent counts outgoing requests by message type.
+	// Sent counts outgoing requests by message type (first attempts only).
 	Sent map[string]int64
 	// Received counts incoming requests by message type.
 	Received map[string]int64
+	// Retries counts re-send attempts beyond each call's first.
+	Retries int64
+	// FailedCalls counts calls that exhausted every attempt.
+	FailedCalls int64
+	// RoutedAround counts lookup forwards where a suspect/dead best
+	// candidate was skipped in favor of a healthy one.
+	RoutedAround int64
+	// SuspectPeers maps peer address to "suspect" or "dead" for peers the
+	// failure detector currently distrusts.
+	SuspectPeers map[string]string
 }
 
-// call wraps the transport send, counting the outgoing message.
+// call wraps the transport send with the node's resilience machinery: it
+// counts the outgoing message, tags it with a nonce (so receivers that
+// deduplicate execute it at most once across retries and duplicated
+// deliveries), bounds each attempt, and retries transport-level failures
+// with exponential backoff and jitter while honoring the caller's context.
+// Every outcome feeds the per-peer failure detector.
 func (n *Node) call(ctx context.Context, addr string, msg transport.Message) (transport.Message, error) {
+	if msg.Nonce == "" {
+		msg.Nonce = fmt.Sprintf("%s#%x", n.self.Addr, atomic.AddUint64(&n.nonceSeq, 1))
+	}
 	n.mu.Lock()
 	if n.sent == nil {
 		n.sent = make(map[string]int64)
 	}
 	n.sent[msg.Type]++
 	n.mu.Unlock()
-	return n.tr.Call(ctx, addr, msg)
+
+	pol := n.retry
+	var lastErr error
+	for attempt := 0; attempt < pol.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			atomic.AddInt64(&n.retries, 1)
+			backoff := pol.BaseBackoff << (attempt - 1)
+			if backoff > pol.MaxBackoff {
+				backoff = pol.MaxBackoff
+			}
+			backoff = backoff/2 + n.jitter(backoff/2)
+			timer := time.NewTimer(backoff)
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+				timer.Stop()
+				atomic.AddInt64(&n.failedCalls, 1)
+				return transport.Message{}, ctx.Err()
+			}
+		}
+		attemptCtx, cancel := ctx, context.CancelFunc(nil)
+		if pol.AttemptTimeout > 0 {
+			attemptCtx, cancel = context.WithTimeout(ctx, pol.AttemptTimeout)
+		}
+		resp, err := n.tr.Call(attemptCtx, addr, msg)
+		if cancel != nil {
+			cancel()
+		}
+		if err == nil {
+			n.health.recordSuccess(addr)
+			return resp, nil
+		}
+		lastErr = err
+		n.health.recordFailure(addr)
+		if errors.Is(err, transport.ErrClosed) || ctx.Err() != nil {
+			break // the transport is gone or the caller gave up: stop early
+		}
+	}
+	atomic.AddInt64(&n.failedCalls, 1)
+	return transport.Message{}, lastErr
+}
+
+// jitter draws a uniform duration in [0, max) from the node's RNG.
+func (n *Node) jitter(max time.Duration) time.Duration {
+	if max <= 0 {
+		return 0
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return time.Duration(n.rng.Int63n(int64(max)))
 }
 
 // countReceived tallies an incoming request.
@@ -37,10 +145,12 @@ func (n *Node) countReceived(msgType string) {
 	n.mu.Unlock()
 }
 
-// Stats returns a copy of the node's traffic counters.
+// Health returns the failure detector's classification of a peer address.
+func (n *Node) Health(addr string) PeerState { return n.health.state(addr) }
+
+// Stats returns a copy of the node's traffic and resilience counters.
 func (n *Node) Stats() Stats {
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	out := Stats{
 		Sent:     make(map[string]int64, len(n.sent)),
 		Received: make(map[string]int64, len(n.received)),
@@ -51,5 +161,10 @@ func (n *Node) Stats() Stats {
 	for k, v := range n.received {
 		out.Received[k] = v
 	}
+	n.mu.Unlock()
+	out.Retries = atomic.LoadInt64(&n.retries)
+	out.FailedCalls = atomic.LoadInt64(&n.failedCalls)
+	out.RoutedAround = atomic.LoadInt64(&n.routedAround)
+	out.SuspectPeers = n.health.snapshot()
 	return out
 }

@@ -26,6 +26,11 @@ var (
 type Message struct {
 	Type    string          `json:"type"`
 	Payload json.RawMessage `json:"payload,omitempty"`
+	// Nonce, when set, identifies the logical request across retried and
+	// duplicated deliveries: receivers that deduplicate (see Faulty.Serve)
+	// execute the handler at most once per nonce and replay the cached
+	// response afterwards. Empty nonces are never deduplicated.
+	Nonce string `json:"nonce,omitempty"`
 	// Error carries an application-level error string in responses.
 	Error string `json:"error,omitempty"`
 }

@@ -17,10 +17,21 @@ type (
 	// LiveClient issues operations against a live network through any
 	// member node.
 	LiveClient = netnode.Client
+	// LiveStatus is the JSON status snapshot a node serves over HTTP.
+	LiveStatus = netnode.Status
+	// LiveStats carries a node's traffic and resilience counters.
+	LiveStats = netnode.Stats
+	// LiveRetryPolicy governs RPC retry/backoff behavior of a LiveNode.
+	LiveRetryPolicy = netnode.RetryPolicy
 	// Transport carries a live node's traffic.
 	Transport = transport.Transport
 	// Bus is an in-memory network for tests and simulations.
 	Bus = transport.Bus
+	// FaultyTransport wraps any Transport with deterministic, seeded fault
+	// injection: drops, delays, duplicates and per-peer partitions.
+	FaultyTransport = transport.Faulty
+	// TransportFaults configures a FaultyTransport's failure model.
+	TransportFaults = transport.Faults
 )
 
 // Live-node errors.
@@ -39,6 +50,12 @@ func NewLiveClient(tr Transport) *LiveClient { return netnode.NewClient(tr) }
 
 // NewBus returns an in-memory network for running live nodes in-process.
 func NewBus() *Bus { return transport.NewBus() }
+
+// NewFaultyTransport wraps inner with seeded deterministic fault injection;
+// see transport.NewFaulty.
+func NewFaultyTransport(inner Transport, seed int64, def TransportFaults) *FaultyTransport {
+	return transport.NewFaulty(inner, seed, def)
+}
 
 // ListenTCP starts a TCP transport for a live node ("host:port"; ":0" picks
 // a free port).
