@@ -1,11 +1,12 @@
 // Command canonctl is the client for a running canond node: it pings nodes,
-// resolves key ownership, stores and retrieves values, and dumps neighbor
-// state.
+// resolves key ownership, stores and retrieves values, dumps neighbor
+// state, and runs traced lookups that print the per-hop route tree.
 //
 // Usage:
 //
 //	canonctl -node host:port ping
 //	canonctl -node host:port lookup <key> [domain]
+//	canonctl -node host:port trace <key> [domain]
 //	canonctl -node host:port put <key> <value> [storage [access]]
 //	canonctl -node host:port get <key>
 //	canonctl -node host:port neighbors <level>
@@ -24,6 +25,7 @@ import (
 	"os"
 	"sort"
 	"strconv"
+	"strings"
 	"time"
 
 	canon "github.com/canon-dht/canon"
@@ -44,7 +46,7 @@ func run(args []string) error {
 		raw     = fs.Bool("raw", false, "status: dump the raw JSON instead of a summary")
 	)
 	fs.Usage = func() {
-		fmt.Fprintln(fs.Output(), "usage: canonctl [flags] ping|lookup|put|get|neighbors|status ...")
+		fmt.Fprintln(fs.Output(), "usage: canonctl [flags] ping|lookup|trace|put|get|neighbors|status ...")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -90,6 +92,25 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Printf("owner of %d in %q: node %d (%s) via %d hops\n", key, domain, owner.ID, owner.Addr, hops)
+		return nil
+
+	case "trace":
+		if len(rest) < 1 {
+			return fmt.Errorf("trace needs a key")
+		}
+		key, err := parseKey(rest[0])
+		if err != nil {
+			return err
+		}
+		domain := ""
+		if len(rest) > 1 {
+			domain = rest[1]
+		}
+		owner, tr2, err := client.TracedLookup(ctx, *node, key, domain, "")
+		if err != nil {
+			return err
+		}
+		printTrace(os.Stdout, owner, tr2)
 		return nil
 
 	case "put":
@@ -214,6 +235,39 @@ func printStatus(w io.Writer, st canon.LiveStatus) {
 		for _, a := range addrs {
 			fmt.Fprintf(w, "peer %s: %s\n", a, st.Traffic.SuspectPeers[a])
 		}
+	}
+}
+
+// printTrace renders a traced lookup as a per-hop tree: each line is one
+// span, indented by hop, showing the node, its domain, the routing level the
+// hop was taken at, and route-around / owner markers. The trace stays
+// queryable afterwards at the entry node's /debug/trace/<id>.
+func printTrace(w io.Writer, owner canon.LiveInfo, tr canon.RouteTrace) {
+	fmt.Fprintf(w, "trace %s key %d domain %q: owner node %d (%s) via %d hops\n",
+		tr.ID, tr.Key, tr.Prefix, owner.ID, owner.Addr, tr.Hops())
+	for i, s := range tr.Spans {
+		indent := strings.Repeat("  ", i)
+		branch := ""
+		if i > 0 {
+			branch = "└▶ "
+		}
+		detail := fmt.Sprintf("level %d", s.Level)
+		if s.Owner {
+			detail = "owner"
+		}
+		marks := ""
+		if s.RouteAround {
+			marks = "  (route-around)"
+		}
+		name := s.Name
+		if name == "" {
+			name = "<root>"
+		}
+		fmt.Fprintf(w, "  %s%shop %d  node %-12d %-24s [%s]%s\n",
+			indent, branch, s.Hop, s.ID, name, detail, marks)
+	}
+	if len(tr.Spans) == 0 {
+		fmt.Fprintln(w, "  (no spans returned — is the contacted node running a pre-telemetry build?)")
 	}
 }
 

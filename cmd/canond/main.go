@@ -6,7 +6,15 @@
 //
 //	canond -listen :7001 -domain stanford/cs/db [-join host:port] [-id N]
 //
-// Use canonctl to issue puts, gets and lookups against a running node.
+// With -admin set, the node also serves an HTTP observability endpoint:
+//
+//	/metrics        — telemetry registry in Prometheus text format
+//	/status         — node status snapshot as JSON (same as -status)
+//	/debug/trace/   — recent route traces; /debug/trace/<id> for one
+//	/debug/pprof/   — standard net/http/pprof profiles
+//
+// Use canonctl to issue puts, gets, lookups and traced lookups against a
+// running node.
 package main
 
 import (
@@ -14,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -40,6 +49,9 @@ func run(args []string) (err error) {
 		succlist  = fs.Int("successors", 4, "per-level successor list length")
 		replicas  = fs.Int("replicas", 1, "copies of each stored item (1 = no replication)")
 		status    = fs.String("status", "", "HTTP address serving node status as JSON (empty = off)")
+		admin     = fs.String("admin", "", "HTTP admin address serving /metrics, /status, /debug/trace/ and /debug/pprof/ (empty = off)")
+		sample    = fs.Float64("trace-sample", 0, "fraction of lookups sampled into route traces, 0..1")
+		traceBuf  = fs.Int("trace-buffer", 0, "completed-trace ring buffer size (0 = default 128)")
 		proto     = fs.String("transport", "tcp", "wire transport: tcp or udp")
 		retries   = fs.Int("retries", 0, "RPC attempts per call (0 = default of 3, 1 = no retries)")
 		backoff   = fs.Duration("retry-backoff", 0, "base retry backoff (0 = default 5ms; doubles per retry)")
@@ -48,6 +60,9 @@ func run(args []string) (err error) {
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *sample < 0 || *sample > 1 {
+		return fmt.Errorf("-trace-sample must be in [0,1], got %g", *sample)
 	}
 
 	var tr canon.Transport
@@ -62,6 +77,11 @@ func run(args []string) (err error) {
 	if err != nil {
 		return err
 	}
+	// One registry carries wire-level series (via the instrumented
+	// transport) and node-level series (via LiveConfig.Telemetry); /metrics
+	// serves both.
+	reg := canon.NewMetricsRegistry()
+	tr = canon.InstrumentTransport(tr, reg)
 	if *loss < 0 || *loss >= 1 {
 		_ = tr.Close()
 		return fmt.Errorf("-inject-loss must be in [0,1), got %g", *loss)
@@ -79,6 +99,9 @@ func run(args []string) (err error) {
 			MaxAttempts: *retries,
 			BaseBackoff: *backoff,
 		},
+		Telemetry:       reg,
+		TraceSampleRate: *sample,
+		TraceBuffer:     *traceBuf,
 	}
 	if *nodeID != 0 {
 		cfg.ID = *nodeID
@@ -108,11 +131,23 @@ func run(args []string) (err error) {
 			}
 		}()
 	}
+	var adminSrv *http.Server
+	if *admin != "" {
+		adminSrv = &http.Server{Addr: *admin, Handler: adminMux(node, reg)}
+		go func() {
+			if err := adminSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "canond: admin server:", err)
+			}
+		}()
+	}
 
 	info := node.Info()
 	fmt.Printf("canond: node %d (%q) listening on %s\n", info.ID, info.Name, info.Addr)
 	if *status != "" {
 		fmt.Printf("canond: status at http://%s/\n", *status)
+	}
+	if *admin != "" {
+		fmt.Printf("canond: admin at http://%s/metrics (plus /status, /debug/trace/, /debug/pprof/)\n", *admin)
 	}
 
 	sig := make(chan os.Signal, 1)
@@ -125,5 +160,23 @@ func run(args []string) (err error) {
 	if statusSrv != nil {
 		_ = statusSrv.Shutdown(leaveCtx)
 	}
+	if adminSrv != nil {
+		_ = adminSrv.Shutdown(leaveCtx)
+	}
 	return node.Leave(leaveCtx)
+}
+
+// adminMux assembles the node's observability endpoint: Prometheus metrics,
+// the JSON status snapshot, recent route traces, and pprof — stdlib only.
+func adminMux(node *canon.LiveNode, reg *canon.MetricsRegistry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	mux.Handle("/status", node)
+	mux.Handle("/debug/trace/", node.TraceStore().Handler("/debug/trace/"))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }

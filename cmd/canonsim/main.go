@@ -7,8 +7,8 @@
 //	canonsim [flags] <experiment>
 //
 // Experiments: fig3 fig4 fig5 fig6 fig7 fig8 fig9 (the paper's evaluation),
-// variants lookahead balance caching resilience resilience-live churn groups
-// live (ablations and extensions), route (hop-by-hop explainer), verify (one PASS/FAIL line
+// variants lookahead balance caching resilience resilience-live trace-live
+// churn groups live (ablations and extensions), route (hop-by-hop explainer), verify (one PASS/FAIL line
 // per paper claim) and all. Sizes default to the paper's sweeps; use -sizes
 // and -n to scale down for a quick run, and -format csv|json for machine
 // output.
@@ -49,7 +49,7 @@ func run(args []string) error {
 		format  = fs.String("format", "text", "output format: text, csv or json")
 	)
 	fs.Usage = func() {
-		fmt.Fprintln(fs.Output(), "usage: canonsim [flags] fig3|fig4|fig5|fig6|fig7|fig8|fig9|variants|lookahead|balance|caching|resilience|resilience-live|churn|groups|live|route|verify|all")
+		fmt.Fprintln(fs.Output(), "usage: canonsim [flags] fig3|fig4|fig5|fig6|fig7|fig8|fig9|variants|lookahead|balance|caching|resilience|resilience-live|trace-live|churn|groups|live|route|verify|all")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -132,6 +132,14 @@ func run(args []string) error {
 			t, err := experiments.LiveResilience(cfg, liveN, []float64{0.05, 0.1, 0.2, 0.3})
 			return show(t, err)
 		},
+		"trace-live": func() error {
+			liveN := 64
+			if *sizes != "" {
+				liveN = sweep[len(sweep)-1]
+			}
+			t, err := experiments.TraceLive(cfg, liveN, 3)
+			return show(t, err)
+		},
 		"churn": func() error { t, err := experiments.Churn(cfg, sweep, 3); return show(t, err) },
 		"verify": func() error {
 			report, failures := experiments.Verify(cfg)
@@ -162,7 +170,7 @@ func run(args []string) error {
 		return showRoute(cfg, *n, lvls[len(lvls)-1])
 	}
 	if name == "all" {
-		for _, key := range []string{"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "variants", "lookahead", "balance", "caching", "resilience", "resilience-live", "churn", "groups", "live"} {
+		for _, key := range []string{"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "variants", "lookahead", "balance", "caching", "resilience", "resilience-live", "trace-live", "churn", "groups", "live"} {
 			if err := experimentsByName[key](); err != nil {
 				return fmt.Errorf("%s: %w", key, err)
 			}

@@ -1,0 +1,82 @@
+package netnode_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/canon-dht/canon/internal/netnode"
+	"github.com/canon-dht/canon/internal/transport"
+)
+
+// newBenchCluster builds a settled 32-node cluster across four leaf domains
+// on the in-memory bus, with the given trace sampling rate on every node.
+func newBenchCluster(b *testing.B, sample float64) *cluster {
+	b.Helper()
+	c := &cluster{bus: transport.NewBus(), rng: rand.New(rand.NewSource(77))}
+	ctx := context.Background()
+	for i, name := range traceNames(32) {
+		n, err := netnode.New(netnode.Config{
+			Name:            name,
+			RandomID:        true,
+			Rand:            c.rng,
+			Transport:       c.bus.Endpoint(fmt.Sprintf("bench-%d", i)),
+			TraceSampleRate: sample,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		contact := ""
+		if i > 0 {
+			contact = c.nodes[0].Info().Addr
+		}
+		if err := n.Join(ctx, contact); err != nil {
+			b.Fatalf("join node %d: %v", i, err)
+		}
+		c.nodes = append(c.nodes, n)
+	}
+	c.settle(b, 12)
+	return c
+}
+
+// benchLookups drives global lookups from rotating source nodes against
+// precomputed keys; traced selects the always-traced path, sample sets the
+// per-node sampling rate for the plain-Lookup path.
+func benchLookups(b *testing.B, sample float64, traced bool) {
+	c := newBenchCluster(b, sample)
+	defer c.close(b)
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(3))
+	keys := make([]uint64, 4096)
+	for i := range keys {
+		keys[i] = uint64(rng.Uint32())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := c.nodes[i%len(c.nodes)]
+		key := keys[i%len(keys)]
+		if traced {
+			if _, _, err := src.TracedLookup(ctx, key, ""); err != nil {
+				b.Fatal(err)
+			}
+		} else {
+			if _, err := src.Lookup(ctx, key, ""); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkLookup is the untraced baseline: metrics counters run, but no
+// trace context travels with the lookup.
+func BenchmarkLookup(b *testing.B) { benchLookups(b, 0, false) }
+
+// BenchmarkTracedLookup forces a full per-hop span trace onto every lookup —
+// the worst-case tracing overhead.
+func BenchmarkTracedLookup(b *testing.B) { benchLookups(b, 0, true) }
+
+// BenchmarkLookupSampled1Pct runs plain lookups with 1% trace sampling — the
+// recommended production setting, whose overhead must stay within a few
+// percent of the untraced baseline.
+func BenchmarkLookupSampled1Pct(b *testing.B) { benchLookups(b, 0.01, false) }

@@ -3,7 +3,9 @@ package netnode
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 
+	"github.com/canon-dht/canon/internal/telemetry"
 	"github.com/canon-dht/canon/internal/transport"
 )
 
@@ -11,13 +13,26 @@ import (
 // acting on that node's behalf (its domain position governs storage and
 // access checks). It is what command-line tools use to talk to a running
 // canond.
+//
+// Every request carries a nonce, so receivers that deduplicate execute it at
+// most once even when the network duplicates deliveries — which also keeps
+// traced lookups from double-recording hop spans or metrics.
 type Client struct {
-	tr transport.Transport
+	tr       transport.Transport
+	nonceSeq uint64
 }
 
 // NewClient returns a client sending through the given transport.
 func NewClient(tr transport.Transport) *Client {
 	return &Client{tr: tr}
+}
+
+// call tags the message with a fresh nonce and sends it.
+func (c *Client) call(ctx context.Context, addr string, msg transport.Message) (transport.Message, error) {
+	if msg.Nonce == "" {
+		msg.Nonce = fmt.Sprintf("%s#c%x", c.tr.Addr(), atomic.AddUint64(&c.nonceSeq, 1))
+	}
+	return c.tr.Call(ctx, addr, msg)
 }
 
 // Ping returns the identity of the node at addr.
@@ -26,7 +41,7 @@ func (c *Client) Ping(ctx context.Context, addr string) (Info, error) {
 	if err != nil {
 		return Info{}, err
 	}
-	resp, err := c.tr.Call(ctx, addr, req)
+	resp, err := c.call(ctx, addr, req)
 	if err != nil {
 		return Info{}, err
 	}
@@ -44,7 +59,7 @@ func (c *Client) Lookup(ctx context.Context, addr string, key uint64, prefix str
 	if err != nil {
 		return Info{}, 0, err
 	}
-	raw, err := c.tr.Call(ctx, addr, req)
+	raw, err := c.call(ctx, addr, req)
 	if err != nil {
 		return Info{}, 0, err
 	}
@@ -53,6 +68,32 @@ func (c *Client) Lookup(ctx context.Context, addr string, key uint64, prefix str
 		return Info{}, 0, err
 	}
 	return resp.Pred, resp.Hops, nil
+}
+
+// TracedLookup resolves the owner of key within prefix through the node at
+// addr with distributed route tracing on: the returned trace holds one span
+// per hop the lookup took, in path order. The entry node (the one at addr)
+// archives the same trace in its TraceStore, so `/debug/trace/<id>` on that
+// node's admin endpoint serves it afterwards. traceID may be empty, in which
+// case a random one is drawn.
+func (c *Client) TracedLookup(ctx context.Context, addr string, key uint64, prefix, traceID string) (Info, telemetry.Trace, error) {
+	if traceID == "" {
+		traceID = telemetry.NewTraceID(nil)
+	}
+	req, err := transport.NewMessage(msgLookup, lookupReq{Key: key, Prefix: prefix, Trace: traceID})
+	if err != nil {
+		return Info{}, telemetry.Trace{}, err
+	}
+	raw, err := c.call(ctx, addr, req)
+	if err != nil {
+		return Info{}, telemetry.Trace{}, err
+	}
+	var resp lookupResp
+	if err := raw.Decode(&resp); err != nil {
+		return Info{}, telemetry.Trace{}, err
+	}
+	tr := telemetry.Trace{ID: traceID, Key: key, Prefix: prefix, Spans: resp.Spans}
+	return resp.Pred, tr, nil
 }
 
 // Put stores value under key with the given storage and access domains,
@@ -81,7 +122,7 @@ func (c *Client) Put(ctx context.Context, addr string, key uint64, value []byte,
 	if err != nil {
 		return err
 	}
-	resp, err := c.tr.Call(ctx, owner.Addr, store)
+	resp, err := c.call(ctx, owner.Addr, store)
 	if err != nil {
 		return err
 	}
@@ -105,7 +146,7 @@ func (c *Client) Put(ctx context.Context, addr string, key uint64, value []byte,
 	if err != nil {
 		return err
 	}
-	resp, err = c.tr.Call(ctx, ptrOwner.Addr, ptr)
+	resp, err = c.call(ctx, ptrOwner.Addr, ptr)
 	if err != nil {
 		return err
 	}
@@ -158,7 +199,7 @@ func (c *Client) fetch(ctx context.Context, addr string, key uint64, origin stri
 	if err != nil {
 		return nil, err
 	}
-	raw, err := c.tr.Call(ctx, addr, req)
+	raw, err := c.call(ctx, addr, req)
 	if err != nil {
 		return nil, err
 	}
@@ -176,7 +217,7 @@ func (c *Client) Neighbors(ctx context.Context, addr string, level int) (pred In
 	if err != nil {
 		return Info{}, nil, err
 	}
-	raw, err := c.tr.Call(ctx, addr, req)
+	raw, err := c.call(ctx, addr, req)
 	if err != nil {
 		return Info{}, nil, err
 	}

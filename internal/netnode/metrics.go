@@ -1,0 +1,120 @@
+package netnode
+
+import (
+	"sync"
+
+	"github.com/canon-dht/canon/internal/telemetry"
+)
+
+// Metric names published by a live node. One canond process hosts one node,
+// so names carry no node label; sharing a Registry across in-process nodes
+// aggregates their series (see Config.Telemetry).
+const (
+	mnSent         = "canon_rpc_sent_total"
+	mnReceived     = "canon_rpc_received_total"
+	mnRetries      = "canon_rpc_retries_total"
+	mnFailed       = "canon_rpc_failed_calls_total"
+	mnRouteAround  = "canon_route_around_total"
+	mnRPCLatency   = "canon_rpc_latency_seconds"
+	mnRPCAttempts  = "canon_rpc_attempts"
+	mnLookupHops   = "canon_lookup_hops"
+	mnTraceStarted = "canon_traces_started_total"
+	mnTraceDone    = "canon_traces_completed_total"
+	mnStoreWrites  = "canon_store_writes_total"
+	mnFetchReads   = "canon_fetch_reads_total"
+	mnStoreItems   = "canon_store_items"
+	mnSuspects     = "canon_suspect_peers"
+)
+
+// nodeMetrics holds the node's cached handles into its telemetry registry.
+// The per-message-type sent/received counter maps are populated lazily (one
+// counter per wire message type) under their own lock so the RPC hot path
+// never contends with unrelated node state.
+type nodeMetrics struct {
+	reg *telemetry.Registry
+
+	retries      *telemetry.Counter
+	failedCalls  *telemetry.Counter
+	routedAround *telemetry.Counter
+	rpcLatency   *telemetry.Histogram
+	rpcAttempts  *telemetry.Histogram
+	lookupHops   *telemetry.Histogram
+	traceStarted *telemetry.Counter
+	traceDone    *telemetry.Counter
+	storeWrites  *telemetry.Counter
+	fetchReads   *telemetry.Counter
+	storeItems   *telemetry.Gauge
+	suspects     *telemetry.Gauge
+
+	mu       sync.Mutex
+	sent     map[string]*telemetry.Counter
+	received map[string]*telemetry.Counter
+}
+
+func newNodeMetrics(reg *telemetry.Registry) *nodeMetrics {
+	return &nodeMetrics{
+		reg:          reg,
+		retries:      reg.Counter(mnRetries, "re-send attempts beyond each call's first"),
+		failedCalls:  reg.Counter(mnFailed, "calls that exhausted every attempt"),
+		routedAround: reg.Counter(mnRouteAround, "lookup forwards that skipped a distrusted best candidate"),
+		rpcLatency:   reg.Histogram(mnRPCLatency, "outgoing RPC latency per completed call, seconds", telemetry.DefBuckets),
+		rpcAttempts:  reg.Histogram(mnRPCAttempts, "transport attempts used per RPC call", telemetry.AttemptBuckets),
+		lookupHops:   reg.Histogram(mnLookupHops, "forwarding hops per lookup answered for a local or remote originator", telemetry.HopBuckets),
+		traceStarted: reg.Counter(mnTraceStarted, "route traces originated by this node"),
+		traceDone:    reg.Counter(mnTraceDone, "route traces completed and archived at this node"),
+		storeWrites:  reg.Counter(mnStoreWrites, "local store writes (values, pointers and replicas)"),
+		fetchReads:   reg.Counter(mnFetchReads, "local fetch reads served"),
+		storeItems:   reg.Gauge(mnStoreItems, "distinct keys currently stored"),
+		suspects:     reg.Gauge(mnSuspects, "peers the failure detector currently distrusts"),
+		sent:         make(map[string]*telemetry.Counter),
+		received:     make(map[string]*telemetry.Counter),
+	}
+}
+
+// sentCounter returns the outgoing-request counter for a message type.
+func (m *nodeMetrics) sentCounter(msgType string) *telemetry.Counter {
+	m.mu.Lock()
+	c, ok := m.sent[msgType]
+	if !ok {
+		c = m.reg.Counter(mnSent, "outgoing requests by message type (first attempts only)",
+			telemetry.L("type", msgType))
+		m.sent[msgType] = c
+	}
+	m.mu.Unlock()
+	return c
+}
+
+// receivedCounter returns the incoming-request counter for a message type.
+func (m *nodeMetrics) receivedCounter(msgType string) *telemetry.Counter {
+	m.mu.Lock()
+	c, ok := m.received[msgType]
+	if !ok {
+		c = m.reg.Counter(mnReceived, "incoming requests by message type",
+			telemetry.L("type", msgType))
+		m.received[msgType] = c
+	}
+	m.mu.Unlock()
+	return c
+}
+
+// sentSnapshot copies the per-type sent counts (the Stats bridge).
+func (m *nodeMetrics) sentSnapshot() map[string]int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]int64, len(m.sent))
+	for k, c := range m.sent {
+		out[k] = c.Value()
+	}
+	return out
+}
+
+// receivedSnapshot copies the per-type received counts.
+func (m *nodeMetrics) receivedSnapshot() map[string]int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]int64, len(m.received))
+	for k, c := range m.received {
+		out[k] = c.Value()
+	}
+	return out
+}

@@ -55,7 +55,7 @@ func newCluster(t *testing.T, seed int64, names []string) *cluster {
 }
 
 // settle runs maintenance rounds across all nodes.
-func (c *cluster) settle(t *testing.T, rounds int) {
+func (c *cluster) settle(t testing.TB, rounds int) {
 	t.Helper()
 	ctx := context.Background()
 	for r := 0; r < rounds; r++ {
@@ -68,7 +68,7 @@ func (c *cluster) settle(t *testing.T, rounds int) {
 	}
 }
 
-func (c *cluster) close(t *testing.T) {
+func (c *cluster) close(t testing.TB) {
 	t.Helper()
 	for _, n := range c.nodes {
 		if err := n.Close(); err != nil {

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"github.com/canon-dht/canon/internal/id"
+	"github.com/canon-dht/canon/internal/telemetry"
 	"github.com/canon-dht/canon/internal/transport"
 )
 
@@ -25,6 +26,12 @@ var (
 
 // lookupHopLimit bounds forwarding chains defensively.
 const lookupHopLimit = 512
+
+// stabilizeWalkLimit bounds the per-round predecessor walk of
+// stabilizeLevel: in steady state the walk exits after one RPC, and after a
+// join burst it may take up to one step per ring member that slotted in
+// between a node and its stale successor.
+const stabilizeWalkLimit = 64
 
 // Config configures a live node.
 type Config struct {
@@ -54,6 +61,17 @@ type Config struct {
 	// Retry governs RPC re-send behavior (attempts, backoff, per-attempt
 	// timeout). The zero value means the defaults; see RetryPolicy.
 	Retry RetryPolicy
+	// Telemetry receives the node's metrics (counters, gauges, histograms).
+	// Nil means a private registry, readable via Node.Telemetry(). Sharing a
+	// registry across in-process nodes aggregates their series; Stats() then
+	// reports the aggregate too.
+	Telemetry *telemetry.Registry
+	// TraceSampleRate samples this fraction of Lookup calls into route
+	// traces archived in the node's trace store (0 disables sampling;
+	// TracedLookup is always traced regardless).
+	TraceSampleRate float64
+	// TraceBuffer bounds the completed-trace ring buffer (default 128).
+	TraceBuffer int
 }
 
 // storedItem is one key-value pair held by the node.
@@ -76,11 +94,13 @@ type Node struct {
 	retry  RetryPolicy
 	health *healthTracker
 
-	// Resilience counters, updated atomically on hot call paths.
-	nonceSeq     uint64
-	retries      int64
-	failedCalls  int64
-	routedAround int64
+	// Telemetry: the registry-backed metrics handles and the completed-trace
+	// ring buffer this node archives into.
+	tel    *telemetry.Registry
+	m      *nodeMetrics
+	traces *telemetry.TraceStore
+
+	nonceSeq uint64
 
 	mu       sync.Mutex
 	preds    []Info   // per level
@@ -88,8 +108,6 @@ type Node struct {
 	fingers  map[uint64]Info
 	items    map[uint64][]*storedItem
 	registry map[string][]Info // domain prefix -> member hints
-	sent     map[string]int64
-	received map[string]int64
 	closed   bool
 
 	loopStop chan struct{}
@@ -129,6 +147,10 @@ func New(cfg Config) (*Node, error) {
 		cfg.RegistrySize = 8
 	}
 	levels := len(components(cfg.Name))
+	reg := cfg.Telemetry
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
 	n := &Node{
 		cfg:      cfg,
 		space:    space,
@@ -138,6 +160,9 @@ func New(cfg Config) (*Node, error) {
 		rng:      private,
 		retry:    cfg.Retry.withDefaults(),
 		health:   newHealthTracker(),
+		tel:      reg,
+		m:        newNodeMetrics(reg),
+		traces:   telemetry.NewTraceStore(cfg.TraceBuffer),
 		preds:    make([]Info, levels+1),
 		succs:    make([][]Info, levels+1),
 		fingers:  make(map[uint64]Info),
@@ -152,6 +177,14 @@ func New(cfg Config) (*Node, error) {
 
 // Info returns the node's wire identity.
 func (n *Node) Info() Info { return n.self }
+
+// Telemetry returns the node's metrics registry (the one passed in
+// Config.Telemetry, or the node-private registry).
+func (n *Node) Telemetry() *telemetry.Registry { return n.tel }
+
+// TraceStore returns the node's completed-trace ring buffer: traces the node
+// originated or served as the entry hop for.
+func (n *Node) TraceStore() *telemetry.TraceStore { return n.traces }
 
 // Levels returns the node's chain depth: level 0 is the root, Levels() is
 // the leaf.

@@ -4,9 +4,9 @@ import (
 	"context"
 	"fmt"
 	"sort"
-	"sync/atomic"
 
 	"github.com/canon-dht/canon/internal/id"
+	"github.com/canon-dht/canon/internal/telemetry"
 	"github.com/canon-dht/canon/internal/transport"
 )
 
@@ -39,6 +39,33 @@ func (n *Node) candidates(prefix string) []Info {
 	return out
 }
 
+// canonAdmissible reports whether the Canon link-retention rule (Section 2.2)
+// admits cand as a greedy routing candidate from this node. A link whose
+// lowest common domain with us sits at depth s leaves our level-(s+1) domain,
+// and the merge that created level s only retains such links when they are
+// strictly shorter than the distance to our successor inside the level-(s+1)
+// ring. FixFingers already builds fingers under this bound; applying the same
+// bound to successor-list and predecessor entries at lookup time is what
+// makes the proxy-convergence theorem (Section 3.2) hold on the live path:
+// without it a node could jump past its own domain's spine through a far
+// global successor-list entry, and different sources would then exit a domain
+// through different nodes.
+func (n *Node) canonAdmissible(cand Info) bool {
+	s := sharedLevels(n.self.Name, cand.Name)
+	if s >= n.levels {
+		return true // same leaf domain: full Chord links
+	}
+	d := n.clockwise(n.self.ID, cand.ID)
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for l := s + 1; l <= n.levels; l++ {
+		if len(n.succs[l]) > 0 && n.succs[l][0].Addr != n.self.Addr {
+			return d < n.clockwise(n.self.ID, n.succs[l][0].ID)
+		}
+	}
+	return true // no deeper ring known yet (still joining): no bound to apply
+}
+
 // succInDomain returns the node's successor within the domain named prefix,
 // which must be one of the node's own domains.
 func (n *Node) succInDomain(prefix string) Info {
@@ -58,6 +85,14 @@ func (n *Node) succInDomain(prefix string) Info {
 // domain: the receiving node either forwards to its neighbor closest to the
 // key without overshooting, or — being the key's closest predecessor within
 // the domain — answers with itself as the owner.
+//
+// On traced lookups (req.Trace != "") the node appends exactly one span to
+// the context before forwarding — recording the routing level of the hop and
+// whether the distance-best candidate was skipped — or a terminal Owner span
+// when it answers. The node that entered the route (req.Hops == 0) archives
+// the completed trace in its TraceStore and feeds the hop histogram, so both
+// self-originated and client-originated lookups leave evidence where the
+// route began.
 func (n *Node) handleLookup(ctx context.Context, req lookupReq) (lookupResp, error) {
 	if req.Hops >= lookupHopLimit {
 		return lookupResp{}, fmt.Errorf("netnode: lookup exceeded %d hops", lookupHopLimit)
@@ -73,7 +108,7 @@ func (n *Node) handleLookup(ctx context.Context, req lookupReq) (lookupResp, err
 		var ahead []Info
 		for _, cand := range n.candidates(req.Prefix) {
 			adv := n.clockwise(n.self.ID, cand.ID)
-			if adv >= 1 && adv <= rem {
+			if adv >= 1 && adv <= rem && n.canonAdmissible(cand) {
 				ahead = append(ahead, cand)
 			}
 		}
@@ -85,6 +120,10 @@ func (n *Node) handleLookup(ctx context.Context, req lookupReq) (lookupResp, err
 		// within each class) instead of being tried — and timing out —
 		// first. They remain last-resort options so a wrongly accused peer
 		// cannot partition the lookup.
+		bestAddr := ""
+		if len(ahead) > 0 {
+			bestAddr = ahead[0].Addr
+		}
 		var preferred, distrusted []Info
 		for _, cand := range ahead {
 			if n.health.preferred(cand.Addr) {
@@ -93,8 +132,8 @@ func (n *Node) handleLookup(ctx context.Context, req lookupReq) (lookupResp, err
 				distrusted = append(distrusted, cand)
 			}
 		}
-		if len(preferred) > 0 && len(distrusted) > 0 && ahead[0].Addr != preferred[0].Addr {
-			atomic.AddInt64(&n.routedAround, 1)
+		if len(preferred) > 0 && len(distrusted) > 0 && bestAddr != preferred[0].Addr {
+			n.m.routedAround.Inc()
 		}
 		ahead = append(preferred, distrusted...)
 		attempts := 0
@@ -102,9 +141,22 @@ func (n *Node) handleLookup(ctx context.Context, req lookupReq) (lookupResp, err
 			if attempts >= 8 {
 				break // a whole region is down; stabilization will prune it
 			}
-			fwd, err := transport.NewMessage(msgLookup, lookupReq{
+			fwdReq := lookupReq{
 				Key: req.Key, Prefix: req.Prefix, Hops: req.Hops + 1,
-			})
+				Trace: req.Trace,
+			}
+			if req.Trace != "" {
+				// The hop's routing level is the depth of the lowest common
+				// domain with the next node: leaf-deep hops stay local,
+				// level-0 hops cross top-level boundaries (Section 3.2).
+				span := telemetry.Span{
+					Hop: req.Hops, Name: n.self.Name, ID: n.self.ID,
+					Addr: n.self.Addr, Level: sharedLevels(n.self.Name, cand.Name),
+					RouteAround: cand.Addr != bestAddr,
+				}
+				fwdReq.Spans = append(append([]telemetry.Span(nil), req.Spans...), span)
+			}
+			fwd, err := transport.NewMessage(msgLookup, fwdReq)
 			if err != nil {
 				return lookupResp{}, err
 			}
@@ -118,18 +170,48 @@ func (n *Node) handleLookup(ctx context.Context, req lookupReq) (lookupResp, err
 				attempts++
 				continue
 			}
+			n.finishLookup(req, &resp)
 			return resp, nil
 		}
 		// Every forward failed: answer best-effort as the closest reachable
 		// predecessor, the liveness-over-accuracy choice real deployments
 		// make; stabilization repairs the stale links that got us here.
 	}
-	return lookupResp{Pred: n.self, Succ: n.succInDomain(req.Prefix), Hops: req.Hops}, nil
+	resp := lookupResp{Pred: n.self, Succ: n.succInDomain(req.Prefix), Hops: req.Hops}
+	if req.Trace != "" {
+		resp.Trace = req.Trace
+		resp.Spans = append(append([]telemetry.Span(nil), req.Spans...), telemetry.Span{
+			Hop: req.Hops, Name: n.self.Name, ID: n.self.ID,
+			Addr: n.self.Addr, Level: -1, Owner: true,
+		})
+	}
+	n.finishLookup(req, &resp)
+	return resp, nil
+}
+
+// finishLookup runs the entry-hop bookkeeping for a lookup answer about to
+// travel back toward the originator: the route's entry node (req.Hops == 0)
+// observes the hop count and archives a completed trace.
+func (n *Node) finishLookup(req lookupReq, resp *lookupResp) {
+	if req.Hops != 0 {
+		return
+	}
+	n.m.lookupHops.Observe(float64(resp.Hops))
+	if req.Trace != "" && len(resp.Spans) > 0 {
+		n.traces.Record(telemetry.Trace{
+			ID: req.Trace, Key: req.Key, Prefix: req.Prefix, Spans: resp.Spans,
+		})
+		n.m.traceDone.Inc()
+	}
 }
 
 // lookupFrom runs a constrained lookup starting at seed (possibly self).
 func (n *Node) lookupFrom(ctx context.Context, seed Info, key uint64, prefix string) (lookupResp, error) {
-	req := lookupReq{Key: key, Prefix: prefix}
+	return n.lookupReqFrom(ctx, seed, lookupReq{Key: key, Prefix: prefix})
+}
+
+// lookupReqFrom dispatches a fully built lookup request through seed.
+func (n *Node) lookupReqFrom(ctx context.Context, seed Info, req lookupReq) (lookupResp, error) {
 	if seed.Addr == n.self.Addr {
 		return n.handleLookup(ctx, req)
 	}
@@ -148,14 +230,42 @@ func (n *Node) lookupFrom(ctx context.Context, seed Info, key uint64, prefix str
 	return resp, nil
 }
 
+// newTraceID draws a reproducible trace identifier from the node's RNG.
+func (n *Node) newTraceID() string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return telemetry.NewTraceID(n.rng)
+}
+
+// sampleTrace decides whether an untraced public lookup should carry a trace
+// context, per Config.TraceSampleRate.
+func (n *Node) sampleTrace() bool {
+	rate := n.cfg.TraceSampleRate
+	if rate <= 0 {
+		return false
+	}
+	if rate >= 1 {
+		return true
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.rng.Float64() < rate
+}
+
 // Lookup returns the node responsible for key within the domain named by
 // prefix (the key's closest predecessor there). The node must itself belong
-// to the domain.
+// to the domain. When Config.TraceSampleRate is set, a sampled fraction of
+// calls additionally record a route trace into the node's TraceStore.
 func (n *Node) Lookup(ctx context.Context, key uint64, prefix string) (Info, error) {
 	if !inDomain(n.self.Name, prefix) {
 		return Info{}, fmt.Errorf("%w: %q does not contain this node", ErrBadDomain, prefix)
 	}
-	resp, err := n.lookupFrom(ctx, n.self, key, prefix)
+	req := lookupReq{Key: key, Prefix: prefix}
+	if n.sampleTrace() {
+		req.Trace = n.newTraceID()
+		n.m.traceStarted.Inc()
+	}
+	resp, err := n.lookupReqFrom(ctx, n.self, req)
 	if err != nil {
 		return Info{}, err
 	}
@@ -175,6 +285,26 @@ func (n *Node) LookupHops(ctx context.Context, key uint64, prefix string) (Info,
 	return resp.Pred, resp.Hops, nil
 }
 
+// TracedLookup runs a lookup with distributed route tracing always on: every
+// hop appends a span (node, domain, routing level, route-around flag) and
+// the completed trace — archived in the node's TraceStore under its ID — is
+// returned alongside the owner. This is the live counterpart of the paper's
+// path analyses: intra-domain locality and proxy convergence (Section 3.2)
+// become assertions over the returned spans.
+func (n *Node) TracedLookup(ctx context.Context, key uint64, prefix string) (Info, telemetry.Trace, error) {
+	if !inDomain(n.self.Name, prefix) {
+		return Info{}, telemetry.Trace{}, fmt.Errorf("%w: %q does not contain this node", ErrBadDomain, prefix)
+	}
+	req := lookupReq{Key: key, Prefix: prefix, Trace: n.newTraceID()}
+	n.m.traceStarted.Inc()
+	resp, err := n.lookupReqFrom(ctx, n.self, req)
+	if err != nil {
+		return Info{}, telemetry.Trace{}, err
+	}
+	tr := telemetry.Trace{ID: req.Trace, Key: key, Prefix: prefix, Spans: resp.Spans}
+	return resp.Pred, tr, nil
+}
+
 // StabilizeOnce runs one round of the per-level stabilization protocol:
 // refresh successor lists, adopt closer successors learned from them, prune
 // dead predecessors, and notify successors of our presence. It also
@@ -187,6 +317,7 @@ func (n *Node) StabilizeOnce(ctx context.Context) {
 	}
 	_ = n.registerSelf(ctx)
 	n.replicateOnce(ctx)
+	n.m.suspects.Set(float64(len(n.health.snapshot())))
 	for l := 1; l <= n.levels; l++ {
 		n.mu.Lock()
 		alone := len(n.succs[l]) == 0 ||
@@ -209,17 +340,55 @@ func (n *Node) StabilizeOnce(ctx context.Context) {
 
 func (n *Node) stabilizeLevel(ctx context.Context, level int) {
 	n.mu.Lock()
+	prefix := prefixAt(n.self.Name, level)
 	list := append([]Info(nil), n.succs[level]...)
+	// Every known contact inside this level's domain is a successor
+	// candidate for this level's ring, wherever we learned it: deeper-level
+	// successors (nested domains are subsets), shallower-level successors
+	// that happen to share the prefix, and in-domain fingers. Folding them
+	// all in and keeping clockwise order matters twice over. A ring whose
+	// list went stale snaps back to the true successor in one round — and a
+	// correct successor is what the Canon link bound (FixFingers,
+	// canonAdmissible) measures against. More fundamentally, a ring that
+	// partitioned into disjoint consistent cycles after a join burst is a
+	// stable fixpoint of pure successor/predecessor stabilization; only
+	// cross-level evidence like this merges the cycles back together.
+	for l := 0; l <= n.levels; l++ {
+		if l == level {
+			continue
+		}
+		for _, s := range n.succs[l] {
+			if inDomain(s.Name, prefix) {
+				list = append(list, s)
+			}
+		}
+	}
+	for _, f := range n.fingers {
+		if inDomain(f.Name, prefix) {
+			list = append(list, f)
+		}
+	}
 	pred := n.preds[level]
 	n.mu.Unlock()
+	deduped := dedupeInfos(list)
+	kept := deduped[:0]
+	for _, s := range deduped {
+		if s.Addr != n.self.Addr {
+			kept = append(kept, s)
+		}
+	}
+	list = kept
+	sort.Slice(list, func(i, j int) bool {
+		return n.clockwise(n.self.ID, list[i].ID) < n.clockwise(n.self.ID, list[j].ID)
+	})
 
-	// Find the first live successor.
+	// Find the first live successor; stop probing once a full successor
+	// list's worth of live candidates is in hand.
 	var succ Info
 	alive := make([]Info, 0, len(list))
 	for _, s := range list {
-		if s.Addr == n.self.Addr {
-			alive = append(alive, s)
-			continue
+		if len(alive) >= n.cfg.SuccessorListLen && n.cfg.SuccessorListLen > 0 {
+			break
 		}
 		if _, err := n.pingAddr(ctx, s.Addr); err == nil {
 			alive = append(alive, s)
@@ -233,25 +402,41 @@ func (n *Node) stabilizeLevel(ctx context.Context, level int) {
 	if succ.Addr != n.self.Addr {
 		// Ask the successor for its predecessor and successor list at this
 		// level (nodes sharing a domain share its level number); adopt its
-		// predecessor when it sits between us.
-		req, err := transport.NewMessage(msgNeighbors, neighborsReq{Level: level})
-		if err == nil {
-			if nbRaw, err := n.call(ctx, succ.Addr, req); err == nil {
-				var nb neighborsResp
-				if derr := nbRaw.Decode(&nb); derr == nil {
-					p := nb.Pred
-					if !p.IsZero() && p.Addr != n.self.Addr && p.Addr != succ.Addr &&
-						inDomain(p.Name, prefixAt(n.self.Name, level)) &&
-						n.space.Between(id.ID(p.ID), id.ID(n.self.ID), id.ID(succ.ID)) && p.ID != succ.ID {
-						if _, err := n.pingAddr(ctx, p.Addr); err == nil {
-							// Keep the old successor as the next list entry.
-							nb.Succs = append([]Info{succ}, nb.Succs...)
-							succ = p
-						}
-					}
+		// predecessor when it sits between us — and keep walking the
+		// predecessor chain to a fixpoint rather than one step per round.
+		// After a batch of joins a ring can be off by many nodes, and a
+		// single-step walk leaves the successor (and with it the Canon link
+		// bound that FixFingers and canonAdmissible measure against) wrong
+		// for O(ring size) rounds; the full walk repairs it in one.
+		for walk := 0; walk < stabilizeWalkLimit; walk++ {
+			req, err := transport.NewMessage(msgNeighbors, neighborsReq{Level: level})
+			if err != nil {
+				break
+			}
+			nbRaw, err := n.call(ctx, succ.Addr, req)
+			if err != nil {
+				break
+			}
+			var nb neighborsResp
+			if derr := nbRaw.Decode(&nb); derr != nil {
+				break
+			}
+			p := nb.Pred
+			closer := !p.IsZero() && p.Addr != n.self.Addr && p.Addr != succ.Addr &&
+				inDomain(p.Name, prefixAt(n.self.Name, level)) &&
+				n.space.Between(id.ID(p.ID), id.ID(n.self.ID), id.ID(succ.ID)) && p.ID != succ.ID
+			if closer {
+				if _, err := n.pingAddr(ctx, p.Addr); err == nil {
+					// Keep the old successor as the next list entry while we
+					// interrogate the closer one.
+					nb.Succs = append([]Info{succ}, nb.Succs...)
 					alive = mergeSuccList(n.self, succ, nb.Succs, n.cfg.SuccessorListLen)
+					succ = p
+					continue
 				}
 			}
+			alive = mergeSuccList(n.self, succ, nb.Succs, n.cfg.SuccessorListLen)
+			break
 		}
 		// Notify the successor that we may be its predecessor.
 		if note, err := transport.NewMessage(msgNotify, notifyReq{

@@ -49,7 +49,9 @@ func (p RetryPolicy) withDefaults() RetryPolicy {
 
 // Stats is a snapshot of a node's wire-traffic and resilience counters.
 // Useful for verifying protocol costs (e.g. O(log n) lookups) and failure
-// handling on live deployments.
+// handling on live deployments. Since PR 2 the counters live in the node's
+// telemetry registry (see Telemetry()); Stats is a stable bridge reading the
+// same registry series, so existing callers keep working unchanged.
 type Stats struct {
 	// Sent counts outgoing requests by message type (first attempts only).
 	Sent map[string]int64
@@ -77,18 +79,19 @@ func (n *Node) call(ctx context.Context, addr string, msg transport.Message) (tr
 	if msg.Nonce == "" {
 		msg.Nonce = fmt.Sprintf("%s#%x", n.self.Addr, atomic.AddUint64(&n.nonceSeq, 1))
 	}
-	n.mu.Lock()
-	if n.sent == nil {
-		n.sent = make(map[string]int64)
-	}
-	n.sent[msg.Type]++
-	n.mu.Unlock()
+	n.m.sentCounter(msg.Type).Inc()
+	start := time.Now()
 
 	pol := n.retry
 	var lastErr error
+	attempts := 0
+	defer func() {
+		n.m.rpcAttempts.Observe(float64(attempts))
+		n.m.rpcLatency.Observe(time.Since(start).Seconds())
+	}()
 	for attempt := 0; attempt < pol.MaxAttempts; attempt++ {
 		if attempt > 0 {
-			atomic.AddInt64(&n.retries, 1)
+			n.m.retries.Inc()
 			backoff := pol.BaseBackoff << (attempt - 1)
 			if backoff > pol.MaxBackoff {
 				backoff = pol.MaxBackoff
@@ -99,10 +102,11 @@ func (n *Node) call(ctx context.Context, addr string, msg transport.Message) (tr
 			case <-timer.C:
 			case <-ctx.Done():
 				timer.Stop()
-				atomic.AddInt64(&n.failedCalls, 1)
+				n.m.failedCalls.Inc()
 				return transport.Message{}, ctx.Err()
 			}
 		}
+		attempts = attempt + 1
 		attemptCtx, cancel := ctx, context.CancelFunc(nil)
 		if pol.AttemptTimeout > 0 {
 			attemptCtx, cancel = context.WithTimeout(ctx, pol.AttemptTimeout)
@@ -121,7 +125,7 @@ func (n *Node) call(ctx context.Context, addr string, msg transport.Message) (tr
 			break // the transport is gone or the caller gave up: stop early
 		}
 	}
-	atomic.AddInt64(&n.failedCalls, 1)
+	n.m.failedCalls.Inc()
 	return transport.Message{}, lastErr
 }
 
@@ -135,36 +139,26 @@ func (n *Node) jitter(max time.Duration) time.Duration {
 	return time.Duration(n.rng.Int63n(int64(max)))
 }
 
-// countReceived tallies an incoming request.
+// countReceived tallies an incoming request. It runs inside the nonce-dedup
+// wrapper, so replayed duplicates never double-count.
 func (n *Node) countReceived(msgType string) {
-	n.mu.Lock()
-	if n.received == nil {
-		n.received = make(map[string]int64)
-	}
-	n.received[msgType]++
-	n.mu.Unlock()
+	n.m.receivedCounter(msgType).Inc()
 }
 
 // Health returns the failure detector's classification of a peer address.
 func (n *Node) Health(addr string) PeerState { return n.health.state(addr) }
 
-// Stats returns a copy of the node's traffic and resilience counters.
+// Stats returns a copy of the node's traffic and resilience counters, read
+// from the telemetry registry.
 func (n *Node) Stats() Stats {
-	n.mu.Lock()
 	out := Stats{
-		Sent:     make(map[string]int64, len(n.sent)),
-		Received: make(map[string]int64, len(n.received)),
+		Sent:         n.m.sentSnapshot(),
+		Received:     n.m.receivedSnapshot(),
+		Retries:      n.m.retries.Value(),
+		FailedCalls:  n.m.failedCalls.Value(),
+		RoutedAround: n.m.routedAround.Value(),
+		SuspectPeers: n.health.snapshot(),
 	}
-	for k, v := range n.sent {
-		out.Sent[k] = v
-	}
-	for k, v := range n.received {
-		out.Received[k] = v
-	}
-	n.mu.Unlock()
-	out.Retries = atomic.LoadInt64(&n.retries)
-	out.FailedCalls = atomic.LoadInt64(&n.failedCalls)
-	out.RoutedAround = atomic.LoadInt64(&n.routedAround)
-	out.SuspectPeers = n.health.snapshot()
+	n.m.suspects.Set(float64(len(out.SuspectPeers)))
 	return out
 }

@@ -63,6 +63,7 @@ func (n *Node) storeAt(ctx context.Context, target Info, req storeReq) error {
 }
 
 func (n *Node) storeLocal(req storeReq) {
+	n.m.storeWrites.Inc()
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	isPtr := !req.Pointer.IsZero()
@@ -78,6 +79,7 @@ func (n *Node) storeLocal(req storeReq) {
 		key: req.Key, value: req.Value,
 		storage: req.Storage, access: req.Access, pointer: req.Pointer,
 	})
+	n.m.storeItems.Set(float64(len(n.items)))
 }
 
 // Get retrieves the first value for key that this node may access, probing
@@ -141,6 +143,7 @@ func (n *Node) fetchFrom(ctx context.Context, target Info, key uint64) ([]fetchV
 // fetchLocal returns the values (and pointers) for key that a querier named
 // origin may access: those whose access domain contains the querier.
 func (n *Node) fetchLocal(req fetchReq) []fetchValue {
+	n.m.fetchReads.Inc()
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	var out []fetchValue

@@ -1,0 +1,260 @@
+package netnode_test
+
+import (
+	"context"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/canon-dht/canon/internal/netnode"
+	"github.com/canon-dht/canon/internal/telemetry"
+	"github.com/canon-dht/canon/internal/transport"
+)
+
+// traceDomains spreads a traced cluster across two regions of two
+// departments each, so routes have both intra-domain spans and level
+// boundaries to cross.
+var traceDomains = []string{"west/a", "west/b", "east/a", "east/b"}
+
+// traceNames returns n node names round-robin across traceDomains.
+func traceNames(n int) []string {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = traceDomains[i%len(traceDomains)]
+	}
+	return names
+}
+
+// membersOf collects the cluster's nodes inside one domain.
+func membersOf(c *cluster, domain string) []*netnode.Node {
+	var out []*netnode.Node
+	for _, n := range c.nodes {
+		name := n.Info().Name
+		if name == domain || strings.HasPrefix(name, domain+"/") {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// checkSpans asserts the structural invariants every completed trace must
+// satisfy: a span per hop with strictly increasing hop numbers, starting at
+// the querier, ending in exactly one Owner span.
+func checkSpans(t *testing.T, tr telemetry.Trace, src netnode.Info) {
+	t.Helper()
+	if len(tr.Spans) == 0 {
+		t.Fatalf("trace %s: no spans", tr.ID)
+	}
+	if tr.Spans[0].Addr != src.Addr {
+		t.Fatalf("trace %s: first span %s, want querier %s", tr.ID, tr.Spans[0].Addr, src.Addr)
+	}
+	owners := 0
+	for i, s := range tr.Spans {
+		if s.Hop != i {
+			t.Fatalf("trace %s: span %d has hop %d (duplicate or missing hop evidence)", tr.ID, i, s.Hop)
+		}
+		if s.Owner {
+			owners++
+			if i != len(tr.Spans)-1 {
+				t.Fatalf("trace %s: owner span at %d is not terminal", tr.ID, i)
+			}
+		}
+	}
+	if owners != 1 {
+		t.Fatalf("trace %s: %d owner spans, want exactly 1", tr.ID, owners)
+	}
+}
+
+// TestTraceIntraDomainLocality is the live form of the paper's path-locality
+// guarantee (Section 3.2): on a 64-node cluster spread over four leaf
+// domains, lookups constrained to the querier's own domain must never leave
+// it — checked hop by hop against the wire spans of traced lookups, and the
+// completed trace must be queryable from the entry node's trace store.
+func TestTraceIntraDomainLocality(t *testing.T) {
+	c := newCluster(t, 11, traceNames(64))
+	defer c.close(t)
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(17))
+
+	for _, domain := range traceDomains {
+		members := membersOf(c, domain)
+		if len(members) != 16 {
+			t.Fatalf("domain %s has %d members, want 16", domain, len(members))
+		}
+		for i := 0; i < 40; i++ {
+			src := members[rng.Intn(len(members))]
+			key := uint64(rng.Uint32())
+			owner, tr, err := src.TracedLookup(ctx, key, domain)
+			if err != nil {
+				t.Fatalf("traced lookup in %s: %v", domain, err)
+			}
+			checkSpans(t, tr, src.Info())
+			if got := tr.OutOfDomainHops(domain); got != 0 {
+				t.Fatalf("lookup for %d constrained to %s took %d out-of-domain hops:\n%+v",
+					key, domain, got, tr.Spans)
+			}
+			if !strings.HasPrefix(owner.Name, domain) {
+				t.Fatalf("owner %q of domain-constrained lookup is outside %s", owner.Name, domain)
+			}
+			stored, ok := src.TraceStore().Get(tr.ID)
+			if !ok {
+				t.Fatalf("trace %s not archived in the entry node's store", tr.ID)
+			}
+			if len(stored.Spans) != len(tr.Spans) {
+				t.Fatalf("archived trace %s has %d spans, returned trace %d",
+					tr.ID, len(stored.Spans), len(tr.Spans))
+			}
+		}
+	}
+}
+
+// TestTraceProxyConvergence is the live form of the paper's proxy-convergence
+// guarantee (Section 3.2): for a key owned outside a domain, traced lookups
+// from several distinct members of that domain must all exit the domain
+// through the same proxy node — the domain's closest predecessor of the key.
+func TestTraceProxyConvergence(t *testing.T) {
+	const sources = 4
+	c := newCluster(t, 23, traceNames(64))
+	defer c.close(t)
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(29))
+
+	tested := 0
+	for _, domain := range traceDomains {
+		members := membersOf(c, domain)
+		for checked := 0; checked < 8; {
+			key := uint64(rng.Uint32())
+			owner, err := members[0].Lookup(ctx, key, "")
+			if err != nil {
+				t.Fatalf("ground-truth lookup: %v", err)
+			}
+			if strings.HasPrefix(owner.Name, domain) {
+				continue // the domain owns this key itself: no proxy involved
+			}
+			proxies := make(map[string]bool)
+			perm := rng.Perm(len(members))
+			for s := 0; s < sources; s++ {
+				src := members[perm[s]]
+				gotOwner, tr, err := src.TracedLookup(ctx, key, "")
+				if err != nil {
+					t.Fatalf("traced lookup: %v", err)
+				}
+				checkSpans(t, tr, src.Info())
+				if gotOwner.Addr != owner.Addr {
+					t.Fatalf("source %s resolved key %d to %s, ground truth %s",
+						src.Info().Addr, key, gotOwner.Addr, owner.Addr)
+				}
+				proxy, ok := tr.ExitProxy(domain)
+				if !ok {
+					t.Fatalf("trace from %s never shows a span inside %s", src.Info().Addr, domain)
+				}
+				proxies[proxy.Addr] = true
+			}
+			if len(proxies) != 1 {
+				t.Fatalf("key %d (owner %s): %d sources in %s exited through %d distinct proxies %v, want 1",
+					key, owner.Name, sources, domain, len(proxies), proxies)
+			}
+			checked++
+			tested++
+		}
+	}
+	if tested != 8*len(traceDomains) {
+		t.Fatalf("tested %d keys, want %d", tested, 8*len(traceDomains))
+	}
+}
+
+// TestTracedLookupDedupUnderDuplication pins the at-most-once guarantee the
+// trace evidence relies on: with 20% of requests delivered twice on every
+// link, nonce dedup must suppress the duplicate handler runs, so (a) every
+// trace still carries exactly one span per hop, and (b) the cluster-wide
+// count of received lookup RPCs grows by exactly one per forwarded hop —
+// duplicates never double-count spans or metrics.
+func TestTracedLookupDedupUnderDuplication(t *testing.T) {
+	const (
+		nNodes  = 32
+		lookups = 200
+		dup     = 0.20
+	)
+	c := newFaultyCluster(t, 41, nNodes, "org/dept")
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(43))
+
+	received := func() int64 {
+		var total int64
+		for _, nd := range c.nodes {
+			total += nd.Stats().Received["lookup"]
+		}
+		return total
+	}
+
+	for _, ft := range c.faulties {
+		ft.SetFaults(transport.Faults{Dup: dup})
+	}
+	before := received()
+	var forwards int64
+	for i := 0; i < lookups; i++ {
+		src := c.nodes[rng.Intn(nNodes)]
+		_, tr, err := src.TracedLookup(ctx, uint64(rng.Uint32()), "")
+		if err != nil {
+			t.Fatalf("traced lookup %d under duplication: %v", i, err)
+		}
+		checkSpans(t, tr, src.Info())
+		// The entry hop runs locally; every later span is one forwarded RPC.
+		forwards += int64(len(tr.Spans) - 1)
+	}
+	delta := received() - before
+	for _, ft := range c.faulties {
+		ft.SetFaults(transport.Faults{})
+	}
+
+	var duplicated, dedupHits int64
+	for _, ft := range c.faulties {
+		st := ft.FaultStats()
+		duplicated += st.Duplicated
+		dedupHits += st.DedupHits
+	}
+	t.Logf("forwards %d, received lookup RPCs %d, injected duplicates %d, dedup hits %d",
+		forwards, delta, duplicated, dedupHits)
+	if duplicated == 0 {
+		t.Fatal("fault injection duplicated nothing at 20% — the test measured a clean network")
+	}
+	if dedupHits == 0 {
+		t.Fatal("no duplicate delivery was ever suppressed: nonce dedup is not engaged")
+	}
+	if delta != forwards {
+		t.Fatalf("received lookup RPCs grew by %d but traces show %d forwards: duplicates leaked into the counters",
+			delta, forwards)
+	}
+}
+
+// TestTelemetryRegistryBacksStats verifies the registry is the single source
+// of truth behind the legacy Stats() API and the Prometheus exposition: after
+// real traffic, the node's own registry must carry nonzero RPC counters and
+// render them in exposition format.
+func TestTelemetryRegistryBacksStats(t *testing.T) {
+	c := newCluster(t, 7, traceNames(16))
+	defer c.close(t)
+	ctx := context.Background()
+
+	if _, _, err := c.nodes[1].TracedLookup(ctx, 12345, ""); err != nil {
+		t.Fatal(err)
+	}
+	st := c.nodes[1].Stats()
+	reg := c.nodes[1].Telemetry()
+	for msgType, want := range st.Sent {
+		got := reg.CounterValue("canon_rpc_sent_total", telemetry.L("type", msgType))
+		if got != want {
+			t.Fatalf("Stats().Sent[%s] = %d but registry counter = %d", msgType, want, got)
+		}
+	}
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, series := range []string{"canon_rpc_sent_total", "canon_lookup_hops", "canon_traces_completed_total"} {
+		if !strings.Contains(text, series) {
+			t.Fatalf("exposition is missing %s:\n%s", series, text)
+		}
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"github.com/canon-dht/canon/internal/id"
+	"github.com/canon-dht/canon/internal/telemetry"
 )
 
 // Info identifies a live node on the wire.
@@ -44,16 +45,32 @@ const (
 
 // lookupReq asks for the predecessor (owner) and successor of Key among the
 // nodes of the domain named by Prefix ("" = the whole system).
+//
+// Trace, when non-empty, is a distributed trace context: every node the
+// lookup passes through appends one telemetry.Span to Spans before
+// forwarding (or answers with the accumulated spans, terminal span
+// included). The span list rides the request clockwise and returns to the
+// originator inside lookupResp, so the route's per-hop evidence — node,
+// domain, routing level, route-arounds — costs no extra messages. Untraced
+// lookups carry neither field on the wire (omitempty).
 type lookupReq struct {
 	Key    uint64 `json:"key"`
 	Prefix string `json:"prefix"`
 	Hops   int    `json:"hops"`
+	// Trace is the trace identifier; empty means the lookup is untraced.
+	Trace string `json:"trace,omitempty"`
+	// Spans accumulates one record per hop already taken.
+	Spans []telemetry.Span `json:"spans,omitempty"`
 }
 
 type lookupResp struct {
 	Pred Info `json:"pred"`
 	Succ Info `json:"succ"`
 	Hops int  `json:"hops"`
+	// Trace and Spans echo a traced request's context with the terminal
+	// span appended; see lookupReq.
+	Trace string           `json:"trace,omitempty"`
+	Spans []telemetry.Span `json:"spans,omitempty"`
 }
 
 // neighborsReq asks for a node's neighbor state at one level.

@@ -1,0 +1,177 @@
+package telemetry
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests_total", "total requests", L("type", "lookup"))
+	c.Inc()
+	c.Add(4)
+	c.Add(-17) // ignored: counters are monotonic
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	// Get-or-create returns the same handle.
+	if again := r.Counter("requests_total", "ignored", L("type", "lookup")); again != c {
+		t.Fatal("same name+labels returned a different counter")
+	}
+	// Different labels are a different series.
+	c2 := r.Counter("requests_total", "", L("type", "store"))
+	if c2 == c {
+		t.Fatal("different labels returned the same counter")
+	}
+	if got := r.CounterValue("requests_total", L("type", "lookup")); got != 5 {
+		t.Fatalf("CounterValue = %d, want 5", got)
+	}
+	if got := r.CounterValue("absent_total"); got != 0 {
+		t.Fatalf("absent CounterValue = %d, want 0", got)
+	}
+
+	g := r.Gauge("items", "stored items")
+	g.Set(10)
+	g.Add(-3.5)
+	if got := g.Value(); got != 6.5 {
+		t.Fatalf("gauge = %g, want 6.5", got)
+	}
+}
+
+func TestLabelOrderIndependence(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("m", "", L("a", "1"), L("b", "2"))
+	b := r.Counter("m", "", L("b", "2"), L("a", "1"))
+	if a != b {
+		t.Fatal("label order produced distinct series")
+	}
+}
+
+func TestKindClashPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering x as gauge after counter did not panic")
+		}
+	}()
+	r.Gauge("x", "")
+}
+
+func TestHistogramBucketsAndQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("hops", "lookup hops", []float64{1, 2, 4, 8})
+	for _, v := range []float64{0, 1, 1, 2, 3, 5, 9, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 8 {
+		t.Fatalf("count = %d, want 8", h.Count())
+	}
+	if h.Sum() != 121 {
+		t.Fatalf("sum = %g, want 121", h.Sum())
+	}
+	// Buckets: <=1: {0,1,1} = 3; <=2: {2} = 1; <=4: {3} = 1; <=8: {5} = 1; +Inf: {9,100} = 2.
+	want := []int64{3, 1, 1, 1, 2}
+	got := h.BucketCounts()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bucket[%d] = %d, want %d (all: %v)", i, got[i], want[i], got)
+		}
+	}
+	q := h.Quantile(0.5)
+	if q < 1 || q > 4 {
+		t.Fatalf("median estimate %g outside [1,4]", q)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Counter("ops_total", "").Inc()
+				r.Gauge("depth", "").Add(1)
+				r.Histogram("lat", "", DefBuckets).Observe(float64(i%7) * 0.001)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("ops_total", "").Value(); got != 8000 {
+		t.Fatalf("ops_total = %d, want 8000", got)
+	}
+	if got := r.Histogram("lat", "", DefBuckets).Count(); got != 8000 {
+		t.Fatalf("lat count = %d, want 8000", got)
+	}
+	if got := r.Gauge("depth", "").Value(); got != 8000 {
+		t.Fatalf("depth = %g, want 8000", got)
+	}
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("canon_rpc_sent_total", "outgoing requests", L("type", "lookup")).Add(7)
+	r.Counter("canon_rpc_sent_total", "outgoing requests", L("type", "store")).Add(2)
+	r.Gauge("canon_store_items", "stored items").Set(3)
+	h := r.Histogram("canon_lookup_hops", "hops per lookup", []float64{1, 2, 4})
+	h.Observe(1)
+	h.Observe(3)
+	h.Observe(9)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE canon_lookup_hops histogram",
+		`canon_lookup_hops_bucket{le="1"} 1`,
+		`canon_lookup_hops_bucket{le="2"} 1`,
+		`canon_lookup_hops_bucket{le="4"} 2`,
+		`canon_lookup_hops_bucket{le="+Inf"} 3`,
+		"canon_lookup_hops_sum 13",
+		"canon_lookup_hops_count 3",
+		"# TYPE canon_rpc_sent_total counter",
+		"# HELP canon_rpc_sent_total outgoing requests",
+		`canon_rpc_sent_total{type="lookup"} 7`,
+		`canon_rpc_sent_total{type="store"} 2`,
+		"# TYPE canon_store_items gauge",
+		"canon_store_items 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q; got:\n%s", want, out)
+		}
+	}
+	// One HELP/TYPE pair per family even with several series.
+	if strings.Count(out, "# TYPE canon_rpc_sent_total counter") != 1 {
+		t.Fatalf("family header repeated:\n%s", out)
+	}
+
+	// The HTTP handler serves the same thing with the prometheus content type.
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("weird", "", L("path", `a"b\c`+"\n")).Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `path="a\"b\\c\n"`) {
+		t.Fatalf("escaping wrong: %s", b.String())
+	}
+}

@@ -1,0 +1,138 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func spansForTest() []Span {
+	return []Span{
+		{Hop: 0, Name: "west/a", ID: 1, Addr: "n1", Level: 2},
+		{Hop: 1, Name: "west/a", ID: 2, Addr: "n2", Level: 1},
+		{Hop: 2, Name: "west/b", ID: 3, Addr: "n3", Level: 0},
+		{Hop: 3, Name: "east/a", ID: 4, Addr: "n4", Level: -1, Owner: true},
+	}
+}
+
+func TestTraceGeometry(t *testing.T) {
+	tr := Trace{ID: "t1", Key: 99, Spans: spansForTest()}
+	if tr.Hops() != 3 {
+		t.Fatalf("hops = %d, want 3", tr.Hops())
+	}
+	if got := tr.OutOfDomainHops("west"); got != 1 {
+		t.Fatalf("out-of-domain hops for west = %d, want 1", got)
+	}
+	if got := tr.OutOfDomainHops("west/a"); got != 2 {
+		t.Fatalf("out-of-domain hops for west/a = %d, want 2", got)
+	}
+	proxy, ok := tr.ExitProxy("west/a")
+	if !ok || proxy.Addr != "n2" {
+		t.Fatalf("exit proxy of west/a = %+v ok=%v, want n2", proxy, ok)
+	}
+	proxy, ok = tr.ExitProxy("west")
+	if !ok || proxy.Addr != "n3" {
+		t.Fatalf("exit proxy of west = %+v ok=%v, want n3", proxy, ok)
+	}
+	if _, ok := tr.ExitProxy("south"); ok {
+		t.Fatal("exit proxy for a domain the trace never visited")
+	}
+	// "westx" is not inside "west": prefix matching is per component.
+	if SpanInDomain(Span{Name: "westx/a"}, "west") {
+		t.Fatal("westx/a wrongly inside west")
+	}
+}
+
+func TestNewTraceIDDeterministic(t *testing.T) {
+	a := NewTraceID(rand.New(rand.NewSource(7)))
+	b := NewTraceID(rand.New(rand.NewSource(7)))
+	if a != b {
+		t.Fatalf("seeded trace IDs differ: %s vs %s", a, b)
+	}
+	if len(a) != 16 {
+		t.Fatalf("trace id %q not 16 hex chars", a)
+	}
+	if NewTraceID(nil) == "" {
+		t.Fatal("unseeded trace id empty")
+	}
+}
+
+func TestTraceStoreEvictionAndReplace(t *testing.T) {
+	s := NewTraceStore(3)
+	for i := 0; i < 5; i++ {
+		s.Record(Trace{ID: fmt.Sprintf("t%d", i)})
+	}
+	if s.Len() != 3 {
+		t.Fatalf("len = %d, want 3", s.Len())
+	}
+	if _, ok := s.Get("t0"); ok {
+		t.Fatal("t0 should have been evicted")
+	}
+	if _, ok := s.Get("t4"); !ok {
+		t.Fatal("t4 missing")
+	}
+	// Replaying an existing ID replaces in place without eviction.
+	s.Record(Trace{ID: "t4", Key: 42})
+	if s.Len() != 3 {
+		t.Fatalf("replay grew the store to %d", s.Len())
+	}
+	if got, _ := s.Get("t4"); got.Key != 42 {
+		t.Fatalf("replace lost the update: %+v", got)
+	}
+	recent := s.Recent(2)
+	if len(recent) != 2 || recent[0] != "t4" {
+		t.Fatalf("recent = %v, want [t4 t3]", recent)
+	}
+	// Empty IDs are ignored.
+	s.Record(Trace{})
+	if s.Len() != 3 {
+		t.Fatal("empty-ID trace was stored")
+	}
+}
+
+func TestTraceStoreHandler(t *testing.T) {
+	s := NewTraceStore(8)
+	s.Record(Trace{ID: "abc", Key: 7, Spans: spansForTest()})
+	srv := httptest.NewServer(s.Handler("/debug/trace/"))
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/debug/trace/abc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var tr Trace
+	if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
+		t.Fatal(err)
+	}
+	if tr.ID != "abc" || len(tr.Spans) != 4 || !tr.Spans[3].Owner {
+		t.Fatalf("served trace %+v", tr)
+	}
+
+	resp2, err := srv.Client().Get(srv.URL + "/debug/trace/missing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != 404 {
+		t.Fatalf("missing trace returned %d", resp2.StatusCode)
+	}
+
+	resp3, err := srv.Client().Get(srv.URL + "/debug/trace/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp3.Body.Close()
+	var list struct {
+		Recent []string `json:"recent"`
+	}
+	if err := json.NewDecoder(resp3.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Recent) != 1 || !strings.Contains(list.Recent[0], "abc") {
+		t.Fatalf("recent list %v", list.Recent)
+	}
+}

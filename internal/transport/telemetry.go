@@ -1,0 +1,78 @@
+package transport
+
+import (
+	"context"
+	"time"
+
+	"github.com/canon-dht/canon/internal/telemetry"
+)
+
+// Instrumented wraps any Transport and publishes wire-level metrics into a
+// telemetry registry: call counts and latency on the send path, request
+// counts and handler latency by message type on the serve path. It composes
+// with Faulty in either order; in canond it sits innermost, so the send-side
+// counters measure what actually reaches the wire (injected duplicates
+// included, injected request-drops excluded).
+type Instrumented struct {
+	inner Transport
+
+	calls       *telemetry.Counter
+	callErrors  *telemetry.Counter
+	callSeconds *telemetry.Histogram
+	served      func(msgType string) *telemetry.Counter
+	handleSec   *telemetry.Histogram
+}
+
+var _ Transport = (*Instrumented)(nil)
+
+// WithTelemetry wraps inner so its traffic is measured into reg.
+func WithTelemetry(inner Transport, reg *telemetry.Registry) *Instrumented {
+	return &Instrumented{
+		inner:       inner,
+		calls:       reg.Counter("canon_transport_calls_total", "transport-level call attempts sent"),
+		callErrors:  reg.Counter("canon_transport_call_errors_total", "transport-level call attempts that failed"),
+		callSeconds: reg.Histogram("canon_transport_call_seconds", "transport-level call latency, seconds", telemetry.DefBuckets),
+		served: func(msgType string) *telemetry.Counter {
+			return reg.Counter("canon_transport_served_total", "incoming requests handed to the handler, by type",
+				telemetry.L("type", msgType))
+		},
+		handleSec: reg.Histogram("canon_transport_handle_seconds", "serve-side handler latency, seconds", telemetry.DefBuckets),
+	}
+}
+
+// Inner returns the wrapped transport.
+func (t *Instrumented) Inner() Transport { return t.inner }
+
+// Addr implements Transport.
+func (t *Instrumented) Addr() string { return t.inner.Addr() }
+
+// Close implements Transport.
+func (t *Instrumented) Close() error { return t.inner.Close() }
+
+// Call implements Transport, timing and counting the attempt.
+func (t *Instrumented) Call(ctx context.Context, addr string, msg Message) (Message, error) {
+	start := time.Now()
+	resp, err := t.inner.Call(ctx, addr, msg)
+	t.callSeconds.Observe(time.Since(start).Seconds())
+	t.calls.Inc()
+	if err != nil {
+		t.callErrors.Inc()
+	}
+	return resp, err
+}
+
+// Serve implements Transport, counting and timing every delivered request —
+// duplicates included, since nonce dedup (DedupHandler / Faulty.Serve) runs
+// inside the handler this wrapper is given. The node-level
+// canon_rpc_received_total counters sit behind the dedup layer, so the gap
+// between canon_transport_served_total and canon_rpc_received_total is
+// exactly the duplicate deliveries that were suppressed.
+func (t *Instrumented) Serve(h Handler) {
+	t.inner.Serve(func(ctx context.Context, from string, msg Message) (Message, error) {
+		t.served(msg.Type).Inc()
+		start := time.Now()
+		resp, err := h(ctx, from, msg)
+		t.handleSec.Observe(time.Since(start).Seconds())
+		return resp, err
+	})
+}

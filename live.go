@@ -2,6 +2,7 @@ package canon
 
 import (
 	"github.com/canon-dht/canon/internal/netnode"
+	"github.com/canon-dht/canon/internal/telemetry"
 	"github.com/canon-dht/canon/internal/transport"
 )
 
@@ -32,6 +33,17 @@ type (
 	FaultyTransport = transport.Faulty
 	// TransportFaults configures a FaultyTransport's failure model.
 	TransportFaults = transport.Faults
+	// MetricsRegistry is the lock-sharded telemetry registry live nodes and
+	// transports publish counters, gauges and histograms into; it serves
+	// itself in Prometheus text format via Handler or WritePrometheus.
+	MetricsRegistry = telemetry.Registry
+	// RouteTrace is one completed traced lookup: per-hop span records.
+	RouteTrace = telemetry.Trace
+	// RouteSpan is one hop's evidence inside a RouteTrace.
+	RouteSpan = telemetry.Span
+	// RouteTraceStore is the bounded ring buffer of completed traces a node
+	// archives into (served at /debug/trace/ by canond).
+	RouteTraceStore = telemetry.TraceStore
 )
 
 // Live-node errors.
@@ -55,6 +67,17 @@ func NewBus() *Bus { return transport.NewBus() }
 // see transport.NewFaulty.
 func NewFaultyTransport(inner Transport, seed int64, def TransportFaults) *FaultyTransport {
 	return transport.NewFaulty(inner, seed, def)
+}
+
+// NewMetricsRegistry returns an empty telemetry registry; pass it as
+// LiveConfig.Telemetry and to InstrumentTransport so one /metrics endpoint
+// exposes both node- and wire-level series.
+func NewMetricsRegistry() *MetricsRegistry { return telemetry.NewRegistry() }
+
+// InstrumentTransport wraps inner so its calls and served requests are
+// measured into reg; see transport.WithTelemetry.
+func InstrumentTransport(inner Transport, reg *MetricsRegistry) Transport {
+	return transport.WithTelemetry(inner, reg)
 }
 
 // ListenTCP starts a TCP transport for a live node ("host:port"; ":0" picks

@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# telemetry-smoke.sh — end-to-end smoke test of the observability stack.
+#
+# Boots a real five-node canond cluster over TCP with the admin endpoint
+# enabled on the bootstrap node, runs puts/gets and a traced lookup through
+# canonctl, then asserts:
+#   * /metrics serves Prometheus text with nonzero canon_rpc_sent_total and
+#     canon_transport_calls_total counters,
+#   * canonctl trace prints an owner and per-hop spans,
+#   * /debug/trace/ archives the trace and serves it back by id.
+#
+# Usage: telemetry-smoke.sh [path-to-canond] [path-to-canonctl]
+set -euo pipefail
+
+CANOND=${1:-./canond}
+CANONCTL=${2:-./canonctl}
+BASE=7141
+ADMIN=9141
+PIDS=()
+
+cleanup() {
+  for pid in "${PIDS[@]}"; do
+    kill "$pid" 2>/dev/null || true
+  done
+  wait 2>/dev/null || true
+}
+trap cleanup EXIT
+
+echo "== booting five nodes (bootstrap admin at :$ADMIN)"
+"$CANOND" -listen "127.0.0.1:$BASE" -domain west/a -admin "127.0.0.1:$ADMIN" \
+  -trace-sample 0.5 -stabilize 200ms &
+PIDS+=($!)
+sleep 1
+domains=(west/a west/b east/a east/b)
+for i in 1 2 3 4; do
+  "$CANOND" -listen "127.0.0.1:$((BASE + i))" -domain "${domains[$((i % 4))]}" \
+    -join "127.0.0.1:$BASE" -stabilize 200ms &
+  PIDS+=($!)
+  sleep 0.5
+done
+echo "== letting stabilization run"
+sleep 4
+
+echo "== put/get through the cluster"
+"$CANONCTL" -node "127.0.0.1:$((BASE + 2))" put 42 smoke-value
+got=$("$CANONCTL" -node "127.0.0.1:$((BASE + 3))" get 42)
+[ "$got" = "smoke-value" ] || { echo "get returned '$got', want 'smoke-value'" >&2; exit 1; }
+
+echo "== traced lookup"
+trace_out=$("$CANONCTL" -node "127.0.0.1:$BASE" trace 3405691582)
+echo "$trace_out"
+echo "$trace_out" | grep -q "owner node" || { echo "trace output has no owner" >&2; exit 1; }
+echo "$trace_out" | grep -q "hop 0" || { echo "trace output has no spans" >&2; exit 1; }
+trace_id=$(echo "$trace_out" | sed -n 's/^trace \([0-9a-f]*\) .*/\1/p')
+[ -n "$trace_id" ] || { echo "could not parse trace id" >&2; exit 1; }
+
+echo "== /metrics serves nonzero counters"
+metrics=$(curl -sf "http://127.0.0.1:$ADMIN/metrics")
+echo "$metrics" | awk '/^canon_rpc_sent_total/ {s += $NF} END {exit !(s > 0)}' \
+  || { echo "canon_rpc_sent_total missing or zero" >&2; exit 1; }
+echo "$metrics" | awk '/^canon_transport_calls_total/ {s += $NF} END {exit !(s > 0)}' \
+  || { echo "canon_transport_calls_total missing or zero" >&2; exit 1; }
+echo "$metrics" | grep -q '^canon_lookup_hops_count' \
+  || { echo "canon_lookup_hops histogram missing" >&2; exit 1; }
+
+echo "== /debug/trace/ archives the trace"
+curl -sf "http://127.0.0.1:$ADMIN/debug/trace/$trace_id" | grep -q "$trace_id" \
+  || { echo "trace $trace_id not served back by /debug/trace/" >&2; exit 1; }
+
+echo "== /status still answers"
+curl -sf "http://127.0.0.1:$ADMIN/status" | grep -q '"info"\|"Info"\|{' \
+  || { echo "/status unusable" >&2; exit 1; }
+
+echo "telemetry smoke: OK"
