@@ -1,0 +1,167 @@
+// Command canonvet is the Canon DHT project's static analyzer: it loads
+// every package in the module and reports violations of project invariants
+// — circular-ID arithmetic outside the ring helpers, nondeterminism in
+// seed-reproducible simulation packages, shared RNGs without locks, RPCs
+// issued under a held mutex, raw metric-name strings, and wire-struct
+// literals that can drift silently.
+//
+// Usage:
+//
+//	go run ./cmd/canonvet ./...            # whole module, human output
+//	go run ./cmd/canonvet -json ./...      # machine-readable findings
+//	go run ./cmd/canonvet -checks ringcmp,lockheldrpc ./internal/netnode
+//	go run ./cmd/canonvet -list            # describe every check
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load failure. Deliberate
+// exceptions are annotated in source with
+//
+//	//canonvet:ignore <check>[,<check>] -- <justification>
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/canon-dht/canon/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("canonvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
+	checks := fs.String("checks", "", "comma-separated subset of checks to run (default: all)")
+	list := fs.Bool("list", false, "list available checks and exit")
+	verbose := fs.Bool("v", false, "report type-checking problems encountered while loading")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, c := range lint.AllChecks() {
+			fmt.Fprintf(stdout, "%-16s %s\n", c.Name, c.Doc)
+		}
+		return 0
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(stderr, "canonvet:", err)
+		return 2
+	}
+	root, err := lint.FindModuleRoot(cwd)
+	if err != nil {
+		fmt.Fprintln(stderr, "canonvet:", err)
+		return 2
+	}
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		fmt.Fprintln(stderr, "canonvet:", err)
+		return 2
+	}
+
+	dirs, err := targetDirs(root, cwd, fs.Args())
+	if err != nil {
+		fmt.Fprintln(stderr, "canonvet:", err)
+		return 2
+	}
+	pkgs, err := loader.LoadDirs(dirs)
+	if err != nil {
+		fmt.Fprintln(stderr, "canonvet:", err)
+		return 2
+	}
+	if *verbose {
+		for _, pkg := range pkgs {
+			for _, terr := range pkg.TypeErrors {
+				fmt.Fprintf(stderr, "canonvet: load %s: %v\n", pkg.Path, terr)
+			}
+		}
+	}
+
+	cfg := lint.DefaultConfig(loader.Module)
+	if *checks != "" {
+		cfg.Enabled = make(map[string]bool)
+		known := make(map[string]bool)
+		for _, c := range lint.AllChecks() {
+			known[c.Name] = true
+		}
+		for _, name := range strings.Split(*checks, ",") {
+			name = strings.TrimSpace(name)
+			if !known[name] {
+				fmt.Fprintf(stderr, "canonvet: unknown check %q (see -list)\n", name)
+				return 2
+			}
+			cfg.Enabled[name] = true
+		}
+	}
+
+	diags := lint.Run(cfg, loader.Fset, pkgs)
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []lint.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintln(stderr, "canonvet:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d.String())
+		}
+		if len(diags) > 0 {
+			fmt.Fprintf(stderr, "canonvet: %d finding(s)\n", len(diags))
+		}
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// targetDirs resolves command-line package patterns to directories. The
+// pattern language is deliberately small: "./..." (or no argument) means the
+// whole module; "dir/..." walks a subtree; anything else is a single
+// directory relative to the working directory.
+func targetDirs(root, cwd string, patterns []string) ([]string, error) {
+	if len(patterns) == 0 {
+		return lint.GoDirs(root)
+	}
+	seen := make(map[string]bool)
+	var out []string
+	add := func(dirs ...string) {
+		for _, d := range dirs {
+			if !seen[d] {
+				seen[d] = true
+				out = append(out, d)
+			}
+		}
+	}
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "...":
+			dirs, err := lint.GoDirs(root)
+			if err != nil {
+				return nil, err
+			}
+			add(dirs...)
+		case strings.HasSuffix(pat, "/..."):
+			base := filepath.Join(cwd, strings.TrimSuffix(pat, "/..."))
+			dirs, err := lint.GoDirs(base)
+			if err != nil {
+				return nil, err
+			}
+			add(dirs...)
+		default:
+			add(filepath.Join(cwd, pat))
+		}
+	}
+	return out, nil
+}

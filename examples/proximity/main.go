@@ -109,7 +109,7 @@ func tagsByID(ids []canon.ID) []int {
 	for i, v := range ids {
 		pairs[i] = pair{id: v, tag: i}
 	}
-	sort.Slice(pairs, func(i, j int) bool { return pairs[i].id < pairs[j].id })
+	sort.Slice(pairs, func(i, j int) bool { return uint64(pairs[i].id) < uint64(pairs[j].id) })
 	out := make([]int, len(ids))
 	for i, p := range pairs {
 		out[i] = p.tag

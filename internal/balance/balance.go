@@ -12,7 +12,6 @@ import (
 	"errors"
 	"math"
 	"math/rand"
-	"sort"
 
 	"github.com/canon-dht/canon/internal/hierarchy"
 	"github.com/canon-dht/canon/internal/id"
@@ -100,8 +99,8 @@ func (b *Bisector) Join(rng *rand.Rand) (id.ID, error) {
 
 	// Scan the nodes sharing the prefix for the largest partition.
 	loID, hiID := b.space.PrefixRange(prefix, bBits)
-	lo := sort.Search(len(b.ids), func(i int) bool { return b.ids[i] >= loID })
-	hi := sort.Search(len(b.ids), func(i int) bool { return b.ids[i] > hiID })
+	lo := id.SearchIDs(b.ids, loID)
+	hi := id.SearchAfter(b.ids, hiID)
 	bestIdx, bestGap := -1, uint64(0)
 	for i := lo; i < hi; i++ {
 		next := b.ids[(i+1)%len(b.ids)]
@@ -122,7 +121,7 @@ func (b *Bisector) Join(rng *rand.Rand) (id.ID, error) {
 }
 
 func (b *Bisector) ownerIndex(k id.ID) int {
-	i := sort.Search(len(b.ids), func(x int) bool { return b.ids[x] > k })
+	i := id.SearchAfter(b.ids, k)
 	if i == 0 {
 		return len(b.ids) - 1
 	}
@@ -130,7 +129,7 @@ func (b *Bisector) ownerIndex(k id.ID) int {
 }
 
 func (b *Bisector) insert(v id.ID) {
-	i := sort.Search(len(b.ids), func(x int) bool { return b.ids[x] >= v })
+	i := id.SearchIDs(b.ids, v)
 	b.ids = append(b.ids, 0)
 	copy(b.ids[i+1:], b.ids[i:])
 	b.ids[i] = v
@@ -205,8 +204,8 @@ func (h *Hierarchical) Join(rng *rand.Rand, leaf *hierarchy.Domain) (id.ID, erro
 // identifiers inside the top-bit bucket, clipped at the bucket boundaries.
 func (h *Hierarchical) bisectInBucket(prefix uint64) (id.ID, error) {
 	loID, hiID := h.space.PrefixRange(prefix, h.topBits)
-	lo := sort.Search(len(h.ids), func(i int) bool { return h.ids[i] >= loID })
-	hi := sort.Search(len(h.ids), func(i int) bool { return h.ids[i] > hiID })
+	lo := id.SearchIDs(h.ids, loID)
+	hi := id.SearchAfter(h.ids, hiID)
 	if lo == hi {
 		// Empty bucket: take its midpoint.
 		return h.space.Add(loID, (uint64(hiID)-uint64(loID))/2), nil
@@ -228,7 +227,7 @@ func (h *Hierarchical) bisectInBucket(prefix uint64) (id.ID, error) {
 }
 
 func (h *Hierarchical) insert(v id.ID) {
-	i := sort.Search(len(h.ids), func(x int) bool { return h.ids[x] >= v })
+	i := id.SearchIDs(h.ids, v)
 	h.ids = append(h.ids, 0)
 	copy(h.ids[i+1:], h.ids[i:])
 	h.ids[i] = v

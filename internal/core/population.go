@@ -77,7 +77,7 @@ func NewPopulation(space id.Space, tree *hierarchy.Tree, ids []id.ID, leaves []*
 		}
 		pairs[i] = pair{id: ids[i], leaf: leaves[i], tag: i}
 	}
-	sort.Slice(pairs, func(i, j int) bool { return pairs[i].id < pairs[j].id })
+	sort.Slice(pairs, func(i, j int) bool { return uint64(pairs[i].id) < uint64(pairs[j].id) })
 
 	p := &Population{
 		space: space,
@@ -131,7 +131,7 @@ func (p *Population) IDs() []id.ID { return p.ids }
 // the greatest identifier less than or equal to k, wrapping around the ring
 // (the paper's improved responsibility rule, footnote 3).
 func (p *Population) OwnerOf(k id.ID) int {
-	i := sort.Search(len(p.ids), func(x int) bool { return p.ids[x] > k })
+	i := id.SearchAfter(p.ids, k)
 	if i == 0 {
 		return len(p.ids) - 1
 	}

@@ -52,7 +52,7 @@ func (r *Ring) PosOfMember(node int) int {
 // PosOf returns the ring position of the node with identifier v, or -1 if v
 // is not a member identifier.
 func (r *Ring) PosOf(v id.ID) int {
-	i := sort.Search(len(r.ids), func(x int) bool { return r.ids[x] >= v })
+	i := id.SearchIDs(r.ids, v)
 	if i < len(r.ids) && r.ids[i] == v {
 		return i
 	}
@@ -77,7 +77,7 @@ func (r *Ring) Successor(k id.ID) int {
 // OwnerPos returns the position of the member responsible for key k: the
 // greatest ID <= k, wrapping.
 func (r *Ring) OwnerPos(k id.ID) int {
-	i := sort.Search(len(r.ids), func(x int) bool { return r.ids[x] > k })
+	i := id.SearchAfter(r.ids, k)
 	if i == 0 {
 		return len(r.ids) - 1
 	}
@@ -147,8 +147,8 @@ func (r *Ring) ArcMember(start, k int) int {
 // plen bits.
 func (r *Ring) PrefixRangePos(prefix uint64, plen uint) (lo, hi int) {
 	loID, hiID := r.space.PrefixRange(prefix, plen)
-	lo = sort.Search(len(r.ids), func(x int) bool { return r.ids[x] >= loID })
-	hi = sort.Search(len(r.ids), func(x int) bool { return r.ids[x] > hiID })
+	lo = id.SearchIDs(r.ids, loID)
+	hi = id.SearchAfter(r.ids, hiID)
 	return lo, hi
 }
 

@@ -14,7 +14,6 @@ package dynamic
 import (
 	"errors"
 	"fmt"
-	"sort"
 
 	"github.com/canon-dht/canon/internal/hierarchy"
 	"github.com/canon-dht/canon/internal/id"
@@ -211,13 +210,13 @@ func (n *Network) fingers(ring []id.ID, v id.ID, bound uint64, links map[id.ID]s
 // succDistance returns the clockwise distance from v to its successor in
 // ring (which must contain v and at least one other member).
 func (n *Network) succDistance(ring []id.ID, v id.ID) uint64 {
-	i := sort.Search(len(ring), func(x int) bool { return ring[x] >= v })
+	i := id.SearchIDs(ring, v)
 	return n.space.Clockwise(v, ring[(i+1)%len(ring)])
 }
 
 // predecessorIn returns the member preceding v in ring.
 func (n *Network) predecessorIn(ring []id.ID, v id.ID) id.ID {
-	i := sort.Search(len(ring), func(x int) bool { return ring[x] >= v })
+	i := id.SearchIDs(ring, v)
 	return ring[(i-1+len(ring))%len(ring)]
 }
 
@@ -339,12 +338,12 @@ func (n *Network) Owner(key id.ID) (id.ID, error) {
 	if len(ring) == 0 {
 		return 0, ErrEmpty
 	}
-	i := sort.Search(len(ring), func(x int) bool { return ring[x] > key })
+	i := id.SearchAfter(ring, key)
 	return ring[(i-1+len(ring))%len(ring)], nil
 }
 
 func insertSorted(ring []id.ID, v id.ID) []id.ID {
-	i := sort.Search(len(ring), func(x int) bool { return ring[x] >= v })
+	i := id.SearchIDs(ring, v)
 	ring = append(ring, 0)
 	copy(ring[i+1:], ring[i:])
 	ring[i] = v
@@ -352,7 +351,7 @@ func insertSorted(ring []id.ID, v id.ID) []id.ID {
 }
 
 func removeSorted(ring []id.ID, v id.ID) []id.ID {
-	i := sort.Search(len(ring), func(x int) bool { return ring[x] >= v })
+	i := id.SearchIDs(ring, v)
 	if i < len(ring) && ring[i] == v {
 		return append(ring[:i], ring[i+1:]...)
 	}

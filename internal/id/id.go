@@ -211,11 +211,30 @@ func (s Space) UniqueRandom(rng *rand.Rand, n int) ([]ID, error) {
 	return out, nil
 }
 
+// SearchIDs returns the smallest index i in the ascending-sorted slice ids
+// with ids[i] >= v, or len(ids) when every identifier is below v. It is the
+// id.ID counterpart of sort.SearchInts: an insertion-point search in
+// absolute identifier order, with no ring wrap-around (SuccessorIndex is the
+// wrapping variant). It exists so callers never spell raw ordering
+// comparisons on circular identifiers themselves — canonvet's ringcmp check
+// flags those outside this package.
+func SearchIDs(ids []ID, v ID) int {
+	return sort.Search(len(ids), func(k int) bool { return ids[k] >= v })
+}
+
+// SearchAfter returns the smallest index i in the ascending-sorted slice ids
+// with ids[i] > v, or len(ids). Chord's responsibility rule ("owner = the
+// greatest identifier <= k, wrapping") is index i-1, wrapping to the last
+// element when i == 0.
+func SearchAfter(ids []ID, v ID) int {
+	return sort.Search(len(ids), func(k int) bool { return ids[k] > v })
+}
+
 // SuccessorIndex returns the index in the ascending-sorted slice ids of the
 // first identifier whose value is >= target, wrapping to index 0 when target
 // exceeds every element. The slice must be non-empty.
 func SuccessorIndex(ids []ID, target ID) int {
-	i := sort.Search(len(ids), func(k int) bool { return ids[k] >= target })
+	i := SearchIDs(ids, target)
 	if i == len(ids) {
 		return 0
 	}
@@ -226,7 +245,7 @@ func SuccessorIndex(ids []ID, target ID) int {
 // last identifier strictly less than target, wrapping to the final index when
 // target precedes every element. The slice must be non-empty.
 func PredecessorIndex(ids []ID, target ID) int {
-	i := sort.Search(len(ids), func(k int) bool { return ids[k] >= target })
+	i := SearchIDs(ids, target)
 	if i == 0 {
 		return len(ids) - 1
 	}

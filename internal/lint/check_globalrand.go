@@ -1,0 +1,115 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// checkGlobalRand flags the two shared-RNG patterns behind the PR 1 data
+// race in netnode.New:
+//
+//  1. calls to math/rand's package-level functions (they share one global,
+//     internally locked source — nondeterministic under concurrency and
+//     unseedable per component);
+//  2. struct fields of type *rand.Rand (or rand.Rand) in non-test files
+//     where the struct has methods but no sync.Mutex/RWMutex field:
+//     rand.Rand is not safe for concurrent use, so a shared instance needs
+//     a lock sitting next to it (netnode.Node) or a derived private RNG.
+//
+// Inside pure-simulation packages rule 1 is reported by simdeterminism
+// instead, so each finding carries exactly one check name.
+var checkGlobalRand = Check{
+	Name: "globalrand",
+	Doc:  "math/rand global-source calls, and method-bearing structs holding a rand.Rand without an adjacent mutex",
+	Run:  runGlobalRand,
+}
+
+// globalRandFuncs are the math/rand package-level functions backed by the
+// shared global source (constructors like New/NewSource are fine).
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "Perm": true, "Shuffle": true,
+	"Seed": true, "ExpFloat64": true, "NormFloat64": true, "Read": true,
+	// math/rand/v2 spellings
+	"IntN": true, "Int32": true, "Int32N": true, "Int64": true,
+	"Int64N": true, "Uint32N": true, "Uint64N": true, "UintN": true,
+	"Uint": true, "N": true,
+}
+
+func isRandPkg(path string) bool {
+	return path == "math/rand" || path == "math/rand/v2"
+}
+
+// reportGlobalRandCalls walks a file for global-source calls, reporting them
+// under the given pass's check name. Shared by globalrand and
+// simdeterminism.
+func reportGlobalRandCalls(pass *Pass, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if pkgPath, name, ok := pass.PkgFuncCall(call); ok && isRandPkg(pkgPath) && globalRandFuncs[name] {
+			pass.Reportf(call.Pos(),
+				"rand.%s draws from math/rand's shared global source; use a seeded private *rand.Rand instead", name)
+		}
+		return true
+	})
+}
+
+func runGlobalRand(pass *Pass) {
+	simPkg := pass.Cfg.SimPackages[pass.Pkg.Path]
+	for _, f := range pass.Pkg.Files {
+		if !simPkg { // in sim packages simdeterminism owns rule 1
+			reportGlobalRandCalls(pass, f)
+		}
+		filename := pass.Fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(filename, "_test.go") {
+			continue // rule 2 targets production shared state
+		}
+		checkRandFields(pass, f)
+	}
+}
+
+// checkRandFields applies rule 2 to every struct type declared in f.
+func checkRandFields(pass *Pass, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		ts, ok := n.(*ast.TypeSpec)
+		if !ok {
+			return true
+		}
+		st, ok := ts.Type.(*ast.StructType)
+		if !ok || st.Fields == nil {
+			return true
+		}
+		var randField *ast.Field
+		hasMutex := false
+		for _, field := range st.Fields.List {
+			t := pass.TypeOf(field.Type)
+			if IsNamed(t, "math/rand", "Rand") || IsNamed(t, "math/rand/v2", "Rand") {
+				randField = field
+			}
+			if IsNamed(t, "sync", "Mutex") || IsNamed(t, "sync", "RWMutex") {
+				hasMutex = true
+			}
+		}
+		if randField == nil || hasMutex {
+			return true
+		}
+		// Only method-bearing structs count as shared state; plain config
+		// carriers (e.g. netnode.Config.Rand, consumed once at construction)
+		// are not flagged.
+		obj := pass.Pkg.Info.Defs[ts.Name]
+		if obj == nil {
+			return true
+		}
+		named := namedOf(obj.Type())
+		if named == nil || named.NumMethods() == 0 {
+			return true
+		}
+		pass.Reportf(randField.Pos(),
+			"struct %s shares a rand.Rand across its methods without an adjacent mutex; rand.Rand is not concurrency-safe (the netnode.New race class)", ts.Name.Name)
+		return true
+	})
+}

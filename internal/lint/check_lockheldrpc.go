@@ -1,0 +1,274 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// checkLockHeldRPC flags transport/RPC calls made while a mutex is lexically
+// held. A netnode RPC can block for the full retry budget (seconds); issuing
+// one with n.mu held stalls every other operation on the node and — because
+// the remote peer's handler may call back — can deadlock the pair. The
+// analysis is lexical and per-function: it tracks mu.Lock()/mu.Unlock()
+// pairs in statement order (a deferred Unlock keeps the region locked to the
+// end of the function, which is precisely the dangerous pattern), treats
+// branches conservatively, and looks for calls that reach the wire:
+// Transport.Call-shaped methods, netnode's call* helpers, and any method on
+// netnode.Client.
+var checkLockHeldRPC = Check{
+	Name: "lockheldrpc",
+	Doc:  "transport/RPC calls issued while a mutex is lexically held (deadlock/latency class)",
+	Run:  runLockHeldRPC,
+}
+
+func runLockHeldRPC(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					scanLockRegion(pass, fn.Body.List, 0)
+				}
+			case *ast.FuncLit:
+				// Function literals are scanned as their own regions: the
+				// closure may run on another goroutine or after the caller
+				// released the lock, so the caller's lock state does not
+				// lexically extend into it.
+				if fn.Body != nil {
+					scanLockRegion(pass, fn.Body.List, 0)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// mutexMethodCall matches x.<sel>.Name() where the operand is a mutex: its
+// type is sync.Mutex/RWMutex, or (when type info is incomplete) it is a
+// field or variable named "mu".
+func mutexMethodCall(pass *Pass, e ast.Expr, names ...string) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	matched := false
+	for _, name := range names {
+		if sel.Sel.Name == name {
+			matched = true
+		}
+	}
+	if !matched {
+		return false
+	}
+	if t := pass.TypeOf(sel.X); t != nil {
+		return IsNamed(t, "sync", "Mutex") || IsNamed(t, "sync", "RWMutex")
+	}
+	switch x := sel.X.(type) {
+	case *ast.SelectorExpr:
+		return x.Sel.Name == "mu"
+	case *ast.Ident:
+		return x.Name == "mu"
+	}
+	return false
+}
+
+func isLock(pass *Pass, e ast.Expr) bool {
+	return mutexMethodCall(pass, e, "Lock", "RLock")
+}
+
+func isUnlock(pass *Pass, e ast.Expr) bool {
+	return mutexMethodCall(pass, e, "Unlock", "RUnlock")
+}
+
+// terminates reports whether a statement list ends in a statement that never
+// falls through (return, panic, continue, break, goto).
+func terminates(stmts []ast.Stmt) bool {
+	if len(stmts) == 0 {
+		return false
+	}
+	switch last := stmts[len(stmts)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// scanLockRegion walks stmts in lexical order tracking how many mutex locks
+// are held, reporting RPC calls in held regions. It returns the lock count
+// after the list. Branch bodies that unlock and fall through lower the count
+// (conservative: prefer missing a finding to inventing one); bodies ending
+// in return/break keep the caller's count.
+func scanLockRegion(pass *Pass, stmts []ast.Stmt, held int) int {
+	scanBranch := func(body []ast.Stmt) {
+		after := scanLockRegion(pass, body, held)
+		if !terminates(body) && after < held {
+			held = after
+		}
+	}
+	for _, s := range stmts {
+		switch st := s.(type) {
+		case *ast.ExprStmt:
+			switch {
+			case isLock(pass, st.X):
+				held++
+			case isUnlock(pass, st.X):
+				if held > 0 {
+					held--
+				}
+			default:
+				reportRPCInExpr(pass, st.X, held)
+			}
+		case *ast.DeferStmt:
+			// defer mu.Unlock() keeps the region locked until return; a
+			// deferred RPC call would run with whatever locks remain held at
+			// return, so flag it under the current region too.
+			if !isUnlock(pass, st.Call) && !isLock(pass, st.Call) {
+				reportRPCInExpr(pass, st.Call, held)
+			}
+		case *ast.AssignStmt:
+			for _, rhs := range st.Rhs {
+				reportRPCInExpr(pass, rhs, held)
+			}
+		case *ast.ReturnStmt:
+			for _, r := range st.Results {
+				reportRPCInExpr(pass, r, held)
+			}
+		case *ast.DeclStmt:
+			reportRPCInNode(pass, st, held)
+		case *ast.IfStmt:
+			if st.Init != nil {
+				held = scanLockRegion(pass, []ast.Stmt{st.Init}, held)
+			}
+			reportRPCInExpr(pass, st.Cond, held)
+			scanBranch(st.Body.List)
+			if st.Else != nil {
+				switch e := st.Else.(type) {
+				case *ast.BlockStmt:
+					scanBranch(e.List)
+				default:
+					scanBranch([]ast.Stmt{st.Else})
+				}
+			}
+		case *ast.BlockStmt:
+			held = scanLockRegion(pass, st.List, held)
+		case *ast.LabeledStmt:
+			held = scanLockRegion(pass, []ast.Stmt{st.Stmt}, held)
+		case *ast.ForStmt:
+			if st.Init != nil {
+				held = scanLockRegion(pass, []ast.Stmt{st.Init}, held)
+			}
+			if st.Cond != nil {
+				reportRPCInExpr(pass, st.Cond, held)
+			}
+			scanLockRegion(pass, st.Body.List, held)
+		case *ast.RangeStmt:
+			reportRPCInExpr(pass, st.X, held)
+			scanLockRegion(pass, st.Body.List, held)
+		case *ast.SwitchStmt:
+			if st.Tag != nil {
+				reportRPCInExpr(pass, st.Tag, held)
+			}
+			for _, clause := range st.Body.List {
+				if cc, ok := clause.(*ast.CaseClause); ok {
+					scanLockRegion(pass, cc.Body, held)
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			for _, clause := range st.Body.List {
+				if cc, ok := clause.(*ast.CaseClause); ok {
+					scanLockRegion(pass, cc.Body, held)
+				}
+			}
+		case *ast.SelectStmt:
+			for _, clause := range st.Body.List {
+				if cc, ok := clause.(*ast.CommClause); ok {
+					scanLockRegion(pass, cc.Body, held)
+				}
+			}
+		case *ast.GoStmt:
+			// The spawned goroutine does not inherit the lexical lock.
+		}
+	}
+	return held
+}
+
+// reportRPCInExpr reports RPC-shaped calls inside e when a lock is held,
+// without descending into function literals (separate regions).
+func reportRPCInExpr(pass *Pass, e ast.Expr, held int) {
+	if e == nil || held == 0 {
+		return
+	}
+	reportRPCInNode(pass, e, held)
+}
+
+func reportRPCInNode(pass *Pass, n ast.Node, held int) {
+	if held == 0 {
+		return
+	}
+	ast.Inspect(n, func(node ast.Node) bool {
+		if _, ok := node.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := node.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if why := rpcCallKind(pass, call); why != "" {
+			pass.Reportf(call.Pos(), "%s while a mutex is lexically held; release the lock before going to the wire", why)
+		}
+		return true
+	})
+}
+
+// netRPCHelpers are netnode.Node methods that wrap transport calls; calling
+// one under the node lock blocks the wire just the same.
+var netRPCHelpers = map[string]bool{
+	"pingAddr": true, "lookupFrom": true, "lookupReqFrom": true,
+	"findMember": true,
+}
+
+// rpcCallKind classifies a call that reaches the network, returning a short
+// description ("" when it does not).
+func rpcCallKind(pass *Pass, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	name := sel.Sel.Name
+	// Methods on netnode.Client all issue RPCs.
+	recv := pass.TypeOf(sel.X)
+	if IsNamed(recv, pass.Cfg.ModulePath+"/internal/netnode", "Client") {
+		return "netnode.Client." + name + " call"
+	}
+	// node.call / node.callFoo and the RPC helper wrappers.
+	if name == "call" || (strings.HasPrefix(name, "call") && len(name) > 4 && name[4] >= 'A' && name[4] <= 'Z') {
+		return "RPC helper ." + name + " call"
+	}
+	if netRPCHelpers[name] && IsNamed(recv, pass.Cfg.ModulePath+"/internal/netnode", "Node") {
+		return "netnode RPC helper ." + name + " call"
+	}
+	// Transport.Call-shaped methods: named Call, first parameter a
+	// context.Context (matches the transport.Transport interface and every
+	// wrapper implementing it).
+	if name == "Call" {
+		if sig, ok := pass.TypeOf(call.Fun).(*types.Signature); ok && sig.Params().Len() >= 1 {
+			if IsNamed(sig.Params().At(0).Type(), "context", "Context") {
+				return "Transport.Call"
+			}
+		} else if pass.TypeOf(call.Fun) == nil && len(call.Args) == 3 {
+			return "Transport.Call" // type info missing: match on shape
+		}
+	}
+	return ""
+}

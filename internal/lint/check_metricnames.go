@@ -1,0 +1,69 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// checkMetricNames flags raw string literals passed as the name argument to
+// telemetry registry lookups (Counter/Gauge/Histogram). Metric names are an
+// external interface — dashboards, alerts and the smoke tests grep for them
+// — so every name must be a named constant declared once (the PR 2
+// constants in internal/netnode/metrics.go, and the transport-level
+// constants in internal/transport). A literal at the lookup site can drift
+// from the scrape side without any compiler complaint. The telemetry
+// package itself (registry implementation and its tests) is exempt: it
+// exercises arbitrary names by design.
+var checkMetricNames = Check{
+	Name: "metricnames",
+	Doc:  "raw string literals as telemetry Counter/Gauge/Histogram names (must be named constants)",
+	Run:  runMetricNames,
+}
+
+var metricLookupMethods = map[string]bool{
+	"Counter": true, "Gauge": true, "Histogram": true,
+}
+
+// literalString reports whether e lexically contains a string literal at its
+// top level (a bare literal, a parenthesized one, or a concatenation
+// involving one). Named constants resolve to idents/selectors and pass.
+func literalString(e ast.Expr) bool {
+	switch x := e.(type) {
+	case *ast.BasicLit:
+		return x.Kind == token.STRING
+	case *ast.ParenExpr:
+		return literalString(x.X)
+	case *ast.BinaryExpr:
+		return literalString(x.X) || literalString(x.Y)
+	}
+	return false
+}
+
+func runMetricNames(pass *Pass) {
+	if pass.Cfg.MetricExemptPackages[pass.Pkg.Path] {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !metricLookupMethods[sel.Sel.Name] {
+				return true
+			}
+			// The receiver must be a telemetry Registry (by type when
+			// resolved, by type name otherwise).
+			recv := namedOf(pass.TypeOf(sel.X))
+			if recv == nil || recv.Obj() == nil || recv.Obj().Name() != "Registry" {
+				return true
+			}
+			if literalString(call.Args[0]) {
+				pass.Reportf(call.Args[0].Pos(),
+					"metric name passed to %s as a raw string literal; declare a named constant (see internal/netnode/metrics.go) so scrape-side consumers cannot drift", sel.Sel.Name)
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,45 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// checkRingCmp flags raw ordering operators (<, <=, >, >=) and subtraction
+// applied to id.ID-typed values outside internal/id. Identifiers live on a
+// circle: "a < b" and "b - a" silently break at the zero-wrap, which is
+// exactly the bug class the ring-metric helpers (Space.Between, Clockwise,
+// InInterval, SortIDs, SuccessorIndex) exist to prevent. Code that truly
+// wants absolute order must say so with an explicit uint64 conversion.
+var checkRingCmp = Check{
+	Name: "ringcmp",
+	Doc:  "raw </>/- on id.ID values outside internal/id (use ring-metric helpers or an explicit uint64 conversion)",
+	Run:  runRingCmp,
+}
+
+var ringCmpOps = map[token.Token]bool{
+	token.LSS: true, token.LEQ: true,
+	token.GTR: true, token.GEQ: true,
+	token.SUB: true,
+}
+
+func runRingCmp(pass *Pass) {
+	idPkg := pass.Cfg.ModulePath + "/internal/id"
+	if pass.Pkg.Path == idPkg {
+		return // the helpers themselves implement the circle's arithmetic
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			bin, ok := n.(*ast.BinaryExpr)
+			if !ok || !ringCmpOps[bin.Op] {
+				return true
+			}
+			if IsNamed(pass.TypeOf(bin.X), idPkg, "ID") || IsNamed(pass.TypeOf(bin.Y), idPkg, "ID") {
+				pass.Reportf(bin.OpPos,
+					"raw %q on circular id.ID values; use id.Space helpers (Between/Clockwise/InInterval/SuccessorIndex) or convert to uint64 to assert absolute order",
+					bin.Op.String())
+			}
+			return true
+		})
+	}
+}

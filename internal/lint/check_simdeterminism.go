@@ -1,0 +1,45 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// checkSimDeterminism flags wall-clock reads and global-RNG draws inside the
+// pure-simulation packages (the analytical Canon model, the flat-DHT
+// baselines, and the experiment harness). Their results must be reproducible
+// from a seed alone — the paper's figures are regenerated in CI — so
+// time.Now/Since/Sleep and math/rand's global source are banned there; real
+// time belongs to the live stack (netnode, transport, cmd).
+var checkSimDeterminism = Check{
+	Name: "simdeterminism",
+	Doc:  "time.Now/Since/Sleep and global RNG inside seed-reproducible simulation packages",
+	Run:  runSimDeterminism,
+}
+
+// wallClockFuncs are the time package functions that read or depend on the
+// wall clock (duration constants like time.Millisecond remain fine).
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "Tick": true, "NewTimer": true, "NewTicker": true,
+	"AfterFunc": true,
+}
+
+func runSimDeterminism(pass *Pass) {
+	if !pass.Cfg.SimPackages[pass.Pkg.Path] {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		reportGlobalRandCalls(pass, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if pkgPath, name, ok := pass.PkgFuncCall(call); ok && pkgPath == "time" && wallClockFuncs[name] {
+				pass.Reportf(call.Pos(),
+					"time.%s in pure-simulation package %s; results must be reproducible from the seed alone", name, pass.Pkg.Path)
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,294 @@
+// Package lint implements canonvet, a project-specific static analyzer for
+// the Canon DHT codebase. It mechanically enforces invariants the project
+// has already been bitten by (or is structurally exposed to): circular-ID
+// arithmetic must go through the ring-metric helpers in internal/id,
+// pure-simulation packages must stay seed-reproducible, shared RNGs must be
+// lock-adjacent, RPCs must not be issued while a node's mutex is held,
+// metric names must be named constants, and wire-message structs must not
+// drift silently.
+//
+// Checks are table-driven (see AllChecks); adding one is a ~30-line affair:
+// write a Run function over a Pass, append a Check entry. Every check honors
+// the per-file escape hatch
+//
+//	//canonvet:ignore <check>[,<check>...] -- <one-line justification>
+//
+// placed above the package clause (whole file) or on/above the offending
+// line (that line only). The analyzer is stdlib-only: go/ast + go/parser +
+// go/types + go/token, with go/importer resolving standard-library imports
+// from source.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, with a position that renders as file:line:col.
+type Diagnostic struct {
+	Check   string `json:"check"`
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Column  int    `json:"column"`
+	Message string `json:"message"`
+}
+
+// String renders the diagnostic in the conventional compiler format.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s [%s]", d.File, d.Line, d.Column, d.Message, d.Check)
+}
+
+// Check is one named analysis over a package.
+type Check struct {
+	// Name is the identifier used by -checks and ignore pragmas.
+	Name string
+	// Doc is a one-line description shown by canonvet -list.
+	Doc string
+	// Run reports findings through pass.Reportf.
+	Run func(pass *Pass)
+}
+
+// AllChecks returns the check table, in reporting order. New checks are
+// appended here.
+func AllChecks() []Check {
+	return []Check{
+		checkRingCmp,
+		checkGlobalRand,
+		checkSimDeterminism,
+		checkLockHeldRPC,
+		checkMetricNames,
+		checkWireCompat,
+	}
+}
+
+// Config tunes the checks to the module under analysis.
+type Config struct {
+	// ModulePath is the module's import path prefix.
+	ModulePath string
+	// SimPackages is the set of import paths whose results must be
+	// seed-reproducible (the simdeterminism check's scope). External test
+	// units share their base package's path and scope.
+	SimPackages map[string]bool
+	// MetricExemptPackages may register metrics with literal names: the
+	// telemetry registry's own package (its implementation and tests
+	// exercise arbitrary names by design).
+	MetricExemptPackages map[string]bool
+	// Enabled restricts the run to the named checks; nil means all.
+	Enabled map[string]bool
+}
+
+// DefaultConfig returns the Canon module's tuning: the pure-simulation
+// packages from the paper's analytical side, and the telemetry registry as
+// the only package allowed to touch raw metric-name strings.
+func DefaultConfig(module string) *Config {
+	sim := map[string]bool{
+		module:                           true, // the analytical Canon model itself
+		module + "/internal/chord":       true,
+		module + "/internal/symphony":    true,
+		module + "/internal/kademlia":    true,
+		module + "/internal/can":         true,
+		module + "/internal/core":        true,
+		module + "/internal/dynamic":     true,
+		module + "/internal/experiments": true,
+	}
+	return &Config{
+		ModulePath:           module,
+		SimPackages:          sim,
+		MetricExemptPackages: map[string]bool{module + "/internal/telemetry": true},
+	}
+}
+
+// Pass carries one check's view of one package.
+type Pass struct {
+	Cfg  *Config
+	Fset *token.FileSet
+	Pkg  *Package
+
+	check   string
+	ignores map[*ast.File]*fileIgnores
+	sink    *[]Diagnostic
+}
+
+// Reportf records a finding at pos unless an ignore pragma suppresses it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	for _, f := range p.Pkg.Files {
+		if ig, ok := p.ignores[f]; ok && ig.suppressed(p.check, position) {
+			return
+		}
+	}
+	*p.sink = append(*p.sink, Diagnostic{
+		Check:   p.check,
+		File:    position.Filename,
+		Line:    position.Line,
+		Column:  position.Column,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of an expression, or nil when type information is
+// incomplete (checks must degrade gracefully).
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if tv, ok := p.Pkg.Info.Types[e]; ok {
+		return tv.Type
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := p.Pkg.Info.Uses[id]; obj != nil {
+			return obj.Type()
+		}
+		if obj := p.Pkg.Info.Defs[id]; obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+// PkgFuncCall resolves call to a package-level function: it returns the
+// imported package's path and the function name, or ok == false for method
+// calls, conversions, locals and unresolved names.
+func (p *Pass) PkgFuncCall(call *ast.CallExpr) (pkgPath, name string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	id, isIdent := sel.X.(*ast.Ident)
+	if !isIdent {
+		return "", "", false
+	}
+	pn, isPkg := p.Pkg.Info.Uses[id].(*types.PkgName)
+	if !isPkg {
+		return "", "", false
+	}
+	return pn.Imported().Path(), sel.Sel.Name, true
+}
+
+// IsNamed reports whether t (through pointers) is the named type
+// pkgPath.name.
+func IsNamed(t types.Type, pkgPath, name string) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil &&
+		obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// namedOf returns the named type behind t (through pointers), or nil.
+func namedOf(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// fileIgnores is the parsed //canonvet:ignore pragmas of one file.
+type fileIgnores struct {
+	filename string
+	all      map[string]bool         // file-wide suppressions
+	byLine   map[int]map[string]bool // line-scoped suppressions
+}
+
+func (ig *fileIgnores) suppressed(check string, pos token.Position) bool {
+	if ig.filename != pos.Filename {
+		return false
+	}
+	if ig.all["all"] || ig.all[check] {
+		return true
+	}
+	if m := ig.byLine[pos.Line]; m != nil && (m["all"] || m[check]) {
+		return true
+	}
+	return false
+}
+
+// parseIgnores scans a file's comments for canonvet pragmas. A pragma above
+// the package clause suppresses the named checks for the whole file; any
+// other pragma suppresses them on its own line and the line below it.
+func parseIgnores(fset *token.FileSet, f *ast.File) *fileIgnores {
+	ig := &fileIgnores{
+		filename: fset.Position(f.Pos()).Filename,
+		all:      make(map[string]bool),
+		byLine:   make(map[int]map[string]bool),
+	}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(strings.TrimPrefix(c.Text, "//"), "/*"))
+			rest, ok := strings.CutPrefix(text, "canonvet:ignore")
+			if !ok {
+				continue
+			}
+			fields := strings.Fields(rest)
+			if len(fields) == 0 {
+				continue
+			}
+			checks := strings.Split(fields[0], ",")
+			if c.End() < f.Package {
+				for _, name := range checks {
+					ig.all[name] = true
+				}
+				continue
+			}
+			line := fset.Position(c.Pos()).Line
+			for _, ln := range []int{line, line + 1} {
+				if ig.byLine[ln] == nil {
+					ig.byLine[ln] = make(map[string]bool)
+				}
+				for _, name := range checks {
+					ig.byLine[ln][name] = true
+				}
+			}
+		}
+	}
+	return ig
+}
+
+// Run executes the enabled checks over every package and returns the
+// findings sorted by position.
+func Run(cfg *Config, fset *token.FileSet, pkgs []*Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		ignores := make(map[*ast.File]*fileIgnores, len(pkg.Files))
+		for _, f := range pkg.Files {
+			ignores[f] = parseIgnores(fset, f)
+		}
+		for _, chk := range AllChecks() {
+			if cfg.Enabled != nil && !cfg.Enabled[chk.Name] {
+				continue
+			}
+			pass := &Pass{
+				Cfg: cfg, Fset: fset, Pkg: pkg,
+				check: chk.Name, ignores: ignores, sink: &diags,
+			}
+			chk.Run(pass)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return a.Check < b.Check
+	})
+	return diags
+}

@@ -1,0 +1,348 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one analysis unit: a package's files (in-package test files
+// included) together with its type information. External test packages
+// ("foo_test") form their own unit sharing the base package's Path, with
+// External set.
+type Package struct {
+	// Path is the package's import path within the module (external test
+	// units carry the base package's path).
+	Path string
+	// Name is the package name as declared ("foo" or "foo_test").
+	Name string
+	// Dir is the directory the files live in.
+	Dir string
+	// Files are the unit's parsed files, sorted by filename.
+	Files []*ast.File
+	// Types and Info hold go/types results. Info maps are always non-nil;
+	// on type errors they are simply incomplete and checks degrade to
+	// whatever was resolved.
+	Types *types.Package
+	Info  *types.Info
+	// External marks an external test unit (package foo_test).
+	External bool
+	// TypeErrors collects type-checking problems (missing imports, etc.).
+	// They do not stop analysis.
+	TypeErrors []error
+}
+
+// Loader parses and type-checks every package under a module root using only
+// the standard library: go/parser for syntax, go/types for semantics, and
+// go/importer's source mode for out-of-module (standard library) imports.
+// Module-internal imports are resolved by the loader itself, from source,
+// memoized across packages.
+type Loader struct {
+	Root   string // module root (directory containing go.mod)
+	Module string // module path from go.mod
+	Fset   *token.FileSet
+
+	std     types.ImporterFrom
+	memo    map[string]*types.Package
+	loading map[string]bool
+	parsed  map[string]*ast.File
+}
+
+// FindModuleRoot walks up from dir to the nearest directory containing
+// go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	d, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s", gomod)
+}
+
+// NewLoader returns a loader for the module rooted at root.
+func NewLoader(root string) (*Loader, error) {
+	mod, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		Root:    root,
+		Module:  mod,
+		Fset:    fset,
+		std:     importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		memo:    make(map[string]*types.Package),
+		loading: make(map[string]bool),
+		parsed:  make(map[string]*ast.File),
+	}, nil
+}
+
+// skipDir reports whether a directory is outside the loadable module tree.
+func skipDir(name string) bool {
+	return name == "testdata" || name == "vendor" ||
+		strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")
+}
+
+// GoDirs lists every directory under root containing .go files, honoring the
+// go tool's skip rules (testdata, vendor, dot and underscore directories).
+func GoDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if path != root && skipDir(d.Name()) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(d.Name(), ".go") {
+			dir := filepath.Dir(path)
+			if len(dirs) == 0 || dirs[len(dirs)-1] != dir {
+				dirs = append(dirs, dir)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// LoadAll loads every package in the module.
+func (l *Loader) LoadAll() ([]*Package, error) {
+	dirs, err := GoDirs(l.Root)
+	if err != nil {
+		return nil, err
+	}
+	return l.LoadDirs(dirs)
+}
+
+// LoadDirs loads the packages found in the given directories (which must lie
+// under the module root). Each directory yields up to two analysis units: the
+// package itself (with in-package test files) and, when present, its external
+// test package.
+func (l *Loader) LoadDirs(dirs []string) ([]*Package, error) {
+	var pkgs []*Package
+	for _, dir := range dirs {
+		units, err := l.loadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, units...)
+	}
+	return pkgs, nil
+}
+
+// importPath maps a directory under the module root to its import path.
+func (l *Loader) importPath(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	rel, err := filepath.Rel(l.Root, abs)
+	if err != nil {
+		return "", err
+	}
+	if rel == "." {
+		return l.Module, nil
+	}
+	if strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("lint: %s is outside module root %s", dir, l.Root)
+	}
+	return l.Module + "/" + filepath.ToSlash(rel), nil
+}
+
+// parseFile parses (and memoizes) one file with comments.
+func (l *Loader) parseFile(path string) (*ast.File, error) {
+	if f, ok := l.parsed[path]; ok {
+		return f, nil
+	}
+	f, err := parser.ParseFile(l.Fset, path, nil, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	l.parsed[path] = f
+	return f, nil
+}
+
+// dirFiles parses a directory's .go files and splits them into the base
+// package's files, its in-package test files, and external test files.
+func (l *Loader) dirFiles(dir string) (base, inTest, extTest []*ast.File, baseName string, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, nil, "", err
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasPrefix(e.Name(), ".") || strings.HasPrefix(e.Name(), "_") {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f, perr := l.parseFile(filepath.Join(dir, name))
+		if perr != nil {
+			return nil, nil, nil, "", perr
+		}
+		pkgName := f.Name.Name
+		switch {
+		case strings.HasSuffix(name, "_test.go") && strings.HasSuffix(pkgName, "_test"):
+			extTest = append(extTest, f)
+		case strings.HasSuffix(name, "_test.go"):
+			inTest = append(inTest, f)
+		default:
+			base = append(base, f)
+			baseName = pkgName
+		}
+	}
+	if baseName == "" {
+		// Test-only directory: derive the base name from the test files.
+		for _, f := range inTest {
+			baseName = f.Name.Name
+		}
+		if baseName == "" && len(extTest) > 0 {
+			baseName = strings.TrimSuffix(extTest[0].Name.Name, "_test")
+		}
+	}
+	return base, inTest, extTest, baseName, nil
+}
+
+// newInfo returns a fully populated types.Info.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// check type-checks one unit, collecting (but not failing on) type errors.
+func (l *Loader) check(path string, files []*ast.File, info *types.Info, ignoreBodies bool) (*types.Package, []error) {
+	var errs []error
+	conf := types.Config{
+		Importer:         l,
+		IgnoreFuncBodies: ignoreBodies,
+		Error:            func(err error) { errs = append(errs, err) },
+	}
+	pkg, _ := conf.Check(path, l.Fset, files, info)
+	return pkg, errs
+}
+
+// loadDir builds the analysis units for one directory.
+func (l *Loader) loadDir(dir string) ([]*Package, error) {
+	path, err := l.importPath(dir)
+	if err != nil {
+		return nil, err
+	}
+	base, inTest, extTest, baseName, err := l.dirFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	var units []*Package
+	if len(base)+len(inTest) > 0 {
+		files := append(append([]*ast.File(nil), base...), inTest...)
+		info := newInfo()
+		tpkg, errs := l.check(path, files, info, false)
+		units = append(units, &Package{
+			Path: path, Name: baseName, Dir: dir,
+			Files: files, Types: tpkg, Info: info, TypeErrors: errs,
+		})
+	}
+	if len(extTest) > 0 {
+		info := newInfo()
+		tpkg, errs := l.check(path+"_test", extTest, info, false)
+		units = append(units, &Package{
+			Path: path, Name: baseName + "_test", Dir: dir,
+			Files: extTest, Types: tpkg, Info: info, External: true, TypeErrors: errs,
+		})
+	}
+	return units, nil
+}
+
+// Import implements types.Importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, l.Root, 0)
+}
+
+// ImportFrom implements types.ImporterFrom: module-internal paths are
+// resolved from source within the module; everything else (the standard
+// library) is delegated to go/importer's source importer.
+func (l *Loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == l.Module || strings.HasPrefix(path, l.Module+"/") {
+		return l.importModulePkg(path)
+	}
+	return l.std.ImportFrom(path, dir, mode)
+}
+
+// importModulePkg type-checks a module-internal package (non-test files
+// only, as the go tool does for imports), memoized.
+func (l *Loader) importModulePkg(path string) (*types.Package, error) {
+	if pkg, ok := l.memo[path]; ok {
+		if pkg == nil {
+			return nil, fmt.Errorf("lint: import failed for %s", path)
+		}
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	rel := strings.TrimPrefix(strings.TrimPrefix(path, l.Module), "/")
+	dir := filepath.Join(l.Root, filepath.FromSlash(rel))
+	base, _, _, _, err := l.dirFiles(dir)
+	if err != nil || len(base) == 0 {
+		l.memo[path] = nil
+		return nil, fmt.Errorf("lint: cannot load %s from %s: %v", path, dir, err)
+	}
+	pkg, errs := l.check(path, base, newInfo(), true)
+	if pkg == nil && len(errs) > 0 {
+		l.memo[path] = nil
+		return nil, errs[0]
+	}
+	pkg.MarkComplete()
+	l.memo[path] = pkg
+	return pkg, nil
+}

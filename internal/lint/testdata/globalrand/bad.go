@@ -1,0 +1,30 @@
+// Package globalrand is a canonvet fixture for the shared-RNG check: rule 1
+// (math/rand global-source calls) and rule 2 (method-bearing structs holding
+// a rand.Rand with no adjacent mutex — the netnode.New race class).
+package globalrand
+
+import "math/rand"
+
+// globalDraw reaches for the package-level source.
+func globalDraw() int {
+	return rand.Intn(6) // want `rand.Intn draws from math/rand's shared global source`
+}
+
+// globalShuffle does too, through a different entry point.
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `rand.Shuffle draws from math/rand's shared global source`
+}
+
+// suppressedDraw proves the pragma escape hatch.
+func suppressedDraw() float64 {
+	//canonvet:ignore globalrand -- fixture: prove the pragma suppresses the line below
+	return rand.Float64()
+}
+
+// sharedDie has methods and a bare rand.Rand field: concurrent method calls
+// race on the generator.
+type sharedDie struct {
+	rng *rand.Rand // want `struct sharedDie shares a rand.Rand across its methods without an adjacent mutex`
+}
+
+func (d *sharedDie) roll() int { return d.rng.Intn(6) }

@@ -1,0 +1,45 @@
+package globalrand
+
+import (
+	"math/rand"
+	"sync"
+)
+
+// newPrivate builds a seeded private source — the sanctioned pattern.
+// Constructors (New, NewSource) are not global-source draws.
+func newPrivate(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// privateDraw draws from a caller-supplied generator.
+func privateDraw(rng *rand.Rand) int {
+	return rng.Intn(6)
+}
+
+// lockedDie pairs its generator with a mutex, so rule 2 stays silent.
+type lockedDie struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+func (d *lockedDie) roll() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.rng.Intn(6)
+}
+
+// config is a plain carrier with no methods: it hands the generator to a
+// constructor exactly once, so sharing is not at stake.
+type config struct {
+	Seed int64
+	Rand *rand.Rand
+}
+
+// use keeps the declarations referenced.
+func use(c config) *lockedDie {
+	rng := c.Rand
+	if rng == nil {
+		rng = newPrivate(c.Seed)
+	}
+	return &lockedDie{rng: rng}
+}

@@ -1,0 +1,11 @@
+//canonvet:ignore globalrand -- fixture: prove a pragma above the package clause suppresses the whole file
+
+package globalrand
+
+// fileWideSuppressed would be flagged twice, but the file-wide pragma above
+// the package clause silences both findings.
+import "math/rand"
+
+func fileWideSuppressed() int {
+	return rand.Int() + rand.Intn(2)
+}

@@ -1,0 +1,60 @@
+// Package lockheldrpc is a canonvet fixture: RPC-shaped calls (Transport.Call
+// signatures, call* helpers) issued while a mutex is lexically held must be
+// flagged; releasing first, handing off to a goroutine, or deferring into a
+// closure must not.
+package lockheldrpc
+
+import (
+	"context"
+	"sync"
+)
+
+// conn has the Transport.Call shape: method named Call whose first parameter
+// is a context.Context.
+type conn struct{}
+
+func (conn) Call(ctx context.Context, addr string, body string) (string, error) {
+	return "", nil
+}
+
+type node struct {
+	mu sync.Mutex
+	c  conn
+}
+
+// call is an RPC helper by naming convention (node.call / node.callFoo).
+func (n *node) call(addr string) error { return nil }
+
+// callLookup is the capitalized-suffix form of the helper convention.
+func (n *node) callLookup(addr string, key uint64) error { return nil }
+
+// deferredUnlock is the dangerous pattern verbatim: defer mu.Unlock() keeps
+// the region locked across the wire call.
+func (n *node) deferredUnlock(ctx context.Context) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	_, err := n.c.Call(ctx, "peer", "ping") // want `Transport.Call while a mutex is lexically held`
+	return err
+}
+
+// helperUnderLock reaches the wire through the call helper before releasing.
+func (n *node) helperUnderLock() {
+	n.mu.Lock()
+	_ = n.call("peer") // want `RPC helper .call call while a mutex is lexically held`
+	n.mu.Unlock()
+}
+
+// helperVariantUnderLock exercises the callXxx naming rule.
+func (n *node) helperVariantUnderLock() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	_ = n.callLookup("peer", 42) // want `RPC helper .callLookup call while a mutex is lexically held`
+}
+
+// suppressed proves the pragma escape hatch for a deliberate exception.
+func (n *node) suppressed(ctx context.Context) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	//canonvet:ignore lockheldrpc -- fixture: prove the pragma suppresses the line below
+	_, _ = n.c.Call(ctx, "peer", "ping")
+}

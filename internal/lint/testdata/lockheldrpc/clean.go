@@ -1,0 +1,56 @@
+package lockheldrpc
+
+import "context"
+
+// releaseFirst copies state under the lock, releases, then goes to the wire —
+// the sanctioned shape.
+func (n *node) releaseFirst(ctx context.Context) error {
+	n.mu.Lock()
+	peer := "peer"
+	n.mu.Unlock()
+	_, err := n.c.Call(ctx, peer, "ping")
+	return err
+}
+
+// branchUnlock releases on the early path; the call after the unlock is in an
+// unlocked region.
+func (n *node) branchUnlock(ctx context.Context, fast bool) error {
+	n.mu.Lock()
+	if fast {
+		n.mu.Unlock()
+		_, err := n.c.Call(ctx, "peer", "ping")
+		return err
+	}
+	n.mu.Unlock()
+	return nil
+}
+
+// handoff spawns the wire call on its own goroutine: the goroutine does not
+// inherit the caller's lexical lock.
+func (n *node) handoff(ctx context.Context) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	go func() {
+		_, _ = n.c.Call(ctx, "peer", "ping")
+	}()
+}
+
+// closureRegion builds a closure under the lock but runs it later; function
+// literals are scanned as their own (unlocked) regions.
+func (n *node) closureRegion(ctx context.Context) func() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return func() {
+		_, _ = n.c.Call(ctx, "peer", "ping")
+	}
+}
+
+// plainLocal keeps a non-RPC call under the lock: only wire-shaped calls are
+// flagged.
+func (n *node) plainLocal() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return local()
+}
+
+func local() int { return 1 }

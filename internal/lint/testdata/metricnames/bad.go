@@ -1,0 +1,34 @@
+// Package metricnames is a canonvet fixture: raw string literals passed as
+// the name argument to a telemetry-style Registry lookup must be flagged;
+// named constants must pass. The local Registry mirrors
+// internal/telemetry.Registry's lookup surface so the fixture stands alone.
+package metricnames
+
+// Registry mimics the telemetry registry's lookup methods.
+type Registry struct{}
+
+// Counter looks up or creates a counter.
+func (*Registry) Counter(name, help string, labels ...string) *int { return nil }
+
+// Gauge looks up or creates a gauge.
+func (*Registry) Gauge(name, help string) *int { return nil }
+
+// Histogram looks up or creates a histogram.
+func (*Registry) Histogram(name, help string, buckets []float64) *int { return nil }
+
+// rawNames registers metrics with literals at the call site — each one can
+// drift from the scrape side without a compile error.
+func rawNames(reg *Registry) {
+	reg.Counter("canon_fixture_total", "a counter")                    // want `metric name passed to Counter as a raw string literal`
+	reg.Gauge("canon_fixture_depth", "a gauge")                        // want `metric name passed to Gauge as a raw string literal`
+	reg.Histogram("canon_fixture_seconds", "a histogram", nil)         // want `metric name passed to Histogram as a raw string literal`
+	reg.Counter("canon_"+suffix(), "concatenation still embeds a raw") // want `metric name passed to Counter as a raw string literal`
+}
+
+// suppressedRaw proves the pragma escape hatch.
+func suppressedRaw(reg *Registry) {
+	//canonvet:ignore metricnames -- fixture: prove the pragma suppresses the line below
+	reg.Counter("canon_fixture_suppressed_total", "suppressed")
+}
+
+func suffix() string { return "dynamic_total" }

@@ -1,0 +1,26 @@
+package metricnames
+
+// The metric namespace, declared once — the pattern the check enforces.
+const (
+	mnFixtureTotal   = "canon_fixture_total"
+	mnFixtureDepth   = "canon_fixture_depth"
+	mnFixtureSeconds = "canon_fixture_seconds"
+)
+
+// constNames registers through named constants: idents resolve, no literal
+// appears at the lookup site.
+func constNames(reg *Registry) {
+	reg.Counter(mnFixtureTotal, "a counter")
+	reg.Gauge(mnFixtureDepth, "a gauge")
+	reg.Histogram(mnFixtureSeconds, "a histogram", nil)
+}
+
+// otherReceiver has a Counter method but is not a Registry; the check must
+// leave it alone (help strings and other arguments stay free-form).
+type ledger struct{}
+
+func (ledger) Counter(name, help string) *int { return nil }
+
+func notARegistry(l ledger) {
+	_ = l.Counter("not_a_metric_name", "different type entirely")
+}

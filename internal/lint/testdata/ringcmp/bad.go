@@ -1,0 +1,31 @@
+// Package ringcmp is a canonvet fixture: every `want` comment names a
+// diagnostic the ringcmp check must produce on that line, and the pragma
+// block proves the escape hatch suppresses an otherwise-flagged line.
+package ringcmp
+
+import "github.com/canon-dht/canon/internal/id"
+
+// before compares circular identifiers with a raw operator — broken at the
+// zero-wrap, which is exactly what the check exists to catch.
+func before(a, b id.ID) bool {
+	return a < b // want `raw "<" on circular id.ID values`
+}
+
+// width subtracts identifiers directly; the conversion wraps the flagged
+// expression rather than the operands, so the subtraction is still raw.
+func width(a, b id.ID) uint64 {
+	return uint64(b - a) // want `raw "-" on circular id.ID values`
+}
+
+// atMost uses <= against an untyped constant; the constant takes the id.ID
+// type, so the comparison is still circular arithmetic.
+func atMost(a id.ID) bool {
+	return a <= 1<<20 // want `raw "<=" on circular id.ID values`
+}
+
+// farSide demonstrates the per-line escape hatch: the pragma suppresses the
+// finding on the next line, so no want comment appears.
+func farSide(a id.ID) bool {
+	//canonvet:ignore ringcmp -- fixture: prove the pragma suppresses the line below
+	return a >= 1<<31
+}

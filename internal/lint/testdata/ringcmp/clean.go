@@ -1,0 +1,39 @@
+package ringcmp
+
+import (
+	"math/rand"
+
+	"github.com/canon-dht/canon/internal/id"
+)
+
+// cleanBetween goes through the ring-metric helper.
+func cleanBetween(s id.Space, x, a, b id.ID) bool {
+	return s.Between(x, a, b)
+}
+
+// cleanGap measures distance with the clockwise metric.
+func cleanGap(s id.Space, a, b id.ID) uint64 {
+	return s.Clockwise(a, b)
+}
+
+// cleanAbsolute asserts absolute order the sanctioned way: an explicit
+// uint64 conversion on each operand.
+func cleanAbsolute(a, b id.ID) bool {
+	return uint64(a) < uint64(b)
+}
+
+// cleanEquality is fine: == and != are wrap-safe.
+func cleanEquality(a, b id.ID) bool {
+	return a == b || a != b
+}
+
+// cleanSearch uses the insertion-point helpers instead of hand-rolled
+// comparisons.
+func cleanSearch(ids []id.ID, v id.ID) int {
+	return id.SearchIDs(id.SortIDs(ids), v)
+}
+
+// cleanRandom exercises unrelated id.Space API to keep the import honest.
+func cleanRandom(rng *rand.Rand, s id.Space) id.ID {
+	return s.Random(rng)
+}

@@ -1,0 +1,30 @@
+// Package simdeterminism is a canonvet fixture: the lint test registers this
+// package as seed-reproducible (Config.SimPackages), so wall-clock reads and
+// global-RNG draws must be flagged.
+package simdeterminism
+
+import (
+	"math/rand"
+	"time"
+)
+
+// stamp reads the wall clock inside a simulation package.
+func stamp() time.Time {
+	return time.Now() // want `time.Now in pure-simulation package`
+}
+
+// settle sleeps, making the run time-dependent.
+func settle() {
+	time.Sleep(time.Millisecond) // want `time.Sleep in pure-simulation package`
+}
+
+// jitter draws from the global source, unreproducible from a seed.
+func jitter() float64 {
+	return rand.Float64() // want `rand.Float64 draws from math/rand's shared global source`
+}
+
+// suppressedStamp proves the pragma escape hatch works here too.
+func suppressedStamp() time.Time {
+	//canonvet:ignore simdeterminism -- fixture: prove the pragma suppresses the line below
+	return time.Now()
+}

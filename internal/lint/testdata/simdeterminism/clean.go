@@ -1,0 +1,22 @@
+package simdeterminism
+
+import (
+	"math/rand"
+	"time"
+)
+
+// step advances simulated time arithmetically; duration constants and
+// arithmetic on time values are fine — only wall-clock reads are banned.
+func step(now time.Duration) time.Duration {
+	return now + 50*time.Millisecond
+}
+
+// draw uses a caller-seeded generator: reproducible from the seed alone.
+func draw(rng *rand.Rand) int {
+	return rng.Intn(100)
+}
+
+// seeded constructs the generator explicitly.
+func seeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

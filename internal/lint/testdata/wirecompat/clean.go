@@ -1,0 +1,33 @@
+package wirecompat
+
+import "github.com/canon-dht/canon/internal/lint/testdata/wirecompat/wire"
+
+// keyed names every field: a reorder or insertion cannot shift values.
+func keyed() wire.Ping {
+	return wire.Ping{From: 7, Seq: 1}
+}
+
+// viaConstructor goes through the sanctioned constructor.
+func viaConstructor(payload []byte) wire.Envelope {
+	return wire.NewEnvelope("ping", payload, 42)
+}
+
+// explicitNonce populates both Type and Nonce, so the envelope rule is
+// satisfied even without the constructor.
+func explicitNonce(payload []byte) wire.Envelope {
+	return wire.Envelope{Type: "ping", Payload: payload, Nonce: 7}
+}
+
+// zeroValue literals with no elements carry no positional risk.
+func zeroValue() wire.Ping {
+	return wire.Ping{}
+}
+
+// notWire has no json tags; unkeyed literals of it are ordinary Go.
+type notWire struct {
+	a, b int
+}
+
+func plain() notWire {
+	return notWire{1, 2}
+}

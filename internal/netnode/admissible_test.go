@@ -1,0 +1,98 @@
+package netnode
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/canon-dht/canon/internal/transport"
+)
+
+// newAdmissibleNode builds an offline node (no Join) whose routing state the
+// test sets by hand.
+func newAdmissibleNode(t *testing.T, name string, nodeID uint64) *Node {
+	t.Helper()
+	bus := transport.NewBus()
+	n, err := New(Config{
+		Transport: bus.Endpoint("adm-" + name),
+		Name:      name,
+		ID:        nodeID,
+		Rand:      rand.New(rand.NewSource(1)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = n.Close() })
+	return n
+}
+
+// TestCanonAdmissibleLinkRetentionBound is the regression test for the PR 2
+// routing fix: a successor-list or predecessor candidate whose lowest common
+// domain with us sits at depth s is only admissible when it is strictly
+// closer than our successor in the level-(s+1) ring (the Section 2.2
+// link-retention rule). Before the fix, a far global successor-list entry
+// could be used to jump past the domain spine, breaking the Section 3.2
+// proxy-convergence property on the live path.
+func TestCanonAdmissibleLinkRetentionBound(t *testing.T) {
+	const self = 1000
+	n := newAdmissibleNode(t, "us/west", self) // levels = 2
+
+	n.mu.Lock()
+	// Level-1 successor (the "us" ring) 50 clockwise; leaf successor 20.
+	n.succs[1] = []Info{{ID: self + 50, Name: "us/east", Addr: "succ-us"}}
+	n.succs[2] = []Info{{ID: self + 20, Name: "us/west", Addr: "succ-leaf"}}
+	n.mu.Unlock()
+
+	cases := []struct {
+		desc string
+		cand Info
+		want bool
+	}{
+		{
+			// sharedLevels = 0, so the bound is the level-1 successor (50):
+			// a candidate 200 away violates link retention. This is the exact
+			// shape the PR 2 fix rejects.
+			desc: "cross-domain candidate beyond the level-1 successor",
+			cand: Info{ID: self + 200, Name: "eu/north", Addr: "far"},
+			want: false,
+		},
+		{
+			desc: "cross-domain candidate inside the level-1 bound",
+			cand: Info{ID: self + 30, Name: "eu/north", Addr: "near"},
+			want: true,
+		},
+		{
+			// sharedLevels = 1 ("us"), so the bound tightens to the leaf
+			// successor (20).
+			desc: "sibling-domain candidate beyond the leaf successor",
+			cand: Info{ID: self + 100, Name: "us/east", Addr: "sib-far"},
+			want: false,
+		},
+		{
+			desc: "sibling-domain candidate inside the leaf bound",
+			cand: Info{ID: self + 10, Name: "us/east", Addr: "sib-near"},
+			want: true,
+		},
+		{
+			// Same leaf domain: full Chord links, no bound at all.
+			desc: "same-leaf candidate is always admissible",
+			cand: Info{ID: self + 4000, Name: "us/west", Addr: "leaf-far"},
+			want: true,
+		},
+	}
+	for _, tc := range cases {
+		if got := n.canonAdmissible(tc.cand); got != tc.want {
+			t.Errorf("%s: canonAdmissible(%+v) = %v, want %v", tc.desc, tc.cand, got, tc.want)
+		}
+	}
+}
+
+// TestCanonAdmissibleWhileJoining covers the still-joining state: with no
+// deeper ring known there is no bound to apply, so every candidate is
+// admissible (the join path must be able to use its bootstrap contact).
+func TestCanonAdmissibleWhileJoining(t *testing.T) {
+	n := newAdmissibleNode(t, "us/west", 1000)
+	cand := Info{ID: 5000, Name: "eu/north", Addr: "boot"}
+	if !n.canonAdmissible(cand) {
+		t.Errorf("joining node rejected its bootstrap-era candidate %+v", cand)
+	}
+}

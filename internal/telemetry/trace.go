@@ -91,11 +91,22 @@ func SpanInDomain(s Span, prefix string) bool {
 	return s.Name == prefix || strings.HasPrefix(s.Name, prefix+"/")
 }
 
-// NewTraceID draws a 16-hex-digit trace identifier from rng (nil means the
-// global source). Seeded callers get reproducible IDs.
+// fallbackRNG backs NewTraceID when the caller passes no generator. It is a
+// private, mutex-guarded source rather than math/rand's global one so that
+// trace-ID draws never contend with (or perturb) other users of the global
+// generator — the same isolation the node RNGs got after the PR 1 race.
+var (
+	fallbackMu  sync.Mutex
+	fallbackRNG = rand.New(rand.NewSource(time.Now().UnixNano()))
+)
+
+// NewTraceID draws a 16-hex-digit trace identifier from rng (nil means a
+// private time-seeded source). Seeded callers get reproducible IDs.
 func NewTraceID(rng *rand.Rand) string {
 	if rng == nil {
-		return fmt.Sprintf("%08x%08x", rand.Uint32(), rand.Uint32())
+		fallbackMu.Lock()
+		defer fallbackMu.Unlock()
+		return fmt.Sprintf("%08x%08x", fallbackRNG.Uint32(), fallbackRNG.Uint32())
 	}
 	return fmt.Sprintf("%08x%08x", rng.Uint32(), rng.Uint32())
 }

@@ -7,6 +7,18 @@ import (
 	"github.com/canon-dht/canon/internal/telemetry"
 )
 
+// Metric names published by Instrumented. Named constants (rather than
+// literals at the registration sites) are a canonvet metricnames requirement:
+// they keep the full metric namespace greppable in one place and stop two
+// call sites from silently registering near-identical names.
+const (
+	mnTransportCalls      = "canon_transport_calls_total"
+	mnTransportCallErrors = "canon_transport_call_errors_total"
+	mnTransportCallSec    = "canon_transport_call_seconds"
+	mnTransportServed     = "canon_transport_served_total"
+	mnTransportHandleSec  = "canon_transport_handle_seconds"
+)
+
 // Instrumented wraps any Transport and publishes wire-level metrics into a
 // telemetry registry: call counts and latency on the send path, request
 // counts and handler latency by message type on the serve path. It composes
@@ -29,14 +41,14 @@ var _ Transport = (*Instrumented)(nil)
 func WithTelemetry(inner Transport, reg *telemetry.Registry) *Instrumented {
 	return &Instrumented{
 		inner:       inner,
-		calls:       reg.Counter("canon_transport_calls_total", "transport-level call attempts sent"),
-		callErrors:  reg.Counter("canon_transport_call_errors_total", "transport-level call attempts that failed"),
-		callSeconds: reg.Histogram("canon_transport_call_seconds", "transport-level call latency, seconds", telemetry.DefBuckets),
+		calls:       reg.Counter(mnTransportCalls, "transport-level call attempts sent"),
+		callErrors:  reg.Counter(mnTransportCallErrors, "transport-level call attempts that failed"),
+		callSeconds: reg.Histogram(mnTransportCallSec, "transport-level call latency, seconds", telemetry.DefBuckets),
 		served: func(msgType string) *telemetry.Counter {
-			return reg.Counter("canon_transport_served_total", "incoming requests handed to the handler, by type",
+			return reg.Counter(mnTransportServed, "incoming requests handed to the handler, by type",
 				telemetry.L("type", msgType))
 		},
-		handleSec: reg.Histogram("canon_transport_handle_seconds", "serve-side handler latency, seconds", telemetry.DefBuckets),
+		handleSec: reg.Histogram(mnTransportHandleSec, "serve-side handler latency, seconds", telemetry.DefBuckets),
 	}
 }
 

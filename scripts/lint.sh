@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# lint.sh — the project's full static-analysis gate, runnable locally and in
+# CI: gofmt (fail on any unformatted file), go vet, and canonvet (the
+# project-specific analyzer in cmd/canonvet).
+#
+# Usage:
+#   ./scripts/lint.sh                # everything
+#   ./scripts/lint.sh --no-canonvet  # formatting + go vet only (CI splits the
+#                                    # canonvet step out to archive its JSON)
+set -u
+
+cd "$(dirname "$0")/.."
+
+run_canonvet=1
+for arg in "$@"; do
+  case "$arg" in
+    --no-canonvet) run_canonvet=0 ;;
+    *)
+      echo "lint.sh: unknown argument: $arg" >&2
+      exit 2
+      ;;
+  esac
+done
+
+fail=0
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+  echo "gofmt needed on:" >&2
+  echo "$unformatted" >&2
+  fail=1
+fi
+
+echo "== go vet =="
+if ! go vet ./...; then
+  fail=1
+fi
+
+if [ "$run_canonvet" = 1 ]; then
+  echo "== canonvet =="
+  if ! go run ./cmd/canonvet ./...; then
+    fail=1
+  fi
+fi
+
+if [ "$fail" != 0 ]; then
+  echo "lint.sh: FAILED" >&2
+  exit 1
+fi
+echo "lint.sh: ok"
