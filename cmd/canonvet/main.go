@@ -1,24 +1,31 @@
 // Command canonvet is the Canon DHT project's static analyzer: it loads
-// every package in the module and reports violations of project invariants
-// — circular-ID arithmetic outside the ring helpers, nondeterminism in
-// seed-reproducible simulation packages, shared RNGs without locks, RPCs
-// issued under a held mutex, raw metric-name strings, and wire-struct
-// literals that can drift silently.
+// every package in the module, builds a module-wide call graph, and reports
+// violations of project invariants — circular-ID arithmetic outside the ring
+// helpers, nondeterminism in seed-reproducible simulation packages, shared
+// RNGs without locks, lock-order deadlock cycles, RPCs reachable while a
+// mutex is held, goroutines with no stop path, entry-point call paths with
+// no deadline, raw metric-name strings, wire-struct literals that can drift
+// silently, and stale suppression pragmas.
 //
 // Usage:
 //
-//	go run ./cmd/canonvet ./...            # whole module, human output
-//	go run ./cmd/canonvet -json ./...      # machine-readable findings
-//	go run ./cmd/canonvet -checks ringcmp,lockheldrpc ./internal/netnode
-//	go run ./cmd/canonvet -list            # describe every check
+//	go run ./cmd/canonvet ./...              # whole module, human output
+//	go run ./cmd/canonvet -json ./...        # machine-readable findings
+//	go run ./cmd/canonvet -checks lockorder,goroutineleak ./internal/netnode
+//	go run ./cmd/canonvet -list              # describe every check
+//	go run ./cmd/canonvet -why a1b2c3 ./...  # call-chain evidence for a finding
+//	go run ./cmd/canonvet -callgraph dot ./... > callgraph.dot
+//	go run ./cmd/canonvet -write-baseline .canonvet-baseline ./...
+//	go run ./cmd/canonvet -baseline .canonvet-baseline ./...  # fail on NEW findings only
 //
-// Exit status: 0 clean, 1 findings, 2 usage or load failure. Deliberate
-// exceptions are annotated in source with
+// Exit status: 0 clean, 1 findings (new findings when -baseline is given),
+// 2 usage or load failure. Deliberate exceptions are annotated in source with
 //
 //	//canonvet:ignore <check>[,<check>] -- <justification>
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -36,10 +43,14 @@ func main() {
 func run(args []string, stdout, stderr *os.File) int {
 	fs := flag.NewFlagSet("canonvet", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array (always newline-terminated)")
 	checks := fs.String("checks", "", "comma-separated subset of checks to run (default: all)")
 	list := fs.Bool("list", false, "list available checks and exit")
 	verbose := fs.Bool("v", false, "report type-checking problems encountered while loading")
+	why := fs.String("why", "", "print call-chain evidence for the finding with this fingerprint (prefix accepted)")
+	callgraph := fs.String("callgraph", "", "export the module call graph instead of findings (formats: dot)")
+	baseline := fs.String("baseline", "", "fingerprint file of known findings; exit 1 only on findings not in it")
+	writeBaseline := fs.String("write-baseline", "", "write the current findings' fingerprints to this file and exit 0")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -48,6 +59,10 @@ func run(args []string, stdout, stderr *os.File) int {
 			fmt.Fprintf(stdout, "%-16s %s\n", c.Name, c.Doc)
 		}
 		return 0
+	}
+	if *callgraph != "" && *callgraph != "dot" {
+		fmt.Fprintf(stderr, "canonvet: unknown -callgraph format %q (supported: dot)\n", *callgraph)
+		return 2
 	}
 
 	cwd, err := os.Getwd()
@@ -85,6 +100,7 @@ func run(args []string, stdout, stderr *os.File) int {
 	}
 
 	cfg := lint.DefaultConfig(loader.Module)
+	cfg.Root = root
 	if *checks != "" {
 		cfg.Enabled = make(map[string]bool)
 		known := make(map[string]bool)
@@ -101,29 +117,124 @@ func run(args []string, stdout, stderr *os.File) int {
 		}
 	}
 
+	if *callgraph == "dot" {
+		g := lint.BuildCallGraph(cfg, loader.Fset, pkgs)
+		g.ComputeSummaries()
+		fmt.Fprint(stdout, g.DOT())
+		return 0
+	}
+
 	diags := lint.Run(cfg, loader.Fset, pkgs)
+
+	if *why != "" {
+		matched := 0
+		for _, d := range diags {
+			if !strings.HasPrefix(d.Fingerprint, *why) {
+				continue
+			}
+			matched++
+			fmt.Fprintf(stdout, "%s\n  fingerprint %s\n", d.String(), d.Fingerprint)
+			if len(d.Chain) == 0 {
+				fmt.Fprintln(stdout, "  (no call-chain evidence: per-package check)")
+				continue
+			}
+			for i, frame := range d.Chain {
+				fmt.Fprintf(stdout, "  %s%s\n", strings.Repeat("  ", i), frame)
+			}
+		}
+		if matched == 0 {
+			fmt.Fprintf(stderr, "canonvet: no finding matches fingerprint %q\n", *why)
+			return 2
+		}
+		return 0
+	}
+
+	if *writeBaseline != "" {
+		if err := writeBaselineFile(*writeBaseline, diags); err != nil {
+			fmt.Fprintln(stderr, "canonvet:", err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "canonvet: wrote %d fingerprint(s) to %s\n", len(diags), *writeBaseline)
+		return 0
+	}
+
+	known := make(map[string]bool)
+	if *baseline != "" {
+		known, err = readBaselineFile(*baseline)
+		if err != nil {
+			fmt.Fprintln(stderr, "canonvet:", err)
+			return 2
+		}
+	}
+	var fresh []lint.Diagnostic
+	baselined := 0
+	for _, d := range diags {
+		if known[d.Fingerprint] {
+			baselined++
+			continue
+		}
+		fresh = append(fresh, d)
+	}
+
 	if *jsonOut {
+		// json.Encoder.Encode terminates its output with '\n', so the
+		// artifact is always newline-terminated and safe to concatenate.
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
-		if diags == nil {
-			diags = []lint.Diagnostic{}
+		if fresh == nil {
+			fresh = []lint.Diagnostic{}
 		}
-		if err := enc.Encode(diags); err != nil {
+		if err := enc.Encode(fresh); err != nil {
 			fmt.Fprintln(stderr, "canonvet:", err)
 			return 2
 		}
 	} else {
-		for _, d := range diags {
+		for _, d := range fresh {
 			fmt.Fprintln(stdout, d.String())
 		}
-		if len(diags) > 0 {
-			fmt.Fprintf(stderr, "canonvet: %d finding(s)\n", len(diags))
+		if len(fresh) > 0 {
+			fmt.Fprintf(stderr, "canonvet: %d finding(s)\n", len(fresh))
 		}
 	}
-	if len(diags) > 0 {
+	if baselined > 0 {
+		fmt.Fprintf(stderr, "canonvet: %d baselined finding(s) suppressed (burn them down)\n", baselined)
+	}
+	if len(fresh) > 0 {
 		return 1
 	}
 	return 0
+}
+
+// writeBaselineFile records one fingerprint per line with a human-readable
+// trailing comment; readBaselineFile only consumes the first field.
+func writeBaselineFile(path string, diags []lint.Diagnostic) error {
+	var b strings.Builder
+	b.WriteString("# canonvet baseline: fingerprints of known findings; first field per line is authoritative.\n")
+	for _, d := range diags {
+		fmt.Fprintf(&b, "%s %s %s:%d %s\n", d.Fingerprint, d.Check, filepath.Base(d.File), d.Line, d.Message)
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}
+
+// readBaselineFile parses a baseline file: blank lines and #-comments are
+// skipped, the first whitespace-separated field of every other line is a
+// fingerprint.
+func readBaselineFile(path string) (map[string]bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	known := make(map[string]bool)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		known[strings.Fields(line)[0]] = true
+	}
+	return known, sc.Err()
 }
 
 // targetDirs resolves command-line package patterns to directories. The

@@ -1,0 +1,262 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeScratchPkg materializes a throwaway package under testdata (inside
+// the module root, so the loader can assign it an import path; GoDirs skips
+// testdata, so it can never leak into module-wide runs) and returns its
+// loaded packages plus the built graph.
+func writeScratchPkg(t *testing.T, files map[string]string) (*Config, *CallGraph, []*Package, *Loader) {
+	t.Helper()
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := filepath.Join(root, "internal", "lint", "testdata")
+	dir, err := os.MkdirTemp(base, "scratch-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.RemoveAll(dir) })
+	for name, src := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.LoadDirs([]string{dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			t.Fatalf("scratch package must type-check: %v", terr)
+		}
+	}
+	cfg := DefaultConfig(loader.Module)
+	cfg.Root = root
+	g := BuildCallGraph(cfg, loader.Fset, pkgs)
+	g.ComputeSummaries()
+	return cfg, g, pkgs, loader
+}
+
+// findNode locates a graph node whose ID ends with the given suffix.
+func findNode(t *testing.T, g *CallGraph, suffix string) *FuncNode {
+	t.Helper()
+	var found *FuncNode
+	for id, n := range g.Nodes {
+		if strings.HasSuffix(id, suffix) {
+			if found != nil {
+				t.Fatalf("ambiguous node suffix %q (%s and %s)", suffix, found.ID, id)
+			}
+			found = n
+		}
+	}
+	if found == nil {
+		t.Fatalf("no node with suffix %q; have %d nodes", suffix, len(g.Nodes))
+	}
+	return found
+}
+
+// hasEdge reports an edge of the given kind between the two nodes.
+func hasEdge(from, to *FuncNode, kind EdgeKind) bool {
+	for _, e := range from.Out {
+		if e.Callee == to && e.Kind == kind {
+			return true
+		}
+	}
+	return false
+}
+
+const graphSrc = `package scratch
+
+import "context"
+
+type Sender interface {
+	Send(ctx context.Context, msg string) error
+}
+
+type TCP struct{}
+
+func (t *TCP) Send(ctx context.Context, msg string) error { return nil }
+
+type UDP struct{}
+
+func (u *UDP) Send(ctx context.Context, msg string) error { return nil }
+
+// NotASender has the name but not the signature.
+type NotASender struct{}
+
+func (n *NotASender) Send(msg string) error { return nil }
+
+func Static(t *TCP) { helper(t) }
+
+func helper(t *TCP) { t.Send(context.Background(), "x") }
+
+func Dynamic(s Sender) { s.Send(context.Background(), "x") }
+
+func MethodValue(t *TCP) func(context.Context, string) error { return t.Send }
+
+func Closure() {
+	f := func() { inner() }
+	f()
+}
+
+func inner() {}
+
+func Spawner(t *TCP) {
+	go helper(t)
+	defer helper(t)
+}
+`
+
+// TestCallGraphConstruction covers the resolution modes the checks depend
+// on: static calls, interface dispatch to every loose implementation (and
+// only those), method values as Ref edges, closures as tracked literal
+// nodes, and go/defer edge kinds.
+func TestCallGraphConstruction(t *testing.T) {
+	_, g, _, _ := writeScratchPkg(t, map[string]string{"graph.go": graphSrc})
+
+	static := findNode(t, g, ".Static")
+	helper := findNode(t, g, ".helper")
+	tcpSend := findNode(t, g, ".TCP).Send")
+	udpSend := findNode(t, g, ".UDP).Send")
+	ifaceSend := findNode(t, g, ".Sender).Send")
+	badSend := findNode(t, g, ".NotASender).Send")
+	dynamic := findNode(t, g, ".Dynamic")
+	methodValue := findNode(t, g, ".MethodValue")
+	closure := findNode(t, g, ".Closure")
+	inner := findNode(t, g, ".inner")
+	spawner := findNode(t, g, ".Spawner")
+
+	if !hasEdge(static, helper, EdgeCall) {
+		t.Error("Static -> helper call edge missing")
+	}
+	if !hasEdge(helper, tcpSend, EdgeCall) {
+		t.Error("helper -> (*TCP).Send call edge missing")
+	}
+	if !hasEdge(dynamic, ifaceSend, EdgeCall) {
+		t.Error("Dynamic -> (Sender).Send call edge missing")
+	}
+	if !ifaceSend.IsIfaceMethod {
+		t.Error("(Sender).Send not marked as interface method")
+	}
+	if !hasEdge(ifaceSend, tcpSend, EdgeDispatch) || !hasEdge(ifaceSend, udpSend, EdgeDispatch) {
+		t.Error("dispatch edges to TCP/UDP implementations missing")
+	}
+	if hasEdge(ifaceSend, badSend, EdgeDispatch) {
+		t.Error("dispatch edge to signature-mismatched NotASender must not exist")
+	}
+	if !hasEdge(methodValue, tcpSend, EdgeRef) {
+		t.Error("method value t.Send should be a Ref edge")
+	}
+	var lit *FuncNode
+	for _, e := range closure.Out {
+		if strings.HasPrefix(e.Callee.ID, "lit@") {
+			lit = e.Callee
+		}
+	}
+	if lit == nil {
+		t.Fatal("closure literal node missing from Closure's out edges")
+	}
+	if !hasEdge(lit, inner, EdgeCall) {
+		t.Error("closure body -> inner call edge missing")
+	}
+	if !hasEdge(spawner, helper, EdgeGo) {
+		t.Error("go helper(t) should be a Go edge")
+	}
+	if !hasEdge(spawner, helper, EdgeDefer) {
+		t.Error("defer helper(t) should be a Defer edge")
+	}
+	// Both Send implementations are RPC-prim-shaped? No: they are named
+	// Send, not Call — the primitive detector must not fire on them.
+	if tcpSend.IsRPCPrim || ifaceSend.IsRPCPrim {
+		t.Error("Send methods must not be classified as RPC primitives")
+	}
+}
+
+const summarySrc = `package scratch
+
+import (
+	"context"
+	"sync"
+)
+
+type Wire struct{}
+
+func (w *Wire) Call(ctx context.Context, addr string, msg string) (string, error) {
+	return "", nil
+}
+
+type S struct {
+	mu sync.Mutex
+	w  *Wire
+}
+
+// Mutually recursive pair: the fixpoint must converge and both must inherit
+// the leaf facts.
+func (s *S) pingPong(n int) {
+	if n == 0 {
+		s.leaf()
+		return
+	}
+	s.pongPing(n - 1)
+}
+
+func (s *S) pongPing(n int) { s.pingPong(n) }
+
+func (s *S) leaf() {
+	s.mu.Lock()
+	s.mu.Unlock()
+	s.w.Call(context.Background(), "a", "b")
+}
+
+// spawned work must NOT leak into the spawner's summary (Go edges are
+// excluded from propagation).
+func (s *S) spawner() { go s.leaf() }
+
+// stored closures must NOT leak either (Ref edges excluded).
+func (s *S) storer() func() { return func() { s.leaf() } }
+`
+
+// TestSummaryFixpoint pins the transfer function: facts flow over Call,
+// Defer and Dispatch edges — through recursion — and never over Go or Ref
+// edges.
+func TestSummaryFixpoint(t *testing.T) {
+	_, g, _, _ := writeScratchPkg(t, map[string]string{"summary.go": summarySrc})
+
+	leaf := findNode(t, g, ".S).leaf")
+	ping := findNode(t, g, ".S).pingPong")
+	pong := findNode(t, g, ".S).pongPing")
+	spawner := findNode(t, g, ".S).spawner")
+	storer := findNode(t, g, ".S).storer")
+
+	if !leaf.Sum.ReachesRPC {
+		t.Error("leaf calls Wire.Call: ReachesRPC must be true")
+	}
+	if len(leaf.Sum.Acquires) != 1 {
+		t.Errorf("leaf acquires S.mu: got %d classes", len(leaf.Sum.Acquires))
+	}
+	for _, n := range []*FuncNode{ping, pong} {
+		if !n.Sum.ReachesRPC {
+			t.Errorf("%s must inherit ReachesRPC through recursion", n.Name)
+		}
+		if len(n.Sum.Acquires) != 1 {
+			t.Errorf("%s must inherit the S.mu acquisition, got %d", n.Name, len(n.Sum.Acquires))
+		}
+	}
+	if spawner.Sum.ReachesRPC || len(spawner.Sum.Acquires) != 0 {
+		t.Error("Go edges must not propagate summaries into the spawner")
+	}
+	if storer.Sum.ReachesRPC || len(storer.Sum.Acquires) != 0 {
+		t.Error("Ref edges must not propagate summaries into the storer")
+	}
+}

@@ -1,0 +1,74 @@
+package lint
+
+import "fmt"
+
+// checkLockHeldRPC2 is the interprocedural successor to v1's lexical
+// lockheldrpc: it reports every call edge taken while a mutex is held whose
+// callee can reach a Transport.Call-shaped RPC primitive through the call
+// graph (Call/Defer/Dispatch edges). A netnode RPC can block for the full
+// retry budget; issuing one under a lock stalls every other operation on the
+// node and — because the remote peer's handler may call back — can deadlock
+// the pair. Unlike v1, the RPC no longer needs to be lexically visible in
+// the locked function: a helper three frames down still fires, and the
+// diagnostic carries the call chain as evidence (canonvet -why prints it).
+var checkLockHeldRPC2 = Check{
+	Name:      "lockheldrpc2",
+	Doc:       "RPC primitives reachable through the call graph while a mutex is held (deadlock/latency class)",
+	RunModule: runLockHeldRPC2,
+}
+
+func runLockHeldRPC2(mp *ModulePass) {
+	isRPC := func(n *FuncNode) bool { return n.IsRPCPrim }
+	type siteKey struct {
+		pos    string
+		callee string
+	}
+	seen := make(map[siteKey]bool)
+	for _, n := range mp.Graph.SortedNodes() {
+		for _, e := range n.Out {
+			if e.Kind != EdgeCall || len(e.Held) == 0 {
+				continue
+			}
+			if !e.Callee.IsRPCPrim && !e.Callee.Sum.ReachesRPC {
+				continue
+			}
+			key := siteKey{mp.Fset.Position(e.Pos).String(), e.Callee.ID}
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+
+			locks := make([]string, 0, len(e.Held))
+			for _, h := range e.Held {
+				locks = append(locks, h.Expr)
+			}
+			chain := append([]string{mp.Graph.frame(n, e.Pos)},
+				mp.Graph.Chain(e.Callee, summaryKinds, isRPC)...)
+			held := locks[len(locks)-1]
+			if e.Callee.IsRPCPrim {
+				mp.Report(e.Pos, chain,
+					"%s is called with %s held; release the lock before going to the wire",
+					e.Callee.Name, held)
+			} else {
+				mp.Report(e.Pos, chain,
+					"%s reaches %s with %s held (%s); release the lock before going to the wire",
+					e.Callee.Name, rpcName(chain), held,
+					fmt.Sprintf("%d frame chain, canonvet -why shows it", len(chain)))
+			}
+		}
+	}
+}
+
+// rpcName extracts the terminal frame's function name from a chain.
+func rpcName(chain []string) string {
+	if len(chain) == 0 {
+		return "an RPC primitive"
+	}
+	last := chain[len(chain)-1]
+	for i := 0; i < len(last); i++ {
+		if last[i] == ' ' {
+			return last[:i]
+		}
+	}
+	return last
+}

@@ -1,0 +1,178 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// checkLockOrder detects potential deadlocks from inconsistent lock
+// acquisition order. It builds a global lock-acquisition graph over named
+// mutex classes — an edge A→B whenever some execution may acquire B while
+// holding A, either directly (a Lock site with A in the lexically-held set)
+// or interprocedurally (a call made with A held whose callee's summary says
+// it may acquire B) — and reports every cycle with the acquisition paths as
+// evidence. Self-edges (A→A) are excluded: re-acquiring the same class is
+// usually two different instances (two nodes' mu in a handoff), which a
+// class-level analysis cannot distinguish.
+var checkLockOrder = Check{
+	Name:      "lockorder",
+	Doc:       "inconsistent mutex acquisition order across the call graph (potential deadlock cycles)",
+	RunModule: runLockOrder,
+}
+
+// lockWitness is the evidence for one lock-graph edge: where B was acquired
+// (or became reachable) while A was held.
+type lockWitness struct {
+	pos   token.Pos
+	fn    *FuncNode
+	chain []string
+}
+
+func runLockOrder(mp *ModulePass) {
+	type edgeKey struct{ from, to LockClass }
+	edges := make(map[edgeKey]lockWitness)
+	addEdge := func(from, to LockClass, w lockWitness) {
+		if from == to || !from.Named() || !to.Named() {
+			return
+		}
+		k := edgeKey{from, to}
+		if _, ok := edges[k]; !ok {
+			edges[k] = w
+		}
+	}
+
+	for _, n := range mp.Graph.SortedNodes() {
+		// Direct nesting: an acquisition with locks already held.
+		for _, a := range n.Acquired {
+			for _, h := range a.Held {
+				addEdge(h.Class, a.Class, lockWitness{
+					pos: a.Pos, fn: n,
+					chain: []string{mp.Graph.frame(n, a.Pos)},
+				})
+			}
+		}
+		// Interprocedural nesting: a call made under a lock whose callee
+		// may acquire more locks.
+		for _, e := range n.Out {
+			if e.Kind != EdgeCall || len(e.Held) == 0 {
+				continue
+			}
+			for class := range e.Callee.Sum.Acquires {
+				for _, h := range e.Held {
+					target := class
+					chain := mp.Graph.Chain(e.Callee, summaryKinds, func(fn *FuncNode) bool {
+						_, ok := fn.Sum.Acquires[target]
+						// The first function that *directly* acquires it.
+						if !ok {
+							return false
+						}
+						for _, a := range fn.Acquired {
+							if a.Class == target {
+								return true
+							}
+						}
+						return false
+					})
+					full := append([]string{mp.Graph.frame(n, e.Pos)}, chain...)
+					addEdge(h.Class, class, lockWitness{pos: e.Pos, fn: n, chain: full})
+				}
+			}
+		}
+	}
+
+	// Cycle detection over the class graph: for every edge A→B, a path
+	// B⇝A closes a cycle. The class graph is tiny (a handful of named
+	// mutexes), so a per-edge DFS is fine and yields a concrete path for
+	// the diagnostic.
+	succ := make(map[LockClass][]LockClass)
+	for k := range edges {
+		succ[k.from] = append(succ[k.from], k.to)
+	}
+	for from := range succ {
+		cs := succ[from]
+		sort.Slice(cs, func(i, j int) bool { return cs[i].String() < cs[j].String() })
+	}
+
+	var path func(from, to LockClass, seen map[LockClass]bool) []LockClass
+	path = func(from, to LockClass, seen map[LockClass]bool) []LockClass {
+		if from == to {
+			return []LockClass{from}
+		}
+		seen[from] = true
+		for _, next := range succ[from] {
+			if seen[next] {
+				continue
+			}
+			if p := path(next, to, seen); p != nil {
+				return append([]LockClass{from}, p...)
+			}
+		}
+		return nil
+	}
+
+	type cycleReport struct {
+		key     string
+		pos     token.Pos
+		chain   []string
+		message string
+	}
+	seenCycles := make(map[string]bool)
+	var reports []cycleReport
+	keys := make([]edgeKey, 0, len(edges))
+	for k := range edges {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].from != keys[j].from {
+			return keys[i].from.String() < keys[j].from.String()
+		}
+		return keys[i].to.String() < keys[j].to.String()
+	})
+	for _, k := range keys {
+		back := path(k.to, k.from, map[LockClass]bool{})
+		if back == nil {
+			continue
+		}
+		// Canonical cycle identity: the sorted set of classes involved.
+		classes := append([]LockClass{k.from}, back...)
+		names := make([]string, 0, len(classes))
+		seen := make(map[string]bool)
+		for _, c := range classes {
+			if s := c.String(); !seen[s] {
+				seen[s] = true
+				names = append(names, s)
+			}
+		}
+		sort.Strings(names)
+		id := strings.Join(names, "|")
+		if seenCycles[id] {
+			continue
+		}
+		seenCycles[id] = true
+
+		fw := edges[k]
+		// Evidence for the return path: the witness of each edge along it.
+		var chain []string
+		chain = append(chain, "acquires "+k.to.String()+" while holding "+k.from.String()+":")
+		chain = append(chain, fw.chain...)
+		for i := 0; i+1 < len(back); i++ {
+			w, ok := edges[edgeKey{back[i], back[i+1]}]
+			if !ok {
+				continue
+			}
+			chain = append(chain, "acquires "+back[i+1].String()+" while holding "+back[i].String()+":")
+			chain = append(chain, w.chain...)
+		}
+		cyc := strings.Join(names, " -> ") + " -> " + names[0]
+		reports = append(reports, cycleReport{
+			key: id, pos: fw.pos, chain: chain,
+			message: fmt.Sprintf("lock-order cycle %s: %s may deadlock against the reverse acquisition (run canonvet -why for both paths)", cyc, fw.fn.Name),
+		})
+	}
+	sort.Slice(reports, func(i, j int) bool { return reports[i].key < reports[j].key })
+	for _, r := range reports {
+		mp.Report(r.pos, r.chain, "%s", r.message)
+	}
+}

@@ -1,0 +1,122 @@
+package lint
+
+import (
+	"go/token"
+	"sort"
+)
+
+// checkNoDeadline audits every call path from a command entry point (the
+// packages in Config.EntryPackages — canond and canonctl) to a
+// Transport.Call-shaped RPC primitive, and reports paths on which no
+// function establishes a deadline: no context.WithTimeout/WithDeadline
+// anywhere between main and the wire. A CLI that blocks forever on a dead
+// peer is the live system's version of the liveness bugs the other checks
+// chase; every wire-touching path must bound its wait either with an
+// explicit context deadline or through the netnode retry layer's per-attempt
+// timeout (whose implementation calls WithTimeout, so it satisfies the rule
+// naturally).
+//
+// The analysis is path-sensitive in one bit — "has any frame so far created
+// a deadline" — and deliberately path-insensitive below that: a function
+// containing WithTimeout anywhere is assumed to apply it to the calls it
+// makes (see DESIGN.md). The report lands on the last edge whose caller
+// still lives in an entry package, so the diagnostic points at code a
+// command author can actually edit.
+var checkNoDeadline = Check{
+	Name:      "nodeadline",
+	Doc:       "entry-point call paths that reach the transport with no timeout anywhere on the path",
+	RunModule: runNoDeadline,
+}
+
+func runNoDeadline(mp *ModulePass) {
+	g := mp.Graph
+	type visitKey struct {
+		node  *FuncNode
+		timed bool
+	}
+	type finding struct {
+		pos   token.Pos
+		chain []string
+		prim  *FuncNode
+		site  *FuncNode
+	}
+	var findings []finding
+	seenFinding := make(map[string]bool)
+
+	// Synchronous edges plus goroutine spawns: a goroutine started by main
+	// making untimed RPCs hangs its work just the same.
+	kinds := map[EdgeKind]bool{EdgeCall: true, EdgeDefer: true, EdgeDispatch: true, EdgeGo: true}
+
+	record := func(stack []*Edge, last *Edge, prim *FuncNode) {
+		key := mp.Fset.Position(last.Pos).String() + "|" + prim.ID
+		if seenFinding[key] {
+			return
+		}
+		seenFinding[key] = true
+		site := last
+		path := append(append([]*Edge(nil), stack...), last)
+		for i := len(path) - 1; i >= 0; i-- {
+			if mp.Cfg.EntryPackages[path[i].Caller.Pkg] {
+				site = path[i]
+				break
+			}
+		}
+		chain := make([]string, 0, len(path)+1)
+		for _, e := range path {
+			chain = append(chain, g.frame(e.Caller, e.Pos))
+		}
+		chain = append(chain, g.frame(prim, prim.Pos))
+		findings = append(findings, finding{
+			pos: site.Pos, chain: chain, prim: prim, site: site.Caller,
+		})
+	}
+
+	var stack []*Edge
+	visited := make(map[visitKey]bool)
+	var dfs func(n *FuncNode, timed bool)
+	dfs = func(n *FuncNode, timed bool) {
+		timed = timed || n.DirectTimed
+		for _, e := range n.Out {
+			if !kinds[e.Kind] {
+				continue
+			}
+			if e.Callee.IsRPCPrim {
+				// Findings are detected at the edge, before the visited
+				// check, so two untimed paths sharing the primitive both
+				// report.
+				if !timed {
+					record(stack, e, e.Callee)
+				}
+				continue // stop at the wire either way
+			}
+			k := visitKey{e.Callee, timed}
+			if visited[k] {
+				continue
+			}
+			visited[k] = true
+			stack = append(stack, e)
+			dfs(e.Callee, timed)
+			stack = stack[:len(stack)-1]
+		}
+	}
+
+	for _, n := range g.SortedNodes() {
+		if mp.Cfg.EntryPackages[n.Pkg] && !n.InTestFile && n.Ident == "main" {
+			visited[visitKey{n, false}] = true
+			dfs(n, false)
+		}
+	}
+
+	sort.Slice(findings, func(i, j int) bool {
+		pi, pj := mp.Fset.Position(findings[i].pos), mp.Fset.Position(findings[j].pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		return pi.Offset < pj.Offset
+	})
+	for _, f := range findings {
+		mp.Report(f.pos, f.chain,
+			"call path from %s reaches %s with no deadline: no context.WithTimeout/WithDeadline on the path and no per-attempt timeout; bound the wait",
+			f.site.Name, f.prim.Name)
+	}
+}

@@ -3,13 +3,22 @@
 // has already been bitten by (or is structurally exposed to): circular-ID
 // arithmetic must go through the ring-metric helpers in internal/id,
 // pure-simulation packages must stay seed-reproducible, shared RNGs must be
-// lock-adjacent, RPCs must not be issued while a node's mutex is held,
-// metric names must be named constants, and wire-message structs must not
-// drift silently.
+// lock-adjacent, metric names must be named constants, and wire-message
+// structs must not drift silently.
 //
-// Checks are table-driven (see AllChecks); adding one is a ~30-line affair:
-// write a Run function over a Pass, append a Check entry. Every check honors
-// the per-file escape hatch
+// Since v2 the analyzer is interprocedural: a type-resolved, module-wide
+// call graph (static dispatch, conservative interface resolution, function
+// literal tracking — see callgraph.go) and per-function summaries computed
+// to a fixpoint (summary.go) power four concurrency checks: lockorder
+// (lock-acquisition cycles across functions), lockheldrpc2 (RPCs reachable
+// through the call graph while a mutex is held), goroutineleak (spawned
+// goroutines with no reachable stop signal), and nodeadline (wire-touching
+// paths from command entry points with no timeout anywhere on the path).
+// A deadpragma meta-check keeps the suppression pragmas themselves honest.
+//
+// Checks are table-driven (see AllChecks): per-package checks implement Run,
+// module-wide checks implement RunModule. Every check honors the escape
+// hatch
 //
 //	//canonvet:ignore <check>[,<check>...] -- <one-line justification>
 //
@@ -24,6 +33,8 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"hash/fnv"
+	"path/filepath"
 	"sort"
 	"strings"
 )
@@ -35,6 +46,13 @@ type Diagnostic struct {
 	Line    int    `json:"line"`
 	Column  int    `json:"column"`
 	Message string `json:"message"`
+	// Fingerprint identifies the finding across line drift: a hash of the
+	// check, the module-relative file path, and the message. Baseline files
+	// (canonvet -baseline) store fingerprints.
+	Fingerprint string `json:"fingerprint,omitempty"`
+	// Chain is the call-chain evidence behind an interprocedural finding,
+	// outermost frame first. canonvet -why prints it.
+	Chain []string `json:"chain,omitempty"`
 }
 
 // String renders the diagnostic in the conventional compiler format.
@@ -42,15 +60,23 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s [%s]", d.File, d.Line, d.Column, d.Message, d.Check)
 }
 
-// Check is one named analysis over a package.
+// Check is one named analysis. Per-package checks set Run; module-wide
+// (interprocedural) checks set RunModule and receive the call graph.
 type Check struct {
 	// Name is the identifier used by -checks and ignore pragmas.
 	Name string
 	// Doc is a one-line description shown by canonvet -list.
 	Doc string
-	// Run reports findings through pass.Reportf.
+	// Run reports findings for one package through pass.Reportf.
 	Run func(pass *Pass)
+	// RunModule reports findings over the whole loaded module through
+	// mp.Report; it runs once, after every per-package check.
+	RunModule func(mp *ModulePass)
 }
+
+// deadPragmaName is the meta-check's name; its logic lives in Run itself
+// (it must observe every other check's suppressions).
+const deadPragmaName = "deadpragma"
 
 // AllChecks returns the check table, in reporting order. New checks are
 // appended here.
@@ -59,9 +85,16 @@ func AllChecks() []Check {
 		checkRingCmp,
 		checkGlobalRand,
 		checkSimDeterminism,
-		checkLockHeldRPC,
+		checkLockOrder,
+		checkLockHeldRPC2,
+		checkGoroutineLeak,
+		checkNoDeadline,
 		checkMetricNames,
 		checkWireCompat,
+		{
+			Name: deadPragmaName,
+			Doc:  "//canonvet:ignore pragmas whose check no longer fires at that scope (stale suppressions)",
+		},
 	}
 }
 
@@ -69,6 +102,10 @@ func AllChecks() []Check {
 type Config struct {
 	// ModulePath is the module's import path prefix.
 	ModulePath string
+	// Root is the module root directory; when set, diagnostic fingerprints
+	// use module-relative paths so they survive checkouts in different
+	// directories.
+	Root string
 	// SimPackages is the set of import paths whose results must be
 	// seed-reproducible (the simdeterminism check's scope). External test
 	// units share their base package's path and scope.
@@ -77,13 +114,17 @@ type Config struct {
 	// telemetry registry's own package (its implementation and tests
 	// exercise arbitrary names by design).
 	MetricExemptPackages map[string]bool
+	// EntryPackages are the command packages whose call paths to the
+	// transport the nodeadline check audits.
+	EntryPackages map[string]bool
 	// Enabled restricts the run to the named checks; nil means all.
 	Enabled map[string]bool
 }
 
 // DefaultConfig returns the Canon module's tuning: the pure-simulation
-// packages from the paper's analytical side, and the telemetry registry as
-// the only package allowed to touch raw metric-name strings.
+// packages from the paper's analytical side, the telemetry registry as the
+// only package allowed to touch raw metric-name strings, and the live
+// command binaries as nodeadline entry points.
 func DefaultConfig(module string) *Config {
 	sim := map[string]bool{
 		module:                           true, // the analytical Canon model itself
@@ -99,7 +140,16 @@ func DefaultConfig(module string) *Config {
 		ModulePath:           module,
 		SimPackages:          sim,
 		MetricExemptPackages: map[string]bool{module + "/internal/telemetry": true},
+		EntryPackages: map[string]bool{
+			module + "/cmd/canond":   true,
+			module + "/cmd/canonctl": true,
+		},
 	}
+}
+
+// enabled reports whether the named check runs under this config.
+func (cfg *Config) enabled(name string) bool {
+	return cfg.Enabled == nil || cfg.Enabled[name]
 }
 
 // Pass carries one check's view of one package.
@@ -109,38 +159,64 @@ type Pass struct {
 	Pkg  *Package
 
 	check   string
-	ignores map[*ast.File]*fileIgnores
+	ignores map[string]*fileIgnores // keyed by filename
 	sink    *[]Diagnostic
 }
 
 // Reportf records a finding at pos unless an ignore pragma suppresses it.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
-	position := p.Fset.Position(pos)
-	for _, f := range p.Pkg.Files {
-		if ig, ok := p.ignores[f]; ok && ig.suppressed(p.check, position) {
-			return
-		}
+	report(p.Fset, p.ignores, p.sink, p.check, pos, nil, format, args...)
+}
+
+// ModulePass carries one module-wide check's view of the loaded module.
+type ModulePass struct {
+	Cfg   *Config
+	Fset  *token.FileSet
+	Graph *CallGraph
+
+	check   string
+	ignores map[string]*fileIgnores
+	sink    *[]Diagnostic
+}
+
+// Report records a finding at pos with optional call-chain evidence, unless
+// an ignore pragma suppresses it.
+func (p *ModulePass) Report(pos token.Pos, chain []string, format string, args ...any) {
+	report(p.Fset, p.ignores, p.sink, p.check, pos, chain, format, args...)
+}
+
+// report is the shared suppression-aware diagnostic sink.
+func report(fset *token.FileSet, ignores map[string]*fileIgnores, sink *[]Diagnostic,
+	check string, pos token.Pos, chain []string, format string, args ...any) {
+	position := fset.Position(pos)
+	if ig, ok := ignores[position.Filename]; ok && ig.suppressed(check, position) {
+		return
 	}
-	*p.sink = append(*p.sink, Diagnostic{
-		Check:   p.check,
+	*sink = append(*sink, Diagnostic{
+		Check:   check,
 		File:    position.Filename,
 		Line:    position.Line,
 		Column:  position.Column,
 		Message: fmt.Sprintf(format, args...),
+		Chain:   chain,
 	})
 }
 
 // TypeOf returns the type of an expression, or nil when type information is
 // incomplete (checks must degrade gracefully).
 func (p *Pass) TypeOf(e ast.Expr) types.Type {
-	if tv, ok := p.Pkg.Info.Types[e]; ok {
+	return typeOf(p.Pkg.Info, e)
+}
+
+func typeOf(info *types.Info, e ast.Expr) types.Type {
+	if tv, ok := info.Types[e]; ok {
 		return tv.Type
 	}
 	if id, ok := e.(*ast.Ident); ok {
-		if obj := p.Pkg.Info.Uses[id]; obj != nil {
+		if obj := info.Uses[id]; obj != nil {
 			return obj.Type()
 		}
-		if obj := p.Pkg.Info.Defs[id]; obj != nil {
+		if obj := info.Defs[id]; obj != nil {
 			return obj.Type()
 		}
 	}
@@ -196,22 +272,47 @@ func namedOf(t types.Type) *types.Named {
 	return named
 }
 
+// pragma is one parsed //canonvet:ignore directive. fileWide pragmas sit
+// above the package clause; line pragmas suppress their own line and the
+// next. used records which named checks the pragma actually suppressed, so
+// the deadpragma meta-check can flag stale suppressions.
+type pragma struct {
+	checks   []string
+	fileWide bool
+	line     int
+	pos      token.Pos
+	used     map[string]bool
+}
+
+func (pr *pragma) names(check string) bool {
+	for _, c := range pr.checks {
+		if c == check || c == "all" {
+			return true
+		}
+	}
+	return false
+}
+
 // fileIgnores is the parsed //canonvet:ignore pragmas of one file.
 type fileIgnores struct {
 	filename string
-	all      map[string]bool         // file-wide suppressions
-	byLine   map[int]map[string]bool // line-scoped suppressions
+	pragmas  []*pragma
 }
 
+// suppressed reports whether a pragma covers the finding, marking the
+// matching pragma as used.
 func (ig *fileIgnores) suppressed(check string, pos token.Position) bool {
 	if ig.filename != pos.Filename {
 		return false
 	}
-	if ig.all["all"] || ig.all[check] {
-		return true
-	}
-	if m := ig.byLine[pos.Line]; m != nil && (m["all"] || m[check]) {
-		return true
+	for _, pr := range ig.pragmas {
+		if !pr.names(check) {
+			continue
+		}
+		if pr.fileWide || pr.line == pos.Line || pr.line+1 == pos.Line {
+			pr.used[check] = true
+			return true
+		}
 	}
 	return false
 }
@@ -220,11 +321,7 @@ func (ig *fileIgnores) suppressed(check string, pos token.Position) bool {
 // the package clause suppresses the named checks for the whole file; any
 // other pragma suppresses them on its own line and the line below it.
 func parseIgnores(fset *token.FileSet, f *ast.File) *fileIgnores {
-	ig := &fileIgnores{
-		filename: fset.Position(f.Pos()).Filename,
-		all:      make(map[string]bool),
-		byLine:   make(map[int]map[string]bool),
-	}
+	ig := &fileIgnores{filename: fset.Position(f.Pos()).Filename}
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
 			text := strings.TrimSpace(strings.TrimPrefix(strings.TrimPrefix(c.Text, "//"), "/*"))
@@ -236,46 +333,148 @@ func parseIgnores(fset *token.FileSet, f *ast.File) *fileIgnores {
 			if len(fields) == 0 {
 				continue
 			}
-			checks := strings.Split(fields[0], ",")
-			if c.End() < f.Package {
-				for _, name := range checks {
-					ig.all[name] = true
-				}
-				continue
-			}
-			line := fset.Position(c.Pos()).Line
-			for _, ln := range []int{line, line + 1} {
-				if ig.byLine[ln] == nil {
-					ig.byLine[ln] = make(map[string]bool)
-				}
-				for _, name := range checks {
-					ig.byLine[ln][name] = true
-				}
-			}
+			ig.pragmas = append(ig.pragmas, &pragma{
+				checks:   strings.Split(fields[0], ","),
+				fileWide: c.End() < f.Package,
+				line:     fset.Position(c.Pos()).Line,
+				pos:      c.Pos(),
+				used:     make(map[string]bool),
+			})
 		}
 	}
 	return ig
 }
 
+// reportDeadPragmas emits the deadpragma meta-check: every parsed pragma
+// entry naming a check that ran in this invocation but suppressed nothing is
+// stale, and pragmas naming unknown checks are typos. "all" pragmas are only
+// judged when the full check set ran (a restricted -checks run cannot prove
+// them dead). Deadpragma findings deliberately bypass pragma suppression:
+// the pragma under report would otherwise suppress its own staleness (an
+// "all" pragma names every check, deadpragma included), and the only honest
+// fix is deleting the pragma anyway.
+func reportDeadPragmas(fset *token.FileSet, cfg *Config, ignores map[string]*fileIgnores,
+	ran map[string]bool, fullSet bool, sink *[]Diagnostic) {
+	known := make(map[string]bool)
+	for _, c := range AllChecks() {
+		known[c.Name] = true
+	}
+	emit := func(pos token.Pos, format string, args ...any) {
+		p := fset.Position(pos)
+		*sink = append(*sink, Diagnostic{
+			Check: deadPragmaName, File: p.Filename, Line: p.Line, Column: p.Column,
+			Message: fmt.Sprintf(format, args...),
+		})
+	}
+	files := make([]string, 0, len(ignores))
+	for f := range ignores {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	for _, f := range files {
+		for _, pr := range ignores[f].pragmas {
+			for _, name := range pr.checks {
+				switch {
+				case name == "all":
+					if fullSet && len(pr.used) == 0 {
+						emit(pr.pos,
+							"stale //canonvet:ignore all: no check fires at this scope; remove the pragma")
+					}
+				case !known[name]:
+					emit(pr.pos,
+						"//canonvet:ignore names unknown check %q (see canonvet -list)", name)
+				case ran[name] && !pr.used[name]:
+					emit(pr.pos,
+						"stale //canonvet:ignore: check %q no longer fires at this scope; remove the pragma", name)
+				}
+			}
+		}
+	}
+}
+
+// Fingerprint computes the stable identity of a finding for baseline files:
+// a 64-bit FNV-1a hash of check, module-relative path, and message — line
+// and column excluded so fingerprints survive unrelated edits.
+func (cfg *Config) Fingerprint(d Diagnostic) string {
+	file := d.File
+	if cfg.Root != "" {
+		if rel, err := filepath.Rel(cfg.Root, file); err == nil && !strings.HasPrefix(rel, "..") {
+			file = filepath.ToSlash(rel)
+		}
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%s|%s", d.Check, file, d.Message)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
 // Run executes the enabled checks over every package and returns the
-// findings sorted by position.
+// findings sorted by position. Per-package checks run first, then the
+// module-wide interprocedural checks over the call graph built from pkgs,
+// and finally the deadpragma meta-check over the suppression evidence the
+// earlier checks left behind.
 func Run(cfg *Config, fset *token.FileSet, pkgs []*Package) []Diagnostic {
 	var diags []Diagnostic
+	ignores := make(map[string]*fileIgnores)
 	for _, pkg := range pkgs {
-		ignores := make(map[*ast.File]*fileIgnores, len(pkg.Files))
 		for _, f := range pkg.Files {
-			ignores[f] = parseIgnores(fset, f)
+			ig := parseIgnores(fset, f)
+			ignores[ig.filename] = ig
 		}
+	}
+
+	ran := make(map[string]bool)
+	needGraph := false
+	for _, chk := range AllChecks() {
+		if !cfg.enabled(chk.Name) {
+			continue
+		}
+		if chk.RunModule != nil {
+			needGraph = true
+		}
+	}
+
+	for _, pkg := range pkgs {
 		for _, chk := range AllChecks() {
-			if cfg.Enabled != nil && !cfg.Enabled[chk.Name] {
+			if chk.Run == nil || !cfg.enabled(chk.Name) {
 				continue
 			}
+			ran[chk.Name] = true
 			pass := &Pass{
 				Cfg: cfg, Fset: fset, Pkg: pkg,
 				check: chk.Name, ignores: ignores, sink: &diags,
 			}
 			chk.Run(pass)
 		}
+	}
+
+	if needGraph {
+		graph := BuildCallGraph(cfg, fset, pkgs)
+		graph.ComputeSummaries()
+		for _, chk := range AllChecks() {
+			if chk.RunModule == nil || !cfg.enabled(chk.Name) {
+				continue
+			}
+			ran[chk.Name] = true
+			mp := &ModulePass{
+				Cfg: cfg, Fset: fset, Graph: graph,
+				check: chk.Name, ignores: ignores, sink: &diags,
+			}
+			chk.RunModule(mp)
+		}
+	}
+
+	if cfg.enabled(deadPragmaName) {
+		fullSet := true
+		for _, chk := range AllChecks() {
+			if chk.Name != deadPragmaName && !ran[chk.Name] {
+				fullSet = false
+			}
+		}
+		reportDeadPragmas(fset, cfg, ignores, ran, fullSet, &diags)
+	}
+
+	for i := range diags {
+		diags[i].Fingerprint = cfg.Fingerprint(diags[i])
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]

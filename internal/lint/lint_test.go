@@ -71,14 +71,23 @@ func TestFixtures(t *testing.T) {
 
 			cfg := DefaultConfig(loader.Module)
 			cfg.Enabled = map[string]bool{chk.Name: true}
-			if chk.Name == "simdeterminism" {
+			fixturePath, err := loader.importPath(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			switch chk.Name {
+			case "simdeterminism":
 				// The fixture package plays a seed-reproducible simulation
 				// package, the way cmd/canonvet's config lists the real ones.
-				fixturePath, err := loader.importPath(dir)
-				if err != nil {
-					t.Fatal(err)
-				}
 				cfg.SimPackages[fixturePath] = true
+			case "nodeadline":
+				// The fixture package plays a command entry point.
+				cfg.EntryPackages[fixturePath] = true
+			case deadPragmaName:
+				// The meta-check needs the other checks to run (staleness is
+				// "named check ran and suppressed nothing"); the fixture is
+				// deliberately clean under all of them.
+				cfg.Enabled = nil
 			}
 
 			diags := Run(cfg, loader.Fset, pkgs)

@@ -1,0 +1,11 @@
+package deadpragma
+
+import "math/rand"
+
+// jitter carries a *live* suppression: the globalrand check really does fire
+// on the line below, the pragma absorbs it, and deadpragma therefore has
+// nothing to say.
+func jitter() int {
+	//canonvet:ignore globalrand -- fixture exercises a live suppression
+	return rand.Intn(10)
+}

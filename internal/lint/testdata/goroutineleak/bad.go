@@ -1,0 +1,80 @@
+// Package goroutineleak is the golden fixture for the goroutine-leak check:
+// goroutines that can reach an endless loop with no statement that ever
+// leaves it.
+package goroutineleak
+
+import "time"
+
+// Prober is a long-lived struct in the netnode mold.
+type Prober struct {
+	stop chan struct{}
+}
+
+// loop never exits: for {} with no return, break, or panic.
+func (p *Prober) loop() {
+	for {
+		time.Sleep(time.Second)
+	}
+}
+
+// Start leaks loop.
+func (p *Prober) Start() {
+	go p.loop() // want `goroutine spawned here runs an endless loop in .*loop.* with no reachable stop path`
+}
+
+// run reaches the endless loop one call down; the chain still finds it.
+func (p *Prober) run() {
+	p.spin()
+}
+
+func (p *Prober) spin() {
+	for {
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// StartIndirect leaks through run -> spin.
+func (p *Prober) StartIndirect() {
+	go p.run() // want `goroutine spawned here runs an endless loop in .*spin.* with no reachable stop path`
+}
+
+// tickForever ranges over a ticker channel, which never closes: as endless
+// as for {}.
+func (p *Prober) tickForever(t *time.Ticker) {
+	for range t.C {
+		p.work()
+	}
+}
+
+func (p *Prober) work() {}
+
+// StartTicker leaks tickForever.
+func (p *Prober) StartTicker(t *time.Ticker) {
+	go p.tickForever(t) // want `goroutine spawned here runs an endless loop in .*tickForever.* with no reachable stop path`
+}
+
+// ignoresSignal receives the stop signal but never leaves the loop — the
+// check calls that out specifically.
+func (p *Prober) ignoresSignal(t *time.Ticker) {
+	for {
+		select {
+		case <-p.stop:
+		case <-t.C:
+			p.work()
+		}
+	}
+}
+
+// StartDeaf leaks ignoresSignal despite its stop case.
+func (p *Prober) StartDeaf(t *time.Ticker) {
+	go p.ignoresSignal(t) // want `endless loop in .*ignoresSignal.*receives a stop signal but never leaves the loop`
+}
+
+// literalLeak spawns an endless closure.
+func (p *Prober) literalLeak() {
+	go func() { // want `goroutine spawned here runs an endless loop in func literal`
+		for {
+			time.Sleep(time.Second)
+		}
+	}()
+}

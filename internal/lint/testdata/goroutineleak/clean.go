@@ -1,0 +1,80 @@
+package goroutineleak
+
+import (
+	"context"
+	"time"
+)
+
+// stoppable is the canonical maintenance loop: the stop case returns.
+func (p *Prober) stoppable(t *time.Ticker) {
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-t.C:
+			p.work()
+		}
+	}
+}
+
+// StartStoppable is fine.
+func (p *Prober) StartStoppable(t *time.Ticker) {
+	go p.stoppable(t)
+}
+
+// ctxLoop exits when the context does.
+func (p *Prober) ctxLoop(ctx context.Context, t *time.Ticker) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			p.work()
+		}
+	}
+}
+
+// StartCtx is fine.
+func (p *Prober) StartCtx(ctx context.Context, t *time.Ticker) {
+	go p.ctxLoop(ctx, t)
+}
+
+// bounded loops terminate on their own.
+func (p *Prober) bounded() {
+	for i := 0; i < 10; i++ {
+		p.work()
+	}
+}
+
+// StartBounded is fine.
+func (p *Prober) StartBounded() {
+	go p.bounded()
+}
+
+// rangeOverClosable drains a channel that the producer closes: the range
+// ends when the channel does.
+func (p *Prober) rangeOverClosable(ch chan int) {
+	for range ch {
+		p.work()
+	}
+}
+
+// StartDrain is fine.
+func (p *Prober) StartDrain(ch chan int) {
+	go p.rangeOverClosable(ch)
+}
+
+// breakOut escapes via break.
+func (p *Prober) breakOut() {
+	for {
+		if p.stop == nil {
+			break
+		}
+		p.work()
+	}
+}
+
+// StartBreaker is fine.
+func (p *Prober) StartBreaker() {
+	go p.breakOut()
+}

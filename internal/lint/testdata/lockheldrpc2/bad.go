@@ -1,0 +1,67 @@
+// Package lockheldrpc2 is the golden fixture for the interprocedural
+// lock-held-RPC check. Conn.Call has the Transport.Call shape (named Call,
+// first parameter context.Context), so any call edge that can reach it while
+// a mutex is held must fire — whether the RPC is lexically visible or buried
+// behind helpers.
+package lockheldrpc2
+
+import (
+	"context"
+	"sync"
+)
+
+// Conn stands in for a transport: Call is the RPC primitive.
+type Conn struct{}
+
+func (c *Conn) Call(ctx context.Context, addr string, msg string) (string, error) {
+	return msg, nil
+}
+
+// Caller is the interface shape of the same primitive.
+type Caller interface {
+	Call(ctx context.Context, addr string, msg string) (string, error)
+}
+
+// Node mixes a mutex with a connection, the netnode.Node layout.
+type Node struct {
+	mu   sync.Mutex
+	conn *Conn
+	tr   Caller
+	peer string
+}
+
+// direct fires exactly as v1 did: the RPC is lexically inside the region.
+func (n *Node) direct(ctx context.Context) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.conn.Call(ctx, n.peer, "ping") // want `Call.*is called with n\.mu held`
+}
+
+// viaInterface fires on the interface method: Transport.Call-shaped.
+func (n *Node) viaInterface(ctx context.Context) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.tr.Call(ctx, n.peer, "ping") // want `Call.*is called with n\.mu held`
+}
+
+// oneHop is what v1 could never see: the RPC sits one call away.
+func (n *Node) oneHop(ctx context.Context) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.ping(ctx) // want `ping.*reaches.*Call.*with n\.mu held`
+}
+
+func (n *Node) ping(ctx context.Context) {
+	n.conn.Call(ctx, n.peer, "ping")
+}
+
+// twoHops pushes the RPC two frames down; the chain still carries evidence.
+func (n *Node) twoHops(ctx context.Context) {
+	n.mu.Lock()
+	n.probe(ctx) // want `probe.*reaches.*Call.*with n\.mu held`
+	n.mu.Unlock()
+}
+
+func (n *Node) probe(ctx context.Context) {
+	n.ping(ctx)
+}

@@ -1,0 +1,45 @@
+package lockheldrpc2
+
+import "context"
+
+// releaseFirst is the correct discipline: snapshot under the lock, release,
+// then go to the wire.
+func (n *Node) releaseFirst(ctx context.Context) {
+	n.mu.Lock()
+	peer := n.peer
+	n.mu.Unlock()
+	n.conn.Call(ctx, peer, "ping")
+}
+
+// earlyReturnKeepsHeld proves the branch discipline: the terminating branch
+// does not unlock the fall-through path, but the fall-through path unlocks
+// before calling.
+func (n *Node) earlyReturnKeepsHeld(ctx context.Context) {
+	n.mu.Lock()
+	if n.peer == "" {
+		n.mu.Unlock()
+		return
+	}
+	peer := n.peer
+	n.mu.Unlock()
+	n.conn.Call(ctx, peer, "ping")
+}
+
+// spawned goroutines do not inherit the lexical lock: the closure runs
+// concurrently, typically after the unlock.
+func (n *Node) spawn(ctx context.Context) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	go func() {
+		n.conn.Call(ctx, n.peer, "ping")
+	}()
+}
+
+// helpers that never reach the wire are fine to call under the lock.
+func (n *Node) localWork(ctx context.Context) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.rebalance()
+}
+
+func (n *Node) rebalance() { n.peer = n.peer + "" }

@@ -1,0 +1,51 @@
+// Package lockorder is the golden fixture for the lockorder check: every
+// want line below must fire, and clean.go must stay silent.
+package lockorder
+
+import "sync"
+
+// A and B are two named lock classes.
+type A struct{ mu sync.Mutex }
+
+type B struct{ mu sync.Mutex }
+
+// abPath acquires A then B: one direction of the cycle.
+func abPath(a *A, b *B) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock() // want `lock-order cycle .*A\.mu.*B\.mu.*deadlock`
+	b.mu.Unlock()
+}
+
+// baPath acquires B then A: the reverse direction, closing the cycle. The
+// diagnostic is reported once, at the lexicographically-first edge witness.
+func baPath(a *A, b *B) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	a.mu.Lock()
+	a.mu.Unlock()
+}
+
+// C and D close a cycle through a call: cdPath holds C and *calls* a helper
+// that acquires D, while dcPath nests the other way directly.
+type C struct{ mu sync.Mutex }
+
+type D struct{ mu sync.Mutex }
+
+func lockD(d *D) {
+	d.mu.Lock()
+	d.mu.Unlock()
+}
+
+func cdPath(c *C, d *D) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	lockD(d) // want `lock-order cycle .*C\.mu.*D\.mu.*deadlock`
+}
+
+func dcPath(c *C, d *D) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	c.mu.Lock()
+	c.mu.Unlock()
+}

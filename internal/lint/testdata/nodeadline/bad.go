@@ -1,0 +1,54 @@
+// Package main is the golden fixture for the nodeadline check: the test
+// harness registers this package as an entry package, so call paths from
+// main() to the Conn.Call primitive must carry a deadline somewhere.
+package main
+
+import (
+	"context"
+	"sync"
+)
+
+// Conn.Call is the Transport.Call-shaped primitive.
+type Conn struct{ mu sync.Mutex }
+
+func (c *Conn) Call(ctx context.Context, addr string, msg string) (string, error) {
+	return msg, nil
+}
+
+func main() {
+	c := &Conn{}
+	doLookup(c)     // untimed path: fires inside doLookup below
+	timedLookup(c)  // clean: creates its own deadline
+	go untimedBg(c) // untimed goroutine: fires inside untimedBg below
+	deepTimed(c)    // clean: the deadline sits one frame down
+}
+
+// doLookup goes to the wire with whatever context it fabricates — no
+// deadline anywhere on the main -> doLookup -> Call path.
+func doLookup(c *Conn) {
+	c.Call(context.Background(), "peer:1", "lookup") // want `reaches .*Call.* with no deadline`
+}
+
+// untimedBg is the background variant of the same bug.
+func untimedBg(c *Conn) {
+	c.Call(context.Background(), "peer:2", "probe") // want `reaches .*Call.* with no deadline`
+}
+
+// timedLookup bounds its wait; the path through it stays silent.
+func timedLookup(c *Conn) {
+	ctx, cancel := context.WithTimeout(context.Background(), 1)
+	defer cancel()
+	c.Call(ctx, "peer:3", "lookup")
+}
+
+// deepTimed delegates to a helper that creates the deadline: the timed bit
+// is inherited downward, so the wire call below it is fine.
+func deepTimed(c *Conn) {
+	withDeadline(c)
+}
+
+func withDeadline(c *Conn) {
+	ctx, cancel := context.WithTimeout(context.Background(), 1)
+	defer cancel()
+	c.Call(ctx, "peer:4", "lookup")
+}

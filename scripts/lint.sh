@@ -7,6 +7,10 @@
 #   ./scripts/lint.sh                # everything
 #   ./scripts/lint.sh --no-canonvet  # formatting + go vet only (CI splits the
 #                                    # canonvet step out to archive its JSON)
+#
+# Exit codes: 0 clean, 1 findings/format/vet failures, 2 canonvet could not
+# even load or type-check the module (a broken analyzer or broken tree — CI
+# must surface this differently from ordinary findings).
 set -u
 
 cd "$(dirname "$0")/.."
@@ -39,9 +43,22 @@ fi
 
 if [ "$run_canonvet" = 1 ]; then
   echo "== canonvet =="
-  if ! go run ./cmd/canonvet ./...; then
-    fail=1
-  fi
+  go run ./cmd/canonvet ./...
+  vet_status=$?
+  case "$vet_status" in
+    0) ;;
+    1)
+      echo "lint.sh: canonvet reported findings" >&2
+      fail=1
+      ;;
+    *)
+      # Exit 2 (or anything unexpected) means the analyzer failed to load or
+      # type-check the module: not a lint finding, a broken build. Propagate
+      # it verbatim so CI can tell the two apart.
+      echo "lint.sh: canonvet failed to run (exit $vet_status): load/type-check error, not a finding" >&2
+      exit 2
+      ;;
+  esac
 fi
 
 if [ "$fail" != 0 ]; then
