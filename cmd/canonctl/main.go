@@ -41,9 +41,11 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("canonctl", flag.ContinueOnError)
 	var (
-		node    = fs.String("node", "127.0.0.1:7001", "address of a live node")
-		timeout = fs.Duration("timeout", 10*time.Second, "operation timeout")
-		raw     = fs.Bool("raw", false, "status: dump the raw JSON instead of a summary")
+		node      = fs.String("node", "127.0.0.1:7001", "address of a live node")
+		timeout   = fs.Duration("timeout", 10*time.Second, "operation timeout")
+		raw       = fs.Bool("raw", false, "status: dump the raw JSON instead of a summary")
+		wire      = fs.String("wire", "binary", "wire protocol toward the node: binary (auto-downgrades to json) or json")
+		connsPeer = fs.Int("conns-per-peer", 0, "multiplexed connections toward the node (0 = default 2)")
 	)
 	fs.Usage = func() {
 		fmt.Fprintln(fs.Output(), "usage: canonctl [flags] ping|lookup|trace|put|get|neighbors|status ...")
@@ -56,7 +58,10 @@ func run(args []string) error {
 		fs.Usage()
 		return fmt.Errorf("a command is required")
 	}
-	tr, err := canon.ListenTCP("127.0.0.1:0")
+	tr, err := canon.ListenTCPOpts("127.0.0.1:0", canon.TCPTransportOptions{
+		Wire:         *wire,
+		ConnsPerPeer: *connsPeer,
+	})
 	if err != nil {
 		return err
 	}

@@ -53,6 +53,8 @@ func run(args []string) (err error) {
 		sample    = fs.Float64("trace-sample", 0, "fraction of lookups sampled into route traces, 0..1")
 		traceBuf  = fs.Int("trace-buffer", 0, "completed-trace ring buffer size (0 = default 128)")
 		proto     = fs.String("transport", "tcp", "wire transport: tcp or udp")
+		wire      = fs.String("wire", "binary", "TCP wire protocol: binary (multiplexed, auto-downgrades to json per peer) or json (legacy framing)")
+		connsPeer = fs.Int("conns-per-peer", 0, "TCP connections per peer: mux conns on the binary wire and the pooled-conn cap on the json wire (0 = defaults: 2 and 4)")
 		retries   = fs.Int("retries", 0, "RPC attempts per call (0 = default of 3, 1 = no retries)")
 		backoff   = fs.Duration("retry-backoff", 0, "base retry backoff (0 = default 5ms; doubles per retry)")
 		loss      = fs.Float64("inject-loss", 0, "drop this fraction of outgoing RPCs (soak testing; 0 = off)")
@@ -65,11 +67,23 @@ func run(args []string) (err error) {
 		return fmt.Errorf("-trace-sample must be in [0,1], got %g", *sample)
 	}
 
+	// One registry carries wire-level series (the binary-mux counters from
+	// the TCP transport itself plus the instrumented wrapper) and node-level
+	// series (via LiveConfig.Telemetry); /metrics serves all of them.
+	reg := canon.NewMetricsRegistry()
 	var tr canon.Transport
 	switch *proto {
 	case "tcp":
-		tr, err = canon.ListenTCP(*listen)
+		tr, err = canon.ListenTCPOpts(*listen, canon.TCPTransportOptions{
+			Wire:         *wire,
+			ConnsPerPeer: *connsPeer,
+			PoolCap:      *connsPeer, // <= 0 keeps the default of 4
+			Telemetry:    reg,
+		})
 	case "udp":
+		if *wire != "binary" || *connsPeer != 0 {
+			fmt.Fprintln(os.Stderr, "canond: note: -wire and -conns-per-peer only apply to -transport tcp")
+		}
 		tr, err = canon.ListenUDP(*listen)
 	default:
 		return fmt.Errorf("unknown transport %q", *proto)
@@ -77,10 +91,6 @@ func run(args []string) (err error) {
 	if err != nil {
 		return err
 	}
-	// One registry carries wire-level series (via the instrumented
-	// transport) and node-level series (via LiveConfig.Telemetry); /metrics
-	// serves both.
-	reg := canon.NewMetricsRegistry()
 	tr = canon.InstrumentTransport(tr, reg)
 	if *loss < 0 || *loss >= 1 {
 		_ = tr.Close()

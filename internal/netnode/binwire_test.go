@@ -1,0 +1,224 @@
+package netnode
+
+import (
+	"encoding/json"
+	"testing"
+
+	"github.com/canon-dht/canon/internal/telemetry"
+)
+
+// jsonEq reports whether two values have identical JSON renderings — the
+// equality that matters for wire compatibility, since JSON is the legacy wire
+// format the binary codec must round-trip against (including the nil-vs-empty
+// distinctions omitempty makes observable).
+func jsonEq(t *testing.T, a, b any) bool {
+	t.Helper()
+	ja, err := json.Marshal(a)
+	if err != nil {
+		t.Fatalf("marshal %T: %v", a, err)
+	}
+	jb, err := json.Marshal(b)
+	if err != nil {
+		t.Fatalf("marshal %T: %v", b, err)
+	}
+	return string(ja) == string(jb)
+}
+
+// roundTrip encodes in through AppendBinary and decodes into out (a pointer
+// to the same type), failing the test on either error.
+func roundTrip(t *testing.T, in interface {
+	AppendBinary([]byte) ([]byte, error)
+}, out interface {
+	UnmarshalBinary([]byte) error
+}) {
+	t.Helper()
+	enc, err := in.AppendBinary(nil)
+	if err != nil {
+		t.Fatalf("encode %T: %v", in, err)
+	}
+	if err := out.UnmarshalBinary(enc); err != nil {
+		t.Fatalf("decode %T: %v", out, err)
+	}
+}
+
+var binwireSpans = []telemetry.Span{
+	{Hop: 0, Name: "stanford/cs", ID: 42, Addr: "10.0.0.1:7001", Level: 2},
+	{Hop: 1, Name: "stanford/ee", ID: 7, Addr: "10.0.0.2:7001", Level: 1, RouteAround: true},
+	{Hop: 2, Name: "mit", ID: 99, Addr: "10.0.0.3:7001", Level: -1, Owner: true},
+}
+
+func TestBinWireInfoRoundTrip(t *testing.T) {
+	cases := []Info{
+		{},
+		{ID: 1, Name: "a", Addr: "x:1"},
+		{ID: ^uint64(0), Name: "stanford/cs/db", Addr: "192.0.2.1:65535"},
+	}
+	for _, in := range cases {
+		var out Info
+		roundTrip(t, in, &out)
+		if !jsonEq(t, in, out) {
+			t.Errorf("Info %+v round-tripped to %+v", in, out)
+		}
+	}
+}
+
+func TestBinWireLookupRoundTrip(t *testing.T) {
+	reqs := []lookupReq{
+		{},
+		{Key: 123, Prefix: "stanford", Hops: 4},
+		{Key: ^uint64(0), Prefix: "", Hops: 0, Trace: "t-1", Spans: binwireSpans},
+		{Key: 5, Spans: []telemetry.Span{}}, // empty-but-present slice
+	}
+	for _, in := range reqs {
+		var out lookupReq
+		roundTrip(t, in, &out)
+		if !jsonEq(t, in, out) {
+			t.Errorf("lookupReq %+v round-tripped to %+v", in, out)
+		}
+	}
+	resps := []lookupResp{
+		{},
+		{
+			Pred:  Info{ID: 1, Name: "a", Addr: "x:1"},
+			Succ:  Info{ID: 2, Name: "b", Addr: "y:2"},
+			Hops:  7,
+			Trace: "t-2",
+			Spans: binwireSpans,
+		},
+	}
+	for _, in := range resps {
+		var out lookupResp
+		roundTrip(t, in, &out)
+		if !jsonEq(t, in, out) {
+			t.Errorf("lookupResp %+v round-tripped to %+v", in, out)
+		}
+	}
+}
+
+func TestBinWireStoreFetchRoundTrip(t *testing.T) {
+	stores := []storeReq{
+		{},
+		{Key: 9, Value: []byte("v"), Storage: "stanford", Access: "stanford/cs"},
+		{Key: 9, Value: []byte{}, Replica: true}, // empty-but-present value
+		{Key: 9, Pointer: Info{ID: 3, Name: "c", Addr: "z:3"}},
+	}
+	for _, in := range stores {
+		var out storeReq
+		roundTrip(t, in, &out)
+		if !jsonEq(t, in, out) {
+			t.Errorf("storeReq %+v round-tripped to %+v", in, out)
+		}
+	}
+	var fq fetchReq
+	roundTrip(t, fetchReq{Key: 11, Origin: "mit/csail"}, &fq)
+	if fq.Key != 11 || fq.Origin != "mit/csail" {
+		t.Errorf("fetchReq round-tripped to %+v", fq)
+	}
+	fetches := []fetchResp{
+		{},
+		{Values: []fetchValue{}},
+		{Values: []fetchValue{
+			{Value: []byte("data"), Access: "stanford"},
+			{Value: nil, Access: "", Pointer: Info{ID: 4, Name: "d", Addr: "w:4"}},
+		}},
+	}
+	for _, in := range fetches {
+		var out fetchResp
+		roundTrip(t, in, &out)
+		if !jsonEq(t, in, out) {
+			t.Errorf("fetchResp %+v round-tripped to %+v", in, out)
+		}
+	}
+}
+
+// TestBinWireStrictDecoding pins the strictness guarantees: trailing bytes
+// and truncations must error, never silently decode.
+func TestBinWireStrictDecoding(t *testing.T) {
+	in := lookupReq{Key: 1, Prefix: "p", Hops: 2, Trace: "t", Spans: binwireSpans}
+	enc, err := in.AppendBinary(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out lookupReq
+	if err := out.UnmarshalBinary(append(enc, 0x00)); err == nil {
+		t.Error("trailing byte decoded without error")
+	}
+	for i := 0; i < len(enc); i++ {
+		var q lookupReq
+		if err := q.UnmarshalBinary(enc[:i]); err == nil {
+			t.Errorf("truncation to %d of %d bytes decoded without error", i, len(enc))
+		}
+	}
+}
+
+// FuzzBinWireDecode throws arbitrary bytes at every binary decoder: none may
+// panic or over-allocate, whatever the input.
+func FuzzBinWireDecode(f *testing.F) {
+	seed := lookupReq{Key: 1, Prefix: "stanford", Hops: 3, Trace: "t", Spans: binwireSpans}
+	if enc, err := seed.AppendBinary(nil); err == nil {
+		f.Add(enc)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var i Info
+		_ = i.UnmarshalBinary(data)
+		var lq lookupReq
+		_ = lq.UnmarshalBinary(data)
+		var lp lookupResp
+		_ = lp.UnmarshalBinary(data)
+		var sq storeReq
+		_ = sq.UnmarshalBinary(data)
+		var fq fetchReq
+		_ = fq.UnmarshalBinary(data)
+		var fp fetchResp
+		_ = fp.UnmarshalBinary(data)
+	})
+}
+
+// FuzzBinWireDifferential builds a lookupReq from fuzzed primitives and
+// checks the binary round trip preserves exactly what the JSON wire form
+// preserves — the two codecs must agree on every representable value.
+func FuzzBinWireDifferential(f *testing.F) {
+	f.Add(uint64(1), "stanford/cs", 3, "trace-1", 2, "hop", "addr:1", -1, true)
+	f.Add(uint64(0), "", 0, "", 0, "", "", 0, false)
+	f.Fuzz(func(t *testing.T, key uint64, prefix string, hops int, trace string,
+		nspans int, spanName, spanAddr string, spanLevel int, owner bool) {
+		in := lookupReq{Key: key, Prefix: prefix, Hops: hops, Trace: trace}
+		if nspans < 0 {
+			nspans = -nspans
+		}
+		nspans %= 8
+		for j := 0; j < nspans; j++ {
+			in.Spans = append(in.Spans, telemetry.Span{
+				Hop: j, Name: spanName, ID: key + uint64(j), Addr: spanAddr,
+				Level: spanLevel, Owner: owner,
+			})
+		}
+
+		// Binary round trip.
+		enc, err := in.AppendBinary(nil)
+		if err != nil {
+			t.Fatalf("binary encode: %v", err)
+		}
+		var binOut lookupReq
+		if err := binOut.UnmarshalBinary(enc); err != nil {
+			t.Fatalf("binary decode of own encoding: %v", err)
+		}
+
+		// JSON round trip (the legacy wire).
+		raw, err := json.Marshal(in)
+		if err != nil {
+			t.Fatalf("json encode: %v", err)
+		}
+		var jsonOut lookupReq
+		if err := json.Unmarshal(raw, &jsonOut); err != nil {
+			t.Fatalf("json decode of own encoding: %v", err)
+		}
+
+		if !jsonEq(t, binOut, jsonOut) {
+			t.Errorf("codecs disagree:\n  binary: %+v\n  json:   %+v", binOut, jsonOut)
+		}
+	})
+}

@@ -1,0 +1,33 @@
+// Package netnode implements a live, networked Crescendo node: the dynamic
+// side of the paper (Section 2.3). Nodes carry hierarchical names
+// ("stanford/cs/db"), maintain successor lists (leaf sets) and a predecessor
+// at every level of their domain chain, and build their finger tables with
+// the Canon rule — full Chord fingers inside the lowest-level domain, and at
+// each higher level only fingers shorter than the distance to the
+// lower-level successor. Lookups are forwarded greedily clockwise,
+// constrained to a domain, so intra-domain path locality holds on the wire
+// exactly as in the analytical model.
+//
+// Bootstrap uses the paper's third suggestion: membership hints are stored
+// in the DHT itself, under a key derived from each domain's name.
+//
+// # Wire formats
+//
+// RPC bodies are declared in wire.go with json struct tags — the legacy
+// wire form — and the hot payloads (lookup, store, fetch, node identities,
+// trace spans) additionally implement transport.BinaryAppender and
+// encoding.BinaryUnmarshaler in binwire.go, so binary-mux connections carry
+// them in the compact encoding specified in docs/WIRE.md §4. Both forms are
+// maintained in lockstep; the differential fuzzers in binwire_test.go hold
+// them to byte-level agreement on everything JSON can represent.
+//
+// # Resilience
+//
+// Outbound RPCs go through a retry policy with exponential backoff; each
+// logical request carries a dedup nonce, and the serving side wraps its
+// handler in nonce-based at-most-once caching (transport.DedupHandler
+// semantics), so retries and duplicated deliveries never double-execute a
+// store. Nodes that repeatedly fail are routed around using the per-level
+// successor lists, and the routing layer records route-arounds in the
+// node's stats and any active route trace.
+package netnode

@@ -1,15 +1,5 @@
-// Package netnode implements a live, networked Crescendo node: the dynamic
-// side of the paper (Section 2.3). Nodes carry hierarchical names
-// ("stanford/cs/db"), maintain successor lists (leaf sets) and a predecessor
-// at every level of their domain chain, and build their finger tables with
-// the Canon rule — full Chord fingers inside the lowest-level domain, and at
-// each higher level only fingers shorter than the distance to the
-// lower-level successor. Lookups are forwarded greedily clockwise,
-// constrained to a domain, so intra-domain path locality holds on the wire
-// exactly as in the analytical model.
-//
-// Bootstrap uses the paper's third suggestion: membership hints are stored
-// in the DHT itself, under a key derived from each domain's name.
+// Wire message types and domain-name helpers; the package documentation
+// lives in doc.go.
 package netnode
 
 import (

@@ -1,0 +1,32 @@
+// Package telemetry is the observability core of the live Canon node: a
+// lock-sharded metrics registry (counters, gauges, fixed-bucket histograms)
+// with Prometheus text exposition, and distributed route tracing — a compact
+// trace context carried hop by hop through lookup messages so the paper's
+// structural guarantees (intra-domain path locality, inter-domain proxy
+// convergence, Section 3.2) become observable facts on a running cluster
+// instead of simulation-only assertions.
+//
+// The package depends only on the standard library and is safe for heavily
+// concurrent use: metric handles are cheap to cache and every mutation is a
+// single atomic operation, so instrumenting a hot RPC path costs
+// nanoseconds.
+//
+// # Registry
+//
+// Registry is the container: Counter, Gauge and Histogram get-or-create
+// handles keyed by name plus sorted labels, so repeated registrations from
+// independent call sites resolve to the same series. WritePrometheus (or
+// Handler, for HTTP) renders every series in Prometheus text format; canond
+// serves it at /metrics. Series names used by this module are declared as
+// constants next to their instrumentation (see internal/transport and
+// internal/netnode) — a canonvet rule keeps them greppable.
+//
+// # Route traces
+//
+// Trace and Span record one lookup's per-hop evidence: node, domain, the
+// routing level each hop was taken at, route-arounds, and the terminal
+// owner. Spans piggyback on lookup RPCs (see internal/netnode), costing no
+// extra messages; completed traces land in a TraceStore ring buffer that
+// canond serves at /debug/trace/. On the binary wire spans travel in the
+// compact encoding of docs/WIRE.md §4.
+package telemetry

@@ -1,14 +1,5 @@
-// Package telemetry is the observability core of the live Canon node: a
-// lock-sharded metrics registry (counters, gauges, fixed-bucket histograms)
-// with Prometheus text exposition, and distributed route tracing — a compact
-// trace context carried hop by hop through lookup messages so the paper's
-// structural guarantees (intra-domain path locality, inter-domain proxy
-// convergence, Section 3.2) become observable facts on a running cluster
-// instead of simulation-only assertions.
-//
-// The package depends only on the standard library and is safe for heavily
-// concurrent use: metric handles are cheap to cache and every mutation is a
-// single atomic operation, so instrumenting a hot RPC path costs nanoseconds.
+// The lock-sharded metrics registry; the package documentation lives in
+// doc.go.
 package telemetry
 
 import (

@@ -1,8 +1,11 @@
 package transport_test
 
 import (
+	"bytes"
 	"context"
 	"encoding/binary"
+	"encoding/json"
+	"io"
 	"net"
 	"testing"
 	"time"
@@ -25,6 +28,124 @@ func FuzzMessageDecode(f *testing.F) {
 			X int `json:"x"`
 		}
 		_ = msg.Decode(&s)
+	})
+}
+
+// FuzzBinaryJSONDifferential round-trips the same message through both wire
+// codecs — the binary envelope and the legacy JSON framing — and requires
+// them to agree on every header field and payload byte. Payload bytes are
+// JSON-quoted first so the legacy path (which requires valid JSON) can carry
+// arbitrary fuzzed content.
+func FuzzBinaryJSONDifferential(f *testing.F) {
+	f.Add("lookup", "nonce-1", "", []byte("hello"), true)
+	f.Add("", "", "remote boom", []byte{}, false)
+	f.Add("t", "n", "e", []byte{0x00, 0xff, 0xc4, 'C', 'N'}, true)
+	f.Fuzz(func(t *testing.T, msgType, nonce, errStr string, payload []byte, hasPayload bool) {
+		msg := transport.Message{Type: msgType, Nonce: nonce, Error: errStr}
+		if hasPayload {
+			quoted, err := json.Marshal(string(payload))
+			if err != nil {
+				t.Skip("unquotable payload")
+			}
+			msg.Payload = quoted
+		}
+
+		// Binary envelope round trip.
+		enc, err := transport.AppendBinaryMessage(nil, msg)
+		if err != nil {
+			t.Fatalf("binary encode: %v", err)
+		}
+		binOut, err := transport.DecodeBinaryMessage(enc)
+		if err != nil {
+			t.Fatalf("binary decode of own encoding: %v", err)
+		}
+
+		// Legacy JSON round trip.
+		raw, err := json.Marshal(msg)
+		if err != nil {
+			t.Fatalf("json encode: %v", err)
+		}
+		var jsonOut transport.Message
+		if err := json.Unmarshal(raw, &jsonOut); err != nil {
+			t.Fatalf("json decode of own encoding: %v", err)
+		}
+
+		if binOut.Type != jsonOut.Type || binOut.Nonce != jsonOut.Nonce || binOut.Error != jsonOut.Error {
+			t.Errorf("codecs disagree on headers:\n  binary: %+v\n  json:   %+v", binOut, jsonOut)
+		}
+		if !bytes.Equal(binOut.Payload, jsonOut.Payload) {
+			t.Errorf("codecs disagree on payload: binary %q vs json %q", binOut.Payload, jsonOut.Payload)
+		}
+	})
+}
+
+// FuzzBinaryMessageDecode ensures arbitrary envelope bytes never panic the
+// binary decoder, and that anything it accepts re-encodes losslessly.
+func FuzzBinaryMessageDecode(f *testing.F) {
+	if enc, err := transport.AppendBinaryMessage(nil, transport.Message{
+		Type: "seed", Nonce: "n", Error: "e", Payload: []byte(`{"x":1}`),
+	}); err == nil {
+		f.Add(enc)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0x0f, 0x01, 'a'})
+	f.Add([]byte{0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		msg, err := transport.DecodeBinaryMessage(data)
+		if err != nil {
+			return
+		}
+		// Accepted envelopes must survive a second round trip unchanged.
+		reenc, err := transport.AppendBinaryMessage(nil, msg)
+		if err != nil {
+			t.Fatalf("re-encode of accepted envelope: %v", err)
+		}
+		again, err := transport.DecodeBinaryMessage(reenc)
+		if err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+		if again.Type != msg.Type || again.Nonce != msg.Nonce || again.Error != msg.Error || !bytes.Equal(again.Payload, msg.Payload) {
+			t.Errorf("unstable round trip: %+v vs %+v", msg, again)
+		}
+	})
+}
+
+// FuzzMuxFrame completes a valid mux handshake and then throws raw bytes at
+// the server's frame reader: malformed frames must be rejected without
+// panics, hangs or resource leaks.
+func FuzzMuxFrame(f *testing.F) {
+	srv, err := transport.ListenTCP("127.0.0.1:0")
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Cleanup(func() { _ = srv.Close() })
+	srv.Serve(func(_ context.Context, _ string, msg transport.Message) (transport.Message, error) {
+		return msg, nil
+	})
+
+	// kind + request ID + uvarint length + minimal envelope (flags=0, type "a")
+	good := []byte{0x01, 0, 0, 0, 0, 0, 0, 0, 1, 3, 0x00, 1, 'a'}
+	f.Add(good)
+	f.Add([]byte{0x02, 0, 0, 0, 0, 0, 0, 0, 1, 1, 0x00})    // response kind at server
+	f.Add([]byte{0x01, 0, 0, 0, 0, 0, 0, 0, 1, 0xff, 0xff}) // absurd length varint
+	f.Add([]byte{0xc4, 'C', 'N', 1})                        // a second hello mid-stream
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		conn, err := net.DialTimeout("tcp", srv.Addr(), time.Second)
+		if err != nil {
+			t.Skip("dial failed")
+		}
+		defer conn.Close()
+		_ = conn.SetDeadline(time.Now().Add(500 * time.Millisecond))
+		if _, err := conn.Write([]byte{0xc4, 'C', 'N', 1}); err != nil {
+			t.Skip("handshake write failed")
+		}
+		var accept [4]byte
+		if _, err := io.ReadFull(conn, accept[:]); err != nil {
+			t.Skip("handshake read failed")
+		}
+		_, _ = conn.Write(raw)
+		buf := make([]byte, 1024)
+		_, _ = conn.Read(buf) // response, close or timeout; all fine
 	})
 }
 

@@ -1,0 +1,386 @@
+package transport
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// errDowngrade is the internal signal that a dialed peer does not speak the
+// binary mux protocol: it closed (or answered garbage to) the connection
+// hello, which is exactly what a legacy JSON-framing node does when it reads
+// the hello as an absurd frame length. The caller falls back to JSON framing
+// and caches the decision for the peer.
+var errDowngrade = errors.New("transport: peer speaks legacy JSON framing")
+
+// muxReply is one response delivered to a waiting caller.
+type muxReply struct {
+	msg Message
+	err error
+}
+
+// muxConn is one persistent multiplexed connection to a peer. Many calls are
+// in flight concurrently: each is tagged with a uint64 request ID, frame
+// writes are serialized by wmu, and a single reader goroutine dispatches
+// response frames to the pending map.
+type muxConn struct {
+	t    *TCP
+	addr string
+	c    net.Conn
+
+	wmu sync.Mutex // serializes frame writes; never held together with pmu
+	bw  *bufio.Writer
+
+	pmu     sync.Mutex
+	pending map[uint64]chan muxReply
+	nextID  uint64
+	closed  bool
+	errv    error
+
+	br *bufio.Reader // owned by readLoop after the handshake
+}
+
+// dialMux establishes a binary mux connection to addr: dial, 4-byte hello,
+// 4-byte accept. A peer that closes the connection instead of accepting is a
+// legacy JSON node — the error is errDowngrade and the caller falls back.
+func (t *TCP) dialMux(ctx context.Context, addr string) (*muxConn, error) {
+	d := net.Dialer{Timeout: defaultDialTimeout}
+	c, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("%w: dial %s: %v", ErrUnreachable, addr, err)
+	}
+	deadline := time.Now().Add(defaultDialTimeout)
+	if ctxDeadline, ok := ctx.Deadline(); ok && ctxDeadline.Before(deadline) {
+		deadline = ctxDeadline
+	}
+	_ = c.SetDeadline(deadline)
+	hello := [4]byte{muxMagic0, muxMagic1, muxMagic2, muxVersion}
+	if _, err := c.Write(hello[:]); err != nil {
+		_ = c.Close()
+		return nil, fmt.Errorf("%w: handshake write to %s: %v", ErrUnreachable, addr, err)
+	}
+	br := bufio.NewReader(c)
+	var accept [4]byte
+	if _, err := io.ReadFull(br, accept[:]); err != nil {
+		_ = c.Close()
+		var nerr net.Error
+		if errors.As(err, &nerr) && nerr.Timeout() {
+			// A live binary peer answers immediately; a silent peer is slow
+			// or dead, not provably legacy — surface the failure instead of
+			// caching a wrong downgrade.
+			return nil, fmt.Errorf("%w: handshake read from %s: %v", ErrUnreachable, addr, err)
+		}
+		// Connection closed on the hello: the legacy downgrade signal.
+		return nil, errDowngrade
+	}
+	if accept[0] != muxMagic0 || accept[1] != muxMagic1 || accept[2] != muxMagic2 {
+		_ = c.Close()
+		return nil, errDowngrade
+	}
+	if accept[3] != muxVersion {
+		_ = c.Close()
+		return nil, fmt.Errorf("%w: %s negotiated unsupported wire version %d", ErrUnreachable, addr, accept[3])
+	}
+	_ = c.SetDeadline(time.Time{})
+	mc := &muxConn{
+		t:       t,
+		addr:    addr,
+		c:       c,
+		bw:      bufio.NewWriter(c),
+		pending: make(map[uint64]chan muxReply),
+		br:      br,
+	}
+	t.wg.Add(1)
+	go mc.readLoop()
+	return mc, nil
+}
+
+// roundTrip sends one request over the shared connection and waits for its
+// tagged response or context expiry. It is safe for arbitrary concurrency.
+func (mc *muxConn) roundTrip(ctx context.Context, msg Message) (Message, error) {
+	ch := make(chan muxReply, 1)
+	mc.pmu.Lock()
+	if mc.closed {
+		err := mc.errv
+		mc.pmu.Unlock()
+		if err == nil {
+			err = ErrClosed
+		}
+		return Message{}, fmt.Errorf("%w: %s: %v", ErrUnreachable, mc.addr, err)
+	}
+	mc.nextID++
+	id := mc.nextID
+	mc.pending[id] = ch
+	mc.pmu.Unlock()
+
+	mc.t.metrics.inflight.Add(1)
+	defer mc.t.metrics.inflight.Add(-1)
+
+	if err := mc.writeFrame(ctx, frameRequest, id, msg); err != nil {
+		mc.unregister(id)
+		mc.fail(err)
+		return Message{}, fmt.Errorf("%w: write to %s: %v", ErrUnreachable, mc.addr, err)
+	}
+	select {
+	case r := <-ch:
+		if r.err != nil {
+			return Message{}, fmt.Errorf("%w: %s: %v", ErrUnreachable, mc.addr, r.err)
+		}
+		return r.msg, nil
+	case <-ctx.Done():
+		mc.unregister(id)
+		return Message{}, ctx.Err()
+	}
+}
+
+// writeFrame encodes and writes one frame under the write lock. The encode
+// buffer is pooled, so the steady-state send path performs no allocations
+// beyond what the body encoder needs.
+func (mc *muxConn) writeFrame(ctx context.Context, kind byte, id uint64, msg Message) error {
+	buf := getBuf()
+	defer putBuf(buf)
+	env, err := AppendBinaryMessage(*buf, msg)
+	if err != nil {
+		return err
+	}
+	*buf = env
+	if len(env) > maxFrameBytes {
+		return errors.New("transport: frame too large")
+	}
+	var hdr [1 + 8 + binary.MaxVarintLen64]byte
+	hdr[0] = kind
+	binary.BigEndian.PutUint64(hdr[1:9], id)
+	n := 9 + binary.PutUvarint(hdr[9:], uint64(len(env)))
+
+	deadline := time.Now().Add(defaultDialTimeout)
+	if ctxDeadline, ok := ctx.Deadline(); ok && ctxDeadline.Before(deadline) {
+		deadline = ctxDeadline
+	}
+	mc.wmu.Lock()
+	defer mc.wmu.Unlock()
+	_ = mc.c.SetWriteDeadline(deadline)
+	if _, err := mc.bw.Write(hdr[:n]); err != nil {
+		return err
+	}
+	if _, err := mc.bw.Write(env); err != nil {
+		return err
+	}
+	if err := mc.bw.Flush(); err != nil {
+		return err
+	}
+	mc.t.metrics.framesSent.Inc()
+	return nil
+}
+
+// readLoop is the single reader: it parses response frames and hands each to
+// the caller registered under its request ID. Any read error fails the whole
+// connection (and every pending call), and the loop exits.
+func (mc *muxConn) readLoop() {
+	defer mc.t.wg.Done()
+	scratch := getBuf()
+	defer putBuf(scratch)
+	for {
+		kind, id, env, err := readMuxFrame(mc.br, scratch)
+		if err != nil {
+			mc.fail(err)
+			return
+		}
+		if kind != frameResponse {
+			mc.fail(fmt.Errorf("transport: unexpected frame kind 0x%02x on client connection", kind))
+			return
+		}
+		mc.t.metrics.framesRecv.Inc()
+		msg, derr := DecodeBinaryMessage(env)
+		mc.pmu.Lock()
+		ch := mc.pending[id]
+		delete(mc.pending, id)
+		mc.pmu.Unlock()
+		if ch == nil {
+			continue // caller gave up (context expiry); drop the late response
+		}
+		if derr != nil {
+			ch <- muxReply{err: derr}
+			continue
+		}
+		if msg.PayloadCodec == PayloadBinary {
+			mc.t.metrics.payloads(codecBinaryLabel).Inc()
+		} else {
+			mc.t.metrics.payloads(codecJSONLabel).Inc()
+		}
+		ch <- muxReply{msg: msg}
+	}
+}
+
+// unregister drops a pending request ID (caller gave up or failed to write).
+func (mc *muxConn) unregister(id uint64) {
+	mc.pmu.Lock()
+	delete(mc.pending, id)
+	mc.pmu.Unlock()
+}
+
+// fail closes the connection, fails every pending call and removes the
+// connection from its peer's pool so the next call redials.
+func (mc *muxConn) fail(err error) {
+	mc.pmu.Lock()
+	if mc.closed {
+		mc.pmu.Unlock()
+		return
+	}
+	mc.closed = true
+	mc.errv = err
+	pend := mc.pending
+	mc.pending = make(map[uint64]chan muxReply)
+	mc.pmu.Unlock()
+	_ = mc.c.Close()
+	for _, ch := range pend {
+		ch <- muxReply{err: err}
+	}
+	mc.t.dropMuxConn(mc.addr, mc)
+}
+
+// readMuxFrame reads one mux frame — kind byte, 8-byte big-endian request
+// ID, uvarint envelope length, envelope bytes — into *scratch (grown as
+// needed and reused across frames; DecodeBinaryMessage copies what outlives
+// the call).
+func readMuxFrame(br *bufio.Reader, scratch *[]byte) (kind byte, id uint64, env []byte, err error) {
+	kind, err = br.ReadByte()
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	var idb [8]byte
+	if _, err = io.ReadFull(br, idb[:]); err != nil {
+		return 0, 0, nil, err
+	}
+	id = binary.BigEndian.Uint64(idb[:])
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	if n > maxFrameBytes {
+		return 0, 0, nil, errors.New("transport: frame too large")
+	}
+	if uint64(cap(*scratch)) < n {
+		*scratch = make([]byte, n)
+	}
+	*scratch = (*scratch)[:n]
+	if _, err = io.ReadFull(br, *scratch); err != nil {
+		return 0, 0, nil, err
+	}
+	return kind, id, *scratch, nil
+}
+
+// serveMux serves one accepted binary-mux connection: it completes the
+// handshake (the magic byte has been sniffed but not consumed), then reads
+// request frames and runs each handler in its own goroutine so many requests
+// from the same peer proceed concurrently. Responses are written back under
+// a per-connection write lock, tagged with the request's ID.
+func (t *TCP) serveMux(c net.Conn, br *bufio.Reader) {
+	var hello [4]byte
+	if _, err := io.ReadFull(br, hello[:]); err != nil {
+		return
+	}
+	if hello[1] != muxMagic1 || hello[2] != muxMagic2 || hello[3] == 0 {
+		return // bad magic or version 0: not ours
+	}
+	ver := hello[3]
+	if ver > muxVersion {
+		ver = muxVersion
+	}
+	accept := [4]byte{muxMagic0, muxMagic1, muxMagic2, ver}
+	if _, err := c.Write(accept[:]); err != nil {
+		return
+	}
+
+	var wmu sync.Mutex
+	bw := bufio.NewWriter(c)
+	scratch := getBuf()
+	defer putBuf(scratch)
+	for {
+		kind, id, env, err := readMuxFrame(br, scratch)
+		if err != nil {
+			return
+		}
+		if kind != frameRequest {
+			return
+		}
+		t.metrics.framesRecv.Inc()
+		msg, derr := DecodeBinaryMessage(env)
+		if derr != nil {
+			t.wg.Add(1)
+			go t.writeMuxResponse(c, bw, &wmu, id, ErrorMessage(derr))
+			continue
+		}
+		if msg.PayloadCodec == PayloadBinary {
+			t.metrics.payloads(codecBinaryLabel).Inc()
+		} else {
+			t.metrics.payloads(codecJSONLabel).Inc()
+		}
+		t.wg.Add(1)
+		go t.serveMuxRequest(c, bw, &wmu, id, msg)
+	}
+}
+
+// serveMuxRequest runs the handler for one multiplexed request and writes
+// its tagged response.
+func (t *TCP) serveMuxRequest(c net.Conn, bw *bufio.Writer, wmu *sync.Mutex, id uint64, msg Message) {
+	t.mu.Lock()
+	h := t.handler
+	t.mu.Unlock()
+	var resp Message
+	if h == nil {
+		resp = ErrorMessage(ErrNoHandler)
+	} else {
+		r, herr := h(context.Background(), c.RemoteAddr().String(), msg)
+		if herr != nil {
+			resp = ErrorMessage(herr)
+		} else {
+			resp = r
+		}
+	}
+	t.writeMuxResponse(c, bw, wmu, id, resp)
+}
+
+// writeMuxResponse frames and writes one response under the connection's
+// write lock. The caller must hold a t.wg reference; it is released here.
+func (t *TCP) writeMuxResponse(c net.Conn, bw *bufio.Writer, wmu *sync.Mutex, id uint64, resp Message) {
+	defer t.wg.Done()
+	buf := getBuf()
+	defer putBuf(buf)
+	env, err := AppendBinaryMessage(*buf, resp)
+	if err != nil {
+		// The response body failed to encode; degrade to an error envelope
+		// so the caller is unblocked rather than timing out.
+		env, err = AppendBinaryMessage(*buf, ErrorMessage(err))
+		if err != nil {
+			return
+		}
+	}
+	*buf = env
+	if len(env) > maxFrameBytes {
+		return
+	}
+	var hdr [1 + 8 + binary.MaxVarintLen64]byte
+	hdr[0] = frameResponse
+	binary.BigEndian.PutUint64(hdr[1:9], id)
+	n := 9 + binary.PutUvarint(hdr[9:], uint64(len(env)))
+
+	wmu.Lock()
+	defer wmu.Unlock()
+	_ = c.SetWriteDeadline(time.Now().Add(defaultDialTimeout))
+	if _, err := bw.Write(hdr[:n]); err != nil {
+		return
+	}
+	if _, err := bw.Write(env); err != nil {
+		return
+	}
+	if err := bw.Flush(); err != nil {
+		return
+	}
+	t.metrics.framesSent.Inc()
+}

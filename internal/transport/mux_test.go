@@ -1,0 +1,443 @@
+package transport_test
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/canon-dht/canon/internal/telemetry"
+	"github.com/canon-dht/canon/internal/transport"
+)
+
+// newTCPPair returns a served binary-capable server and a binary-mode client
+// whose mux metrics land in the returned registry.
+func newTCPPair(t *testing.T, h transport.Handler) (*transport.TCP, *transport.TCP, *telemetry.Registry) {
+	t.Helper()
+	srv, err := transport.ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	srv.Serve(h)
+
+	reg := telemetry.NewRegistry()
+	cli, err := transport.ListenTCPOpts("127.0.0.1:0", transport.TCPOptions{Telemetry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = cli.Close() })
+	return srv, cli, reg
+}
+
+// TestMuxConcurrentInFlight drives 64 concurrent callers at one peer over the
+// binary mux wire and checks that every response reaches its caller untangled,
+// that the peer negotiated binary, and that the connection count stayed at the
+// configured ConnsPerPeer (multiplexing, not conn-per-call).
+func TestMuxConcurrentInFlight(t *testing.T) {
+	srv, cli, reg := newTCPPair(t, echoHandler)
+
+	const callers = 64
+	var wg sync.WaitGroup
+	errs := make(chan error, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 8; j++ {
+				msg, _ := transport.NewMessage("echo", echoBody{Text: fmt.Sprintf("c%d-%d", i, j)})
+				resp, err := cli.Call(context.Background(), srv.Addr(), msg)
+				if err != nil {
+					errs <- err
+					return
+				}
+				var out echoBody
+				if err := resp.Decode(&out); err != nil {
+					errs <- err
+					return
+				}
+				if want := fmt.Sprintf("echo:c%d-%d", i, j); out.Text != want {
+					errs <- fmt.Errorf("caller %d got %q, want %q", i, out.Text, want)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	if w := cli.PeerWire(srv.Addr()); w != transport.WireBinary {
+		t.Errorf("negotiated wire = %q, want %q", w, transport.WireBinary)
+	}
+	if dials := reg.CounterValue("canon_transport_mux_dials_total"); dials > 2 {
+		t.Errorf("dials = %d, want <= ConnsPerPeer (2): calls must multiplex", dials)
+	}
+	if reuse := reg.CounterValue("canon_transport_mux_conn_reuse_total"); reuse == 0 {
+		t.Error("conn reuse counter stayed 0 across 512 calls")
+	}
+	sent := reg.CounterValue("canon_transport_mux_frames_total", telemetry.L("dir", "send"))
+	recv := reg.CounterValue("canon_transport_mux_frames_total", telemetry.L("dir", "recv"))
+	if sent < callers || recv < callers {
+		t.Errorf("frame counters sent=%d recv=%d, want >= %d each", sent, recv, callers)
+	}
+}
+
+// runLegacyJSONServer hand-rolls a pre-mux peer: length-prefixed JSON frames
+// only, oversized frame lengths rejected by closing the connection. New builds
+// always sniff both protocols, so simulating an old build requires going
+// straight to the socket.
+func runLegacyJSONServer(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = l.Close() })
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				br := bufio.NewReader(c)
+				for {
+					var hdr [4]byte
+					if _, err := io.ReadFull(br, hdr[:]); err != nil {
+						return
+					}
+					n := binary.BigEndian.Uint32(hdr[:])
+					if n > 16<<20 {
+						// The mux hello decodes as a ~3.3 GiB length; an old
+						// build rejects it and closes — the downgrade signal.
+						return
+					}
+					raw := make([]byte, n)
+					if _, err := io.ReadFull(br, raw); err != nil {
+						return
+					}
+					var msg transport.Message
+					if err := json.Unmarshal(raw, &msg); err != nil {
+						return
+					}
+					resp, err := json.Marshal(transport.Message{Type: "legacy-reply", Payload: msg.Payload})
+					if err != nil {
+						return
+					}
+					var rh [4]byte
+					binary.BigEndian.PutUint32(rh[:], uint32(len(resp)))
+					if _, err := c.Write(append(rh[:], resp...)); err != nil {
+						return
+					}
+				}
+			}(c)
+		}
+	}()
+	return l.Addr().String()
+}
+
+// TestMuxDowngradeToLegacyPeer dials a hand-rolled legacy JSON server with a
+// binary-mode client: the rejected hello must downgrade the peer to JSON
+// framing (once — the decision is cached) and calls must succeed.
+func TestMuxDowngradeToLegacyPeer(t *testing.T) {
+	addr := runLegacyJSONServer(t)
+
+	reg := telemetry.NewRegistry()
+	cli, err := transport.ListenTCPOpts("127.0.0.1:0", transport.TCPOptions{Telemetry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	for i := 0; i < 3; i++ {
+		msg, _ := transport.NewMessage("echo", echoBody{Text: fmt.Sprintf("legacy%d", i)})
+		resp, err := cli.Call(context.Background(), addr, msg)
+		if err != nil {
+			t.Fatalf("call %d through downgraded wire: %v", i, err)
+		}
+		if resp.Type != "legacy-reply" {
+			t.Fatalf("call %d: response type %q", i, resp.Type)
+		}
+		var out echoBody
+		if err := resp.Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		if want := fmt.Sprintf("legacy%d", i); out.Text != want {
+			t.Errorf("call %d echoed %q, want %q", i, out.Text, want)
+		}
+	}
+	if w := cli.PeerWire(addr); w != transport.WireJSON {
+		t.Errorf("negotiated wire = %q, want %q", w, transport.WireJSON)
+	}
+	if n := reg.CounterValue("canon_transport_mux_downgrades_total"); n != 1 {
+		t.Errorf("downgrades = %d, want exactly 1 (the decision is cached)", n)
+	}
+}
+
+// TestMuxJSONModeClient forces a client to legacy JSON framing against a
+// binary-capable server: the server must sniff and serve the old protocol.
+func TestMuxJSONModeClient(t *testing.T) {
+	srv, err := transport.ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	srv.Serve(echoHandler)
+
+	cli, err := transport.ListenTCPOpts("127.0.0.1:0", transport.TCPOptions{Wire: transport.WireJSON})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	msg, _ := transport.NewMessage("echo", echoBody{Text: "old-school"})
+	resp, err := cli.Call(context.Background(), srv.Addr(), msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out echoBody
+	if err := resp.Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Text != "echo:old-school" {
+		t.Errorf("got %q", out.Text)
+	}
+}
+
+// TestMuxBinaryBodyPayload sends a BinaryAppender body over the mux and checks
+// the payload traveled in binary form both ways (request decoded by the
+// handler, response decoded by the caller), with the codec counters agreeing.
+func TestMuxBinaryBodyPayload(t *testing.T) {
+	h := func(_ context.Context, _ string, msg transport.Message) (transport.Message, error) {
+		if msg.PayloadCodec != transport.PayloadBinary {
+			return transport.Message{}, fmt.Errorf("request payload codec = %d, want binary", msg.PayloadCodec)
+		}
+		var in binBody
+		if err := msg.Decode(&in); err != nil {
+			return transport.Message{}, err
+		}
+		return transport.NewMessage("bin-reply", binBody{X: in.X + 1})
+	}
+	srv, cli, reg := newTCPPair(t, h)
+
+	msg, err := transport.NewMessage("bin", binBody{X: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := cli.Call(context.Background(), srv.Addr(), msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.PayloadCodec != transport.PayloadBinary {
+		t.Fatalf("response payload codec = %d, want binary", resp.PayloadCodec)
+	}
+	var out binBody
+	if err := resp.Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.X != 42 {
+		t.Errorf("round trip produced %d, want 42", out.X)
+	}
+	if n := reg.CounterValue("canon_transport_mux_codec_payloads_total", telemetry.L("codec", "binary")); n == 0 {
+		t.Error("binary payload codec counter stayed 0")
+	}
+
+	// A plain JSON body must still ride the same binary envelope.
+	jmsg, _ := transport.NewMessage("echo", echoBody{Text: "json-over-mux"})
+	jresp, err := cli.Call(context.Background(), srv.Addr(), jmsg)
+	if err == nil {
+		// handler rejects non-binary codec; the error travels as an envelope
+		var o echoBody
+		if derr := jresp.Decode(&o); derr == nil {
+			t.Error("handler should have rejected the JSON payload codec")
+		}
+	}
+	if n := reg.CounterValue("canon_transport_mux_codec_payloads_total", telemetry.L("codec", "json")); n == 0 {
+		t.Error("json payload codec counter stayed 0")
+	}
+}
+
+// TestMuxResilienceUnderLoss is the shared-connection retry/dedup soak: a
+// faulty wrapper drops 20% of calls (half request drops, half response drops)
+// over a multiplexed binary transport, callers retry with stable nonces, and
+// the server's dedup layer must keep handler execution at-most-once per nonce
+// even though all requests share a handful of connections.
+func TestMuxResilienceUnderLoss(t *testing.T) {
+	var (
+		mu   sync.Mutex
+		runs = make(map[string]int) // nonce -> handler executions
+	)
+	inner := func(_ context.Context, _ string, msg transport.Message) (transport.Message, error) {
+		mu.Lock()
+		runs[msg.Nonce]++
+		mu.Unlock()
+		return transport.NewMessage("ok", echoBody{Text: msg.Nonce})
+	}
+	srv, err := transport.ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	srv.Serve(transport.DedupHandler(inner, 4096))
+
+	tcp, err := transport.ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tcp.Close()
+	cli := transport.NewFaulty(tcp, 42, transport.Faults{Drop: 0.20})
+
+	const (
+		requests = 512
+		workers  = 16
+		maxTries = 25
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, requests)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < requests; i += workers {
+				nonce := fmt.Sprintf("req-%04d", i)
+				msg, _ := transport.NewMessage("work", echoBody{Text: nonce})
+				msg.Nonce = nonce
+				var lastErr error
+				ok := false
+				for try := 0; try < maxTries; try++ {
+					resp, err := cli.Call(context.Background(), srv.Addr(), msg)
+					if err != nil {
+						lastErr = err
+						continue
+					}
+					var out echoBody
+					if err := resp.Decode(&out); err != nil {
+						lastErr = err
+						continue
+					}
+					if out.Text != nonce {
+						errs <- fmt.Errorf("nonce %s answered with %q", nonce, out.Text)
+					}
+					ok = true
+					break
+				}
+				if !ok {
+					errs <- fmt.Errorf("nonce %s never succeeded: %v", nonce, lastErr)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(runs) != requests {
+		t.Errorf("handler saw %d distinct nonces, want %d", len(runs), requests)
+	}
+	for nonce, n := range runs {
+		if n != 1 {
+			t.Errorf("nonce %s executed %d times, want exactly 1 (dedup must hold on shared conns)", nonce, n)
+		}
+	}
+	if tcp.PeerWire(srv.Addr()) != transport.WireBinary {
+		t.Errorf("soak ran on wire %q, want %q", tcp.PeerWire(srv.Addr()), transport.WireBinary)
+	}
+}
+
+// TestMuxServerSurvivesGarbage completes a valid handshake, then writes junk:
+// the server must drop the connection without disturbing other peers.
+func TestMuxServerSurvivesGarbage(t *testing.T) {
+	srv, cli, _ := newTCPPair(t, echoHandler)
+
+	c, err := net.DialTimeout("tcp", srv.Addr(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_ = c.SetDeadline(time.Now().Add(2 * time.Second))
+	hello := []byte{0xC4, 'C', 'N', 1}
+	if _, err := c.Write(hello); err != nil {
+		t.Fatal(err)
+	}
+	var accept [4]byte
+	if _, err := io.ReadFull(c, accept[:]); err != nil {
+		t.Fatalf("handshake accept: %v", err)
+	}
+	if accept[0] != 0xC4 || accept[3] != 1 {
+		t.Fatalf("accept = % x", accept)
+	}
+	// Not a request frame: the server must hang up, not crash or stall.
+	if _, err := c.Write([]byte{0xFF, 0xDE, 0xAD}); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 16)
+	if _, err := c.Read(buf); err == nil {
+		t.Error("server answered a garbage frame instead of closing")
+	}
+
+	// The listener and other connections keep working.
+	msg, _ := transport.NewMessage("echo", echoBody{Text: "still-alive"})
+	resp, err := cli.Call(context.Background(), srv.Addr(), msg)
+	if err != nil {
+		t.Fatalf("call after garbage connection: %v", err)
+	}
+	var out echoBody
+	if err := resp.Decode(&out); err != nil || out.Text != "echo:still-alive" {
+		t.Errorf("got %q, err %v", out.Text, err)
+	}
+}
+
+// TestMuxRedialAfterPeerDeath kills the server mid-conversation and checks
+// that calls to the dead peer fail with ErrUnreachable instead of hanging on
+// the broken multiplexed connection.
+func TestMuxRedialAfterPeerDeath(t *testing.T) {
+	srv, err := transport.ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Serve(echoHandler)
+	addr := srv.Addr()
+
+	cli, err := transport.ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	msg, _ := transport.NewMessage("echo", echoBody{Text: "a"})
+	if _, err := cli.Call(context.Background(), addr, msg); err != nil {
+		t.Fatal(err)
+	}
+	_ = srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		_, err = cli.Call(ctx, addr, msg)
+		if err != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("calls to a dead peer kept succeeding")
+		}
+	}
+	if !errors.Is(err, transport.ErrUnreachable) && !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("dead peer error = %v, want ErrUnreachable", err)
+	}
+}

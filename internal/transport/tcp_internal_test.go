@@ -1,0 +1,92 @@
+package transport
+
+import (
+	"net"
+	"testing"
+)
+
+// fakeConn satisfies net.Conn well enough for pool bookkeeping tests; only
+// Close is ever called.
+type fakeConn struct {
+	net.Conn
+	closed bool
+}
+
+func (f *fakeConn) Close() error { f.closed = true; return nil }
+
+// TestPutConnDropsBroken verifies the mid-frame-error fix: a connection whose
+// call failed after writing part of a frame is marked broken and must never be
+// pooled — a later call reusing it would read the stale partial stream.
+func TestPutConnDropsBroken(t *testing.T) {
+	tr, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+
+	fc := &fakeConn{}
+	tr.putConn("peer:1", &tcpConn{c: fc, broken: true})
+	if !fc.closed {
+		t.Error("broken connection was not closed")
+	}
+	if n := len(tr.pools["peer:1"]); n != 0 {
+		t.Errorf("broken connection was pooled (pool size %d)", n)
+	}
+
+	ok := &fakeConn{}
+	tr.putConn("peer:1", &tcpConn{c: ok})
+	if ok.closed {
+		t.Error("healthy connection was closed instead of pooled")
+	}
+	if n := len(tr.pools["peer:1"]); n != 1 {
+		t.Errorf("healthy connection not pooled (pool size %d)", n)
+	}
+}
+
+// TestPutConnRespectsPoolCap verifies the configurable cap that replaced the
+// hardcoded 4: the pool holds at most PoolCap conns per peer and closes the
+// overflow.
+func TestPutConnRespectsPoolCap(t *testing.T) {
+	tr, err := ListenTCPOpts("127.0.0.1:0", TCPOptions{PoolCap: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+
+	conns := make([]*fakeConn, 3)
+	for i := range conns {
+		conns[i] = &fakeConn{}
+		tr.putConn("peer:2", &tcpConn{c: conns[i]})
+	}
+	if n := len(tr.pools["peer:2"]); n != 2 {
+		t.Errorf("pool size = %d, want PoolCap (2)", n)
+	}
+	if conns[0].closed || conns[1].closed {
+		t.Error("pooled connections were closed")
+	}
+	if !conns[2].closed {
+		t.Error("overflow connection was not closed")
+	}
+}
+
+// TestListenTCPOptsDefaultsAndValidation pins the documented defaults and the
+// rejection of unknown wire modes.
+func TestListenTCPOptsDefaultsAndValidation(t *testing.T) {
+	if _, err := ListenTCPOpts("127.0.0.1:0", TCPOptions{Wire: "carrier-pigeon"}); err == nil {
+		t.Fatal("unknown wire mode accepted")
+	}
+	tr, err := ListenTCPOpts("127.0.0.1:0", TCPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	if tr.opts.Wire != WireBinary {
+		t.Errorf("default wire = %q, want %q", tr.opts.Wire, WireBinary)
+	}
+	if tr.opts.ConnsPerPeer != 2 {
+		t.Errorf("default ConnsPerPeer = %d, want 2", tr.opts.ConnsPerPeer)
+	}
+	if tr.opts.PoolCap != 4 {
+		t.Errorf("default PoolCap = %d, want 4", tr.opts.PoolCap)
+	}
+}

@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# bench-compare.sh — run the wire-protocol benchmarks (JSON legacy framing vs
+# binary mux) and render the comparison as BENCH_PR5.json.
+#
+# Usage:
+#   ./scripts/bench-compare.sh [output.json]
+#
+# The JSON records ns/op, B/op and allocs/op for each benchmark plus the
+# computed speedup ratios the PR's acceptance criteria reference:
+#   - encode_speedup:     JSON envelope encode / binary envelope encode
+#   - decode_speedup:     JSON envelope decode / binary envelope decode
+#   - mux64_speedup:      64-concurrent same-peer RPC throughput, pooled JSON
+#                         framing vs multiplexed binary (must be >= 2.0)
+set -euo pipefail
+
+out="${1:-BENCH_PR5.json}"
+cd "$(dirname "$0")/.."
+
+raw=$(go test -run '^$' -bench 'BenchmarkEnvelope|BenchmarkRoundTrip' \
+	-benchmem -benchtime=2s -count=1 ./internal/transport/)
+echo "$raw" >&2
+
+echo "$raw" | awk -v out="$out" '
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)   # strip the -GOMAXPROCS suffix
+	ns[name] = $3
+	bytes[name] = $5
+	allocs[name] = $7
+	order[n++] = name
+}
+END {
+	printf "{\n" > out
+	printf "  \"description\": \"PR5 wire-protocol benchmarks: legacy length-prefixed JSON framing vs multiplexed binary protocol (internal/transport)\",\n" >> out
+	printf "  \"command\": \"go test -run \\\"^$\\\" -bench \\\"BenchmarkEnvelope|BenchmarkRoundTrip\\\" -benchmem -benchtime=2s -count=1 ./internal/transport/\",\n" >> out
+	printf "  \"benchmarks\": {\n" >> out
+	for (i = 0; i < n; i++) {
+		name = order[i]
+		printf "    \"%s\": {\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}%s\n", \
+			name, ns[name], bytes[name], allocs[name], (i < n-1 ? "," : "") >> out
+	}
+	printf "  },\n" >> out
+	es = ns["BenchmarkEnvelopeEncodeJSON"] / ns["BenchmarkEnvelopeEncodeBinary"]
+	ds = ns["BenchmarkEnvelopeDecodeJSON"] / ns["BenchmarkEnvelopeDecodeBinary"]
+	ms = ns["BenchmarkRoundTrip64JSON"] / ns["BenchmarkRoundTrip64Binary"]
+	printf "  \"encode_speedup\": %.2f,\n", es >> out
+	printf "  \"decode_speedup\": %.2f,\n", ds >> out
+	printf "  \"mux64_speedup\": %.2f\n", ms >> out
+	printf "}\n" >> out
+	if (ms < 2.0) {
+		printf "FAIL: 64-concurrent mux speedup %.2fx is below the 2x acceptance floor\n", ms > "/dev/stderr"
+		exit 1
+	}
+}
+'
+echo "wrote $out" >&2

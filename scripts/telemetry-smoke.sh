@@ -1,11 +1,16 @@
 #!/usr/bin/env bash
 # telemetry-smoke.sh — end-to-end smoke test of the observability stack.
 #
-# Boots a real five-node canond cluster over TCP with the admin endpoint
-# enabled on the bootstrap node, runs puts/gets and a traced lookup through
-# canonctl, then asserts:
+# Boots a real five-node canond cluster over TCP — deliberately mixed-wire:
+# nodes 2 and 4 are forced to the legacy JSON framing (-wire json) while the
+# rest speak the binary mux, so the run exercises binary<->binary mux reuse,
+# binary->json downgrades and json->binary upgrades on real sockets — with
+# the admin endpoint enabled on the bootstrap node, runs puts/gets and a
+# traced lookup through canonctl, then asserts:
 #   * /metrics serves Prometheus text with nonzero canon_rpc_sent_total and
 #     canon_transport_calls_total counters,
+#   * the canon_transport_mux_* negotiation series prove the binary wire was
+#     actually used (dials > 0) in the mixed cluster,
 #   * canonctl trace prints an owner and per-hop spans,
 #   * /debug/trace/ archives the trace and serves it back by id.
 #
@@ -33,8 +38,13 @@ PIDS+=($!)
 sleep 1
 domains=(west/a west/b east/a east/b)
 for i in 1 2 3 4; do
+  # Mixed wires: even-numbered joiners speak the legacy JSON framing
+  # outbound, odd-numbered ones (and the bootstrap) the binary mux. Every
+  # node *serves* both, so the cluster interoperates regardless.
+  wire=binary
+  if [ $((i % 2)) -eq 0 ]; then wire=json; fi
   "$CANOND" -listen "127.0.0.1:$((BASE + i))" -domain "${domains[$((i % 4))]}" \
-    -join "127.0.0.1:$BASE" -stabilize 200ms &
+    -join "127.0.0.1:$BASE" -stabilize 200ms -wire "$wire" &
   PIDS+=($!)
   sleep 0.5
 done
@@ -62,6 +72,12 @@ echo "$metrics" | awk '/^canon_transport_calls_total/ {s += $NF} END {exit !(s >
   || { echo "canon_transport_calls_total missing or zero" >&2; exit 1; }
 echo "$metrics" | grep -q '^canon_lookup_hops_count' \
   || { echo "canon_lookup_hops histogram missing" >&2; exit 1; }
+# The bootstrap node speaks the binary mux outbound; the negotiation series
+# must show it actually dialed and multiplexed binary connections.
+echo "$metrics" | awk '/^canon_transport_mux_dials_total/ {s += $NF} END {exit !(s > 0)}' \
+  || { echo "canon_transport_mux_dials_total missing or zero" >&2; exit 1; }
+echo "$metrics" | awk '/^canon_transport_mux_frames_total/ {s += $NF} END {exit !(s > 0)}' \
+  || { echo "canon_transport_mux_frames_total missing or zero" >&2; exit 1; }
 
 echo "== /debug/trace/ archives the trace"
 curl -sf "http://127.0.0.1:$ADMIN/debug/trace/$trace_id" | grep -q "$trace_id" \
