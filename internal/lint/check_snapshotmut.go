@@ -1,0 +1,139 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// checkSnapshotMut enforces the copy-on-write discipline of published
+// snapshot types (the PR 6 epoch-snapshot routing refactor): a type whose
+// declaration carries a //canonvet:immutable marker may only have its fields
+// (or anything reachable through them — slice elements, nested selectors)
+// written in the file that declares it, where its builder lives. Everywhere
+// else the type is read-only: readers share published snapshots without
+// synchronization, so a single stray write anywhere in the package is a data
+// race and a torn-view bug that no test reliably catches.
+//
+// The check is structural and conservative: it flags assignment and ++/--
+// statements whose left-hand side reaches through a selector on a marked
+// type. Constructing a fresh value (composite literal) is allowed anywhere —
+// building a new snapshot is not mutating a published one.
+var checkSnapshotMut = Check{
+	Name: "snapshotmut",
+	Doc:  "writes to //canonvet:immutable snapshot types outside their declaring file (published snapshots are copy-on-write)",
+	Run:  runSnapshotMut,
+}
+
+// immutableMarker is the doc-comment directive that opts a type into the
+// check.
+const immutableMarker = "canonvet:immutable"
+
+// hasImmutableMarker reports whether any comment in the group is the marker
+// directive.
+func hasImmutableMarker(groups ...*ast.CommentGroup) bool {
+	for _, g := range groups {
+		if g == nil {
+			continue
+		}
+		for _, c := range g.List {
+			text := strings.TrimSpace(strings.TrimPrefix(strings.TrimPrefix(c.Text, "//"), "/*"))
+			if strings.HasPrefix(text, immutableMarker) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func runSnapshotMut(pass *Pass) {
+	// Pass 1: collect the package's marked types and their declaring files.
+	marked := make(map[*types.TypeName]string)
+	for _, f := range pass.Pkg.Files {
+		filename := pass.Fset.Position(f.Pos()).Filename
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok || !hasImmutableMarker(gd.Doc, ts.Doc, ts.Comment) {
+					continue
+				}
+				if tn, ok := pass.Pkg.Info.Defs[ts.Name].(*types.TypeName); ok {
+					marked[tn] = filename
+				}
+			}
+		}
+	}
+	if len(marked) == 0 {
+		return
+	}
+
+	// Pass 2: flag every write reaching through a marked type outside its
+	// declaring file.
+	for _, f := range pass.Pkg.Files {
+		filename := pass.Fset.Position(f.Pos()).Filename
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range st.Lhs {
+					reportSnapshotWrite(pass, marked, filename, lhs)
+				}
+			case *ast.IncDecStmt:
+				reportSnapshotWrite(pass, marked, filename, st.X)
+			}
+			return true
+		})
+	}
+}
+
+// reportSnapshotWrite walks a write target's selector/index/deref chain; if
+// any step selects a field of a marked type declared in a different file, it
+// reports the violation (once, at the outermost offending selector).
+func reportSnapshotWrite(pass *Pass, marked map[*types.TypeName]string, filename string, e ast.Expr) {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			if tn := markedNamed(pass.TypeOf(x.X), marked); tn != nil {
+				if marked[tn] != filename {
+					pass.Reportf(x.Pos(),
+						"write to %s.%s outside %s: %s is //canonvet:immutable — build a new snapshot and publish it instead of mutating a shared one",
+						tn.Name(), x.Sel.Name, shortBase(marked[tn]), tn.Name())
+				}
+				return
+			}
+			e = x.X
+		default:
+			return
+		}
+	}
+}
+
+// markedNamed resolves t (through pointers) to a marked type's object.
+func markedNamed(t types.Type, marked map[*types.TypeName]string) *types.TypeName {
+	named := namedOf(t)
+	if named == nil {
+		return nil
+	}
+	if _, ok := marked[named.Obj()]; ok {
+		return named.Obj()
+	}
+	return nil
+}
+
+// shortBase trims a filename to its base for readable diagnostics.
+func shortBase(filename string) string {
+	if i := strings.LastIndexByte(filename, '/'); i >= 0 {
+		return filename[i+1:]
+	}
+	return filename
+}

@@ -3,8 +3,10 @@
 // has already been bitten by (or is structurally exposed to): circular-ID
 // arithmetic must go through the ring-metric helpers in internal/id,
 // pure-simulation packages must stay seed-reproducible, shared RNGs must be
-// lock-adjacent, metric names must be named constants, and wire-message
-// structs must not drift silently.
+// lock-adjacent, metric names must be named constants, wire-message
+// structs must not drift silently, and published copy-on-write snapshot
+// types (marked //canonvet:immutable) must only be mutated in the file
+// that declares them — their builder — never by a reader of a shared view.
 //
 // Since v2 the analyzer is interprocedural: a type-resolved, module-wide
 // call graph (static dispatch, conservative interface resolution, function
@@ -91,6 +93,7 @@ func AllChecks() []Check {
 		checkNoDeadline,
 		checkMetricNames,
 		checkWireCompat,
+		checkSnapshotMut,
 		{
 			Name: deadPragmaName,
 			Doc:  "//canonvet:ignore pragmas whose check no longer fires at that scope (stale suppressions)",

@@ -1,0 +1,42 @@
+package snapshotmut
+
+// stompEpoch mutates a published snapshot's field from outside the builder
+// file — the exact torn-view race the check exists to catch.
+func stompEpoch(v *routeView) {
+	v.epoch = 99 // want `write to routeView.epoch outside snapshot.go`
+}
+
+// stompElement writes through a view's slice into a marked element type.
+func stompElement(v *routeView) {
+	v.succs[0].dist = 1 // want `write to contact.dist outside snapshot.go`
+}
+
+// stompNested reaches a field of an unmarked struct nested inside the view;
+// the chain still crosses the marked base, so it is flagged.
+func stompNested(v *routeView) {
+	v.inner.healthy++ // want `write to routeView.inner outside snapshot.go`
+}
+
+// scratchCopy shows what stays legal outside the builder: copying a contact
+// out of the view and filling a caller-owned scratch slice. No selector on a
+// marked base is written, so per-lookup scratch buffers keep working.
+func scratchCopy(v *routeView, dst []contact) int {
+	n := 0
+	for _, c := range v.succs {
+		dst[n] = c
+		n++
+	}
+	return n
+}
+
+// freshBuild constructs a brand-new view outside the declaring file; that is
+// construction, not mutation of a shared snapshot, and is not flagged.
+func freshBuild() *routeView {
+	return &routeView{epoch: 1}
+}
+
+// suppressed proves the pragma escape hatch.
+func suppressed(v *routeView) {
+	//canonvet:ignore snapshotmut -- fixture: prove the pragma suppresses the line below
+	v.epoch = 7
+}

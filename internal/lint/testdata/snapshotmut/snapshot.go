@@ -1,0 +1,43 @@
+// Package snapshotmut is a canonvet fixture for the snapshot-mutation check:
+// types marked //canonvet:immutable may only be written in their declaring
+// file (where the builder lives); every other file must treat published
+// snapshots as read-only and build fresh ones instead.
+package snapshotmut
+
+// routeView models a published copy-on-write snapshot. Readers load it
+// through an atomic pointer and share it without synchronization.
+//
+//canonvet:immutable — mutate only in this file's builder; publish via swap.
+type routeView struct {
+	epoch uint64
+	succs []contact
+	inner innerState
+}
+
+// contact is an element type embedded in snapshots; it is marked too so
+// writes through a view's fields are caught at any depth.
+//
+//canonvet:immutable
+type contact struct {
+	addr string
+	dist uint64
+}
+
+// innerState is a nested struct inside the marked view.
+type innerState struct {
+	healthy int
+}
+
+// buildRouteView is the legal builder: it constructs and mutates a fresh
+// view before anyone can see it. Same-file writes are allowed.
+func buildRouteView(epoch uint64, addrs []string) *routeView {
+	v := &routeView{epoch: epoch}
+	v.succs = make([]contact, len(addrs))
+	for i, a := range addrs {
+		v.succs[i] = contact{addr: a}
+		v.succs[i].dist = uint64(i)
+	}
+	v.inner.healthy = len(addrs)
+	v.epoch++
+	return v
+}

@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"runtime"
+	"sync/atomic"
 	"testing"
 
 	"github.com/canon-dht/canon/internal/netnode"
@@ -80,3 +82,39 @@ func BenchmarkTracedLookup(b *testing.B) { benchLookups(b, 0, true) }
 // recommended production setting, whose overhead must stay within a few
 // percent of the untraced baseline.
 func BenchmarkLookupSampled1Pct(b *testing.B) { benchLookups(b, 0.01, false) }
+
+// BenchmarkLookupSaturation saturates the cluster with 64 concurrent lookup
+// streams spread over every node — the end-to-end counterpart of the 64-way
+// forwarding-decision microbenchmarks. Under the pre-snapshot design this
+// workload serialized on each node's mutex (every hop took it at least
+// twice); with epoch snapshots the forwarding decisions proceed in parallel
+// and the remaining cost is the wire codec. CI's bench-gate watches its p50
+// and allocs/op alongside the microbenchmarks.
+func BenchmarkLookupSaturation(b *testing.B) {
+	c := newBenchCluster(b, 0)
+	defer c.close(b)
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(3))
+	keys := make([]uint64, 4096)
+	for i := range keys {
+		keys[i] = uint64(rng.Uint32())
+	}
+	par := 64 / runtime.GOMAXPROCS(0)
+	if par < 1 {
+		par = 1
+	}
+	var idx atomic.Uint64
+	b.SetParallelism(par)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := idx.Add(1)
+			src := c.nodes[i%uint64(len(c.nodes))]
+			if _, err := src.Lookup(ctx, keys[i%uint64(len(keys))], ""); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}

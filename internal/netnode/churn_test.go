@@ -4,7 +4,10 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"os"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -152,6 +155,166 @@ func TestLiveChurn(t *testing.T) {
 				owner = info.Addr
 			} else if info.Addr != owner {
 				t.Errorf("key %d: owners disagree (%s vs %s)", key, info.Addr, owner)
+			}
+		}
+	}
+}
+
+// TestChurnSoak is the nightly soak test: CANON_CHURN_OPS lookups (nightly
+// runs it at 1,000,000) driven by concurrent workers against a live cluster
+// while nodes continuously join and leave. It exists to surface the failure
+// modes short tests structurally miss — pool poisoning that needs thousands
+// of recycles to line up, epoch-snapshot races with tiny windows, slow
+// routing-table corruption under sustained churn. The test skips unless
+// CANON_CHURN_OPS is set, so regular CI and local runs are unaffected.
+func TestChurnSoak(t *testing.T) {
+	opsEnv := os.Getenv("CANON_CHURN_OPS")
+	if opsEnv == "" {
+		t.Skip("set CANON_CHURN_OPS (e.g. 1000000) to run the churn soak test")
+	}
+	totalOps, err := strconv.ParseUint(opsEnv, 10, 64)
+	if err != nil || totalOps == 0 {
+		t.Fatalf("bad CANON_CHURN_OPS %q: %v", opsEnv, err)
+	}
+	bus := transport.NewBus()
+	rng := rand.New(rand.NewSource(101))
+	ctx := context.Background()
+
+	newNode := func(tag string) *netnode.Node {
+		n, err := netnode.New(netnode.Config{
+			Name:              "org/dept",
+			RandomID:          true,
+			Rand:              rng,
+			Transport:         bus.Endpoint("soak-" + tag),
+			ReplicationFactor: 3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = n.Close() })
+		return n
+	}
+
+	var stable []*netnode.Node
+	for i := 0; i < 10; i++ {
+		n := newNode(fmt.Sprintf("s%d", i))
+		contact := ""
+		if i > 0 {
+			contact = stable[0].Info().Addr
+		}
+		if err := n.Join(ctx, contact); err != nil {
+			t.Fatal(err)
+		}
+		n.Start(5 * time.Millisecond)
+		stable = append(stable, n)
+	}
+	time.Sleep(100 * time.Millisecond)
+
+	// Seed data that must survive the whole soak.
+	keys := make([]uint64, 20)
+	for i := range keys {
+		keys[i] = uint64(5000 + i*7919)
+		if err := stable[0].Put(ctx, keys[i], []byte(fmt.Sprintf("soak%d", i)), "org", "org"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(100 * time.Millisecond)
+
+	var done atomic.Uint64
+	var lookupErrs atomic.Uint64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rr := rand.New(rand.NewSource(int64(w)))
+			for {
+				op := done.Add(1)
+				if op > totalOps {
+					return
+				}
+				src := stable[op%uint64(len(stable))]
+				opCtx, cancel := context.WithTimeout(ctx, time.Second)
+				_, _, err := src.LookupHops(opCtx, uint64(rr.Uint32()), "")
+				cancel()
+				if err != nil {
+					lookupErrs.Add(1)
+				}
+			}
+		}(w)
+	}
+
+	// Continuous join/leave churn against the stable core until the workers
+	// drain the op budget.
+	churnStop := make(chan struct{})
+	var churnWg sync.WaitGroup
+	churnWg.Add(1)
+	go func() {
+		defer churnWg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-churnStop:
+				return
+			default:
+			}
+			n := newNode(fmt.Sprintf("t%d", i))
+			if err := n.Join(ctx, stable[i%len(stable)].Info().Addr); err != nil {
+				t.Errorf("soak join %d: %v", i, err)
+				return
+			}
+			n.Start(5 * time.Millisecond)
+			time.Sleep(50 * time.Millisecond)
+			leaveCtx, cancel := context.WithTimeout(ctx, 2*time.Second)
+			if err := n.Leave(leaveCtx); err != nil {
+				t.Errorf("soak leave %d: %v", i, err)
+			}
+			cancel()
+			time.Sleep(20 * time.Millisecond)
+		}
+	}()
+
+	wg.Wait()
+	close(churnStop)
+	churnWg.Wait()
+	elapsed := time.Since(start)
+
+	// Transient lookup errors are tolerated (a node mid-leave can time out a
+	// hop), but they must stay rare or routing is degrading under churn.
+	errs := lookupErrs.Load()
+	if maxErrs := totalOps / 100; errs > maxErrs {
+		t.Fatalf("%d/%d lookups failed during churn (allowed %d)", errs, totalOps, maxErrs)
+	}
+	t.Logf("soak: %d lookups in %v (%.0f ops/s), %d transient errors",
+		totalOps, elapsed.Round(time.Second), float64(totalOps)/elapsed.Seconds(), errs)
+
+	// Settle, then every seeded key must still be retrievable and owners must
+	// agree across the stable core.
+	for r := 0; r < 10; r++ {
+		for _, n := range stable {
+			sctx, cancel := context.WithTimeout(ctx, 500*time.Millisecond)
+			n.StabilizeOnce(sctx)
+			n.FixFingers(sctx)
+			cancel()
+		}
+	}
+	for i, key := range keys {
+		got, err := stable[0].Get(ctx, key)
+		if err != nil || string(got) != fmt.Sprintf("soak%d", i) {
+			t.Errorf("key %d lost after soak: %q, %v", key, got, err)
+		}
+	}
+	for _, key := range keys {
+		var owner string
+		for _, n := range stable {
+			info, err := n.Lookup(ctx, key, "")
+			if err != nil {
+				t.Fatalf("lookup after soak: %v", err)
+			}
+			if owner == "" {
+				owner = info.Addr
+			} else if info.Addr != owner {
+				t.Errorf("key %d: owners disagree after soak (%s vs %s)", key, info.Addr, owner)
 			}
 		}
 	}

@@ -22,8 +22,14 @@ func (n *Node) handle(ctx context.Context, from string, msg transport.Message) (
 		return transport.NewMessage(msgPing, n.self)
 
 	case msgLookup:
-		var req lookupReq
-		if err := msg.Decode(&req); err != nil {
+		// The request decodes into a pooled object (returned fully zeroed —
+		// see putLookupReq) so a forwarded hop allocates no request. The
+		// response is passed by value: NewMessage keeps binary-capable bodies
+		// lazy, and receiver-side dedup may cache the message, so the body
+		// must not be recycled.
+		req := getLookupReq()
+		defer putLookupReq(req)
+		if err := msg.Decode(req); err != nil {
 			return transport.Message{}, err
 		}
 		resp, err := n.handleLookup(ctx, req)
@@ -125,6 +131,7 @@ func (n *Node) handleNotify(req notifyReq) {
 		if cur.IsZero() || cur.Addr == n.self.Addr ||
 			n.space.Between(id.ID(req.From.ID), id.ID(n.self.ID), id.ID(cur.ID)) && req.From.ID != cur.ID {
 			n.succs[level] = capList(dedupeInfos(append([]Info{req.From}, n.succs[level]...)), n.cfg.SuccessorListLen)
+			n.publishRoutingLocked()
 		}
 		return
 	}
@@ -132,6 +139,7 @@ func (n *Node) handleNotify(req notifyReq) {
 	if cur.IsZero() || cur.Addr == n.self.Addr ||
 		n.space.Between(id.ID(req.From.ID), id.ID(cur.ID), id.ID(n.self.ID)) && req.From.ID != n.self.ID {
 		n.preds[level] = req.From
+		n.publishRoutingLocked()
 	}
 }
 
@@ -178,4 +186,5 @@ func (n *Node) handleLeaving(req leavingReq) {
 		}
 		n.registry[prefix] = kept
 	}
+	n.publishRoutingLocked()
 }

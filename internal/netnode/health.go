@@ -2,6 +2,7 @@ package netnode
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -42,32 +43,60 @@ const (
 	deadProbation    = 2 * time.Second
 )
 
-// peerHealth is one peer's failure-detector state.
+// peerHealth is one peer's failure-detector state. All fields are atomics:
+// once a peer's entry exists in the tracker's map, every read and write goes
+// through them, so the forwarding hot path queries health without locking.
 type peerHealth struct {
-	state      PeerState
-	fails      int       // consecutive failures
-	probeAfter time.Time // when a suspect/dead peer may be probed again
+	state      atomic.Int32 // a PeerState
+	fails      atomic.Int32 // consecutive failures
+	probeAfter atomic.Int64 // unix nanos when a suspect/dead peer may be probed
 }
 
 // healthTracker is a per-node failure detector fed by every RPC outcome.
-// It is its own lock domain, deliberately separate from Node.mu: call paths
-// record outcomes while routing holds no lock.
+//
+// Reads — preferred() on the forwarding hot path, state(), snapshot() — are
+// lock-free: the peer map lives behind an atomic pointer and individual peer
+// entries are atomics. The single mutex serializes only the copy-on-write
+// insertion of first-seen peers (a rare event: the peer set is the routing
+// table's neighborhood, which stabilizes quickly), never a lookup.
 type healthTracker struct {
-	mu    sync.Mutex
+	mu    sync.Mutex // serializes COW inserts of new peers only
 	now   func() time.Time
-	peers map[string]*peerHealth
+	peers atomic.Pointer[map[string]*peerHealth]
 }
 
 func newHealthTracker() *healthTracker {
-	return &healthTracker{now: time.Now, peers: make(map[string]*peerHealth)}
+	h := &healthTracker{now: time.Now}
+	m := make(map[string]*peerHealth)
+	h.peers.Store(&m)
+	return h
 }
 
+// lookup returns the peer's entry without creating one.
+func (h *healthTracker) lookup(addr string) *peerHealth {
+	return (*h.peers.Load())[addr]
+}
+
+// peer returns the peer's entry, inserting one via copy-on-write when the
+// address is new. Only the write paths (recordSuccess/recordFailure) call it;
+// reads never allocate map copies.
 func (h *healthTracker) peer(addr string) *peerHealth {
-	p, ok := h.peers[addr]
-	if !ok {
-		p = &peerHealth{}
-		h.peers[addr] = p
+	if p := h.lookup(addr); p != nil {
+		return p
 	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	old := *h.peers.Load()
+	if p, ok := old[addr]; ok { // lost the insert race
+		return p
+	}
+	next := make(map[string]*peerHealth, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	p := &peerHealth{}
+	next[addr] = p
+	h.peers.Store(&next)
 	return p
 }
 
@@ -76,11 +105,9 @@ func (h *healthTracker) recordSuccess(addr string) {
 	if addr == "" {
 		return
 	}
-	h.mu.Lock()
-	defer h.mu.Unlock()
 	p := h.peer(addr)
-	p.state = PeerAlive
-	p.fails = 0
+	p.state.Store(int32(PeerAlive))
+	p.fails.Store(0)
 }
 
 // recordFailure counts a consecutive failure, promoting the peer to suspect
@@ -89,64 +116,61 @@ func (h *healthTracker) recordFailure(addr string) {
 	if addr == "" {
 		return
 	}
-	h.mu.Lock()
-	defer h.mu.Unlock()
 	p := h.peer(addr)
-	p.fails++
+	fails := p.fails.Add(1)
 	switch {
-	case p.fails >= deadThreshold:
-		p.state = PeerDead
-		p.probeAfter = h.now().Add(deadProbation)
-	case p.fails >= suspectThreshold:
-		p.state = PeerSuspect
-		p.probeAfter = h.now().Add(suspectProbation)
+	case fails >= deadThreshold:
+		p.state.Store(int32(PeerDead))
+		p.probeAfter.Store(h.now().Add(deadProbation).UnixNano())
+	case fails >= suspectThreshold:
+		p.state.Store(int32(PeerSuspect))
+		p.probeAfter.Store(h.now().Add(suspectProbation).UnixNano())
 	}
 }
 
 // state returns the peer's current classification.
 func (h *healthTracker) state(addr string) PeerState {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	p, ok := h.peers[addr]
-	if !ok {
+	p := h.lookup(addr)
+	if p == nil {
 		return PeerAlive
 	}
-	return p.state
+	return PeerState(p.state.Load())
 }
 
 // preferred reports whether routing should rank the peer normally. Alive
 // peers are preferred; suspect/dead peers are not — except once per probation
 // window, when a single probe is let back through so recovered peers rejoin
-// the routing set.
+// the routing set. The single probe is enforced with a compare-and-swap on
+// the window's deadline: of any number of concurrent lookups racing on an
+// expired window, exactly one wins the CAS (and pushes the window out), so
+// they cannot all pile onto a possibly-dead peer. The call takes no locks.
 func (h *healthTracker) preferred(addr string) bool {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	p, ok := h.peers[addr]
-	if !ok || p.state == PeerAlive {
+	p := h.lookup(addr)
+	if p == nil {
 		return true
 	}
-	now := h.now()
-	if now.After(p.probeAfter) {
-		// Allow one probe, then push the window out so concurrent lookups
-		// don't all pile onto a possibly-dead peer.
-		if p.state == PeerDead {
-			p.probeAfter = now.Add(deadProbation)
-		} else {
-			p.probeAfter = now.Add(suspectProbation)
-		}
+	st := PeerState(p.state.Load())
+	if st == PeerAlive {
 		return true
 	}
-	return false
+	pa := p.probeAfter.Load()
+	now := h.now().UnixNano()
+	if now <= pa {
+		return false
+	}
+	window := suspectProbation
+	if st == PeerDead {
+		window = deadProbation
+	}
+	return p.probeAfter.CompareAndSwap(pa, now+int64(window))
 }
 
 // snapshot returns the non-alive peers and their states.
 func (h *healthTracker) snapshot() map[string]string {
-	h.mu.Lock()
-	defer h.mu.Unlock()
 	out := make(map[string]string)
-	for addr, p := range h.peers {
-		if p.state != PeerAlive {
-			out[addr] = p.state.String()
+	for addr, p := range *h.peers.Load() {
+		if st := PeerState(p.state.Load()); st != PeerAlive {
+			out[addr] = st.String()
 		}
 	}
 	return out

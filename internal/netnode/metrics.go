@@ -26,10 +26,17 @@ const (
 	mnSuspects     = "canon_suspect_peers"
 )
 
+// knownMsgTypes is every wire message type the node itself sends or serves.
+// Their per-type counters are pre-registered at construction into immutable
+// maps, so the RPC hot path looks them up without taking any lock; only
+// unknown types (arbitrary bytes a fuzzer or a hostile peer puts in the Type
+// field) fall back to the lazily populated, mutex-guarded overflow maps.
+var knownMsgTypes = [...]string{
+	msgLookup, msgNeighbors, msgNotify, msgPing, msgStore,
+	msgFetch, msgRegister, msgMembers, msgLeaving,
+}
+
 // nodeMetrics holds the node's cached handles into its telemetry registry.
-// The per-message-type sent/received counter maps are populated lazily (one
-// counter per wire message type) under their own lock so the RPC hot path
-// never contends with unrelated node state.
 type nodeMetrics struct {
 	reg *telemetry.Registry
 
@@ -46,33 +53,51 @@ type nodeMetrics struct {
 	storeItems   *telemetry.Gauge
 	suspects     *telemetry.Gauge
 
+	// sentFixed/receivedFixed are immutable after construction: read-only
+	// map lookups are safe for unsynchronized concurrent use.
+	sentFixed     map[string]*telemetry.Counter
+	receivedFixed map[string]*telemetry.Counter
+
 	mu       sync.Mutex
-	sent     map[string]*telemetry.Counter
+	sent     map[string]*telemetry.Counter // unknown types only
 	received map[string]*telemetry.Counter
 }
 
 func newNodeMetrics(reg *telemetry.Registry) *nodeMetrics {
-	return &nodeMetrics{
-		reg:          reg,
-		retries:      reg.Counter(mnRetries, "re-send attempts beyond each call's first"),
-		failedCalls:  reg.Counter(mnFailed, "calls that exhausted every attempt"),
-		routedAround: reg.Counter(mnRouteAround, "lookup forwards that skipped a distrusted best candidate"),
-		rpcLatency:   reg.Histogram(mnRPCLatency, "outgoing RPC latency per completed call, seconds", telemetry.DefBuckets),
-		rpcAttempts:  reg.Histogram(mnRPCAttempts, "transport attempts used per RPC call", telemetry.AttemptBuckets),
-		lookupHops:   reg.Histogram(mnLookupHops, "forwarding hops per lookup answered for a local or remote originator", telemetry.HopBuckets),
-		traceStarted: reg.Counter(mnTraceStarted, "route traces originated by this node"),
-		traceDone:    reg.Counter(mnTraceDone, "route traces completed and archived at this node"),
-		storeWrites:  reg.Counter(mnStoreWrites, "local store writes (values, pointers and replicas)"),
-		fetchReads:   reg.Counter(mnFetchReads, "local fetch reads served"),
-		storeItems:   reg.Gauge(mnStoreItems, "distinct keys currently stored"),
-		suspects:     reg.Gauge(mnSuspects, "peers the failure detector currently distrusts"),
-		sent:         make(map[string]*telemetry.Counter),
-		received:     make(map[string]*telemetry.Counter),
+	m := &nodeMetrics{
+		reg:           reg,
+		retries:       reg.Counter(mnRetries, "re-send attempts beyond each call's first"),
+		failedCalls:   reg.Counter(mnFailed, "calls that exhausted every attempt"),
+		routedAround:  reg.Counter(mnRouteAround, "lookup forwards that skipped a distrusted best candidate"),
+		rpcLatency:    reg.Histogram(mnRPCLatency, "outgoing RPC latency per completed call, seconds", telemetry.DefBuckets),
+		rpcAttempts:   reg.Histogram(mnRPCAttempts, "transport attempts used per RPC call", telemetry.AttemptBuckets),
+		lookupHops:    reg.Histogram(mnLookupHops, "forwarding hops per lookup answered for a local or remote originator", telemetry.HopBuckets),
+		traceStarted:  reg.Counter(mnTraceStarted, "route traces originated by this node"),
+		traceDone:     reg.Counter(mnTraceDone, "route traces completed and archived at this node"),
+		storeWrites:   reg.Counter(mnStoreWrites, "local store writes (values, pointers and replicas)"),
+		fetchReads:    reg.Counter(mnFetchReads, "local fetch reads served"),
+		storeItems:    reg.Gauge(mnStoreItems, "distinct keys currently stored"),
+		suspects:      reg.Gauge(mnSuspects, "peers the failure detector currently distrusts"),
+		sentFixed:     make(map[string]*telemetry.Counter, len(knownMsgTypes)),
+		receivedFixed: make(map[string]*telemetry.Counter, len(knownMsgTypes)),
+		sent:          make(map[string]*telemetry.Counter),
+		received:      make(map[string]*telemetry.Counter),
 	}
+	for _, t := range knownMsgTypes {
+		m.sentFixed[t] = reg.Counter(mnSent, "outgoing requests by message type (first attempts only)",
+			telemetry.L("type", t))
+		m.receivedFixed[t] = reg.Counter(mnReceived, "incoming requests by message type",
+			telemetry.L("type", t))
+	}
+	return m
 }
 
-// sentCounter returns the outgoing-request counter for a message type.
+// sentCounter returns the outgoing-request counter for a message type. Known
+// types resolve lock-free through the immutable map.
 func (m *nodeMetrics) sentCounter(msgType string) *telemetry.Counter {
+	if c, ok := m.sentFixed[msgType]; ok {
+		return c
+	}
 	m.mu.Lock()
 	c, ok := m.sent[msgType]
 	if !ok {
@@ -85,7 +110,11 @@ func (m *nodeMetrics) sentCounter(msgType string) *telemetry.Counter {
 }
 
 // receivedCounter returns the incoming-request counter for a message type.
+// Known types resolve lock-free through the immutable map.
 func (m *nodeMetrics) receivedCounter(msgType string) *telemetry.Counter {
+	if c, ok := m.receivedFixed[msgType]; ok {
+		return c
+	}
 	m.mu.Lock()
 	c, ok := m.received[msgType]
 	if !ok {
@@ -97,24 +126,33 @@ func (m *nodeMetrics) receivedCounter(msgType string) *telemetry.Counter {
 	return c
 }
 
-// sentSnapshot copies the per-type sent counts (the Stats bridge).
-func (m *nodeMetrics) sentSnapshot() map[string]int64 {
+// counterSnapshot merges a fixed and an overflow counter map into per-type
+// counts, skipping zero-valued series: pre-registered counters for types the
+// node never actually sent or served must not surface in Stats (which
+// historically only listed observed types).
+func (m *nodeMetrics) counterSnapshot(fixed, lazy map[string]*telemetry.Counter) map[string]int64 {
+	out := make(map[string]int64, len(fixed))
+	for k, c := range fixed {
+		if v := c.Value(); v != 0 {
+			out[k] = v
+		}
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	out := make(map[string]int64, len(m.sent))
-	for k, c := range m.sent {
-		out[k] = c.Value()
+	for k, c := range lazy {
+		if v := c.Value(); v != 0 {
+			out[k] = v
+		}
 	}
 	return out
 }
 
+// sentSnapshot copies the per-type sent counts (the Stats bridge).
+func (m *nodeMetrics) sentSnapshot() map[string]int64 {
+	return m.counterSnapshot(m.sentFixed, m.sent)
+}
+
 // receivedSnapshot copies the per-type received counts.
 func (m *nodeMetrics) receivedSnapshot() map[string]int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	out := make(map[string]int64, len(m.received))
-	for k, c := range m.received {
-		out[k] = c.Value()
-	}
-	return out
+	return m.counterSnapshot(m.receivedFixed, m.received)
 }

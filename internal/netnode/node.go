@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/canon-dht/canon/internal/id"
@@ -102,6 +103,11 @@ type Node struct {
 
 	nonceSeq uint64
 
+	// routing is the published epoch snapshot of the mutable tables below:
+	// the forwarding hot path reads it lock-free, and every mutation of
+	// preds/succs/fingers under mu republishes it (publishRoutingLocked).
+	routing atomic.Pointer[routingView]
+
 	mu       sync.Mutex
 	preds    []Info   // per level
 	succs    [][]Info // per level, ascending clockwise from self
@@ -169,6 +175,9 @@ func New(cfg Config) (*Node, error) {
 		items:    make(map[uint64][]*storedItem),
 		registry: make(map[string][]Info),
 	}
+	// Publish the initial (empty) routing view before the transport can
+	// deliver a lookup: the hot path loads it unconditionally.
+	n.publishRouting()
 	// Nonce-based dedup gives every handler at-most-once semantics under
 	// caller retries and transport-level duplication.
 	n.tr.Serve(transport.DedupHandler(n.handle, 4096))
@@ -207,6 +216,7 @@ func (n *Node) Join(ctx context.Context, contact string) error {
 			n.succs[l] = []Info{n.self}
 			n.preds[l] = n.self
 		}
+		n.publishRoutingLocked()
 		n.mu.Unlock()
 		return n.registerSelf(ctx)
 	}
@@ -231,6 +241,7 @@ func (n *Node) Join(ctx context.Context, contact string) error {
 				n.mu.Lock()
 				n.succs[l] = []Info{n.self}
 				n.preds[l] = n.self
+				n.publishRoutingLocked()
 				n.mu.Unlock()
 				continue
 			}
@@ -248,6 +259,7 @@ func (n *Node) Join(ctx context.Context, contact string) error {
 			n.preds[l] = resp.Pred
 		}
 		pred, succ := n.preds[l], n.succs[l][0]
+		n.publishRoutingLocked()
 		n.mu.Unlock()
 		// Eagerly notify both ring neighbors (Section 2.3: nodes that would
 		// erroneously skip the joiner are told right away).

@@ -12,6 +12,11 @@ import (
 
 // candidates snapshots every known contact inside the named domain: fingers,
 // per-level successors and predecessors.
+//
+// Since the epoch-snapshot refactor the forwarding hot path no longer calls
+// this (it reads the precomputed candidate sets of the published
+// routingView); candidates stays as the mutex-held reference implementation
+// that the snapshot equivalence suite checks buildRoutingView against.
 func (n *Node) candidates(prefix string) []Info {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -93,81 +98,65 @@ func (n *Node) succInDomain(prefix string) Info {
 // the completed trace in its TraceStore and feeds the hop histogram, so both
 // self-originated and client-originated lookups leave evidence where the
 // route began.
-func (n *Node) handleLookup(ctx context.Context, req lookupReq) (lookupResp, error) {
+//
+// The forwarding decision is lock-free and allocation-free: the node loads
+// its published routing snapshot once (one complete epoch — never a torn mix
+// of two stabilization rounds), reads the precomputed candidate sets, and
+// queries the failure detector's atomics. The untraced path also allocates
+// no request objects — the forwarded request comes from a pool and candidate
+// staging lives on the stack. Traced lookups additionally build span lists,
+// whose backing arrays are pool-recycled per hop.
+func (n *Node) handleLookup(ctx context.Context, req *lookupReq) (lookupResp, error) {
 	if req.Hops >= lookupHopLimit {
 		return lookupResp{}, fmt.Errorf("netnode: lookup exceeded %d hops", lookupHopLimit)
 	}
-	if !inDomain(n.self.Name, req.Prefix) {
+	v := n.routing.Load()
+	level, ok := v.levelOf(req.Prefix)
+	if !ok {
 		return lookupResp{}, fmt.Errorf("netnode: lookup for %q reached node outside it", req.Prefix)
 	}
-	rem := n.clockwise(n.self.ID, req.Key)
-	if rem > 0 {
-		// Candidates that advance without overshooting, best first; a dead
-		// best candidate falls through to the next (the crash-recovery
-		// behaviour of a real deployment — stabilization prunes it later).
-		var ahead []Info
-		for _, cand := range n.candidates(req.Prefix) {
-			adv := n.clockwise(n.self.ID, cand.ID)
-			if adv >= 1 && adv <= rem && n.canonAdmissible(cand) {
-				ahead = append(ahead, cand)
-			}
-		}
-		sort.Slice(ahead, func(i, j int) bool {
-			return n.clockwise(n.self.ID, ahead[i].ID) > n.clockwise(n.self.ID, ahead[j].ID)
-		})
-		// Route around unhealthy peers: candidates the failure detector
-		// distrusts sink behind every healthy one (still distance-ordered
-		// within each class) instead of being tried — and timing out —
-		// first. They remain last-resort options so a wrongly accused peer
-		// cannot partition the lookup.
-		bestAddr := ""
-		if len(ahead) > 0 {
-			bestAddr = ahead[0].Addr
-		}
-		var preferred, distrusted []Info
-		for _, cand := range ahead {
-			if n.health.preferred(cand.Addr) {
-				preferred = append(preferred, cand)
-			} else {
-				distrusted = append(distrusted, cand)
-			}
-		}
-		if len(preferred) > 0 && len(distrusted) > 0 && bestAddr != preferred[0].Addr {
-			n.m.routedAround.Inc()
-		}
-		ahead = append(preferred, distrusted...)
-		attempts := 0
-		for _, cand := range ahead {
-			if attempts >= 8 {
-				break // a whole region is down; stabilization will prune it
-			}
-			fwdReq := lookupReq{
-				Key: req.Key, Prefix: req.Prefix, Hops: req.Hops + 1,
-				Trace: req.Trace,
-			}
+	// Candidates that advance without overshooting, health-preferred first
+	// and distance-best within each class; a dead best candidate falls
+	// through to the next (the crash-recovery behaviour of a real deployment
+	// — stabilization prunes it later). Distrusted peers sink behind every
+	// healthy one but remain last-resort options, so a wrongly accused peer
+	// cannot partition the lookup.
+	var order [forwardAttemptLimit]viewCandidate
+	cnt, bestAddr, routedAround := v.forwardSet(n.health, req.Key, level, order[:])
+	if routedAround {
+		n.m.routedAround.Inc()
+	}
+	if cnt > 0 {
+		fwd := getLookupReq()
+		defer putLookupReq(fwd)
+		for i := 0; i < cnt; i++ {
+			cand := order[i]
+			fwd.Key, fwd.Prefix, fwd.Hops, fwd.Trace = req.Key, req.Prefix, req.Hops+1, req.Trace
 			if req.Trace != "" {
 				// The hop's routing level is the depth of the lowest common
 				// domain with the next node: leaf-deep hops stay local,
 				// level-0 hops cross top-level boundaries (Section 3.2).
-				span := telemetry.Span{
-					Hop: req.Hops, Name: n.self.Name, ID: n.self.ID,
-					Addr: n.self.Addr, Level: sharedLevels(n.self.Name, cand.Name),
-					RouteAround: cand.Addr != bestAddr,
+				spans := fwd.Spans
+				if spans == nil {
+					spans = telemetry.GetSpans()
 				}
-				fwdReq.Spans = append(append([]telemetry.Span(nil), req.Spans...), span)
+				spans = append(spans[:0], req.Spans...)
+				fwd.Spans = append(spans, telemetry.Span{
+					Hop: req.Hops, Name: v.self.Name, ID: v.self.ID,
+					Addr: v.self.Addr, Level: cand.level,
+					RouteAround: cand.info.Addr != bestAddr,
+				})
 			}
-			fwd, err := transport.NewMessage(msgLookup, fwdReq)
+			msg, err := transport.NewMessage(msgLookup, fwd)
 			if err != nil {
 				return lookupResp{}, err
 			}
-			raw, err := n.call(ctx, cand.Addr, fwd)
+			raw, err := n.call(ctx, cand.info.Addr, msg)
 			if err != nil {
-				attempts++
 				continue
 			}
 			var resp lookupResp
 			if err := raw.Decode(&resp); err != nil {
-				attempts++
 				continue
 			}
 			n.finishLookup(req, &resp)
@@ -177,12 +166,15 @@ func (n *Node) handleLookup(ctx context.Context, req lookupReq) (lookupResp, err
 		// predecessor, the liveness-over-accuracy choice real deployments
 		// make; stabilization repairs the stale links that got us here.
 	}
-	resp := lookupResp{Pred: n.self, Succ: n.succInDomain(req.Prefix), Hops: req.Hops}
+	resp := lookupResp{Pred: v.self, Succ: v.succAt(level), Hops: req.Hops}
 	if req.Trace != "" {
 		resp.Trace = req.Trace
+		// The response spans are freshly allocated, never pooled: they are
+		// retained past this call (archived in the TraceStore, cached by
+		// receiver-side dedup) and must not be recycled under a reader.
 		resp.Spans = append(append([]telemetry.Span(nil), req.Spans...), telemetry.Span{
-			Hop: req.Hops, Name: n.self.Name, ID: n.self.ID,
-			Addr: n.self.Addr, Level: -1, Owner: true,
+			Hop: req.Hops, Name: v.self.Name, ID: v.self.ID,
+			Addr: v.self.Addr, Level: -1, Owner: true,
 		})
 	}
 	n.finishLookup(req, &resp)
@@ -192,7 +184,7 @@ func (n *Node) handleLookup(ctx context.Context, req lookupReq) (lookupResp, err
 // finishLookup runs the entry-hop bookkeeping for a lookup answer about to
 // travel back toward the originator: the route's entry node (req.Hops == 0)
 // observes the hop count and archives a completed trace.
-func (n *Node) finishLookup(req lookupReq, resp *lookupResp) {
+func (n *Node) finishLookup(req *lookupReq, resp *lookupResp) {
 	if req.Hops != 0 {
 		return
 	}
@@ -213,9 +205,9 @@ func (n *Node) lookupFrom(ctx context.Context, seed Info, key uint64, prefix str
 // lookupReqFrom dispatches a fully built lookup request through seed.
 func (n *Node) lookupReqFrom(ctx context.Context, seed Info, req lookupReq) (lookupResp, error) {
 	if seed.Addr == n.self.Addr {
-		return n.handleLookup(ctx, req)
+		return n.handleLookup(ctx, &req)
 	}
-	msg, err := transport.NewMessage(msgLookup, req)
+	msg, err := transport.NewMessage(msgLookup, &req)
 	if err != nil {
 		return lookupResp{}, err
 	}
@@ -334,6 +326,7 @@ func (n *Node) StabilizeOnce(ctx context.Context) {
 		}
 		n.mu.Lock()
 		n.succs[l] = []Info{member}
+		n.publishRoutingLocked()
 		n.mu.Unlock()
 	}
 }
@@ -461,12 +454,14 @@ func (n *Node) stabilizeLevel(ctx context.Context, level int) {
 	n.succs[level] = capList(dedupeInfos(alive), n.cfg.SuccessorListLen)
 	// Drop a dead predecessor so notify can replace it.
 	p := n.preds[level]
+	n.publishRoutingLocked()
 	n.mu.Unlock()
 	if !p.IsZero() && p.Addr != n.self.Addr {
 		if _, err := n.pingAddr(ctx, p.Addr); err != nil {
 			n.mu.Lock()
 			if n.preds[level].Addr == p.Addr {
 				n.preds[level] = Info{}
+				n.publishRoutingLocked()
 			}
 			n.mu.Unlock()
 		}
@@ -543,5 +538,6 @@ func (n *Node) FixFingers(ctx context.Context) {
 	}
 	n.mu.Lock()
 	n.fingers = fingers
+	n.publishRoutingLocked()
 	n.mu.Unlock()
 }

@@ -1,0 +1,292 @@
+// Epoch/copy-on-write routing snapshots: the lock-free read side of the
+// node's routing state.
+//
+// The mutable routing tables (Node.preds/succs/fingers, guarded by Node.mu)
+// stay the write-side source of truth, but the forwarding hot path never
+// reads them. Instead every mutation republishes an immutable routingView
+// through a single atomic-pointer swap, and handleLookup loads the pointer
+// once per hop: one complete, internally consistent view per lookup, no
+// mutex, no allocation, and no possibility of observing level 0 from one
+// stabilization round and level 2 from another (a "torn" view).
+//
+// Everything a forwarding decision needs is precomputed at build time:
+//   - the per-level candidate sets (fingers + all levels' successor lists +
+//     predecessors, deduplicated, filtered into each domain of the node's
+//     chain), sorted ascending by clockwise distance so a binary search finds
+//     the advance-without-overshoot window;
+//   - each candidate's Canon link-retention admissibility (Section 2.2) and
+//     the routing level of the hop it would take (the span's Level field);
+//   - the node's own domain-prefix chain, so request prefixes resolve to a
+//     level by string compare instead of splitting.
+//
+// Memory reclamation is delegated to the garbage collector: a reader that
+// loaded an old epoch keeps it alive for the duration of one forwarding
+// decision, after which the view becomes unreachable and is collected. No
+// hazard pointers, no epochs-in-flight bookkeeping.
+//
+// The builder in this file is the ONLY place snapshot types may be written;
+// canonvet's snapshotmut check enforces that mechanically via the
+// //canonvet:immutable markers on the type declarations below.
+package netnode
+
+import (
+	"sort"
+
+	"github.com/canon-dht/canon/internal/id"
+)
+
+// forwardAttemptLimit bounds how many next-hop candidates one hop will try
+// before answering best-effort (a whole region being down is a stabilization
+// problem, not a per-lookup one).
+const forwardAttemptLimit = 8
+
+// routingView is one published epoch of routing state. It is immutable after
+// buildRoutingView returns: readers share it without synchronization beyond
+// the atomic pointer load that obtained it.
+//
+//canonvet:immutable
+type routingView struct {
+	// epoch counts publications, starting at 1 for the view New installs.
+	// epochSeal is set to the same value as the builder's final write; the
+	// snapshot-consistency suite asserts they always agree, which regresses
+	// any future "optimization" that replaces the single pointer swap with
+	// per-field publication.
+	epoch  uint64
+	space  id.Space
+	self   Info
+	levels int
+
+	// prefixes[l] is prefixAt(self.Name, l): the only domain prefixes this
+	// node can serve lookups for.
+	prefixes []string
+
+	preds   []Info   // per level
+	succs   [][]Info // per level, ascending clockwise from self
+	fingers []Info   // sorted by ID, for Fingers()-style enumeration
+
+	// cands[l] holds every distinct contact inside domain prefixes[l],
+	// sorted ascending by clockwise distance from self (ties by address).
+	cands [][]viewCandidate
+
+	epochSeal uint64
+}
+
+// viewCandidate is one precomputed forwarding candidate inside a
+// routingView. dist is always >= 1 (zero-advance contacts are dropped at
+// build time) and admissible caches the Section 2.2 link-retention verdict.
+//
+//canonvet:immutable
+type viewCandidate struct {
+	info Info
+	// dist is the clockwise ring distance from self to the candidate.
+	dist uint64
+	// level is sharedLevels(self.Name, info.Name): the routing level a hop
+	// to this candidate takes, recorded in trace spans.
+	level int
+	// admissible is the Canon link-retention rule's verdict for using this
+	// contact as a greedy candidate (see canonAdmissible, the mutex-held
+	// reference implementation this precomputation must agree with).
+	admissible bool
+}
+
+// levelOf resolves a request's domain prefix to a level of this node's
+// chain. ok is false when the prefix does not name one of the node's own
+// domains — exactly the lookups inDomain(self.Name, prefix) rejects. It
+// allocates nothing.
+func (v *routingView) levelOf(prefix string) (int, bool) {
+	l := prefixLevel(prefix)
+	if l > v.levels || v.prefixes[l] != prefix {
+		return 0, false
+	}
+	return l, true
+}
+
+// succAt returns the node's current successor inside its level-l domain
+// (itself when alone), mirroring succInDomain on the snapshot.
+func (v *routingView) succAt(l int) Info {
+	if len(v.succs[l]) == 0 {
+		return v.self
+	}
+	return v.succs[l][0]
+}
+
+// forwardSet fills dst with up to len(dst) forwarding candidates for key
+// within the level-l domain, in the order one hop should try them: peers the
+// failure detector prefers first, distance-descending (closest to the key
+// without overshooting) within each class. It returns how many candidates it
+// wrote, the address of the distance-best candidate (for the RouteAround
+// span flag), and whether that best candidate was demoted behind a healthy
+// one (the route-around metric). The call takes no locks and performs no
+// heap allocations — this is the forwarding hot path.
+func (v *routingView) forwardSet(health *healthTracker, key uint64, l int, dst []viewCandidate) (n int, bestAddr string, routedAround bool) {
+	rem := v.space.Clockwise(id.ID(v.self.ID), id.ID(key))
+	if rem == 0 {
+		return 0, "", false
+	}
+	cands := v.cands[l]
+	// Binary search for the end of the advance-without-overshoot window:
+	// candidates[0:hi] all have 1 <= dist <= rem.
+	lo, hi := 0, len(cands)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if cands[mid].dist <= rem {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	// One descending pass: preferred candidates go straight into dst,
+	// distrusted ones wait in a fixed spare buffer and sink behind every
+	// healthy candidate (still distance-ordered) — last-resort options, so a
+	// wrongly accused peer cannot partition the lookup.
+	var spare [forwardAttemptLimit]viewCandidate
+	nSpare := 0
+	sawBest := false
+	bestDemoted := false
+	for i := lo - 1; i >= 0 && n < len(dst); i-- {
+		c := cands[i]
+		if !c.admissible {
+			continue
+		}
+		pref := health.preferred(c.info.Addr)
+		if !sawBest {
+			sawBest = true
+			bestAddr = c.info.Addr
+			bestDemoted = !pref
+		}
+		if pref {
+			dst[n] = c
+			n++
+		} else if nSpare < len(spare) {
+			spare[nSpare] = c
+			nSpare++
+		}
+	}
+	routedAround = bestDemoted && n > 0
+	for i := 0; i < nSpare && n < len(dst); i++ {
+		dst[n] = spare[i]
+		n++
+	}
+	return n, bestAddr, routedAround
+}
+
+// publishRouting rebuilds and atomically publishes the node's routing view
+// from its mutable tables. Callers that already hold n.mu use
+// publishRoutingLocked.
+func (n *Node) publishRouting() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.publishRoutingLocked()
+}
+
+// publishRoutingLocked is publishRouting for callers holding n.mu. Holding
+// the node lock across build+swap serializes publishers, so epochs are
+// strictly monotonic and every published view reflects one complete write-
+// side state.
+func (n *Node) publishRoutingLocked() {
+	var epoch uint64 = 1
+	if prev := n.routing.Load(); prev != nil {
+		epoch = prev.epoch + 1
+	}
+	n.routing.Store(buildRoutingView(epoch, n.space, n.self, n.levels, n.preds, n.succs, n.fingers))
+}
+
+// buildRoutingView deep-copies the mutable routing tables into a fresh
+// immutable view and precomputes the per-level candidate sets. It is the
+// only function allowed to write routingView/viewCandidate fields.
+func buildRoutingView(epoch uint64, space id.Space, self Info, levels int,
+	preds []Info, succs [][]Info, fingers map[uint64]Info) *routingView {
+
+	v := &routingView{
+		epoch:  epoch,
+		space:  space,
+		self:   self,
+		levels: levels,
+	}
+	v.prefixes = make([]string, levels+1)
+	v.preds = make([]Info, levels+1)
+	v.succs = make([][]Info, levels+1)
+	for l := 0; l <= levels; l++ {
+		v.prefixes[l] = prefixAt(self.Name, l)
+		if l < len(preds) {
+			v.preds[l] = preds[l]
+		}
+		if l < len(succs) {
+			v.succs[l] = append([]Info(nil), succs[l]...)
+		}
+	}
+	v.fingers = make([]Info, 0, len(fingers))
+	for _, f := range fingers {
+		v.fingers = append(v.fingers, f)
+	}
+	sort.Slice(v.fingers, func(i, j int) bool { return v.fingers[i].ID < v.fingers[j].ID })
+
+	// Gather every distinct contact once (fingers, all levels' successor
+	// lists, predecessors), then project it into each domain of the chain it
+	// belongs to. seen is keyed by address, like the mutex-held candidates().
+	contacts := make([]Info, 0, len(v.fingers)+2*(levels+1))
+	seen := make(map[string]bool, cap(contacts))
+	add := func(i Info) {
+		if i.IsZero() || i.Addr == self.Addr || seen[i.Addr] {
+			return
+		}
+		seen[i.Addr] = true
+		contacts = append(contacts, i)
+	}
+	for _, f := range v.fingers {
+		add(f)
+	}
+	for l := 0; l <= levels; l++ {
+		for _, s := range v.succs[l] {
+			add(s)
+		}
+		add(v.preds[l])
+	}
+
+	v.cands = make([][]viewCandidate, levels+1)
+	for l := 0; l <= levels; l++ {
+		prefix := v.prefixes[l]
+		var cl []viewCandidate
+		for _, c := range contacts {
+			if !inDomain(c.Name, prefix) {
+				continue
+			}
+			d := space.Clockwise(id.ID(self.ID), id.ID(c.ID))
+			if d == 0 {
+				continue // zero advance: never a forwarding candidate
+			}
+			cl = append(cl, viewCandidate{
+				info:       c,
+				dist:       d,
+				level:      sharedLevels(self.Name, c.Name),
+				admissible: admissibleInView(space, self, levels, v.succs, c, d),
+			})
+		}
+		sort.Slice(cl, func(i, j int) bool {
+			if cl[i].dist != cl[j].dist {
+				return cl[i].dist < cl[j].dist
+			}
+			return cl[i].info.Addr < cl[j].info.Addr
+		})
+		v.cands[l] = cl
+	}
+	v.epochSeal = epoch
+	return v
+}
+
+// admissibleInView evaluates the Canon link-retention rule (Section 2.2)
+// against the view's own successor lists; it must agree with the mutex-held
+// canonAdmissible reference for the same write-side state (the snapshot
+// equivalence suite asserts this).
+func admissibleInView(space id.Space, self Info, levels int, succs [][]Info, cand Info, dist uint64) bool {
+	s := sharedLevels(self.Name, cand.Name)
+	if s >= levels {
+		return true // same leaf domain: full Chord links
+	}
+	for l := s + 1; l <= levels; l++ {
+		if len(succs[l]) > 0 && succs[l][0].Addr != self.Addr {
+			return dist < space.Clockwise(id.ID(self.ID), id.ID(succs[l][0].ID))
+		}
+	}
+	return true // no deeper ring known yet (still joining): no bound to apply
+}

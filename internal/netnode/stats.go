@@ -3,7 +3,7 @@ package netnode
 import (
 	"context"
 	"errors"
-	"fmt"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -77,7 +77,14 @@ type Stats struct {
 // Every outcome feeds the per-peer failure detector.
 func (n *Node) call(ctx context.Context, addr string, msg transport.Message) (transport.Message, error) {
 	if msg.Nonce == "" {
-		msg.Nonce = fmt.Sprintf("%s#%x", n.self.Addr, atomic.AddUint64(&n.nonceSeq, 1))
+		// Hand-built "<addr>#<hex seq>" (same format Sprintf produced): one
+		// string allocation instead of the fmt machinery, since every
+		// forwarded lookup hop passes through here.
+		var scratch [64]byte
+		b := append(scratch[:0], n.self.Addr...)
+		b = append(b, '#')
+		b = strconv.AppendUint(b, atomic.AddUint64(&n.nonceSeq, 1), 16)
+		msg.Nonce = string(b)
 	}
 	n.m.sentCounter(msg.Type).Inc()
 	start := time.Now()

@@ -154,6 +154,16 @@ func prefixAt(name string, level int) string {
 	return strings.Join(comps[:level], "/")
 }
 
+// prefixLevel returns the chain depth a domain prefix names: 0 for the root
+// (""), otherwise one more than its separator count. It is the allocation-free
+// counterpart of len(components(prefix)) used on the lookup hot path.
+func prefixLevel(prefix string) int {
+	if prefix == "" {
+		return 0
+	}
+	return strings.Count(prefix, "/") + 1
+}
+
 // inDomain reports whether a node named `name` belongs to the domain named
 // `prefix` (the root contains everyone).
 func inDomain(name, prefix string) bool {

@@ -9,6 +9,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -35,6 +36,7 @@ type muxConn struct {
 	c    net.Conn
 
 	wmu sync.Mutex // serializes frame writes; never held together with pmu
+	wq  atomic.Int32
 	bw  *bufio.Writer
 
 	pmu     sync.Mutex
@@ -142,6 +144,12 @@ func (mc *muxConn) roundTrip(ctx context.Context, msg Message) (Message, error) 
 // writeFrame encodes and writes one frame under the write lock. The encode
 // buffer is pooled, so the steady-state send path performs no allocations
 // beyond what the body encoder needs.
+//
+// Flushes coalesce across concurrent senders: each writer announces itself
+// on the queued-writer counter before taking the lock and only the writer
+// that drains the counter to zero flushes — so a batch of lookups headed to
+// the same next hop leaves in one syscall instead of one per request. See
+// flushCoalesced for why no written byte can be left behind unflushed.
 func (mc *muxConn) writeFrame(ctx context.Context, kind byte, id uint64, msg Message) error {
 	buf := getBuf()
 	defer putBuf(buf)
@@ -162,20 +170,46 @@ func (mc *muxConn) writeFrame(ctx context.Context, kind byte, id uint64, msg Mes
 	if ctxDeadline, ok := ctx.Deadline(); ok && ctxDeadline.Before(deadline) {
 		deadline = ctxDeadline
 	}
+	mc.wq.Add(1)
 	mc.wmu.Lock()
 	defer mc.wmu.Unlock()
 	_ = mc.c.SetWriteDeadline(deadline)
-	if _, err := mc.bw.Write(hdr[:n]); err != nil {
-		return err
-	}
-	if _, err := mc.bw.Write(env); err != nil {
-		return err
-	}
-	if err := mc.bw.Flush(); err != nil {
+	werr := writeTwo(mc.bw, hdr[:n], env)
+	if err := flushCoalesced(mc.bw, &mc.wq, werr); err != nil {
 		return err
 	}
 	mc.t.metrics.framesSent.Inc()
 	return nil
+}
+
+// writeTwo writes a frame header and its envelope into the buffered writer.
+func writeTwo(bw *bufio.Writer, hdr, env []byte) error {
+	if _, err := bw.Write(hdr); err != nil {
+		return err
+	}
+	_, err := bw.Write(env)
+	return err
+}
+
+// flushCoalesced completes one writer's turn under the connection write
+// lock: it retires the writer from the queued counter and flushes only when
+// no other writer is queued behind it. Correctness of the skipped flush:
+// every writer increments wq strictly before contending for the write lock
+// and decrements it while holding the lock, so a writer that observes a
+// non-zero residue is guaranteed a successor that will hold the lock after
+// it — and that successor either flushes (carrying this writer's buffered
+// bytes with its own) or fails the connection, failing every pending call
+// with it. werr is the write error to propagate; the counter is retired on
+// that path too so an aborted writer never strands a peer's flush.
+func flushCoalesced(bw *bufio.Writer, wq *atomic.Int32, werr error) error {
+	last := wq.Add(-1) == 0
+	if werr != nil {
+		return werr
+	}
+	if !last {
+		return nil
+	}
+	return bw.Flush()
 }
 
 // readLoop is the single reader: it parses response frames and hands each to
@@ -297,8 +331,10 @@ func (t *TCP) serveMux(c net.Conn, br *bufio.Reader) {
 		return
 	}
 
-	var wmu sync.Mutex
-	bw := bufio.NewWriter(c)
+	// Responses share one write lock and one queued-writer counter: like the
+	// client side, concurrent responses to the same peer coalesce into one
+	// flush (see flushCoalesced).
+	w := &muxServerWriter{c: c, bw: bufio.NewWriter(c)}
 	scratch := getBuf()
 	defer putBuf(scratch)
 	for {
@@ -313,7 +349,7 @@ func (t *TCP) serveMux(c net.Conn, br *bufio.Reader) {
 		msg, derr := DecodeBinaryMessage(env)
 		if derr != nil {
 			t.wg.Add(1)
-			go t.writeMuxResponse(c, bw, &wmu, id, ErrorMessage(derr))
+			go t.writeMuxResponse(w, id, ErrorMessage(derr))
 			continue
 		}
 		if msg.PayloadCodec == PayloadBinary {
@@ -322,13 +358,23 @@ func (t *TCP) serveMux(c net.Conn, br *bufio.Reader) {
 			t.metrics.payloads(codecJSONLabel).Inc()
 		}
 		t.wg.Add(1)
-		go t.serveMuxRequest(c, bw, &wmu, id, msg)
+		go t.serveMuxRequest(w, id, msg)
 	}
+}
+
+// muxServerWriter is the shared write side of one accepted mux connection:
+// the buffered writer, its lock, and the queued-writer counter that lets
+// concurrent responses coalesce their flushes.
+type muxServerWriter struct {
+	c   net.Conn
+	wmu sync.Mutex
+	wq  atomic.Int32
+	bw  *bufio.Writer
 }
 
 // serveMuxRequest runs the handler for one multiplexed request and writes
 // its tagged response.
-func (t *TCP) serveMuxRequest(c net.Conn, bw *bufio.Writer, wmu *sync.Mutex, id uint64, msg Message) {
+func (t *TCP) serveMuxRequest(w *muxServerWriter, id uint64, msg Message) {
 	t.mu.Lock()
 	h := t.handler
 	t.mu.Unlock()
@@ -336,19 +382,20 @@ func (t *TCP) serveMuxRequest(c net.Conn, bw *bufio.Writer, wmu *sync.Mutex, id 
 	if h == nil {
 		resp = ErrorMessage(ErrNoHandler)
 	} else {
-		r, herr := h(context.Background(), c.RemoteAddr().String(), msg)
+		r, herr := h(context.Background(), w.c.RemoteAddr().String(), msg)
 		if herr != nil {
 			resp = ErrorMessage(herr)
 		} else {
 			resp = r
 		}
 	}
-	t.writeMuxResponse(c, bw, wmu, id, resp)
+	t.writeMuxResponse(w, id, resp)
 }
 
 // writeMuxResponse frames and writes one response under the connection's
-// write lock. The caller must hold a t.wg reference; it is released here.
-func (t *TCP) writeMuxResponse(c net.Conn, bw *bufio.Writer, wmu *sync.Mutex, id uint64, resp Message) {
+// write lock, coalescing its flush with concurrently queued responses. The
+// caller must hold a t.wg reference; it is released here.
+func (t *TCP) writeMuxResponse(w *muxServerWriter, id uint64, resp Message) {
 	defer t.wg.Done()
 	buf := getBuf()
 	defer putBuf(buf)
@@ -370,16 +417,12 @@ func (t *TCP) writeMuxResponse(c net.Conn, bw *bufio.Writer, wmu *sync.Mutex, id
 	binary.BigEndian.PutUint64(hdr[1:9], id)
 	n := 9 + binary.PutUvarint(hdr[9:], uint64(len(env)))
 
-	wmu.Lock()
-	defer wmu.Unlock()
-	_ = c.SetWriteDeadline(time.Now().Add(defaultDialTimeout))
-	if _, err := bw.Write(hdr[:n]); err != nil {
-		return
-	}
-	if _, err := bw.Write(env); err != nil {
-		return
-	}
-	if err := bw.Flush(); err != nil {
+	w.wq.Add(1)
+	w.wmu.Lock()
+	defer w.wmu.Unlock()
+	_ = w.c.SetWriteDeadline(time.Now().Add(defaultDialTimeout))
+	werr := writeTwo(w.bw, hdr[:n], env)
+	if flushCoalesced(w.bw, &w.wq, werr) != nil {
 		return
 	}
 	t.metrics.framesSent.Inc()

@@ -118,8 +118,10 @@ func (m Message) MarshalJSON() ([]byte, error) {
 // Decode unmarshals the message payload into out. Binary payloads (delivered
 // over multiplexed connections) decode through out's
 // encoding.BinaryUnmarshaler; JSON payloads through encoding/json. In-process
-// deliveries of lazily built messages fall back to a JSON round trip of Body
-// so every transport observes identical semantics.
+// deliveries of lazily built messages round-trip through the body's own
+// encoding — the compact binary form when both ends support it (through a
+// pooled scratch buffer, so the in-memory hot path allocates no encode
+// buffer), JSON otherwise — so every transport observes identical semantics.
 func (m Message) Decode(out any) error {
 	if m.Error != "" {
 		return fmt.Errorf("transport: remote error: %s", m.Error)
@@ -132,6 +134,18 @@ func (m Message) Decode(out any) error {
 		return u.UnmarshalBinary(m.Payload)
 	}
 	if len(m.Payload) == 0 && m.Body != nil {
+		if a, ok := m.Body.(BinaryAppender); ok {
+			if u, ok := out.(encoding.BinaryUnmarshaler); ok {
+				buf := getBuf()
+				defer putBuf(buf)
+				enc, err := a.AppendBinary((*buf)[:0])
+				if err != nil {
+					return fmt.Errorf("transport: marshal %s payload: %w", m.Type, err)
+				}
+				*buf = enc
+				return u.UnmarshalBinary(enc)
+			}
+		}
 		raw, err := json.Marshal(m.Body)
 		if err != nil {
 			return fmt.Errorf("transport: marshal %s payload: %w", m.Type, err)

@@ -1,56 +1,189 @@
 #!/usr/bin/env bash
-# bench-compare.sh — run the wire-protocol benchmarks (JSON legacy framing vs
-# binary mux) and render the comparison as BENCH_PR5.json.
+# bench-compare.sh — run the routing-hot-path and wire-encode benchmarks,
+# record their medians, and gate against a committed baseline.
 #
 # Usage:
-#   ./scripts/bench-compare.sh [output.json]
+#   BENCH_BASELINE=BENCH_PR6.json ./scripts/bench-compare.sh [output.json]
+#   BENCH_BASELINE=new            ./scripts/bench-compare.sh [output.json]
 #
-# The JSON records ns/op, B/op and allocs/op for each benchmark plus the
-# computed speedup ratios the PR's acceptance criteria reference:
-#   - encode_speedup:     JSON envelope encode / binary envelope encode
-#   - decode_speedup:     JSON envelope decode / binary envelope decode
-#   - mux64_speedup:      64-concurrent same-peer RPC throughput, pooled JSON
-#                         framing vs multiplexed binary (must be >= 2.0)
+# BENCH_BASELINE is REQUIRED and names the baseline JSON to compare against;
+# the sentinel value "new" records a fresh baseline without comparing (use it
+# once, commit the output, and CI gates every later PR against it). The
+# script fails loudly when the variable is missing or the file is unreadable
+# — a bench gate that silently skips its comparison is worse than none.
+#
+# Benchmarks run BENCH_COUNT times each (default 10) and the per-benchmark
+# MEDIAN of ns/op, B/op and allocs/op is recorded — medians because CI
+# machines are noisy and a single hot outlier must not fail (or pass) a gate.
+#
+# Gates, in order:
+#   1. forward64_speedup — median ns/op of the mutex-held forwarding baseline
+#      (BenchmarkForwardDecision64Locked) over the lock-free snapshot path
+#      (BenchmarkForwardDecision64Snapshot) — must be >= 3.0 on every run.
+#      The baseline implementation is kept in-tree (test-only) precisely so
+#      this ratio is re-measured on the same hardware every time instead of
+#      trusted from a historical number.
+#   2. mux64_speedup — the PR 5 gate, carried forward: the 64-way-concurrent
+#      binary mux round trip must stay >= 2x the pooled legacy-JSON
+#      transport.
+#   3. vs-baseline: any NS-GATED benchmark whose median ns/op regressed more
+#      than 10% fails the run, and any ALLOC-GATED benchmark whose allocs/op
+#      increased at all fails the run. A gated benchmark present in the
+#      baseline but missing from the run also fails (deleting a benchmark
+#      must be an explicit baseline update). The ns-gated set is the
+#      benchmarks whose ns/op is actually stable on a small CI runner: the
+#      zero-allocation hot paths (snapshot forwarding decision, binary
+#      envelope encode) and the end-to-end lookup saturation macro-bench
+#      (long ops, noise averages out). The alloc gate additionally covers
+#      the allocating envelope codecs — allocs/op is deterministic, so "no
+#      new allocation" still has teeth even where GC scheduling swings their
+#      ns/op far past 10% with no code change (measured min..max spread >2x
+#      on the binary decoder). The
+#      mutex-held forwarding baseline and the TCP round trips are recorded
+#      and feed the ratio gates above, but are not point-gated: their
+#      absolute numbers swing with scheduler/lock-contention noise far
+#      beyond 10% without any code change, and flaky gates train people to
+#      ignore red.
 set -euo pipefail
 
-out="${1:-BENCH_PR5.json}"
 cd "$(dirname "$0")/.."
 
-raw=$(go test -run '^$' -bench 'BenchmarkEnvelope|BenchmarkRoundTrip' \
-	-benchmem -benchtime=2s -count=1 ./internal/transport/)
-echo "$raw" >&2
+if [[ -z "${BENCH_BASELINE:-}" ]]; then
+	{
+		echo "bench-compare.sh: BENCH_BASELINE is not set; refusing to run without a comparison target."
+		echo "  BENCH_BASELINE=BENCH_PR6.json $0    # gate against the committed baseline (what CI does)"
+		echo "  BENCH_BASELINE=new $0               # record a fresh baseline, no comparison"
+	} >&2
+	exit 2
+fi
+if [[ "$BENCH_BASELINE" != "new" && ! -r "$BENCH_BASELINE" ]]; then
+	echo "bench-compare.sh: baseline '$BENCH_BASELINE' does not exist or is unreadable." >&2
+	exit 2
+fi
 
-echo "$raw" | awk -v out="$out" '
+out="${1:-BENCH_PR6.json}"
+count="${BENCH_COUNT:-10}"
+benchtime="${BENCH_TIME:-1s}"
+
+# The forwarding benchmarks pin -cpu=4 so the 64-way contention shape is
+# comparable across differently sized CI machines.
+raw_netnode=$(go test -run '^$' -bench 'BenchmarkForwardDecision64|BenchmarkLookupSaturation' \
+	-cpu=4 -benchmem -benchtime="$benchtime" -count="$count" ./internal/netnode/)
+echo "$raw_netnode" >&2
+raw_transport=$(go test -run '^$' -bench 'BenchmarkEnvelope|BenchmarkRoundTrip' \
+	-benchmem -benchtime="$benchtime" -count="$count" ./internal/transport/)
+echo "$raw_transport" >&2
+
+printf '%s\n%s\n' "$raw_netnode" "$raw_transport" | awk -v out="$out" -v count="$count" '
+function median(name, metric,    m, i, j, tmp, vals) {
+	m = cnt[name]
+	for (i = 0; i < m; i++) vals[i] = v[name, metric, i]
+	for (i = 1; i < m; i++) {          # insertion sort; m <= count
+		tmp = vals[i]
+		for (j = i - 1; j >= 0 && vals[j] > tmp; j--) vals[j+1] = vals[j]
+		vals[j+1] = tmp
+	}
+	if (m % 2) return vals[int(m/2)]
+	return (vals[m/2 - 1] + vals[m/2]) / 2
+}
 /^Benchmark/ {
 	name = $1
-	sub(/-[0-9]+$/, "", name)   # strip the -GOMAXPROCS suffix
-	ns[name] = $3
-	bytes[name] = $5
-	allocs[name] = $7
-	order[n++] = name
+	sub(/-[0-9]+$/, "", name)          # strip the -GOMAXPROCS/-cpu suffix
+	if (!(name in cnt)) { order[n++] = name; cnt[name] = 0 }
+	i = cnt[name]++
+	v[name, "ns", i] = $3; v[name, "b", i] = $5; v[name, "a", i] = $7
 }
 END {
 	printf "{\n" > out
-	printf "  \"description\": \"PR5 wire-protocol benchmarks: legacy length-prefixed JSON framing vs multiplexed binary protocol (internal/transport)\",\n" >> out
-	printf "  \"command\": \"go test -run \\\"^$\\\" -bench \\\"BenchmarkEnvelope|BenchmarkRoundTrip\\\" -benchmem -benchtime=2s -count=1 ./internal/transport/\",\n" >> out
+	printf "  \"description\": \"PR6 hot-path benchmarks: lock-free epoch-snapshot forwarding (vs the retired mutex-held baseline), 64-way lookup saturation, and wire-envelope encode/decode\",\n" >> out
+	printf "  \"command\": \"scripts/bench-compare.sh (medians of %d runs; forwarding benches at -cpu=4)\",\n", count >> out
+	printf "  \"runs_per_benchmark\": %d,\n", count >> out
 	printf "  \"benchmarks\": {\n" >> out
 	for (i = 0; i < n; i++) {
 		name = order[i]
 		printf "    \"%s\": {\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}%s\n", \
-			name, ns[name], bytes[name], allocs[name], (i < n-1 ? "," : "") >> out
+			name, median(name, "ns"), median(name, "b"), median(name, "a"), (i < n-1 ? "," : "") >> out
 	}
 	printf "  },\n" >> out
-	es = ns["BenchmarkEnvelopeEncodeJSON"] / ns["BenchmarkEnvelopeEncodeBinary"]
-	ds = ns["BenchmarkEnvelopeDecodeJSON"] / ns["BenchmarkEnvelopeDecodeBinary"]
-	ms = ns["BenchmarkRoundTrip64JSON"] / ns["BenchmarkRoundTrip64Binary"]
-	printf "  \"encode_speedup\": %.2f,\n", es >> out
-	printf "  \"decode_speedup\": %.2f,\n", ds >> out
+	fs = median("BenchmarkForwardDecision64Locked", "ns") / median("BenchmarkForwardDecision64Snapshot", "ns")
+	ms = median("BenchmarkRoundTrip64JSON", "ns") / median("BenchmarkRoundTrip64Binary", "ns")
+	printf "  \"forward64_speedup\": %.2f,\n", fs >> out
 	printf "  \"mux64_speedup\": %.2f\n", ms >> out
 	printf "}\n" >> out
-	if (ms < 2.0) {
-		printf "FAIL: 64-concurrent mux speedup %.2fx is below the 2x acceptance floor\n", ms > "/dev/stderr"
-		exit 1
+	bad = 0
+	if (fs < 3.0) {
+		printf "FAIL: 64-way forwarding speedup %.2fx is below the 3x acceptance floor\n", fs > "/dev/stderr"
+		bad = 1
 	}
+	if (ms < 2.0) {
+		printf "FAIL: 64-way mux speedup %.2fx is below the 2x acceptance floor\n", ms > "/dev/stderr"
+		bad = 1
+	}
+	printf "forward64_speedup: %.2fx (floor 3.0x), mux64_speedup: %.2fx (floor 2.0x)\n", fs, ms > "/dev/stderr"
+	exit bad
 }
 '
 echo "wrote $out" >&2
+
+if [[ "$BENCH_BASELINE" == "new" ]]; then
+	echo "BENCH_BASELINE=new: recorded baseline only, no comparison performed." >&2
+	exit 0
+fi
+
+awk -v maxreg="1.10" '
+BEGIN {
+	nsgated["BenchmarkForwardDecision64Snapshot"] = 1
+	nsgated["BenchmarkLookupSaturation"] = 1
+	nsgated["BenchmarkEnvelopeEncodeBinary"] = 1
+	for (name in nsgated) allocgated[name] = 1
+	allocgated["BenchmarkEnvelopeEncodeJSON"] = 1
+	allocgated["BenchmarkEnvelopeDecodeJSON"] = 1
+	allocgated["BenchmarkEnvelopeDecodeBinary"] = 1
+}
+# First file: the baseline. Second file: this run. Both are written by this
+# script, so the per-benchmark lines are single-line JSON objects.
+match($0, /"Benchmark[^"]*"/) {
+	name = substr($0, RSTART + 1, RLENGTH - 2)
+	ns = 0; allocs = 0
+	if (match($0, /"ns_per_op": *[0-9.]+/))     { split(substr($0, RSTART, RLENGTH), f, ": *"); ns = f[2] + 0 }
+	if (match($0, /"allocs_per_op": *[0-9.]+/)) { split(substr($0, RSTART, RLENGTH), f, ": *"); allocs = f[2] + 0 }
+	if (NR == FNR) { base_ns[name] = ns; base_allocs[name] = allocs }
+	else           { new_ns[name] = ns; new_allocs[name] = allocs }
+}
+END {
+	bad = 0
+	for (name in base_ns) {
+		if (!(name in allocgated)) {
+			if (name in new_ns)
+				printf "info: %s p50 %.1f -> %.1f ns/op (ungated: feeds ratio gates only)\n", \
+					name, base_ns[name], new_ns[name]
+			continue
+		}
+		if (!(name in new_ns)) {
+			printf "FAIL: %s is in the baseline but was not run — update the baseline explicitly if it was removed\n", name
+			bad = 1
+			continue
+		}
+		if (!(name in nsgated)) {
+			printf "info: %s p50 %.1f -> %.1f ns/op (alloc-gated only: ns/op too GC-noisy to point-gate)\n", \
+				name, base_ns[name], new_ns[name]
+		} else if (new_ns[name] > base_ns[name] * maxreg) {
+			printf "FAIL: %s p50 regressed %.1f%%: %.1f -> %.1f ns/op (allowed +10%%)\n", \
+				name, (new_ns[name] / base_ns[name] - 1) * 100, base_ns[name], new_ns[name]
+			bad = 1
+		} else {
+			printf "ok:   %s p50 %.1f -> %.1f ns/op (%+.1f%%)\n", \
+				name, base_ns[name], new_ns[name], (new_ns[name] / base_ns[name] - 1) * 100
+		}
+		if (new_allocs[name] > base_allocs[name]) {
+			printf "FAIL: %s allocs/op increased: %d -> %d (any increase fails)\n", \
+				name, base_allocs[name], new_allocs[name]
+			bad = 1
+		}
+	}
+	for (name in new_ns) if (!(name in base_ns))
+		printf "note: %s is new (not in baseline %s)\n", name, FILENAME
+	exit bad
+}
+' "$BENCH_BASELINE" "$out" >&2
+echo "bench gate passed against $BENCH_BASELINE" >&2
