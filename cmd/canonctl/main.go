@@ -10,6 +10,7 @@
 //	canonctl -node host:port put <key> <value> [storage [access]]
 //	canonctl -node host:port get <key>
 //	canonctl -node host:port neighbors <level>
+//	canonctl -node host:port repair
 //	canonctl status http://host:statusport/
 //
 // Keys are unsigned integers (use canond's hash of your choice upstream).
@@ -48,7 +49,7 @@ func run(args []string) error {
 		connsPeer = fs.Int("conns-per-peer", 0, "multiplexed connections toward the node (0 = default 2)")
 	)
 	fs.Usage = func() {
-		fmt.Fprintln(fs.Output(), "usage: canonctl [flags] ping|lookup|trace|put|get|neighbors|status ...")
+		fmt.Fprintln(fs.Output(), "usage: canonctl [flags] ping|lookup|trace|put|get|neighbors|repair|status ...")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -153,6 +154,15 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Printf("%s\n", value)
+		return nil
+
+	case "repair":
+		stats, err := client.Repair(ctx, *node)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("repair: %d partners, %d records pushed, %d pulled\n",
+			stats.Partners, stats.Pushed, stats.Pulled)
 		return nil
 
 	case "status":

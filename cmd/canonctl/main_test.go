@@ -72,6 +72,7 @@ func TestEndToEnd(t *testing.T) {
 		{"-node", addr, "get", "77"},
 		{"-node", addr, "lookup", "77", "acme"},
 		{"-node", addr, "neighbors", "0"},
+		{"-node", addr, "repair"},
 	}
 	for _, args := range cases {
 		if err := run(args); err != nil {

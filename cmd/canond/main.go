@@ -6,6 +6,12 @@
 //
 //	canond -listen :7001 -domain stanford/cs/db [-join host:port] [-id N]
 //
+// With -data-dir set, the node stores its items in a durable log-structured
+// engine rooted at that directory: every acknowledged write is fsynced
+// before the ack and survives a crash or restart of the same directory
+// (docs/STORAGE.md). With -replicas N (N >= 2), items are replicated and
+// repaired by Merkle anti-entropy on the -sync-interval schedule.
+//
 // With -admin set, the node also serves an HTTP observability endpoint:
 //
 //	/metrics        — telemetry registry in Prometheus text format
@@ -48,6 +54,8 @@ func run(args []string) (err error) {
 		stabevery = fs.Duration("stabilize", 2*time.Second, "stabilization interval")
 		succlist  = fs.Int("successors", 4, "per-level successor list length")
 		replicas  = fs.Int("replicas", 1, "copies of each stored item (1 = no replication)")
+		dataDir   = fs.String("data-dir", "", "directory for the durable storage engine; acked writes survive crashes and restarts (empty = volatile in-memory store)")
+		syncEvery = fs.Duration("sync-interval", 0, "target period between replica anti-entropy rounds (0 = every fourth stabilization tick; needs -replicas >= 2)")
 		status    = fs.String("status", "", "HTTP address serving node status as JSON (empty = off)")
 		admin     = fs.String("admin", "", "HTTP admin address serving /metrics, /status, /debug/trace/ and /debug/pprof/ (empty = off)")
 		sample    = fs.Float64("trace-sample", 0, "fraction of lookups sampled into route traces, 0..1")
@@ -100,11 +108,21 @@ func run(args []string) (err error) {
 		fmt.Fprintf(os.Stderr, "canond: WARNING: injecting %.0f%% message loss (seed %d)\n", *loss*100, *faultSeed)
 		tr = canon.NewFaultyTransport(tr, *faultSeed, canon.TransportFaults{Drop: *loss})
 	}
+	var store canon.LiveStore
+	if *dataDir != "" {
+		store, err = canon.OpenLiveStore(*dataDir, canon.LiveStoreOptions{Telemetry: reg})
+		if err != nil {
+			_ = tr.Close()
+			return fmt.Errorf("open -data-dir: %w", err)
+		}
+	}
 	cfg := canon.LiveConfig{
 		Name:              *domain,
 		Transport:         tr,
 		SuccessorListLen:  *succlist,
 		ReplicationFactor: *replicas,
+		Store:             store,
+		SyncInterval:      *syncEvery,
 		Retry: canon.LiveRetryPolicy{
 			MaxAttempts: *retries,
 			BaseBackoff: *backoff,
@@ -120,6 +138,9 @@ func run(args []string) (err error) {
 	}
 	node, err := canon.NewLiveNode(cfg)
 	if err != nil {
+		if store != nil {
+			_ = store.Close()
+		}
 		return err
 	}
 

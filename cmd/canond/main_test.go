@@ -1,6 +1,10 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 func TestRunValidation(t *testing.T) {
 	if err := run([]string{"-transport", "carrier-pigeon"}); err == nil {
@@ -11,5 +15,13 @@ func TestRunValidation(t *testing.T) {
 	}
 	if err := run([]string{"-bogus-flag"}); err == nil {
 		t.Error("unknown flag should error")
+	}
+	// -data-dir pointing at a regular file cannot host the storage engine.
+	notADir := filepath.Join(t.TempDir(), "file")
+	if err := os.WriteFile(notADir, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-listen", "127.0.0.1:0", "-data-dir", notADir}); err == nil {
+		t.Error("-data-dir at a regular file should error")
 	}
 }

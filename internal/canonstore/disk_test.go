@@ -1,0 +1,215 @@
+package canonstore
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestDiskPersistsAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[uint64][]byte{}
+	for i := uint64(0); i < 100; i++ {
+		v := []byte(fmt.Sprintf("value-%d", i))
+		want[i] = v
+		if _, err := d.Put(Entry{Key: i, Value: v, Storage: "s", Access: "", Level: 1, Version: i + 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Delete(42, "s", "", false); err != nil {
+		t.Fatal(err)
+	}
+	delete(want, 42)
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if d2.Keys() != len(want) {
+		t.Fatalf("Keys() = %d after reopen, want %d", d2.Keys(), len(want))
+	}
+	for k, v := range want {
+		got := d2.Get(k, nil)
+		if len(got) != 1 || !bytes.Equal(got[0].Value, v) || got[0].Version != k+1 || got[0].Level != 1 {
+			t.Fatalf("key %d after reopen: %+v", k, got)
+		}
+	}
+	if got := d2.Get(42, nil); len(got) != 0 {
+		t.Fatalf("deleted key resurrected: %+v", got)
+	}
+}
+
+func TestDiskRotationAndCompaction(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments force many rotations; CompactMinSegments=2 makes the
+	// background compactor run during the writes.
+	d, err := Open(dir, Options{SegmentBytes: 2 << 10, CompactMinSegments: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	val := bytes.Repeat([]byte("x"), 128)
+	for i := uint64(0); i < 400; i++ {
+		if _, err := d.Put(Entry{Key: i % 50, Value: val, Storage: "s", Version: i + 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the compactor to drain: segment count must come down to a
+	// small constant despite ~25 rotations' worth of appends.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		segs, _ := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+		if len(segs) <= 3 || time.Now().After(deadline) {
+			if len(segs) > 3 {
+				t.Fatalf("compaction never caught up: %d segments", len(segs))
+			}
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if d2.Keys() != 50 {
+		t.Fatalf("Keys() = %d after compacted reopen, want 50", d2.Keys())
+	}
+	for i := uint64(0); i < 50; i++ {
+		got := d2.Get(i, nil)
+		if len(got) != 1 || !bytes.Equal(got[0].Value, val) {
+			t.Fatalf("key %d after compaction: %d entries", i, len(got))
+		}
+		// The surviving version must be the newest write for that key.
+		if got[0].Version < 351 {
+			t.Fatalf("key %d kept stale version %d", i, got[0].Version)
+		}
+	}
+}
+
+func TestDiskCorruptSealedSegmentRefused(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir, Options{SegmentBytes: 1 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	val := bytes.Repeat([]byte("y"), 100)
+	for i := uint64(0); i < 60; i++ {
+		if _, err := d.Put(Entry{Key: i, Value: val, Version: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	if len(segs) < 2 {
+		t.Fatalf("test needs >= 2 segments, got %d", len(segs))
+	}
+	// Flip a byte in the middle of the FIRST segment: that is sealed
+	// history, so Open must refuse rather than silently drop acked data.
+	data, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(segs[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Open on corrupt sealed segment = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestDiskTornTailDiscarded(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Put(Entry{Key: 1, Value: []byte("keep"), Version: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Append garbage to the newest segment: a torn tail.
+	segs, _ := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	newest := segs[len(segs)-1]
+	// Close wrote nothing after Sync, so the newest non-empty segment
+	// holds the record; find it.
+	for i := len(segs) - 1; i >= 0; i-- {
+		if fi, _ := os.Stat(segs[i]); fi != nil && fi.Size() > 0 {
+			newest = segs[i]
+			break
+		}
+	}
+	f, err := os.OpenFile(newest, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0xde, 0xad, 0xbe}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	before, _ := os.Stat(newest)
+
+	d2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("Open with torn tail: %v", err)
+	}
+	defer d2.Close()
+	if got := d2.Get(1, nil); len(got) != 1 || string(got[0].Value) != "keep" {
+		t.Fatalf("acked record lost: %+v", got)
+	}
+	after, _ := os.Stat(newest)
+	if after.Size() != before.Size()-3 {
+		t.Fatalf("torn tail not truncated: %d -> %d bytes", before.Size(), after.Size())
+	}
+}
+
+func TestDiskClosedOps(t *testing.T) {
+	d, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Put(Entry{Key: 1}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Put after Close = %v", err)
+	}
+	if err := d.Sync(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Sync after Close = %v", err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("second Close = %v", err)
+	}
+}

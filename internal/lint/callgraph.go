@@ -139,6 +139,11 @@ type FuncNode struct {
 	// IsRPCPrim marks a Transport.Call-shaped wire primitive: a function or
 	// method named Call whose first parameter is context.Context.
 	IsRPCPrim bool
+	// IsSyncPrim marks a durability-barrier-shaped primitive: a function or
+	// method named Sync or Flush (canonstore.Store.Sync and every concrete
+	// engine behind it). fsyncbeforeack requires one to be reachable before
+	// a store ack is constructed.
+	IsSyncPrim bool
 	// DirectTimed marks bodies that call context.WithTimeout/WithDeadline
 	// (used path-insensitively by nodeadline).
 	DirectTimed bool
@@ -153,6 +158,10 @@ type FuncNode struct {
 
 	// Acquired are the body's direct Lock/RLock sites.
 	Acquired []Acquisition
+	// AckSites are the body's store-ack constructions: calls shaped like
+	// NewMessage(msgStore*, nil), the empty reply that promises durability
+	// (see check_fsyncbeforeack.go).
+	AckSites []AckSite
 
 	// Out and In are the adjacency lists.
 	Out []*Edge
@@ -160,6 +169,13 @@ type FuncNode struct {
 
 	// Sum is filled by ComputeSummaries.
 	Sum Summary
+}
+
+// AckSite is one store-ack construction site: the position of the
+// NewMessage call and the message constant it acknowledges.
+type AckSite struct {
+	Pos token.Pos
+	Msg string
 }
 
 // Edge is one caller→callee relationship observed at a source position.
@@ -262,6 +278,7 @@ func BuildCallGraph(cfg *Config, fset *token.FileSet, pkgs []*Package) *CallGrap
 				n.Pos = fd.Pos()
 				n.InTestFile = inTest
 				n.IsRPCPrim = isRPCPrimSig(obj.Name(), obj.Type())
+				n.IsSyncPrim = isSyncPrimName(obj.Name())
 				w := &graphWalker{g: g, pkg: pkg, fn: n, inTest: inTest}
 				w.walkBody(fd.Body)
 			}
@@ -283,6 +300,12 @@ func isRPCPrimSig(name string, t types.Type) bool {
 	}
 	return IsNamed(sig.Params().At(0).Type(), "context", "Context")
 }
+
+// isSyncPrimName reports a durability-barrier-shaped name. Matching on the
+// name alone is deliberately lenient: the bit only ever *satisfies*
+// fsyncbeforeack's requirement, so a stray Sync-named helper can silence a
+// finding but never invent one.
+func isSyncPrimName(name string) bool { return name == "Sync" || name == "Flush" }
 
 // graphWalker walks one function body, tracking lexically held locks (the
 // same conservative discipline the v1 lexical check used: fall-through
@@ -617,6 +640,9 @@ func (w *graphWalker) call(call *ast.CallExpr, held []HeldLock, kind EdgeKind) {
 	}
 	fun := ast.Unparen(call.Fun)
 	w.markTimed(call)
+	if kind == EdgeCall {
+		w.noteStoreAck(call)
+	}
 	switch fn := fun.(type) {
 	case *ast.FuncLit:
 		lit := w.litNode(fn)
@@ -643,6 +669,35 @@ func (w *graphWalker) call(call *ast.CallExpr, held []HeldLock, kind EdgeKind) {
 			w.g.edge(w.fn, callee, kind, call.Pos(), heldCopy)
 		}
 	}
+}
+
+// noteStoreAck records call sites shaped like NewMessage(msgStore*, nil):
+// the empty reply a store handler returns as its durability promise. The
+// shape is structural — any function named NewMessage, a first argument
+// that is a msgStore*-named constant, a nil body — so fixture packages can
+// play the transport, the way the other interprocedural fixtures do.
+func (w *graphWalker) noteStoreAck(call *ast.CallExpr) {
+	name := ""
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		name = f.Name
+	case *ast.SelectorExpr:
+		name = f.Sel.Name
+	}
+	if name != "NewMessage" || len(call.Args) != 2 {
+		return
+	}
+	c, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok || !strings.HasPrefix(c.Name, "msgStore") {
+		return
+	}
+	if _, isConst := w.pkg.Info.Uses[c].(*types.Const); !isConst {
+		return
+	}
+	if b, ok := ast.Unparen(call.Args[1]).(*ast.Ident); !ok || b.Name != "nil" {
+		return
+	}
+	w.fn.AckSites = append(w.fn.AckSites, AckSite{Pos: call.Pos(), Msg: c.Name})
 }
 
 // markTimed flags the enclosing function when the call creates a deadline.
@@ -704,6 +759,7 @@ func (w *graphWalker) calleeNode(fn *types.Func) *FuncNode {
 			n.Pkg = fn.Pkg().Path()
 		}
 		n.IsRPCPrim = isRPCPrimSig(fn.Name(), fn.Type())
+		n.IsSyncPrim = isSyncPrimName(fn.Name())
 		if ifaceMethod {
 			n.IsIfaceMethod = true
 			n.iface = ifaceType

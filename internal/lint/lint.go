@@ -11,11 +11,13 @@
 // Since v2 the analyzer is interprocedural: a type-resolved, module-wide
 // call graph (static dispatch, conservative interface resolution, function
 // literal tracking — see callgraph.go) and per-function summaries computed
-// to a fixpoint (summary.go) power four concurrency checks: lockorder
+// to a fixpoint (summary.go) power the interprocedural checks: lockorder
 // (lock-acquisition cycles across functions), lockheldrpc2 (RPCs reachable
 // through the call graph while a mutex is held), goroutineleak (spawned
-// goroutines with no reachable stop signal), and nodeadline (wire-touching
-// paths from command entry points with no timeout anywhere on the path).
+// goroutines with no reachable stop signal), nodeadline (wire-touching
+// paths from command entry points with no timeout anywhere on the path),
+// and fsyncbeforeack (store acks constructed before any durability barrier
+// is reached — the fsync-on-ack contract of docs/STORAGE.md).
 // A deadpragma meta-check keeps the suppression pragmas themselves honest.
 //
 // Checks are table-driven (see AllChecks): per-package checks implement Run,
@@ -94,6 +96,7 @@ func AllChecks() []Check {
 		checkMetricNames,
 		checkWireCompat,
 		checkSnapshotMut,
+		checkFsyncBeforeAck,
 		{
 			Name: deadPragmaName,
 			Doc:  "//canonvet:ignore pragmas whose check no longer fires at that scope (stale suppressions)",

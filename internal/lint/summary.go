@@ -21,6 +21,10 @@ type Summary struct {
 	// ReachesEndless reports whether an endless loop (see
 	// FuncNode.EndlessLoop) is reachable synchronously from this function.
 	ReachesEndless bool
+	// ReachesSync reports whether a durability barrier (a Sync/Flush-named
+	// primitive, see FuncNode.IsSyncPrim) is reachable synchronously from
+	// this function.
+	ReachesSync bool
 }
 
 // ComputeSummaries initializes each node's summary from its direct facts and
@@ -42,6 +46,7 @@ func (g *CallGraph) ComputeSummaries() {
 		}
 		n.Sum.ReachesRPC = n.IsRPCPrim
 		n.Sum.ReachesEndless = n.EndlessLoop
+		n.Sum.ReachesSync = n.IsSyncPrim
 	}
 	for changed := true; changed; {
 		changed = false
@@ -63,6 +68,10 @@ func (g *CallGraph) ComputeSummaries() {
 				}
 				if c.Sum.ReachesEndless && !n.Sum.ReachesEndless {
 					n.Sum.ReachesEndless = true
+					changed = true
+				}
+				if c.Sum.ReachesSync && !n.Sum.ReachesSync {
+					n.Sum.ReachesSync = true
 					changed = true
 				}
 			}

@@ -1,0 +1,40 @@
+package fsyncbeforeack
+
+// ackAfterSync is the contract done right: barrier, then ack.
+func (n *node) ackAfterSync() (Message, error) {
+	n.st.put(10)
+	if err := n.st.Sync(); err != nil {
+		return Message{}, err
+	}
+	return NewMessage(msgStore, nil)
+}
+
+// ackAfterHelperSync reaches the barrier through a helper: the ReachesSync
+// summary propagates over call edges, so flushAll counts.
+func (n *node) ackAfterHelperSync() (Message, error) {
+	n.st.put(11)
+	if err := n.flushAll(); err != nil {
+		return Message{}, err
+	}
+	return NewMessage(msgStoreV2, nil)
+}
+
+func (n *node) flushAll() error { return n.st.Sync() }
+
+// ackAfterDeferredSync relies on a deferred barrier: handler defers run
+// before the reply goes to the wire, so this is durable too.
+func (n *node) ackAfterDeferredSync() (Message, error) {
+	defer n.st.Sync()
+	n.st.put(12)
+	return NewMessage(msgStore, nil)
+}
+
+// pingReply is not a store ack: no durability promise, no barrier needed.
+func (n *node) pingReply() (Message, error) {
+	return NewMessage(msgPing, nil)
+}
+
+// storeRequest carries a body, so it is a request, not an ack.
+func (n *node) storeRequest() (Message, error) {
+	return NewMessage(msgStore, struct{ K uint64 }{13})
+}

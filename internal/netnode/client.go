@@ -210,6 +210,27 @@ func (c *Client) fetch(ctx context.Context, addr string, key uint64, origin stri
 	return resp.Values, nil
 }
 
+// Repair asks the node at addr to run one replica anti-entropy round
+// immediately and reports what it moved. Anti-entropy normally runs on the
+// node's own maintenance schedule (Config.SyncInterval); Repair is the
+// operator's on-demand trigger after an incident — bring a node back, run
+// repair, read the push/pull counts to see the convergence happen.
+func (c *Client) Repair(ctx context.Context, addr string) (AntiEntropyStats, error) {
+	req, err := transport.NewMessage(msgRepair, nil)
+	if err != nil {
+		return AntiEntropyStats{}, err
+	}
+	raw, err := c.call(ctx, addr, req)
+	if err != nil {
+		return AntiEntropyStats{}, err
+	}
+	var resp repairResp
+	if err := raw.Decode(&resp); err != nil {
+		return AntiEntropyStats{}, err
+	}
+	return AntiEntropyStats{Partners: resp.Partners, Pushed: resp.Pushed, Pulled: resp.Pulled}, nil
+}
+
 // Neighbors returns the successor list and predecessor of the node at addr
 // at the given level, for diagnostics.
 func (c *Client) Neighbors(ctx context.Context, addr string, level int) (pred Info, succs []Info, err error) {

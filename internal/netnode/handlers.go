@@ -69,8 +69,60 @@ func (n *Node) handle(ctx context.Context, from string, msg transport.Message) (
 			return transport.Message{}, fmt.Errorf("%w: store for %q at %q",
 				ErrBadDomain, req.Storage, n.self.Name)
 		}
-		n.storeLocal(req)
+		if err := n.storeLocal(req); err != nil {
+			return transport.Message{}, err
+		}
+		// fsync-on-ack: the empty reply promises durability, so the write
+		// must hit the durability barrier first (canonvet: fsyncbeforeack).
+		if err := n.store.Sync(); err != nil {
+			return transport.Message{}, err
+		}
 		return transport.NewMessage(msgStore, nil)
+
+	case msgStoreV2:
+		var req storeReq2
+		if err := msg.Decode(&req); err != nil {
+			return transport.Message{}, err
+		}
+		if !inDomain(n.self.Name, req.Storage) && req.Pointer.IsZero() {
+			return transport.Message{}, fmt.Errorf("%w: store for %q at %q",
+				ErrBadDomain, req.Storage, n.self.Name)
+		}
+		if err := n.storeLocalV2(req); err != nil {
+			return transport.Message{}, err
+		}
+		// fsync-on-ack, as above.
+		if err := n.store.Sync(); err != nil {
+			return transport.Message{}, err
+		}
+		return transport.NewMessage(msgStoreV2, nil)
+
+	case msgSyncTree:
+		var req syncTreeReq
+		if err := msg.Decode(&req); err != nil {
+			return transport.Message{}, err
+		}
+		return transport.NewMessage(msgSyncTree, n.syncTreeLocal(req))
+
+	case msgSyncKeys:
+		var req syncKeysReq
+		if err := msg.Decode(&req); err != nil {
+			return transport.Message{}, err
+		}
+		return transport.NewMessage(msgSyncKeys, n.syncKeysLocal(req))
+
+	case msgSyncPull:
+		var req syncPullReq
+		if err := msg.Decode(&req); err != nil {
+			return transport.Message{}, err
+		}
+		return transport.NewMessage(msgSyncPull, syncPullResp{Entries: n.syncPullLocal(req)})
+
+	case msgRepair:
+		stats := n.AntiEntropyOnce(ctx)
+		return transport.NewMessage(msgRepair, repairResp{
+			Partners: stats.Partners, Pushed: stats.Pushed, Pulled: stats.Pulled,
+		})
 
 	case msgFetch:
 		var req fetchReq

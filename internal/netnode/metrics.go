@@ -24,6 +24,12 @@ const (
 	mnFetchReads   = "canon_fetch_reads_total"
 	mnStoreItems   = "canon_store_items"
 	mnSuspects     = "canon_suspect_peers"
+	mnFetchErrors  = "canon_fetch_errors_total"
+	mnReadRepairs  = "canon_read_repair_total"
+	mnAERounds     = "canon_antientropy_rounds_total"
+	mnAESyncs      = "canon_antientropy_syncs_total"
+	mnAEPushed     = "canon_antientropy_keys_pushed_total"
+	mnAEPulled     = "canon_antientropy_keys_pulled_total"
 )
 
 // knownMsgTypes is every wire message type the node itself sends or serves.
@@ -34,6 +40,7 @@ const (
 var knownMsgTypes = [...]string{
 	msgLookup, msgNeighbors, msgNotify, msgPing, msgStore,
 	msgFetch, msgRegister, msgMembers, msgLeaving,
+	msgStoreV2, msgSyncTree, msgSyncKeys, msgSyncPull, msgRepair,
 }
 
 // nodeMetrics holds the node's cached handles into its telemetry registry.
@@ -53,6 +60,13 @@ type nodeMetrics struct {
 	storeItems   *telemetry.Gauge
 	suspects     *telemetry.Gauge
 
+	fetchErrors       *telemetry.Counter
+	readRepairs       *telemetry.Counter
+	antiEntropyRounds *telemetry.Counter
+	antiEntropySyncs  *telemetry.Counter
+	antiEntropyPushed *telemetry.Counter
+	antiEntropyPulled *telemetry.Counter
+
 	// sentFixed/receivedFixed are immutable after construction: read-only
 	// map lookups are safe for unsynchronized concurrent use.
 	sentFixed     map[string]*telemetry.Counter
@@ -65,19 +79,29 @@ type nodeMetrics struct {
 
 func newNodeMetrics(reg *telemetry.Registry) *nodeMetrics {
 	m := &nodeMetrics{
-		reg:           reg,
-		retries:       reg.Counter(mnRetries, "re-send attempts beyond each call's first"),
-		failedCalls:   reg.Counter(mnFailed, "calls that exhausted every attempt"),
-		routedAround:  reg.Counter(mnRouteAround, "lookup forwards that skipped a distrusted best candidate"),
-		rpcLatency:    reg.Histogram(mnRPCLatency, "outgoing RPC latency per completed call, seconds", telemetry.DefBuckets),
-		rpcAttempts:   reg.Histogram(mnRPCAttempts, "transport attempts used per RPC call", telemetry.AttemptBuckets),
-		lookupHops:    reg.Histogram(mnLookupHops, "forwarding hops per lookup answered for a local or remote originator", telemetry.HopBuckets),
-		traceStarted:  reg.Counter(mnTraceStarted, "route traces originated by this node"),
-		traceDone:     reg.Counter(mnTraceDone, "route traces completed and archived at this node"),
-		storeWrites:   reg.Counter(mnStoreWrites, "local store writes (values, pointers and replicas)"),
-		fetchReads:    reg.Counter(mnFetchReads, "local fetch reads served"),
-		storeItems:    reg.Gauge(mnStoreItems, "distinct keys currently stored"),
-		suspects:      reg.Gauge(mnSuspects, "peers the failure detector currently distrusts"),
+		reg:          reg,
+		retries:      reg.Counter(mnRetries, "re-send attempts beyond each call's first"),
+		failedCalls:  reg.Counter(mnFailed, "calls that exhausted every attempt"),
+		routedAround: reg.Counter(mnRouteAround, "lookup forwards that skipped a distrusted best candidate"),
+		rpcLatency:   reg.Histogram(mnRPCLatency, "outgoing RPC latency per completed call, seconds", telemetry.DefBuckets),
+		rpcAttempts:  reg.Histogram(mnRPCAttempts, "transport attempts used per RPC call", telemetry.AttemptBuckets),
+		lookupHops:   reg.Histogram(mnLookupHops, "forwarding hops per lookup answered for a local or remote originator", telemetry.HopBuckets),
+		traceStarted: reg.Counter(mnTraceStarted, "route traces originated by this node"),
+		traceDone:    reg.Counter(mnTraceDone, "route traces completed and archived at this node"),
+		storeWrites:  reg.Counter(mnStoreWrites, "local store writes (values, pointers and replicas)"),
+		fetchReads:   reg.Counter(mnFetchReads, "local fetch reads served"),
+		storeItems:   reg.Gauge(mnStoreItems, "distinct keys currently stored"),
+		suspects:     reg.Gauge(mnSuspects, "peers the failure detector currently distrusts"),
+		fetchErrors:  reg.Counter(mnFetchErrors, "failed lookup or fetch probes during Get, previously swallowed"),
+		readRepairs:  reg.Counter(mnReadRepairs, "replica copies pushed by read repair"),
+		antiEntropyRounds: reg.Counter(mnAERounds,
+			"anti-entropy rounds completed (every level and replica partner)"),
+		antiEntropySyncs: reg.Counter(mnAESyncs,
+			"anti-entropy scope comparisons whose Merkle roots diverged"),
+		antiEntropyPushed: reg.Counter(mnAEPushed,
+			"records pushed to replica partners by anti-entropy repair"),
+		antiEntropyPulled: reg.Counter(mnAEPulled,
+			"records pulled from replica partners by anti-entropy repair"),
 		sentFixed:     make(map[string]*telemetry.Counter, len(knownMsgTypes)),
 		receivedFixed: make(map[string]*telemetry.Counter, len(knownMsgTypes)),
 		sent:          make(map[string]*telemetry.Counter),

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/canon-dht/canon/internal/canonstore"
 	"github.com/canon-dht/canon/internal/id"
 	"github.com/canon-dht/canon/internal/telemetry"
 	"github.com/canon-dht/canon/internal/transport"
@@ -56,9 +57,20 @@ type Config struct {
 	RegistrySize int
 	// ReplicationFactor is how many copies of each item exist, counting the
 	// owner's: the owner pushes ReplicationFactor-1 replicas to its
-	// successors within the item's storage domain on every stabilization
-	// round. Values below 2 disable replication (the default).
+	// predecessors within the item's home domain on every stabilization
+	// round, and anti-entropy keeps that replica set convergent. Values
+	// below 2 disable both (the default).
 	ReplicationFactor int
+	// Store is the node-local storage engine holding the node's items. Nil
+	// means a volatile in-memory store (canonstore.NewMem) — the default
+	// for tests and simulations; canond passes a canonstore.Disk when
+	// -data-dir is set. The node owns the store and closes it on Close.
+	Store canonstore.Store
+	// SyncInterval is the target period between replica anti-entropy
+	// rounds, rounded up to whole maintenance ticks. Zero means every
+	// fourth tick; anti-entropy only runs while the maintenance loop does
+	// (see Start) and only when ReplicationFactor enables replication.
+	SyncInterval time.Duration
 	// Retry governs RPC re-send behavior (attempts, backoff, per-attempt
 	// timeout). The zero value means the defaults; see RetryPolicy.
 	Retry RetryPolicy
@@ -73,15 +85,6 @@ type Config struct {
 	TraceSampleRate float64
 	// TraceBuffer bounds the completed-trace ring buffer (default 128).
 	TraceBuffer int
-}
-
-// storedItem is one key-value pair held by the node.
-type storedItem struct {
-	key     uint64
-	value   []byte
-	storage string
-	access  string
-	pointer Info // non-zero for pointer records
 }
 
 // Node is a live Crescendo participant.
@@ -103,6 +106,15 @@ type Node struct {
 
 	nonceSeq uint64
 
+	// store holds the node's items (values, pointer records, replicas)
+	// behind the canonstore.Store interface; it synchronizes internally,
+	// so the RPC paths use it without taking the node lock.
+	store canonstore.Store
+	// clock is the node's Lamport-style write clock: stampVersion draws
+	// fresh versions from it and observeVersion advances it past every
+	// version seen on the wire, so local stamps always order after them.
+	clock atomic.Uint64
+
 	// routing is the published epoch snapshot of the mutable tables below:
 	// the forwarding hot path reads it lock-free, and every mutation of
 	// preds/succs/fingers under mu republishes it (publishRoutingLocked).
@@ -112,7 +124,6 @@ type Node struct {
 	preds    []Info   // per level
 	succs    [][]Info // per level, ascending clockwise from self
 	fingers  map[uint64]Info
-	items    map[uint64][]*storedItem
 	registry map[string][]Info // domain prefix -> member hints
 	closed   bool
 
@@ -157,6 +168,10 @@ func New(cfg Config) (*Node, error) {
 	if reg == nil {
 		reg = telemetry.NewRegistry()
 	}
+	store := cfg.Store
+	if store == nil {
+		store = canonstore.NewMem()
+	}
 	n := &Node{
 		cfg:      cfg,
 		space:    space,
@@ -169,12 +184,21 @@ func New(cfg Config) (*Node, error) {
 		tel:      reg,
 		m:        newNodeMetrics(reg),
 		traces:   telemetry.NewTraceStore(cfg.TraceBuffer),
+		store:    store,
 		preds:    make([]Info, levels+1),
 		succs:    make([][]Info, levels+1),
 		fingers:  make(map[uint64]Info),
-		items:    make(map[uint64][]*storedItem),
 		registry: make(map[string][]Info),
 	}
+	// A durable store may come back from disk already holding versioned
+	// entries (a canond restart): advance the write clock past every
+	// replayed version so fresh stamps order after pre-crash writes, and
+	// seed the stored-keys gauge.
+	store.ForEach(func(e canonstore.Entry) bool {
+		n.observeVersion(e.Version)
+		return true
+	})
+	n.m.storeItems.Set(float64(store.Keys()))
 	// Publish the initial (empty) routing view before the transport can
 	// deliver a lookup: the hot path loads it unconditionally.
 	n.publishRouting()
@@ -388,14 +412,29 @@ func (n *Node) Start(interval time.Duration) {
 
 func (n *Node) maintainLoop(interval time.Duration, stop, done chan struct{}) {
 	defer close(done)
+	// Anti-entropy runs on a multiple of the maintenance tick: replica
+	// divergence accrues slowly (it needs a missed push), so syncing every
+	// round would spend tree exchanges on agreement.
+	syncEvery := 4
+	if n.cfg.SyncInterval > 0 {
+		syncEvery = int((n.cfg.SyncInterval + interval - 1) / interval)
+		if syncEvery < 1 {
+			syncEvery = 1
+		}
+	}
 	ticker := time.NewTicker(interval)
 	defer ticker.Stop()
+	tick := 0
 	for {
 		select {
 		case <-ticker.C:
 			ctx, cancel := context.WithTimeout(context.Background(), interval)
 			n.StabilizeOnce(ctx)
 			n.FixFingers(ctx)
+			tick++
+			if tick%syncEvery == 0 {
+				n.AntiEntropyOnce(ctx)
+			}
 			cancel()
 		case <-stop:
 			return
@@ -403,8 +442,10 @@ func (n *Node) maintainLoop(interval time.Duration, stop, done chan struct{}) {
 	}
 }
 
-// Close stops maintenance and the transport. It does not announce departure;
-// use Leave for a graceful exit.
+// Close stops maintenance, the transport and the storage engine. It does
+// not announce departure; use Leave for a graceful exit. A durable store is
+// sealed, not emptied: reopening it under the same Config.Store recovers
+// every acked write.
 func (n *Node) Close() error {
 	n.mu.Lock()
 	if n.closed {
@@ -418,37 +459,37 @@ func (n *Node) Close() error {
 		close(stop)
 		<-done
 	}
-	return n.tr.Close()
+	err := n.tr.Close()
+	if serr := n.store.Close(); err == nil {
+		err = serr
+	}
+	return err
 }
 
-// Leave gracefully exits: stored items move to each item's new owner, and
-// neighbors at every level are told to splice the node out. Close follows.
+// Leave gracefully exits: stored items move to each item's new owner with
+// their versions intact, and neighbors at every level are told to splice
+// the node out. Close follows.
 func (n *Node) Leave(ctx context.Context) error {
-	// Snapshot item values, not pointers: concurrent stores mutate items in
-	// place under the node lock.
+	// Snapshot the store first: ForEach holds the store's lock, and the
+	// handoff RPCs below must not run under it.
+	var items []canonstore.Entry
+	n.store.ForEach(func(e canonstore.Entry) bool {
+		items = append(items, e)
+		return true
+	})
 	n.mu.Lock()
-	items := make([]storedItem, 0)
-	for _, list := range n.items {
-		for _, it := range list {
-			items = append(items, *it)
-		}
-	}
 	globalSuccs := append([]Info(nil), n.succs[0]...)
 	preds := append([]Info(nil), n.preds...)
 	n.mu.Unlock()
 
 	// Hand every item to the next owner within its home domain (storage
 	// domain for values, access domain for pointer records).
-	for i := range items {
-		item := &items[i]
-		target, err := n.Lookup(ctx, uint64(n.space.Sub(id.ID(n.self.ID), 1)), item.homeDomain())
+	for _, item := range items {
+		target, err := n.Lookup(ctx, uint64(n.space.Sub(id.ID(n.self.ID), 1)), entryHome(item))
 		if err != nil || target.Addr == n.self.Addr {
 			continue
 		}
-		req, err := transport.NewMessage(msgStore, storeReq{
-			Key: item.key, Value: item.value,
-			Storage: item.storage, Access: item.access, Pointer: item.pointer,
-		})
+		req, err := transport.NewMessage(msgStoreV2, reqFromEntry(item, true))
 		if err != nil {
 			continue
 		}

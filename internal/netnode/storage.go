@@ -4,15 +4,63 @@ import (
 	"context"
 	"fmt"
 
+	"github.com/canon-dht/canon/internal/canonstore"
+	"github.com/canon-dht/canon/internal/id"
 	"github.com/canon-dht/canon/internal/transport"
 )
+
+// entryHome returns the domain whose ring an entry is placed by: the
+// storage domain for values, the access domain for pointer records (which
+// live at the access-domain owner, Section 4.1).
+func entryHome(e canonstore.Entry) string {
+	if e.IsPointer() {
+		return e.Access
+	}
+	return e.Storage
+}
+
+// entryFromReq converts a wire store request into a storage-engine entry.
+func entryFromReq(q storeReq2) canonstore.Entry {
+	return canonstore.Entry{
+		Key: q.Key, Value: q.Value, Storage: q.Storage, Access: q.Access,
+		PtrID: q.Pointer.ID, PtrName: q.Pointer.Name, PtrAddr: q.Pointer.Addr,
+		Level: q.Level, Version: q.Version,
+	}
+}
+
+// reqFromEntry converts a stored entry back into a wire store request,
+// version included — replica pushes, handoffs and repairs must carry the
+// origin's version, never restamp.
+func reqFromEntry(e canonstore.Entry, replica bool) storeReq2 {
+	return storeReq2{
+		Key: e.Key, Value: e.Value, Storage: e.Storage, Access: e.Access,
+		Pointer: Info{ID: e.PtrID, Name: e.PtrName, Addr: e.PtrAddr},
+		Replica: replica, Level: e.Level, Version: e.Version,
+	}
+}
+
+// stampVersion draws the next write version from the node's Lamport clock.
+func (n *Node) stampVersion() uint64 { return n.clock.Add(1) }
+
+// observeVersion advances the clock to at least v, so stamps drawn after
+// seeing a remote version order after it.
+func (n *Node) observeVersion(v uint64) {
+	for {
+		cur := n.clock.Load()
+		if cur >= v || n.clock.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
 
 // Put stores value under key with the given storage and access domains
 // (Section 4.1): the storage domain must contain this node and the access
 // domain must contain the storage domain; both are hierarchical name
 // prefixes ("" = global). The value lands at the key's owner within the
 // storage domain; a wider access domain additionally places a pointer at
-// the access domain's owner.
+// the access domain's owner. Versions are stamped by the receiving owner
+// (Version 0 on the wire), so each record has a single stamper while its
+// ownership holds.
 func (n *Node) Put(ctx context.Context, key uint64, value []byte, storagePath, accessPath string) error {
 	if !inDomain(n.self.Name, storagePath) {
 		return fmt.Errorf("%w: storage %q does not contain %q", ErrBadDomain, storagePath, n.self.Name)
@@ -24,8 +72,9 @@ func (n *Node) Put(ctx context.Context, key uint64, value []byte, storagePath, a
 	if err != nil {
 		return fmt.Errorf("netnode: put lookup: %w", err)
 	}
-	if err := n.storeAt(ctx, owner, storeReq{
+	if err := n.storeAt(ctx, owner, storeReq2{
 		Key: key, Value: value, Storage: storagePath, Access: accessPath,
+		Level: prefixLevel(storagePath),
 	}); err != nil {
 		return err
 	}
@@ -35,8 +84,9 @@ func (n *Node) Put(ctx context.Context, key uint64, value []byte, storagePath, a
 			return fmt.Errorf("netnode: pointer lookup: %w", err)
 		}
 		if ptrOwner.Addr != owner.Addr {
-			if err := n.storeAt(ctx, ptrOwner, storeReq{
+			if err := n.storeAt(ctx, ptrOwner, storeReq2{
 				Key: key, Storage: storagePath, Access: accessPath, Pointer: owner,
+				Level: prefixLevel(accessPath),
 			}); err != nil {
 				return err
 			}
@@ -45,12 +95,16 @@ func (n *Node) Put(ctx context.Context, key uint64, value []byte, storagePath, a
 	return nil
 }
 
-func (n *Node) storeAt(ctx context.Context, target Info, req storeReq) error {
+func (n *Node) storeAt(ctx context.Context, target Info, req storeReq2) error {
 	if target.Addr == n.self.Addr {
-		n.storeLocal(req)
-		return nil
+		if err := n.storeLocalV2(req); err != nil {
+			return err
+		}
+		// Local writes get the same durability barrier a remote store ack
+		// implies (fsync-on-ack, docs/STORAGE.md).
+		return n.store.Sync()
 	}
-	msg, err := transport.NewMessage(msgStore, req)
+	msg, err := transport.NewMessage(msgStoreV2, req)
 	if err != nil {
 		return err
 	}
@@ -62,35 +116,53 @@ func (n *Node) storeAt(ctx context.Context, target Info, req storeReq) error {
 	return resp.Decode(&empty)
 }
 
-func (n *Node) storeLocal(req storeReq) {
-	n.m.storeWrites.Inc()
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	isPtr := !req.Pointer.IsZero()
-	for _, item := range n.items[req.Key] {
-		if item.storage == req.Storage && item.access == req.Access &&
-			(!item.pointer.IsZero()) == isPtr {
-			item.value = req.Value
-			item.pointer = req.Pointer
-			return
-		}
+// storeLocal applies a legacy (v1) store request: the receiver stamps a
+// fresh version, because the v1 wire form carries none.
+func (n *Node) storeLocal(req storeReq) error {
+	home := req.Storage
+	if !req.Pointer.IsZero() {
+		home = req.Access
 	}
-	n.items[req.Key] = append(n.items[req.Key], &storedItem{
-		key: req.Key, value: req.Value,
-		storage: req.Storage, access: req.Access, pointer: req.Pointer,
+	return n.storeLocalV2(storeReq2{
+		Key: req.Key, Value: req.Value, Storage: req.Storage, Access: req.Access,
+		Pointer: req.Pointer, Replica: req.Replica,
+		Level: prefixLevel(home),
 	})
-	n.m.storeItems.Set(float64(len(n.items)))
+}
+
+// storeLocalV2 writes one entry into the node's storage engine. Version 0
+// means a fresh write the node stamps itself; any other version is a
+// transferred record whose history must be preserved, so the clock only
+// observes it. The stored-keys gauge is refreshed on every write path —
+// overwrites included, which the pre-engine code missed.
+func (n *Node) storeLocalV2(req storeReq2) error {
+	n.m.storeWrites.Inc()
+	if req.Version == 0 {
+		req.Version = n.stampVersion()
+	} else {
+		n.observeVersion(req.Version)
+	}
+	if _, err := n.store.Put(entryFromReq(req)); err != nil {
+		return err
+	}
+	n.m.storeItems.Set(float64(n.store.Keys()))
+	return nil
 }
 
 // Get retrieves the first value for key that this node may access, probing
 // its domains from the most local outward so that locally stored content is
-// found without the query leaving the domain.
+// found without the query leaving the domain. Failed probes count into the
+// fetch-error metric instead of vanishing, and owners at more local levels
+// that answered empty before the hit are read-repaired from the serving
+// owner, so the next local read stays local.
 func (n *Node) Get(ctx context.Context, key uint64) ([]byte, error) {
 	asked := make(map[string]bool)
+	var missed []Info
 	for l := n.levels; l >= 0; l-- {
 		prefix := prefixAt(n.self.Name, l)
 		owner, err := n.Lookup(ctx, key, prefix)
 		if err != nil {
+			n.m.fetchErrors.Inc()
 			continue
 		}
 		if asked[owner.Addr] {
@@ -99,25 +171,56 @@ func (n *Node) Get(ctx context.Context, key uint64) ([]byte, error) {
 		asked[owner.Addr] = true
 		values, err := n.fetchFrom(ctx, owner, key)
 		if err != nil {
+			n.m.fetchErrors.Inc()
+			continue
+		}
+		if len(values) == 0 {
+			missed = append(missed, owner)
 			continue
 		}
 		for _, v := range values {
 			if v.Pointer.IsZero() {
+				n.readRepair(ctx, owner, key, missed)
 				return v.Value, nil
 			}
 			// Resolve the indirection at the storing node.
 			resolved, err := n.fetchFrom(ctx, v.Pointer, key)
 			if err != nil {
+				n.m.fetchErrors.Inc()
 				continue
 			}
 			for _, rv := range resolved {
 				if rv.Pointer.IsZero() && rv.Access == v.Access {
+					n.readRepair(ctx, owner, key, missed)
 					return rv.Value, nil
 				}
 			}
 		}
 	}
 	return nil, ErrNotFound
+}
+
+// readRepair pushes the entries the serving owner holds for key to the
+// owners probed before it that answered empty. The entries are pulled
+// versioned (syncpull) and pushed verbatim as replicas: read repair moves
+// copies, it never creates new versions. Best-effort on a read path —
+// failures are dropped, anti-entropy will catch what it missed.
+func (n *Node) readRepair(ctx context.Context, from Info, key uint64, missed []Info) {
+	if len(missed) == 0 {
+		return
+	}
+	entries, err := n.syncPullFrom(ctx, from, syncPullReq{Key: key})
+	if err != nil || len(entries) == 0 {
+		return
+	}
+	for _, target := range missed {
+		for _, e := range entries {
+			e.Replica = true
+			if err := n.storeAt(ctx, target, e); err == nil {
+				n.m.readRepairs.Inc()
+			}
+		}
+	}
 }
 
 func (n *Node) fetchFrom(ctx context.Context, target Info, key uint64) ([]fetchValue, error) {
@@ -144,129 +247,153 @@ func (n *Node) fetchFrom(ctx context.Context, target Info, key uint64) ([]fetchV
 // origin may access: those whose access domain contains the querier.
 func (n *Node) fetchLocal(req fetchReq) []fetchValue {
 	n.m.fetchReads.Inc()
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	var buf [4]canonstore.Entry
+	entries := n.store.Get(req.Key, buf[:0])
 	var out []fetchValue
-	for _, item := range n.items[req.Key] {
-		if !inDomain(req.Origin, item.access) {
+	for _, e := range entries {
+		if !inDomain(req.Origin, e.Access) {
 			continue
 		}
-		out = append(out, fetchValue{Value: item.value, Access: item.access, Pointer: item.pointer})
+		var ptr Info
+		if e.IsPointer() {
+			ptr = Info{ID: e.PtrID, Name: e.PtrName, Addr: e.PtrAddr}
+		}
+		out = append(out, fetchValue{Value: e.Value, Access: e.Access, Pointer: ptr})
 	}
 	return out
 }
 
-// homeDomain returns the domain whose ring an item is placed by: the
-// storage domain for values, the access domain for pointer records (which
-// live at the access-domain owner, Section 4.1).
-func (item *storedItem) homeDomain() string {
-	if !item.pointer.IsZero() {
-		return item.access
-	}
-	return item.storage
-}
-
 // StoredKeys returns how many keys this node currently holds.
 func (n *Node) StoredKeys() int {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return len(n.items)
+	return n.store.Keys()
 }
 
-// ownsLocally reports whether, by the node's own neighbor state, it is the
-// owner of key within the domain at the given chain level: keys in
+// ownsLocally reports whether, by the node's published routing view, it is
+// the owner of key within the domain at the given chain level: keys in
 // [self.ID, successor.ID) belong to it (footnote 3 of the paper).
 func (n *Node) ownsLocally(key uint64, level int) bool {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if level < 0 || level > n.levels || len(n.succs[level]) == 0 {
+	return ownsInView(n.routing.Load(), key, level)
+}
+
+// ownsInView is ownsLocally against one epoch snapshot, so a replication
+// round makes all its placement decisions from a single consistent view.
+func ownsInView(v *routingView, key uint64, level int) bool {
+	if level < 0 || level > v.levels {
 		return false
 	}
-	succ := n.succs[level][0]
-	if succ.Addr == n.self.Addr {
+	succ := v.succAt(level)
+	if succ.Addr == v.self.Addr {
 		return true
 	}
-	return n.clockwise(n.self.ID, key) < n.clockwise(n.self.ID, succ.ID)
+	return v.space.Clockwise(id.ID(v.self.ID), id.ID(key)) <
+		v.space.Clockwise(id.ID(v.self.ID), id.ID(succ.ID))
 }
 
-// replicateOnce pushes every item the node currently owns to the
-// ReplicationFactor-1 nearest predecessors within the item's storage domain.
-// Under the paper's responsibility rule (greatest ID <= key) a dead node's
-// range is inherited by its predecessor, so predecessors — found by walking
-// pred pointers through neighbor queries — are the nodes that must hold the
-// replicas. Called from StabilizeOnce so replicas follow ring repairs.
+// replicateOnce walks the node's stored entries and enforces Section 4's
+// placement against one routing-view epoch:
+//
+//   - An entry whose placement-level ownership moved (a join spliced a new
+//     owner into the range, or this is a replica whose primary lives
+//     elsewhere) is handed to the current owner, versions intact; the local
+//     copy stays behind as an extra replica until eviction policy exists.
+//   - A primary (an entry at its home level that this node owns) is pushed
+//     to the ReplicationFactor-1 nearest predecessors within its home
+//     domain — under the paper's responsibility rule a dead node's range is
+//     inherited by its predecessor, so predecessors are the nodes that must
+//     hold the replicas — and re-placed on every deeper ring of this node's
+//     chain at that ring's key owner, level-annotated, so each nested
+//     domain can serve the key locally.
+//
+// Called from StabilizeOnce so replicas follow ring repairs.
 func (n *Node) replicateOnce(ctx context.Context) {
-	// Snapshot item values, not pointers: concurrent stores mutate items in
-	// place under the node lock.
-	n.mu.Lock()
-	var items []storedItem
-	for _, list := range n.items {
-		for _, it := range list {
-			items = append(items, *it)
-		}
-	}
-	n.mu.Unlock()
-	for i := range items {
-		item := &items[i]
-		level := len(components(item.homeDomain()))
-		if level > n.levels {
+	v := n.routing.Load()
+	var entries []canonstore.Entry
+	n.store.ForEach(func(e canonstore.Entry) bool {
+		entries = append(entries, e)
+		return true
+	})
+	for _, e := range entries {
+		home := entryHome(e)
+		d := prefixLevel(home)
+		if d > v.levels {
 			continue
 		}
-		if !n.ownsLocally(item.key, level) {
-			// Ownership moved — typically a new node spliced into the range
-			// (Section 2.3 joins). Hand the item to the current owner; the
-			// local copy stays behind as an extra replica.
-			n.handOff(ctx, item, level)
+		placed := e.Level
+		if placed < d || placed > v.levels {
+			placed = d
+		}
+		if !ownsInView(v, e.Key, placed) {
+			n.handOff(ctx, e, placed)
 			continue
 		}
-		if n.cfg.ReplicationFactor < 2 {
-			continue
+		if e.Level != d {
+			continue // a per-level copy we own: the primary refreshes it
 		}
-		req, err := transport.NewMessage(msgStore, storeReq{
-			Key: item.key, Value: item.value,
-			Storage: item.storage, Access: item.access,
-			Pointer: item.pointer, Replica: true,
-		})
-		if err != nil {
-			continue
-		}
-		target := n.Predecessor(level)
-		for i := 0; i < n.cfg.ReplicationFactor-1; i++ {
-			if target.IsZero() || target.Addr == n.self.Addr {
-				break
-			}
-			if _, err := n.call(ctx, target.Addr, req); err != nil {
-				break
-			}
-			next, err := n.predecessorOf(ctx, target, level)
-			if err != nil {
-				break
-			}
-			target = next
+		n.pushChainReplicas(ctx, v, e, d)
+		for l := d + 1; l <= v.levels; l++ {
+			n.pushLevelCopy(ctx, v, e, l)
 		}
 	}
 }
 
-// handOff pushes an item this node no longer owns to the current owner
-// within the item's storage domain.
-func (n *Node) handOff(ctx context.Context, item *storedItem, level int) {
-	prefix := prefixAt(n.self.Name, level)
-	if prefix != item.homeDomain() {
-		return // the item's home domain is not on our chain; nothing to do
-	}
-	owner, err := n.Lookup(ctx, item.key, item.homeDomain())
-	if err != nil || owner.Addr == n.self.Addr {
+// pushChainReplicas pushes one owned primary to the ReplicationFactor-1
+// nearest predecessors on its home-level ring, walking pred pointers
+// through neighbor queries.
+func (n *Node) pushChainReplicas(ctx context.Context, v *routingView, e canonstore.Entry, level int) {
+	if n.cfg.ReplicationFactor < 2 {
 		return
 	}
-	req, err := transport.NewMessage(msgStore, storeReq{
-		Key: item.key, Value: item.value,
-		Storage: item.storage, Access: item.access,
-		Pointer: item.pointer, Replica: true,
-	})
+	req, err := transport.NewMessage(msgStoreV2, reqFromEntry(e, true))
 	if err != nil {
 		return
 	}
-	_, _ = n.call(ctx, owner.Addr, req)
+	target := v.preds[level]
+	for i := 0; i < n.cfg.ReplicationFactor-1; i++ {
+		if target.IsZero() || target.Addr == v.self.Addr {
+			break
+		}
+		if _, err := n.call(ctx, target.Addr, req); err != nil {
+			break
+		}
+		next, err := n.predecessorOf(ctx, target, level)
+		if err != nil {
+			break
+		}
+		target = next
+	}
+}
+
+// pushLevelCopy places a copy of an owned primary at the key's owner on
+// the level-l ring of this node's chain, annotated with that level — the
+// paper's per-level storage domains made live.
+func (n *Node) pushLevelCopy(ctx context.Context, v *routingView, e canonstore.Entry, l int) {
+	owner, err := n.Lookup(ctx, e.Key, v.prefixes[l])
+	if err != nil || owner.Addr == v.self.Addr {
+		return
+	}
+	req := reqFromEntry(e, true)
+	req.Level = l
+	_ = n.storeAt(ctx, owner, req)
+}
+
+// handOff pushes an entry this node no longer owns at its placement level
+// to the current owner within the entry's home domain.
+func (n *Node) handOff(ctx context.Context, e canonstore.Entry, level int) {
+	prefix := prefixAt(n.self.Name, level)
+	if !inDomain(prefix, entryHome(e)) {
+		return // the entry's home domain is not on our chain; nothing to do
+	}
+	owner, err := n.Lookup(ctx, e.Key, prefix)
+	if err != nil || owner.Addr == n.self.Addr {
+		return
+	}
+	req := reqFromEntry(e, true)
+	req.Level = level
+	msg, err := transport.NewMessage(msgStoreV2, req)
+	if err != nil {
+		return
+	}
+	_, _ = n.call(ctx, owner.Addr, msg)
 }
 
 // predecessorOf asks a remote node for its predecessor at a level.

@@ -1,0 +1,86 @@
+package netnode
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/canon-dht/canon/internal/transport"
+)
+
+// newStoreBenchNode builds a single settled node on the in-memory bus with
+// the default volatile store, preloaded with one value per benchmark key.
+// The store benchmarks measure the node-local write and read paths a store
+// or fetch RPC lands on (versioned LWW apply, metric upkeep, access
+// filtering) without wire or routing cost on top.
+func newStoreBenchNode(b *testing.B, keys []uint64) *Node {
+	b.Helper()
+	bus := transport.NewBus()
+	n, err := New(Config{
+		Name:      "bench/dom",
+		RandomID:  true,
+		Rand:      rand.New(rand.NewSource(9)),
+		Transport: bus.Endpoint("store-bench"),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { n.Close() })
+	for i, k := range keys {
+		req := storeReq2{
+			Key: k, Value: []byte(fmt.Sprintf("value-%d", i)),
+			Storage: "bench", Access: "bench",
+		}
+		if err := n.storeLocalV2(req); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return n
+}
+
+func benchKeys(n int) []uint64 {
+	rng := rand.New(rand.NewSource(5))
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = uint64(rng.Uint32())
+	}
+	return keys
+}
+
+// BenchmarkStoreLocalMem measures the node-local store apply against the
+// in-memory engine: version stamping, the (version, digest) LWW gate, the
+// memtable upsert and the stored-keys gauge refresh. Keys are preloaded so
+// every iteration is a steady-state overwrite, not map growth. CI's
+// bench-gate holds its allocs/op at zero.
+func BenchmarkStoreLocalMem(b *testing.B) {
+	keys := benchKeys(1024)
+	n := newStoreBenchNode(b, keys)
+	value := []byte("overwrite-value-of-modest-size--")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := storeReq2{
+			Key: keys[i%len(keys)], Value: value,
+			Storage: "bench", Access: "bench",
+		}
+		if err := n.storeLocalV2(req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFetchLocalMem measures the node-local read path a fetch RPC
+// lands on: memtable lookup plus the access-domain filter that decides
+// which entries the querier may see.
+func BenchmarkFetchLocalMem(b *testing.B) {
+	keys := benchKeys(1024)
+	n := newStoreBenchNode(b, keys)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := n.fetchLocal(fetchReq{Key: keys[i%len(keys)], Origin: "bench/dom"})
+		if len(out) != 1 {
+			b.Fatalf("fetchLocal returned %d values, want 1", len(out))
+		}
+	}
+}

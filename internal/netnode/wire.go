@@ -33,6 +33,17 @@ const (
 	msgLeaving   = "leaving"
 )
 
+// Message types introduced at wire version 2 (docs/WIRE.md): the versioned
+// store and the replica anti-entropy protocol. The storeReq binary layout is
+// frozen at v1, so the versioned form is a new type rather than new fields.
+const (
+	msgStoreV2  = "store2"
+	msgSyncTree = "synctree"
+	msgSyncKeys = "synckeys"
+	msgSyncPull = "syncpull"
+	msgRepair   = "repair"
+)
+
 // lookupReq asks for the predecessor (owner) and successor of Key among the
 // nodes of the domain named by Prefix ("" = the whole system).
 //
@@ -93,6 +104,90 @@ type storeReq struct {
 	// Replica marks a copy pushed by the key's owner to its successors; the
 	// receiver stores it without re-replicating.
 	Replica bool `json:"replica,omitempty"`
+}
+
+// storeReq2 is the versioned store request: storeReq plus the placement
+// level and the write version the storage engine orders writes by. Version
+// 0 asks the receiver to stamp one (a fresh client write); replica pushes,
+// handoffs and anti-entropy repairs carry the origin's version verbatim so
+// the record's history survives the transfer.
+type storeReq2 struct {
+	Key     uint64 `json:"key"`
+	Value   []byte `json:"value,omitempty"`
+	Storage string `json:"storage"`
+	Access  string `json:"access"`
+	Pointer Info   `json:"pointer,omitempty"`
+	Replica bool   `json:"replica,omitempty"`
+	// Level is the hierarchy level this copy is placed for: the home
+	// domain's depth for primaries and chain replicas, deeper for per-level
+	// copies on nested rings.
+	Level   int    `json:"level"`
+	Version uint64 `json:"version"`
+}
+
+// syncTreeReq asks a replica for its Merkle summary of one sync scope: the
+// entries homed inside a domain containing Prefix with keys in the
+// clockwise range [Lo, Hi) (Lo == Hi means the whole ring). Both sides
+// compute the scope by the same rule, so the summaries are comparable.
+type syncTreeReq struct {
+	Prefix string `json:"prefix"`
+	Lo     uint64 `json:"lo"`
+	Hi     uint64 `json:"hi"`
+}
+
+// syncTreeResp is the sealed summary: canonstore.MerkleLeaves leaf digests
+// plus the root folded over them.
+type syncTreeResp struct {
+	Root   uint64   `json:"root"`
+	Leaves []uint64 `json:"leaves"`
+}
+
+// syncKeysReq asks for the per-record identities and digests in the listed
+// divergent Merkle buckets of a sync scope.
+type syncKeysReq struct {
+	Prefix  string `json:"prefix"`
+	Lo      uint64 `json:"lo"`
+	Hi      uint64 `json:"hi"`
+	Buckets []int  `json:"buckets"`
+}
+
+// syncItem names one stored record and its (Version, Digest) conflict
+// position, without the value bytes — values only travel for records that
+// actually differ.
+type syncItem struct {
+	Key     uint64 `json:"key"`
+	Storage string `json:"storage"`
+	Access  string `json:"access"`
+	Pointer bool   `json:"pointer,omitempty"`
+	Version uint64 `json:"version"`
+	Digest  uint64 `json:"digest"`
+}
+
+type syncKeysResp struct {
+	Items []syncItem `json:"items"`
+}
+
+// syncPullReq retrieves the full entries a peer holds for Key within a sync
+// scope, versions included — the pull half of anti-entropy repair and the
+// source of read-repair pushes.
+type syncPullReq struct {
+	Prefix string `json:"prefix"`
+	Lo     uint64 `json:"lo"`
+	Hi     uint64 `json:"hi"`
+	Key    uint64 `json:"key"`
+}
+
+type syncPullResp struct {
+	Entries []storeReq2 `json:"entries"`
+}
+
+// repairResp reports one operator-triggered anti-entropy round (the request
+// carries no body). It is JSON-only on the wire: repair is a rare
+// operations RPC, so it takes no binary codec (docs/WIRE.md allows that).
+type repairResp struct {
+	Partners int `json:"partners"`
+	Pushed   int `json:"pushed"`
+	Pulled   int `json:"pulled"`
 }
 
 // fetchReq retrieves values for Key visible to a querier named Origin.

@@ -22,8 +22,14 @@ const (
 	muxMagic2 = 'N'
 	// muxVersion is the highest binary protocol version this build speaks.
 	// The dialer offers its highest; the acceptor replies with
-	// min(offered, own); both sides then speak the replied version.
-	muxVersion = 1
+	// min(offered, own); both sides then speak the replied version. A
+	// dialer therefore accepts any reply from 1 up to its own offer.
+	//
+	// Version 2 changes no framing: it marks the builds that understand
+	// the storage/anti-entropy message types ("store2", "synctree",
+	// "synckeys", "syncpull", "repair") introduced in docs/WIRE.md §v2. A
+	// v1 peer on a negotiated-v1 connection simply never receives them.
+	muxVersion = 2
 
 	// Frame kinds.
 	frameRequest  = 0x01

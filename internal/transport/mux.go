@@ -85,7 +85,11 @@ func (t *TCP) dialMux(ctx context.Context, addr string) (*muxConn, error) {
 		_ = c.Close()
 		return nil, errDowngrade
 	}
-	if accept[3] != muxVersion {
+	// The acceptor replies min(offered, own): anything from 1 to our own
+	// offer is a legal downgrade (an older peer), higher is a protocol
+	// violation. The negotiated version only gates which message types the
+	// layers above may send — framing is identical across versions.
+	if accept[3] == 0 || accept[3] > muxVersion {
 		_ = c.Close()
 		return nil, fmt.Errorf("%w: %s negotiated unsupported wire version %d", ErrUnreachable, addr, accept[3])
 	}

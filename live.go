@@ -1,6 +1,7 @@
 package canon
 
 import (
+	"github.com/canon-dht/canon/internal/canonstore"
 	"github.com/canon-dht/canon/internal/netnode"
 	"github.com/canon-dht/canon/internal/telemetry"
 	"github.com/canon-dht/canon/internal/transport"
@@ -24,6 +25,14 @@ type (
 	LiveStats = netnode.Stats
 	// LiveRetryPolicy governs RPC retry/backoff behavior of a LiveNode.
 	LiveRetryPolicy = netnode.RetryPolicy
+	// LiveStore is the storage engine behind a LiveNode's items; pass one
+	// as LiveConfig.Store. Nil means a volatile in-memory store.
+	LiveStore = canonstore.Store
+	// LiveStoreOptions tunes a durable on-disk store (see OpenLiveStore).
+	LiveStoreOptions = canonstore.Options
+	// LiveRepairStats reports one replica anti-entropy round's work:
+	// partners contacted, records pushed and pulled.
+	LiveRepairStats = netnode.AntiEntropyStats
 	// Transport carries a live node's traffic.
 	Transport = transport.Transport
 	// Bus is an in-memory network for tests and simulations.
@@ -59,6 +68,15 @@ func NewLiveNode(cfg LiveConfig) (*LiveNode, error) { return netnode.New(cfg) }
 
 // NewLiveClient returns a client sending through the given transport.
 func NewLiveClient(tr Transport) *LiveClient { return netnode.NewClient(tr) }
+
+// OpenLiveStore opens (creating it if needed) the durable log-structured
+// store rooted at dir — canond's -data-dir engine (docs/STORAGE.md). The
+// returned store recovers every previously acknowledged write from its
+// write-ahead log; pass it as LiveConfig.Store, and the node will own and
+// close it.
+func OpenLiveStore(dir string, opts LiveStoreOptions) (LiveStore, error) {
+	return canonstore.Open(dir, opts)
+}
 
 // NewBus returns an in-memory network for running live nodes in-process.
 func NewBus() *Bus { return transport.NewBus() }

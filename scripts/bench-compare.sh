@@ -1,9 +1,9 @@
 #!/usr/bin/env bash
-# bench-compare.sh — run the routing-hot-path and wire-encode benchmarks,
-# record their medians, and gate against a committed baseline.
+# bench-compare.sh — run the routing-hot-path, store-path and wire-encode
+# benchmarks, record their medians, and gate against a committed baseline.
 #
 # Usage:
-#   BENCH_BASELINE=BENCH_PR6.json ./scripts/bench-compare.sh [output.json]
+#   BENCH_BASELINE=BENCH_PR7.json ./scripts/bench-compare.sh [output.json]
 #   BENCH_BASELINE=new            ./scripts/bench-compare.sh [output.json]
 #
 # BENCH_BASELINE is REQUIRED and names the baseline JSON to compare against;
@@ -38,7 +38,12 @@
 #      the allocating envelope codecs — allocs/op is deterministic, so "no
 #      new allocation" still has teeth even where GC scheduling swings their
 #      ns/op far past 10% with no code change (measured min..max spread >2x
-#      on the binary decoder). The
+#      on the binary decoder). The node-local store apply and fetch paths
+#      are alloc-gated the same way: their sub-microsecond map-walk ns/op
+#      swings past 10% with cache and GC state (measured ~17% between runs
+#      with no code change), but allocs/op is exact — the store apply is
+#      pinned at ZERO allocs/op and the fetch at its result slice, so any
+#      new allocation on either path fails the gate. The
 #      mutex-held forwarding baseline and the TCP round trips are recorded
 #      and feed the ratio gates above, but are not point-gated: their
 #      absolute numbers swing with scheduler/lock-contention noise far
@@ -51,7 +56,7 @@ cd "$(dirname "$0")/.."
 if [[ -z "${BENCH_BASELINE:-}" ]]; then
 	{
 		echo "bench-compare.sh: BENCH_BASELINE is not set; refusing to run without a comparison target."
-		echo "  BENCH_BASELINE=BENCH_PR6.json $0    # gate against the committed baseline (what CI does)"
+		echo "  BENCH_BASELINE=BENCH_PR7.json $0    # gate against the committed baseline (what CI does)"
 		echo "  BENCH_BASELINE=new $0               # record a fresh baseline, no comparison"
 	} >&2
 	exit 2
@@ -61,7 +66,7 @@ if [[ "$BENCH_BASELINE" != "new" && ! -r "$BENCH_BASELINE" ]]; then
 	exit 2
 fi
 
-out="${1:-BENCH_PR6.json}"
+out="${1:-BENCH_PR7.json}"
 count="${BENCH_COUNT:-10}"
 benchtime="${BENCH_TIME:-1s}"
 
@@ -70,11 +75,16 @@ benchtime="${BENCH_TIME:-1s}"
 raw_netnode=$(go test -run '^$' -bench 'BenchmarkForwardDecision64|BenchmarkLookupSaturation' \
 	-cpu=4 -benchmem -benchtime="$benchtime" -count="$count" ./internal/netnode/)
 echo "$raw_netnode" >&2
+# The store-path benchmarks run single-threaded (no -cpu pin): they measure
+# the node-local apply/read paths, not contention shape.
+raw_store=$(go test -run '^$' -bench 'BenchmarkStoreLocalMem|BenchmarkFetchLocalMem' \
+	-benchmem -benchtime="$benchtime" -count="$count" ./internal/netnode/)
+echo "$raw_store" >&2
 raw_transport=$(go test -run '^$' -bench 'BenchmarkEnvelope|BenchmarkRoundTrip' \
 	-benchmem -benchtime="$benchtime" -count="$count" ./internal/transport/)
 echo "$raw_transport" >&2
 
-printf '%s\n%s\n' "$raw_netnode" "$raw_transport" | awk -v out="$out" -v count="$count" '
+printf '%s\n%s\n%s\n' "$raw_netnode" "$raw_store" "$raw_transport" | awk -v out="$out" -v count="$count" '
 function median(name, metric,    m, i, j, tmp, vals) {
 	m = cnt[name]
 	for (i = 0; i < m; i++) vals[i] = v[name, metric, i]
@@ -95,7 +105,7 @@ function median(name, metric,    m, i, j, tmp, vals) {
 }
 END {
 	printf "{\n" > out
-	printf "  \"description\": \"PR6 hot-path benchmarks: lock-free epoch-snapshot forwarding (vs the retired mutex-held baseline), 64-way lookup saturation, and wire-envelope encode/decode\",\n" >> out
+	printf "  \"description\": \"PR7 hot-path benchmarks: lock-free epoch-snapshot forwarding (vs the retired mutex-held baseline), 64-way lookup saturation, node-local store apply and fetch, and wire-envelope encode/decode\",\n" >> out
 	printf "  \"command\": \"scripts/bench-compare.sh (medians of %d runs; forwarding benches at -cpu=4)\",\n", count >> out
 	printf "  \"runs_per_benchmark\": %d,\n", count >> out
 	printf "  \"benchmarks\": {\n" >> out
@@ -139,6 +149,8 @@ BEGIN {
 	allocgated["BenchmarkEnvelopeEncodeJSON"] = 1
 	allocgated["BenchmarkEnvelopeDecodeJSON"] = 1
 	allocgated["BenchmarkEnvelopeDecodeBinary"] = 1
+	allocgated["BenchmarkStoreLocalMem"] = 1
+	allocgated["BenchmarkFetchLocalMem"] = 1
 }
 # First file: the baseline. Second file: this run. Both are written by this
 # script, so the per-benchmark lines are single-line JSON objects.
