@@ -7,6 +7,17 @@
 // no deadline, raw metric-name strings, wire-struct literals that can drift
 // silently, and stale suppression pragmas.
 //
+// Since v3 a value-flow engine (internal/lint/dataflow.go) adds four
+// dataflow checks: poolescape (sync.Pool values that escape their request
+// scope, are used after Put, or are Put twice), publishrace (writes to a
+// value after it flowed into an atomic pointer store), atomicmix (fields
+// accessed both through sync/atomic and by plain loads/stores with no
+// common mutex), and durabilityerr (Sync/Write/Close/WAL-append error
+// results discarded or shadowed before the latch/ack site). Their findings
+// carry the dataflow evidence chain — where the value was born, where it
+// was put/published, where it was misused — rendered by -why exactly like
+// the call-chain evidence of the interprocedural checks.
+//
 // Usage:
 //
 //	go run ./cmd/canonvet ./...              # whole module, human output

@@ -526,6 +526,8 @@ func (d *Disk) syncDir() {
 	if err != nil {
 		return
 	}
+	//canonvet:ignore durabilityerr -- directory fsync is best-effort by design: not every filesystem supports it, and the data-file barriers already ran
 	_ = f.Sync()
+	//canonvet:ignore durabilityerr -- closing a read-only directory handle on the same best-effort path persists nothing
 	_ = f.Close()
 }

@@ -167,8 +167,15 @@ type FuncNode struct {
 	Out []*Edge
 	In  []*Edge
 
-	// Sum is filled by ComputeSummaries.
+	// Sum is filled by ComputeSummaries and ComputeFlowSummaries.
 	Sum Summary
+
+	// body, ftype and pkgRef retain the declaration's AST and analysis unit
+	// for the v3 value-flow passes (dataflow.go), which re-walk module-local
+	// bodies; all nil for out-of-module and interface-method nodes.
+	body   *ast.BlockStmt
+	ftype  *ast.FuncType
+	pkgRef *Package
 }
 
 // AckSite is one store-ack construction site: the position of the
@@ -198,6 +205,26 @@ type CallGraph struct {
 
 	// ifaceNodes indexes the interface-method nodes for dispatch resolution.
 	ifaceNodes []*FuncNode
+
+	// accesses are the atomic-capable field/var load-store sites collected
+	// during the walk for atomicmix (see check_atomicmix.go).
+	accesses []fieldAccess
+
+	// flow caches the value-flow pass results (see dataflow.go).
+	flow *flowState
+}
+
+// fieldAccess records one access to a struct field (or package-level var)
+// whose type sync/atomic could also operate on: through a sync/atomic
+// package function (Atomic=true) or a plain load/store/address-take
+// (Atomic=false). Identity is by declaration site, like locks.
+type fieldAccess struct {
+	Class  LockClass
+	Atomic bool
+	Pos    token.Pos
+	Held   []HeldLock
+	InTest bool
+	Fn     *FuncNode
 }
 
 // node returns (creating if needed) the node with the given ID.
@@ -279,6 +306,9 @@ func BuildCallGraph(cfg *Config, fset *token.FileSet, pkgs []*Package) *CallGrap
 				n.InTestFile = inTest
 				n.IsRPCPrim = isRPCPrimSig(obj.Name(), obj.Type())
 				n.IsSyncPrim = isSyncPrimName(obj.Name())
+				n.body = fd.Body
+				n.ftype = fd.Type
+				n.pkgRef = pkg
 				w := &graphWalker{g: g, pkg: pkg, fn: n, inTest: inTest}
 				w.walkBody(fd.Body)
 			}
@@ -316,6 +346,10 @@ type graphWalker struct {
 	pkg    *Package
 	fn     *FuncNode
 	inTest bool
+
+	// atomicSel marks &operand expressions already claimed as sync/atomic
+	// call arguments, so the plain-access scan does not double-count them.
+	atomicSel map[ast.Expr]bool
 }
 
 // walkBody drives the statement walk and derives the body-level facts.
@@ -573,6 +607,8 @@ func (w *graphWalker) stmts(list []ast.Stmt, held []HeldLock) []HeldLock {
 		case *ast.SendStmt:
 			w.expr(st.Chan, held)
 			w.expr(st.Value, held)
+		case *ast.IncDecStmt:
+			w.expr(st.X, held)
 		}
 	}
 	return held
@@ -616,6 +652,7 @@ func (w *graphWalker) expr(e ast.Expr, held []HeldLock) {
 					w.g.edge(w.fn, callee, EdgeRef, x.Pos(), nil)
 				}
 			}
+			w.notePlainAccess(x, held)
 			w.expr(x.X, held)
 			return false
 		case *ast.Ident:
@@ -623,7 +660,9 @@ func (w *graphWalker) expr(e ast.Expr, held []HeldLock) {
 				if callee := w.calleeNode(fn); callee != nil {
 					w.g.edge(w.fn, callee, EdgeRef, x.Pos(), nil)
 				}
+				return false
 			}
+			w.notePlainAccess(x, held)
 			return false
 		}
 		return true
@@ -640,6 +679,7 @@ func (w *graphWalker) call(call *ast.CallExpr, held []HeldLock, kind EdgeKind) {
 	}
 	fun := ast.Unparen(call.Fun)
 	w.markTimed(call)
+	w.noteAtomicCall(call, held)
 	if kind == EdgeCall {
 		w.noteStoreAck(call)
 	}
@@ -716,6 +756,100 @@ func (w *graphWalker) markTimed(call *ast.CallExpr) {
 	}
 }
 
+// noteAtomicCall records every &field / &var operand of a sync/atomic
+// package call as an atomic access site, and marks the operand so the
+// plain-access scan over the same argument list skips it.
+func (w *graphWalker) noteAtomicCall(call *ast.CallExpr, held []HeldLock) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return
+	}
+	pn, ok := w.pkg.Info.Uses[id].(*types.PkgName)
+	if !ok || pn.Imported().Path() != "sync/atomic" {
+		return
+	}
+	for _, arg := range call.Args {
+		ue, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+		if !ok || ue.Op != token.AND {
+			continue
+		}
+		operand := ast.Unparen(ue.X)
+		class := w.classify(operand)
+		if !class.Named() {
+			continue
+		}
+		if w.atomicSel == nil {
+			w.atomicSel = make(map[ast.Expr]bool)
+		}
+		w.atomicSel[operand] = true
+		w.g.accesses = append(w.g.accesses, fieldAccess{
+			Class: class, Atomic: true, Pos: ue.Pos(),
+			Held: snapshot(held), InTest: w.inTest, Fn: w.fn,
+		})
+	}
+}
+
+// notePlainAccess records a non-atomic load/store/address-take of a struct
+// field or package-level var whose type a sync/atomic function could also
+// touch. Operands already claimed by noteAtomicCall are skipped; unnamed
+// classes (locals) never participate.
+func (w *graphWalker) notePlainAccess(e ast.Expr, held []HeldLock) {
+	if w.atomicSel[e] {
+		return
+	}
+	var class LockClass
+	switch x := e.(type) {
+	case *ast.SelectorExpr:
+		selInfo, ok := w.pkg.Info.Selections[x]
+		if !ok || selInfo.Kind() != types.FieldVal {
+			return
+		}
+		if !atomicCapable(selInfo.Obj().Type()) {
+			return
+		}
+		class = w.classify(x)
+	case *ast.Ident:
+		v, ok := w.pkg.Info.Uses[x].(*types.Var)
+		if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() || !atomicCapable(v.Type()) {
+			return
+		}
+		class = w.classify(x)
+	default:
+		return
+	}
+	if !class.Named() {
+		return
+	}
+	w.g.accesses = append(w.g.accesses, fieldAccess{
+		Class: class, Atomic: false, Pos: e.Pos(),
+		Held: snapshot(held), InTest: w.inTest, Fn: w.fn,
+	})
+}
+
+// atomicCapable reports whether t is a type the sync/atomic package
+// functions operate on directly: fixed 32/64-bit integers, uintptr, and
+// unsafe.Pointer. (The atomic.Int64-style wrapper types are excluded on
+// purpose: the type system already prevents plain access to their values.)
+func atomicCapable(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	switch b.Kind() {
+	case types.Int32, types.Int64, types.Uint32, types.Uint64,
+		types.Uintptr, types.UnsafePointer:
+		return true
+	}
+	return false
+}
+
 // calleeNode maps a resolved *types.Func to its graph node, creating
 // interface-method placeholder nodes on first sight. Standard-library
 // callees are represented too (their bodies are never walked, so they stay
@@ -783,6 +917,9 @@ func (w *graphWalker) litNode(lit *ast.FuncLit) *FuncNode {
 	n.Pkg = w.pkg.Path
 	n.Pos = lit.Pos()
 	n.InTestFile = w.inTest
+	n.body = lit.Body
+	n.ftype = lit.Type
+	n.pkgRef = w.pkg
 	lw := &graphWalker{g: w.g, pkg: w.pkg, fn: n, inTest: w.inTest}
 	if lit.Body != nil {
 		lw.walkBody(lit.Body)

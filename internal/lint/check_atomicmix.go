@@ -1,0 +1,91 @@
+package lint
+
+import (
+	"fmt"
+	"sort"
+)
+
+// atomicmix: a struct field (or package-level var) accessed through
+// sync/atomic anywhere and through a plain load/store anywhere else is a
+// data race unless every access site holds a common mutex class from the
+// lock lattice — the atomic half synchronizes only with other atomics.
+// Access sites are collected by the graph walker (callgraph.go:
+// noteAtomicCall / notePlainAccess), identified by declaration site like
+// lock classes, and carry the lexically held lock set, so "modulo a held
+// common mutex class" is an intersection over the sites. _test.go sites are
+// excluded: tests routinely poke counters single-threaded.
+
+var checkAtomicMix = Check{
+	Name: "atomicmix",
+	Doc:  "struct fields accessed both through sync/atomic and by plain loads/stores with no common mutex held",
+	RunModule: func(mp *ModulePass) {
+		type group struct {
+			atomic, plain []fieldAccess
+		}
+		groups := make(map[LockClass]*group)
+		var order []LockClass
+		for _, a := range mp.Graph.accesses {
+			if a.InTest {
+				continue
+			}
+			g, ok := groups[a.Class]
+			if !ok {
+				g = &group{}
+				groups[a.Class] = g
+				order = append(order, a.Class)
+			}
+			if a.Atomic {
+				g.atomic = append(g.atomic, a)
+			} else {
+				g.plain = append(g.plain, a)
+			}
+		}
+		sort.Slice(order, func(i, j int) bool { return order[i].String() < order[j].String() })
+		for _, class := range order {
+			g := groups[class]
+			if len(g.atomic) == 0 || len(g.plain) == 0 {
+				continue
+			}
+			if commonHeld(append(append([]fieldAccess(nil), g.atomic...), g.plain...)) {
+				continue
+			}
+			sort.Slice(g.atomic, func(i, j int) bool { return g.atomic[i].Pos < g.atomic[j].Pos })
+			sort.Slice(g.plain, func(i, j int) bool { return g.plain[i].Pos < g.plain[j].Pos })
+			at, pl := g.atomic[0], g.plain[0]
+			chain := []string{
+				mp.Graph.evidence(fmt.Sprintf("atomic access in %s", at.Fn.Name), at.Pos),
+				mp.Graph.evidence(fmt.Sprintf("plain access in %s", pl.Fn.Name), pl.Pos),
+			}
+			mp.Report(pl.Pos, chain,
+				"field %s is accessed both through sync/atomic and by plain load/store with no common mutex class held across the sites",
+				class)
+		}
+	},
+}
+
+// commonHeld reports whether some named lock class is held at every one of
+// the given access sites.
+func commonHeld(sites []fieldAccess) bool {
+	if len(sites) == 0 {
+		return false
+	}
+	common := make(map[LockClass]bool)
+	for _, h := range sites[0].Held {
+		if h.Class.Named() {
+			common[h.Class] = true
+		}
+	}
+	for _, s := range sites[1:] {
+		if len(common) == 0 {
+			return false
+		}
+		here := make(map[LockClass]bool)
+		for _, h := range s.Held {
+			if h.Class.Named() && common[h.Class] {
+				here[h.Class] = true
+			}
+		}
+		common = here
+	}
+	return len(common) > 0
+}

@@ -1,0 +1,24 @@
+package lint
+
+// durabilityerr: the flow-sensitive complement to fsyncbeforeack. In the
+// storage engine and the ack paths that sit on it (Config.
+// DurabilityPackages), the error result of a durability primitive —
+// Sync/Flush/Close/Write/Truncate or a WAL append* — is the only signal
+// that the durability promise failed; discarding it (bare call or blank
+// assignment) or shadowing it before it is read breaks the latch/ack
+// contract of docs/STORAGE.md. Discards lexically inside an error-path
+// branch (if err != nil) or a deferred cleanup are allowed: secondary
+// errors on a path that already failed are idiomatic best-effort.
+
+var checkDurabilityErr = Check{
+	Name: "durabilityerr",
+	Doc:  "durability-call error results (Sync/Write/Close/WAL append) discarded or shadowed before the latch/ack site",
+	RunModule: func(mp *ModulePass) {
+		for _, f := range mp.Graph.FlowFindings() {
+			if f.Check != "durabilityerr" {
+				continue
+			}
+			mp.Report(f.Pos, f.Chain, "%s", f.Msg)
+		}
+	},
+}

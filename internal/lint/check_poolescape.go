@@ -1,0 +1,23 @@
+package lint
+
+// poolescape: a pointer obtained from sync.Pool.Get must stay inside its
+// request scope — stored to a heap location, captured by a goroutine or
+// stored closure, published, or sent on a channel, it may be recycled while
+// still referenced; dereferenced (or Put again) after its Put, it is a
+// use-after-free in pool clothing. The evidence comes from the value-flow
+// engine (dataflow.go): intraprocedural cells plus the ReturnsPooled /
+// PutsParam / RetainsParam summaries propagated over Call, Defer and
+// Dispatch edges.
+
+var checkPoolEscape = Check{
+	Name: "poolescape",
+	Doc:  "sync.Pool values that escape their request scope, or are used/Put again after Put (value-flow analysis)",
+	RunModule: func(mp *ModulePass) {
+		for _, f := range mp.Graph.FlowFindings() {
+			if f.Check != "poolescape" {
+				continue
+			}
+			mp.Report(f.Pos, f.Chain, "%s", f.Msg)
+		}
+	},
+}

@@ -1,0 +1,23 @@
+package lint
+
+// publishrace: the flow-sensitive upgrade of snapshotmut. Once a value
+// flows into an atomic.Pointer Store/Swap/CompareAndSwap (or a
+// publish-summary/publish*-named helper), concurrent readers hold it
+// without locks, so any subsequent write through it — in any file — is a
+// data race against every reader of the published snapshot. The value-flow
+// engine (dataflow.go) tracks the publish site per cell and flags writes
+// reachable after it on any fall-through path; PublishesParam summaries
+// carry the fact across call boundaries.
+
+var checkPublishRace = Check{
+	Name: "publishrace",
+	Doc:  "writes to a value after it was published via an atomic pointer store (flow-sensitive snapshot immutability)",
+	RunModule: func(mp *ModulePass) {
+		for _, f := range mp.Graph.FlowFindings() {
+			if f.Check != "publishrace" {
+				continue
+			}
+			mp.Report(f.Pos, f.Chain, "%s", f.Msg)
+		}
+	},
+}

@@ -1,0 +1,1141 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// This file is canonvet v3's value-flow engine: an intraprocedural,
+// SSA-lite def-use/escape analysis over the loader's typed ASTs, with
+// interprocedural escape/retention summaries propagated over the call
+// graph's fixpoint machinery. It feeds the poolescape, publishrace and
+// durabilityerr checks (atomicmix rides the graph walker's access log
+// instead — see callgraph.go).
+//
+// The abstraction is a cell per local pointer-ish value: assignments share
+// cells (aliasing is by construction, not by solving), branches that fall
+// through share the caller's environment (so facts union over paths —
+// exactly the "on any path" semantics the checks want), and branches that
+// terminate run on a cloned environment so their effects die with them.
+// Loops are walked once; facts established in a body persist after it, but
+// back-edge-only orderings are missed (a documented under-approximation).
+//
+// Interprocedural facts are four monotone bits per function (see Summary):
+// ReturnsPooled, and per-parameter Puts/Retains/Publishes bitmasks. They
+// are computed by re-running the intraprocedural scan to a fixpoint; Go and
+// Ref edges deliberately propagate nothing, matching the v2 summary
+// discipline (DESIGN.md).
+
+// FlowFinding is one dataflow diagnostic produced by the value-flow pass,
+// later filtered by check name and fed through the normal report sink.
+type FlowFinding struct {
+	Check string
+	Pos   token.Pos
+	Chain []string
+	Msg   string
+}
+
+// flowState caches the findings pass so the four checks share one run.
+type flowState struct {
+	findings []FlowFinding
+	summed   bool
+}
+
+// flowCell is the abstract state of one tracked value.
+type flowCell struct {
+	// pooled marks values obtained from a sync.Pool.Get (directly or via a
+	// ReturnsPooled callee) and not yet returned.
+	pooled bool
+	// direct marks cells standing for a variable's own storage (created at
+	// &v), where rebinding the variable is itself a write to the published
+	// memory.
+	direct bool
+	// paramIdx is the declaring parameter's index, or -1.
+	paramIdx int
+
+	name    string
+	src     token.Pos
+	srcDesc string
+
+	putPos   token.Pos
+	putDesc  string
+	deferPut bool
+
+	pubPos  token.Pos
+	pubDesc string
+
+	// one-shot reporting latches, so a linear path reports each defect
+	// class once per value.
+	useReported, escReported, pubReported, dpReported bool
+}
+
+// label names the value for diagnostics: the bound variable when there is
+// one, the origin description otherwise.
+func (c *flowCell) label() string {
+	if c.name != "" {
+		return c.name
+	}
+	if c.srcDesc != "" {
+		return c.srcDesc
+	}
+	return "value"
+}
+
+// errCell tracks one pending durability error: produced, not yet read.
+type errCell struct {
+	pos    token.Pos
+	callee string
+	read   bool
+}
+
+// flowWalker runs the value-flow scan over one function body.
+type flowWalker struct {
+	g      *CallGraph
+	pkg    *Package
+	fn     *FuncNode
+	record bool
+
+	env  map[*types.Var]*flowCell
+	errs map[*types.Var]*errCell
+
+	// errDepth counts enclosing error-path branches (if err != nil bodies);
+	// deferDepth counts enclosing deferred regions. Both relax the
+	// durability-discard rule (secondary errors on error/cleanup paths are
+	// idiomatic best-effort).
+	errDepth   int
+	deferDepth int
+
+	// summary accumulators (always computed; findings only when record).
+	puts, retains, publishes uint64
+	returnsPooled            bool
+
+	findings []FlowFinding
+}
+
+func newFlowWalker(g *CallGraph, n *FuncNode, record bool) *flowWalker {
+	fw := &flowWalker{
+		g: g, pkg: n.pkgRef, fn: n, record: record,
+		env:  make(map[*types.Var]*flowCell),
+		errs: make(map[*types.Var]*errCell),
+	}
+	if n.ftype != nil && n.ftype.Params != nil {
+		i := 0
+		for _, field := range n.ftype.Params.List {
+			if len(field.Names) == 0 {
+				i++
+				continue
+			}
+			for _, name := range field.Names {
+				if v, ok := fw.pkg.Info.Defs[name].(*types.Var); ok && v != nil {
+					if _, isPtr := v.Type().Underlying().(*types.Pointer); isPtr {
+						fw.env[v] = &flowCell{
+							paramIdx: i, name: name.Name,
+							src: name.Pos(), srcDesc: "parameter " + name.Name,
+						}
+					}
+				}
+				i++
+			}
+		}
+	}
+	return fw
+}
+
+// ComputeFlowSummaries iterates the intraprocedural scan over every
+// module-local body until the four flow-summary bits stabilize. The lattice
+// is finite (bits and 64-wide masks) and every transfer is a bitwise OR, so
+// the usual Kleene argument bounds the iteration count.
+func (g *CallGraph) ComputeFlowSummaries() {
+	if g.flow == nil {
+		g.flow = &flowState{}
+	}
+	if g.flow.summed {
+		return
+	}
+	g.flow.summed = true
+	nodes := g.SortedNodes()
+	for changed := true; changed; {
+		changed = false
+		for _, n := range nodes {
+			if n.body == nil || n.pkgRef == nil {
+				continue
+			}
+			fw := newFlowWalker(g, n, false)
+			fw.walk()
+			if fw.returnsPooled && !n.Sum.ReturnsPooled {
+				n.Sum.ReturnsPooled = true
+				changed = true
+			}
+			if fw.puts&^n.Sum.PutsParam != 0 {
+				n.Sum.PutsParam |= fw.puts
+				changed = true
+			}
+			if fw.retains&^n.Sum.RetainsParam != 0 {
+				n.Sum.RetainsParam |= fw.retains
+				changed = true
+			}
+			if fw.publishes&^n.Sum.PublishesParam != 0 {
+				n.Sum.PublishesParam |= fw.publishes
+				changed = true
+			}
+		}
+	}
+}
+
+// FlowFindings runs (once, cached) the recording pass over every
+// module-local non-test body and returns the dataflow diagnostics sorted by
+// position. Summaries are computed first if the caller has not already.
+func (g *CallGraph) FlowFindings() []FlowFinding {
+	if g.flow != nil && g.flow.findings != nil {
+		return g.flow.findings
+	}
+	g.ComputeFlowSummaries()
+	seen := make(map[string]bool)
+	out := []FlowFinding{}
+	for _, n := range g.SortedNodes() {
+		if n.body == nil || n.pkgRef == nil || n.InTestFile {
+			continue
+		}
+		fw := newFlowWalker(g, n, true)
+		fw.walk()
+		for _, f := range fw.findings {
+			key := fmt.Sprintf("%s|%d|%s", f.Check, f.Pos, f.Msg)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			out = append(out, f)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pos != out[j].Pos {
+			return out[i].Pos < out[j].Pos
+		}
+		return out[i].Msg < out[j].Msg
+	})
+	g.flow.findings = out
+	return out
+}
+
+// evidence renders one dataflow-chain frame: "what happened (file:line)".
+func (g *CallGraph) evidence(desc string, pos token.Pos) string {
+	p := g.Fset.Position(pos)
+	if !p.IsValid() {
+		return desc
+	}
+	return fmt.Sprintf("%s (%s:%d)", desc, shortPath(p.Filename), p.Line)
+}
+
+func (fw *flowWalker) walk() {
+	if fw.fn.body != nil {
+		fw.stmts(fw.fn.body.List)
+	}
+}
+
+func (fw *flowWalker) finding(check string, pos token.Pos, chain []string, format string, args ...any) {
+	if !fw.record {
+		return
+	}
+	fw.findings = append(fw.findings, FlowFinding{
+		Check: check, Pos: pos, Chain: chain, Msg: fmt.Sprintf(format, args...),
+	})
+}
+
+func (fw *flowWalker) durScope() bool {
+	return fw.g.Cfg.DurabilityPackages[fw.pkg.Path] && !fw.fn.InTestFile
+}
+
+// obj resolves an identifier to its variable object in this unit.
+func (fw *flowWalker) obj(id *ast.Ident) *types.Var {
+	if v, ok := fw.pkg.Info.Uses[id].(*types.Var); ok {
+		return v
+	}
+	v, _ := fw.pkg.Info.Defs[id].(*types.Var)
+	return v
+}
+
+// rootIdent unwraps selector/star/index/slice/paren chains to the base
+// identifier, or nil.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// rootCell returns the tracked cell behind e's base identifier, or nil.
+func (fw *flowWalker) rootCell(e ast.Expr) *flowCell {
+	id := rootIdent(e)
+	if id == nil {
+		return nil
+	}
+	v := fw.obj(id)
+	if v == nil {
+		return nil
+	}
+	return fw.env[v]
+}
+
+// cloneCells deep-copies an environment preserving aliasing (two variables
+// sharing a cell keep sharing its clone).
+func cloneCells(env map[*types.Var]*flowCell) map[*types.Var]*flowCell {
+	out := make(map[*types.Var]*flowCell, len(env))
+	copies := make(map[*flowCell]*flowCell, len(env))
+	for v, c := range env {
+		cc, ok := copies[c]
+		if !ok {
+			dup := *c
+			cc = &dup
+			copies[c] = cc
+		}
+		out[v] = cc
+	}
+	return out
+}
+
+func cloneErrs(errs map[*types.Var]*errCell) map[*types.Var]*errCell {
+	out := make(map[*types.Var]*errCell, len(errs))
+	for v, c := range errs {
+		dup := *c
+		out[v] = &dup
+	}
+	return out
+}
+
+// branch walks one conditional arm. Terminating arms run on cloned state so
+// their effects die with them; fall-through arms share the environment,
+// which unions facts over paths. errPath relaxes durability-discard inside.
+func (fw *flowWalker) branch(body []ast.Stmt, errPath bool) {
+	if errPath {
+		fw.errDepth++
+	}
+	if terminates(body) {
+		savedEnv, savedErrs := fw.env, fw.errs
+		fw.env, fw.errs = cloneCells(fw.env), cloneErrs(fw.errs)
+		fw.stmts(body)
+		fw.env, fw.errs = savedEnv, savedErrs
+	} else {
+		fw.stmts(body)
+	}
+	if errPath {
+		fw.errDepth--
+	}
+}
+
+// errCond classifies an if condition against the error-path allowance:
+// 1 when the then-arm is the error path (x != nil on an error), 2 when the
+// else-arm is (x == nil), 0 otherwise.
+func (fw *flowWalker) errCond(cond ast.Expr) int {
+	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok {
+		return 0
+	}
+	var other ast.Expr
+	switch {
+	case isNilIdent(be.Y):
+		other = be.X
+	case isNilIdent(be.X):
+		other = be.Y
+	default:
+		return 0
+	}
+	if !isErrorType(typeOf(fw.pkg.Info, other)) {
+		return 0
+	}
+	switch be.Op {
+	case token.NEQ:
+		return 1
+	case token.EQL:
+		return 2
+	}
+	return 0
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+func isErrorType(t types.Type) bool {
+	return t != nil && t.String() == "error"
+}
+
+func isByteSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+func (fw *flowWalker) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		fw.stmt(s)
+	}
+}
+
+func (fw *flowWalker) stmt(s ast.Stmt) {
+	switch st := s.(type) {
+	case *ast.ExprStmt:
+		fw.exprStmt(st.X)
+	case *ast.AssignStmt:
+		fw.assign(st)
+	case *ast.DeferStmt:
+		fw.deferStmt(st)
+	case *ast.GoStmt:
+		fw.goStmt(st)
+	case *ast.ReturnStmt:
+		for _, r := range st.Results {
+			c := fw.eval(r)
+			if c != nil {
+				fw.use(c, r.Pos())
+				if c.pooled && !c.putPos.IsValid() && !c.deferPut {
+					fw.returnsPooled = true
+				}
+			}
+		}
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, val := range vs.Values {
+					c := fw.eval(val)
+					if c != nil && i < len(vs.Names) {
+						fw.bind(vs.Names[i], c)
+					}
+				}
+			}
+		}
+	case *ast.IfStmt:
+		if st.Init != nil {
+			fw.stmt(st.Init)
+		}
+		ep := fw.errCond(st.Cond)
+		fw.eval(st.Cond)
+		fw.branch(st.Body.List, ep == 1)
+		if st.Else != nil {
+			switch e := st.Else.(type) {
+			case *ast.BlockStmt:
+				fw.branch(e.List, ep == 2)
+			default:
+				fw.branch([]ast.Stmt{st.Else}, ep == 2)
+			}
+		}
+	case *ast.BlockStmt:
+		fw.stmts(st.List)
+	case *ast.LabeledStmt:
+		fw.stmt(st.Stmt)
+	case *ast.ForStmt:
+		if st.Init != nil {
+			fw.stmt(st.Init)
+		}
+		if st.Cond != nil {
+			fw.eval(st.Cond)
+		}
+		fw.branch(st.Body.List, false)
+		if st.Post != nil {
+			fw.stmt(st.Post)
+		}
+	case *ast.RangeStmt:
+		fw.eval(st.X)
+		fw.branch(st.Body.List, false)
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			fw.stmt(st.Init)
+		}
+		if st.Tag != nil {
+			fw.eval(st.Tag)
+		}
+		for _, clause := range st.Body.List {
+			if cc, ok := clause.(*ast.CaseClause); ok {
+				for _, e := range cc.List {
+					fw.eval(e)
+				}
+				fw.branch(cc.Body, false)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			fw.stmt(st.Init)
+		}
+		for _, clause := range st.Body.List {
+			if cc, ok := clause.(*ast.CaseClause); ok {
+				fw.branch(cc.Body, false)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, clause := range st.Body.List {
+			if cc, ok := clause.(*ast.CommClause); ok {
+				if cc.Comm != nil {
+					fw.stmt(cc.Comm)
+				}
+				fw.branch(cc.Body, false)
+			}
+		}
+	case *ast.SendStmt:
+		fw.eval(st.Chan)
+		if c := fw.eval(st.Value); c != nil {
+			fw.retainEvent(c, st.Value.Pos(), "sent on a channel")
+		}
+	case *ast.IncDecStmt:
+		fw.writeThrough(st.X, st.X.Pos())
+	}
+}
+
+// exprStmt handles a bare expression statement: the durability-discard rule
+// (an error-returning durability call whose result vanishes) plus the
+// normal evaluation.
+func (fw *flowWalker) exprStmt(e ast.Expr) {
+	if call, ok := ast.Unparen(e).(*ast.CallExpr); ok && fw.durScope() {
+		if desc, isDur := fw.durabilityCallee(call); isDur && fw.errDepth == 0 && fw.deferDepth == 0 {
+			fw.finding("durabilityerr", call.Pos(),
+				[]string{fw.g.evidence("durability call "+desc+" returns an error", call.Pos()),
+					fw.g.evidence("result discarded (bare call)", call.Pos())},
+				"error result of durability call %s is discarded in %s before reaching the latch/ack site",
+				desc, fw.fn.Name)
+		}
+	}
+	fw.eval(e)
+}
+
+// assign evaluates RHS values, applies the durability error bookkeeping,
+// and binds/writes each LHS.
+func (fw *flowWalker) assign(st *ast.AssignStmt) {
+	cells := make([]*flowCell, len(st.Lhs))
+	if len(st.Rhs) == len(st.Lhs) {
+		for i, r := range st.Rhs {
+			cells[i] = fw.eval(r)
+		}
+	} else {
+		for _, r := range st.Rhs {
+			fw.eval(r)
+		}
+	}
+
+	// Durability: a single call RHS whose callee is a durability primitive
+	// puts the error in the last LHS slot.
+	durIdx, durDesc, durPos := -1, "", token.NoPos
+	if fw.durScope() && len(st.Rhs) == 1 {
+		if call, ok := ast.Unparen(st.Rhs[0]).(*ast.CallExpr); ok {
+			if desc, isDur := fw.durabilityCallee(call); isDur {
+				durIdx, durDesc, durPos = len(st.Lhs)-1, desc, call.Pos()
+			}
+		}
+	}
+
+	for i, lhs := range st.Lhs {
+		id, isIdent := ast.Unparen(lhs).(*ast.Ident)
+		if !isIdent {
+			fw.writeThrough(lhs, lhs.Pos())
+			if cells[i] != nil {
+				fw.heapStore(lhs, cells[i])
+			}
+			continue
+		}
+		if id.Name == "_" {
+			if i == durIdx && fw.errDepth == 0 && fw.deferDepth == 0 {
+				fw.finding("durabilityerr", durPos,
+					[]string{fw.g.evidence("durability call "+durDesc+" returns an error", durPos),
+						fw.g.evidence("result assigned to the blank identifier", id.Pos())},
+					"error result of durability call %s is discarded in %s before reaching the latch/ack site",
+					durDesc, fw.fn.Name)
+			}
+			continue
+		}
+		v := fw.obj(id)
+		if v == nil {
+			continue
+		}
+		// Shadow rule: plain-assigning over a pending unread durability
+		// error loses it.
+		if st.Tok == token.ASSIGN {
+			if ec, ok := fw.errs[v]; ok && !ec.read {
+				fw.finding("durabilityerr", id.Pos(),
+					[]string{fw.g.evidence("durability error from "+ec.callee+" produced", ec.pos),
+						fw.g.evidence("overwritten before being read", id.Pos())},
+					"durability error from %s is shadowed before use in %s",
+					ec.callee, fw.fn.Name)
+			}
+		}
+		delete(fw.errs, v)
+		if i == durIdx {
+			fw.errs[v] = &errCell{pos: durPos, callee: durDesc}
+		}
+		// Rebinding a direct (published-storage) variable is a write to the
+		// published memory.
+		if c := fw.env[v]; c != nil && c.direct {
+			fw.pubWrite(c, id.Pos())
+		}
+		fw.bind(id, cells[i])
+	}
+}
+
+// bind points a variable at a cell (aliasing by sharing), or clears it.
+func (fw *flowWalker) bind(id *ast.Ident, c *flowCell) {
+	v := fw.obj(id)
+	if v == nil {
+		return
+	}
+	if c == nil {
+		delete(fw.env, v)
+		return
+	}
+	if c.name == "" {
+		c.name = id.Name
+	}
+	fw.env[v] = c
+	// Binding to a package-level variable is itself a heap store.
+	if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+		fw.retainEvent(c, id.Pos(), "stored to package-level variable "+id.Name)
+	}
+}
+
+// writeThrough flags a store through a tracked pointer: after Put it is a
+// use-after-put, after publish it is a post-publish mutation.
+func (fw *flowWalker) writeThrough(lhs ast.Expr, pos token.Pos) {
+	c := fw.rootCell(lhs)
+	if c == nil {
+		return
+	}
+	fw.use(c, pos)
+	fw.pubWrite(c, pos)
+}
+
+func (fw *flowWalker) pubWrite(c *flowCell, pos token.Pos) {
+	if !c.pubPos.IsValid() || c.pubReported {
+		return
+	}
+	c.pubReported = true
+	fw.finding("publishrace", pos,
+		[]string{fw.g.evidence("value "+c.label()+" created", c.src),
+			fw.g.evidence(c.pubDesc, c.pubPos),
+			fw.g.evidence("written after publication", pos)},
+		"value %q is written after being published via %s in %s; published snapshots must be immutable",
+		c.label(), c.pubDesc, fw.fn.Name)
+}
+
+// heapStore flags storing a tracked value through an lvalue whose base is
+// declared outside this function (receiver, parameter, global, captured):
+// the value outlives the frame.
+func (fw *flowWalker) heapStore(lhs ast.Expr, c *flowCell) {
+	id := rootIdent(lhs)
+	if id == nil || fw.fn.body == nil {
+		return
+	}
+	v := fw.obj(id)
+	if v == nil {
+		return
+	}
+	if v.Pos() >= fw.fn.body.Pos() && v.Pos() < fw.fn.body.End() {
+		return // local aggregate; the store does not outlive the frame
+	}
+	fw.retainEvent(c, lhs.Pos(), "stored to heap location "+exprString(lhs))
+}
+
+// use flags a read/deref of a value already returned to its pool.
+func (fw *flowWalker) use(c *flowCell, pos token.Pos) {
+	if !c.putPos.IsValid() || c.useReported {
+		return
+	}
+	c.useReported = true
+	fw.finding("poolescape", pos,
+		[]string{fw.g.evidence("pooled value "+c.label()+" obtained", c.src),
+			fw.g.evidence("returned to the pool by "+c.putDesc, c.putPos),
+			fw.g.evidence("used after Put", pos)},
+		"pooled value %q is used after being returned to the pool in %s",
+		c.label(), fw.fn.Name)
+}
+
+// putEvent records a Put of the value: double-puts are reported, parameter
+// puts feed the PutsParam summary, deferred puts do not block later uses.
+func (fw *flowWalker) putEvent(c *flowCell, pos token.Pos, desc string) {
+	if c == nil {
+		return
+	}
+	if c.paramIdx >= 0 && c.paramIdx < 64 {
+		fw.puts |= 1 << uint(c.paramIdx)
+	}
+	if (c.putPos.IsValid() || c.deferPut) && !c.dpReported {
+		c.dpReported = true
+		first := c.putPos
+		if !first.IsValid() {
+			first = c.src
+		}
+		fw.finding("poolescape", pos,
+			[]string{fw.g.evidence("pooled value "+c.label()+" obtained", c.src),
+				fw.g.evidence("first returned to the pool", first),
+				fw.g.evidence("returned to the pool again by "+desc, pos)},
+			"pooled value %q may be returned to the pool twice in %s",
+			c.label(), fw.fn.Name)
+	}
+	if fw.deferDepth > 0 {
+		c.deferPut = true
+		return
+	}
+	if !c.putPos.IsValid() {
+		c.putPos, c.putDesc = pos, desc
+	}
+}
+
+// retainEvent records an escape of the value to memory that outlives the
+// frame: pooled values report, parameters feed the RetainsParam summary.
+func (fw *flowWalker) retainEvent(c *flowCell, pos token.Pos, how string) {
+	if c == nil {
+		return
+	}
+	if c.paramIdx >= 0 && c.paramIdx < 64 {
+		fw.retains |= 1 << uint(c.paramIdx)
+	}
+	if c.pooled && !c.escReported {
+		c.escReported = true
+		fw.finding("poolescape", pos,
+			[]string{fw.g.evidence("pooled value "+c.label()+" obtained", c.src),
+				fw.g.evidence(how, pos)},
+			"pooled value %q escapes its request scope (%s) in %s",
+			c.label(), how, fw.fn.Name)
+	}
+}
+
+// publishEvent marks the value immutable-from-here: it flowed into an
+// atomic pointer store (or a publish-summary callee). Publishing a pooled
+// value is also an escape.
+func (fw *flowWalker) publishEvent(c *flowCell, pos token.Pos, desc string) {
+	if c == nil {
+		return
+	}
+	if c.paramIdx >= 0 && c.paramIdx < 64 {
+		fw.publishes |= 1 << uint(c.paramIdx)
+	}
+	if c.pooled {
+		fw.retainEvent(c, pos, desc)
+	}
+	if !c.pubPos.IsValid() {
+		c.pubPos, c.pubDesc = pos, desc
+	}
+}
+
+// captureScan flags tracked values referenced inside a function literal
+// that outlives the frame (goroutine bodies, stored closures). Durability
+// errors captured by a closure are conservatively considered read.
+func (fw *flowWalker) captureScan(lit *ast.FuncLit, how string) {
+	if lit.Body == nil {
+		return
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v := fw.obj(id)
+		if v == nil {
+			return true
+		}
+		if c, ok := fw.env[v]; ok {
+			fw.retainEvent(c, id.Pos(), how)
+		}
+		if ec, ok := fw.errs[v]; ok {
+			ec.read = true
+		}
+		return true
+	})
+}
+
+func (fw *flowWalker) deferStmt(st *ast.DeferStmt) {
+	fw.deferDepth++
+	defer func() { fw.deferDepth-- }()
+	if lit, ok := ast.Unparen(st.Call.Fun).(*ast.FuncLit); ok {
+		// Deferred literal: runs in this frame at exit — walk inline on the
+		// shared environment (puts inside are deferred puts).
+		if lit.Body != nil {
+			fw.stmts(lit.Body.List)
+		}
+		for _, a := range st.Call.Args {
+			fw.eval(a)
+		}
+		return
+	}
+	fw.callExpr(st.Call)
+}
+
+func (fw *flowWalker) goStmt(st *ast.GoStmt) {
+	if lit, ok := ast.Unparen(st.Call.Fun).(*ast.FuncLit); ok {
+		fw.captureScan(lit, "captured by a goroutine")
+	}
+	for _, a := range st.Call.Args {
+		if c := fw.eval(a); c != nil {
+			fw.retainEvent(c, a.Pos(), "passed to a goroutine")
+		}
+	}
+}
+
+// eval computes the cell (if any) an expression denotes, walking nested
+// calls and literals on the way. Reads through a tracked pointer mark uses;
+// reads of pending durability errors mark them consumed.
+func (fw *flowWalker) eval(e ast.Expr) *flowCell {
+	if e == nil {
+		return nil
+	}
+	switch x := e.(type) {
+	case *ast.Ident:
+		v := fw.obj(x)
+		if v == nil {
+			return nil
+		}
+		if ec, ok := fw.errs[v]; ok {
+			ec.read = true
+		}
+		return fw.env[v]
+	case *ast.ParenExpr:
+		return fw.eval(x.X)
+	case *ast.TypeAssertExpr:
+		return fw.eval(x.X)
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			inner := ast.Unparen(x.X)
+			switch in := inner.(type) {
+			case *ast.CompositeLit:
+				fw.evalCompositeLit(in)
+				return &flowCell{paramIdx: -1, src: x.Pos(), srcDesc: "composite literal"}
+			case *ast.Ident:
+				v := fw.obj(in)
+				if v == nil {
+					return nil
+				}
+				c := fw.env[v]
+				if c == nil {
+					c = &flowCell{paramIdx: -1, direct: true, name: in.Name, src: in.Pos(), srcDesc: "variable " + in.Name}
+					fw.env[v] = c
+				}
+				return c
+			}
+			fw.eval(x.X)
+			return nil
+		}
+		fw.eval(x.X)
+		return nil
+	case *ast.StarExpr:
+		if c := fw.rootCell(x.X); c != nil {
+			fw.use(c, x.Pos())
+		}
+		fw.eval(x.X)
+		return nil
+	case *ast.SelectorExpr:
+		if id, ok := x.X.(*ast.Ident); ok {
+			if _, isPkg := fw.pkg.Info.Uses[id].(*types.PkgName); isPkg {
+				return nil
+			}
+		}
+		if c := fw.rootCell(x.X); c != nil {
+			fw.use(c, x.Pos())
+		}
+		fw.eval(x.X)
+		return nil
+	case *ast.IndexExpr:
+		if c := fw.rootCell(x.X); c != nil {
+			fw.use(c, x.Pos())
+		}
+		fw.eval(x.X)
+		fw.eval(x.Index)
+		return nil
+	case *ast.SliceExpr:
+		if c := fw.rootCell(x.X); c != nil {
+			fw.use(c, x.Pos())
+		}
+		fw.eval(x.X)
+		fw.eval(x.Low)
+		fw.eval(x.High)
+		fw.eval(x.Max)
+		return nil
+	case *ast.BinaryExpr:
+		fw.eval(x.X)
+		fw.eval(x.Y)
+		return nil
+	case *ast.KeyValueExpr:
+		fw.eval(x.Value)
+		return nil
+	case *ast.CompositeLit:
+		fw.evalCompositeLit(x)
+		return nil
+	case *ast.FuncLit:
+		// A literal in value position outlives the expression: captures
+		// escape. (Immediately-invoked and deferred literals are handled at
+		// their call sites and never reach here.)
+		fw.captureScan(x, "captured by a closure")
+		return nil
+	case *ast.CallExpr:
+		return fw.callExpr(x)
+	}
+	return nil
+}
+
+// evalCompositeLit walks element expressions. Placing a tracked pointer
+// inside a composite literal is deliberately NOT retention — constructing a
+// response around a request body is ownership transfer, and flagging it
+// would drown the checks in false positives (DESIGN.md).
+func (fw *flowWalker) evalCompositeLit(cl *ast.CompositeLit) {
+	for _, el := range cl.Elts {
+		fw.eval(el)
+	}
+}
+
+// callExpr handles one call: sync.Pool Get/Put, atomic.Pointer publishes,
+// summary-driven parameter effects, and plain uses.
+func (fw *flowWalker) callExpr(call *ast.CallExpr) *flowCell {
+	fun := ast.Unparen(call.Fun)
+
+	// Immediately-invoked literal: runs now, in this frame — walk inline.
+	if lit, ok := fun.(*ast.FuncLit); ok {
+		for _, a := range call.Args {
+			fw.eval(a)
+		}
+		if lit.Body != nil {
+			fw.stmts(lit.Body.List)
+		}
+		return nil
+	}
+
+	if sel, ok := fun.(*ast.SelectorExpr); ok {
+		recvType := typeOf(fw.pkg.Info, sel.X)
+		// sync.Pool.Get / sync.Pool.Put.
+		if IsNamed(recvType, "sync", "Pool") {
+			switch sel.Sel.Name {
+			case "Get":
+				fw.eval(sel.X)
+				return &flowCell{
+					pooled: true, paramIdx: -1,
+					src: call.Pos(), srcDesc: exprString(sel.X) + ".Get result",
+				}
+			case "Put":
+				fw.eval(sel.X)
+				if len(call.Args) == 1 {
+					fw.putEvent(fw.eval(call.Args[0]), call.Pos(), "sync.Pool.Put")
+				}
+				return nil
+			}
+		}
+		// atomic.Pointer publish: Store(v), Swap(v), CompareAndSwap(old, new).
+		if IsNamed(recvType, "sync/atomic", "Pointer") {
+			newArg := -1
+			switch sel.Sel.Name {
+			case "Store", "Swap":
+				newArg = 0
+			case "CompareAndSwap":
+				newArg = 1
+			}
+			if newArg >= 0 && newArg < len(call.Args) {
+				fw.eval(sel.X)
+				desc := "atomic store " + exprString(sel.X) + "." + sel.Sel.Name
+				for i, a := range call.Args {
+					c := fw.eval(a)
+					if i == newArg {
+						fw.publishEvent(c, call.Pos(), desc)
+					} else if c != nil {
+						fw.use(c, a.Pos())
+					}
+				}
+				return nil
+			}
+		}
+	}
+
+	// Builtins that allocate.
+	if id, ok := fun.(*ast.Ident); ok && fw.pkg.Info.Uses[id] == nil && fw.pkg.Info.Defs[id] == nil {
+		if id.Name == "new" {
+			for _, a := range call.Args {
+				fw.eval(a)
+			}
+			return &flowCell{paramIdx: -1, src: call.Pos(), srcDesc: "new(...) result"}
+		}
+	}
+
+	// Resolve the callee and its flow summary.
+	obj := fw.calleeFunc(call)
+	var sig *types.Signature
+	var puts, retains, publishes uint64
+	var retPooled bool
+	name := ""
+	if obj != nil {
+		sig, _ = obj.Type().(*types.Signature)
+		name = obj.Name()
+		puts, retains, publishes, retPooled = fw.g.flowBits(fw.g.Nodes[funcID(obj)])
+	} else if id, ok := fun.(*ast.Ident); ok {
+		name = id.Name
+	} else if sel, ok := fun.(*ast.SelectorExpr); ok {
+		name = sel.Sel.Name
+	}
+	publishName := strings.HasPrefix(name, "publish") || strings.HasPrefix(name, "Publish")
+
+	if sel, ok := fun.(*ast.SelectorExpr); ok {
+		// Method receiver: a call through a tracked pointer is a use.
+		if c := fw.rootCell(sel.X); c != nil {
+			fw.use(c, call.Pos())
+		}
+		fw.eval(sel.X)
+	}
+
+	for i, a := range call.Args {
+		c := fw.eval(a)
+		if c == nil {
+			continue
+		}
+		bit := paramBit(sig, i)
+		switch {
+		case bit >= 0 && bit < 64 && puts&(1<<uint(bit)) != 0:
+			fw.putEvent(c, a.Pos(), name)
+		case bit >= 0 && bit < 64 && publishes&(1<<uint(bit)) != 0:
+			fw.publishEvent(c, call.Pos(), "publish helper "+name)
+		case bit >= 0 && bit < 64 && retains&(1<<uint(bit)) != 0:
+			fw.use(c, a.Pos())
+			fw.retainEvent(c, a.Pos(), "retained by callee "+name)
+		case publishName && isPointerish(typeOf(fw.pkg.Info, a)):
+			fw.use(c, a.Pos())
+			fw.publishEvent(c, call.Pos(), "publish helper "+name)
+		default:
+			fw.use(c, a.Pos())
+		}
+	}
+
+	if retPooled {
+		return &flowCell{
+			pooled: true, paramIdx: -1,
+			src: call.Pos(), srcDesc: "pooled result of " + name,
+		}
+	}
+	return nil
+}
+
+// calleeFunc resolves a call to its *types.Func (methods via Selections,
+// package functions via Uses), or nil for func-typed values and builtins.
+func (fw *flowWalker) calleeFunc(call *ast.CallExpr) *types.Func {
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj, _ := fw.pkg.Info.Uses[f].(*types.Func)
+		return obj
+	case *ast.SelectorExpr:
+		if selInfo, ok := fw.pkg.Info.Selections[f]; ok {
+			obj, _ := selInfo.Obj().(*types.Func)
+			return obj
+		}
+		obj, _ := fw.pkg.Info.Uses[f.Sel].(*types.Func)
+		return obj
+	}
+	return nil
+}
+
+// flowBits returns a callee's flow-summary bits; interface methods take the
+// union over their Dispatch candidates (Go/Ref edges propagate nothing).
+func (g *CallGraph) flowBits(n *FuncNode) (puts, retains, publishes uint64, retPooled bool) {
+	if n == nil {
+		return
+	}
+	if n.IsIfaceMethod {
+		for _, e := range n.Out {
+			if e.Kind != EdgeDispatch || e.Callee.IsIfaceMethod {
+				continue
+			}
+			p, r, pb, rp := e.Callee.Sum.PutsParam, e.Callee.Sum.RetainsParam,
+				e.Callee.Sum.PublishesParam, e.Callee.Sum.ReturnsPooled
+			puts |= p
+			retains |= r
+			publishes |= pb
+			retPooled = retPooled || rp
+		}
+		return
+	}
+	return n.Sum.PutsParam, n.Sum.RetainsParam, n.Sum.PublishesParam, n.Sum.ReturnsPooled
+}
+
+// paramBit maps an argument index to the callee parameter index (variadic
+// arguments collapse onto the last parameter); -1 when unknown.
+func paramBit(sig *types.Signature, i int) int {
+	if sig == nil {
+		return -1
+	}
+	n := sig.Params().Len()
+	if n == 0 {
+		return -1
+	}
+	if sig.Variadic() && i >= n-1 {
+		return n - 1
+	}
+	if i < n {
+		return i
+	}
+	return -1
+}
+
+// isPointerish reports types whose values reference mutable shared memory
+// for the publish-helper name heuristic.
+func isPointerish(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Map, *types.Slice:
+		return true
+	}
+	return false
+}
+
+// durabilityNames are the method names whose error results the
+// durabilityerr check refuses to see discarded (WAL appends match by the
+// "append" prefix instead).
+var durabilityNames = map[string]bool{
+	"Sync": true, "Flush": true, "Close": true,
+	"Write": true, "WriteString": true, "WriteByte": true, "Truncate": true,
+}
+
+// durabilityCallee classifies a call as a durability primitive: a
+// Sync/Write/Close/Truncate/append*-named function whose last result is an
+// error, owned by os, bufio, or a configured durability package.
+func (fw *flowWalker) durabilityCallee(call *ast.CallExpr) (string, bool) {
+	obj := fw.calleeFunc(call)
+	if obj == nil || obj.Pkg() == nil {
+		return "", false
+	}
+	path := obj.Pkg().Path()
+	if path != "os" && path != "bufio" && !fw.g.Cfg.DurabilityPackages[path] {
+		return "", false
+	}
+	name := obj.Name()
+	isAppend := strings.HasPrefix(strings.ToLower(name), "append")
+	if !durabilityNames[name] && !isAppend {
+		return "", false
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return "", false
+	}
+	if !isErrorType(sig.Results().At(sig.Results().Len() - 1).Type()) {
+		return "", false
+	}
+	// encoding.BinaryAppender-shaped methods return the extended buffer:
+	// they serialize, they do not persist. Only error-first append results
+	// count as WAL appends.
+	if isAppend && isByteSlice(sig.Results().At(0).Type()) {
+		return "", false
+	}
+	return shortFuncName(obj), true
+}

@@ -1,0 +1,45 @@
+// Package atomicmix is the golden fixture for the atomic/plain
+// mixed-access check. The counters struct plays the telemetry hot-path
+// counters: some code bumps them with sync/atomic, other code reads them
+// with plain loads and no common lock — a data race the Go memory model
+// does not forgive.
+package atomicmix
+
+import "sync/atomic"
+
+type counters struct {
+	hits  uint64
+	total uint64
+}
+
+var c counters
+
+// bump is the atomic half of the mix.
+func bump() { atomic.AddUint64(&c.hits, 1) }
+
+// report is the plain half: a racy read against bump.
+func report() uint64 {
+	return c.hits // want `field atomicmix.counters.hits is accessed both through sync/atomic and by plain load/store`
+}
+
+var seq uint64
+
+// next bumps the package-level sequence atomically.
+func next() uint64 { return atomic.AddUint64(&seq, 1) }
+
+// peek reads it plainly: mixed access on a package-level variable.
+func peek() uint64 {
+	return seq // want `field atomicmix.seq is accessed both through sync/atomic and by plain load/store`
+}
+
+var suppressed uint64
+
+// bumpSuppressed is the atomic half of the pragma-proof pair.
+func bumpSuppressed() { atomic.AddUint64(&suppressed, 1) }
+
+// readSuppressed shows the escape hatch: the finding on the plain-access
+// line is suppressed, so no want annotation appears.
+func readSuppressed() uint64 {
+	//canonvet:ignore atomicmix -- fixture: proves the pragma suppresses the finding
+	return suppressed
+}

@@ -1,0 +1,43 @@
+// Clean constructs for the atomic/plain mixed-access fixture: the three
+// disciplines the check must stay silent on.
+package atomicmix
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// guarded mixes atomic and plain access, but every site holds the same
+// mutex class — the common-lock escape.
+type guarded struct {
+	mu sync.Mutex
+	n  int64
+}
+
+var g guarded
+
+func lockedAtomic() {
+	g.mu.Lock()
+	atomic.AddInt64(&g.n, 1)
+	g.mu.Unlock()
+}
+
+func lockedPlain() int64 {
+	g.mu.Lock()
+	v := g.n
+	g.mu.Unlock()
+	return v
+}
+
+// atomicOnly is touched exclusively through sync/atomic: consistent.
+var atomicOnly uint64
+
+func onlyAtomic() uint64 { return atomic.LoadUint64(&atomicOnly) }
+
+// plainOnly never sees an atomic op: also consistent.
+var plainOnly uint64
+
+func onlyPlain() uint64 {
+	plainOnly++
+	return plainOnly
+}

@@ -1,0 +1,68 @@
+// Package durabilityerr is the golden fixture for the durability
+// error-path check. The test config marks this package as a durability
+// package, so file plays os.File (Sync/Write/Close barriers) and disk
+// plays the storage engine whose appendRecord is the WAL append. Every
+// function here loses a barrier error before the latch/ack site.
+package durabilityerr
+
+type file struct{ dirty bool }
+
+func (f *file) Sync() error {
+	f.dirty = false
+	return nil
+}
+
+func (f *file) Close() error { return nil }
+
+func (f *file) Write(p []byte) (int, error) {
+	f.dirty = true
+	return len(p), nil
+}
+
+type disk struct {
+	f    *file
+	werr error
+}
+
+// appendRecord plays the WAL append: error-returning, append-prefixed.
+func (d *disk) appendRecord(p []byte) error {
+	_, err := d.f.Write(p)
+	return err
+}
+
+// bareDiscard drops the barrier result entirely: the caller acks a write
+// that may not be on disk.
+func (d *disk) bareDiscard() {
+	d.f.Sync() // want `error result of durability call .*Sync is discarded`
+}
+
+// blankDiscard hides it behind the blank identifier.
+func (d *disk) blankDiscard() {
+	_ = d.f.Sync() // want `error result of durability call .*Sync is discarded`
+}
+
+// blankWrite drops a write error the same way.
+func (d *disk) blankWrite(p []byte) {
+	_, _ = d.f.Write(p) // want `error result of durability call .*Write is discarded`
+}
+
+// shadowed overwrites the pending barrier error before anyone reads it:
+// the Sync failure is silently replaced by the Close result.
+func (d *disk) shadowed() error {
+	err := d.f.Sync()
+	err = d.f.Close() // want `durability error from .*Sync is shadowed before use`
+	return err
+}
+
+// appendAndForget discards a WAL-append error: the record was never
+// durably written but the caller proceeds to ack.
+func (d *disk) appendAndForget(p []byte) {
+	d.appendRecord(p) // want `error result of durability call .*appendRecord is discarded`
+}
+
+// pragmaProof shows the escape hatch: the finding on the next line is
+// suppressed, so no want annotation appears.
+func (d *disk) pragmaProof() {
+	//canonvet:ignore durabilityerr -- fixture: proves the pragma suppresses the finding
+	_ = d.f.Sync()
+}

@@ -1,0 +1,35 @@
+// Clean constructs for the durability error-path fixture: the error
+// disciplines the check must stay silent on.
+package durabilityerr
+
+// checked propagates every barrier error to the caller.
+func (d *disk) checked() error {
+	if err := d.f.Sync(); err != nil {
+		return err
+	}
+	return d.f.Close()
+}
+
+// latched parks the error where the ack path reads it — the sticky-error
+// pattern the storage engine uses.
+func (d *disk) latched() {
+	if err := d.f.Sync(); err != nil {
+		d.werr = err
+	}
+}
+
+// errorPathClose: a best-effort Close on a path that already failed is
+// idiomatic cleanup, not a lost barrier.
+func (d *disk) errorPathClose(p []byte) error {
+	if _, err := d.f.Write(p); err != nil {
+		d.f.Close()
+		return err
+	}
+	return d.f.Sync()
+}
+
+// deferredClose: deferred cleanup errors are out of scope by design.
+func (d *disk) deferredClose() {
+	defer d.f.Close()
+	d.f.dirty = true
+}

@@ -1,0 +1,118 @@
+// Package poolescape is the golden fixture for the pool-escape check.
+// The req type plays the transport message-buffer role: obtained from a
+// sync.Pool per request, reset, and returned. Every function here leaks,
+// reuses, or double-returns the pooled value in one of the ways the
+// value-flow engine tracks.
+package poolescape
+
+import "sync"
+
+type req struct {
+	id    int
+	spans []int
+}
+
+var reqPool = sync.Pool{New: func() any { return new(req) }}
+
+// getReq plays the pooled constructor: its ReturnsPooled summary makes
+// callers' values pooled too.
+func getReq() *req { return reqPool.Get().(*req) }
+
+// putReq plays the pooled destructor: its PutsParam summary makes calls
+// to it count as Put sites.
+func putReq(q *req) {
+	*q = req{}
+	reqPool.Put(q)
+}
+
+var grabbed *req
+
+// storeToGlobal parks the pooled object in a package-level variable: it
+// outlives the request.
+func storeToGlobal() {
+	q := getReq()
+	grabbed = q // want `pooled value "q" escapes its request scope`
+	putReq(q)
+}
+
+type holder struct{ last *req }
+
+// keep stores the pooled object through the receiver: the receiver's
+// memory outlives the frame.
+func (h *holder) keep() {
+	q := getReq()
+	h.last = q // want `pooled value "q" escapes its request scope`
+}
+
+// spawn hands the pooled object to a goroutine that may still hold it
+// after the Put.
+func spawn() {
+	q := getReq()
+	go func() {
+		q.id++ // want `pooled value "q" escapes its request scope`
+	}()
+	putReq(q)
+}
+
+var ch = make(chan *req, 1)
+
+// send publishes the pooled object on a channel: the receiver's lifetime
+// is unknown.
+func send() {
+	q := getReq()
+	ch <- q // want `pooled value "q" escapes its request scope`
+}
+
+var sink *req
+
+// retain plays a helper that leaks its argument; the RetainsParam summary
+// carries the fact to callers.
+func retain(q *req) { sink = q }
+
+// escapeViaHelper leaks through the helper: only the interprocedural
+// summary sees it.
+func escapeViaHelper() {
+	q := getReq()
+	retain(q) // want `pooled value "q" escapes its request scope`
+	putReq(q)
+}
+
+// useAfterPut reads the object after returning it to the pool: another
+// goroutine may already own it.
+func useAfterPut() int {
+	q := getReq()
+	putReq(q)
+	return q.id // want `pooled value "q" is used after being returned to the pool`
+}
+
+// direct does the same without helpers: raw Get/Put on the pool.
+func direct() *req {
+	q := reqPool.Get().(*req)
+	reqPool.Put(q)
+	return q // want `pooled value "q" is used after being returned to the pool`
+}
+
+// doublePut returns the same object twice: the second owner's state is
+// corrupted.
+func doublePut() {
+	q := getReq()
+	putReq(q)
+	putReq(q) // want `pooled value "q" may be returned to the pool twice`
+}
+
+// deferAndPut schedules a deferred Put and then also puts eagerly: the
+// object goes back twice.
+func deferAndPut() {
+	q := getReq()
+	defer putReq(q)
+	putReq(q) // want `pooled value "q" may be returned to the pool twice`
+}
+
+// pragmaProof shows the escape hatch: the finding on the next line is
+// suppressed, so no want annotation appears.
+func pragmaProof() {
+	q := getReq()
+	//canonvet:ignore poolescape -- fixture: proves the pragma suppresses the finding
+	grabbed = q
+	putReq(q)
+}

@@ -1,0 +1,50 @@
+// Clean constructs for the pool-escape fixture: the idiomatic pooled
+// lifecycles the check must stay silent on.
+package poolescape
+
+// getPutClean is the canonical shape: get, defer the return, use freely
+// in between.
+func getPutClean() int {
+	q := getReq()
+	defer putReq(q)
+	q.id = 7
+	return q.id
+}
+
+// handOut returns the pooled object to its caller: ownership transfer,
+// not escape (the caller inherits the Put obligation and the summary
+// marks handOut ReturnsPooled).
+func handOut() *req { return getReq() }
+
+// reuseBuffer mutates through the pointer before Put — the whole point
+// of pooling.
+func reuseBuffer() {
+	q := getReq()
+	q.spans = q.spans[:0]
+	q.spans = append(q.spans, 1)
+	putReq(q)
+}
+
+// fill plays a non-retaining helper: it writes through its argument but
+// keeps no reference.
+func fill(q *req) { q.id = 42 }
+
+// useHelper passes the pooled value to the non-retaining helper.
+func useHelper() {
+	q := getReq()
+	fill(q)
+	putReq(q)
+}
+
+// errorPathPut returns the object early on the failure path; the put in
+// the terminating branch must not poison the fall-through path.
+func errorPathPut(fail bool) int {
+	q := getReq()
+	if fail {
+		putReq(q)
+		return 0
+	}
+	v := q.id
+	putReq(q)
+	return v
+}

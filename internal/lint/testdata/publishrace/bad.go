@@ -1,0 +1,85 @@
+// Package publishrace is the golden fixture for the publish-immutability
+// check. The view type plays the routing snapshot: built privately, then
+// published through an atomic pointer, after which every byte must be
+// frozen. Each function here mutates a value after publication in one of
+// the ways the value-flow engine tracks.
+package publishrace
+
+import "sync/atomic"
+
+type view struct {
+	epoch int
+	peers []string
+}
+
+var current atomic.Pointer[view]
+
+// writeAfterStore mutates the snapshot it just published: a reader
+// holding the pointer observes the change without synchronization.
+func writeAfterStore() {
+	v := &view{epoch: 1}
+	current.Store(v)
+	v.epoch = 2 // want `value "v" is written after being published`
+}
+
+// aliasWrite mutates through an alias of the published value; the cells
+// are shared, so the alias carries the publication fact.
+func aliasWrite() {
+	v := &view{}
+	w := v
+	current.Store(v)
+	w.epoch = 3 // want `value "v" is written after being published`
+}
+
+// swapAndWrite: Swap publishes its argument exactly like Store.
+func swapAndWrite() {
+	v := &view{}
+	current.Swap(v)
+	v.epoch = 9 // want `value "v" is written after being published`
+}
+
+// deepWrite mutates a slice field of the published value: still a write
+// to published memory.
+func deepWrite() {
+	v := &view{}
+	current.Store(v)
+	v.peers = append(v.peers, "x") // want `value "v" is written after being published`
+}
+
+// incAfterStore: increments are writes too.
+func incAfterStore() {
+	v := &view{}
+	current.Store(v)
+	v.epoch++ // want `value "v" is written after being published`
+}
+
+// publishView plays the publish helper: its PublishesParam summary makes
+// calls to it count as publication sites.
+func publishView(v *view) { current.Store(v) }
+
+// writeAfterHelper publishes through the helper; only the
+// interprocedural summary sees the publication.
+func writeAfterHelper() {
+	v := &view{}
+	publishView(v)
+	v.peers = nil // want `value "v" is written after being published`
+}
+
+var current2 atomic.Pointer[view]
+
+// rebindAfterStore published the variable's own storage (&v), so even
+// rebinding the variable writes the published memory.
+func rebindAfterStore() {
+	v := view{epoch: 1}
+	current2.Store(&v)
+	v = view{epoch: 2} // want `value "v" is written after being published`
+}
+
+// pragmaProof shows the escape hatch: the finding on the next line is
+// suppressed, so no want annotation appears.
+func pragmaProof() {
+	v := &view{}
+	current.Store(v)
+	//canonvet:ignore publishrace -- fixture: proves the pragma suppresses the finding
+	v.epoch = 5
+}

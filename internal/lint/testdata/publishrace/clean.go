@@ -1,0 +1,41 @@
+// Clean constructs for the publish-immutability fixture: the
+// copy-on-write discipline the check must stay silent on.
+package publishrace
+
+// buildThenStore does all its mutation before publishing — the intended
+// order.
+func buildThenStore() {
+	v := &view{epoch: 1}
+	v.peers = append(v.peers, "a")
+	current.Store(v)
+}
+
+// readAfterStore reads the published value: reads are the point of the
+// snapshot.
+func readAfterStore() int {
+	v := &view{epoch: 1}
+	current.Store(v)
+	return v.epoch
+}
+
+// republish loads the old snapshot, builds a fresh copy, and publishes
+// that: only the never-published copy is mutated.
+func republish() {
+	old := current.Load()
+	next := &view{epoch: old.epoch + 1}
+	next.peers = append(next.peers, "b")
+	current.Store(next)
+}
+
+// inspect plays a helper that only reads its argument: no publication,
+// so callers' writes stay legal.
+func inspect(v *view) int { return v.epoch }
+
+// writeAfterInspect passes the value to the read-only helper and keeps
+// mutating.
+func writeAfterInspect() {
+	v := &view{}
+	inspect(v)
+	v.epoch = 4
+	current.Store(v)
+}

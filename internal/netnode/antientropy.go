@@ -227,8 +227,11 @@ func (n *Node) syncWith(ctx context.Context, peer Info, prefix string, lo, hi ui
 	n.m.antiEntropyPulled.Add(int64(pulled))
 	if pulled > 0 {
 		// Repairs are acked writes by proxy: make them durable now rather
-		// than at the next store RPC.
-		_ = n.store.Sync()
+		// than at the next store RPC. A failed barrier must surface — the
+		// entries were counted as repaired (canonvet: durabilityerr).
+		if err := n.store.Sync(); err != nil {
+			return pushed, pulled, err
+		}
 	}
 	return pushed, pulled, nil
 }

@@ -43,8 +43,18 @@ fi
 
 if [ "$run_canonvet" = 1 ]; then
   echo "== canonvet =="
+  SECONDS=0
   go run ./cmd/canonvet ./...
   vet_status=$?
+  elapsed=$SECONDS
+  # Timing budget: the v3 value-flow fixpoint must keep a full-module run
+  # under 90 seconds, or the analyzer stops being something anyone runs
+  # before committing. Budget breaches fail the gate like findings do.
+  echo "canonvet: full-module run took ${elapsed}s (budget 90s)"
+  if [ "$elapsed" -ge 90 ]; then
+    echo "lint.sh: canonvet timing budget exceeded: ${elapsed}s >= 90s" >&2
+    fail=1
+  fi
   case "$vet_status" in
     0) ;;
     1)
