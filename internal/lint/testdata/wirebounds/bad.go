@@ -1,0 +1,22 @@
+// Package wirebounds is the golden fixture for the wire-controlled
+// allocation check: a decoder that reserves memory proportional to a count
+// an attacker chose is a one-line remote OOM.
+package wirebounds
+
+import "encoding/binary"
+
+// decodeList trusts the wire count completely: a 10-byte header claiming
+// 2^60 elements reserves 8 EiB of capacity before a single element decodes.
+func decodeList(data []byte) []uint64 {
+	n, sz := binary.Uvarint(data)
+	if sz <= 0 {
+		return nil
+	}
+	data = data[sz:]
+	out := make([]uint64, 0, n) // want `decodeList preallocates \[\]uint64 from wire-controlled count "n" with no cap`
+	for len(data) >= 8 && uint64(len(out)) < n {
+		out = append(out, binary.BigEndian.Uint64(data))
+		data = data[8:]
+	}
+	return out
+}

@@ -1,0 +1,47 @@
+package wirebounds
+
+import "encoding/binary"
+
+const maxPrealloc = 4096
+
+// decodeCapped bounds the reservation at the allocation site: min() with a
+// constant operand is the canonical fix.
+func decodeCapped(data []byte) []uint64 {
+	n, sz := binary.Uvarint(data)
+	if sz <= 0 {
+		return nil
+	}
+	data = data[sz:]
+	out := make([]uint64, 0, min(n, maxPrealloc))
+	for len(data) >= 8 && uint64(len(out)) < n {
+		out = append(out, binary.BigEndian.Uint64(data))
+		data = data[8:]
+	}
+	return out
+}
+
+// decodeGuarded rejects hostile counts against a constant before allocating.
+func decodeGuarded(data []byte) []uint64 {
+	n, sz := binary.Uvarint(data)
+	if sz <= 0 || n > maxPrealloc {
+		return nil
+	}
+	data = data[sz:]
+	out := make([]uint64, 0, n)
+	for len(data) >= 8 && uint64(len(out)) < n {
+		out = append(out, binary.BigEndian.Uint64(data))
+		data = data[8:]
+	}
+	return out
+}
+
+// decodeBytes bounds a byte count by the remaining input, which is sound
+// for 1-byte elements: the attacker pays one wire byte per reserved byte.
+func decodeBytes(data []byte) []byte {
+	n, sz := binary.Uvarint(data)
+	if sz <= 0 || n > uint64(len(data)-sz) {
+		return nil
+	}
+	out := make([]byte, 0, n)
+	return append(out, data[sz:sz+int(n)]...)
+}

@@ -1,0 +1,23 @@
+package wirebreak
+
+// verReq narrowed its B field from the u64 the committed baseline records
+// to a u32 — encoder and decoder agree with each other (wiresym is happy),
+// but every deployed peer still sends 8 bytes. The wire version did not
+// change, so this is exactly the breaking drift the gate exists to stop.
+type verReq struct {
+	A uint64
+	B uint32
+}
+
+func (q verReq) AppendBinary(b []byte) ([]byte, error) { // want `wire-breaking change in ver request at field 2: baseline B:u64, current B:u32 \(same wire version 1`
+	b = appendU64(b, q.A)
+	b = appendU32(b, q.B)
+	return b, nil
+}
+
+func (q *verReq) UnmarshalBinary(data []byte) error {
+	r := &binReader{data: data}
+	q.A = r.u64()
+	q.B = r.u32()
+	return r.done()
+}

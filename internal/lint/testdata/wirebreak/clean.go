@@ -1,0 +1,21 @@
+package wirebreak
+
+// okReq matches its baseline entry byte for byte; the gate has nothing to
+// say however many unchanged messages the package carries.
+type okReq struct {
+	C uint64
+	D string
+}
+
+func (q okReq) AppendBinary(b []byte) ([]byte, error) {
+	b = appendU64(b, q.C)
+	b = appendStr(b, q.D)
+	return b, nil
+}
+
+func (q *okReq) UnmarshalBinary(data []byte) error {
+	r := &binReader{data: data}
+	q.C = r.u64()
+	q.D = r.str()
+	return r.done()
+}

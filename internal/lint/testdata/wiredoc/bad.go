@@ -1,0 +1,22 @@
+package wiredoc
+
+// driftReq's codec sends B as a length-prefixed string, but the WIRE.md
+// table next to this fixture still documents the old u64 form — the spec
+// rotted while the code moved on, which is the drift wiredoc reports.
+type driftReq struct {
+	A uint64
+	B string
+}
+
+func (q driftReq) AppendBinary(b []byte) ([]byte, error) { // want `WIRE.md drift for drift request: field 2 \("B"\) is documented as u64 but encoded as string`
+	b = appendU64(b, q.A)
+	b = appendStr(b, q.B)
+	return b, nil
+}
+
+func (q *driftReq) UnmarshalBinary(data []byte) error {
+	r := &binReader{data: data}
+	q.A = r.u64()
+	q.B = r.str()
+	return r.done()
+}

@@ -1,0 +1,21 @@
+package wiredoc
+
+// docReq's table in WIRE.md matches the codec field for field, so wiredoc
+// stays silent about it.
+type docReq struct {
+	C uint64
+	D string
+}
+
+func (q docReq) AppendBinary(b []byte) ([]byte, error) {
+	b = appendU64(b, q.C)
+	b = appendStr(b, q.D)
+	return b, nil
+}
+
+func (q *docReq) UnmarshalBinary(data []byte) error {
+	r := &binReader{data: data}
+	q.C = r.u64()
+	q.D = r.str()
+	return r.done()
+}

@@ -1,0 +1,22 @@
+package wiresym
+
+// pingReq's encoder writes A then B; its decoder reads B then A. Every
+// payload with a non-empty B decodes into garbage (or an error) on the
+// other side — the classic silently-skewed codec pair wiresym exists for.
+type pingReq struct {
+	A uint64
+	B string
+}
+
+func (p pingReq) AppendBinary(b []byte) ([]byte, error) {
+	b = appendU64(b, p.A)
+	b = appendStr(b, p.B)
+	return b, nil
+}
+
+func (p *pingReq) UnmarshalBinary(data []byte) error { // want `encoder and decoder of ping request disagree at field 1: encoder writes A:u64, decoder reads B:string`
+	r := &binReader{data: data}
+	p.B = r.str()
+	p.A = r.u64()
+	return r.done()
+}

@@ -1,0 +1,21 @@
+package wiresym
+
+// pongResp's encoder and decoder agree field for field; wiresym stays
+// silent however many messages the package defines.
+type pongResp struct {
+	C uint64
+	D string
+}
+
+func (p pongResp) AppendBinary(b []byte) ([]byte, error) {
+	b = appendU64(b, p.C)
+	b = appendStr(b, p.D)
+	return b, nil
+}
+
+func (p *pongResp) UnmarshalBinary(data []byte) error {
+	r := &binReader{data: data}
+	p.C = r.u64()
+	p.D = r.str()
+	return r.done()
+}

@@ -1,0 +1,240 @@
+package lint
+
+// wirealloc.go is the wirebounds half of the v4 engine: a per-function
+// taint scan over the wire packages that flags slice allocations sized by a
+// wire-controlled count with no effective bound. Counts read as uvarints
+// (binary.Uvarint/ReadUvarint or a reader method classified uvarint /
+// sliceheader) taint the locals they flow into; a comparison against a
+// constant always sanitizes, a comparison against len(...) of the remaining
+// input sanitizes only 1-byte elements (the remaining-bytes bound is
+// element-size-agnostic, so an attacker spends one wire byte per element —
+// harmless for bytes, a multiplier for multi-byte elements); min() with a
+// constant operand sanitizes at the allocation site itself.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// wireSizes matches the target the DHT runs on (64-bit words).
+var wireSizes = types.StdSizes{WordSize: 8, MaxAlign: 8}
+
+// allocScan scans one function for unbounded wire-sized allocations and
+// appends findings to the extraction's alloc list.
+func (x *wirePkg) allocScan(decl *ast.FuncDecl) {
+	if decl.Body == nil {
+		return
+	}
+	// Pass 1: propagate taint from count reads through assignments. Two
+	// rounds pick up one level of reassignment (m := n + 1).
+	tainted := make(map[types.Object]token.Pos)
+	for round := 0; round < 2; round++ {
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			taintPos := token.NoPos
+			for _, rhs := range as.Rhs {
+				if p := x.countReadPos(rhs, tainted); p.IsValid() {
+					taintPos = p
+				}
+			}
+			if !taintPos.IsValid() {
+				return true
+			}
+			for _, lhs := range as.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				if obj := objOfInfo(x.info, id); obj != nil {
+					if _, seen := tainted[obj]; !seen {
+						tainted[obj] = taintPos
+					}
+				}
+			}
+			return true
+		})
+	}
+	if len(tainted) == 0 {
+		return
+	}
+	// Pass 2: collect sanitizing comparisons anywhere in the function.
+	constGuard := make(map[types.Object]bool)
+	lenGuard := make(map[types.Object]bool)
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		switch be.Op {
+		case token.LSS, token.LEQ, token.GTR, token.GEQ:
+		default:
+			return true
+		}
+		for _, side := range [][2]ast.Expr{{be.X, be.Y}, {be.Y, be.X}} {
+			guarded, bound := side[0], side[1]
+			obj, _ := firstTaintedIn(x.info, guarded, tainted)
+			if obj == nil {
+				continue
+			}
+			if isConstExpr(x.info, bound) {
+				constGuard[obj] = true
+			}
+			if containsLenCall(x.info, bound) {
+				lenGuard[obj] = true
+			}
+		}
+		return true
+	})
+	// Pass 3: judge every make sized by a tainted count.
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isBuiltinCall(x.info, call, "make") || len(call.Args) < 2 {
+			return true
+		}
+		tv, ok := x.info.Types[call.Args[0]]
+		if !ok || tv.Type == nil {
+			return true
+		}
+		sl, ok := tv.Type.Underlying().(*types.Slice)
+		if !ok {
+			return true
+		}
+		elemSize := wireSizes.Sizeof(sl.Elem())
+		for _, szArg := range call.Args[1:] {
+			if minSanitized(x.info, szArg) {
+				continue
+			}
+			obj, countPos := firstTaintedIn(x.info, szArg, tainted)
+			if obj == nil || constGuard[obj] {
+				continue
+			}
+			if lenGuard[obj] && elemSize == 1 {
+				continue
+			}
+			x.ext.allocs = append(x.ext.allocs, wireAlloc{
+				pos:      call.Pos(),
+				countPos: countPos,
+				fn:       funcLabel(decl),
+				elem:     types.TypeString(sl.Elem(), func(p *types.Package) string { return p.Name() }),
+				elemSize: elemSize,
+				count:    obj.Name(),
+			})
+			break
+		}
+		return true
+	})
+}
+
+// countReadPos reports where expr reads a count from the wire (or uses an
+// already-tainted local), or NoPos.
+func (x *wirePkg) countReadPos(expr ast.Expr, tainted map[types.Object]token.Pos) token.Pos {
+	found := token.NoPos
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if found.IsValid() {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isBinaryUvarintCall(x.info, n) {
+				found = n.Pos()
+				return false
+			}
+			if callee := x.calleeOf(n); callee != nil {
+				switch x.readerKind(callee) {
+				case wireEncUvarint, "sliceheader":
+					found = n.Pos()
+					return false
+				}
+			}
+		case *ast.Ident:
+			if obj := objOfInfo(x.info, n); obj != nil {
+				if p, ok := tainted[obj]; ok {
+					found = p
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// firstTaintedIn finds the first tainted local referenced in expr.
+func firstTaintedIn(info *types.Info, expr ast.Expr, tainted map[types.Object]token.Pos) (types.Object, token.Pos) {
+	var obj types.Object
+	var pos token.Pos
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if obj != nil {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if o := objOfInfo(info, id); o != nil {
+				if p, ok := tainted[o]; ok {
+					obj, pos = o, p
+				}
+			}
+		}
+		return obj == nil
+	})
+	return obj, pos
+}
+
+func isConstExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Value != nil
+}
+
+func containsLenCall(info *types.Info, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && isBuiltinCall(info, call, "len") {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// minSanitized reports whether a size expression is a min() with at least
+// one constant operand — a bound applied at the allocation itself.
+func minSanitized(info *types.Info, e ast.Expr) bool {
+	call, ok := unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	// Unwrap a conversion around the min call: int(min(n, cap)).
+	if tv, found := info.Types[call.Fun]; found && tv.IsType() && len(call.Args) == 1 {
+		return minSanitized(info, call.Args[0])
+	}
+	if !isBuiltinCall(info, call, "min") {
+		return false
+	}
+	for _, arg := range call.Args {
+		if isConstExpr(info, arg) {
+			return true
+		}
+	}
+	return false
+}
+
+// funcLabel renders a function's display name ("(*fetchResp).readFrom").
+func funcLabel(decl *ast.FuncDecl) string {
+	name := decl.Name.Name
+	if decl.Recv == nil || len(decl.Recv.List) == 0 {
+		return name
+	}
+	t := decl.Recv.List[0].Type
+	star := ""
+	if se, ok := t.(*ast.StarExpr); ok {
+		star = "*"
+		t = se.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return "(" + star + id.Name + ")." + name
+	}
+	return name
+}

@@ -1,0 +1,199 @@
+package lint
+
+// wirecanon.go folds the encoder interpreter's abstract op stream into the
+// published field layout. The project's wire idioms are recognized
+// structurally: a uvarint of len(X) followed by the bytes of X is a
+// string/bytes field; the nil-guard writing uvarint 0 paired with
+// uvarint(len+1) is the optional/slice header; the boolean branch pair
+// writing 1/0 is a bool; a byte written from a declared flags local is a
+// flags field whose recorded bits ride along. Anything else that demonstrably
+// touches the stream becomes an extraction note, which disables symmetric
+// comparison for the message rather than letting a half-understood layout
+// produce false findings.
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// canonEnc folds an op stream into fields. It consumes ops until the stream
+// or a terminal stop is reached.
+func (x *wirePkg) canonEnc(ops []*wOp, notes *[]wireNote) []*WireField {
+	var out []*WireField
+	for i := 0; i < len(ops); {
+		op := ops[i]
+		switch op.kind {
+		case "stop":
+			return out
+		case "fixed":
+			enc := wireEncU64
+			switch op.width {
+			case 4:
+				enc = wireEncU32
+			case 2:
+				enc = wireEncU16
+			}
+			out = append(out, &WireField{Name: op.src.fieldName(), Enc: enc})
+			i++
+		case "uvarint":
+			if op.src != nil && op.src.kind == "len" && i+1 < len(ops) &&
+				ops[i+1].kind == "bytes" && sameWVal(op.src.base, ops[i+1].src) {
+				f := &WireField{Name: ops[i+1].src.fieldName(), Enc: wireEncBytes}
+				if isStringVal(ops[i+1].src) {
+					f.Enc = wireEncString
+				}
+				out = append(out, f)
+				i += 2
+				continue
+			}
+			out = append(out, &WireField{Name: op.src.fieldName(), Enc: wireEncUvarint})
+			i++
+		case "varint":
+			out = append(out, &WireField{Name: op.src.fieldName(), Enc: wireEncVarint})
+			i++
+		case "u8":
+			if len(op.bits) > 0 {
+				out = append(out, &WireField{Name: op.src.fieldName(), Enc: wireEncFlags, Bits: sortedBits(op.bits)})
+			} else {
+				out = append(out, &WireField{Name: op.src.fieldName(), Enc: wireEncU8})
+			}
+			i++
+		case "bytes":
+			*notes = append(*notes, wireNote{op.pos, "raw byte append without a length prefix"})
+			out = append(out, &WireField{Name: op.src.fieldName(), Enc: wireEncBytes})
+			i++
+		case "struct":
+			out = append(out, &WireField{
+				Name: op.src.fieldName(), Enc: wireEncStruct, Ref: op.ref, Elem: op.refFields,
+			})
+			i++
+		case "loop":
+			*notes = append(*notes, wireNote{op.pos, "loop over a slice without a recognized length header"})
+			i++
+		case "branch":
+			i += x.canonBranch(op, ops, i, &out, notes)
+		default:
+			*notes = append(*notes, wireNote{op.pos, "unrecognized encoder operation"})
+			i++
+		}
+	}
+	return out
+}
+
+// canonBranch folds one branch op (plus, for the optional/slice and bool
+// idioms, the ops that follow it) into fields; it returns how many ops of
+// the stream it consumed.
+func (x *wirePkg) canonBranch(op *wOp, ops []*wOp, i int, out *[]*WireField, notes *[]wireNote) int {
+	switch op.cond.kind {
+	case "nil":
+		// if X == nil { write uvarint 0; return }  then uvarint(len(X)+1)...
+		if isUvarintZeroStop(op.sub) && len(op.alt) == 0 &&
+			i+1 < len(ops) && isLenPlus1(ops[i+1], op.cond.val) {
+			if i+2 < len(ops) {
+				next := ops[i+2]
+				if next.kind == "bytes" && sameWVal(next.src, op.cond.val) {
+					*out = append(*out, &WireField{Name: op.cond.val.fieldName(), Enc: wireEncOpt})
+					return 3
+				}
+				if next.kind == "loop" && sameWVal(next.src, op.cond.val) {
+					*out = append(*out, x.canonSlice(op.cond.val, next, notes))
+					return 3
+				}
+			}
+			*notes = append(*notes, wireNote{op.pos, "slice/optional header with no recognized body"})
+			return 2
+		}
+		*notes = append(*notes, wireNote{op.pos, "unrecognized nil-guarded buffer write"})
+		return 1
+
+	case "flag":
+		for _, f := range x.canonEnc(op.sub, notes) {
+			f.Cond = op.cond.flagName
+			*out = append(*out, f)
+		}
+		if !onlyStops(op.alt) {
+			*notes = append(*notes, wireNote{op.pos, "else-arm of a flag test writes to the buffer"})
+		}
+		return 1
+
+	default: // "val"
+		// if V { write 1; return } write 0  ->  bool V
+		if isU8ConstStop(op.sub, 1) && len(op.alt) == 0 &&
+			i+1 < len(ops) && isU8Const(ops[i+1], 0) {
+			*out = append(*out, &WireField{Name: op.cond.val.fieldName(), Enc: wireEncBool})
+			return 2
+		}
+		*notes = append(*notes, wireNote{op.pos, "conditional buffer write with an unrecognized condition"})
+		return 1
+	}
+}
+
+// canonSlice builds a slice field from its source value and loop body.
+func (x *wirePkg) canonSlice(src *wVal, loop *wOp, notes *[]wireNote) *WireField {
+	elems := x.canonEnc(loop.sub, notes)
+	f := &WireField{Name: src.fieldName(), Enc: wireEncSlice}
+	if len(elems) == 1 && elems[0].Enc == wireEncStruct {
+		f.Ref = elems[0].Ref
+		f.Elem = elems[0].Elem
+	} else {
+		f.Elem = elems
+	}
+	return f
+}
+
+func isUvarintZeroStop(ops []*wOp) bool {
+	return len(ops) == 2 && ops[0].kind == "uvarint" &&
+		ops[0].src != nil && ops[0].src.kind == "const" && ops[0].src.n == 0 &&
+		ops[1].kind == "stop"
+}
+
+func isLenPlus1(op *wOp, x *wVal) bool {
+	return op.kind == "uvarint" && op.src != nil && op.src.kind == "add" && op.src.n == 1 &&
+		op.src.base != nil && op.src.base.kind == "len" && sameWVal(op.src.base.base, x)
+}
+
+func isU8Const(op *wOp, v int64) bool {
+	return op.kind == "u8" && len(op.bits) == 0 &&
+		op.src != nil && op.src.kind == "const" && op.src.n == v
+}
+
+func isU8ConstStop(ops []*wOp, v int64) bool {
+	return len(ops) == 2 && isU8Const(ops[0], v) && ops[1].kind == "stop"
+}
+
+func isStringVal(v *wVal) bool {
+	if v == nil || v.typ == nil {
+		return false
+	}
+	b, ok := v.typ.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func sortedBits(bits []*WireBit) []*WireBit {
+	out := append([]*WireBit(nil), bits...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Mask < out[j].Mask })
+	return out
+}
+
+// interpEnvelopeEncoder runs the generic encoder interpreter over the
+// package-level envelope encoder (buffer + message parameters instead of a
+// receiver) and reports the message type it encodes.
+func (x *wirePkg) interpEnvelopeEncoder(decl *ast.FuncDecl) ([]*WireField, string, []wireNote) {
+	var notes []wireNote
+	e := x.newEncInterp(decl, &notes)
+	if e == nil {
+		return nil, "", notes
+	}
+	var subject string
+	for obj, v := range e.env {
+		if v.kind == "root" {
+			if named := namedOf(obj.Type()); named != nil {
+				subject = x.structPath(named)
+			}
+		}
+	}
+	ops := e.block(decl.Body)
+	fields := x.canonEnc(ops, &notes)
+	return fields, subject, notes
+}

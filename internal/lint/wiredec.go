@@ -1,0 +1,899 @@
+package lint
+
+// wiredec.go is the decoder half of the v4 symbolic engine. Decoders in
+// this codebase pull from a latching strict reader (binReader), so the
+// interpreter's job is different from the encoder's: classify each reader
+// method once by its signature and the encoding/binary primitives in its
+// body (u64, uvarint, varint, string, optbytes, slice header, bool), then
+// walk the decoder body emitting one field per read in stream order.
+// Helper decoders (readSpan-style value builders, readSpans-style slice
+// builders, readFrom-style struct fillers) are interpreted once and their
+// summaries spliced or referenced at call sites. The envelope decoder —
+// which reads a raw byte slice through a closure instead of a reader — has
+// its own small interpreter at the bottom of the file.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ---- reader-method classification ----
+
+// readerKind classifies a reader method by the value it decodes; "" means
+// the method is not a recognized read primitive.
+func (x *wirePkg) readerKind(fn types.Object) string {
+	if k, ok := x.readerKinds[fn]; ok {
+		return k
+	}
+	x.readerKinds[fn] = "" // cycle guard
+	k := x.classifyReader(fn)
+	x.readerKinds[fn] = k
+	return k
+}
+
+func (x *wirePkg) classifyReader(fn types.Object) string {
+	decl := x.decls[fn]
+	if decl == nil || decl.Recv == nil || decl.Body == nil {
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return ""
+	}
+	res := sig.Results()
+	switch res.Len() {
+	case 0:
+		return "noop"
+	case 1:
+		t := res.At(0).Type()
+		if isErrorType(t) {
+			return "done"
+		}
+		if isByteSlice(t) {
+			// optBytes-style readers decrement the count (the nil/present
+			// scheme); a plain length-prefixed reader does not.
+			if bodyHasDec(decl.Body) {
+				return wireEncOpt
+			}
+			return wireEncBytes
+		}
+		b, ok := t.Underlying().(*types.Basic)
+		if !ok {
+			return ""
+		}
+		prims := bodyPrims(x.info, decl.Body)
+		switch {
+		case b.Info()&types.IsString != 0:
+			return wireEncString
+		case b.Kind() == types.Bool:
+			return wireEncBool
+		case b.Kind() == types.Int64 && prims["Varint"]:
+			return wireEncVarint
+		case prims["Uvarint"]:
+			return wireEncUvarint
+		case prims["Varint"]:
+			return wireEncVarint
+		case prims["Uint64"]:
+			return wireEncU64
+		case prims["Uint32"]:
+			return wireEncU32
+		case prims["Uint16"]:
+			return wireEncU16
+		}
+		return ""
+	case 2:
+		b0, ok0 := res.At(0).Type().Underlying().(*types.Basic)
+		b1, ok1 := res.At(1).Type().Underlying().(*types.Basic)
+		if ok0 && ok1 && b0.Info()&types.IsInteger != 0 && b1.Kind() == types.Bool {
+			return "sliceheader"
+		}
+	}
+	return ""
+}
+
+// bodyPrims records which encoding/binary decode primitives a body calls.
+func bodyPrims(info *types.Info, body *ast.BlockStmt) map[string]bool {
+	prims := make(map[string]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok {
+			switch sel.Sel.Name {
+			case "Uvarint", "Varint", "Uint64", "Uint32", "Uint16", "ReadUvarint":
+				prims[sel.Sel.Name] = true
+				if sel.Sel.Name == "ReadUvarint" {
+					prims["Uvarint"] = true
+				}
+			}
+		}
+		return true
+	})
+	return prims
+}
+
+func bodyHasDec(body *ast.BlockStmt) bool {
+	has := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if inc, ok := n.(*ast.IncDecStmt); ok && inc.Tok == token.DEC {
+			has = true
+		}
+		if be, ok := n.(*ast.BinaryExpr); ok && be.Op == token.SUB {
+			has = true
+		}
+		return !has
+	})
+	return has
+}
+
+// ---- decoder interpretation ----
+
+// decInterp walks one decoder body, emitting fields in read order.
+type decInterp struct {
+	x      *wirePkg
+	reader types.Object // the strict-reader local
+	root   types.Object // receiver being filled (nil in value helpers)
+	accum  types.Object // local struct accumulator (value helpers)
+	fields []*WireField // emission sink (swapped during loop bodies)
+
+	counts  map[types.Object]token.Pos  // slice-count locals from slice headers
+	present map[types.Object]bool       // presence locals from slice headers
+	flagsAt map[types.Object]*WireField // flag-byte locals -> their emitted field
+	locals  map[types.Object]*WireField // locals holding decoded values
+	result  *WireField                  // what a value/slice helper returns
+
+	sliceName string // destination name for the pending slice field
+	curCond   string // active flag condition
+	inLoop    bool
+	notes     *[]wireNote
+	depth     int
+}
+
+func (x *wirePkg) newDecInterp(notes *[]wireNote, depth int) *decInterp {
+	return &decInterp{
+		x:       x,
+		counts:  make(map[types.Object]token.Pos),
+		present: make(map[types.Object]bool),
+		flagsAt: make(map[types.Object]*WireField),
+		locals:  make(map[types.Object]*WireField),
+		notes:   notes,
+		depth:   depth,
+	}
+}
+
+// interpDecoder interprets an UnmarshalBinary-style method body.
+func (x *wirePkg) interpDecoder(decl *ast.FuncDecl) ([]*WireField, []wireNote) {
+	var notes []wireNote
+	d := x.newDecInterp(&notes, 0)
+	if decl.Recv != nil && len(decl.Recv.List) == 1 && len(decl.Recv.List[0].Names) == 1 {
+		d.root = x.info.Defs[decl.Recv.List[0].Names[0]]
+	}
+	d.stmts(decl.Body.List)
+	return d.fields, notes
+}
+
+func (d *decInterp) note(pos token.Pos, msg string) {
+	*d.notes = append(*d.notes, wireNote{pos, msg})
+}
+
+func (d *decInterp) emit(f *WireField) {
+	if d.curCond != "" && f.Cond == "" {
+		f.Cond = d.curCond
+	}
+	d.fields = append(d.fields, f)
+}
+
+func (d *decInterp) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		d.stmt(s)
+	}
+}
+
+func (d *decInterp) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		d.stmts(s.List)
+	case *ast.DeclStmt:
+		d.declStmt(s)
+	case *ast.AssignStmt:
+		d.assign(s)
+	case *ast.ExprStmt:
+		d.exprStmt(s)
+	case *ast.IfStmt:
+		d.ifStmt(s)
+	case *ast.ForStmt:
+		d.forStmt(s)
+	case *ast.IncDecStmt:
+		// r.off++ and friends: reader-internal bookkeeping.
+	case *ast.ReturnStmt:
+		d.returnStmt(s)
+	default:
+		if d.mentionsReader(s) {
+			d.note(s.Pos(), "unsupported statement reads from the wire")
+		}
+	}
+}
+
+// declStmt registers `var s T` struct accumulators and loop element vars.
+func (d *decInterp) declStmt(s *ast.DeclStmt) {
+	gd, ok := s.Decl.(*ast.GenDecl)
+	if !ok || gd.Tok != token.VAR {
+		return
+	}
+	for _, spec := range gd.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok || len(vs.Values) > 0 {
+			continue
+		}
+		for _, name := range vs.Names {
+			obj := d.x.info.Defs[name]
+			if obj == nil || namedOf(obj.Type()) == nil {
+				continue
+			}
+			if _, isStruct := obj.Type().Underlying().(*types.Struct); !isStruct {
+				continue
+			}
+			if d.inLoop {
+				d.locals[obj] = nil // loop element var, filled by readFrom
+			} else if d.root == nil && d.accum == nil {
+				d.accum = obj
+			}
+		}
+	}
+}
+
+func (d *decInterp) assign(s *ast.AssignStmt) {
+	// r := &binReader{data: data}
+	if s.Tok == token.DEFINE && len(s.Lhs) == 1 && len(s.Rhs) == 1 && d.reader == nil {
+		if un, ok := unparen(s.Rhs[0]).(*ast.UnaryExpr); ok && un.Op == token.AND {
+			if _, isLit := un.X.(*ast.CompositeLit); isLit {
+				if id, ok := s.Lhs[0].(*ast.Ident); ok {
+					d.reader = d.x.info.Defs[id]
+					return
+				}
+			}
+		}
+	}
+	// n, present := r.sliceLen()
+	if len(s.Lhs) == 2 && len(s.Rhs) == 1 {
+		if call, ok := unparen(s.Rhs[0]).(*ast.CallExpr); ok {
+			if callee := d.x.calleeOf(call); callee != nil &&
+				d.readerField(call.Fun) && d.x.readerKind(callee) == "sliceheader" {
+				if id, ok := s.Lhs[0].(*ast.Ident); ok {
+					if obj := objOfInfo(d.x.info, id); obj != nil {
+						d.counts[obj] = call.Pos()
+					}
+				}
+				if id, ok := s.Lhs[1].(*ast.Ident); ok {
+					if obj := objOfInfo(d.x.info, id); obj != nil {
+						d.present[obj] = true
+					}
+				}
+				return
+			}
+		}
+	}
+	if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+		if d.mentionsReader(s) {
+			d.note(s.Pos(), "unsupported multi-assignment reads from the wire")
+		}
+		return
+	}
+	lhs, rhs := s.Lhs[0], unparen(s.Rhs[0])
+
+	// flags := r.data[r.off]  (a raw flag byte peeked off the stream)
+	if s.Tok == token.DEFINE {
+		if idx, ok := rhs.(*ast.IndexExpr); ok && d.readerField(idx.X) {
+			if id, ok := lhs.(*ast.Ident); ok {
+				f := &WireField{Name: id.Name, Enc: wireEncFlags, Bits: []*WireBit{}}
+				d.emit(f)
+				if obj := d.x.info.Defs[id]; obj != nil {
+					d.flagsAt[obj] = f
+				}
+				return
+			}
+		}
+	}
+
+	switch lhs := lhs.(type) {
+	case *ast.SelectorExpr:
+		baseObj := d.exprObj(lhs.X)
+		if baseObj != nil && (baseObj == d.root || baseObj == d.accum) {
+			d.fieldAssign(lhs.Sel.Name, rhs, s.Pos())
+			return
+		}
+		if d.readerField(lhs) || d.readerField(lhs.X) {
+			return // r.off = ..., r.err = ...: reader internals
+		}
+		if d.mentionsReader(s) {
+			d.note(s.Pos(), "wire read assigned outside the decoded message")
+		}
+	case *ast.Ident:
+		obj := objOfInfo(d.x.info, lhs)
+		if obj == nil {
+			return
+		}
+		// X = append(X, elem) is only meaningful inside a counted loop.
+		if call, ok := rhs.(*ast.CallExpr); ok && isBuiltinCall(d.x.info, call, "append") {
+			d.note(s.Pos(), "append outside a counted decode loop")
+			return
+		}
+		if isMakeCall(d.x.info, rhs) {
+			d.locals[obj] = &WireField{Enc: wireEncSlice}
+			return
+		}
+		if f := d.readField(rhs); f != nil {
+			f.Name = lhs.Name
+			d.locals[obj] = f
+			return
+		}
+		if d.mentionsReader(s) {
+			d.note(s.Pos(), "unrecognized wire read")
+		}
+	default:
+		if d.mentionsReader(s) {
+			d.note(s.Pos(), "unsupported assignment reads from the wire")
+		}
+	}
+}
+
+// fieldAssign handles `root.F = rhs` / `accum.F = rhs`.
+func (d *decInterp) fieldAssign(name string, rhs ast.Expr, pos token.Pos) {
+	if isNilIdent(rhs) {
+		d.sliceName = name // the nil arm of a slice decode
+		return
+	}
+	if isMakeCall(d.x.info, rhs) {
+		d.sliceName = name // pre-allocation before the counted loop
+		return
+	}
+	// s.X = flags&C != 0 : a bit extracted from a flags byte.
+	if mask, bit, flagsField := d.flagTest(rhs); flagsField != nil {
+		addBit(&flagsField.Bits, mask, bit)
+		return
+	}
+	if f := d.readField(rhs); f != nil {
+		f.Name = name
+		d.emit(f)
+		return
+	}
+	if d.mentionsReaderExpr(rhs) {
+		d.note(pos, "unrecognized wire read into field "+name)
+	}
+}
+
+// flagTest matches `flags&C != 0` against a tracked flags local.
+func (d *decInterp) flagTest(rhs ast.Expr) (uint64, string, *WireField) {
+	be, ok := unparen(rhs).(*ast.BinaryExpr)
+	if !ok || be.Op != token.NEQ || !isZeroLit(d.x.info, be.Y) {
+		return 0, "", nil
+	}
+	and, ok := unparen(be.X).(*ast.BinaryExpr)
+	if !ok || and.Op != token.AND {
+		return 0, "", nil
+	}
+	id, ok := unparen(and.X).(*ast.Ident)
+	if !ok {
+		return 0, "", nil
+	}
+	f := d.flagsAt[objOfInfo(d.x.info, id)]
+	if f == nil {
+		return 0, "", nil
+	}
+	mask, name, ok := d.x.constBit(and.Y)
+	if !ok {
+		return 0, "", nil
+	}
+	return mask, name, f
+}
+
+// readField resolves an expression that produces a decoded value.
+func (d *decInterp) readField(expr ast.Expr) *WireField {
+	expr = unparen(expr)
+	// Unwrap conversions: int(r.varint()).
+	if call, ok := expr.(*ast.CallExpr); ok {
+		if tv, ok := d.x.info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+			return d.readField(call.Args[0])
+		}
+	}
+	switch expr := expr.(type) {
+	case *ast.CallExpr:
+		callee := d.x.calleeOf(expr)
+		if callee == nil {
+			return nil
+		}
+		if d.readerField(expr.Fun) {
+			switch k := d.x.readerKind(callee); k {
+			case "sliceheader", "done", "noop", "":
+				return nil
+			default:
+				return &WireField{Enc: k}
+			}
+		}
+		// Free helper with a reader argument: readSpan(r), readSpans(r)...
+		if decl := d.x.decls[callee]; decl != nil && decl.Recv == nil && d.callPassesReader(expr) {
+			if sum := d.x.decHelperResult(callee, decl, d.depth); sum != nil {
+				return cloneField(sum)
+			}
+		}
+		return nil
+	case *ast.Ident:
+		if f := d.locals[objOfInfo(d.x.info, expr)]; f != nil {
+			return f
+		}
+		return nil
+	case *ast.IndexExpr:
+		if d.readerField(expr.X) {
+			return &WireField{Enc: wireEncU8}
+		}
+		return nil
+	default:
+		return nil
+	}
+}
+
+// callPassesReader reports whether any argument is the reader local.
+func (d *decInterp) callPassesReader(call *ast.CallExpr) bool {
+	for _, arg := range call.Args {
+		if id, ok := unparen(arg).(*ast.Ident); ok && objOfInfo(d.x.info, id) == d.reader && d.reader != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// exprStmt handles readFrom-style struct fills and reader bookkeeping calls.
+func (d *decInterp) exprStmt(s *ast.ExprStmt) {
+	call, ok := unparen(s.X).(*ast.CallExpr)
+	if !ok {
+		if d.mentionsReader(s) {
+			d.note(s.Pos(), "unsupported expression reads from the wire")
+		}
+		return
+	}
+	callee := d.x.calleeOf(call)
+	if callee == nil {
+		if d.mentionsReader(s) {
+			d.note(s.Pos(), "unresolved call reads from the wire")
+		}
+		return
+	}
+	sel, isSel := unparen(call.Fun).(*ast.SelectorExpr)
+	if isSel && d.readerField(call.Fun) {
+		return // r.fail(...), r.done() as a statement: reader bookkeeping
+	}
+	decl := d.x.decls[callee]
+	if isSel && decl != nil && decl.Recv != nil && d.callPassesReader(call) {
+		sum := d.x.decMethodSummary(callee, decl, d.depth)
+		if sum == nil {
+			d.note(s.Pos(), "cannot interpret the structure decoder "+callee.Name())
+			return
+		}
+		switch recv := unparen(sel.X).(type) {
+		case *ast.Ident:
+			obj := objOfInfo(d.x.info, recv)
+			if obj == d.root && d.root != nil {
+				// q.readFrom(r): the message decodes through its helper.
+				for _, f := range sum.fields {
+					d.emit(cloneField(f))
+				}
+				return
+			}
+			if _, isElem := d.locals[obj]; isElem {
+				d.locals[obj] = &WireField{Enc: wireEncStruct, Ref: sum.ref, Elem: cloneFields(sum.fields)}
+				return
+			}
+		case *ast.SelectorExpr:
+			baseObj := d.exprObj(recv.X)
+			if baseObj != nil && (baseObj == d.root || baseObj == d.accum) {
+				d.emit(&WireField{
+					Name: recv.Sel.Name, Enc: wireEncStruct, Ref: sum.ref, Elem: cloneFields(sum.fields),
+				})
+				return
+			}
+		}
+	}
+	if d.mentionsReader(s) {
+		d.note(s.Pos(), "unrecognized call reads from the wire")
+	}
+}
+
+func (d *decInterp) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		d.stmt(s.Init)
+	}
+	cond := unparen(s.Cond)
+
+	// if !present { dst = nil; return ... } : the slice nil arm.
+	if un, ok := cond.(*ast.UnaryExpr); ok && un.Op == token.NOT {
+		if id, ok := unparen(un.X).(*ast.Ident); ok && d.present[objOfInfo(d.x.info, id)] {
+			for _, st := range s.Body.List {
+				if as, ok := st.(*ast.AssignStmt); ok && len(as.Lhs) == 1 && len(as.Rhs) == 1 && isNilIdent(as.Rhs[0]) {
+					if sel, ok := as.Lhs[0].(*ast.SelectorExpr); ok {
+						d.sliceName = sel.Sel.Name
+					}
+				}
+			}
+			return
+		}
+	}
+
+	if be, ok := cond.(*ast.BinaryExpr); ok && be.Op == token.NEQ && isZeroLit(d.x.info, be.Y) {
+		// if flags&^(A|B) != 0 { fail } : a validity mask defining the bits.
+		if andnot, ok := unparen(be.X).(*ast.BinaryExpr); ok && andnot.Op == token.AND_NOT {
+			if id, ok := unparen(andnot.X).(*ast.Ident); ok {
+				if f := d.flagsAt[objOfInfo(d.x.info, id)]; f != nil {
+					for _, bit := range d.x.collectBits(andnot.Y) {
+						addBit(&f.Bits, bit.Mask, bit.Name)
+					}
+					return
+				}
+			}
+		}
+		// if flags&C != 0 { conditional reads } : a flag-gated field group.
+		if and, ok := unparen(be.X).(*ast.BinaryExpr); ok && and.Op == token.AND {
+			if id, ok := unparen(and.X).(*ast.Ident); ok {
+				if f := d.flagsAt[objOfInfo(d.x.info, id)]; f != nil {
+					if mask, name, ok := d.x.constBit(and.Y); ok {
+						addBit(&f.Bits, mask, name)
+						saved := d.curCond
+						d.curCond = name
+						d.stmts(s.Body.List)
+						d.curCond = saved
+						return
+					}
+				}
+			}
+		}
+	}
+
+	// Reader-state guards (r.err == nil && r.off < len(r.data)): interpret
+	// both arms; reads happen in the success arm, failure arms only fail.
+	before := len(d.fields)
+	d.stmts(s.Body.List)
+	switch el := s.Else.(type) {
+	case *ast.BlockStmt:
+		d.stmts(el.List)
+	case *ast.IfStmt:
+		d.stmt(el)
+	}
+	if len(d.fields) > before && !d.condMentionsReader(cond) {
+		d.note(s.Pos(), "conditional wire read with an unrecognized condition")
+	}
+}
+
+// condMentionsReader reports whether a condition inspects reader state,
+// which marks it as a bounds/error guard rather than a layout branch.
+func (d *decInterp) condMentionsReader(cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && d.reader != nil && objOfInfo(d.x.info, id) == d.reader {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// forStmt interprets a counted decode loop.
+func (d *decInterp) forStmt(s *ast.ForStmt) {
+	countObj := d.loopCount(s.Cond)
+	if countObj == nil {
+		if d.mentionsReader(s) {
+			d.note(s.Pos(), "loop reads from the wire without a recognized count bound")
+		}
+		return
+	}
+	saved, savedLoop := d.fields, d.inLoop
+	d.fields, d.inLoop = nil, true
+
+	var elem *WireField
+	var targetSel string
+	var targetLocal *WireField
+	for _, st := range s.Body.List {
+		as, ok := st.(*ast.AssignStmt)
+		if ok && len(as.Lhs) == 1 && len(as.Rhs) == 1 {
+			if call, isCall := unparen(as.Rhs[0]).(*ast.CallExpr); isCall && isBuiltinCall(d.x.info, call, "append") && len(call.Args) == 2 {
+				switch lhs := as.Lhs[0].(type) {
+				case *ast.SelectorExpr:
+					targetSel = lhs.Sel.Name
+				case *ast.Ident:
+					targetLocal = d.locals[objOfInfo(d.x.info, lhs)]
+				}
+				elemExpr := unparen(call.Args[1])
+				if id, isID := elemExpr.(*ast.Ident); isID {
+					elem = d.locals[objOfInfo(d.x.info, id)]
+				} else {
+					elem = d.readField(elemExpr)
+				}
+				if elem == nil {
+					d.note(st.Pos(), "unrecognized element read in decode loop")
+				}
+				continue
+			}
+		}
+		d.stmt(st)
+	}
+	loopEmitted := d.fields
+	d.fields, d.inLoop = saved, savedLoop
+
+	if elem == nil && len(loopEmitted) > 0 {
+		// Loop body decoded straight into fields (no append): not modeled.
+		d.note(s.Pos(), "decode loop writes fields without appending to a slice")
+		return
+	}
+	if elem == nil {
+		return
+	}
+	slice := &WireField{Enc: wireEncSlice, Name: targetSel}
+	if slice.Name == "" {
+		slice.Name = d.sliceName
+	}
+	if elem.Enc == wireEncStruct {
+		slice.Ref = elem.Ref
+		slice.Elem = elem.Elem
+	} else {
+		slice.Elem = []*WireField{elem}
+	}
+	d.sliceName = ""
+	if targetLocal != nil {
+		*targetLocal = *slice
+		return
+	}
+	d.emit(slice)
+}
+
+// loopCount extracts the count local bounding `for j := 0; j < n && ...`.
+func (d *decInterp) loopCount(cond ast.Expr) types.Object {
+	var found types.Object
+	ast.Inspect(cond, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || be.Op != token.LSS {
+			return true
+		}
+		if id, ok := unparen(be.Y).(*ast.Ident); ok {
+			if obj := objOfInfo(d.x.info, id); obj != nil {
+				if _, isCount := d.counts[obj]; isCount {
+					found = obj
+				}
+			}
+		}
+		return found == nil
+	})
+	return found
+}
+
+func (d *decInterp) returnStmt(s *ast.ReturnStmt) {
+	for _, res := range s.Results {
+		id, ok := unparen(res).(*ast.Ident)
+		if !ok {
+			continue
+		}
+		obj := objOfInfo(d.x.info, id)
+		if obj == nil {
+			continue
+		}
+		if obj == d.accum && d.accum != nil {
+			named := namedOf(obj.Type())
+			d.result = &WireField{Enc: wireEncStruct, Elem: d.fields}
+			if named != nil {
+				d.result.Ref = named.Obj().Name()
+			}
+			return
+		}
+		if f := d.locals[obj]; f != nil {
+			d.result = f
+			return
+		}
+	}
+}
+
+// ---- helper summaries ----
+
+// decMethodSummary interprets (once) a readFrom-style struct-filling method.
+func (x *wirePkg) decMethodSummary(callee types.Object, decl *ast.FuncDecl, depth int) *wireStructSummary {
+	if sum, ok := x.decCache[callee]; ok {
+		return sum
+	}
+	x.decCache[callee] = nil // cycle guard
+	if depth > 16 {
+		return nil
+	}
+	var named *types.Named
+	if len(decl.Recv.List[0].Names) == 1 {
+		if obj := x.info.Defs[decl.Recv.List[0].Names[0]]; obj != nil {
+			named = namedOf(obj.Type())
+		}
+	}
+	if named == nil {
+		return nil
+	}
+	var notes []wireNote
+	d := x.newDecInterp(&notes, depth+1)
+	if len(decl.Recv.List[0].Names) == 1 {
+		d.root = x.info.Defs[decl.Recv.List[0].Names[0]]
+	}
+	d.reader = readerParam(x.info, decl)
+	d.stmts(decl.Body.List)
+	sum := &wireStructSummary{
+		ref:    named.Obj().Name(),
+		spath:  x.structPath(named),
+		fields: d.fields,
+		pos:    decl.Pos(),
+		notes:  notes,
+	}
+	x.decCache[callee] = sum
+	x.addStructEntry(sum, false)
+	return sum
+}
+
+// decHelperResult interprets (once) a free helper decoder and returns the
+// field it produces: a struct for value builders, a slice for slice
+// builders.
+func (x *wirePkg) decHelperResult(callee types.Object, decl *ast.FuncDecl, depth int) *WireField {
+	if sum, ok := x.decCache[callee]; ok {
+		if sum == nil || len(sum.notes) > 0 {
+			return nil
+		}
+		return sum.result()
+	}
+	x.decCache[callee] = nil // cycle guard
+	if depth > 16 {
+		return nil
+	}
+	var notes []wireNote
+	d := x.newDecInterp(&notes, depth+1)
+	d.reader = readerParam(x.info, decl)
+	d.stmts(decl.Body.List)
+	if d.result == nil {
+		notes = append(notes, wireNote{decl.Pos(), "helper decoder returns no recognized value"})
+	}
+	sum := &wireStructSummary{pos: decl.Pos(), notes: notes, resultField: d.result}
+	if d.result != nil && d.result.Enc == wireEncStruct && d.accum != nil {
+		if named := namedOf(d.accum.Type()); named != nil {
+			sum.ref = named.Obj().Name()
+			sum.spath = x.structPath(named)
+			sum.fields = d.result.Elem
+			x.addStructEntry(sum, false)
+		}
+	}
+	x.decCache[callee] = sum
+	if len(notes) > 0 {
+		return nil
+	}
+	return sum.result()
+}
+
+// readerParam finds a decl's strict-reader parameter (a pointer to a named
+// struct that is not the message itself).
+func readerParam(info *types.Info, decl *ast.FuncDecl) types.Object {
+	if decl.Type.Params == nil {
+		return nil
+	}
+	for _, fl := range decl.Type.Params.List {
+		for _, name := range fl.Names {
+			obj := info.Defs[name]
+			if obj == nil {
+				continue
+			}
+			if _, isPtr := obj.Type().(*types.Pointer); isPtr && namedOf(obj.Type()) != nil {
+				return obj
+			}
+		}
+	}
+	return nil
+}
+
+// ---- shared object/expression helpers ----
+
+func objOfInfo(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return info.Defs[id]
+}
+
+// exprObj resolves a plain identifier expression to its object.
+func (d *decInterp) exprObj(e ast.Expr) types.Object {
+	id, ok := unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return objOfInfo(d.x.info, id)
+}
+
+// readerField reports whether e is a selector on the reader local (r.data,
+// r.off, r.err).
+func (d *decInterp) readerField(e ast.Expr) bool {
+	sel, ok := unparen(e).(*ast.SelectorExpr)
+	if !ok || d.reader == nil {
+		return false
+	}
+	id, ok := unparen(sel.X).(*ast.Ident)
+	return ok && objOfInfo(d.x.info, id) == d.reader
+}
+
+func (d *decInterp) mentionsReader(s ast.Stmt) bool {
+	if d.reader == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(s, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && objOfInfo(d.x.info, id) == d.reader {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func (d *decInterp) mentionsReaderExpr(e ast.Expr) bool {
+	if d.reader == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && objOfInfo(d.x.info, id) == d.reader {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// collectBits gathers the named constant bits of an OR expression
+// (spanFlagRouteAround|spanFlagOwner).
+func (x *wirePkg) collectBits(e ast.Expr) []*WireBit {
+	var out []*WireBit
+	var walk func(e ast.Expr)
+	walk = func(e ast.Expr) {
+		e = unparen(e)
+		if be, ok := e.(*ast.BinaryExpr); ok && be.Op == token.OR {
+			walk(be.X)
+			walk(be.Y)
+			return
+		}
+		if mask, name, ok := x.constBit(e); ok {
+			out = append(out, &WireBit{Mask: mask, Name: name})
+		}
+	}
+	walk(e)
+	return out
+}
+
+func isBuiltinCall(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, isBuiltin := info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+func isMakeCall(info *types.Info, e ast.Expr) bool {
+	call, ok := unparen(e).(*ast.CallExpr)
+	return ok && isBuiltinCall(info, call, "make")
+}
+
+func cloneField(f *WireField) *WireField {
+	if f == nil {
+		return nil
+	}
+	c := *f
+	c.Bits = append([]*WireBit(nil), f.Bits...)
+	c.Elem = cloneFields(f.Elem)
+	return &c
+}
+
+func cloneFields(fields []*WireField) []*WireField {
+	if fields == nil {
+		return nil
+	}
+	out := make([]*WireField, len(fields))
+	for i, f := range fields {
+		out[i] = cloneField(f)
+	}
+	return out
+}

@@ -1,0 +1,112 @@
+package lint
+
+// wiredocparse.go reads the field tables out of docs/WIRE.md for the
+// wiredoc check. The document's structure-by-convention: a bold
+// "**name**" lead-in names a message or structure, and the next fenced
+// code block holds its field table, one "name  encoding  comment" row per
+// line (two or more spaces between columns). A "slice of:" encoding nests
+// its element rows at a small indent; deeply indented lines are wrapped
+// comment text. Markdown headings reset the pending name so prose bolds
+// under a different section never claim a stray fence.
+
+import "strings"
+
+// wireDocRow is one documented field.
+type wireDocRow struct {
+	name    string
+	enc     string       // scalar token, "optional bytes", "slice", or a structure reference
+	elemRef string       // the X of slice<X>
+	elems   []wireDocRow // the inline element rows of "slice of:"
+}
+
+// wireDocBlock is one documented message/structure layout.
+type wireDocBlock struct {
+	name string
+	rows []wireDocRow
+}
+
+// parseWireDoc extracts every documented field table.
+func parseWireDoc(text string) []wireDocBlock {
+	var blocks []wireDocBlock
+	lines := strings.Split(text, "\n")
+	pending := ""
+	for i := 0; i < len(lines); i++ {
+		line := lines[i]
+		switch {
+		case strings.HasPrefix(line, "#"):
+			pending = ""
+		case strings.HasPrefix(line, "**"):
+			rest := line[2:]
+			if end := strings.Index(rest, "**"); end > 0 {
+				pending = rest[:end]
+			}
+		case strings.HasPrefix(line, "```"):
+			end := i + 1
+			for end < len(lines) && !strings.HasPrefix(lines[end], "```") {
+				end++
+			}
+			if pending != "" {
+				blocks = append(blocks, wireDocBlock{
+					name: pending,
+					rows: parseWireDocRows(lines[i+1 : min(end, len(lines))]),
+				})
+				pending = ""
+			}
+			i = end
+		}
+	}
+	return blocks
+}
+
+// parseWireDocRows parses the rows of one fenced field table.
+func parseWireDocRows(lines []string) []wireDocRow {
+	var rows []wireDocRow
+	for _, line := range lines {
+		trimmed := strings.TrimLeft(line, " ")
+		if trimmed == "" {
+			continue
+		}
+		indent := len(line) - len(trimmed)
+		if indent > 4 {
+			continue // wrapped comment text
+		}
+		cols := splitDocColumns(trimmed)
+		if len(cols) < 2 {
+			continue
+		}
+		row := wireDocRow{name: cols[0]}
+		switch enc := cols[1]; {
+		case enc == "slice of:":
+			row.enc = wireEncSlice
+		case strings.HasPrefix(enc, "slice<") && strings.HasSuffix(enc, ">"):
+			row.enc = wireEncSlice
+			row.elemRef = enc[len("slice<") : len(enc)-1]
+		default:
+			row.enc = enc
+		}
+		if indent > 0 && len(rows) > 0 && rows[len(rows)-1].enc == wireEncSlice {
+			last := &rows[len(rows)-1]
+			last.elems = append(last.elems, row)
+			continue
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// splitDocColumns splits a table row on runs of two or more spaces.
+func splitDocColumns(s string) []string {
+	var cols []string
+	for s != "" {
+		cut := strings.Index(s, "  ")
+		if cut < 0 {
+			cols = append(cols, strings.TrimSpace(s))
+			break
+		}
+		if col := strings.TrimSpace(s[:cut]); col != "" {
+			cols = append(cols, col)
+		}
+		s = strings.TrimLeft(s[cut:], " ")
+	}
+	return cols
+}

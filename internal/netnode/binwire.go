@@ -34,6 +34,13 @@ import (
 // errBinWire is wrapped by every binary decode failure in this file.
 var errBinWire = errors.New("netnode: malformed binary payload")
 
+// maxDecodePrealloc caps the capacity a decoder reserves up front from a
+// wire-declared element count. The count itself is still honored — append
+// grows past the cap if the payload really carries that many elements — but
+// a hostile header claiming 2^60 elements over a few bytes of payload can
+// no longer reserve gigabytes before the truncation error surfaces.
+const maxDecodePrealloc = 4096
+
 // Compile-time interface checks: these are the payloads the binary wire
 // protocol encodes natively.
 var (
@@ -302,7 +309,7 @@ func readSpans(r *binReader) []telemetry.Span {
 	if !present {
 		return nil
 	}
-	spans := make([]telemetry.Span, 0, n)
+	spans := make([]telemetry.Span, 0, min(n, maxDecodePrealloc))
 	for j := 0; j < n && r.err == nil; j++ {
 		spans = append(spans, readSpan(r))
 	}
@@ -442,7 +449,7 @@ func (p *fetchResp) UnmarshalBinary(data []byte) error {
 		p.Values = nil
 		return r.done()
 	}
-	p.Values = make([]fetchValue, 0, n)
+	p.Values = make([]fetchValue, 0, min(n, maxDecodePrealloc))
 	for j := 0; j < n && r.err == nil; j++ {
 		p.Values = append(p.Values, readFetchValue(r))
 	}

@@ -108,7 +108,7 @@ func (p *syncTreeResp) UnmarshalBinary(data []byte) error {
 		p.Leaves = nil
 		return r.done()
 	}
-	p.Leaves = make([]uint64, 0, n)
+	p.Leaves = make([]uint64, 0, min(n, maxDecodePrealloc))
 	for j := 0; j < n && r.err == nil; j++ {
 		p.Leaves = append(p.Leaves, r.u64())
 	}
@@ -143,7 +143,7 @@ func (q *syncKeysReq) UnmarshalBinary(data []byte) error {
 		q.Buckets = nil
 		return r.done()
 	}
-	q.Buckets = make([]int, 0, n)
+	q.Buckets = make([]int, 0, min(n, maxDecodePrealloc))
 	for j := 0; j < n && r.err == nil; j++ {
 		q.Buckets = append(q.Buckets, int(r.uvarint()))
 	}
@@ -191,7 +191,7 @@ func (p *syncKeysResp) UnmarshalBinary(data []byte) error {
 		p.Items = nil
 		return r.done()
 	}
-	p.Items = make([]syncItem, 0, n)
+	p.Items = make([]syncItem, 0, min(n, maxDecodePrealloc))
 	for j := 0; j < n && r.err == nil; j++ {
 		p.Items = append(p.Items, readSyncItem(r))
 	}
@@ -242,7 +242,7 @@ func (p *syncPullResp) UnmarshalBinary(data []byte) error {
 		p.Entries = nil
 		return r.done()
 	}
-	p.Entries = make([]storeReq2, 0, n)
+	p.Entries = make([]storeReq2, 0, min(n, maxDecodePrealloc))
 	for j := 0; j < n && r.err == nil; j++ {
 		var e storeReq2
 		e.readFrom(r)

@@ -161,6 +161,12 @@ func FuzzBinWireDecode(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
 	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0})
+	// Schema-guided corpus: one valid minimal encoding per message type per
+	// wire version, synthesized from the committed schema baseline, so no
+	// decoder path starts uncovered.
+	for _, seed := range loadSchemaSeeds(f) {
+		f.Add(seed)
+	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		var i Info
 		_ = i.UnmarshalBinary(data)
@@ -174,6 +180,20 @@ func FuzzBinWireDecode(f *testing.F) {
 		_ = fq.UnmarshalBinary(data)
 		var fp fetchResp
 		_ = fp.UnmarshalBinary(data)
+		var s2 storeReq2
+		_ = s2.UnmarshalBinary(data)
+		var tq syncTreeReq
+		_ = tq.UnmarshalBinary(data)
+		var tp syncTreeResp
+		_ = tp.UnmarshalBinary(data)
+		var kq syncKeysReq
+		_ = kq.UnmarshalBinary(data)
+		var kp syncKeysResp
+		_ = kp.UnmarshalBinary(data)
+		var pq syncPullReq
+		_ = pq.UnmarshalBinary(data)
+		var pp syncPullResp
+		_ = pp.UnmarshalBinary(data)
 	})
 }
 

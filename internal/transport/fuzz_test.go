@@ -10,8 +10,39 @@ import (
 	"testing"
 	"time"
 
+	"github.com/canon-dht/canon/internal/lint"
 	"github.com/canon-dht/canon/internal/transport"
 )
+
+// envelopeSchemaSeed synthesizes a minimal valid envelope — every flag bit
+// set, every conditional field present — from the committed wire-schema
+// baseline, so the fuzz corpus always covers the full envelope layout and
+// TestEnvelopeSchemaSeedDecodes proves the baseline matches the decoder.
+func envelopeSchemaSeed(tb testing.TB) []byte {
+	tb.Helper()
+	s, err := lint.LoadWireSchema("../../docs/wire.schema.json")
+	if err != nil {
+		tb.Fatalf("load wire schema baseline: %v", err)
+	}
+	m := s.MessageByName("envelope")
+	if m == nil {
+		tb.Fatal("wire schema baseline has no envelope entry; regenerate it with canonvet -write-schema")
+	}
+	return m.Seed()
+}
+
+// TestEnvelopeSchemaSeedDecodes proves the schema-synthesized envelope seed
+// is accepted by the real decoder with all optional fields populated.
+func TestEnvelopeSchemaSeedDecodes(t *testing.T) {
+	seed := envelopeSchemaSeed(t)
+	msg, err := transport.DecodeBinaryMessage(seed)
+	if err != nil {
+		t.Fatalf("schema envelope seed (% x) does not decode: %v", seed, err)
+	}
+	if msg.Type == "" || msg.Nonce == "" || msg.Error == "" || len(msg.Payload) == 0 {
+		t.Errorf("schema envelope seed decoded with optional fields missing: %+v", msg)
+	}
+}
 
 // FuzzMessageDecode ensures arbitrary payload bytes never panic Decode.
 func FuzzMessageDecode(f *testing.F) {
@@ -79,6 +110,12 @@ func FuzzBinaryJSONDifferential(f *testing.F) {
 	})
 }
 
+// rawBinary re-encodes already-binary payload bytes verbatim, standing in
+// for the typed Body a decoded envelope no longer has.
+type rawBinary []byte
+
+func (r rawBinary) AppendBinary(buf []byte) ([]byte, error) { return append(buf, r...), nil }
+
 // FuzzBinaryMessageDecode ensures arbitrary envelope bytes never panic the
 // binary decoder, and that anything it accepts re-encodes losslessly.
 func FuzzBinaryMessageDecode(f *testing.F) {
@@ -90,13 +127,22 @@ func FuzzBinaryMessageDecode(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{0x0f, 0x01, 'a'})
 	f.Add([]byte{0xff, 0xff, 0xff})
+	f.Add(envelopeSchemaSeed(f))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		msg, err := transport.DecodeBinaryMessage(data)
 		if err != nil {
 			return
 		}
-		// Accepted envelopes must survive a second round trip unchanged.
-		reenc, err := transport.AppendBinaryMessage(nil, msg)
+		// Accepted envelopes must survive a second round trip unchanged. A
+		// decoded binary payload carries no typed Body, and the codec
+		// (deliberately) refuses to re-encode without one — stand in the raw
+		// bytes, which is what a relaying transport would forward.
+		reencIn := msg
+		if msg.PayloadCodec == transport.PayloadBinary {
+			reencIn.Body = rawBinary(msg.Payload)
+			reencIn.Payload = nil
+		}
+		reenc, err := transport.AppendBinaryMessage(nil, reencIn)
 		if err != nil {
 			t.Fatalf("re-encode of accepted envelope: %v", err)
 		}
