@@ -49,6 +49,7 @@ func run(args []string) (err error) {
 	var (
 		listen    = fs.String("listen", ":7001", "TCP listen address")
 		domain    = fs.String("domain", "", "hierarchical domain name, e.g. stanford/cs/db")
+		geometry  = fs.String("geometry", "", "routing geometry: crescendo, kandy or cacophony (empty = crescendo); mixed-geometry clusters stay correct")
 		join      = fs.String("join", "", "address of an existing node to join through")
 		nodeID    = fs.Uint64("id", 0, "node identifier (0 = random)")
 		stabevery = fs.Duration("stabilize", 2*time.Second, "stabilization interval")
@@ -118,6 +119,7 @@ func run(args []string) (err error) {
 	}
 	cfg := canon.LiveConfig{
 		Name:              *domain,
+		Geometry:          *geometry,
 		Transport:         tr,
 		SuccessorListLen:  *succlist,
 		ReplicationFactor: *replicas,

@@ -8,10 +8,12 @@
 //
 // Experiments: fig3 fig4 fig5 fig6 fig7 fig8 fig9 (the paper's evaluation),
 // variants lookahead balance caching resilience resilience-live trace-live
-// churn groups live (ablations and extensions), route (hop-by-hop explainer), verify (one PASS/FAIL line
-// per paper claim) and all. Sizes default to the paper's sweeps; use -sizes
-// and -n to scale down for a quick run, and -format csv|json for machine
-// output.
+// churn groups live geometries (ablations and extensions), route (hop-by-hop
+// explainer), verify (one PASS/FAIL line per paper claim) and all. Sizes
+// default to the paper's sweeps; use -sizes and -n to scale down for a quick
+// run, and -format csv|json for machine output. The live experiments run the
+// geometry named by -geometry (crescendo, kandy or cacophony); `geometries`
+// compares all three under the same workload, loss and churn.
 package main
 
 import (
@@ -47,9 +49,10 @@ func run(args []string) error {
 		levels  = fs.String("levels", "1,2,3,4,5", "comma-separated hierarchy depths")
 		sources = fs.Int("sources", 1000, "multicast sources (fig9)")
 		format  = fs.String("format", "text", "output format: text, csv or json")
+		geom    = fs.String("geometry", "", "routing geometry for the live experiments: crescendo, kandy or cacophony (empty = crescendo)")
 	)
 	fs.Usage = func() {
-		fmt.Fprintln(fs.Output(), "usage: canonsim [flags] fig3|fig4|fig5|fig6|fig7|fig8|fig9|variants|lookahead|balance|caching|resilience|resilience-live|trace-live|churn|groups|live|route|verify|all")
+		fmt.Fprintln(fs.Output(), "usage: canonsim [flags] fig3|fig4|fig5|fig6|fig7|fig8|fig9|variants|lookahead|balance|caching|resilience|resilience-live|trace-live|churn|groups|live|geometries|route|verify|all")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -64,6 +67,7 @@ func run(args []string) error {
 		Fanout:       *fanout,
 		ZipfExponent: *zipf,
 		RoutePairs:   *pairs,
+		Geometry:     *geom,
 	}
 	sweep := experiments.DefaultSizes
 	if *sizes != "" {
@@ -164,13 +168,21 @@ func run(args []string) error {
 			t, err := experiments.Live(cfg, liveSizes, "org/dept")
 			return show(t, err)
 		},
+		"geometries": func() error {
+			liveN := 64
+			if *sizes != "" {
+				liveN = sweep[len(sweep)-1]
+			}
+			t, err := experiments.GeometryCompare(cfg, liveN, 0.2)
+			return show(t, err)
+		},
 	}
 	name := fs.Arg(0)
 	if name == "route" {
 		return showRoute(cfg, *n, lvls[len(lvls)-1])
 	}
 	if name == "all" {
-		for _, key := range []string{"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "variants", "lookahead", "balance", "caching", "resilience", "resilience-live", "trace-live", "churn", "groups", "live"} {
+		for _, key := range []string{"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "variants", "lookahead", "balance", "caching", "resilience", "resilience-live", "trace-live", "churn", "groups", "live", "geometries"} {
 			if err := experimentsByName[key](); err != nil {
 				return fmt.Errorf("%s: %w", key, err)
 			}

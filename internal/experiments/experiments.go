@@ -26,6 +26,10 @@ type Config struct {
 	// RoutePairs is the number of sampled source/destination pairs per
 	// measurement (default 2000).
 	RoutePairs int
+	// Geometry selects the routing geometry the live experiments run
+	// ("crescendo", "kandy" or "cacophony"; empty = crescendo). The
+	// analytical experiments ignore it — they model link rules directly.
+	Geometry string
 }
 
 // Defaults returns the paper's parameters.

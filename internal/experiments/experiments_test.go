@@ -482,3 +482,61 @@ func TestLiveResilienceTable(t *testing.T) {
 		t.Errorf("retries per lookup should rise with loss: %v", retries)
 	}
 }
+
+// TestTraceLiveAllGeometries holds the paper's Section 3.2 structural route
+// guarantees on a live traced cluster for every routing geometry: TraceLive
+// itself fails on any locality or proxy-convergence violation, so each
+// geometry must come back clean — the hierarchy invariants are properties of
+// the shared ring substrate, not of Crescendo's particular long links.
+func TestTraceLiveAllGeometries(t *testing.T) {
+	for _, geom := range []string{"crescendo", "kandy", "cacophony"} {
+		t.Run(geom, func(t *testing.T) {
+			cfg := smallCfg()
+			cfg.Geometry = geom
+			tbl, err := TraceLive(cfg, 32, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, name := range []string{"out-of-domain hop violations", "distinct-proxy violations"} {
+				for _, s := range tbl.Series {
+					if s.Name == name && len(s.Y) > 0 && s.Y[0] != 0 {
+						t.Errorf("%s: %s = %v, want 0", geom, name, s.Y[0])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestGeometryCompareTable runs the three-way geometry comparison at a small
+// size and checks the cross-geometry invariants: every geometry keeps its
+// locality violations at zero and stays routable under loss and churn.
+func TestGeometryCompareTable(t *testing.T) {
+	tbl, err := GeometryCompare(smallCfg(), 32, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range tbl.Series {
+		if len(s.Y) == 0 {
+			t.Fatalf("series %q is empty", s.Name)
+		}
+		switch {
+		case strings.HasSuffix(s.Name, "locality violations"):
+			if s.Y[0] != 0 {
+				t.Errorf("%s = %v, want 0", s.Name, s.Y[0])
+			}
+		case strings.HasSuffix(s.Name, "success under loss"):
+			if s.Y[0] < 0.95 {
+				t.Errorf("%s = %v, want >= 0.95", s.Name, s.Y[0])
+			}
+		case strings.HasSuffix(s.Name, "post-churn success"):
+			if s.Y[0] < 0.90 {
+				t.Errorf("%s = %v, want >= 0.90", s.Name, s.Y[0])
+			}
+		case strings.HasSuffix(s.Name, "links per node"):
+			if s.Y[0] <= 0 {
+				t.Errorf("%s = %v, want > 0", s.Name, s.Y[0])
+			}
+		}
+	}
+}

@@ -1,0 +1,227 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/canon-dht/canon/internal/metrics"
+	"github.com/canon-dht/canon/internal/netnode"
+	"github.com/canon-dht/canon/internal/transport"
+)
+
+// GeometryCompare puts the three live routing geometries (docs/GEOMETRY.md)
+// side by side under identical conditions: for each of Crescendo, Kandy and
+// Cacophony it builds the same n-node four-domain cluster from the same
+// seed, then reports loss-free lookup hops, routing-state size (links per
+// node), lookup success under the given message-loss rate, locality
+// violations counted from wire spans, and lookup success after a churn
+// batch crashes an eighth of the cluster. The workload (origins and keys)
+// is identical across geometries, so every difference in a row is the
+// geometry's doing.
+func GeometryCompare(cfg Config, n int, loss float64) (*metrics.Table, error) {
+	cfg = cfg.withDefaults()
+	tbl := &metrics.Table{
+		Title:  fmt.Sprintf("Routing geometries compared, %d nodes, %.0f%% loss", n, loss*100),
+		XLabel: "nodes",
+	}
+	geoms := []string{netnode.GeometryCrescendo, netnode.GeometryKandy, netnode.GeometryCacophony}
+	for _, geom := range geoms {
+		row, err := geometryCompareAt(cfg, geom, n, loss)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", geom, err)
+		}
+		add := func(metric string, v float64) {
+			s := &metrics.Series{Name: geom + " " + metric}
+			s.Append(float64(n), v)
+			tbl.AddSeries(s)
+		}
+		add("hops (loss-free)", row.hops)
+		add("links per node", row.links)
+		add("success under loss", row.lossSuccess)
+		add("locality violations", float64(row.localityViolations))
+		add("post-churn success", row.churnSuccess)
+	}
+	tbl.AddNote("same seed, domains and workload per geometry; loss injected by seeded FaultyTransport")
+	tbl.AddNote("churn batch crashes n/8 nodes; success measured after re-stabilization")
+	tbl.AddNote("Section 3.2 locality must hold for every geometry: violations must be 0")
+	return tbl, nil
+}
+
+// geometryRow is one geometry's measurements.
+type geometryRow struct {
+	hops               float64
+	links              float64
+	lossSuccess        float64
+	localityViolations int
+	churnSuccess       float64
+}
+
+func geometryCompareAt(cfg Config, geom string, n int, loss float64) (*geometryRow, error) {
+	bus := transport.NewBus()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ctx := context.Background()
+
+	nodes := make([]*netnode.Node, 0, n)
+	faulties := make([]*transport.Faulty, 0, n)
+	closed := make([]bool, n)
+	defer func() {
+		for i, nd := range nodes {
+			if !closed[i] {
+				_ = nd.Close()
+			}
+		}
+	}()
+	byDomain := make(map[string][]*netnode.Node)
+	for i := 0; i < n; i++ {
+		name := traceLiveDomains[i%len(traceLiveDomains)]
+		ft := transport.NewFaulty(bus.Endpoint(fmt.Sprintf("geom-%s-%d", geom, i)), cfg.Seed+int64(i), transport.Faults{})
+		nd, err := netnode.New(netnode.Config{
+			Name:      name,
+			RandomID:  true,
+			Rand:      rng,
+			Transport: ft,
+			Geometry:  geom,
+			Retry: netnode.RetryPolicy{
+				MaxAttempts: 3,
+				BaseBackoff: time.Millisecond,
+				MaxBackoff:  4 * time.Millisecond,
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		contact := ""
+		if i > 0 {
+			contact = nodes[0].Info().Addr
+		}
+		if err := nd.Join(ctx, contact); err != nil {
+			_ = nd.Close()
+			return nil, fmt.Errorf("join node %d: %w", i, err)
+		}
+		nodes = append(nodes, nd)
+		faulties = append(faulties, ft)
+		byDomain[name] = append(byDomain[name], nd)
+		if i%8 == 7 {
+			for _, m := range nodes {
+				m.StabilizeOnce(ctx)
+			}
+		}
+	}
+	settle := func(rounds int) {
+		for r := 0; r < rounds; r++ {
+			for i, m := range nodes {
+				if !closed[i] {
+					m.StabilizeOnce(ctx)
+				}
+			}
+			for i, m := range nodes {
+				if !closed[i] {
+					m.FixFingers(ctx)
+				}
+			}
+		}
+	}
+	settle(6)
+
+	row := &geometryRow{}
+
+	// Routing-state size: long links plus all per-level successor lists.
+	var totalLinks int
+	for _, nd := range nodes {
+		totalLinks += len(nd.Fingers())
+		for l := 0; l <= nd.Levels(); l++ {
+			totalLinks += len(nd.Successors(l))
+		}
+	}
+	row.links = float64(totalLinks) / float64(n)
+
+	// Fixed workload so every phase and geometry resolves identical queries.
+	lookups := cfg.RoutePairs
+	if lookups > 300 {
+		lookups = 300
+	}
+	wrng := rand.New(rand.NewSource(cfg.Seed + 1))
+	origins := make([]int, lookups)
+	keys := make([]uint64, lookups)
+	for i := range keys {
+		origins[i] = wrng.Intn(n)
+		keys[i] = uint64(wrng.Uint32())
+	}
+
+	// Loss-free baseline: owners are ground truth for the loss phase.
+	owners := make([]string, lookups)
+	var hops metrics.Stream
+	for i := 0; i < lookups; i++ {
+		owner, h, err := nodes[origins[i]].LookupHops(ctx, keys[i], "")
+		if err != nil {
+			return nil, fmt.Errorf("loss-free lookup: %w", err)
+		}
+		owners[i] = owner.Addr
+		hops.Add(float64(h))
+	}
+	row.hops = hops.Mean()
+
+	// Locality: intra-domain traced lookups must never leave the domain.
+	for i := 0; i < 100; i++ {
+		domain := traceLiveDomains[i%len(traceLiveDomains)]
+		members := byDomain[domain]
+		src := members[wrng.Intn(len(members))]
+		_, tr, err := src.TracedLookup(ctx, uint64(wrng.Uint32()), domain)
+		if err != nil {
+			return nil, fmt.Errorf("traced lookup: %w", err)
+		}
+		if tr.OutOfDomainHops(domain) > 0 {
+			row.localityViolations++
+		}
+	}
+
+	// Same workload under message loss; success = same owner as loss-free.
+	for _, ft := range faulties {
+		ft.SetFaults(transport.Faults{Drop: loss})
+	}
+	ok := 0
+	for i := 0; i < lookups; i++ {
+		owner, _, err := nodes[origins[i]].LookupHops(ctx, keys[i], "")
+		if err == nil && owner.Addr == owners[i] {
+			ok++
+		}
+	}
+	row.lossSuccess = float64(ok) / float64(lookups)
+	for _, ft := range faulties {
+		ft.SetFaults(transport.Faults{})
+	}
+
+	// Churn batch: crash n/8 nodes (never the workload's contact node 0),
+	// re-stabilize, and replay the workload from surviving origins. Success
+	// now means the lookup completes and lands on a live node — ownership
+	// legitimately moves when owners die.
+	alive := make(map[string]bool, n)
+	for _, nd := range nodes {
+		alive[nd.Info().Addr] = true
+	}
+	for k := 0; k < n/8; k++ {
+		victim := 1 + wrng.Intn(n-1)
+		if closed[victim] {
+			continue
+		}
+		delete(alive, nodes[victim].Info().Addr)
+		_ = nodes[victim].Close()
+		closed[victim] = true
+	}
+	settle(4)
+	ok = 0
+	for i := 0; i < lookups; i++ {
+		src := origins[i]
+		for closed[src] {
+			src = (src + 1) % n
+		}
+		owner, _, err := nodes[src].LookupHops(ctx, keys[i], "")
+		if err == nil && alive[owner.Addr] {
+			ok++
+		}
+	}
+	row.churnSuccess = float64(ok) / float64(lookups)
+	return row, nil
+}

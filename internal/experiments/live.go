@@ -58,6 +58,7 @@ func liveAt(cfg Config, n int, levelsPath string) (avgHopCount, maintPerNode flo
 			RandomID:  true,
 			Rand:      rng,
 			Transport: bus.Endpoint(fmt.Sprintf("live-%d-%d", n, i)),
+			Geometry:  cfg.Geometry,
 		})
 		if nerr != nil {
 			return 0, 0, nerr

@@ -158,6 +158,7 @@ func newLossCluster(cfg Config, n int) (*lossCluster, error) {
 			RandomID:  true,
 			Rand:      rng,
 			Transport: ft,
+			Geometry:  cfg.Geometry,
 			Retry: netnode.RetryPolicy{
 				MaxAttempts: 3,
 				BaseBackoff: time.Millisecond,

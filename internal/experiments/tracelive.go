@@ -47,6 +47,7 @@ func TraceLive(cfg Config, n, sources int) (*metrics.Table, error) {
 			RandomID:  true,
 			Rand:      rng,
 			Transport: bus.Endpoint(fmt.Sprintf("trace-%d", i)),
+			Geometry:  cfg.Geometry,
 		})
 		if err != nil {
 			return nil, err

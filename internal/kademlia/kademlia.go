@@ -52,12 +52,22 @@ func (g *Geometry) Metric() core.Metric { return core.MetricXOR }
 // Distance implements core.Geometry.
 func (g *Geometry) Distance(a, b id.ID) uint64 { return g.space.XOR(a, b) }
 
+// BucketTarget returns the canonical identifier of bucket k as seen from m:
+// m with its k-th bit (counting from the least significant) flipped, the
+// identifier at XOR distance exactly 2^k. Every member of the bucket — XOR
+// distance in [2^k, 2^(k+1)) — shares the target's top Bits()-k-1 bits, so
+// it is the natural probe target for a live bucket-refresh lookup (Kandy's
+// bucketProbe) as well as the anchor of the offline bucketRange enumeration.
+func BucketTarget(space id.Space, m id.ID, k uint) id.ID {
+	return space.FlipBit(m, space.Bits()-1-k)
+}
+
 // bucketRange returns the member-position range of ring members at XOR
 // distance in [2^k, 2^(k+1)) from m: those sharing m's top (bits-k-1) bits
 // and differing at the next bit — a contiguous identifier range.
 func (g *Geometry) bucketRange(ring *core.Ring, m id.ID, k uint) (lo, hi int) {
 	j := g.space.Bits() - 1 - k // MSB-first index of the differing bit
-	prefix := g.space.Prefix(g.space.FlipBit(m, j), j+1)
+	prefix := g.space.Prefix(BucketTarget(g.space, m, k), j+1)
 	return ring.PrefixRangePos(prefix, j+1)
 }
 

@@ -212,6 +212,7 @@ func DefaultConfig(module string) *Config {
 		WireVersionFiles: map[string]int{
 			"binwire.go":  1,
 			"binwire2.go": 2,
+			"binwire3.go": 3,
 			"codec.go":    1,
 		},
 		WireDocPath:      "docs/WIRE.md",

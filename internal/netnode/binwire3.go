@@ -1,0 +1,140 @@
+package netnode
+
+import (
+	"encoding/binary"
+
+	"github.com/canon-dht/canon/internal/transport"
+)
+
+// Binary marshaling for the payloads introduced at wire version 3: the
+// geometry maintenance protocol (docs/WIRE.md §9) — Kandy's bucket-refresh
+// probe and Cacophony's lookahead neighbor exchange. They follow the
+// conventions documented in binwire.go. Like the v2 additions, these are new
+// message types — a peer that does not know a type never parses it — so the
+// layouts are unambiguous without any version byte in the payload.
+
+// Compile-time interface checks for the v3 binary payloads.
+var (
+	_ transport.BinaryAppender = bucketRefReq{}
+	_ transport.BinaryAppender = bucketRefResp{}
+	_ transport.BinaryAppender = lookaheadReq{}
+	_ transport.BinaryAppender = lookaheadResp{}
+)
+
+// ---- shared slice helpers ----
+
+func appendInfos(b []byte, infos []Info) []byte {
+	b = appendSliceLen(b, len(infos), infos == nil)
+	for _, i := range infos {
+		b = i.appendTo(b)
+	}
+	return b
+}
+
+func readInfos(r *binReader) []Info {
+	n, present := r.sliceLen()
+	if !present {
+		return nil
+	}
+	out := make([]Info, 0, min(n, maxDecodePrealloc))
+	for j := 0; j < n && r.err == nil; j++ {
+		var i Info
+		i.readFrom(r)
+		out = append(out, i)
+	}
+	return out
+}
+
+// appendUvarints encodes a slice of small counters (ring-size estimates) as
+// uvarints.
+func appendUvarints(b []byte, vs []uint64) []byte {
+	b = appendSliceLen(b, len(vs), vs == nil)
+	for _, v := range vs {
+		b = binary.AppendUvarint(b, v)
+	}
+	return b
+}
+
+func readUvarints(r *binReader) []uint64 {
+	n, present := r.sliceLen()
+	if !present {
+		return nil
+	}
+	out := make([]uint64, 0, min(n, maxDecodePrealloc))
+	for j := 0; j < n && r.err == nil; j++ {
+		out = append(out, r.uvarint())
+	}
+	return out
+}
+
+// ---- bucketref ----
+
+// AppendBinary implements transport.BinaryAppender.
+func (q bucketRefReq) AppendBinary(b []byte) ([]byte, error) {
+	b = appendStr(b, q.Prefix)
+	b = appendU64(b, q.Target)
+	return b, nil
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (q bucketRefReq) MarshalBinary() ([]byte, error) { return q.AppendBinary(nil) }
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (q *bucketRefReq) UnmarshalBinary(data []byte) error {
+	r := &binReader{data: data}
+	q.Prefix = r.str()
+	q.Target = r.u64()
+	return r.done()
+}
+
+// AppendBinary implements transport.BinaryAppender.
+func (p bucketRefResp) AppendBinary(b []byte) ([]byte, error) {
+	return appendInfos(b, p.Contacts), nil
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (p bucketRefResp) MarshalBinary() ([]byte, error) { return p.AppendBinary(nil) }
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (p *bucketRefResp) UnmarshalBinary(data []byte) error {
+	r := &binReader{data: data}
+	p.Contacts = readInfos(r)
+	return r.done()
+}
+
+// ---- lookahead ----
+
+// AppendBinary implements transport.BinaryAppender.
+func (q lookaheadReq) AppendBinary(b []byte) ([]byte, error) {
+	b = binary.AppendVarint(b, int64(q.Levels))
+	return b, nil
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (q lookaheadReq) MarshalBinary() ([]byte, error) { return q.AppendBinary(nil) }
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (q *lookaheadReq) UnmarshalBinary(data []byte) error {
+	r := &binReader{data: data}
+	q.Levels = int(r.varint())
+	return r.done()
+}
+
+// AppendBinary implements transport.BinaryAppender. Estimates are node
+// counts, usually small, so they ride as uvarints.
+func (p lookaheadResp) AppendBinary(b []byte) ([]byte, error) {
+	b = appendInfos(b, p.Succs)
+	b = appendUvarints(b, p.Ests)
+	return b, nil
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (p lookaheadResp) MarshalBinary() ([]byte, error) { return p.AppendBinary(nil) }
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (p *lookaheadResp) UnmarshalBinary(data []byte) error {
+	r := &binReader{data: data}
+	p.Succs = readInfos(r)
+	p.Ests = readUvarints(r)
+	return r.done()
+}

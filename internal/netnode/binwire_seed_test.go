@@ -35,19 +35,23 @@ func loadSchemaSeeds(tb testing.TB) map[string][]byte {
 // the codecs (or removed) without updating the baseline fails this test.
 func TestSchemaSeedsDecode(t *testing.T) {
 	decoders := map[string]interface{ UnmarshalBinary([]byte) error }{
-		"Info":              &Info{},
-		"lookup request":    &lookupReq{},
-		"lookup response":   &lookupResp{},
-		"store request":     &storeReq{},
-		"fetch request":     &fetchReq{},
-		"fetch response":    &fetchResp{},
-		"store2 request":    &storeReq2{},
-		"synctree request":  &syncTreeReq{},
-		"synctree response": &syncTreeResp{},
-		"synckeys request":  &syncKeysReq{},
-		"synckeys response": &syncKeysResp{},
-		"syncpull request":  &syncPullReq{},
-		"syncpull response": &syncPullResp{},
+		"Info":               &Info{},
+		"lookup request":     &lookupReq{},
+		"lookup response":    &lookupResp{},
+		"store request":      &storeReq{},
+		"fetch request":      &fetchReq{},
+		"fetch response":     &fetchResp{},
+		"store2 request":     &storeReq2{},
+		"synctree request":   &syncTreeReq{},
+		"synctree response":  &syncTreeResp{},
+		"synckeys request":   &syncKeysReq{},
+		"synckeys response":  &syncKeysResp{},
+		"syncpull request":   &syncPullReq{},
+		"syncpull response":  &syncPullResp{},
+		"bucketref request":  &bucketRefReq{},
+		"bucketref response": &bucketRefResp{},
+		"lookahead request":  &lookaheadReq{},
+		"lookahead response": &lookaheadResp{},
 	}
 	seeds := loadSchemaSeeds(t)
 	for name, seed := range seeds {

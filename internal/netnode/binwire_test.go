@@ -131,6 +131,43 @@ func TestBinWireStoreFetchRoundTrip(t *testing.T) {
 	}
 }
 
+// TestBinWireGeometryRoundTrip covers the v3 geometry-maintenance payloads:
+// every representable value — including the nil-vs-empty slice distinction —
+// must survive the binary round trip exactly as JSON preserves it.
+func TestBinWireGeometryRoundTrip(t *testing.T) {
+	infos := []Info{{ID: 1, Name: "a", Addr: "x:1"}, {ID: 2, Name: "b/c", Addr: "y:2"}}
+	var bq bucketRefReq
+	roundTrip(t, bucketRefReq{Prefix: "stanford/cs", Target: ^uint64(0)}, &bq)
+	if bq.Prefix != "stanford/cs" || bq.Target != ^uint64(0) {
+		t.Errorf("bucketRefReq round-tripped to %+v", bq)
+	}
+	for _, in := range []bucketRefResp{{}, {Contacts: []Info{}}, {Contacts: infos}} {
+		var out bucketRefResp
+		roundTrip(t, in, &out)
+		if !jsonEq(t, in, out) {
+			t.Errorf("bucketRefResp %+v round-tripped to %+v", in, out)
+		}
+	}
+	for _, in := range []lookaheadReq{{}, {Levels: 3}} {
+		var out lookaheadReq
+		roundTrip(t, in, &out)
+		if !jsonEq(t, in, out) {
+			t.Errorf("lookaheadReq %+v round-tripped to %+v", in, out)
+		}
+	}
+	for _, in := range []lookaheadResp{
+		{},
+		{Succs: []Info{}, Ests: []uint64{}},
+		{Succs: infos, Ests: []uint64{2, 1 << 40, 0}},
+	} {
+		var out lookaheadResp
+		roundTrip(t, in, &out)
+		if !jsonEq(t, in, out) {
+			t.Errorf("lookaheadResp %+v round-tripped to %+v", in, out)
+		}
+	}
+}
+
 // TestBinWireStrictDecoding pins the strictness guarantees: trailing bytes
 // and truncations must error, never silently decode.
 func TestBinWireStrictDecoding(t *testing.T) {
@@ -194,6 +231,14 @@ func FuzzBinWireDecode(f *testing.F) {
 		_ = pq.UnmarshalBinary(data)
 		var pp syncPullResp
 		_ = pp.UnmarshalBinary(data)
+		var bq bucketRefReq
+		_ = bq.UnmarshalBinary(data)
+		var bp bucketRefResp
+		_ = bp.UnmarshalBinary(data)
+		var aq lookaheadReq
+		_ = aq.UnmarshalBinary(data)
+		var ap lookaheadResp
+		_ = ap.UnmarshalBinary(data)
 	})
 }
 

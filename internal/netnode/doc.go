@@ -1,12 +1,24 @@
-// Package netnode implements a live, networked Crescendo node: the dynamic
-// side of the paper (Section 2.3). Nodes carry hierarchical names
-// ("stanford/cs/db"), maintain successor lists (leaf sets) and a predecessor
-// at every level of their domain chain, and build their finger tables with
-// the Canon rule — full Chord fingers inside the lowest-level domain, and at
-// each higher level only fingers shorter than the distance to the
-// lower-level successor. Lookups are forwarded greedily clockwise,
-// constrained to a domain, so intra-domain path locality holds on the wire
-// exactly as in the analytical model.
+// Package netnode implements a live, networked Canon node: the dynamic side
+// of the paper (Section 2.3), generic over a pluggable routing geometry
+// (Sections 5-6). Nodes carry hierarchical names ("stanford/cs/db") and
+// maintain successor lists (leaf sets) and a predecessor at every level of
+// their domain chain — the geometry-independent ring substrate that defines
+// ownership. On top of it, Config.Geometry selects how long links are built
+// and how a forwarding hop picks among them:
+//
+//   - Crescendo (the default): Canonical Chord — powers-of-two fingers
+//     under the merge bound, maximal clockwise advance.
+//   - Kandy: Canonical Kademlia — one contact per XOR bucket refreshed by
+//     iterative bucket probes, level-major XOR-nearest next hop.
+//   - Cacophony: Canonical Symphony — harmonic long links against an
+//     estimated ring size, 1-lookahead next hop fed by a periodic
+//     neighbor exchange.
+//
+// Every geometry forwards within the clockwise advance-without-overshoot
+// window under the Section 2.2 link-retention rule, so lookups terminate,
+// resolve to the same owner, interoperate across mixed-geometry clusters,
+// and keep intra-domain path locality on the wire exactly as in the
+// analytical model. The written geometry contract is docs/GEOMETRY.md.
 //
 // Bootstrap uses the paper's third suggestion: membership hints are stored
 // in the DHT itself, under a key derived from each domain's name.
@@ -19,7 +31,10 @@
 // encoding.BinaryUnmarshaler in binwire.go, so binary-mux connections carry
 // them in the compact encoding specified in docs/WIRE.md §4. Both forms are
 // maintained in lockstep; the differential fuzzers in binwire_test.go hold
-// them to byte-level agreement on everything JSON can represent.
+// them to byte-level agreement on everything JSON can represent. The
+// storage-sync payloads are wire version 2 (binwire2.go, docs/WIRE.md §8)
+// and the geometry maintenance payloads are wire version 3 (binwire3.go,
+// docs/WIRE.md §9).
 //
 // # Resilience
 //

@@ -1,0 +1,61 @@
+package netnode
+
+import (
+	"context"
+
+	"github.com/canon-dht/canon/internal/id"
+)
+
+// crescendoGeometry is Canonical Chord (paper Section 3), the default
+// geometry: clockwise metric, powers-of-two fingers under the merge bound,
+// maximal clockwise advance as the next-hop choice (the forwardSet fast
+// path).
+type crescendoGeometry struct{}
+
+func (crescendoGeometry) kind() geomKind { return geomCrescendo }
+func (crescendoGeometry) name() string   { return GeometryCrescendo }
+
+// maintain implements geometry: Crescendo's links need nothing beyond
+// fixLinks and ring stabilization.
+func (crescendoGeometry) maintain(context.Context, *Node) {}
+
+// fixLinks rebuilds the finger table with the Canon rule: full Chord fingers
+// within the leaf domain, and at every higher level only fingers strictly
+// shorter than the distance to the lower level's successor.
+func (crescendoGeometry) fixLinks(ctx context.Context, n *Node) {
+	fingers := make(map[uint64]Info)
+	bound := n.space.Size()
+	for l := n.levels; l >= 0; l-- {
+		prefix := prefixAt(n.self.Name, l)
+		for k := uint(0); k < n.space.Bits(); k++ {
+			step := uint64(1) << k
+			if step >= bound {
+				break
+			}
+			target := uint64(n.space.Add(id.ID(n.self.ID), step))
+			resp, err := n.lookupFrom(ctx, n.self, uint64(n.space.Sub(id.ID(target), 1)), prefix)
+			if err != nil {
+				continue
+			}
+			cand := resp.Succ
+			if cand.IsZero() || cand.Addr == n.self.Addr {
+				continue
+			}
+			d := n.clockwise(n.self.ID, cand.ID)
+			if d >= step && d < bound {
+				fingers[cand.ID] = cand
+			}
+		}
+		// The next (higher-level) merge keeps only links shorter than our
+		// successor distance at this level.
+		n.mu.Lock()
+		if len(n.succs[l]) > 0 && n.succs[l][0].Addr != n.self.Addr {
+			bound = n.clockwise(n.self.ID, n.succs[l][0].ID)
+		}
+		n.mu.Unlock()
+	}
+	n.mu.Lock()
+	n.fingers = fingers
+	n.publishRoutingLocked()
+	n.mu.Unlock()
+}

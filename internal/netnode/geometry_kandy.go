@@ -1,0 +1,179 @@
+package netnode
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"github.com/canon-dht/canon/internal/id"
+	"github.com/canon-dht/canon/internal/kademlia"
+	"github.com/canon-dht/canon/internal/transport"
+)
+
+// kandyGeometry is Canonical Kademlia (paper Section 5.1): XOR metric, one
+// long link per XOR bucket, and at every merge only candidates whose XOR
+// distance beats the shortest link the node already keeps
+// (kademlia.Geometry). Next-hop choice ranks the clockwise
+// advance-without-overshoot window by XOR distance to the key — the
+// iterative-friendly "closest known contact" order real Kademlia uses — in
+// forwardSetScored.
+type kandyGeometry struct{}
+
+const (
+	// bucketProbeSeeds is how many of the node's own XOR-nearest contacts a
+	// bucket probe starts from.
+	bucketProbeSeeds = 3
+	// bucketRefFanout bounds the contacts one bucket-refresh response
+	// carries, like Kademlia's k closest.
+	bucketRefFanout = 8
+)
+
+func (kandyGeometry) kind() geomKind { return geomKandy }
+func (kandyGeometry) name() string   { return GeometryKandy }
+
+// maintain implements geometry: Kandy's bucket-refresh probes run inside
+// fixLinks, so there is no separate maintenance round.
+func (kandyGeometry) maintain(context.Context, *Node) {}
+
+// fixLinks rebuilds the node's long links with the Kademlia bucket rule
+// under the Canon merge bound: within the leaf domain one representative per
+// XOR bucket [2^k, 2^(k+1)), and at every higher level only buckets below
+// the XOR distance of the shortest link kept at the level beneath
+// (kademlia.Geometry.Bound).
+func (kandyGeometry) fixLinks(ctx context.Context, n *Node) {
+	fingers := make(map[uint64]Info)
+	bound := n.space.Size()
+	for l := n.levels; l >= 0; l-- {
+		prefix := prefixAt(n.self.Name, l)
+		for k := uint(0); k < n.space.Bits(); k++ {
+			low := uint64(1) << k
+			if low >= bound {
+				break // every remaining bucket lies entirely beyond the bound
+			}
+			target := uint64(kademlia.BucketTarget(n.space, id.ID(n.self.ID), k))
+			cand := n.bucketProbe(ctx, prefix, target)
+			if cand.IsZero() || cand.Addr == n.self.Addr {
+				continue
+			}
+			d := n.space.XOR(id.ID(n.self.ID), id.ID(cand.ID))
+			if d >= low && d < low<<1 && d < bound {
+				fingers[cand.ID] = cand
+			}
+		}
+		// The next (higher-level) merge keeps only links whose XOR distance
+		// beats the shortest link this level ends up with: the level's ring
+		// successor and the bucket links just kept.
+		n.mu.Lock()
+		if len(n.succs[l]) > 0 && n.succs[l][0].Addr != n.self.Addr {
+			if d := n.space.XOR(id.ID(n.self.ID), id.ID(n.succs[l][0].ID)); d < bound {
+				bound = d
+			}
+		}
+		n.mu.Unlock()
+		for _, f := range fingers {
+			if d := n.space.XOR(id.ID(n.self.ID), id.ID(f.ID)); d < bound {
+				bound = d
+			}
+		}
+	}
+	n.mu.Lock()
+	n.fingers = fingers
+	n.publishRoutingLocked()
+	n.mu.Unlock()
+}
+
+// bucketProbe runs a short iterative probe — the live analog of Kademlia
+// FIND_NODE — for the contact XOR-nearest to target within the domain named
+// prefix: it seeds from the XOR-nearest contacts of the node's own routing
+// view, asks each for the contacts *they* know nearest the target, then asks
+// the best contact discovered. Two rounds suffice because the probe only
+// needs a bucket representative, not the global XOR minimum.
+func (n *Node) bucketProbe(ctx context.Context, prefix string, target uint64) Info {
+	v := n.routing.Load()
+	l, ok := v.levelOf(prefix)
+	if !ok {
+		return Info{}
+	}
+	var best Info
+	var bestD uint64
+	consider := func(c Info) {
+		if c.IsZero() || c.Addr == n.self.Addr || !inDomain(c.Name, prefix) {
+			return
+		}
+		d := n.space.XOR(id.ID(c.ID), id.ID(target))
+		if best.IsZero() || d < bestD {
+			best, bestD = c, d
+		}
+	}
+	queried := make(map[string]bool, bucketProbeSeeds+1)
+	ask := func(c Info) {
+		if c.IsZero() || queried[c.Addr] {
+			return
+		}
+		queried[c.Addr] = true
+		req, err := transport.NewMessage(msgBucketRef, bucketRefReq{Prefix: prefix, Target: target})
+		if err != nil {
+			return
+		}
+		raw, err := n.call(ctx, c.Addr, req)
+		if err != nil {
+			return
+		}
+		var resp bucketRefResp
+		if err := raw.Decode(&resp); err != nil {
+			return
+		}
+		for _, got := range resp.Contacts {
+			consider(got)
+		}
+	}
+	seeds := v.xorNearest(target, l, bucketProbeSeeds)
+	for _, s := range seeds {
+		consider(s)
+	}
+	for _, s := range seeds {
+		ask(s)
+	}
+	ask(best)
+	return best
+}
+
+// xorNearest returns up to k distinct contacts from the view's level-l
+// candidate set, XOR-nearest to target (ties by address). Control-plane
+// only; the forwarding hot path never calls it.
+func (v *routingView) xorNearest(target uint64, l, k int) []Info {
+	type scored struct {
+		info Info
+		d    uint64
+	}
+	all := make([]scored, 0, len(v.cands[l]))
+	for _, c := range v.cands[l] {
+		all = append(all, scored{c.info, v.space.XOR(id.ID(c.info.ID), id.ID(target))})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].d != all[j].d {
+			return all[i].d < all[j].d
+		}
+		return all[i].info.Addr < all[j].info.Addr
+	})
+	out := make([]Info, 0, k)
+	for _, s := range all {
+		if len(out) >= k {
+			break
+		}
+		out = append(out, s.info)
+	}
+	return out
+}
+
+// handleBucketRef serves a bucket-refresh probe from the published routing
+// view: the contacts this node knows XOR-nearest to the probe target within
+// the requested domain. No locks — the view is one complete epoch.
+func (n *Node) handleBucketRef(req bucketRefReq) (bucketRefResp, error) {
+	v := n.routing.Load()
+	l, ok := v.levelOf(req.Prefix)
+	if !ok {
+		return bucketRefResp{}, fmt.Errorf("%w: %q does not contain this node", ErrBadDomain, req.Prefix)
+	}
+	return bucketRefResp{Contacts: v.xorNearest(req.Target, l, bucketRefFanout)}, nil
+}

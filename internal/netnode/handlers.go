@@ -149,6 +149,24 @@ func (n *Node) handle(ctx context.Context, from string, msg transport.Message) (
 		n.mu.Unlock()
 		return transport.NewMessage(msgMembers, membersResp{Members: members})
 
+	case msgBucketRef:
+		var req bucketRefReq
+		if err := msg.Decode(&req); err != nil {
+			return transport.Message{}, err
+		}
+		resp, err := n.handleBucketRef(req)
+		if err != nil {
+			return transport.Message{}, err
+		}
+		return transport.NewMessage(msgBucketRef, resp)
+
+	case msgLookahead:
+		var req lookaheadReq
+		if err := msg.Decode(&req); err != nil {
+			return transport.Message{}, err
+		}
+		return transport.NewMessage(msgLookahead, n.handleLookahead(req))
+
 	case msgLeaving:
 		var req leavingReq
 		if err := msg.Decode(&req); err != nil {

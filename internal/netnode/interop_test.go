@@ -17,7 +17,27 @@ import (
 // coexist. Every pair must interoperate: joins cross wire boundaries, puts
 // from a JSON node must be readable from a binary node and vice versa, and
 // binary-mode nodes must have negotiated the binary wire among themselves.
+// The whole scenario runs once per routing geometry, plus once with the
+// geometries themselves mixed across the cluster — geometry governs link
+// construction only, so lookups and storage must interoperate regardless.
 func TestMixedWireCluster(t *testing.T) {
+	configs := []struct {
+		name  string
+		geoms []string
+	}{
+		{"crescendo", []string{"", "", "", "", ""}},
+		{"kandy", []string{netnode.GeometryKandy, netnode.GeometryKandy, netnode.GeometryKandy, netnode.GeometryKandy, netnode.GeometryKandy}},
+		{"cacophony", []string{netnode.GeometryCacophony, netnode.GeometryCacophony, netnode.GeometryCacophony, netnode.GeometryCacophony, netnode.GeometryCacophony}},
+		{"mixed-geometries", []string{netnode.GeometryCrescendo, netnode.GeometryKandy, netnode.GeometryCacophony, netnode.GeometryKandy, netnode.GeometryCrescendo}},
+	}
+	for _, tc := range configs {
+		t.Run(tc.name, func(t *testing.T) {
+			runMixedWireCluster(t, tc.geoms)
+		})
+	}
+}
+
+func runMixedWireCluster(t *testing.T, geoms []string) {
 	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
 	defer cancel()
 	rng := rand.New(rand.NewSource(23))
@@ -40,6 +60,7 @@ func TestMixedWireCluster(t *testing.T) {
 		}
 		n, err := netnode.New(netnode.Config{
 			Name: fmt.Sprintf("mixed/n%d", i), RandomID: true, Rand: rng, Transport: tr,
+			Geometry: geoms[i],
 		})
 		if err != nil {
 			t.Fatal(err)

@@ -41,6 +41,7 @@ var knownMsgTypes = [...]string{
 	msgLookup, msgNeighbors, msgNotify, msgPing, msgStore,
 	msgFetch, msgRegister, msgMembers, msgLeaving,
 	msgStoreV2, msgSyncTree, msgSyncKeys, msgSyncPull, msgRepair,
+	msgBucketRef, msgLookahead,
 }
 
 // nodeMetrics holds the node's cached handles into its telemetry registry.

@@ -51,6 +51,13 @@ type Config struct {
 	Rand *rand.Rand
 	// Transport carries the node's traffic.
 	Transport transport.Transport
+	// Geometry selects the routing geometry: GeometryCrescendo (Chord
+	// fingers, the default when empty), GeometryKandy (XOR buckets) or
+	// GeometryCacophony (harmonic links + 1-lookahead). Every node of a
+	// cluster should run the same geometry; mixed clusters stay correct —
+	// all geometries route clockwise over the same rings and agree on
+	// ownership — but the link structure each side maintains is its own.
+	Geometry string
 	// SuccessorListLen is the per-level leaf-set length (default 4).
 	SuccessorListLen int
 	// RegistrySize bounds the per-domain membership registry (default 8).
@@ -87,12 +94,14 @@ type Config struct {
 	TraceBuffer int
 }
 
-// Node is a live Crescendo participant.
+// Node is a live Canon participant running one of the routing geometries
+// (Crescendo by default; see Config.Geometry).
 type Node struct {
 	cfg    Config
 	space  id.Space
 	self   Info
 	levels int // depth of the leaf domain; chain levels are 0..levels
+	geom   geometry
 	tr     transport.Transport
 	rng    *rand.Rand
 	retry  RetryPolicy
@@ -125,7 +134,15 @@ type Node struct {
 	succs    [][]Info // per level, ascending clockwise from self
 	fingers  map[uint64]Info
 	registry map[string][]Info // domain prefix -> member hints
-	closed   bool
+	// looks and ests are Cacophony's lookahead state, refreshed wholesale by
+	// each exchange round: looks maps (contact address, level) to the
+	// clockwise distance from self to that contact's ring successor there
+	// (flowing into viewCandidate.look); ests holds the per-level average of
+	// the ring-size estimates neighbors reported (0 = none yet). Other
+	// geometries leave both empty.
+	looks  map[lookKey]uint64
+	ests   []uint64
+	closed bool
 
 	loopStop chan struct{}
 	loopDone chan struct{}
@@ -163,6 +180,10 @@ func New(cfg Config) (*Node, error) {
 	if cfg.RegistrySize <= 0 {
 		cfg.RegistrySize = 8
 	}
+	geom, err := geometryByName(cfg.Geometry)
+	if err != nil {
+		return nil, err
+	}
 	levels := len(components(cfg.Name))
 	reg := cfg.Telemetry
 	if reg == nil {
@@ -177,6 +198,7 @@ func New(cfg Config) (*Node, error) {
 		space:    space,
 		self:     Info{ID: nodeID, Name: cfg.Name, Addr: cfg.Transport.Addr()},
 		levels:   levels,
+		geom:     geom,
 		tr:       cfg.Transport,
 		rng:      private,
 		retry:    cfg.Retry.withDefaults(),
@@ -189,6 +211,7 @@ func New(cfg Config) (*Node, error) {
 		succs:    make([][]Info, levels+1),
 		fingers:  make(map[uint64]Info),
 		registry: make(map[string][]Info),
+		ests:     make([]uint64, levels+1),
 	}
 	// A durable store may come back from disk already holding versioned
 	// entries (a canond restart): advance the write clock past every

@@ -21,6 +21,12 @@ type faultyCluster struct {
 
 func newFaultyCluster(t *testing.T, seed int64, n int, name string) *faultyCluster {
 	t.Helper()
+	return newFaultyClusterGeom(t, seed, n, name, "")
+}
+
+// newFaultyClusterGeom is newFaultyCluster with the routing geometry chosen.
+func newFaultyClusterGeom(t *testing.T, seed int64, n int, name, geometry string) *faultyCluster {
+	t.Helper()
 	bus := transport.NewBus()
 	rng := rand.New(rand.NewSource(seed))
 	ctx := context.Background()
@@ -37,6 +43,7 @@ func newFaultyCluster(t *testing.T, seed int64, n int, name string) *faultyClust
 			RandomID:  true,
 			Rand:      rng,
 			Transport: ft,
+			Geometry:  geometry,
 			Retry: netnode.RetryPolicy{
 				MaxAttempts: 4,
 				BaseBackoff: time.Millisecond,
@@ -78,18 +85,25 @@ func (c *faultyCluster) setLoss(rate float64) {
 	}
 }
 
-// TestLookupsSurvive20PctLoss is the PR's acceptance bar: with 20% injected
-// message loss on every link of a 64-node network, at least 99% of 500
-// lookups must still resolve to the same owner the loss-free network
-// reports, powered by retries and route-around — and the retry counters must
-// show that the resilience machinery actually did the work.
+// TestLookupsSurvive20PctLoss is the acceptance bar, held for every routing
+// geometry: with 20% injected message loss on every link of a 64-node
+// network, at least 99% of 500 lookups must still resolve to the same owner
+// the loss-free network reports, powered by retries and route-around — and
+// the retry counters must show that the resilience machinery actually did
+// the work.
 func TestLookupsSurvive20PctLoss(t *testing.T) {
+	for _, geom := range []string{netnode.GeometryCrescendo, netnode.GeometryKandy, netnode.GeometryCacophony} {
+		t.Run(geom, func(t *testing.T) { testLookupsSurvive20PctLoss(t, geom) })
+	}
+}
+
+func testLookupsSurvive20PctLoss(t *testing.T, geometry string) {
 	const (
 		nNodes  = 64
 		lookups = 500
 		loss    = 0.20
 	)
-	c := newFaultyCluster(t, 99, nNodes, "org/dept")
+	c := newFaultyClusterGeom(t, 99, nNodes, "org/dept", geometry)
 	ctx := context.Background()
 	wrng := rand.New(rand.NewSource(7))
 

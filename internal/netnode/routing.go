@@ -45,30 +45,19 @@ func (n *Node) candidates(prefix string) []Info {
 }
 
 // canonAdmissible reports whether the Canon link-retention rule (Section 2.2)
-// admits cand as a greedy routing candidate from this node. A link whose
-// lowest common domain with us sits at depth s leaves our level-(s+1) domain,
-// and the merge that created level s only retains such links when they are
-// strictly shorter than the distance to our successor inside the level-(s+1)
-// ring. FixFingers already builds fingers under this bound; applying the same
-// bound to successor-list and predecessor entries at lookup time is what
-// makes the proxy-convergence theorem (Section 3.2) hold on the live path:
-// without it a node could jump past its own domain's spine through a far
-// global successor-list entry, and different sources would then exit a domain
+// admits cand as a greedy routing candidate from this node, under the node's
+// geometry's metric (geomAdmissible is the shared rule). FixFingers already
+// builds long links under this bound; applying the same bound to
+// successor-list and predecessor entries at lookup time is what makes the
+// proxy-convergence theorem (Section 3.2) hold on the live path: without it
+// a node could jump past its own domain's spine through a far global
+// successor-list entry, and different sources would then exit a domain
 // through different nodes.
 func (n *Node) canonAdmissible(cand Info) bool {
-	s := sharedLevels(n.self.Name, cand.Name)
-	if s >= n.levels {
-		return true // same leaf domain: full Chord links
-	}
 	d := n.clockwise(n.self.ID, cand.ID)
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	for l := s + 1; l <= n.levels; l++ {
-		if len(n.succs[l]) > 0 && n.succs[l][0].Addr != n.self.Addr {
-			return d < n.clockwise(n.self.ID, n.succs[l][0].ID)
-		}
-	}
-	return true // no deeper ring known yet (still joining): no bound to apply
+	return geomAdmissible(n.geom.kind(), n.space, n.self, n.levels, n.succs, cand, d)
 }
 
 // succInDomain returns the node's successor within the domain named prefix,
@@ -309,6 +298,7 @@ func (n *Node) StabilizeOnce(ctx context.Context) {
 	}
 	_ = n.registerSelf(ctx)
 	n.replicateOnce(ctx)
+	n.geom.maintain(ctx, n)
 	n.m.suspects.Set(float64(len(n.health.snapshot())))
 	for l := 1; l <= n.levels; l++ {
 		n.mu.Lock()
@@ -501,43 +491,12 @@ func capList(in []Info, max int) []Info {
 	return in
 }
 
-// FixFingers rebuilds the finger table with the Canon rule: full Chord
-// fingers within the leaf domain, and at every higher level only fingers
-// strictly shorter than the distance to the lower level's successor.
+// FixFingers rebuilds the node's long links with its geometry's link rule
+// under the Canon merge bound (Section 2.2): full links within the leaf
+// domain, and at every higher level only links the geometry's metric ranks
+// strictly shorter than the bound inherited from the level below. The name
+// is Chord's; the work is the geometry's (geometry.fixLinks — Chord fingers
+// for Crescendo, XOR buckets for Kandy, harmonic draws for Cacophony).
 func (n *Node) FixFingers(ctx context.Context) {
-	fingers := make(map[uint64]Info)
-	bound := n.space.Size()
-	for l := n.levels; l >= 0; l-- {
-		prefix := prefixAt(n.self.Name, l)
-		for k := uint(0); k < n.space.Bits(); k++ {
-			step := uint64(1) << k
-			if step >= bound {
-				break
-			}
-			target := uint64(n.space.Add(id.ID(n.self.ID), step))
-			resp, err := n.lookupFrom(ctx, n.self, uint64(n.space.Sub(id.ID(target), 1)), prefix)
-			if err != nil {
-				continue
-			}
-			cand := resp.Succ
-			if cand.IsZero() || cand.Addr == n.self.Addr {
-				continue
-			}
-			d := n.clockwise(n.self.ID, cand.ID)
-			if d >= step && d < bound {
-				fingers[cand.ID] = cand
-			}
-		}
-		// The next (higher-level) merge keeps only links shorter than our
-		// successor distance at this level.
-		n.mu.Lock()
-		if len(n.succs[l]) > 0 && n.succs[l][0].Addr != n.self.Addr {
-			bound = n.clockwise(n.self.ID, n.succs[l][0].ID)
-		}
-		n.mu.Unlock()
-	}
-	n.mu.Lock()
-	n.fingers = fingers
-	n.publishRoutingLocked()
-	n.mu.Unlock()
+	n.geom.fixLinks(ctx, n)
 }

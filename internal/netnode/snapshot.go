@@ -55,6 +55,10 @@ type routingView struct {
 	space  id.Space
 	self   Info
 	levels int
+	// geom is the node's routing geometry: the forwarding decision switches
+	// on it (forwardSet for Crescendo's distance order, forwardSetScored for
+	// Kandy/Cacophony ranking) without dynamic dispatch.
+	geom geomKind
 
 	// prefixes[l] is prefixAt(self.Name, l): the only domain prefixes this
 	// node can serve lookups for.
@@ -67,6 +71,14 @@ type routingView struct {
 	// cands[l] holds every distinct contact inside domain prefixes[l],
 	// sorted ascending by clockwise distance from self (ties by address).
 	cands [][]viewCandidate
+
+	// looks[l][i] is Cacophony's 1-lookahead fact for cands[l][i]: the
+	// clockwise distance from self to that contact's level-l ring successor,
+	// 0 when unknown (no exchange yet, or a non-Cacophony geometry — the
+	// scorer then degrades to the candidate's own advance). Kept parallel to
+	// cands rather than inside viewCandidate so the Crescendo hot path's
+	// candidate copies stay one cache line.
+	looks [][]uint64
 
 	epochSeal uint64
 }
@@ -119,6 +131,9 @@ func (v *routingView) succAt(l int) Info {
 // one (the route-around metric). The call takes no locks and performs no
 // heap allocations — this is the forwarding hot path.
 func (v *routingView) forwardSet(health *healthTracker, key uint64, l int, dst []viewCandidate) (n int, bestAddr string, routedAround bool) {
+	if v.geom != geomCrescendo {
+		return v.forwardSetScored(health, key, l, dst)
+	}
 	rem := v.space.Clockwise(id.ID(v.self.ID), id.ID(key))
 	if rem == 0 {
 		return 0, "", false
@@ -170,6 +185,132 @@ func (v *routingView) forwardSet(health *healthTracker, key uint64, l int, dst [
 	return n, bestAddr, routedAround
 }
 
+// forwardSetScored is forwardSet for the scored geometries (Kandy,
+// Cacophony): instead of the pure distance-descending order, every
+// admissible candidate in the advance-without-overshoot window is ranked by
+// the geometry's score — XOR distance to the key for Kandy, key distance
+// left after the best 1-lookahead advance for Cacophony — lower first, ties
+// toward larger clockwise advance, then address. Health classes work exactly
+// as in forwardSet: preferred candidates outrank every distrusted one, which
+// sink to the back as last-resort spares, and bestAddr names the candidate
+// the scorer ranks first irrespective of health. The call takes no locks and
+// performs no heap allocations — same hot-path contract as forwardSet.
+func (v *routingView) forwardSetScored(health *healthTracker, key uint64, l int, dst []viewCandidate) (n int, bestAddr string, routedAround bool) {
+	rem := v.space.Clockwise(id.ID(v.self.ID), id.ID(key))
+	if rem == 0 {
+		return 0, "", false
+	}
+	cands := v.cands[l]
+	// Same advance-without-overshoot window as forwardSet: candidates[0:lo]
+	// all have 1 <= dist <= rem.
+	lo, hi := 0, len(cands)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if cands[mid].dist <= rem {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	var pref, spare [forwardAttemptLimit]viewCandidate
+	var prefScore, spareScore [forwardAttemptLimit]uint64
+	nPref, nSpare := 0, 0
+	var best viewCandidate
+	var bestScore uint64
+	sawBest, bestPref := false, false
+	for i := 0; i < lo; i++ {
+		c := cands[i]
+		if !c.admissible {
+			continue
+		}
+		s := v.scoreCandidate(c, v.looks[l][i], key, rem)
+		p := health.preferred(c.info.Addr)
+		if !sawBest || v.rankedBefore(s, c, bestScore, best) {
+			sawBest, best, bestScore, bestPref = true, c, s, p
+		}
+		if p {
+			nPref = v.insertRanked(pref[:], prefScore[:], nPref, c, s)
+		} else {
+			nSpare = v.insertRanked(spare[:], spareScore[:], nSpare, c, s)
+		}
+	}
+	for i := 0; i < nPref && n < len(dst); i++ {
+		dst[n] = pref[i]
+		n++
+	}
+	routedAround = sawBest && !bestPref && n > 0
+	for i := 0; i < nSpare && n < len(dst); i++ {
+		dst[n] = spare[i]
+		n++
+	}
+	return n, best.info.Addr, routedAround
+}
+
+// scoreCandidate ranks one window candidate under the view's geometry; lower
+// is better. look is the candidate's parallel looks[l][i] entry.
+func (v *routingView) scoreCandidate(c viewCandidate, look, key, rem uint64) uint64 {
+	if v.geom == geomKandy {
+		return v.space.XOR(id.ID(c.info.ID), id.ID(key))
+	}
+	// Cacophony 1-lookahead: the effective advance through c is c itself, or
+	// c's known ring successor when that lands farther along without
+	// overshooting the key; the score is the key distance left afterwards.
+	eff := c.dist
+	if look > c.dist && look <= rem {
+		eff = look
+	}
+	return rem - eff
+}
+
+// rankedBefore orders (score, candidate) pairs: score ascending, then larger
+// clockwise advance, then address — a strict total order over distinct
+// contacts. Kandy ranks level-major first — candidates in a deeper shared
+// ring beat every shallower one regardless of score — which is the paper's
+// canonical construction (route within the lowest ring while its links still
+// advance, then move up) and what makes routes from one domain converge on a
+// single exit proxy (Section 3.2) instead of leaving wherever an XOR-close
+// outside contact happens to be known.
+func (v *routingView) rankedBefore(s1 uint64, c1 viewCandidate, s2 uint64, c2 viewCandidate) bool {
+	if v.geom == geomKandy && c1.level != c2.level {
+		return c1.level > c2.level
+	}
+	if s1 != s2 {
+		return s1 < s2
+	}
+	if c1.dist != c2.dist {
+		return c1.dist > c2.dist
+	}
+	return c1.info.Addr < c2.info.Addr
+}
+
+// insertRanked inserts c into the first n slots of the fixed rank buffer,
+// keeping it sorted by rankedBefore and dropping the worst entry on
+// overflow; it returns the new occupancy. buf and scores are parallel
+// stack arrays — no heap traffic.
+func (v *routingView) insertRanked(buf []viewCandidate, scores []uint64, n int, c viewCandidate, s uint64) int {
+	j := n
+	for j > 0 && v.rankedBefore(s, c, scores[j-1], buf[j-1]) {
+		j--
+	}
+	if j >= len(buf) {
+		return n
+	}
+	last := n
+	if last >= len(buf) {
+		last = len(buf) - 1
+	}
+	for k := last; k > j; k-- {
+		buf[k] = buf[k-1]
+		scores[k] = scores[k-1]
+	}
+	buf[j] = c
+	scores[j] = s
+	if n < len(buf) {
+		n++
+	}
+	return n
+}
+
 // publishRouting rebuilds and atomically publishes the node's routing view
 // from its mutable tables. Callers that already hold n.mu use
 // publishRoutingLocked.
@@ -188,20 +329,22 @@ func (n *Node) publishRoutingLocked() {
 	if prev := n.routing.Load(); prev != nil {
 		epoch = prev.epoch + 1
 	}
-	n.routing.Store(buildRoutingView(epoch, n.space, n.self, n.levels, n.preds, n.succs, n.fingers))
+	n.routing.Store(buildRoutingView(epoch, n.space, n.self, n.levels, n.geom.kind(),
+		n.preds, n.succs, n.fingers, n.looks))
 }
 
 // buildRoutingView deep-copies the mutable routing tables into a fresh
 // immutable view and precomputes the per-level candidate sets. It is the
 // only function allowed to write routingView/viewCandidate fields.
-func buildRoutingView(epoch uint64, space id.Space, self Info, levels int,
-	preds []Info, succs [][]Info, fingers map[uint64]Info) *routingView {
+func buildRoutingView(epoch uint64, space id.Space, self Info, levels int, geom geomKind,
+	preds []Info, succs [][]Info, fingers map[uint64]Info, looks map[lookKey]uint64) *routingView {
 
 	v := &routingView{
 		epoch:  epoch,
 		space:  space,
 		self:   self,
 		levels: levels,
+		geom:   geom,
 	}
 	v.prefixes = make([]string, levels+1)
 	v.preds = make([]Info, levels+1)
@@ -244,6 +387,7 @@ func buildRoutingView(epoch uint64, space id.Space, self Info, levels int,
 	}
 
 	v.cands = make([][]viewCandidate, levels+1)
+	v.looks = make([][]uint64, levels+1)
 	for l := 0; l <= levels; l++ {
 		prefix := v.prefixes[l]
 		var cl []viewCandidate
@@ -259,7 +403,7 @@ func buildRoutingView(epoch uint64, space id.Space, self Info, levels int,
 				info:       c,
 				dist:       d,
 				level:      sharedLevels(self.Name, c.Name),
-				admissible: admissibleInView(space, self, levels, v.succs, c, d),
+				admissible: admissibleInView(geom, space, self, levels, v.succs, c, d),
 			})
 		}
 		sort.Slice(cl, func(i, j int) bool {
@@ -269,6 +413,11 @@ func buildRoutingView(epoch uint64, space id.Space, self Info, levels int,
 			return cl[i].info.Addr < cl[j].info.Addr
 		})
 		v.cands[l] = cl
+		lk := make([]uint64, len(cl))
+		for i, c := range cl {
+			lk[i] = looks[lookKey{addr: c.info.Addr, level: l}]
+		}
+		v.looks[l] = lk
 	}
 	v.epochSeal = epoch
 	return v
@@ -277,16 +426,8 @@ func buildRoutingView(epoch uint64, space id.Space, self Info, levels int,
 // admissibleInView evaluates the Canon link-retention rule (Section 2.2)
 // against the view's own successor lists; it must agree with the mutex-held
 // canonAdmissible reference for the same write-side state (the snapshot
-// equivalence suite asserts this).
-func admissibleInView(space id.Space, self Info, levels int, succs [][]Info, cand Info, dist uint64) bool {
-	s := sharedLevels(self.Name, cand.Name)
-	if s >= levels {
-		return true // same leaf domain: full Chord links
-	}
-	for l := s + 1; l <= levels; l++ {
-		if len(succs[l]) > 0 && succs[l][0].Addr != self.Addr {
-			return dist < space.Clockwise(id.ID(self.ID), id.ID(succs[l][0].ID))
-		}
-	}
-	return true // no deeper ring known yet (still joining): no bound to apply
+// equivalence suite asserts this). Both sides delegate to geomAdmissible,
+// the single shared rule, so they cannot drift.
+func admissibleInView(geom geomKind, space id.Space, self Info, levels int, succs [][]Info, cand Info, dist uint64) bool {
+	return geomAdmissible(geom, space, self, levels, succs, cand, dist)
 }

@@ -33,8 +33,17 @@ var snapshotDomains = []string{
 // list / predecessor is filled from the peers inside that level's domain.
 func newSnapshotNode(tb testing.TB, peerCount int, seed int64) *Node {
 	tb.Helper()
+	return newSnapshotNodeGeom(tb, peerCount, seed, "")
+}
+
+// newSnapshotNodeGeom is newSnapshotNode with the routing geometry chosen.
+// Cacophony nodes additionally get synthetic 1-lookahead facts for half the
+// peers, so the scorer's look-based branch is exercised, not just its
+// degraded no-exchange path.
+func newSnapshotNodeGeom(tb testing.TB, peerCount int, seed int64, geometry string) *Node {
+	tb.Helper()
 	bus := transport.NewBus()
-	n, err := New(Config{Name: "west/ca/db", ID: 1, Transport: bus.Endpoint("snap-self")})
+	n, err := New(Config{Name: "west/ca/db", ID: 1, Transport: bus.Endpoint("snap-self"), Geometry: geometry})
 	if err != nil {
 		tb.Fatal(err)
 	}
@@ -42,6 +51,16 @@ func newSnapshotNode(tb testing.TB, peerCount int, seed int64) *Node {
 	peers := syntheticPeers(rng, peerCount)
 	n.mu.Lock()
 	installPeers(n, peers)
+	if geometry == GeometryCacophony {
+		n.looks = make(map[lookKey]uint64, len(peers))
+		for l := 0; l <= n.levels; l++ {
+			for i, p := range peers {
+				if i%2 == 0 {
+					n.looks[lookKey{addr: p.Addr, level: l}] = uint64(rng.Uint32())
+				}
+			}
+		}
+	}
 	n.publishRoutingLocked()
 	n.mu.Unlock()
 	return n
@@ -200,72 +219,184 @@ func TestForwardSetMatchesLockedReference(t *testing.T) {
 	}
 }
 
-// forwardSink keeps the compiler from eliding benchmark/alloc-test work.
-var forwardSink atomic.Uint64
-
-// TestForwardDecisionZeroAllocs pins the hot-path guarantee: a complete
-// forwarding decision — snapshot load, prefix-to-level resolution, candidate
-// selection with health consultation — performs zero heap allocations.
-func TestForwardDecisionZeroAllocs(t *testing.T) {
-	n := newSnapshotNode(t, 48, 7)
-	defer n.Close()
-	mask := n.space.Size() - 1
-	var x uint64 = 0x9e3779b97f4a7c15
-	allocs := testing.AllocsPerRun(500, func() {
-		x ^= x << 13
-		x ^= x >> 7
-		x ^= x << 17
-		v := n.routing.Load()
-		level, ok := v.levelOf("west/ca")
-		if !ok {
-			panic("levelOf failed")
+// scoredReferenceForwardSet is a naive O(n log n) re-implementation of the
+// scored forwarding decision — filter the advance-without-overshoot window,
+// rank everything by rankedBefore with a full sort, partition by health —
+// kept as the equivalence reference for forwardSetScored's single-pass
+// fixed-buffer insertion sort.
+func scoredReferenceForwardSet(n *Node, v *routingView, key uint64, l int, dst []viewCandidate) (cnt int, bestAddr string, routedAround bool) {
+	rem := n.clockwise(n.self.ID, key)
+	if rem == 0 {
+		return 0, "", false
+	}
+	type scored struct {
+		c viewCandidate
+		s uint64
+	}
+	var all []scored
+	for i, c := range v.cands[l] {
+		if c.dist == 0 || c.dist > rem || !c.admissible {
+			continue
 		}
-		var order [forwardAttemptLimit]viewCandidate
-		cnt, _, _ := v.forwardSet(n.health, x&mask, level, order[:])
-		forwardSink.Add(uint64(cnt))
-	})
-	if allocs != 0 {
-		t.Fatalf("forwarding decision allocates %.1f objects per run, want 0", allocs)
+		all = append(all, scored{c: c, s: v.scoreCandidate(c, v.looks[l][i], key, rem)})
+	}
+	sort.Slice(all, func(i, j int) bool { return v.rankedBefore(all[i].s, all[i].c, all[j].s, all[j].c) })
+	if len(all) == 0 {
+		return 0, "", false
+	}
+	bestAddr = all[0].c.info.Addr
+	var prefs, spares []viewCandidate
+	for _, sc := range all {
+		if n.health.preferred(sc.c.info.Addr) {
+			prefs = append(prefs, sc.c)
+		} else {
+			spares = append(spares, sc.c)
+		}
+	}
+	for _, c := range prefs {
+		if cnt >= len(dst) {
+			break
+		}
+		dst[cnt] = c
+		cnt++
+	}
+	routedAround = !n.health.preferred(bestAddr) && cnt > 0
+	for _, c := range spares {
+		if cnt >= len(dst) {
+			break
+		}
+		dst[cnt] = c
+		cnt++
+	}
+	return cnt, bestAddr, routedAround
+}
+
+// TestScoredForwardSetMatchesReference drives the scored forwarding decision
+// (Kandy's XOR ranking, Cacophony's 1-lookahead ranking) and the naive
+// sort-everything reference over the same states and keys — with a batch of
+// peers marked failing so both health classes are populated — and requires
+// identical answers: same candidates in the same order, same best address,
+// same route-around verdict.
+func TestScoredForwardSetMatchesReference(t *testing.T) {
+	for _, geom := range []string{GeometryKandy, GeometryCacophony} {
+		t.Run(geom, func(t *testing.T) {
+			for _, peers := range []int{0, 1, 5, 24, 64} {
+				n := newSnapshotNodeGeom(t, peers, int64(300+peers), geom)
+				v := n.routing.Load()
+				// Distrust a third of the peers so preferred/spare
+				// partitioning differs from the all-healthy trivial case.
+				for i, c := range v.cands[0] {
+					if i%3 == 0 {
+						for k := 0; k < 8; k++ {
+							n.health.recordFailure(c.info.Addr)
+						}
+					}
+				}
+				rng := rand.New(rand.NewSource(int64(peers)))
+				for trial := 0; trial < 200; trial++ {
+					key := uint64(rng.Uint32())
+					for l := 0; l <= n.levels; l++ {
+						var got, want [forwardAttemptLimit]viewCandidate
+						gn, gBest, gAround := v.forwardSet(n.health, key, l, got[:])
+						wn, wBest, wAround := scoredReferenceForwardSet(n, v, key, l, want[:])
+						if gn != wn || gBest != wBest || gAround != wAround {
+							t.Fatalf("%s peers=%d key=%d level=%d: scored (n=%d best=%q around=%v) != reference (n=%d best=%q around=%v)",
+								geom, peers, key, l, gn, gBest, gAround, wn, wBest, wAround)
+						}
+						for i := 0; i < gn; i++ {
+							if got[i].info.Addr != want[i].info.Addr {
+								t.Fatalf("%s peers=%d key=%d level=%d cand %d: scored %+v != reference %+v",
+									geom, peers, key, l, i, got[i], want[i])
+							}
+						}
+					}
+				}
+				n.Close()
+			}
+		})
 	}
 }
 
-// TestForwardDecisionMutexFree hammers the forwarding decision from 64
-// goroutines with mutex profiling at full rate and then requires that no
-// mutex-contention sample traces through the hot path. Uncontended locks do
-// not appear in the mutex profile, so the 64-way hammering is the point: any
-// mutex on this path would contend and show up.
-func TestForwardDecisionMutexFree(t *testing.T) {
-	n := newSnapshotNode(t, 48, 11)
-	defer n.Close()
-	old := runtime.SetMutexProfileFraction(1)
-	defer runtime.SetMutexProfileFraction(old)
-	before := forwardPathMutexSamples(t)
+// forwardSink keeps the compiler from eliding benchmark/alloc-test work.
+var forwardSink atomic.Uint64
 
-	mask := n.space.Size() - 1
-	var wg sync.WaitGroup
-	for g := 0; g < 64; g++ {
-		wg.Add(1)
-		go func(g int) {
-			defer wg.Done()
-			x := uint64(g)*0x9e3779b97f4a7c15 + 1
-			var order [forwardAttemptLimit]viewCandidate
-			local := 0
-			for i := 0; i < 20000; i++ {
+// snapshotGeometries enumerates every routing geometry for the hot-path
+// regression tests: the zero-alloc and mutex-free guarantees must hold for
+// the scored forwarding path (Kandy, Cacophony) exactly as for Crescendo's.
+var snapshotGeometries = []string{GeometryCrescendo, GeometryKandy, GeometryCacophony}
+
+// TestForwardDecisionZeroAllocs pins the hot-path guarantee for every
+// geometry: a complete forwarding decision — snapshot load, prefix-to-level
+// resolution, candidate selection with health consultation, scored ranking
+// where the geometry uses one — performs zero heap allocations.
+func TestForwardDecisionZeroAllocs(t *testing.T) {
+	for _, geom := range snapshotGeometries {
+		t.Run(geom, func(t *testing.T) {
+			n := newSnapshotNodeGeom(t, 48, 7, geom)
+			defer n.Close()
+			mask := n.space.Size() - 1
+			var x uint64 = 0x9e3779b97f4a7c15
+			allocs := testing.AllocsPerRun(500, func() {
 				x ^= x << 13
 				x ^= x >> 7
 				x ^= x << 17
 				v := n.routing.Load()
-				level, _ := v.levelOf("west/ca/db")
+				level, ok := v.levelOf("west/ca")
+				if !ok {
+					panic("levelOf failed")
+				}
+				var order [forwardAttemptLimit]viewCandidate
 				cnt, _, _ := v.forwardSet(n.health, x&mask, level, order[:])
-				local += cnt
+				forwardSink.Add(uint64(cnt))
+			})
+			if allocs != 0 {
+				t.Fatalf("%s forwarding decision allocates %.1f objects per run, want 0", geom, allocs)
 			}
-			forwardSink.Add(uint64(local))
-		}(g)
+		})
 	}
-	wg.Wait()
+}
 
-	if after := forwardPathMutexSamples(t); after > before {
-		t.Fatalf("forwarding hot path acquired contended mutexes: %d new mutex-profile samples", after-before)
+// TestForwardDecisionMutexFree hammers the forwarding decision of every
+// geometry from 64 goroutines with mutex profiling at full rate and then
+// requires that no mutex-contention sample traces through the hot path.
+// Uncontended locks do not appear in the mutex profile, so the 64-way
+// hammering is the point: any mutex on this path would contend and show up.
+func TestForwardDecisionMutexFree(t *testing.T) {
+	old := runtime.SetMutexProfileFraction(1)
+	defer runtime.SetMutexProfileFraction(old)
+	for _, geom := range snapshotGeometries {
+		t.Run(geom, func(t *testing.T) {
+			n := newSnapshotNodeGeom(t, 48, 11, geom)
+			defer n.Close()
+			before := forwardPathMutexSamples(t)
+
+			mask := n.space.Size() - 1
+			var wg sync.WaitGroup
+			for g := 0; g < 64; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					x := uint64(g)*0x9e3779b97f4a7c15 + 1
+					var order [forwardAttemptLimit]viewCandidate
+					local := 0
+					for i := 0; i < 20000; i++ {
+						x ^= x << 13
+						x ^= x >> 7
+						x ^= x << 17
+						v := n.routing.Load()
+						level, _ := v.levelOf("west/ca/db")
+						cnt, _, _ := v.forwardSet(n.health, x&mask, level, order[:])
+						local += cnt
+					}
+					forwardSink.Add(uint64(local))
+				}(g)
+			}
+			wg.Wait()
+
+			if after := forwardPathMutexSamples(t); after > before {
+				t.Fatalf("%s forwarding hot path acquired contended mutexes: %d new mutex-profile samples", geom, after-before)
+			}
+		})
 	}
 }
 
@@ -289,6 +420,8 @@ func forwardPathMutexSamples(t *testing.T) int {
 			fr, more := frames.Next()
 			switch fr.Function {
 			case "github.com/canon-dht/canon/internal/netnode.(*routingView).forwardSet",
+				"github.com/canon-dht/canon/internal/netnode.(*routingView).forwardSetScored",
+				"github.com/canon-dht/canon/internal/netnode.(*routingView).scoreCandidate",
 				"github.com/canon-dht/canon/internal/netnode.(*routingView).levelOf",
 				"github.com/canon-dht/canon/internal/netnode.(*healthTracker).preferred",
 				"github.com/canon-dht/canon/internal/netnode.(*healthTracker).lookup":

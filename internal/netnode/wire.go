@@ -44,6 +44,15 @@ const (
 	msgRepair   = "repair"
 )
 
+// Message types introduced at wire version 3 (docs/WIRE.md §9): the geometry
+// maintenance protocol — Kandy's bucket-refresh probe and Cacophony's
+// lookahead neighbor exchange. Nodes serve both regardless of their own
+// geometry, so a mixed cluster keeps every side's links fresh.
+const (
+	msgBucketRef = "bucketref"
+	msgLookahead = "lookahead"
+)
+
 // lookupReq asks for the predecessor (owner) and successor of Key among the
 // nodes of the domain named by Prefix ("" = the whole system).
 //
@@ -188,6 +197,37 @@ type repairResp struct {
 	Partners int `json:"partners"`
 	Pushed   int `json:"pushed"`
 	Pulled   int `json:"pulled"`
+}
+
+// bucketRefReq asks the receiver for the contacts it knows XOR-nearest to
+// Target within the domain named Prefix — Kandy's bucket-refresh probe, the
+// live analog of Kademlia FIND_NODE. The receiver must belong to the domain.
+type bucketRefReq struct {
+	Prefix string `json:"prefix"`
+	Target uint64 `json:"target"`
+}
+
+// bucketRefResp carries up to bucketRefFanout in-domain contacts, XOR-nearest
+// first.
+type bucketRefResp struct {
+	Contacts []Info `json:"contacts"`
+}
+
+// lookaheadReq asks the receiver for its lookahead state — per-level first
+// successors and ring-size estimates — for levels 0..Levels of its chain
+// (Cacophony's neighbor exchange; the sender passes the depth of the lowest
+// common domain, the levels whose rings the two sides share).
+type lookaheadReq struct {
+	Levels int `json:"levels"`
+}
+
+// lookaheadResp answers with Succs[l] (the receiver's first successor at
+// level l, itself when alone) and Ests[l] (its arc-based ring-size estimate,
+// 0 when it has no successor list to estimate from) for levels
+// 0..min(Levels, receiver's depth).
+type lookaheadResp struct {
+	Succs []Info   `json:"succs"`
+	Ests  []uint64 `json:"ests"`
 }
 
 // fetchReq retrieves values for Key visible to a querier named Origin.

@@ -18,6 +18,36 @@ import (
 // draws when a ring is very small.
 const maxDrawAttempts = 8
 
+// EstimateFromArc estimates a ring's size from `hops` consecutive
+// successors spanning the clockwise arc `arc`: if x nodes span a fraction f
+// of the ring, the ring holds about x/f nodes. The estimate is at least 2.
+// This is the pure core of the cheap estimation protocol Symphony relies on,
+// shared by the offline EstimateRingSize and the live Cacophony geometry.
+func EstimateFromArc(space id.Space, hops int, arc uint64) int {
+	if hops < 1 || arc == 0 {
+		return 2
+	}
+	est := int(float64(hops) * float64(space.Size()) / float64(arc))
+	if est < 2 {
+		est = 2
+	}
+	return est
+}
+
+// HarmonicDraw maps a uniform u in [0, 1) to a clockwise distance drawn from
+// the harmonic pdf 1/(x ln n) over ring fractions x in [1/n, 1], scaled to
+// the identifier space: inverse-CDF sampling with x = n^(u-1). The result is
+// at least 1. This is the pure core of the Symphony draw, shared by the
+// offline link builder and the live Cacophony geometry.
+func HarmonicDraw(space id.Space, n float64, u float64) uint64 {
+	x := math.Pow(n, u-1)
+	d := uint64(x * float64(space.Size()))
+	if d == 0 {
+		d = 1
+	}
+	return d
+}
+
 // EstimateRingSize estimates the number of nodes in a ring from the arc
 // spanned by the member at pos and its next `lookahead` successors, the
 // cheap estimation protocol Symphony relies on: if x consecutive nodes span
@@ -37,11 +67,7 @@ func EstimateRingSize(ring *core.Ring, pos, lookahead int) int {
 	if arc == 0 {
 		return ring.Len()
 	}
-	est := int(float64(lookahead) * float64(space.Size()) / float64(arc))
-	if est < 2 {
-		est = 2
-	}
-	return est
+	return EstimateFromArc(space, lookahead, arc)
 }
 
 // Geometry is the Symphony link rule.
@@ -117,13 +143,7 @@ func (g *Geometry) draw(ring *core.Ring, node int, bound uint64, rng *rand.Rand,
 	}
 	for i := 0; i < k; i++ {
 		for attempt := 0; attempt < maxDrawAttempts; attempt++ {
-			// Inverse-CDF sampling of the harmonic pdf 1/(x ln n) on
-			// [1/n, 1]: x = n^(u-1) for u uniform in [0, 1).
-			x := math.Pow(n, rng.Float64()-1)
-			d := uint64(x * float64(g.space.Size()))
-			if d == 0 {
-				d = 1
-			}
+			d := HarmonicDraw(g.space, n, rng.Float64())
 			target := ring.Owner(g.space.Add(m, d))
 			if target == node {
 				continue

@@ -29,7 +29,10 @@ const (
 	// the storage/anti-entropy message types ("store2", "synctree",
 	// "synckeys", "syncpull", "repair") introduced in docs/WIRE.md §v2. A
 	// v1 peer on a negotiated-v1 connection simply never receives them.
-	muxVersion = 2
+	// Version 3 likewise changes no framing: it marks the builds that
+	// understand the geometry maintenance message types ("bucketref",
+	// "lookahead") introduced in docs/WIRE.md §9.
+	muxVersion = 3
 
 	// Frame kinds.
 	frameRequest  = 0x01

@@ -42,9 +42,10 @@ func TestMuxVersionNegotiation(t *testing.T) {
 	cases := []struct {
 		offer, want byte
 	}{
-		{offer: 2, want: 2},  // current build's own offer
-		{offer: 1, want: 1},  // older peer: serve its version
-		{offer: 99, want: 2}, // newer peer: clamp to ours
+		{offer: 3, want: 3},  // current build's own offer
+		{offer: 2, want: 2},  // older peer: serve its version
+		{offer: 1, want: 1},  // oldest peer: serve its version
+		{offer: 99, want: 3}, // newer peer: clamp to ours
 	}
 	for _, tc := range cases {
 		accept := handshakeWith(t, srv.Addr(), tc.offer)
@@ -60,7 +61,7 @@ func TestMuxVersionNegotiation(t *testing.T) {
 // TestMuxDialerAcceptsDowngrade runs a fake old server that answers the
 // handshake with version 1 and echoes request envelopes back verbatim: the
 // current dialer must treat the downgraded accept as success and complete
-// calls over it, not error out — a v2 build dialing a v1 build is the
+// calls over it, not error out — a current build dialing a v1 build is the
 // normal rolling-upgrade state.
 func TestMuxDialerAcceptsDowngrade(t *testing.T) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")

@@ -1,0 +1,91 @@
+#!/usr/bin/env bash
+# geometry-smoke.sh — end-to-end smoke test of the pluggable routing
+# geometries (docs/GEOMETRY.md).
+#
+# For each geometry (crescendo, kandy, cacophony), boots a real three-node
+# canond cluster over TCP with -geometry set, then:
+#   * puts a batch of values through different nodes and gets every value
+#     back through every node (routing + hierarchical storage work
+#     end to end under the geometry's links and next-hop rule),
+#   * asserts all three nodes agree on each key's owner (the geometry
+#     changed the links, not the ownership rule — the invariant that makes
+#     mixed-geometry clusters correct).
+#
+# Usage: geometry-smoke.sh [path-to-canond] [path-to-canonctl]
+set -euo pipefail
+
+CANOND=${1:-./canond}
+CANONCTL=${2:-./canonctl}
+BASE=7271
+PIDS=()
+
+cleanup() {
+  for pid in "${PIDS[@]}"; do
+    kill "$pid" 2>/dev/null || true
+  done
+  wait 2>/dev/null || true
+}
+trap cleanup EXIT
+
+# Fixed, spread node ids so each run is deterministic.
+IDS=(1000000 1431655765 2863311531)
+DOMAINS=(stanford/cs stanford/ee mit/csail)
+KEYS=(42 7777 123456789 3405691582 18446744073709551615 31337)
+
+for GEOM in crescendo kandy cacophony; do
+  echo "== [$GEOM] booting a three-node cluster"
+  "$CANOND" -listen "127.0.0.1:$BASE" -id "${IDS[0]}" -domain "${DOMAINS[0]}" \
+    -geometry "$GEOM" -stabilize 200ms &
+  PIDS+=($!)
+  sleep 1
+  for i in 1 2; do
+    "$CANOND" -listen "127.0.0.1:$((BASE + i))" -id "${IDS[$i]}" \
+      -domain "${DOMAINS[$i]}" -geometry "$GEOM" -stabilize 200ms \
+      -join "127.0.0.1:$BASE" &
+    PIDS+=($!)
+    sleep 0.5
+  done
+  echo "== [$GEOM] letting stabilization and link building run"
+  sleep 4
+
+  echo "== [$GEOM] put through each node, get back through every node"
+  for i in "${!KEYS[@]}"; do
+    "$CANONCTL" -node "127.0.0.1:$((BASE + i % 3))" put "${KEYS[$i]}" "$GEOM-$i"
+  done
+  sleep 1
+  for i in "${!KEYS[@]}"; do
+    for j in 0 1 2; do
+      got=$("$CANONCTL" -node "127.0.0.1:$((BASE + j))" get "${KEYS[$i]}")
+      [ "$got" = "$GEOM-$i" ] || {
+        echo "[$GEOM] GET MISMATCH: key ${KEYS[$i]} via node $j returned '$got', want '$GEOM-$i'" >&2
+        exit 1
+      }
+    done
+  done
+
+  echo "== [$GEOM] all three nodes must agree on every key's owner"
+  for key in "${KEYS[@]}"; do
+    owner=""
+    for j in 0 1 2; do
+      # "owner of K in "": node <id> (<addr>) via <n> hops" -> "node <id> (<addr>)"
+      got=$("$CANONCTL" -node "127.0.0.1:$((BASE + j))" lookup "$key" \
+        | sed 's/.*: \(node [0-9]* ([^)]*)\).*/\1/')
+      if [ -z "$owner" ]; then
+        owner=$got
+      elif [ "$got" != "$owner" ]; then
+        echo "[$GEOM] OWNER DISAGREEMENT: key $key is '$owner' per node 0 but '$got' per node $j" >&2
+        exit 1
+      fi
+    done
+  done
+
+  echo "== [$GEOM] OK; tearing the cluster down"
+  for pid in "${PIDS[@]}"; do
+    kill "$pid" 2>/dev/null || true
+  done
+  wait 2>/dev/null || true
+  PIDS=()
+  sleep 0.5
+done
+
+echo "geometry smoke: OK (crescendo, kandy and cacophony all route, store and agree on ownership)"
